@@ -1,0 +1,91 @@
+//! Criterion benches behind Fig. 4's practicality claim: whole-program
+//! analysis time per benchmark, parser baseline, conventional-compile
+//! proxy, and the technique ablations (DESIGN.md §5).
+
+use benchsuite::kernels;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panorama::{analyze_source, conventional_compile_proxy, parse_only, Options};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn program_sources() -> BTreeMap<&'static str, String> {
+    let mut programs: BTreeMap<&str, String> = BTreeMap::new();
+    for k in kernels() {
+        programs.entry(k.program).or_default().push_str(k.source);
+    }
+    programs
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let programs = program_sources();
+    let mut g = c.benchmark_group("fig4_phases");
+    for (name, src) in &programs {
+        g.bench_with_input(BenchmarkId::new("parser", name), src, |b, src| {
+            b.iter(|| parse_only(black_box(src)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("conventional", name), src, |b, src| {
+            b.iter(|| conventional_compile_proxy(black_box(src)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("panorama", name), src, |b, src| {
+            b.iter(|| analyze_source(black_box(src), Options::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let programs = program_sources();
+    let all: String = programs.values().cloned().collect::<Vec<_>>().join("\n");
+    let mut g = c.benchmark_group("ablations");
+    for (tag, opts) in [
+        ("full", Options::default()),
+        ("forall", Options::full()),
+        (
+            "no_guards",
+            Options {
+                if_conditions: false,
+                ..Options::default()
+            },
+        ),
+        (
+            "no_symbolic",
+            Options {
+                symbolic: false,
+                ..Options::default()
+            },
+        ),
+        (
+            "no_interproc",
+            Options {
+                interprocedural: false,
+                ..Options::default()
+            },
+        ),
+        ("conventional_only", Options::conventional()),
+    ] {
+        g.bench_function(tag, |b| {
+            b.iter(|| analyze_source(black_box(&all), opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Analysis time vs. program size: the practicality claim must hold as
+    // programs grow (near-linear in routines for this access structure).
+    let mut g = c.benchmark_group("scaling");
+    for n in [1usize, 4, 16, 64] {
+        let src = benchsuite::synthetic_program(n, 100);
+        g.bench_with_input(BenchmarkId::new("routines", n), &src, |b, src| {
+            b.iter(|| analyze_source(black_box(src), Options::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_phases, bench_ablations, bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the **Figure 1** motivating examples: for each of the three
+//! kernels, report whether array A privatizes under the base analysis and
+//! under the ∀-extension. The paper's claims: (b) and (c) are handled by
+//! the GAR analysis; (a) needs ∀/∃ quantifiers (§5.2) — their
+//! implementation could not do it, our `forall_ext` can.
+//!
+//! ```text
+//! cargo run -p bench-tables --bin fig1
+//! ```
+
+use bench_tables::write_report;
+use benchsuite::fig1_kernels;
+use panorama::{analyze_source, Options};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    figure: String,
+    base_privatizable: bool,
+    forall_privatizable: bool,
+    expected_base: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("{:<8} {:>16} {:>18} {:>16}", "Figure", "base analysis", "forall extension", "paper (base)");
+    println!("{}", "-".repeat(64));
+    for (tag, routine, var, array, src) in fig1_kernels() {
+        let check = |opts: Options| -> bool {
+            let a = analyze_source(src, opts).expect("analysis");
+            let v = a.verdict(routine, var).unwrap();
+            v.arrays
+                .iter()
+                .find(|x| x.array == array)
+                .is_some_and(|x| x.privatizable)
+        };
+        let base = check(Options::default());
+        let ext = check(Options::full());
+        // Paper: (a) not handled by the implementation; (b), (c) handled.
+        let expected_base = tag != "1a";
+        println!(
+            "{:<8} {:>16} {:>18} {:>16}{}",
+            format!("Fig {tag}"),
+            base,
+            ext,
+            expected_base,
+            if base == expected_base { "" } else { "   << MISMATCH" }
+        );
+        rows.push(Row {
+            figure: tag.to_string(),
+            base_privatizable: base,
+            forall_privatizable: ext,
+            expected_base,
+        });
+    }
+    write_report("fig1", &rows);
+}

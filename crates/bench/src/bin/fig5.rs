@@ -1,0 +1,83 @@
+//! Regenerates **Figure 5**: the worked backward propagation for the
+//! Fig. 1(b) kernel — per-node `ue_in`/`mod_in` sets, the loop-level
+//! `UE_i`, `MOD_<i`, their intersection, and the privatizability verdict.
+//!
+//! ```text
+//! cargo run -p bench-tables --bin fig5
+//! ```
+
+use bench_tables::write_report;
+use benchsuite::fig1_kernels;
+use panorama::{analyze_source, Options};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    trace: Vec<String>,
+    ue_i: String,
+    mod_lt: String,
+    intersection_empty: bool,
+    privatizable: bool,
+}
+
+fn main() {
+    let (_, routine, var, array, src) = fig1_kernels()
+        .into_iter()
+        .find(|(tag, ..)| *tag == "1b")
+        .unwrap();
+
+    let a = analyze_source(
+        src,
+        Options {
+            trace: true,
+            ..Options::default()
+        },
+    )
+    .expect("analysis");
+
+    println!("=== Figure 5: backward propagation over the Fig. 1(b) HSG ===\n");
+    println!("{}", a.hsg.dump_routine(routine));
+    println!("--- per-node sets (backward order) ---");
+    for line in &a.trace {
+        if line.starts_with(routine) {
+            println!("  {line}");
+        }
+    }
+
+    let la = a.loop_analysis(routine, var).expect("outer loop");
+    let sets = &la.arrays[array];
+    let inter = sets.ue_i.intersect(&sets.mod_lt);
+    let v = a.verdict(routine, var).unwrap();
+    let av = v.arrays.iter().find(|x| x.array == array).unwrap();
+
+    println!("\n--- A. UE_i and MOD_i of the outer loop (iteration i) ---");
+    println!("  ue_i({array})   = {}", sets.ue_i);
+    println!("  mod_i({array})  = {}", sets.mod_i);
+    println!("\n--- B. Is array {array} privatizable? ---");
+    println!("  mod_<i({array}) = {}", sets.mod_lt);
+    println!("  ue_i ∩ mod_<i  = {}", inter);
+    println!(
+        "  => {} ({})",
+        if inter.definitely_empty() {
+            "EMPTY — A is privatizable"
+        } else {
+            "NOT empty"
+        },
+        if av.privatizable {
+            "verdict: privatizable"
+        } else {
+            "verdict: not privatizable"
+        }
+    );
+
+    write_report(
+        "fig5",
+        &Report {
+            trace: a.trace.clone(),
+            ue_i: sets.ue_i.to_string(),
+            mod_lt: sets.mod_lt.to_string(),
+            intersection_empty: inter.definitely_empty(),
+            privatizable: av.privatizable,
+        },
+    );
+}

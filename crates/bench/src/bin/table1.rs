@@ -1,0 +1,93 @@
+//! Regenerates **Table 1**: loops, speedups, % of sequential time, and the
+//! privatization techniques each loop needs (T1 symbolic, T2 IF-condition,
+//! T3 interprocedural).
+//!
+//! Speedups are measured on the deterministic P=8 processor simulation
+//! (the Alliant FX/8 substitute — see DESIGN.md §3); technique needs are
+//! *detected* by ablation and compared against the paper's column values.
+//!
+//! ```text
+//! cargo run -p bench-tables --bin table1
+//! ```
+
+use bench_tables::{detect_needs, write_report, yn};
+use benchsuite::kernels;
+use interp::simulate_speedup;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    program: String,
+    loop_label: String,
+    paper_speedup: f64,
+    measured_speedup_p8: f64,
+    paper_pct_seq: f64,
+    measured_loop_fraction_pct: f64,
+    t1_needed: bool,
+    t2_needed: bool,
+    t3_needed: bool,
+    t1_paper: bool,
+    t2_paper: bool,
+    t3_paper: bool,
+    matches_paper: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:<13} {:>7} {:>8} {:>6} {:>7}   {:<17} {:<17}",
+        "Program", "Loop", "SpdupP", "SpdupSim", "%SeqP", "%SeqSim", "Needed (measured)", "Needed (paper)"
+    );
+    println!("{}", "-".repeat(100));
+    for k in kernels() {
+        // Simulated speedup on 8 virtual processors.
+        let program = fortran::parse_program(k.source).unwrap();
+        let sema = fortran::analyze(&program).unwrap();
+        let machine = interp::Machine::new(&program, &sema);
+        let sim = simulate_speedup(&machine, k.routine, k.var, 8).expect("simulation");
+
+        let (t1, t2, t3) = detect_needs(&k);
+        let matches = (t1, t2, t3) == (k.needs.t1, k.needs.t2, k.needs.t3);
+
+        println!(
+            "{:<8} {:<13} {:>7.1} {:>8.2} {:>6.0} {:>7.1}   T1={:<3} T2={:<3} T3={:<3} T1={:<3} T2={:<3} T3={:<3}{}",
+            k.program,
+            k.loop_label,
+            k.paper_speedup,
+            sim.speedup,
+            k.paper_pct_seq,
+            100.0 * sim.loop_fraction,
+            yn(t1),
+            yn(t2),
+            yn(t3),
+            yn(k.needs.t1),
+            yn(k.needs.t2),
+            yn(k.needs.t3),
+            if matches { "" } else { "   << MISMATCH" }
+        );
+        rows.push(Row {
+            program: k.program.to_string(),
+            loop_label: k.loop_label.to_string(),
+            paper_speedup: k.paper_speedup,
+            measured_speedup_p8: sim.speedup,
+            paper_pct_seq: k.paper_pct_seq,
+            measured_loop_fraction_pct: 100.0 * sim.loop_fraction,
+            t1_needed: t1,
+            t2_needed: t2,
+            t3_needed: t3,
+            t1_paper: k.needs.t1,
+            t2_paper: k.needs.t2,
+            t3_paper: k.needs.t3,
+            matches_paper: matches,
+        });
+    }
+    let all_match = rows.iter().all(|r| r.matches_paper);
+    println!(
+        "\ntechnique matrix {} the paper's Table 1",
+        if all_match { "MATCHES" } else { "does NOT match" }
+    );
+    println!(
+        "note: %SeqSim is the loop's fraction of *this kernel's* runtime; the paper's\n%Seq is over the whole original benchmark, so only the speedup shape is comparable."
+    );
+    write_report("table1", &rows);
+}

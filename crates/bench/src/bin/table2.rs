@@ -1,0 +1,86 @@
+//! Regenerates **Table 2**: the privatizable arrays of every loop and
+//! whether the analyzer privatizes them automatically. The paper's single
+//! `no` (MDG `interf` RL, the Fig. 1(a) case) must reproduce — and flip to
+//! `yes` under the ∀-extension (§5.2's future work, our `forall_ext`).
+//!
+//! ```text
+//! cargo run -p bench-tables --bin table2
+//! ```
+
+use bench_tables::{analyze_kernel, write_report};
+use benchsuite::kernels;
+use panorama::Options;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    program: String,
+    loop_label: String,
+    array: String,
+    paper_status: &'static str,
+    base_status: &'static str,
+    forall_status: &'static str,
+    matches_paper: bool,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:<13} {:<10} {:>7} {:>9} {:>9}",
+        "Program", "Loop", "Array", "Paper", "Base", "Forall"
+    );
+    println!("{}", "-".repeat(64));
+    for k in kernels() {
+        let base = analyze_kernel(&k, Options::default());
+        let ext = analyze_kernel(&k, Options::full());
+        let vb = base.verdict(k.routine, k.var).unwrap();
+        let ve = ext.verdict(k.routine, k.var).unwrap();
+        let status = |v: &panorama::LoopVerdict, arr: &str| -> &'static str {
+            if v.arrays
+                .iter()
+                .find(|a| a.array == arr)
+                .is_some_and(|a| a.privatizable)
+            {
+                "yes"
+            } else {
+                "no"
+            }
+        };
+        for (arr, paper) in k
+            .privatizable
+            .iter()
+            .map(|a| (*a, "yes"))
+            .chain(k.hard.iter().map(|a| (*a, "no")))
+        {
+            let b = status(vb, arr);
+            let f = status(ve, arr);
+            let matches = b == paper;
+            println!(
+                "{:<8} {:<13} {:<10} {:>7} {:>9} {:>9}{}",
+                k.program,
+                k.loop_label,
+                arr.to_uppercase(),
+                paper,
+                b,
+                f,
+                if matches { "" } else { "   << MISMATCH" }
+            );
+            rows.push(Row {
+                program: k.program.to_string(),
+                loop_label: k.loop_label.to_string(),
+                array: arr.to_string(),
+                paper_status: paper,
+                base_status: b,
+                forall_status: f,
+                matches_paper: matches,
+            });
+        }
+    }
+    let n_match = rows.iter().filter(|r| r.matches_paper).count();
+    println!(
+        "\n{} / {} array statuses match the paper's Table 2",
+        n_match,
+        rows.len()
+    );
+    write_report("table2", &rows);
+}

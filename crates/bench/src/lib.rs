@@ -1,0 +1,87 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary prints a human-readable table to stdout and writes a
+//! machine-readable JSON report under `reports/` so EXPERIMENTS.md numbers
+//! stay regenerable and diffable.
+
+#![warn(missing_docs)]
+
+use benchsuite::Kernel;
+use panorama::{analyze_source, Analysis, Options};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Runs the analyzer on a kernel with the given toggles.
+pub fn analyze_kernel(k: &Kernel, opts: Options) -> Analysis {
+    analyze_source(k.source, opts)
+        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.loop_label))
+}
+
+/// Are all the kernel's Table 2 arrays privatizable under `opts`?
+pub fn privatizes_all(k: &Kernel, opts: Options) -> bool {
+    let a = analyze_kernel(k, opts);
+    let v = a
+        .verdict(k.routine, k.var)
+        .unwrap_or_else(|| panic!("{}: loop not found", k.loop_label));
+    k.privatizable.iter().all(|arr| {
+        v.arrays
+            .iter()
+            .find(|x| &x.array == arr)
+            .is_some_and(|x| x.privatizable)
+    })
+}
+
+/// Detected technique needs: a technique is needed iff turning it off
+/// breaks privatization while the full set succeeds.
+pub fn detect_needs(k: &Kernel) -> (bool, bool, bool) {
+    let t1 = !privatizes_all(
+        k,
+        Options {
+            symbolic: false,
+            ..Options::default()
+        },
+    );
+    let t2 = !privatizes_all(
+        k,
+        Options {
+            if_conditions: false,
+            ..Options::default()
+        },
+    );
+    let t3 = !privatizes_all(
+        k,
+        Options {
+            interprocedural: false,
+            ..Options::default()
+        },
+    );
+    (t1, t2, t3)
+}
+
+/// Writes a JSON report into `reports/<name>.json` (repo root).
+pub fn write_report<T: Serialize>(name: &str, value: &T) {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir).expect("create reports dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    eprintln!("(report written to {})", path.display());
+}
+
+fn report_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → repo root is two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("reports");
+    p
+}
+
+/// Formats Yes/No cells.
+pub fn yn(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}

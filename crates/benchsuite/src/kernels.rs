@@ -1,0 +1,813 @@
+//! The kernel sources and their metadata.
+
+use crate::Needs;
+
+/// One evaluation kernel: a runnable program whose designated loop is the
+/// privatization target of Tables 1–2.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    /// Benchmark program name (Table 1 column 1).
+    pub program: &'static str,
+    /// Routine/loop label as the paper writes it (e.g. `interf/1000`).
+    pub loop_label: &'static str,
+    /// Routine containing the target loop.
+    pub routine: &'static str,
+    /// Target loop index variable.
+    pub var: &'static str,
+    /// Full Fortran source.
+    pub source: &'static str,
+    /// Arrays Table 2 reports as automatically privatizable.
+    pub privatizable: &'static [&'static str],
+    /// Arrays Table 2 lists with status `no` (need ∀/∃ quantifiers).
+    pub hard: &'static [&'static str],
+    /// Techniques Table 1 says the loop needs.
+    pub needs: Needs,
+    /// Speedup reported by the paper (Alliant FX/8; ARC2D estimated).
+    pub paper_speedup: f64,
+    /// Percentage of sequential execution time (Table 1).
+    pub paper_pct_seq: f64,
+}
+
+// --------------------------------------------------------------------
+// TRACK nlfilt/300 — interprocedural only: constant-bound work arrays
+// filled and consumed through calls.
+// --------------------------------------------------------------------
+const TRACK_NLFILT: &str = "
+      PROGRAM nlfilt
+      REAL p1(60), p2(60), p(60), pp1(60), pp2(60), pp(60), xsd(60)
+      REAL r(100)
+      INTEGER i
+      DO i = 1, 100
+        call predict(p1, p2, p, i)
+        call propag(pp1, pp2, pp, p1, p2, p)
+        call deviat(xsd, pp1, pp2, pp)
+        call score(r, xsd, i)
+      ENDDO
+      END
+
+      SUBROUTINE predict(p1, p2, p, i)
+      REAL p1(60), p2(60), p(60)
+      INTEGER i, k
+      DO k = 1, 60
+        p1(k) = float(i + k)
+        p2(k) = float(i) * 0.5 + k
+        p(k) = p1(k) - p2(k)
+      ENDDO
+      END
+
+      SUBROUTINE propag(pp1, pp2, pp, p1, p2, p)
+      REAL pp1(60), pp2(60), pp(60), p1(60), p2(60), p(60)
+      INTEGER k
+      DO k = 1, 60
+        pp1(k) = p1(k) * 1.01
+        pp2(k) = p2(k) * 0.99
+        pp(k) = p(k) + pp1(k) - pp2(k)
+      ENDDO
+      END
+
+      SUBROUTINE deviat(xsd, pp1, pp2, pp)
+      REAL xsd(60), pp1(60), pp2(60), pp(60)
+      INTEGER k
+      DO k = 1, 60
+        xsd(k) = abs(pp(k)) + abs(pp1(k) - pp2(k))
+      ENDDO
+      END
+
+      SUBROUTINE score(r, xsd, i)
+      REAL r(100), xsd(60)
+      INTEGER i, k
+      REAL s
+      s = 0.0
+      DO k = 1, 60
+        s = s + xsd(k)
+      ENDDO
+      r(i) = s
+      END
+";
+
+// --------------------------------------------------------------------
+// MDG interf/1000 — needs all three techniques. xl/yl/zl follow the
+// OCEAN guarded-call pattern, rs/ff/gg the symbolic direct pattern, and
+// rl is the Fig. 1(a) counter case (Table 2 status: no).
+// --------------------------------------------------------------------
+const MDG_INTERF: &str = "
+      PROGRAM interf
+      REAL xl(200), yl(200), zl(200), rs(200), ff(200), gg(200)
+      REAL rl(20), b(20), res(100), res2(100)
+      REAL cut2, boxl, ttemp
+      INTEGER i, k, kc, n9, nmol1
+      nmol1 = 100
+      n9 = int(float(150))
+      cut2 = 1.5
+      boxl = 10.0
+      DO i = 1, nmol1
+C       --- guarded-call working vectors (needs T1+T2+T3) ---
+        call coords(xl, yl, zl, boxl, n9, i)
+        call forces(ff, xl, yl, zl, boxl, n9)
+        call squares(rs, xl, yl, zl, boxl, n9)
+        call combine(gg, rs, ff, boxl, n9)
+        call emit(res, gg, boxl, n9, i)
+C       --- the Fig 1(a) pattern on rl (hard: needs forall) ---
+        kc = 0
+        DO k = 1, 9
+          b(k) = float(mod(i * k, 7)) * 0.3
+          IF (b(k) .GT. cut2) kc = kc + 1
+        ENDDO
+        DO k = 2, 5
+          IF (b(k+4) .GT. cut2) goto 1
+          rl(k+4) = float(i + k)
+1       ENDDO
+        ttemp = 0.0
+        IF (kc .NE. 0) goto 2
+        DO k = 11, 14
+          ttemp = ttemp + rl(k-5)
+        ENDDO
+2       CONTINUE
+        res2(i) = ttemp
+      ENDDO
+      END
+
+      SUBROUTINE coords(xl, yl, zl, boxl, nn, i)
+      REAL xl(*), yl(*), zl(*)
+      REAL boxl
+      INTEGER nn, i, k
+      IF (boxl .GT. 64.0) RETURN
+      DO k = 1, nn
+        xl(k) = float(i + k) * 0.1
+        yl(k) = float(i - k) * 0.1
+        zl(k) = float(i * 2 + k) * 0.05
+      ENDDO
+      END
+
+      SUBROUTINE forces(ff, xl, yl, zl, boxl, nn)
+      REAL ff(*), xl(*), yl(*), zl(*)
+      REAL boxl
+      INTEGER nn, k
+      IF (boxl .GT. 64.0) RETURN
+      DO k = 1, nn
+        ff(k) = xl(k) + yl(k) * zl(k)
+      ENDDO
+      END
+
+      SUBROUTINE squares(rs, xl, yl, zl, boxl, nn)
+      REAL rs(*), xl(*), yl(*), zl(*)
+      REAL boxl
+      INTEGER nn, k
+      IF (boxl .GT. 64.0) RETURN
+      DO k = 1, nn
+        rs(k) = xl(k) * xl(k) + yl(k) * yl(k) + zl(k) * zl(k)
+      ENDDO
+      END
+
+      SUBROUTINE combine(gg, rs, ff, boxl, nn)
+      REAL gg(*), rs(*), ff(*)
+      REAL boxl
+      INTEGER nn, k
+      IF (boxl .GT. 64.0) RETURN
+      DO k = 1, nn
+        gg(k) = rs(k) * ff(k)
+      ENDDO
+      END
+
+      SUBROUTINE emit(res, gg, boxl, nn, i)
+      REAL res(*), gg(*)
+      REAL boxl, s
+      INTEGER nn, i, k
+      IF (boxl .GT. 64.0) RETURN
+      s = 0.0
+      DO k = 1, nn
+        s = s + gg(k)
+      ENDDO
+      res(i) = s
+      END
+";
+
+// --------------------------------------------------------------------
+// MDG poteng/2000 — interprocedural only (constant bounds, no guards).
+// --------------------------------------------------------------------
+const MDG_POTENG: &str = "
+      PROGRAM poteng
+      REAL rs(120), rl(120), xl(120), yl(120), zl(120)
+      REAL res(80)
+      INTEGER i
+      DO i = 1, 80
+        call waters(xl, yl, zl, i)
+        call dists(rs, rl, xl, yl, zl)
+        call energy(res, rs, rl, i)
+      ENDDO
+      END
+
+      SUBROUTINE waters(xl, yl, zl, i)
+      REAL xl(120), yl(120), zl(120)
+      INTEGER i, k
+      DO k = 1, 120
+        xl(k) = float(i + k) * 0.01
+        yl(k) = float(i) * 0.02 + k
+        zl(k) = float(k) * 0.03 - i
+      ENDDO
+      END
+
+      SUBROUTINE dists(rs, rl, xl, yl, zl)
+      REAL rs(120), rl(120), xl(120), yl(120), zl(120)
+      INTEGER k
+      DO k = 1, 120
+        rs(k) = xl(k) * xl(k) + yl(k) * yl(k)
+        rl(k) = rs(k) + zl(k) * zl(k)
+      ENDDO
+      END
+
+      SUBROUTINE energy(res, rs, rl, i)
+      REAL res(80), rs(120), rl(120)
+      INTEGER i, k
+      REAL s
+      s = 0.0
+      DO k = 1, 120
+        s = s + rs(k) - 0.5 * rl(k)
+      ENDDO
+      res(i) = s
+      END
+";
+
+// --------------------------------------------------------------------
+// TRFD olda/100 — symbolic analysis only: triangular-style working
+// vectors with symbolic extents, no calls, no IFs.
+// --------------------------------------------------------------------
+const TRFD_OLDA100: &str = "
+      PROGRAM olda1
+      REAL xrsiq(300), xij(300), v(200)
+      INTEGER i, j, mrs, num
+      num = 120
+      mrs = int(float(250))
+      DO i = 1, num
+        DO j = 1, mrs
+          xrsiq(j) = float(i + j) * 0.5
+        ENDDO
+        DO j = 1, mrs
+          xij(j) = xrsiq(j) * 2.0 + i
+        ENDDO
+        v(i) = xij(1) + xij(mrs)
+      ENDDO
+      END
+";
+
+// --------------------------------------------------------------------
+// TRFD olda/300 — same technique profile, different working arrays.
+// --------------------------------------------------------------------
+const TRFD_OLDA300: &str = "
+      PROGRAM olda3
+      REAL xijks(300), xkl(300), v(200)
+      INTEGER i, j, nrs, num
+      num = 120
+      nrs = int(float(260))
+      DO i = 1, num
+        DO j = 1, nrs
+          xijks(j) = float(i) + j * 0.25
+        ENDDO
+        DO j = 1, nrs
+          xkl(j) = xijks(j) - 0.125 * j
+        ENDDO
+        v(i) = xkl(nrs) + xkl(1)
+      ENDDO
+      END
+";
+
+/// Builds an OCEAN-style kernel program text.
+macro_rules! ocean_kernel {
+    ($name:literal, $extra:literal, $extra_calls:literal) => {
+        concat!(
+            "
+      PROGRAM ",
+            $name,
+            "
+      REAL cwork(400)",
+            $extra,
+            "
+      REAL r(64)
+      REAL x
+      INTEGER i, m, n
+      n = 64
+      m = int(float(350))
+      DO i = 1, n
+        x = float(i)
+        call filtr(cwork, x, m)",
+            $extra_calls,
+            "
+        call gather(r, cwork, x, m, i)
+      ENDDO
+      END
+
+      SUBROUTINE filtr(b, x, mm)
+      REAL b(*)
+      REAL x
+      INTEGER mm, j
+      IF (x .GT. 100.0) RETURN
+      DO j = 1, mm
+        b(j) = x * 0.5 + j
+      ENDDO
+      END
+
+      SUBROUTINE gather(r, b, x, mm, i)
+      REAL r(*), b(*)
+      REAL x, s
+      INTEGER mm, i, j
+      IF (x .GT. 100.0) RETURN
+      s = 0.0
+      DO j = 1, mm
+        s = s + b(j)
+      ENDDO
+      r(i) = s
+      END
+"
+        )
+    };
+}
+
+const OCEAN_270: &str = ocean_kernel!("ocean2", "", "");
+const OCEAN_480: &str = "
+      PROGRAM ocean4
+      REAL cwork(400), cwork2(400)
+      REAL r(64)
+      REAL x
+      INTEGER i, m, n
+      n = 64
+      m = int(float(350))
+      DO i = 1, n
+        x = float(i)
+        call filtr(cwork, x, m)
+        call scale2(cwork2, cwork, x, m)
+        call gather(r, cwork2, x, m, i)
+      ENDDO
+      END
+
+      SUBROUTINE filtr(b, x, mm)
+      REAL b(*)
+      REAL x
+      INTEGER mm, j
+      IF (x .GT. 100.0) RETURN
+      DO j = 1, mm
+        b(j) = x * 0.5 + j
+      ENDDO
+      END
+
+      SUBROUTINE scale2(c, b, x, mm)
+      REAL c(*), b(*)
+      REAL x
+      INTEGER mm, j
+      IF (x .GT. 100.0) RETURN
+      DO j = 1, mm
+        c(j) = b(j) * 1.5 - x
+      ENDDO
+      END
+
+      SUBROUTINE gather(r, b, x, mm, i)
+      REAL r(*), b(*)
+      REAL x, s
+      INTEGER mm, i, j
+      IF (x .GT. 100.0) RETURN
+      s = 0.0
+      DO j = 1, mm
+        s = s + b(j)
+      ENDDO
+      r(i) = s
+      END
+";
+const OCEAN_500: &str = ocean_kernel!("ocean5", "", "");
+
+// --------------------------------------------------------------------
+// ARC2D filerx/15 — the Fig. 1(b) pattern: symbolic bounds plus a
+// loop-invariant IF condition (T1 + T2, no calls).
+// --------------------------------------------------------------------
+const ARC2D_FILERX: &str = "
+      PROGRAM filerx
+      REAL work(600), r(40)
+      REAL q
+      LOGICAL p
+      INTEGER i, j, jlow, jup, jmax
+      jmax = int(float(500))
+      jlow = int(float(2))
+      jup = int(float(499))
+      p = .FALSE.
+      DO i = 1, 40
+        DO j = jlow, jup
+          work(j) = float(i + j) * 0.1
+        ENDDO
+        IF (.NOT. p) THEN
+          work(jmax) = float(i)
+        ENDIF
+        q = 0.0
+        DO j = jlow, jup
+          q = q + work(j) + work(jmax)
+        ENDDO
+        r(i) = q
+      ENDDO
+      END
+";
+
+// --------------------------------------------------------------------
+// ARC2D filery/39 — symbolic bounds only (T1).
+// --------------------------------------------------------------------
+const ARC2D_FILERY: &str = "
+      PROGRAM filery
+      REAL work(600), r(40)
+      REAL q
+      INTEGER i, j, klow, kup
+      klow = 2
+      kup = int(float(550))
+      DO i = 1, 40
+        DO j = klow, kup
+          work(j) = float(i) * 0.2 + j
+        ENDDO
+        q = 0.0
+        DO j = klow, kup
+          q = q + work(j)
+        ENDDO
+        r(i) = q
+      ENDDO
+      END
+";
+
+/// Builds a STEPF-style kernel (T1 + T3: symbolic bounds through calls,
+/// no IF guards).
+macro_rules! stepf_kernel {
+    ($name:literal) => {
+        concat!(
+            "
+      PROGRAM ",
+            $name,
+            "
+      REAL work(600), r(48)
+      INTEGER i, jmax, n
+      n = 48
+      jmax = int(float(520))
+      DO i = 1, n
+        call smooth(work, jmax, i)
+        call apply(r, work, jmax, i)
+      ENDDO
+      END
+
+      SUBROUTINE smooth(w, jmax, i)
+      REAL w(*)
+      INTEGER jmax, i, j
+      DO j = 1, jmax
+        w(j) = float(i + j) * 0.3
+      ENDDO
+      END
+
+      SUBROUTINE apply(r, w, jmax, i)
+      REAL r(*), w(*)
+      REAL s
+      INTEGER jmax, i, j
+      s = 0.0
+      DO j = 1, jmax
+        s = s + w(j)
+      ENDDO
+      r(i) = s
+      END
+"
+        )
+    };
+}
+
+const ARC2D_STEPFX: &str = stepf_kernel!("stepfx");
+const ARC2D_STEPFY: &str = stepf_kernel!("stepfy");
+
+/// The twelve Table 1/2 kernels.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            program: "TRACK",
+            loop_label: "nlfilt/300",
+            routine: "nlfilt",
+            var: "i",
+            source: TRACK_NLFILT,
+            privatizable: &["p1", "p2", "p", "pp1", "pp2", "pp", "xsd"],
+            hard: &[],
+            needs: Needs::new(false, false, true),
+            paper_speedup: 5.2,
+            paper_pct_seq: 40.0,
+        },
+        Kernel {
+            program: "MDG",
+            loop_label: "interf/1000",
+            routine: "interf",
+            var: "i",
+            source: MDG_INTERF,
+            privatizable: &["rs", "ff", "gg", "xl", "yl", "zl"],
+            hard: &["rl"],
+            needs: Needs::new(true, true, true),
+            paper_speedup: 6.0,
+            paper_pct_seq: 90.0,
+        },
+        Kernel {
+            program: "MDG",
+            loop_label: "poteng/2000",
+            routine: "poteng",
+            var: "i",
+            source: MDG_POTENG,
+            privatizable: &["rs", "rl", "xl", "yl", "zl"],
+            hard: &[],
+            needs: Needs::new(false, false, true),
+            paper_speedup: 5.2,
+            paper_pct_seq: 8.0,
+        },
+        Kernel {
+            program: "TRFD",
+            loop_label: "olda/100",
+            routine: "olda1",
+            var: "i",
+            source: TRFD_OLDA100,
+            privatizable: &["xrsiq", "xij"],
+            hard: &[],
+            needs: Needs::new(true, false, false),
+            paper_speedup: 16.4,
+            paper_pct_seq: 69.0,
+        },
+        Kernel {
+            program: "TRFD",
+            loop_label: "olda/300",
+            routine: "olda3",
+            var: "i",
+            source: TRFD_OLDA300,
+            privatizable: &["xijks", "xkl"],
+            hard: &[],
+            needs: Needs::new(true, false, false),
+            paper_speedup: 12.3,
+            paper_pct_seq: 29.0,
+        },
+        Kernel {
+            program: "OCEAN",
+            loop_label: "ocean/270",
+            routine: "ocean2",
+            var: "i",
+            source: OCEAN_270,
+            privatizable: &["cwork"],
+            hard: &[],
+            needs: Needs::new(true, true, true),
+            paper_speedup: 8.0,
+            paper_pct_seq: 3.0,
+        },
+        Kernel {
+            program: "OCEAN",
+            loop_label: "ocean/480",
+            routine: "ocean4",
+            var: "i",
+            source: OCEAN_480,
+            privatizable: &["cwork", "cwork2"],
+            hard: &[],
+            needs: Needs::new(true, true, true),
+            paper_speedup: 6.1,
+            paper_pct_seq: 4.0,
+        },
+        Kernel {
+            program: "OCEAN",
+            loop_label: "ocean/500",
+            routine: "ocean5",
+            var: "i",
+            source: OCEAN_500,
+            privatizable: &["cwork"],
+            hard: &[],
+            needs: Needs::new(true, true, true),
+            paper_speedup: 6.5,
+            paper_pct_seq: 3.0,
+        },
+        Kernel {
+            program: "ARC2D",
+            loop_label: "filerx/15",
+            routine: "filerx",
+            var: "i",
+            source: ARC2D_FILERX,
+            privatizable: &["work"],
+            hard: &[],
+            needs: Needs::new(true, true, false),
+            paper_speedup: 4.0,
+            paper_pct_seq: 7.0,
+        },
+        Kernel {
+            program: "ARC2D",
+            loop_label: "filery/39",
+            routine: "filery",
+            var: "i",
+            source: ARC2D_FILERY,
+            privatizable: &["work"],
+            hard: &[],
+            needs: Needs::new(true, false, false),
+            paper_speedup: 4.0,
+            paper_pct_seq: 7.0,
+        },
+        Kernel {
+            program: "ARC2D",
+            loop_label: "stepfx/300",
+            routine: "stepfx",
+            var: "i",
+            source: ARC2D_STEPFX,
+            privatizable: &["work"],
+            hard: &[],
+            needs: Needs::new(true, false, true),
+            paper_speedup: 3.0,
+            paper_pct_seq: 21.0,
+        },
+        Kernel {
+            program: "ARC2D",
+            loop_label: "stepfy/420",
+            routine: "stepfy",
+            var: "i",
+            source: ARC2D_STEPFY,
+            privatizable: &["work"],
+            hard: &[],
+            needs: Needs::new(true, false, true),
+            paper_speedup: 3.0,
+            paper_pct_seq: 16.0,
+        },
+    ]
+}
+
+// --------------------------------------------------------------------
+// Fig. 1 pedagogical kernels (a), (b), (c) — near-verbatim from the
+// paper, used by the fig1/fig5 reproductions.
+// --------------------------------------------------------------------
+const FIG1A: &str = "
+      PROGRAM fig1a
+      REAL a(20), b(20)
+      REAL cut2, ttemp
+      INTEGER i, k, kc, nmol1
+      nmol1 = 50
+      cut2 = 1.5
+      DO i = 1, nmol1
+        kc = 0
+        DO k = 1, 9
+          b(k) = float(mod(i * k, 7)) * 0.3
+          IF (b(k) .GT. cut2) kc = kc + 1
+        ENDDO
+        DO k = 2, 5
+          IF (b(k+4) .GT. cut2) goto 1
+          a(k+4) = float(i + k)
+1       ENDDO
+        IF (kc .NE. 0) goto 2
+        DO k = 11, 14
+          ttemp = a(k-5) + 1.0
+        ENDDO
+2       CONTINUE
+      ENDDO
+      END
+";
+
+const FIG1B: &str = "
+      PROGRAM fig1b
+      REAL a(600)
+      REAL q
+      LOGICAL p
+      INTEGER i, j, jlow, jup, jmax
+      jmax = int(float(500))
+      jlow = int(float(2))
+      jup = int(float(499))
+      p = .FALSE.
+      DO i = 1, 4
+        DO j = jlow, jup
+          a(j) = float(i + j)
+        ENDDO
+        IF (.NOT. p) THEN
+          a(jmax) = float(i)
+        ENDIF
+        DO j = jlow, jup
+          q = a(j) + a(jmax)
+        ENDDO
+      ENDDO
+      END
+";
+
+const FIG1C: &str = "
+      PROGRAM fig1c
+      REAL a(200)
+      REAL x
+      INTEGER i, m, n
+      n = 30
+      m = 150
+      DO i = 1, n
+        x = float(i)
+        call in(a, x, m)
+        call out(a, x, m)
+      ENDDO
+      END
+
+      SUBROUTINE in(b, x, mm)
+      REAL b(*)
+      REAL x
+      INTEGER mm, j
+      IF (x .GT. 64.0) RETURN
+      DO j = 1, mm
+        b(j) = x + j
+      ENDDO
+      END
+
+      SUBROUTINE out(b, x, mm)
+      REAL b(*)
+      REAL x, y
+      INTEGER mm, j
+      IF (x .GT. 64.0) RETURN
+      DO j = 1, mm
+        y = b(j)
+      ENDDO
+      END
+";
+
+/// The three Fig. 1 kernels: `(figure tag, target routine, loop var,
+/// target array, source)`.
+pub fn fig1_kernels() -> Vec<(&'static str, &'static str, &'static str, &'static str, &'static str)>
+{
+    vec![
+        ("1a", "fig1a", "i", "a", FIG1A),
+        ("1b", "fig1b", "i", "a", FIG1B),
+        ("1c", "fig1c", "i", "a", FIG1C),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_parse_and_check() {
+        for k in kernels() {
+            let p = fortran::parse_program(k.source)
+                .unwrap_or_else(|e| panic!("{}: parse error {e}", k.loop_label));
+            fortran::analyze(&p).unwrap_or_else(|e| panic!("{}: sema error {e}", k.loop_label));
+            assert!(p.routine(k.routine).is_some(), "{}", k.loop_label);
+        }
+        for (tag, routine, _, _, src) in fig1_kernels() {
+            let p = fortran::parse_program(src).unwrap_or_else(|e| panic!("fig{tag}: {e}"));
+            fortran::analyze(&p).unwrap_or_else(|e| panic!("fig{tag}: {e}"));
+            assert!(p.routine(routine).is_some());
+        }
+    }
+
+    #[test]
+    fn twelve_kernels_match_table1_rows() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 12);
+        // program/loop labels are unique
+        let mut labels: Vec<_> = ks.iter().map(|k| k.loop_label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+}
+
+/// Generates a synthetic program of parameterized size for scaling
+/// benchmarks: `n_routines` subroutines, each with a work-array
+/// fill/consume loop nest, called from a main loop — the same access
+/// structure as the evaluation kernels, scaled.
+pub fn synthetic_program(n_routines: usize, inner_size: usize) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    let _ = writeln!(src, "      PROGRAM synth");
+    let _ = writeln!(src, "      REAL w(512), r(64)");
+    let _ = writeln!(src, "      INTEGER i, m");
+    let _ = writeln!(src, "      m = int(float({inner_size}))");
+    let _ = writeln!(src, "      DO i = 1, 64");
+    for k in 0..n_routines {
+        let _ = writeln!(src, "        call fill{k}(w, m, i)");
+        let _ = writeln!(src, "        call take{k}(r, w, m, i)");
+    }
+    let _ = writeln!(src, "      ENDDO");
+    let _ = writeln!(src, "      END");
+    for k in 0..n_routines {
+        let _ = writeln!(
+            src,
+            "
+      SUBROUTINE fill{k}(w, m, i)
+      REAL w(*)
+      INTEGER m, i, j
+      DO j = 1, m
+        w(j) = float(i + j + {k})
+      ENDDO
+      END
+
+      SUBROUTINE take{k}(r, w, m, i)
+      REAL r(*), w(*)
+      REAL s
+      INTEGER m, i, j
+      s = 0.0
+      DO j = 1, m
+        s = s + w(j)
+      ENDDO
+      r(i) = s + float({k})
+      END"
+        );
+    }
+    src
+}
+
+#[cfg(test)]
+mod synth_tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_parses_and_scales() {
+        for n in [1, 4, 16] {
+            let src = synthetic_program(n, 100);
+            let p = fortran::parse_program(&src).unwrap();
+            fortran::analyze(&p).unwrap();
+            assert_eq!(p.routines.len(), 1 + 2 * n);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The evaluation workloads: reconstructions of the twelve Perfect-
+//! benchmark loops of Tables 1–2 plus the three Fig. 1 kernels.
+//!
+//! The Perfect Club sources are not redistributable; each kernel here is
+//! rebuilt from the paper's own simplified excerpts (Fig. 1) and the
+//! published descriptions of the loops, preserving the *access and guard
+//! structure* that determines the analysis outcome (see DESIGN.md §3).
+//! Every kernel is a complete, runnable program: scalars are initialized
+//! to concrete workload sizes so the interpreter can execute it, and each
+//! privatization target feeds a shared result array so parallel execution
+//! has observable output.
+
+#![warn(missing_docs)]
+
+mod kernels;
+
+pub use kernels::{fig1_kernels, kernels, synthetic_program, Kernel};
+
+/// Which techniques a loop needs, per Table 1 (`T1` symbolic, `T2` IF
+/// conditions, `T3` interprocedural).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct Needs {
+    /// T1 — symbolic analysis.
+    pub t1: bool,
+    /// T2 — IF-condition analysis.
+    pub t2: bool,
+    /// T3 — interprocedural analysis.
+    pub t3: bool,
+}
+
+impl Needs {
+    /// Shorthand.
+    pub const fn new(t1: bool, t2: bool, t3: bool) -> Needs {
+        Needs { t1, t2, t3 }
+    }
+}

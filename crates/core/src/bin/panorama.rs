@@ -1,0 +1,160 @@
+//! The `panorama` command-line analyzer.
+//!
+//! ```text
+//! panorama [OPTIONS] FILE.f
+//!
+//! OPTIONS:
+//!   --no-symbolic         disable T1 (symbolic analysis)
+//!   --no-if-conditions    disable T2 (IF-condition guards)
+//!   --no-interprocedural  disable T3 (call summarization)
+//!   --forall              enable the ∀-extension (Fig. 1(a) inference)
+//!   --trace               print the backward propagation trace
+//!   --dump-hsg            print the hierarchical supergraph
+//!   --summaries           print per-routine MOD/UE/DE summaries
+//!   --stats               print timing and size statistics
+//! ```
+
+use panorama::{analyze_source, Options};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
+         \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats] FILE.f"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut trace = false;
+    let mut dump_hsg = false;
+    let mut summaries = false;
+    let mut stats = false;
+    let mut file = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-symbolic" => opts.symbolic = false,
+            "--no-if-conditions" => opts.if_conditions = false,
+            "--no-interprocedural" => opts.interprocedural = false,
+            "--forall" => opts.forall_ext = true,
+            "--trace" => {
+                opts.trace = true;
+                trace = true;
+            }
+            "--dump-hsg" => dump_hsg = true,
+            "--summaries" => summaries = true,
+            "--stats" => stats = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    eprintln!("multiple input files");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(path) = file else { usage() };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("panorama: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let analysis = match analyze_source(&src, opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("panorama: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if dump_hsg {
+        println!("=== HSG ===");
+        print!("{}", analysis.hsg);
+        println!();
+    }
+    if trace {
+        println!("=== backward propagation trace ===");
+        for line in &analysis.trace {
+            println!("  {line}");
+        }
+        println!();
+    }
+    if summaries {
+        println!("=== routine summaries ===");
+        for r in &analysis.routines {
+            println!("routine {}:", r.name);
+            for (arr, list) in &r.summary.mods {
+                println!("  MOD[{arr}] = {list}");
+            }
+            for (arr, list) in &r.summary.ues {
+                println!("  UE [{arr}] = {list}");
+            }
+            for (arr, list) in &r.summary.des {
+                println!("  DE [{arr}] = {list}");
+            }
+        }
+        println!();
+    }
+
+    println!("=== loop verdicts ===");
+    for v in &analysis.verdicts {
+        let status = if v.parallel_as_is {
+            "PARALLEL".to_string()
+        } else if v.parallel_after_privatization {
+            let mut what = Vec::new();
+            if !v.privatized.is_empty() {
+                what.push(format!("privatize {:?}", v.privatized));
+            }
+            if !v.private_scalars.is_empty() {
+                what.push(format!("private scalars {:?}", v.private_scalars));
+            }
+            if !v.reductions.is_empty() {
+                what.push(format!("reductions {:?}", v.reductions));
+            }
+            format!("PARALLEL after: {}", what.join(", "))
+        } else {
+            format!("SERIAL: {:?}", v.blockers)
+        };
+        println!("{:<28} {status}", v.id);
+        for a in &v.arrays {
+            if a.flow_dep || a.output_dep || a.anti_dep || a.privatizable {
+                println!(
+                    "    {:<12} flow={} output={} anti={} privatizable={}{}",
+                    a.array,
+                    a.flow_dep,
+                    a.output_dep,
+                    a.anti_dep,
+                    a.privatizable,
+                    if a.needs_copy_out { " (copy-out)" } else { "" }
+                );
+            }
+        }
+    }
+    if !analysis.conventional_parallel.is_empty() {
+        println!(
+            "\n(conventional tests alone already proved parallel: {:?})",
+            analysis.conventional_parallel
+        );
+    }
+    if stats {
+        println!("\n=== statistics ===");
+        println!("total time     : {:?}", analysis.times.total());
+        println!("  parse        : {:?}", analysis.times.parse);
+        println!("  semantic     : {:?}", analysis.times.sema);
+        println!("  hsg          : {:?}", analysis.times.hsg);
+        println!("  conventional : {:?}", analysis.times.conventional);
+        println!("  dataflow     : {:?}", analysis.times.dataflow);
+        println!("hsg nodes      : {}", analysis.hsg.total_nodes());
+        println!("loops analyzed : {}", analysis.stats.loops_analyzed);
+        println!("memory proxy   : {} GAR units", analysis.memory_proxy());
+    }
+    ExitCode::SUCCESS
+}

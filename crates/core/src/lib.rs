@@ -1,0 +1,335 @@
+//! Panorama — the end-to-end analyzer.
+//!
+//! This crate is the reconstruction of the paper's prototyping analyzer:
+//! it drives the whole pipeline — parse → semantic analysis → HSG →
+//! conventional dependence pre-filter → symbolic array dataflow analysis →
+//! privatization/parallelization verdicts — behind one function,
+//! [`analyze_source`].
+//!
+//! ```
+//! use panorama::{analyze_source, Options};
+//!
+//! let src = "
+//!       PROGRAM demo
+//!       REAL w(10), a(100)
+//!       INTEGER i, k
+//!       DO i = 1, 100
+//!         DO k = 1, 10
+//!           w(k) = i * 1.0
+//!         ENDDO
+//!         a(i) = w(5)
+//!       ENDDO
+//!       END
+//! ";
+//! let analysis = analyze_source(src, Options::default()).unwrap();
+//! let v = analysis.verdict("demo", "i").unwrap();
+//! assert!(v.parallel_after_privatization);
+//! assert_eq!(v.privatized, vec!["w".to_string()]);
+//! ```
+//!
+//! The technique toggles of [`Options`] (`symbolic` = T1, `if_conditions`
+//! = T2, `interprocedural` = T3) reproduce Table 1's ablation; the
+//! `forall_ext` flag enables the §5.2/§5.3 future-work extension that
+//! handles Fig. 1(a).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use dataflow::{AnalysisStats, LoopAnalysis, Options, RoutineAnalysis, Summary};
+pub use fortran::{Program, ProgramSema};
+pub use privatize::{ArrayVerdict, Blocker, LoopVerdict};
+
+/// Any front-to-back analysis failure.
+#[derive(Debug)]
+pub enum PanoramaError {
+    /// Lexing/parsing failed.
+    Parse(fortran::ParseError),
+    /// Semantic analysis failed.
+    Sema(fortran::SemaError),
+    /// HSG construction failed.
+    Hsg(hsg::HsgError),
+}
+
+impl fmt::Display for PanoramaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanoramaError::Parse(e) => write!(f, "parse: {e}"),
+            PanoramaError::Sema(e) => write!(f, "semantic: {e}"),
+            PanoramaError::Hsg(e) => write!(f, "hsg: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PanoramaError {}
+
+/// Timing and size statistics of one analysis run — the data behind the
+/// paper's Fig. 4 practicality comparison.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Lexing + parsing.
+    pub parse: Duration,
+    /// Symbol tables + call graph.
+    pub sema: Duration,
+    /// HSG construction.
+    pub hsg: Duration,
+    /// Conventional dependence pre-filter.
+    pub conventional: Duration,
+    /// Array dataflow analysis + verdicts.
+    pub dataflow: Duration,
+}
+
+impl PhaseTimes {
+    /// Everything.
+    pub fn total(&self) -> Duration {
+        self.parse + self.sema + self.hsg + self.conventional + self.dataflow
+    }
+
+    /// The parser-only bar of Fig. 4.
+    pub fn parser_only(&self) -> Duration {
+        self.parse
+    }
+}
+
+/// The complete result of analyzing one source file.
+pub struct Analysis {
+    /// Parsed program.
+    pub program: Program,
+    /// Semantic info.
+    pub sema: ProgramSema,
+    /// The hierarchical supergraph.
+    pub hsg: hsg::Hsg,
+    /// Per-routine summaries.
+    pub routines: Vec<RoutineAnalysis>,
+    /// Per-loop dependence sets.
+    pub loops: Vec<LoopAnalysis>,
+    /// Per-loop verdicts.
+    pub verdicts: Vec<LoopVerdict>,
+    /// Loops the conventional pre-filter already proved parallel.
+    pub conventional_parallel: Vec<String>,
+    /// Engine statistics.
+    pub stats: AnalysisStats,
+    /// Phase timings.
+    pub times: PhaseTimes,
+    /// Backward-propagation trace (with `Options::trace`).
+    pub trace: Vec<String>,
+}
+
+impl Analysis {
+    /// The verdict of the outermost loop with this index variable in the
+    /// routine.
+    pub fn verdict(&self, routine: &str, var: &str) -> Option<&LoopVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.routine == routine && v.var == var)
+            .min_by_key(|v| v.depth)
+    }
+
+    /// The loop analysis matching a verdict.
+    pub fn loop_analysis(&self, routine: &str, var: &str) -> Option<&LoopAnalysis> {
+        self.loops
+            .iter()
+            .filter(|l| l.routine == routine && l.var == var)
+            .min_by_key(|l| l.depth)
+    }
+
+    /// A memory-footprint proxy: total GAR pieces retained across
+    /// summaries plus peak transient state (Fig. 4's memory bars).
+    pub fn memory_proxy(&self) -> usize {
+        self.stats.total_summary_size + self.stats.peak_state_size
+    }
+}
+
+/// Runs the full pipeline on a source string.
+pub fn analyze_source(src: &str, opts: Options) -> Result<Analysis, PanoramaError> {
+    let t0 = Instant::now();
+    let program = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
+    let t_parse = t0.elapsed();
+
+    let t1 = Instant::now();
+    let sema = fortran::analyze(&program).map_err(PanoramaError::Sema)?;
+    let t_sema = t1.elapsed();
+
+    let t2 = Instant::now();
+    let graph = hsg::build_hsg(&program).map_err(PanoramaError::Hsg)?;
+    let t_hsg = t2.elapsed();
+
+    // Conventional pre-filter, as Panorama applies it (§6): loops it
+    // proves parallel don't strictly need the dataflow analysis.
+    let t3 = Instant::now();
+    let mut conventional_parallel = Vec::new();
+    for r in &program.routines {
+        let table = &sema.tables[&r.name];
+        visit_loops(&r.body, &mut |stmt| {
+            if deptest::conventional_loop_test(stmt, table) == deptest::ConvVerdict::Parallel {
+                if let fortran::StmtKind::Do { var, .. } = &stmt.kind {
+                    conventional_parallel.push(format!("{}/{}", r.name, var));
+                }
+            }
+        });
+    }
+    let t_conv = t3.elapsed();
+
+    let t4 = Instant::now();
+    let mut az = dataflow::Analyzer::new(&program, &sema, &graph, opts);
+    let routines = az.run();
+    let verdicts = privatize::judge_all(&az.loops);
+    let t_df = t4.elapsed();
+
+    let (loops, stats, trace) = az.finish();
+    Ok(Analysis {
+        program,
+        sema,
+        hsg: graph,
+        routines,
+        loops,
+        verdicts,
+        conventional_parallel,
+        stats,
+        times: PhaseTimes {
+            parse: t_parse,
+            sema: t_sema,
+            hsg: t_hsg,
+            conventional: t_conv,
+            dataflow: t_df,
+        },
+        trace,
+    })
+}
+
+/// Parses only — the Fig. 4 "parser" baseline.
+pub fn parse_only(src: &str) -> Result<Duration, PanoramaError> {
+    let t0 = Instant::now();
+    let _ = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
+    Ok(t0.elapsed())
+}
+
+/// The Fig. 4 "conventional compiler" proxy: parse + semantic analysis +
+/// HSG + conventional dependence testing + a full code walk (standing in
+/// for classic optimization passes). Returns the elapsed time.
+pub fn conventional_compile_proxy(src: &str) -> Result<Duration, PanoramaError> {
+    let t0 = Instant::now();
+    let program = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
+    let sema = fortran::analyze(&program).map_err(PanoramaError::Sema)?;
+    let _ = hsg::build_hsg(&program).map_err(PanoramaError::Hsg)?;
+    let mut sink = 0usize;
+    for r in &program.routines {
+        let table = &sema.tables[&r.name];
+        visit_loops(&r.body, &mut |stmt| {
+            let _ = deptest::conventional_loop_test(stmt, table);
+        });
+        // A flat code walk approximating codegen-ish passes.
+        count_nodes(&r.body, &mut sink);
+        count_nodes(&r.body, &mut sink);
+    }
+    std::hint::black_box(sink);
+    Ok(t0.elapsed())
+}
+
+fn visit_loops<'a>(body: &'a [fortran::Stmt], f: &mut impl FnMut(&'a fortran::Stmt)) {
+    for s in body {
+        match &s.kind {
+            fortran::StmtKind::Do { body: inner, .. } => {
+                f(s);
+                visit_loops(inner, f);
+            }
+            fortran::StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                visit_loops(then_body, f);
+                visit_loops(else_body, f);
+            }
+            fortran::StmtKind::LogicalIf(_, inner) => {
+                visit_loops(std::slice::from_ref(inner), f)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn count_nodes(body: &[fortran::Stmt], sink: &mut usize) {
+    for s in body {
+        *sink += 1;
+        match &s.kind {
+            fortran::StmtKind::Do { body, .. } => count_nodes(body, sink),
+            fortran::StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                count_nodes(then_body, sink);
+                count_nodes(else_body, sink);
+            }
+            fortran::StmtKind::LogicalIf(_, inner) => {
+                count_nodes(std::slice::from_ref(inner), sink)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_smoke() {
+        let a = analyze_source(
+            "
+      PROGRAM t
+      REAL a(10)
+      INTEGER i
+      DO i = 1, 10
+        a(i) = 1.0
+      ENDDO
+      END
+",
+            Options::default(),
+        )
+        .unwrap();
+        assert_eq!(a.verdicts.len(), 1);
+        assert!(a.verdict("t", "i").unwrap().parallel_as_is);
+        assert!(a.conventional_parallel.contains(&"t/i".to_string()));
+        assert!(a.times.total() > Duration::ZERO);
+        assert!(a.memory_proxy() > 0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(matches!(
+            analyze_source("garbage $$$", Options::default()),
+            Err(PanoramaError::Parse(_))
+        ));
+        assert!(matches!(
+            analyze_source(
+                "      PROGRAM t\n      call nope()\n      END\n",
+                Options::default()
+            ),
+            Err(PanoramaError::Sema(_))
+        ));
+    }
+
+    #[test]
+    fn trace_mode_produces_lines() {
+        let a = analyze_source(
+            "
+      PROGRAM t
+      REAL a(10)
+      INTEGER i
+      DO i = 1, 10
+        a(i) = a(i) + 1.0
+      ENDDO
+      END
+",
+            Options {
+                trace: true,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(!a.trace.is_empty());
+    }
+}

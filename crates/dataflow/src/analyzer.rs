@@ -1,0 +1,1644 @@
+//! The summary propagation engine: `SUM_segment`, `SUM_bb`, `SUM_loop`,
+//! `SUM_call` (§4.1).
+
+use crate::convert::{
+    collect_array_reads, subscripts_region, to_pred, to_sym, ConvertCtx,
+};
+use crate::scalars::{CounterFact, FreshNames, ValueEnv};
+use crate::summary::{ArraySets, Options, Summary};
+use fortran::{Expr as FExpr, LValue, Program, Stmt, StmtKind, SymbolTable};
+use gar::{expand_list, Approx, Gar, GarList, LoopCtx};
+use hsg::{EdgeKind, Hsg, Node, NodeId, Subgraph, SubgraphId};
+use pred::{Atom, Pred};
+use std::collections::{BTreeMap, BTreeSet};
+use sym::Expr;
+
+/// Statistics recorded during an analysis run (Fig. 4's practicality data).
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisStats {
+    /// HSG nodes visited by the backward propagation.
+    pub nodes_processed: usize,
+    /// Loops summarized.
+    pub loops_analyzed: usize,
+    /// Routines summarized.
+    pub routines_analyzed: usize,
+    /// Peak cumulative GAR size alive in per-node states (memory proxy).
+    pub peak_state_size: usize,
+    /// Total GAR pieces created across all summaries (allocation proxy).
+    pub total_summary_size: usize,
+}
+
+/// Result of analyzing one routine.
+#[derive(Clone, Debug)]
+pub struct RoutineAnalysis {
+    /// Routine name.
+    pub name: String,
+    /// The routine-level MOD/UE summary (formal-relative).
+    pub summary: Summary,
+}
+
+/// Everything the privatization/parallelization pass needs about one loop.
+#[derive(Clone, Debug)]
+pub struct LoopAnalysis {
+    /// Enclosing routine.
+    pub routine: String,
+    /// The loop's body subgraph id (a stable identifier).
+    pub subgraph: SubgraphId,
+    /// Loop index variable.
+    pub var: String,
+    /// Nesting depth within the routine (0 = outermost).
+    pub depth: usize,
+    /// Converted loop bounds (`None` = not representable).
+    pub lo: Option<Expr>,
+    /// Upper bound.
+    pub hi: Option<Expr>,
+    /// Constant step.
+    pub step: i64,
+    /// Per-array dependence sets.
+    pub arrays: BTreeMap<String, ArraySets>,
+    /// Scalars read before written in an iteration (loop-carried scalar
+    /// flow dependences unless the scalar is the index).
+    pub scalar_ue: BTreeSet<String>,
+    /// Scalars written in the body.
+    pub scalar_mod: BTreeSet<String>,
+    /// Whether the body has a premature exit (multi-exit loop, §5.4).
+    pub premature_exit: bool,
+    /// Scalars recognized as sum/product reductions (`s = s + e` with no
+    /// other uses or definitions in the body) — parallelizable with a
+    /// reduction transform even though they are upwards exposed.
+    pub reductions: BTreeSet<String>,
+    /// Arrays used below the loop in the same routine (candidates for
+    /// last-value copy-out if privatized).
+    pub live_after: BTreeSet<String>,
+}
+
+impl LoopAnalysis {
+    /// A readable identifier like `interf/do k#3`.
+    pub fn id(&self) -> String {
+        format!("{}/do {}#{}", self.routine, self.var, self.subgraph)
+    }
+}
+
+/// The analysis engine. Construct once per (program, options) pair, then
+/// call [`Analyzer::run`].
+pub struct Analyzer<'a> {
+    program: &'a Program,
+    sema: &'a fortran::ProgramSema,
+    hsg: &'a Hsg,
+    opts: Options,
+    fresh: FreshNames,
+    facts: BTreeMap<String, CounterFact>,
+    /// Memoized context-free routine summaries.
+    routine_summaries: BTreeMap<String, Summary>,
+    /// All loop analyses, in post-order of discovery.
+    pub loops: Vec<LoopAnalysis>,
+    /// Statistics.
+    pub stats: AnalysisStats,
+    /// Backward-propagation trace lines (when `opts.trace`).
+    pub trace: Vec<String>,
+}
+
+/// Per-node state during backward propagation.
+#[derive(Clone, Debug, Default)]
+struct State {
+    mods: BTreeMap<String, GarList>,
+    ues: BTreeMap<String, GarList>,
+    scalar_ue: BTreeSet<String>,
+}
+
+impl State {
+    fn size(&self) -> usize {
+        self.mods.values().map(GarList::size).sum::<usize>()
+            + self.ues.values().map(GarList::size).sum::<usize>()
+    }
+
+    fn guarded_by(&self, p: &Pred) -> State {
+        State {
+            mods: self
+                .mods
+                .iter()
+                .map(|(k, v)| (k.clone(), v.guarded_by(p)))
+                .collect(),
+            ues: self
+                .ues
+                .iter()
+                .map(|(k, v)| (k.clone(), v.guarded_by(p)))
+                .collect(),
+            scalar_ue: self.scalar_ue.clone(),
+        }
+    }
+
+    fn union(mut self, other: &State) -> State {
+        for (k, v) in &other.mods {
+            let e = self.mods.entry(k.clone()).or_default();
+            *e = e.union(v);
+        }
+        for (k, v) in &other.ues {
+            let e = self.ues.entry(k.clone()).or_default();
+            *e = e.union(v);
+        }
+        self.scalar_ue.extend(other.scalar_ue.iter().cloned());
+        self
+    }
+
+    fn mark_over(self) -> State {
+        State {
+            mods: self
+                .mods
+                .into_iter()
+                .map(|(k, v)| (k.clone_into_key(), v.mark_over()))
+                .collect(),
+            ues: self
+                .ues
+                .into_iter()
+                .map(|(k, v)| (k.clone_into_key(), v.mark_over()))
+                .collect(),
+            scalar_ue: self.scalar_ue,
+        }
+    }
+}
+
+// small helper so the map re-collect above reads cleanly
+trait CloneIntoKey {
+    fn clone_into_key(self) -> String;
+}
+impl CloneIntoKey for String {
+    fn clone_into_key(self) -> String {
+        self
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// Creates an analyzer.
+    pub fn new(
+        program: &'a Program,
+        sema: &'a fortran::ProgramSema,
+        hsg: &'a Hsg,
+        opts: Options,
+    ) -> Self {
+        Analyzer {
+            program,
+            sema,
+            hsg,
+            opts,
+            fresh: FreshNames::default(),
+            facts: BTreeMap::new(),
+            routine_summaries: BTreeMap::new(),
+            loops: Vec::new(),
+            stats: AnalysisStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Runs the analysis over every routine, callees first.
+    pub fn run(&mut self) -> Vec<RoutineAnalysis> {
+        let order = self.sema.bottom_up.clone();
+        let mut out = Vec::new();
+        for name in order {
+            let summary = self.summarize_routine(&name);
+            out.push(RoutineAnalysis {
+                name: name.clone(),
+                summary,
+            });
+        }
+        out
+    }
+
+    /// Consumes the analyzer, returning the loop analyses, statistics and
+    /// trace.
+    pub fn finish(self) -> (Vec<LoopAnalysis>, AnalysisStats, Vec<String>) {
+        (self.loops, self.stats, self.trace)
+    }
+
+    /// The memoized context-free summary of a routine.
+    pub fn summarize_routine(&mut self, name: &str) -> Summary {
+        if let Some(s) = self.routine_summaries.get(name) {
+            return s.clone();
+        }
+        let sg = *self
+            .hsg
+            .routines
+            .get(name)
+            .unwrap_or_else(|| panic!("routine {name} not in HSG"));
+        let table = &self.sema.tables[name];
+        let loop_vars = BTreeSet::new();
+        let summary = self.sum_segment(sg, name, table, ValueEnv::identity(), &loop_vars, 0);
+        self.stats.routines_analyzed += 1;
+        self.stats.total_summary_size += summary.size();
+        self.routine_summaries
+            .insert(name.to_string(), summary.clone());
+        summary
+    }
+
+    /// `SUM_segment`: summarizes one flow subgraph under an entry value
+    /// environment.
+    fn sum_segment(
+        &mut self,
+        sg_id: SubgraphId,
+        routine: &str,
+        table: &SymbolTable,
+        env_in: ValueEnv,
+        loop_vars: &BTreeSet<String>,
+        depth: usize,
+    ) -> Summary {
+        let g = &self.hsg.subgraphs[sg_id];
+        let n = g.nodes.len();
+
+        // ---- forward pass: value environments + per-node summaries ----
+        let mut env_out: Vec<Option<ValueEnv>> = vec![None; n];
+        let mut node_sum: Vec<Summary> = vec![Summary::new(); n];
+        let mut cond_pred: Vec<Option<Pred>> = vec![None; n];
+        let mut node_must_scalar: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+        // loop-node summaries feed the live_after computation later
+        let mut loop_of_node: Vec<Option<usize>> = vec![None; n];
+
+        for &nid in &g.topo.clone() {
+            // Entry env: join of predecessors' outputs.
+            let mut env = if nid == g.entry {
+                env_in.clone()
+            } else {
+                let mut acc: Option<ValueEnv> = None;
+                for &p in &g.preds[nid] {
+                    if let Some(pe) = &env_out[p] {
+                        acc = Some(match acc {
+                            None => pe.clone(),
+                            Some(a) => a.join(pe, &mut self.fresh),
+                        });
+                    }
+                }
+                acc.unwrap_or_else(|| env_in.clone())
+            };
+
+            match &g.nodes[nid].clone() {
+                Node::Entry | Node::Exit => {}
+                Node::Block(stmts) => {
+                    let (sum, must) =
+                        self.sum_bb(stmts, routine, table, &mut env, loop_vars);
+                    node_must_scalar[nid] = must;
+                    node_sum[nid] = sum;
+                }
+                Node::IfCond(c) => {
+                    let ctx = self.ctx(table, &env, loop_vars);
+                    let mut sum = Summary::new();
+                    for (arr, region) in collect_array_reads(c, &ctx) {
+                        let use_list = GarList::single(Gar::new(Pred::tru(), region));
+                        sum.add_de(arr.as_str(), use_list.clone());
+                        sum.add_ue(arr.as_str(), use_list);
+                    }
+                    for s in scalar_reads(c, table) {
+                        sum.scalar_ue.insert(s);
+                    }
+                    cond_pred[nid] = if self.opts.if_conditions {
+                        to_pred(c, &ctx)
+                    } else {
+                        None
+                    };
+                    node_sum[nid] = sum;
+                }
+                Node::Call { name, args } => {
+                    let sum = self.sum_call(name, args, routine, table, &mut env, loop_vars);
+                    node_must_scalar[nid] = sum.scalar_must_mod.clone();
+                    node_sum[nid] = sum;
+                }
+                Node::Loop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    let (sum, idx) = self.sum_loop(
+                        *body, var, lo, hi, step.as_ref(), routine, table, &mut env, loop_vars,
+                        depth,
+                    );
+                    loop_of_node[nid] = idx;
+                    node_must_scalar[nid] = sum.scalar_must_mod.clone();
+                    node_sum[nid] = sum;
+                }
+                Node::Condensed(members) => {
+                    let sum = self.sum_condensed(members, table, &mut env, loop_vars);
+                    node_sum[nid] = sum;
+                }
+            }
+            env_out[nid] = Some(env);
+        }
+
+        // ---- backward pass: mod_in / ue_in ----
+        let mut state: Vec<Option<State>> = vec![None; n];
+        for &nid in g.topo.clone().iter().rev() {
+            self.stats.nodes_processed += 1;
+            let merged = self.merge_succs(g, nid, &cond_pred, &state);
+
+            // Guard invalidation: conditions depending on an array's
+            // values go stale above a node that writes the array.
+            let mut merged = merged;
+            for (arr, mods) in &node_sum[nid].mods {
+                if !mods.is_empty() {
+                    merged = State {
+                        mods: merged
+                            .mods
+                            .iter()
+                            .map(|(k, v)| (k.clone(), forget_guard_dep(v, arr)))
+                            .collect(),
+                        ues: merged
+                            .ues
+                            .iter()
+                            .map(|(k, v)| (k.clone(), forget_guard_dep(v, arr)))
+                            .collect(),
+                        scalar_ue: merged.scalar_ue,
+                    };
+                }
+            }
+
+            // Transfer: mod_in = mod(n) ∪ merged_mod;
+            //           ue_in = ue(n) ∪ (merged_ue − mod(n)).
+            let ns = &node_sum[nid];
+            let mut st = State::default();
+            for (arr, list) in &ns.mods {
+                st.mods.insert(arr.clone(), list.clone());
+            }
+            for (arr, list) in &merged.mods {
+                let e = st.mods.entry(arr.clone()).or_default();
+                *e = e.union(list);
+            }
+            for (arr, list) in &merged.ues {
+                let killed = match ns.mods.get(arr) {
+                    Some(m) => list.subtract(m),
+                    None => list.clone(),
+                };
+                if !killed.is_empty() {
+                    let e = st.ues.entry(arr.clone()).or_default();
+                    *e = e.union(&killed);
+                }
+            }
+            for (arr, list) in &ns.ues {
+                let e = st.ues.entry(arr.clone()).or_default();
+                *e = e.union(list);
+            }
+            st.scalar_ue = ns.scalar_ue.clone();
+            for s in &merged.scalar_ue {
+                if !node_must_scalar[nid].contains(s) {
+                    st.scalar_ue.insert(s.clone());
+                }
+            }
+
+            if self.opts.trace {
+                self.trace_node(routine, sg_id, nid, g, &st);
+            }
+            // live_after for loops: arrays upward-exposed just below.
+            if let Some(li) = loop_of_node[nid] {
+                let below = self.merge_succs(g, nid, &cond_pred, &state);
+                self.loops[li].live_after =
+                    below.ues.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| k.clone()).collect();
+            }
+
+            self.stats.peak_state_size = self
+                .stats
+                .peak_state_size
+                .max(state.iter().flatten().map(State::size).sum::<usize>() + st.size());
+            state[nid] = Some(st);
+        }
+
+        // ---- forward pass: downwards-exposed uses (DE) ----
+        // de_out(n) = de(n)·reach(n) ∪ (merge(de_out(preds), edge guards)
+        //             − mod(n)), where reach(n) is the disjunction of path
+        // conditions from the entry — so uses born inside a branch carry
+        // the branch condition.
+        let edge_guard = |p: NodeId, kind: EdgeKind, facts: &BTreeMap<String, CounterFact>| {
+            match (&cond_pred[p], kind) {
+                (Some(c), EdgeKind::True) if self.opts.if_conditions => {
+                    Some(crate::convert::apply_counter_facts(c.clone(), facts))
+                }
+                (Some(c), EdgeKind::False) if self.opts.if_conditions => {
+                    Some(crate::convert::apply_counter_facts(c.not(), facts))
+                }
+                (None, EdgeKind::True | EdgeKind::False) => Some(Pred::unknown()),
+                _ => None,
+            }
+        };
+        let mut reach: Vec<Pred> = vec![Pred::fals(); n];
+        for &nid in &g.topo.clone() {
+            if nid == g.entry {
+                reach[nid] = Pred::tru();
+                continue;
+            }
+            let mut acc = Pred::fals();
+            for &p in &g.preds[nid] {
+                let kinds: Vec<EdgeKind> = g.succs[p]
+                    .iter()
+                    .filter(|&&(t, _)| t == nid)
+                    .map(|&(_, k)| k)
+                    .collect();
+                for kind in kinds {
+                    let piece = match edge_guard(p, kind, &self.facts) {
+                        Some(c) => reach[p].and(&c),
+                        None => reach[p].clone(),
+                    };
+                    acc = acc.or(&piece);
+                }
+            }
+            reach[nid] = acc;
+        }
+        let mut de_state: Vec<Option<BTreeMap<String, GarList>>> = vec![None; n];
+        for &nid in &g.topo.clone() {
+            let mut incoming: BTreeMap<String, GarList> = BTreeMap::new();
+            for &p in &g.preds[nid] {
+                let Some(ps) = de_state[p].clone() else {
+                    continue;
+                };
+                // Edge guards from IF-condition predecessors.
+                let kinds: Vec<EdgeKind> = g.succs[p]
+                    .iter()
+                    .filter(|&&(t, _)| t == nid)
+                    .map(|&(_, k)| k)
+                    .collect();
+                for kind in kinds {
+                    let guard = edge_guard(p, kind, &self.facts);
+                    for (arr, list) in &ps {
+                        let piece = match &guard {
+                            Some(p) => list.guarded_by(p),
+                            None => list.clone(),
+                        };
+                        let e = incoming.entry(arr.clone()).or_default();
+                        *e = e.union(&piece);
+                    }
+                }
+            }
+            let ns = &node_sum[nid];
+            // Stale-guard invalidation for arrays this node writes.
+            for (arr, mods) in &ns.mods {
+                if !mods.is_empty() {
+                    for list in incoming.values_mut() {
+                        *list = forget_guard_dep(list, arr);
+                    }
+                }
+            }
+            let mut out: BTreeMap<String, GarList> = BTreeMap::new();
+            for (arr, list) in incoming {
+                let killed = match ns.mods.get(&arr) {
+                    Some(m) => list.subtract(m),
+                    None => list,
+                };
+                if !killed.is_empty() {
+                    out.insert(arr, killed);
+                }
+            }
+            for (arr, list) in &ns.des {
+                let e = out.entry(arr.clone()).or_default();
+                *e = e.union(&list.guarded_by(&reach[nid]));
+            }
+            de_state[nid] = Some(out);
+        }
+
+        let entry_state = state[g.entry].take().unwrap_or_default();
+        let mut summary = Summary::new();
+        for (arr, list) in entry_state.mods {
+            if !list.is_empty() {
+                summary.mods.insert(arr, list);
+            }
+        }
+        for (arr, list) in entry_state.ues {
+            if !list.is_empty() {
+                summary.ues.insert(arr, list);
+            }
+        }
+        if let Some(exit_de) = de_state[g.exit].take() {
+            for (arr, list) in exit_de {
+                if !list.is_empty() {
+                    summary.des.insert(arr, list);
+                }
+            }
+        }
+        summary.scalar_ue = entry_state.scalar_ue;
+        // Scalar may/must mods: from per-node info over the whole graph
+        // (may = union everywhere, must = nodes on every path — we use the
+        // conservative union/entry-block approximation).
+        for ns in &node_sum {
+            summary
+                .scalar_may_mod
+                .extend(ns.scalar_may_mod.iter().cloned());
+        }
+        summary.scalar_must_mod = must_scalar_mods(g, &node_must_scalar);
+        summary
+    }
+
+    /// Successor-state merge for one node, applying IF-condition guards.
+    fn merge_succs(
+        &mut self,
+        g: &Subgraph,
+        nid: NodeId,
+        cond_pred: &[Option<Pred>],
+        state: &[Option<State>],
+    ) -> State {
+        let succs = &g.succs[nid];
+        if succs.is_empty() {
+            return State::default();
+        }
+        let get = |id: NodeId| state[id].clone().unwrap_or_default();
+        if matches!(g.nodes[nid], Node::IfCond(_)) {
+            let (t, f) = g.branch_succs(nid);
+            let ts = t.map(&get).unwrap_or_default();
+            let fs = f.map(&get).unwrap_or_default();
+            match &cond_pred[nid] {
+                Some(p) if self.opts.if_conditions => {
+                    // Counter facts rewrite `cnt = 0` clauses that only
+                    // appear after negation (∀-extension).
+                    let pp = crate::convert::apply_counter_facts(p.clone(), &self.facts);
+                    let np = crate::convert::apply_counter_facts(p.not(), &self.facts);
+                    ts.guarded_by(&pp).union(&fs.guarded_by(&np))
+                }
+                _ => {
+                    // Conservative merge: may = union (demoted), plus the
+                    // must part = intersection of the two branches' MODs.
+                    let mut merged = ts.clone().union(&fs).mark_over();
+                    let arrays: BTreeSet<&String> =
+                        ts.mods.keys().chain(fs.mods.keys()).collect();
+                    for arr in arrays {
+                        if let (Some(a), Some(b)) = (ts.mods.get(arr), fs.mods.get(arr)) {
+                            let both = a.intersect(b);
+                            if !both.is_empty() {
+                                let e = merged.mods.entry(arr.clone()).or_default();
+                                *e = e.union(&both);
+                            }
+                        }
+                    }
+                    merged
+                }
+            }
+        } else if succs.len() == 1 {
+            get(succs[0].0)
+        } else {
+            // Multiple unconditional successors (condensed regions):
+            // conservative union.
+            let mut acc = State::default();
+            for &(s, _) in succs {
+                acc = acc.union(&get(s));
+            }
+            acc.mark_over()
+        }
+    }
+
+    /// `SUM_bb` (§4.1): forward walk over a basic block.
+    fn sum_bb(
+        &mut self,
+        stmts: &[Stmt],
+        _routine: &str,
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+        loop_vars: &BTreeSet<String>,
+    ) -> (Summary, BTreeSet<String>) {
+        let mut sum = Summary::new();
+        let mut mods_so_far: BTreeMap<String, GarList> = BTreeMap::new();
+        let mut scalar_defed: BTreeSet<String> = BTreeSet::new();
+        // (reads, array write) per statement, recorded for the DE sweep.
+        #[allow(clippy::type_complexity)]
+        let mut record: Vec<(Vec<(String, region::Region)>, Option<(String, region::Region)>)> =
+            Vec::new();
+
+        for s in stmts {
+            let StmtKind::Assign(lhs, rhs) = &s.kind else {
+                continue; // CONTINUE etc.
+            };
+            // Uses: arrays read by rhs and by lhs subscripts.
+            let mut stmt_reads = Vec::new();
+            {
+                let ctx = self.ctx(table, env, loop_vars);
+                let mut reads = collect_array_reads(rhs, &ctx);
+                if let LValue::Element(_, subs) = lhs {
+                    for sub in subs {
+                        reads.extend(collect_array_reads(sub, &ctx));
+                    }
+                }
+                for (arr, region) in reads {
+                    let mut ue = GarList::single(Gar::new(Pred::tru(), region.clone()));
+                    if let Some(killed) = mods_so_far.get(&arr) {
+                        ue = ue.subtract(killed);
+                    }
+                    sum.add_ue(&arr, ue);
+                    stmt_reads.push((arr, region));
+                }
+            }
+            // Scalar uses.
+            let mut used = scalar_reads(rhs, table);
+            if let LValue::Element(_, subs) = lhs {
+                for sub in subs {
+                    used.extend(scalar_reads(sub, table));
+                }
+            }
+            for u in used {
+                if !scalar_defed.contains(&u) {
+                    sum.scalar_ue.insert(u);
+                }
+            }
+            // Defs.
+            let mut stmt_write = None;
+            match lhs {
+                LValue::Element(arr, subs) => {
+                    let ctx = self.ctx(table, env, loop_vars);
+                    let region = subscripts_region(subs, &ctx);
+                    let gar = Gar::new(Pred::tru(), region.clone());
+                    sum.add_mod(arr, GarList::single(gar.clone()));
+                    let e = mods_so_far.entry(arr.clone()).or_default();
+                    *e = e.union_gar(gar);
+                    stmt_write = Some((arr.clone(), region));
+                }
+                LValue::Var(v) => {
+                    let value = {
+                        let ctx = self.ctx(table, env, loop_vars);
+                        if table.scalar_ty(v) == Some(fortran::Ty::Integer) {
+                            to_sym(rhs, &ctx)
+                        } else {
+                            None
+                        }
+                    };
+                    match value {
+                        Some(val) => env.set_int(v, val),
+                        None => env.clobber(v, &mut self.fresh),
+                    }
+                    scalar_defed.insert(v.clone());
+                    sum.scalar_may_mod.insert(v.clone());
+                    sum.scalar_must_mod.insert(v.clone());
+                }
+            }
+            record.push((stmt_reads, stmt_write));
+        }
+        // Downwards-exposed uses: a reverse sweep over the recorded
+        // reads/writes, subtracting the mods that come *after* each read.
+        {
+            let mut mods_after: BTreeMap<String, GarList> = BTreeMap::new();
+            for (reads, write) in record.iter().rev() {
+                if let Some((arr, region)) = write {
+                    let e = mods_after.entry(arr.clone()).or_default();
+                    *e = e.union_gar(Gar::new(Pred::tru(), region.clone()));
+                }
+                for (arr, region) in reads {
+                    let mut de = GarList::single(Gar::new(Pred::tru(), region.clone()));
+                    if let Some(killers) = mods_after.get(arr) {
+                        de = de.subtract(killers);
+                    }
+                    sum.add_de(arr, de);
+                }
+            }
+        }
+        let must = sum.scalar_must_mod.clone();
+        (sum, must)
+    }
+
+    /// `SUM_call` (§4.1): instantiate the callee's summary at a call site.
+    #[allow(clippy::too_many_arguments)]
+    fn sum_call(
+        &mut self,
+        callee: &str,
+        args: &[FExpr],
+        _routine: &str,
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+        loop_vars: &BTreeSet<String>,
+    ) -> Summary {
+        // Reads performed by evaluating the actual argument expressions.
+        let mut sum = Summary::new();
+        {
+            let ctx = self.ctx(table, env, loop_vars);
+            for a in args {
+                // A bare array name is passed by reference, not read here.
+                if let FExpr::Var(_) = a {
+                    // scalar by reference: neither read nor written yet
+                    continue;
+                }
+                for (arr, region) in collect_array_reads(a, &ctx) {
+                    let use_list = GarList::single(Gar::new(Pred::tru(), region));
+                    sum.add_de(&arr, use_list.clone());
+                    sum.add_ue(&arr, use_list);
+                }
+                for s in scalar_reads(a, table) {
+                    sum.scalar_ue.insert(s);
+                }
+            }
+        }
+
+        if !self.opts.interprocedural {
+            // Conservative: the call may read and write every array it can
+            // reach — array actuals and COMMON arrays.
+            let mut clobbered: BTreeSet<String> = BTreeSet::new();
+            for a in args {
+                match a {
+                    FExpr::Var(n) | FExpr::Index(n, _) if table.is_array(n) => {
+                        clobbered.insert(n.clone());
+                    }
+                    FExpr::Var(n) => {
+                        env.clobber(n, &mut self.fresh);
+                        sum.scalar_may_mod.insert(n.clone());
+                        sum.scalar_ue.insert(n.clone());
+                    }
+                    _ => {}
+                }
+            }
+            for (name, kind) in table.iter() {
+                if let fortran::SymbolKind::Array(info) = kind {
+                    if info.common.is_some() {
+                        clobbered.insert(name.to_string());
+                    }
+                }
+            }
+            for arr in clobbered {
+                let rank = table.array(&arr).map(|a| a.rank()).unwrap_or(1);
+                sum.add_mod(&arr, GarList::single(Gar::unknown(rank)));
+                sum.add_ue(&arr, GarList::single(Gar::unknown(rank)));
+                sum.add_de(&arr, GarList::single(Gar::unknown(rank)));
+            }
+            // COMMON scalars may change too.
+            let commons: Vec<String> = table
+                .iter()
+                .filter(|(n, _)| table.common_block(n).is_some() && !table.is_array(n))
+                .map(|(n, _)| n.to_string())
+                .collect();
+            for s in commons {
+                env.clobber(&s, &mut self.fresh);
+                sum.scalar_may_mod.insert(s);
+            }
+            return sum;
+        }
+
+        let callee_summary = self.summarize_routine(callee);
+        let callee_routine = self.program.routine(callee).expect("callee exists");
+        let callee_table = self.sema.tables[callee].clone();
+
+        // Freshen callee-internal synthetic names so two call sites never
+        // correlate callee-private unknowns.
+        let callee_summary = self.freshen_synthetics(callee_summary);
+
+        // Build the substitution plan.
+        let mut array_map: BTreeMap<String, Option<String>> = BTreeMap::new(); // formal → actual array (None = clobber)
+        let mut scalar_subst: Vec<(String, Expr)> = Vec::new();
+        for (k, formal) in callee_routine.params.iter().enumerate() {
+            let actual = &args[k];
+            if callee_table.is_array(formal) {
+                match actual {
+                    FExpr::Var(a) if table.is_array(a) => {
+                        array_map.insert(formal.clone(), Some(a.clone()));
+                    }
+                    FExpr::Index(a, _) if table.is_array(a) => {
+                        // Slice/base-offset passing: conservative.
+                        array_map.insert(formal.clone(), None);
+                        let rank = table.array(a).map(|x| x.rank()).unwrap_or(1);
+                        sum.add_mod(a, GarList::single(Gar::unknown(rank)));
+                        sum.add_ue(a, GarList::single(Gar::unknown(rank)));
+                    }
+                    _ => {
+                        array_map.insert(formal.clone(), None);
+                    }
+                }
+            } else {
+                let ctx = self.ctx(table, env, loop_vars);
+                let value = match to_sym(actual, &ctx) {
+                    Some(v) => v,
+                    None => match actual {
+                        // Opaque scalar: its version name correlates uses.
+                        FExpr::Var(v) => Expr::var(env.version(v)),
+                        _ => Expr::var(self.fresh.next(formal)),
+                    },
+                };
+                scalar_subst.push((formal.clone(), value));
+            }
+        }
+
+        // Map array summaries (0 = MOD, 1 = UE, 2 = DE).
+        for (src_map, kind) in [
+            (&callee_summary.mods, 0u8),
+            (&callee_summary.ues, 1),
+            (&callee_summary.des, 2),
+        ] {
+            for (arr, list) in src_map {
+                let (target, target_rank) = match array_map.get(arr) {
+                    Some(Some(actual)) => {
+                        let r = table.array(actual).map(|x| x.rank());
+                        (actual.clone(), r)
+                    }
+                    Some(None) => continue, // already clobbered above
+                    None => {
+                        // Not a formal: a COMMON (or otherwise global)
+                        // array — keep its name.
+                        (arr.clone(), table.array(arr).map(|x| x.rank()))
+                    }
+                };
+                let callee_rank = list.gars().first().map(|g| g.rank());
+                let mut mapped = substitute_many(list, &scalar_subst, &mut self.fresh);
+                if let (Some(cr), Some(tr)) = (callee_rank, target_rank) {
+                    if cr != tr {
+                        // Reshaped across the call: conservative.
+                        mapped = GarList::single(Gar::unknown(tr));
+                    }
+                }
+                match kind {
+                    0 => sum.add_mod(&target, mapped),
+                    1 => sum.add_ue(&target, mapped),
+                    _ => sum.add_de(&target, mapped),
+                }
+            }
+        }
+
+        // Scalar effects.
+        for s in &callee_summary.scalar_may_mod {
+            // A modified formal scalar writes through to a Var actual.
+            if let Some(k) = callee_routine.params.iter().position(|p| p == s) {
+                if let FExpr::Var(v) = &args[k] {
+                    env.clobber(v, &mut self.fresh);
+                    sum.scalar_may_mod.insert(v.clone());
+                    if callee_summary.scalar_must_mod.contains(s) {
+                        sum.scalar_must_mod.insert(v.clone());
+                    }
+                }
+            } else if callee_table.common_block(s).is_some() {
+                env.clobber(s, &mut self.fresh);
+                sum.scalar_may_mod.insert(s.clone());
+            }
+        }
+        for s in &callee_summary.scalar_ue {
+            if let Some(k) = callee_routine.params.iter().position(|p| p == s) {
+                for u in scalar_reads(&args[k], table) {
+                    sum.scalar_ue.insert(u);
+                }
+            } else if callee_table.common_block(s).is_some() {
+                sum.scalar_ue.insert(s.clone());
+            }
+        }
+        sum
+    }
+
+    /// `SUM_loop` (§4.1): summarize a DO loop via body summary + expansion,
+    /// and record the per-loop sets for privatization.
+    #[allow(clippy::too_many_arguments)]
+    fn sum_loop(
+        &mut self,
+        body_sg: SubgraphId,
+        var: &str,
+        lo: &FExpr,
+        hi: &FExpr,
+        step: Option<&FExpr>,
+        routine: &str,
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+        loop_vars: &BTreeSet<String>,
+        depth: usize,
+    ) -> (Summary, Option<usize>) {
+        self.stats.loops_analyzed += 1;
+        // Bounds in the enclosing frame.
+        let ctx = self.ctx(table, env, loop_vars);
+        let lo_sym = to_sym(lo, &ctx);
+        let hi_sym = to_sym(hi, &ctx);
+        let step_const = match step {
+            None => Some(1i64),
+            Some(s) => to_sym(s, &ctx).and_then(|e| e.as_const()).filter(|&c| c != 0),
+        };
+        // Scalars assigned anywhere inside (incl. nested calls).
+        let assigned = self.scalars_assigned(body_sg, table);
+
+        // Body environment: enclosing env with body-modified scalars
+        // clobbered (their iteration-entry values are unknown) and the
+        // index mapped to its own name.
+        let mut body_env = env.clone();
+        for s in &assigned {
+            body_env.clobber(s, &mut self.fresh);
+        }
+        body_env.set_int(var, Expr::var(var));
+        let mut body_loop_vars = loop_vars.clone();
+        body_loop_vars.insert(var.to_string());
+
+        let body = self.sum_segment(body_sg, routine, table, body_env, &body_loop_vars, depth + 1);
+        let premature = self.hsg.subgraphs[body_sg].premature_exit;
+
+        // §5.4: with premature exits, loop-variant components go unknown.
+        let sanitize = |list: &GarList| -> GarList {
+            if !premature {
+                return list.clone();
+            }
+            GarList::from_gars(list.gars().iter().map(|g| {
+                if g.contains_var(var) {
+                    Gar::with_approx(
+                        g.guard.forget_var(var),
+                        g.region.forget_var(var),
+                        Approx::Over,
+                    )
+                } else {
+                    g.clone()
+                }
+            }))
+        };
+
+        // Counter-pattern detection (∀-extension).
+        let counters = if self.opts.forall_ext && !premature {
+            self.detect_counters(body_sg, var, table, env, loop_vars, &assigned)
+        } else {
+            BTreeMap::new()
+        };
+
+        let mut loop_sum = Summary::new();
+        let mut sets: BTreeMap<String, ArraySets> = BTreeMap::new();
+
+        match (&lo_sym, &hi_sym, step_const) {
+            (Some(lo_e), Some(hi_e), Some(step_c)) => {
+                // Normalize negative steps: same iteration set ascending.
+                let (lo_e, hi_e, step_c) = if step_c > 0 {
+                    (lo_e.clone(), hi_e.clone(), step_c)
+                } else {
+                    match (lo_e.as_const(), hi_e.as_const()) {
+                        (Some(l), Some(h)) => {
+                            let s = -step_c;
+                            let count = if h <= l { (l - h) / s } else { -1 };
+                            let first = l - count.max(0) * s;
+                            (Expr::from(first), Expr::from(l), s)
+                        }
+                        _ => {
+                            // Symbolic descending loop: conservative.
+                            (hi_e.clone(), lo_e.clone(), -step_c)
+                        }
+                    }
+                };
+                let step_e = Expr::from(step_c);
+                let k = self.fresh.next(var);
+
+                for arr in body.arrays() {
+                    let mod_i = sanitize(&body.mod_of(&arr));
+                    let ue_i = sanitize(&body.ue_of(&arr));
+                    let de_i = sanitize(&body.de_of(&arr));
+
+                    // MOD_<i: rename i→k, expand k over [lo, i - step].
+                    let mod_k = rename_var(&mod_i, var, k.as_str());
+                    let mut ctx_lt = LoopCtx::new(
+                        k.as_str().to_string(),
+                        lo_e.clone(),
+                        Expr::var(var) - step_e.clone(),
+                    );
+                    ctx_lt.step = step_c;
+                    ctx_lt.forall_ext = self.opts.forall_ext;
+                    let mod_lt = expand_list(&mod_k, &ctx_lt);
+
+                    // MOD_>i.
+                    let mut ctx_gt = LoopCtx::new(
+                        k.as_str().to_string(),
+                        Expr::var(var) + step_e.clone(),
+                        hi_e.clone(),
+                    );
+                    ctx_gt.step = step_c;
+                    ctx_gt.forall_ext = self.opts.forall_ext;
+                    let mod_gt = expand_list(&mod_k, &ctx_gt);
+
+                    // Loop-level UE and MOD.
+                    let ue_out = ue_i.subtract(&mod_lt);
+                    let mut ctx_all = LoopCtx::new(var.to_string(), lo_e.clone(), hi_e.clone());
+                    ctx_all.step = step_c;
+                    ctx_all.forall_ext = self.opts.forall_ext;
+                    let ue_loop = expand_list(&ue_out, &ctx_all);
+                    let mod_loop = expand_list(&mod_i, &ctx_all);
+                    // Loop-level DE: uses of iteration i still exposed at
+                    // the loop's end — not overwritten by later iterations.
+                    let de_out = de_i.subtract(&mod_gt);
+                    let de_loop = expand_list(&de_out, &ctx_all);
+
+                    loop_sum.add_mod(&arr, mod_loop);
+                    loop_sum.add_ue(&arr, ue_loop);
+                    loop_sum.add_de(&arr, de_loop);
+                    sets.insert(
+                        arr.clone(),
+                        ArraySets {
+                            mod_i,
+                            ue_i,
+                            de_i,
+                            mod_lt,
+                            mod_gt,
+                        },
+                    );
+                }
+            }
+            _ => {
+                // Bounds not representable: forget the index everywhere.
+                for arr in body.arrays() {
+                    let m = GarList::from_gars(
+                        sanitize(&body.mod_of(&arr))
+                            .gars()
+                            .iter()
+                            .map(|g| {
+                                Gar::with_approx(
+                                    g.guard.forget_var(var),
+                                    g.region.forget_var(var),
+                                    Approx::Over,
+                                )
+                            }),
+                    );
+                    let u = GarList::from_gars(
+                        sanitize(&body.ue_of(&arr))
+                            .gars()
+                            .iter()
+                            .map(|g| {
+                                Gar::with_approx(
+                                    g.guard.forget_var(var),
+                                    g.region.forget_var(var),
+                                    Approx::Over,
+                                )
+                            }),
+                    );
+                    let d = GarList::from_gars(
+                        sanitize(&body.de_of(&arr))
+                            .gars()
+                            .iter()
+                            .map(|g| {
+                                Gar::with_approx(
+                                    g.guard.forget_var(var),
+                                    g.region.forget_var(var),
+                                    Approx::Over,
+                                )
+                            }),
+                    );
+                    loop_sum.add_mod(&arr, m);
+                    loop_sum.add_ue(&arr, u);
+                    loop_sum.add_de(&arr, d);
+                    sets.insert(
+                        arr.clone(),
+                        ArraySets {
+                            mod_i: body.mod_of(&arr),
+                            ue_i: body.ue_of(&arr),
+                            de_i: body.de_of(&arr),
+                            mod_lt: GarList::single(Gar::unknown(
+                                body.mod_of(&arr).gars().first().map(|g| g.rank()).unwrap_or(1),
+                            )),
+                            mod_gt: GarList::single(Gar::unknown(
+                                body.mod_of(&arr).gars().first().map(|g| g.rank()).unwrap_or(1),
+                            )),
+                        },
+                    );
+                }
+            }
+        }
+
+        // Scalar effects at the enclosing level.
+        for s in &assigned {
+            if counters.contains_key(s) {
+                continue;
+            }
+            env.clobber(s, &mut self.fresh);
+            loop_sum.scalar_may_mod.insert(s.clone());
+        }
+        for (scalar, fact) in counters {
+            // v_after = v_before + cnt, with cnt = 0 ⟺ the condition never
+            // held across the iteration range. The recorded lo/hi carry the
+            // condition's *index expression*; instantiate them at the loop
+            // ends (coefficient of the index is 1, so monotone).
+            match (&lo_sym, &hi_sym, step_const) {
+                (Some(lo_e), Some(hi_e), Some(1)) => {
+                    let cnt = self.fresh.next(&format!("{scalar}.cnt"));
+                    let before = env.int_value(&scalar);
+                    env.set_int(&scalar, before + Expr::var(cnt.clone()));
+                    let registered = CounterFact {
+                        lo: fact.lo.subst_var(var, lo_e),
+                        hi: fact.hi.subst_var(var, hi_e),
+                        ..fact
+                    };
+                    self.facts.insert(cnt.as_str().to_string(), registered);
+                }
+                _ => {
+                    env.clobber(&scalar, &mut self.fresh);
+                }
+            }
+            loop_sum.scalar_may_mod.insert(scalar.clone());
+        }
+        env.clobber(var, &mut self.fresh);
+        loop_sum.scalar_may_mod.insert(var.to_string());
+        // Scalar UE: body UEs minus the index, plus bound reads.
+        for s in &body.scalar_ue {
+            if s != var {
+                loop_sum.scalar_ue.insert(s.clone());
+            }
+        }
+        for b in [Some(lo), Some(hi), step].into_iter().flatten() {
+            for s in scalar_reads(b, table) {
+                loop_sum.scalar_ue.insert(s);
+            }
+        }
+
+        // Reduction recognition: exposed scalars whose only life in the
+        // body is self-accumulation.
+        let reductions = if premature {
+            BTreeSet::new()
+        } else {
+            body.scalar_ue
+                .iter()
+                .filter(|s| {
+                    s.as_str() != var
+                        && body.scalar_may_mod.contains(*s)
+                        && is_reduction_scalar(&self.hsg.subgraphs[body_sg].clone(), self.hsg, s)
+                })
+                .cloned()
+                .collect()
+        };
+
+        // Record the loop analysis.
+        let la = LoopAnalysis {
+            routine: routine.to_string(),
+            subgraph: body_sg,
+            var: var.to_string(),
+            depth,
+            lo: lo_sym,
+            hi: hi_sym,
+            step: step_const.unwrap_or(1),
+            arrays: sets,
+            scalar_ue: body.scalar_ue.iter().filter(|s| *s != var).cloned().collect(),
+            scalar_mod: body.scalar_may_mod.clone(),
+            premature_exit: premature,
+            reductions,
+            live_after: BTreeSet::new(),
+        };
+        self.loops.push(la);
+        (loop_sum, Some(self.loops.len() - 1))
+    }
+
+    /// Conservative summary for a condensed goto-cycle (§5.4): every array
+    /// reference inside becomes unknown MOD and UE.
+    fn sum_condensed(
+        &mut self,
+        members: &[Node],
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+        _loop_vars: &BTreeSet<String>,
+    ) -> Summary {
+        let mut sum = Summary::new();
+        let mut arrays = BTreeSet::new();
+        let mut scalars = BTreeSet::new();
+        for m in members {
+            collect_node_names(m, self.hsg, &mut arrays, &mut scalars);
+        }
+        for a in arrays {
+            if table.is_array(&a) {
+                let rank = table.array(&a).map(|x| x.rank()).unwrap_or(1);
+                sum.add_mod(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_ue(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_de(&a, GarList::single(Gar::unknown(rank)));
+            } else {
+                scalars_insert(&mut sum, &a);
+            }
+        }
+        for s in scalars {
+            if !table.is_array(&s) {
+                env.clobber(&s, &mut self.fresh);
+                sum.scalar_may_mod.insert(s.clone());
+                sum.scalar_ue.insert(s);
+            }
+        }
+        sum
+    }
+
+    /// Detects conditionally-incremented counters in a loop body:
+    /// `IF (cond(k)) v = v + c` with `c > 0`, `v` assigned nowhere else.
+    fn detect_counters(
+        &mut self,
+        body_sg: SubgraphId,
+        var: &str,
+        table: &SymbolTable,
+        env: &ValueEnv,
+        loop_vars: &BTreeSet<String>,
+        assigned: &BTreeSet<String>,
+    ) -> BTreeMap<String, CounterFact> {
+        let g = self.hsg.subgraphs[body_sg].clone();
+        let mut out = BTreeMap::new();
+        for (nid, node) in g.nodes.iter().enumerate() {
+            let Node::IfCond(c) = node else { continue };
+            let (t, _f) = g.branch_succs(nid);
+            let Some(t) = t else { continue };
+            let Node::Block(stmts) = &g.nodes[t] else {
+                continue;
+            };
+            // The true block must be exactly `v = v + const(>0)`.
+            let only: Vec<&Stmt> = stmts
+                .iter()
+                .filter(|s| !matches!(s.kind, StmtKind::Continue))
+                .collect();
+            if only.len() != 1 {
+                continue;
+            }
+            let StmtKind::Assign(LValue::Var(v), rhs) = &only[0].kind else {
+                continue;
+            };
+            // rhs == v + positive const?
+            let is_incr = matches!(
+                rhs,
+                FExpr::Bin(fortran::BinOp::Add, a, b)
+                    if matches!(&**a, FExpr::Var(x) if x == v)
+                        && matches!(&**b, FExpr::Int(c) if *c > 0)
+            );
+            if !is_incr {
+                continue;
+            }
+            // v assigned exactly once in the body (this statement).
+            if count_scalar_assignments(&g, self.hsg, v) != 1 {
+                continue;
+            }
+            let _ = assigned;
+            // Condition must be a single Cond atom with an index affine in
+            // the loop var with coefficient 1.
+            let mut body_env = env.clone();
+            body_env.set_int(var, Expr::var(var));
+            let ctx = self.ctx(table, &body_env, loop_vars);
+            let Some(p) = to_pred(c, &ctx) else { continue };
+            let [d] = p.disjs() else { continue };
+            let Some(Atom::Cond {
+                template,
+                index,
+                deps,
+                positive,
+            }) = d.as_unit()
+            else {
+                continue;
+            };
+            let Some((1, _)) = index.affine_decompose(var) else {
+                continue;
+            };
+            // The quantified index range is filled in by the caller using
+            // the loop bounds; store the index shape via lo/hi = idx(lo),
+            // idx(hi) later. Here we record with placeholders substituted
+            // by the loop bounds at registration time.
+            out.insert(
+                v.clone(),
+                CounterFact {
+                    template: template.clone(),
+                    deps: deps.clone(),
+                    counted_positive: *positive,
+                    // placeholder: index expression at symbolic loop ends —
+                    // substituted right below in sum_loop registration
+                    lo: index.clone(),
+                    hi: index.clone(),
+                },
+            );
+        }
+        out
+    }
+
+    /// All scalars assigned anywhere inside a subgraph (recursing through
+    /// loop bodies and callee summaries).
+    fn scalars_assigned(&mut self, sg: SubgraphId, table: &SymbolTable) -> BTreeSet<String> {
+        let g = self.hsg.subgraphs[sg].clone();
+        let mut out = BTreeSet::new();
+        for node in &g.nodes {
+            self.node_assigned_scalars(node, table, &mut out);
+        }
+        out
+    }
+
+    fn node_assigned_scalars(
+        &mut self,
+        node: &Node,
+        table: &SymbolTable,
+        out: &mut BTreeSet<String>,
+    ) {
+        match node {
+            Node::Block(stmts) => {
+                for s in stmts {
+                    if let StmtKind::Assign(LValue::Var(v), _) = &s.kind {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Node::Loop { var, body, .. } => {
+                out.insert(var.clone());
+                let inner = self.scalars_assigned(*body, table);
+                out.extend(inner);
+            }
+            Node::Call { name, args } => {
+                if self.opts.interprocedural {
+                    let callee_summary = self.summarize_routine(name);
+                    let callee = self.program.routine(name).unwrap();
+                    for s in &callee_summary.scalar_may_mod {
+                        if let Some(k) = callee.params.iter().position(|p| p == s) {
+                            if let Some(FExpr::Var(v)) = args.get(k) {
+                                out.insert(v.clone());
+                            }
+                        } else {
+                            out.insert(s.clone());
+                        }
+                    }
+                } else {
+                    for a in args {
+                        if let FExpr::Var(v) = a {
+                            if !table.is_array(v) {
+                                out.insert(v.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Condensed(members) => {
+                for m in members {
+                    self.node_assigned_scalars(m, table, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Renames callee-internal synthetic names (`x#k`) so each call site
+    /// gets independent unknowns.
+    fn freshen_synthetics(&mut self, mut s: Summary) -> Summary {
+        let mut names = BTreeSet::new();
+        for list in s.mods.values().chain(s.ues.values()) {
+            list.collect_vars(&mut names);
+        }
+        let synthetic: Vec<sym::Name> = names
+            .into_iter()
+            .filter(|n| n.as_str().contains('#'))
+            .collect();
+        if synthetic.is_empty() {
+            return s;
+        }
+        let pairs: Vec<(String, Expr)> = synthetic
+            .iter()
+            .map(|n| {
+                let base = n.as_str().split('#').next().unwrap_or("v");
+                (n.as_str().to_string(), Expr::var(self.fresh.next(base)))
+            })
+            .collect();
+        for list in s.mods.values_mut() {
+            *list = substitute_many(list, &pairs, &mut self.fresh);
+        }
+        for list in s.ues.values_mut() {
+            *list = substitute_many(list, &pairs, &mut self.fresh);
+        }
+        s
+    }
+
+    fn ctx<'b>(
+        &'b self,
+        table: &'b SymbolTable,
+        env: &'b ValueEnv,
+        loop_vars: &'b BTreeSet<String>,
+    ) -> ConvertCtx<'b> {
+        ConvertCtx {
+            table,
+            env,
+            symbolic: self.opts.symbolic,
+            loop_vars,
+            facts: &self.facts,
+        }
+    }
+
+    fn trace_node(&mut self, routine: &str, sg: SubgraphId, nid: NodeId, g: &Subgraph, st: &State) {
+        let tag = g.nodes[nid].tag();
+        for (arr, list) in &st.ues {
+            if !list.is_empty() {
+                self.trace.push(format!(
+                    "{routine} sg{sg} n{nid}({tag}) ue_in[{arr}] = {list}"
+                ));
+            }
+        }
+        for (arr, list) in &st.mods {
+            if !list.is_empty() {
+                self.trace.push(format!(
+                    "{routine} sg{sg} n{nid}({tag}) mod_in[{arr}] = {list}"
+                ));
+            }
+        }
+    }
+}
+
+/// Drops guard clauses that depend on the *values* of `array` (it was just
+/// modified, making such conditions stale).
+fn forget_guard_dep(list: &GarList, array: &str) -> GarList {
+    if !list.gars().iter().any(|g| g.guard.contains_var(array)) {
+        return list.clone();
+    }
+    GarList::from_gars(list.gars().iter().map(|g| {
+        if g.guard.contains_var(array) {
+            Gar::with_approx(g.guard.forget_var(array), g.region.clone(), g.approx)
+        } else {
+            g.clone()
+        }
+    }))
+}
+
+/// Scalar variables read by an expression.
+fn scalar_reads(e: &FExpr, table: &SymbolTable) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    e.walk(&mut |x| {
+        if let FExpr::Var(n) = x {
+            if !table.is_array(n) && table.constant(n).is_none() {
+                out.insert(n.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Must-modified scalars of a whole segment: those must-modified by a node
+/// that lies on every entry→exit path. We approximate with the nodes that
+/// dominate the exit along the single-successor spine from the entry.
+fn must_scalar_mods(g: &Subgraph, node_must: &[BTreeSet<String>]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut cur = g.entry;
+    let mut guard_steps = 0;
+    loop {
+        out.extend(node_must[cur].iter().cloned());
+        if g.succs[cur].len() != 1 || cur == g.exit {
+            break;
+        }
+        cur = g.succs[cur][0].0;
+        guard_steps += 1;
+        if guard_steps > g.nodes.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Renames a scalar variable inside every GAR of a list.
+fn rename_var(list: &GarList, from: &str, to: &str) -> GarList {
+    list.subst_var(from, &Expr::var(to))
+}
+
+/// Simultaneous substitution via two-phase temp renaming.
+fn substitute_many(
+    list: &GarList,
+    pairs: &[(String, Expr)],
+    fresh: &mut FreshNames,
+) -> GarList {
+    if pairs.is_empty() {
+        return list.clone();
+    }
+    let temps: Vec<sym::Name> = pairs.iter().map(|(n, _)| fresh.next(n)).collect();
+    let mut cur = list.clone();
+    for ((from, _), tmp) in pairs.iter().zip(&temps) {
+        cur = cur.subst_var(from, &Expr::var(tmp.clone()));
+    }
+    for ((_, value), tmp) in pairs.iter().zip(&temps) {
+        cur = cur.subst_var(tmp.as_str(), value);
+    }
+    cur
+}
+
+fn collect_node_names(
+    node: &Node,
+    hsg: &Hsg,
+    arrays: &mut BTreeSet<String>,
+    scalars: &mut BTreeSet<String>,
+) {
+    fn expr_names(e: &FExpr, arrays: &mut BTreeSet<String>, scalars: &mut BTreeSet<String>) {
+        e.walk(&mut |x| match x {
+            FExpr::Var(n) => {
+                scalars.insert(n.clone());
+            }
+            FExpr::Index(n, _) => {
+                arrays.insert(n.clone());
+            }
+            _ => {}
+        });
+    }
+    match node {
+        Node::Block(stmts) => {
+            for s in stmts {
+                if let StmtKind::Assign(lhs, rhs) = &s.kind {
+                    match lhs {
+                        LValue::Var(v) => {
+                            scalars.insert(v.clone());
+                        }
+                        LValue::Element(a, subs) => {
+                            arrays.insert(a.clone());
+                            for sub in subs {
+                                expr_names(sub, arrays, scalars);
+                            }
+                        }
+                    }
+                    expr_names(rhs, arrays, scalars);
+                }
+            }
+        }
+        Node::IfCond(c) => expr_names(c, arrays, scalars),
+        Node::Call { args, .. } => {
+            for a in args {
+                expr_names(a, arrays, scalars);
+            }
+        }
+        Node::Loop { var, lo, hi, step, body } => {
+            scalars.insert(var.clone());
+            expr_names(lo, arrays, scalars);
+            expr_names(hi, arrays, scalars);
+            if let Some(s) = step {
+                expr_names(s, arrays, scalars);
+            }
+            for inner in &hsg.subgraphs[*body].nodes {
+                collect_node_names(inner, hsg, arrays, scalars);
+            }
+        }
+        Node::Condensed(members) => {
+            for m in members {
+                collect_node_names(m, hsg, arrays, scalars);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn scalars_insert(sum: &mut Summary, name: &str) {
+    sum.scalar_may_mod.insert(name.to_string());
+    sum.scalar_ue.insert(name.to_string());
+}
+
+/// Is `v` a sum/product reduction scalar in this subgraph? Every
+/// assignment must be `v = v ± e` or `v = v * e` (`e` free of `v`), every
+/// read of `v` must be the self-reference inside such an assignment, and
+/// calls disqualify (they might read or write `v` by reference).
+fn is_reduction_scalar(g: &Subgraph, hsg: &Hsg, v: &str) -> bool {
+    fn expr_uses(e: &FExpr, v: &str) -> usize {
+        let mut n = 0;
+        e.walk(&mut |x| {
+            if matches!(x, FExpr::Var(name) if name == v) {
+                n += 1;
+            }
+        });
+        n
+    }
+    fn stmt_ok(s: &Stmt, v: &str, found: &mut usize) -> bool {
+        match &s.kind {
+            StmtKind::Assign(LValue::Var(lhs), rhs) if lhs == v => {
+                // v = v op e with e free of v, op in {+, -, *}.
+                let ok = match rhs {
+                    FExpr::Bin(
+                        fortran::BinOp::Add | fortran::BinOp::Sub | fortran::BinOp::Mul,
+                        a,
+                        b,
+                    ) => {
+                        (matches!(&**a, FExpr::Var(x) if x == v) && expr_uses(b, v) == 0)
+                            || (matches!(&**b, FExpr::Var(x) if x == v)
+                                && expr_uses(a, v) == 0
+                                && !matches!(rhs, FExpr::Bin(fortran::BinOp::Sub, ..)))
+                    }
+                    _ => false,
+                };
+                if ok {
+                    *found += 1;
+                }
+                ok
+            }
+            StmtKind::Assign(lhs, rhs) => {
+                // any other read of v disqualifies
+                let mut uses = expr_uses(rhs, v);
+                if let LValue::Element(_, subs) = lhs {
+                    for sub in subs {
+                        uses += expr_uses(sub, v);
+                    }
+                }
+                uses == 0 && lhs.name() != v
+            }
+            _ => true,
+        }
+    }
+    fn node_ok(node: &Node, hsg: &Hsg, v: &str, found: &mut usize) -> bool {
+        match node {
+            Node::Block(stmts) => stmts.iter().all(|s| stmt_ok(s, v, found)),
+            Node::IfCond(c) => expr_uses(c, v) == 0,
+            Node::Call { .. } => false,
+            Node::Loop { var, lo, hi, step, body } => {
+                var != v
+                    && expr_uses(lo, v) == 0
+                    && expr_uses(hi, v) == 0
+                    && step.as_ref().is_none_or(|s| expr_uses(s, v) == 0)
+                    && hsg.subgraphs[*body]
+                        .nodes
+                        .iter()
+                        .all(|m| node_ok(m, hsg, v, found))
+            }
+            Node::Condensed(_) => false,
+            Node::Entry | Node::Exit => true,
+        }
+    }
+    let mut found = 0usize;
+    g.nodes.iter().all(|n| node_ok(n, hsg, v, &mut found)) && found > 0
+}
+
+/// Counts assignments to scalar `v` within a subgraph (recursing through
+/// loop bodies). Calls count conservatively as two assignments so counter
+/// detection bails out.
+fn count_scalar_assignments(g: &Subgraph, hsg: &Hsg, v: &str) -> usize {
+    g.nodes
+        .iter()
+        .map(|n| count_assignments_in_node(n, hsg, v))
+        .sum()
+}
+
+fn count_assignments_in_node(node: &Node, hsg: &Hsg, v: &str) -> usize {
+    match node {
+        Node::Block(stmts) => stmts
+            .iter()
+            .filter(|s| matches!(&s.kind, StmtKind::Assign(LValue::Var(x), _) if x == v))
+            .count(),
+        Node::Loop { var, body, .. } => {
+            usize::from(var == v)
+                + hsg.subgraphs[*body]
+                    .nodes
+                    .iter()
+                    .map(|m| count_assignments_in_node(m, hsg, v))
+                    .sum::<usize>()
+        }
+        Node::Call { .. } => 2,
+        Node::Condensed(members) => members
+            .iter()
+            .map(|m| count_assignments_in_node(m, hsg, v))
+            .sum(),
+        _ => 0,
+    }
+}

@@ -1,0 +1,34 @@
+//! Interprocedural symbolic array dataflow analysis (§4 of Gu, Li & Lee).
+//!
+//! This crate propagates [`gar::GarList`] summaries (`MOD` and `UE` sets)
+//! backward over the [`hsg::Hsg`], implementing the paper's `SUM_segment`,
+//! `SUM_bb`, `SUM_loop` and `SUM_call` algorithms:
+//!
+//! * **IF conditions become guards** (`T2`): sets flowing out of a branch
+//!   are qualified by the branch condition, converted to a [`pred::Pred`].
+//! * **Scalar values are substituted on the fly** (`T1`): a forward value
+//!   environment — the reconstruction of Panorama's interprocedural scalar
+//!   reaching-definition chains [Li, TR 93-87] — normalizes every
+//!   subscript, bound and condition to routine-entry-relative symbolic
+//!   values before it enters a region or guard.
+//! * **Routine calls are summarized once and mapped** (`T3`): each routine
+//!   gets a context-free summary in terms of its formals, instantiated at
+//!   every call site by formal→actual substitution.
+//!
+//! Each technique can be disabled through [`Options`] to reproduce the
+//! paper's T1/T2/T3 ablation (Table 1). The optional ∀-extension
+//! (`forall_ext`, §5.2's future work) recognizes conditionally-incremented
+//! counters and universally quantified condition facts, which the MDG
+//! `interf` loop of Fig. 1(a) requires.
+
+#![warn(missing_docs)]
+
+mod analyzer;
+mod convert;
+mod scalars;
+mod summary;
+
+pub use analyzer::{AnalysisStats, Analyzer, LoopAnalysis, RoutineAnalysis};
+pub use convert::{collect_array_reads, to_pred, to_sym, ConvertCtx};
+pub use scalars::{CounterFact, ValueEnv};
+pub use summary::{ArraySets, Options, Summary};

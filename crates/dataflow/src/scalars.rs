@@ -1,0 +1,175 @@
+//! Forward scalar value environments.
+//!
+//! Every subscript, loop bound and IF condition is normalized to
+//! *routine-entry-relative* symbolic values before it enters a region or
+//! guard — the realization of the paper's on-the-fly scalar substitution,
+//! built in the style of Panorama's interprocedural scalar
+//! reaching-definition chains. Integer scalars carry a full symbolic value;
+//! REAL and LOGICAL scalars carry a *version name*, so that two uses of an
+//! unmodified value correlate (the OCEAN `x > SIZE` pattern) while any
+//! intervening definition breaks the correlation.
+
+use pred::CondTemplate;
+use std::collections::BTreeMap;
+use sym::{Expr, Name};
+
+/// A forward value environment at one program point.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValueEnv {
+    /// Integer scalars with a known entry-relative symbolic value. Missing
+    /// entries default to the variable's own (entry) name.
+    ints: BTreeMap<String, Expr>,
+    /// Version names for opaque (REAL/LOGICAL/unknown-int) scalars.
+    /// Missing entries default to the variable's own name.
+    versions: BTreeMap<String, Name>,
+}
+
+impl ValueEnv {
+    /// The identity environment (every scalar is its entry value).
+    pub fn identity() -> ValueEnv {
+        ValueEnv::default()
+    }
+
+    /// The symbolic value of an integer scalar.
+    pub fn int_value(&self, name: &str) -> Expr {
+        self.ints
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Expr::var(name))
+    }
+
+    /// The version name of an opaque scalar.
+    pub fn version(&self, name: &str) -> Name {
+        self.versions
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Name::new(name))
+    }
+
+    /// Records an integer assignment `name := value` (value already
+    /// entry-relative).
+    pub fn set_int(&mut self, name: &str, value: Expr) {
+        self.ints.insert(name.to_string(), value);
+    }
+
+    /// Invalidates a scalar with a fresh synthetic version/value.
+    pub fn clobber(&mut self, name: &str, fresh: &mut FreshNames) {
+        let v = fresh.next(name);
+        self.ints.insert(name.to_string(), Expr::var(v.clone()));
+        self.versions.insert(name.to_string(), v);
+    }
+
+    /// Merges environments at a control-flow join: agreeing values are
+    /// kept, disagreeing ones are clobbered.
+    pub fn join(mut self, other: &ValueEnv, fresh: &mut FreshNames) -> ValueEnv {
+        let names: Vec<String> = self
+            .ints
+            .keys()
+            .chain(other.ints.keys())
+            .cloned()
+            .collect();
+        for n in names {
+            if self.int_value(&n) != other.int_value(&n) {
+                let v = fresh.next(&n);
+                self.ints.insert(n.clone(), Expr::var(v));
+            }
+        }
+        let vnames: Vec<String> = self
+            .versions
+            .keys()
+            .chain(other.versions.keys())
+            .cloned()
+            .collect();
+        for n in vnames {
+            if self.version(&n) != other.version(&n) {
+                let v = fresh.next(&n);
+                self.versions.insert(n.clone(), v);
+            }
+        }
+        self
+    }
+}
+
+/// Generator of fresh synthetic names (`name#k`). `#` cannot appear in
+/// Fortran identifiers, so synthetics never collide with program names.
+#[derive(Debug, Default)]
+pub struct FreshNames {
+    counter: u64,
+}
+
+impl FreshNames {
+    /// A fresh synthetic derived from `base`.
+    pub fn next(&mut self, base: &str) -> Name {
+        self.counter += 1;
+        Name::new(format!("{base}#{}", self.counter))
+    }
+}
+
+/// A registered conditional-counter fact (∀-extension): the synthetic
+/// counter variable is zero iff the condition template held for *no*
+/// iteration of the recorded range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterFact {
+    /// The condition counted.
+    pub template: CondTemplate,
+    /// Scalar/array dependencies of the condition.
+    pub deps: Vec<Name>,
+    /// Polarity under which the counter was incremented.
+    pub counted_positive: bool,
+    /// First counted index.
+    pub lo: Expr,
+    /// Last counted index.
+    pub hi: Expr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_defaults() {
+        let env = ValueEnv::identity();
+        assert_eq!(env.int_value("kc"), Expr::var("kc"));
+        assert_eq!(env.version("x").as_str(), "x");
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut env = ValueEnv::identity();
+        env.set_int("kc", Expr::from(0));
+        assert_eq!(env.int_value("kc"), Expr::from(0));
+    }
+
+    #[test]
+    fn clobber_creates_synthetic() {
+        let mut env = ValueEnv::identity();
+        let mut fresh = FreshNames::default();
+        env.clobber("x", &mut fresh);
+        assert_ne!(env.version("x").as_str(), "x");
+        assert!(env.version("x").as_str().starts_with("x#"));
+        assert!(env.int_value("x").as_var().is_some());
+    }
+
+    #[test]
+    fn join_keeps_agreement_clobbers_disagreement() {
+        let mut fresh = FreshNames::default();
+        let mut a = ValueEnv::identity();
+        let mut b = ValueEnv::identity();
+        a.set_int("n", Expr::from(5));
+        b.set_int("n", Expr::from(5));
+        a.set_int("k", Expr::from(1));
+        b.set_int("k", Expr::from(2));
+        let j = a.join(&b, &mut fresh);
+        assert_eq!(j.int_value("n"), Expr::from(5));
+        assert!(j.int_value("k").as_var().is_some());
+        assert_ne!(j.int_value("k"), Expr::var("k"));
+    }
+
+    #[test]
+    fn fresh_names_unique() {
+        let mut f = FreshNames::default();
+        let a = f.next("x");
+        let b = f.next("x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! Tests for the downwards-exposed (`DE`) sets and the §3.2.2 refined
+//! anti-dependence test.
+
+use dataflow::{Analyzer, Options};
+use fortran::{analyze, parse_program};
+use hsg::build_hsg;
+
+fn loops_of(src: &str) -> Vec<dataflow::LoopAnalysis> {
+    let program = parse_program(src).unwrap();
+    let sema = analyze(&program).unwrap();
+    let h = build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+    az.run();
+    let (loops, _, _) = az.finish();
+    loops
+}
+
+#[test]
+fn de_catches_write_then_read_anti_dep() {
+    // w(5) written then read each iteration: UE_i is empty (the read is
+    // covered in-iteration), but the read *is* downwards exposed — the
+    // next iteration's write overwrites a value just read: a real anti
+    // dependence that the UE-based test would miss.
+    let loops = loops_of(
+        "
+      PROGRAM t
+      REAL w(10), r(100)
+      REAL x
+      INTEGER i
+      DO i = 1, 100
+        w(5) = float(i)
+        x = w(5)
+        r(i) = x
+      ENDDO
+      END
+",
+    );
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let sets = &l.arrays["w"];
+    assert!(sets.ue_i.definitely_empty(), "UE_i = {}", sets.ue_i);
+    assert!(!sets.de_i.definitely_empty(), "DE_i must contain w(5)");
+    assert!(!sets.de_i.intersect(&sets.mod_gt).definitely_empty());
+    // The loop still parallelizes by privatizing w.
+    let v = privatize::judge_loop(l);
+    let w = v.arrays.iter().find(|a| a.array == "w").unwrap();
+    assert!(w.anti_dep && w.output_dep && !w.flow_dep);
+    assert!(w.privatizable);
+    assert!(v.parallel_after_privatization, "{v:?}");
+}
+
+#[test]
+fn de_killed_by_final_overwrite() {
+    // The read is followed by another write of the same element in the
+    // same iteration: not downwards exposed — no separate anti dependence
+    // (the output dependence still exists and drives privatization).
+    let loops = loops_of(
+        "
+      PROGRAM t
+      REAL w(10), r(100)
+      REAL x
+      INTEGER i
+      DO i = 1, 100
+        w(5) = float(i)
+        x = w(5)
+        w(5) = x + 1.0
+        r(i) = x
+      ENDDO
+      END
+",
+    );
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let sets = &l.arrays["w"];
+    assert!(
+        sets.de_i.definitely_empty(),
+        "the trailing write kills the exposure: DE_i = {}",
+        sets.de_i
+    );
+    let v = privatize::judge_loop(l);
+    let w = v.arrays.iter().find(|a| a.array == "w").unwrap();
+    assert!(!w.anti_dep, "{v:?}");
+    assert!(w.output_dep && w.privatizable);
+}
+
+#[test]
+fn de_survives_partial_overwrite() {
+    // Only part of the read range is overwritten afterwards; the rest
+    // stays exposed.
+    let loops = loops_of(
+        "
+      PROGRAM t
+      REAL w(20), r(100)
+      REAL s
+      INTEGER i, k
+      DO i = 1, 100
+        s = 0.0
+        DO k = 1, 20
+          w(k) = float(i + k)
+        ENDDO
+        DO k = 1, 20
+          s = s + w(k)
+        ENDDO
+        DO k = 1, 10
+          w(k) = 0.0
+        ENDDO
+        r(i) = s
+      ENDDO
+      END
+",
+    );
+    let l = loops
+        .iter()
+        .find(|l| l.var == "i" && l.depth == 0)
+        .unwrap();
+    let sets = &l.arrays["w"];
+    // w(11:20) read by the sum remains downwards exposed.
+    assert!(!sets.de_i.definitely_empty());
+    let text = sets.de_i.to_string();
+    assert!(text.contains("11:20"), "DE_i = {text}");
+}
+
+#[test]
+fn de_respects_branch_guards() {
+    // A read on one branch is only downward-exposed under that branch's
+    // condition.
+    let loops = loops_of(
+        "
+      PROGRAM t
+      REAL w(10), r(100)
+      REAL x
+      INTEGER i
+      DO i = 1, 100
+        w(3) = float(i)
+        IF (i .GT. 50) THEN
+          x = w(3)
+        ELSE
+          x = 0.0
+        ENDIF
+        r(i) = x
+      ENDDO
+      END
+",
+    );
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let sets = &l.arrays["w"];
+    assert!(!sets.de_i.definitely_empty());
+    // the guard i > 50 must appear on the DE piece
+    assert!(
+        sets.de_i.gars().iter().all(|g| !g.guard.is_true()),
+        "DE_i = {}",
+        sets.de_i
+    );
+}
+
+#[test]
+fn routine_level_de_summary() {
+    let src = "
+      PROGRAM main
+      REAL a(50)
+      INTEGER q
+      q = 1
+      call use2(a)
+      END
+      SUBROUTINE use2(b)
+      REAL b(50)
+      REAL x, y
+      x = b(1)
+      b(1) = x + 1.0
+      y = b(2)
+      END
+";
+    let program = parse_program(src).unwrap();
+    let sema = analyze(&program).unwrap();
+    let h = build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+    let s = az.summarize_routine("use2");
+    // b(1) read then overwritten → not in DE; b(2) read last → in DE.
+    let de = s.de_of("b");
+    let text = de.to_string();
+    assert!(text.contains("(2)"), "DE = {text}");
+    assert!(!text.contains("(1)"), "DE = {text}");
+    // UE has both reads (merged into the adjacent range b(1:2)).
+    let ue = s.ue_of("b");
+    assert_eq!(ue.to_string(), "[TRUE, (1:2)]");
+}

@@ -1,0 +1,163 @@
+//! Loop-shape coverage: descending loops, non-unit steps, zero-trip
+//! loops, and loops whose bounds come through PARAMETER chains.
+
+use dataflow::{Analyzer, Options};
+use fortran::{analyze, parse_program};
+use hsg::build_hsg;
+use privatize::judge_all;
+
+fn verdicts(src: &str) -> Vec<privatize::LoopVerdict> {
+    let program = parse_program(src).unwrap();
+    let sema = analyze(&program).unwrap();
+    let h = build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+    az.run();
+    judge_all(&az.loops)
+}
+
+fn outer<'a>(vs: &'a [privatize::LoopVerdict], var: &str) -> &'a privatize::LoopVerdict {
+    vs.iter()
+        .filter(|v| v.var == var)
+        .min_by_key(|v| v.depth)
+        .unwrap()
+}
+
+#[test]
+fn descending_loop_elementwise() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL a(100), b(100)
+      INTEGER i
+      DO i = 100, 1, -1
+        a(i) = b(i) + 1.0
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    assert!(v.parallel_as_is, "{v:?}");
+}
+
+#[test]
+fn descending_recurrence_detected() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL a(100)
+      INTEGER i
+      DO i = 99, 1, -1
+        a(i) = a(i+1)
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    assert!(!v.parallel_after_privatization, "{v:?}");
+}
+
+#[test]
+fn strided_loop_disjoint_writes() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL a(200)
+      INTEGER i
+      DO i = 1, 100, 2
+        a(i) = float(i)
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    assert!(v.parallel_as_is, "{v:?}");
+}
+
+#[test]
+fn strided_work_array_privatizes() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL w(10), r(100)
+      INTEGER i, k
+      DO i = 1, 99, 2
+        DO k = 1, 10
+          w(k) = float(i + k)
+        ENDDO
+        r(i) = w(5)
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    assert!(v.parallel_after_privatization, "{v:?}");
+    assert!(v.privatized.contains(&"w".to_string()));
+}
+
+#[test]
+fn zero_trip_loop_harmless() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL a(10), q
+      INTEGER i
+      DO i = 5, 1
+        a(i) = 1.0
+      ENDDO
+      q = a(3)
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    // trivially parallel (no iterations can conflict)
+    assert!(v.parallel_as_is || v.parallel_after_privatization, "{v:?}");
+}
+
+#[test]
+fn parameter_chain_bounds() {
+    let vs = verdicts(
+        "
+      PROGRAM t
+      PARAMETER (half = 32, full = half * 2)
+      REAL w(100), r(50)
+      INTEGER i, k
+      DO i = 1, 50
+        DO k = 1, full
+          w(k) = float(i)
+        ENDDO
+        r(i) = w(full)
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    assert!(v.parallel_after_privatization, "{v:?}");
+    assert!(v.privatized.contains(&"w".to_string()));
+}
+
+#[test]
+fn symbolic_descending_conservative() {
+    // Descending with symbolic bounds: summaries stay sound
+    // (over-approximate), verdict conservative but no crash.
+    let vs = verdicts(
+        "
+      PROGRAM t
+      REAL w(100), r(50)
+      INTEGER i, k, n
+      n = int(float(80))
+      DO i = 1, 50
+        DO k = n, 1, -1
+          w(k) = float(i + k)
+        ENDDO
+        r(i) = w(1)
+      ENDDO
+      END
+",
+    );
+    let v = outer(&vs, "i");
+    // w is written every iteration before the read of w(1): whether the
+    // analysis proves it depends on the descending-loop summary; it must
+    // at least not be unsound — we just require a verdict to exist and w
+    // to be recorded.
+    assert!(v.arrays.iter().any(|a| a.array == "w"));
+}

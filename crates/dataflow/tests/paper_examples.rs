@@ -1,0 +1,498 @@
+//! End-to-end tests of the dataflow analysis on the paper's own examples:
+//! the §3 `in`/`out` walkthrough, Fig. 1(b) (ARC2D `filerx`), Fig. 1(c)
+//! (OCEAN), and the Fig. 1(a) MDG kernel under the ∀-extension.
+
+use dataflow::{Analyzer, Options};
+use fortran::{analyze, parse_program};
+use hsg::build_hsg;
+use pred::Pred;
+use sym::Expr;
+
+struct Run<'a> {
+    program: fortran::Program,
+    sema: fortran::ProgramSema,
+    hsg: hsg::Hsg,
+    opts: Options,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+fn prepare(src: &str, opts: Options) -> Run<'static> {
+    let program = parse_program(src).expect("parse");
+    let sema = analyze(&program).expect("sema");
+    let hsg = build_hsg(&program).expect("hsg");
+    Run {
+        program,
+        sema,
+        hsg,
+        opts,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Run<'_> {
+    fn analyzer(&self) -> Analyzer<'_> {
+        Analyzer::new(&self.program, &self.sema, &self.hsg, self.opts)
+    }
+}
+
+const OCEAN_SRC: &str = "
+      PROGRAM ocean
+      REAL A(1000)
+      INTEGER n, m, i
+      REAL x
+      n = 40
+      m = 100
+      DO i = 1, n
+        x = 3.5
+        call in(A, x, m)
+        call out(A, x, m)
+      ENDDO
+      END
+
+      SUBROUTINE in(B, x, mm)
+      REAL B(*)
+      INTEGER mm, j
+      REAL x
+      IF (x .GT. 64.0) RETURN
+      DO j = 1, mm
+        B(j) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE out(B, x, mm)
+      REAL B(*)
+      INTEGER mm, j
+      REAL x, y
+      IF (x .GT. 64.0) RETURN
+      DO j = 1, mm
+        y = B(j)
+      ENDDO
+      END
+";
+
+#[test]
+fn subroutine_in_mod_summary() {
+    // §3: "the set MOD of subroutine in is [x <= SIZE ∧ 1 <= mm, B(1:mm)]".
+    let run = prepare(OCEAN_SRC, Options::default());
+    let mut az = run.analyzer();
+    let s = az.summarize_routine("in");
+    let mods = s.mod_of("b");
+    assert_eq!(mods.len(), 1, "MOD(b) = {mods}");
+    let g = &mods.gars()[0];
+    assert!(g.is_exact(), "expected exact MOD, got {g}");
+    assert_eq!(g.region.to_string(), "(1:mm)");
+    // guard carries 1 <= mm and the (negated) opaque x > SIZE condition
+    assert!(g.guard.implies(&Pred::le(Expr::from(1), Expr::var("mm"))));
+    assert!(!g.guard.is_true());
+    // no upward-exposed uses of b in `in`
+    assert!(s.ue_of("b").is_empty());
+}
+
+#[test]
+fn subroutine_out_ue_summary() {
+    // §3: "The set UE of the subroutine out is [x <= SIZE ∧ 1 <= mm, B(1:mm)]".
+    let run = prepare(OCEAN_SRC, Options::default());
+    let mut az = run.analyzer();
+    let s = az.summarize_routine("out");
+    let ues = s.ue_of("b");
+    assert_eq!(ues.len(), 1, "UE(b) = {ues}");
+    let g = &ues.gars()[0];
+    assert_eq!(g.region.to_string(), "(1:mm)");
+    assert!(g.guard.implies(&Pred::le(Expr::from(1), Expr::var("mm"))));
+    assert!(s.mod_of("b").is_empty());
+}
+
+#[test]
+fn fig1c_ocean_privatizable() {
+    // Fig 1(c): UE_i(A) of the i loop must be empty — the `out` use is
+    // covered by the `in` definition under the correlated x > SIZE guard.
+    let run = prepare(OCEAN_SRC, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "ocean" && l.var == "i")
+        .expect("outer loop analyzed");
+    let sets = outer.arrays.get("a").expect("array a analyzed");
+    assert!(
+        sets.ue_i.definitely_empty(),
+        "UE_i(a) should be empty, got {}",
+        sets.ue_i
+    );
+    // and hence no loop-carried flow dependence
+    assert!(sets.ue_i.intersect(&sets.mod_lt).definitely_empty());
+}
+
+#[test]
+fn fig1c_needs_interprocedural() {
+    // With T3 off the call clobbers A and privatization fails.
+    let run = prepare(
+        OCEAN_SRC,
+        Options {
+            interprocedural: false,
+            ..Options::default()
+        },
+    );
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "ocean" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("a").unwrap();
+    assert!(!sets.ue_i.definitely_empty());
+}
+
+#[test]
+fn fig1c_needs_if_conditions() {
+    // With T2 off the `in` MOD cannot kill the `out` UE (the IF is merged
+    // conservatively), so UE_i is nonempty.
+    let run = prepare(
+        OCEAN_SRC,
+        Options {
+            if_conditions: false,
+            ..Options::default()
+        },
+    );
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "ocean" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("a").unwrap();
+    assert!(
+        !sets.ue_i.definitely_empty(),
+        "UE_i(a) unexpectedly empty without IF-condition analysis"
+    );
+}
+
+const ARC2D_SRC: &str = "
+      PROGRAM filerx
+      REAL A(1000)
+      INTEGER i, j, jlow, jup, jmax
+      LOGICAL p
+      jlow = 2
+      jup = jmax - 1
+      DO i = 1, 4
+        DO j = jlow, jup
+          A(j) = 1.0
+        ENDDO
+        IF (.NOT. p) THEN
+          A(jmax) = 2.0
+        ENDIF
+        DO j = jlow, jup
+          q = A(j) + A(jmax)
+        ENDDO
+      ENDDO
+      END
+";
+
+#[test]
+fn fig1b_arc2d_no_loop_carried_flow() {
+    // Fig 5's derivation: UE_i ∩ MOD_<i = ∅ because the loop-invariant
+    // guard P appears positively in UE_i and negatively in MOD_<i.
+    let run = prepare(ARC2D_SRC, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "filerx" && l.var == "i")
+        .expect("outer loop");
+    let sets = outer.arrays.get("a").expect("array a");
+    // UE_i: only A(jmax), guarded by p ∧ jmax outside [jlow, jup].
+    assert!(
+        !sets.ue_i.definitely_empty(),
+        "UE_i(a) should be the guarded A(jmax) piece"
+    );
+    let inter = sets.ue_i.intersect(&sets.mod_lt);
+    assert!(
+        inter.definitely_empty(),
+        "UE_i ∩ MOD_<i should be empty:\n  UE_i   = {}\n  MOD_<i = {}\n  inter  = {}",
+        sets.ue_i,
+        sets.mod_lt,
+        inter
+    );
+}
+
+#[test]
+fn fig1b_needs_if_conditions() {
+    let run = prepare(
+        ARC2D_SRC,
+        Options {
+            if_conditions: false,
+            ..Options::default()
+        },
+    );
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "filerx" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("a").unwrap();
+    let inter = sets.ue_i.intersect(&sets.mod_lt);
+    assert!(
+        !inter.definitely_empty(),
+        "without T2 the A(jmax) flow dependence cannot be disproved"
+    );
+}
+
+const MDG_SRC: &str = "
+      PROGRAM interf
+      REAL A(20), B(20), cut2, ttemp
+      INTEGER i, k, kc, nmol1
+      cut2 = 1.5
+      nmol1 = 100
+      DO i = 1, nmol1
+        kc = 0
+        DO k = 1, 9
+          B(k) = 0.5
+          IF (B(k) .GT. cut2) kc = kc + 1
+        ENDDO
+        DO k = 2, 5
+          IF (B(k+4) .GT. cut2) goto 1
+          A(k+4) = 1.0
+1       ENDDO
+        IF (kc .NE. 0) goto 2
+        DO k = 11, 14
+          ttemp = A(k-5)
+        ENDDO
+2       CONTINUE
+      ENDDO
+      END
+";
+
+#[test]
+fn fig1a_mdg_without_forall_not_proved() {
+    // The base analysis (paper's implementation) cannot privatize A here —
+    // Table 2 reports `no` for RL.
+    let run = prepare(MDG_SRC, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "interf" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("a").unwrap();
+    assert!(
+        !sets.ue_i.definitely_empty(),
+        "base analysis should NOT prove UE_i(a) empty (needs ∀)"
+    );
+}
+
+#[test]
+fn fig1a_mdg_with_forall_extension() {
+    // With the ∀-extension the counter inference shows A(6:9) is written
+    // before the use whenever the use happens: UE_i(a) = ∅.
+    let run = prepare(MDG_SRC, Options::full());
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "interf" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("a").unwrap();
+    assert!(
+        sets.ue_i.definitely_empty(),
+        "∀-extension should prove UE_i(a) empty, got {}",
+        sets.ue_i
+    );
+    // B is written every iteration and read in conditions only: its UE_i
+    // must be empty too (B(k) is written before the IF reads it).
+    let bsets = outer.arrays.get("b").unwrap();
+    assert!(
+        bsets.ue_i.definitely_empty(),
+        "UE_i(b) should be empty, got {}",
+        bsets.ue_i
+    );
+}
+
+#[test]
+fn trfd_like_symbolic_triangular() {
+    // TRFD olda-style: a work array filled then read with symbolic bounds;
+    // needs T1 but neither T2 nor T3.
+    let src = "
+      PROGRAM olda
+      REAL xrsiq(500), v
+      INTEGER i, j, mrs, num
+      DO i = 1, num
+        DO j = 1, mrs
+          xrsiq(j) = 1.0
+        ENDDO
+        DO j = 1, mrs
+          v = xrsiq(j)
+        ENDDO
+      ENDDO
+      END
+";
+    let run = prepare(src, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "olda" && l.var == "i")
+        .unwrap();
+    let sets = outer.arrays.get("xrsiq").unwrap();
+    assert!(sets.ue_i.definitely_empty(), "UE_i = {}", sets.ue_i);
+
+    // With T1 off, the symbolic bound mrs is not representable: fails.
+    let run2 = prepare(
+        src,
+        Options {
+            symbolic: false,
+            ..Options::default()
+        },
+    );
+    let mut az2 = run2.analyzer();
+    az2.run();
+    let outer2 = az2
+        .loops
+        .iter()
+        .find(|l| l.routine == "olda" && l.var == "i")
+        .unwrap();
+    let sets2 = outer2.arrays.get("xrsiq").unwrap();
+    assert!(!sets2.ue_i.definitely_empty());
+}
+
+#[test]
+fn track_like_interprocedural_constant() {
+    // TRACK nlfilt-style: privatization across a call with constant
+    // bounds; needs T3 only.
+    let src = "
+      PROGRAM nlfilt
+      REAL P1(900)
+      INTEGER i, n
+      DO i = 1, n
+        call fill(P1)
+        call use(P1)
+      ENDDO
+      END
+      SUBROUTINE fill(W)
+      REAL W(900)
+      INTEGER k
+      DO k = 1, 900
+        W(k) = 0.0
+      ENDDO
+      END
+      SUBROUTINE use(W)
+      REAL W(900)
+      INTEGER k
+      REAL t
+      DO k = 1, 900
+        t = W(k)
+      ENDDO
+      END
+";
+    for (t1, t2) in [(true, true), (false, false), (false, true), (true, false)] {
+        let run = prepare(
+            src,
+            Options {
+                symbolic: t1,
+                if_conditions: t2,
+                ..Options::default()
+            },
+        );
+        let mut az = run.analyzer();
+        az.run();
+        let outer = az
+            .loops
+            .iter()
+            .find(|l| l.routine == "nlfilt" && l.var == "i")
+            .unwrap();
+        let sets = outer.arrays.get("p1").unwrap();
+        assert!(
+            sets.ue_i.definitely_empty(),
+            "T1={t1} T2={t2}: UE_i = {}",
+            sets.ue_i
+        );
+    }
+    // But with T3 off it fails.
+    let run = prepare(
+        src,
+        Options {
+            interprocedural: false,
+            ..Options::default()
+        },
+    );
+    let mut az = run.analyzer();
+    az.run();
+    let outer = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "nlfilt" && l.var == "i")
+        .unwrap();
+    assert!(!outer.arrays.get("p1").unwrap().ue_i.definitely_empty());
+}
+
+#[test]
+fn loop_level_mod_expansion() {
+    // The paper's §3 walkthrough: MOD of `in`'s j loop is
+    // [1 <= mm, B(1:mm)] — check the loop-level sets directly.
+    let run = prepare(OCEAN_SRC, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let jloop = az
+        .loops
+        .iter()
+        .find(|l| l.routine == "in" && l.var == "j")
+        .unwrap();
+    let sets = jloop.arrays.get("b").unwrap();
+    // MOD_i = [True, B(j)]
+    assert_eq!(sets.mod_i.len(), 1);
+    assert_eq!(sets.mod_i.gars()[0].region.to_string(), "(j)");
+    // MOD_<i = [1 < j, B(1:j-1)]
+    assert_eq!(sets.mod_lt.len(), 1, "MOD_<j = {}", sets.mod_lt);
+    assert_eq!(sets.mod_lt.gars()[0].region.to_string(), "(1:j - 1)");
+    // MOD_>i = [j < mm, B(j+1:mm)]
+    assert_eq!(sets.mod_gt.len(), 1, "MOD_>j = {}", sets.mod_gt);
+    assert_eq!(sets.mod_gt.gars()[0].region.to_string(), "(j + 1:mm)");
+}
+
+#[test]
+fn premature_exit_is_conservative() {
+    let src = "
+      PROGRAM t
+      REAL w(100), s
+      INTEGER i, k
+      DO i = 1, 10
+        DO k = 1, 100
+          IF (w(k) .GT. 0.0) goto 99
+          w(k) = 1.0
+        ENDDO
+99      s = 1.0
+      ENDDO
+      END
+";
+    let run = prepare(src, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    let inner = az
+        .loops
+        .iter()
+        .find(|l| l.var == "k")
+        .unwrap();
+    assert!(inner.premature_exit);
+    // the inner loop's sets must not claim exact coverage of w
+    let sets = inner.arrays.get("w").unwrap();
+    assert!(!sets.mod_i.is_exact() || sets.mod_i.is_empty());
+}
+
+#[test]
+fn stats_populated() {
+    let run = prepare(OCEAN_SRC, Options::default());
+    let mut az = run.analyzer();
+    az.run();
+    assert!(az.stats.nodes_processed > 0);
+    assert_eq!(az.stats.routines_analyzed, 3);
+    assert!(az.stats.loops_analyzed >= 3);
+    assert!(az.stats.peak_state_size > 0);
+}

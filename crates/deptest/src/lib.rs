@@ -1,0 +1,19 @@
+//! Conventional data dependence tests (§2's "numerical methods").
+//!
+//! Panorama applies cheap classic dependence tests first and runs the
+//! expensive array dataflow analysis only on loops these cannot decide
+//! (§6). This crate reconstructs that pre-filter: ZIV, the GCD test and
+//! Banerjee's inequalities over affine subscripts, lifted to whole DO
+//! loops.
+//!
+//! A conventional test can only *disprove* dependence; anything it cannot
+//! disprove is assumed to be a dependence (memory disambiguation, not
+//! value flow — which is exactly why these tests cannot privatize arrays).
+
+#![warn(missing_docs)]
+
+mod loop_test;
+mod tests_numeric;
+
+pub use loop_test::{conventional_loop_test, ConvVerdict};
+pub use tests_numeric::{banerjee_test, gcd_test, ziv_test, AffineSub, DepAnswer};

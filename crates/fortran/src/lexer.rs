@@ -1,0 +1,390 @@
+//! Tokenizer for the Fortran subset.
+
+use std::fmt;
+
+/// Token kinds. Identifiers and keywords are lower-cased.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Dot-operators and `.NOT.`: one of `lt le gt ge eq ne and or not`.
+    DotOp(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `:`
+    Colon,
+    /// End of statement (newline).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexing failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string. Comment lines start with `c`, `C` or `*` in
+/// column 1 or `!` anywhere; a trailing `&` continues the statement onto
+/// the next line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut continuation = false;
+    for (lineno0, raw_line) in src.lines().enumerate() {
+        let line = lineno0 as u32 + 1;
+        // Full-line comments: '*' in column 1, or 'c'/'C' in column 1
+        // followed by whitespace / end of line (so `call`, `continue`,
+        // `cut2 = …` written flush left still lex as code).
+        let mut chars = raw_line.chars();
+        let c0 = chars.next();
+        let c1 = chars.next();
+        if c0 == Some('*')
+            || (matches!(c0, Some('c') | Some('C'))
+                && (c1.is_none() || c1.is_some_and(|c| c.is_whitespace())))
+        {
+            continue;
+        }
+        // Inline comment.
+        let text = match raw_line.find('!') {
+            Some(p) => &raw_line[..p],
+            None => raw_line,
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let mut text = text.trim_end();
+        let continued_next = text.ends_with('&');
+        if continued_next {
+            text = text[..text.len() - 1].trim_end();
+        }
+        if continuation {
+            // drop a leading '&' on continuation lines
+            let t = text.trim_start();
+            let t = t.strip_prefix('&').unwrap_or(t);
+            lex_line(t, line, &mut out)?;
+        } else {
+            lex_line(text, line, &mut out)?;
+        }
+        if continued_next {
+            continuation = true;
+        } else {
+            continuation = false;
+            out.push(Token {
+                kind: TokenKind::Newline,
+                line,
+            });
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line: src.lines().count() as u32 + 1,
+    });
+    Ok(out)
+}
+
+fn lex_line(text: &str, line: u32, out: &mut Vec<Token>) -> Result<(), LexError> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let err = |m: &str| LexError {
+        message: m.to_string(),
+        line,
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'(' => {
+                out.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token { kind: TokenKind::Assign, line });
+                i += 1;
+            }
+            b':' => {
+                out.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token { kind: TokenKind::Minus, line });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            b'*' => {
+                if i + 1 < b.len() && b[i + 1] == b'*' {
+                    out.push(Token { kind: TokenKind::StarStar, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Star, line });
+                    i += 1;
+                }
+            }
+            b'.' => {
+                // Either a dot operator (.gt.) or a real literal (.5).
+                if i + 1 < b.len() && b[i + 1].is_ascii_alphabetic() {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && b[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if j >= b.len() || b[j] != b'.' {
+                        return Err(err("unterminated dot-operator"));
+                    }
+                    let word = text[start..j].to_ascii_lowercase();
+                    i = j + 1;
+                    match word.as_str() {
+                        "true" => out.push(Token { kind: TokenKind::Logical(true), line }),
+                        "false" => out.push(Token { kind: TokenKind::Logical(false), line }),
+                        "lt" | "le" | "gt" | "ge" | "eq" | "ne" | "and" | "or" | "not" => {
+                            out.push(Token { kind: TokenKind::DotOp(word), line })
+                        }
+                        other => return Err(err(&format!("unknown operator .{other}."))),
+                    }
+                } else if i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    let (tok, ni) = lex_number(text, i, line)?;
+                    out.push(tok);
+                    i = ni;
+                } else {
+                    return Err(err("stray '.'"));
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, ni) = lex_number(text, i, line)?;
+                out.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(text[start..i].to_ascii_lowercase()),
+                    line,
+                });
+            }
+            other => return Err(err(&format!("unexpected character {:?}", other as char))),
+        }
+    }
+    Ok(())
+}
+
+/// Lexes an integer or real literal starting at `i`.
+fn lex_number(text: &str, i: usize, line: u32) -> Result<(Token, usize), LexError> {
+    let b = text.as_bytes();
+    let start = i;
+    let mut j = i;
+    let mut is_real = false;
+    while j < b.len() && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    // A '.' is part of the number only if NOT followed by a letter (which
+    // would be a dot-operator like 1.and.…).
+    if j < b.len() && b[j] == b'.' && !(j + 1 < b.len() && b[j + 1].is_ascii_alphabetic()) {
+        is_real = true;
+        j += 1;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    if j < b.len() && (b[j] == b'e' || b[j] == b'E' || b[j] == b'd' || b[j] == b'D') {
+        let mut k = j + 1;
+        if k < b.len() && (b[k] == b'+' || b[k] == b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_real = true;
+            j = k;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let lit = &text[start..j];
+    let kind = if is_real {
+        let norm = lit.replace(['d', 'D'], "e");
+        TokenKind::Real(norm.parse::<f64>().map_err(|e| LexError {
+            message: format!("bad real literal {lit}: {e}"),
+            line,
+        })?)
+    } else {
+        TokenKind::Int(lit.parse::<i64>().map_err(|e| LexError {
+            message: format!("bad integer literal {lit}: {e}"),
+            line,
+        })?)
+    };
+    Ok((Token { kind, line }, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let k = kinds("A(J) = B + 1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("j".into()),
+                TokenKind::RParen,
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_operators() {
+        let k = kinds("IF (B(K).GT.cut2) kc = kc + 1");
+        assert!(k.contains(&TokenKind::DotOp("gt".into())));
+        let k2 = kinds(".NOT. p .AND. .TRUE.");
+        assert_eq!(k2[0], TokenKind::DotOp("not".into()));
+        assert_eq!(k2[2], TokenKind::DotOp("and".into()));
+        assert_eq!(k2[3], TokenKind::Logical(true));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("C a comment line\n      x = 1 ! trailing\n* another\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn call_in_column_one_not_comment() {
+        let k = kinds("call foo(x)\ncontinue\ncommon /blk/ a");
+        assert!(k.contains(&TokenKind::Ident("call".into())));
+        assert!(k.contains(&TokenKind::Ident("continue".into())));
+        assert!(k.contains(&TokenKind::Ident("common".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Real(4.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Real(1000.0));
+        assert_eq!(kinds("1.5d2")[0], TokenKind::Real(150.0));
+        assert_eq!(kinds(".5")[0], TokenKind::Real(0.5));
+    }
+
+    #[test]
+    fn integer_dot_operator_ambiguity() {
+        // `1.and.` must lex as Int(1), .and.
+        let k = kinds("IF (x .eq. 1.and.p) y = 2");
+        assert!(k.contains(&TokenKind::Int(1)));
+        assert!(k.contains(&TokenKind::DotOp("and".into())));
+    }
+
+    #[test]
+    fn power_operator() {
+        let k = kinds("x**2");
+        assert_eq!(k[1], TokenKind::StarStar);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let k = kinds("x = 1 + &\n    2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_lex_as_ints() {
+        let k = kinds("10    CONTINUE");
+        assert_eq!(k[0], TokenKind::Int(10));
+        assert_eq!(k[1], TokenKind::Ident("continue".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("x = .bogus. y").is_err());
+        assert!(lex("x = #").is_err());
+    }
+}

@@ -1,0 +1,1015 @@
+//! Recursive-descent parser for the Fortran subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use std::fmt;
+
+/// A parse failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a whole source file into a [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut routines = Vec::new();
+    p.skip_newlines();
+    while !p.at_eof() {
+        routines.push(p.unit()?);
+        p.skip_newlines();
+    }
+    Ok(Program { routines })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            message: m.into(),
+            line: self.toks[self.pos.min(self.toks.len() - 1)].line,
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn expect_newline(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(w) if w == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.at_ident(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident_word(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_ident(word) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{word}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, k: &TokenKind) -> Result<(), ParseError> {
+        if self.peek() == k {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {k:?}, found {:?}", self.peek())))
+        }
+    }
+
+    // ---- program units -------------------------------------------------
+
+    fn unit(&mut self) -> Result<Routine, ParseError> {
+        let kind = if self.eat_ident("program") {
+            RoutineKind::Program
+        } else if self.eat_ident("subroutine") {
+            RoutineKind::Subroutine
+        } else {
+            return Err(self.err(format!(
+                "expected PROGRAM or SUBROUTINE, found {:?}",
+                self.peek()
+            )));
+        };
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect_newline()?;
+
+        let mut r = Routine {
+            name,
+            kind,
+            params,
+            types: Vec::new(),
+            arrays: Vec::new(),
+            parameters: Vec::new(),
+            commons: Vec::new(),
+            body: Vec::new(),
+        };
+        // Declarations and executable statements, until END.
+        loop {
+            self.skip_newlines();
+            if self.at_ident("end")
+                && !matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "do" || w == "if")
+            {
+                self.bump();
+                self.expect_newline()?;
+                break;
+            }
+            if self.decl(&mut r)? {
+                continue;
+            }
+            let stmt = self.statement()?;
+            r.body.push(stmt);
+        }
+        Ok(r)
+    }
+
+    /// Parses one declaration if the upcoming statement is one; returns
+    /// whether it consumed anything.
+    fn decl(&mut self, r: &mut Routine) -> Result<bool, ParseError> {
+        let ty = if self.at_ident("integer") {
+            Some(Ty::Integer)
+        } else if self.at_ident("real") {
+            Some(Ty::Real)
+        } else if self.at_ident("logical") {
+            Some(Ty::Logical)
+        } else if self.at_ident("double") {
+            Some(Ty::Real)
+        } else {
+            None
+        };
+        if let Some(ty) = ty {
+            self.bump();
+            if ty == Ty::Real {
+                // swallow `precision` of DOUBLE PRECISION
+                self.eat_ident("precision");
+            }
+            loop {
+                let name = self.ident()?;
+                r.types.push((name.clone(), ty));
+                if matches!(self.peek(), TokenKind::LParen) {
+                    let dims = self.dim_list()?;
+                    r.arrays.push((name, dims));
+                }
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_newline()?;
+            return Ok(true);
+        }
+        if self.eat_ident("dimension") {
+            loop {
+                let name = self.ident()?;
+                let dims = self.dim_list()?;
+                r.arrays.push((name, dims));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_newline()?;
+            return Ok(true);
+        }
+        if self.eat_ident("parameter") {
+            self.expect(&TokenKind::LParen)?;
+            loop {
+                let name = self.ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                r.parameters.push((name, value));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            self.expect_newline()?;
+            return Ok(true);
+        }
+        if self.eat_ident("common") {
+            while matches!(self.peek(), TokenKind::Slash) {
+                self.bump();
+                let block = self.ident()?;
+                self.expect(&TokenKind::Slash)?;
+                let mut names = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    if matches!(self.peek(), TokenKind::LParen) {
+                        let dims = self.dim_list()?;
+                        r.arrays.push((name.clone(), dims));
+                    }
+                    names.push(name);
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                r.commons.push((block, names));
+            }
+            self.expect_newline()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn dim_list(&mut self) -> Result<Vec<DimBound>, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut dims = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::Star) {
+                self.bump();
+                dims.push(DimBound::Assumed);
+            } else {
+                let a = self.expr()?;
+                if matches!(self.peek(), TokenKind::Colon) {
+                    self.bump();
+                    let b = self.expr()?;
+                    dims.push(DimBound::Both(a, b));
+                } else {
+                    dims.push(DimBound::Upper(a));
+                }
+            }
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(dims)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.skip_newlines();
+        let label = if let TokenKind::Int(v) = self.peek() {
+            let v = *v;
+            self.bump();
+            Some(u32::try_from(v).map_err(|_| self.err("label out of range"))?)
+        } else {
+            None
+        };
+        let kind = self.stmt_kind()?;
+        Ok(Stmt { label, kind })
+    }
+
+    /// A simple statement usable as the body of a logical IF.
+    fn simple_stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
+        if self.eat_ident("goto") {
+            return self.goto_tail();
+        }
+        if self.at_ident("go") && matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "to") {
+            self.bump();
+            self.bump();
+            return self.goto_tail();
+        }
+        if self.eat_ident("call") {
+            return self.call_tail();
+        }
+        if self.eat_ident("return") {
+            return Ok(StmtKind::Return);
+        }
+        if self.eat_ident("continue") {
+            return Ok(StmtKind::Continue);
+        }
+        if self.eat_ident("stop") {
+            return Ok(StmtKind::Stop);
+        }
+        self.assignment_tail()
+    }
+
+    fn goto_tail(&mut self) -> Result<StmtKind, ParseError> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(StmtKind::Goto(
+                u32::try_from(v).map_err(|_| self.err("label out of range"))?,
+            )),
+            other => Err(self.err(format!("expected label after GOTO, found {other:?}"))),
+        }
+    }
+
+    fn call_tail(&mut self) -> Result<StmtKind, ParseError> {
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(StmtKind::Call(name, args))
+    }
+
+    fn assignment_tail(&mut self) -> Result<StmtKind, ParseError> {
+        let name = self.ident()?;
+        let lhs = if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let mut subs = Vec::new();
+            loop {
+                subs.push(self.expr()?);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            LValue::Element(name, subs)
+        } else {
+            LValue::Var(name)
+        };
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.expr()?;
+        Ok(StmtKind::Assign(lhs, rhs))
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
+        if self.at_ident("if") {
+            return self.if_stmt();
+        }
+        if self.at_ident("do") {
+            return self.do_stmt();
+        }
+        let k = self.simple_stmt_kind()?;
+        self.expect_newline()?;
+        Ok(k)
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect_ident_word("if")?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        if self.eat_ident("then") {
+            self.expect_newline()?;
+            let (then_body, else_body) = self.if_block_tail()?;
+            return Ok(StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        // Logical IF.
+        let inner = self.simple_stmt_kind()?;
+        self.expect_newline()?;
+        Ok(StmtKind::LogicalIf(
+            cond,
+            Box::new(Stmt {
+                label: None,
+                kind: inner,
+            }),
+        ))
+    }
+
+    /// Parses the statements of a block IF after `THEN`, handling `ELSE`,
+    /// `ELSE IF (…) THEN`, `ENDIF`/`END IF`.
+    fn if_block_tail(&mut self) -> Result<(Vec<Stmt>, Vec<Stmt>), ParseError> {
+        let mut then_body = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.eat_ident("endif") {
+                self.expect_newline()?;
+                return Ok((then_body, Vec::new()));
+            }
+            if self.at_ident("end")
+                && matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "if")
+            {
+                self.bump();
+                self.bump();
+                self.expect_newline()?;
+                return Ok((then_body, Vec::new()));
+            }
+            if self.eat_ident("elseif") {
+                // ELSEIF (cond) THEN … : desugar into else { if … }
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect_ident_word("then")?;
+                self.expect_newline()?;
+                let (tb, eb) = self.if_block_tail()?;
+                let nested = Stmt {
+                    label: None,
+                    kind: StmtKind::If {
+                        cond,
+                        then_body: tb,
+                        else_body: eb,
+                    },
+                };
+                return Ok((then_body, vec![nested]));
+            }
+            if self.eat_ident("else") {
+                if self.at_ident("if") {
+                    // ELSE IF (cond) THEN …
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    self.expect_ident_word("then")?;
+                    self.expect_newline()?;
+                    let (tb, eb) = self.if_block_tail()?;
+                    let nested = Stmt {
+                        label: None,
+                        kind: StmtKind::If {
+                            cond,
+                            then_body: tb,
+                            else_body: eb,
+                        },
+                    };
+                    return Ok((then_body, vec![nested]));
+                }
+                self.expect_newline()?;
+                let mut else_body = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    if self.eat_ident("endif") {
+                        self.expect_newline()?;
+                        return Ok((then_body, else_body));
+                    }
+                    if self.at_ident("end")
+                        && matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "if")
+                    {
+                        self.bump();
+                        self.bump();
+                        self.expect_newline()?;
+                        return Ok((then_body, else_body));
+                    }
+                    else_body.push(self.statement()?);
+                }
+            }
+            then_body.push(self.statement()?);
+        }
+    }
+
+    fn do_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect_ident_word("do")?;
+        // Optional terminator label: `DO 10 J = …`.
+        let term_label = if let TokenKind::Int(v) = self.peek() {
+            let v = *v;
+            self.bump();
+            Some(u32::try_from(v).map_err(|_| self.err("label out of range"))?)
+        } else {
+            None
+        };
+        let var = self.ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let hi = self.expr()?;
+        let step = if matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_newline()?;
+
+        let mut body = Vec::new();
+        match term_label {
+            Some(term) => loop {
+                self.skip_newlines();
+                if self.at_eof() {
+                    return Err(self.err(format!("unterminated DO {term}")));
+                }
+                let stmt = self.statement()?;
+                let is_term = stmt.label == Some(term);
+                body.push(stmt);
+                if is_term {
+                    break;
+                }
+            },
+            None => loop {
+                self.skip_newlines();
+                // ENDDO / END DO, possibly labeled (a GOTO target meaning
+                // "end of iteration"): keep the label as a CONTINUE.
+                let enddo_label = if let TokenKind::Int(v) = self.peek() {
+                    if matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "enddo" || w == "end")
+                    {
+                        let v = *v;
+                        self.bump();
+                        Some(u32::try_from(v).map_err(|_| self.err("label out of range"))?)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if self.eat_ident("enddo") {
+                    self.expect_newline()?;
+                    if let Some(l) = enddo_label {
+                        body.push(Stmt {
+                            label: Some(l),
+                            kind: StmtKind::Continue,
+                        });
+                    }
+                    break;
+                }
+                if self.at_ident("end")
+                    && matches!(self.peek2(), Some(TokenKind::Ident(w)) if w == "do")
+                {
+                    self.bump();
+                    self.bump();
+                    self.expect_newline()?;
+                    if let Some(l) = enddo_label {
+                        body.push(Stmt {
+                            label: Some(l),
+                            kind: StmtKind::Continue,
+                        });
+                    }
+                    break;
+                }
+                if enddo_label.is_some() {
+                    return Err(self.err("label not followed by ENDDO"));
+                }
+                if self.at_eof() {
+                    return Err(self.err("unterminated DO"));
+                }
+                body.push(self.statement()?);
+            },
+        }
+        Ok(StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_and()?;
+        while matches!(self.peek(), TokenKind::DotOp(w) if w == "or") {
+            self.bump();
+            let r = self.expr_and()?;
+            e = Expr::bin(BinOp::Or, e, r);
+        }
+        Ok(e)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_not()?;
+        while matches!(self.peek(), TokenKind::DotOp(w) if w == "and") {
+            self.bump();
+            let r = self.expr_not()?;
+            e = Expr::bin(BinOp::And, e, r);
+        }
+        Ok(e)
+    }
+
+    fn expr_not(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::DotOp(w) if w == "not") {
+            self.bump();
+            let e = self.expr_not()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        self.expr_rel()
+    }
+
+    fn expr_rel(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr_add()?;
+        let op = match self.peek() {
+            TokenKind::DotOp(w) => match w.as_str() {
+                "lt" => Some(BinOp::Lt),
+                "le" => Some(BinOp::Le),
+                "gt" => Some(BinOp::Gt),
+                "ge" => Some(BinOp::Ge),
+                "eq" => Some(BinOp::Eq),
+                "ne" => Some(BinOp::Ne),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.expr_add()?;
+            return Ok(Expr::bin(op, e, r));
+        }
+        Ok(e)
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Expr::Un(UnOp::Neg, Box::new(self.expr_mul()?))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.expr_mul()?
+            }
+            _ => self.expr_mul()?,
+        };
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.bump();
+                    let r = self.expr_mul()?;
+                    e = Expr::bin(BinOp::Add, e, r);
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let r = self.expr_mul()?;
+                    e = Expr::bin(BinOp::Sub, e, r);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_pow()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    let r = self.expr_pow()?;
+                    e = Expr::bin(BinOp::Mul, e, r);
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    let r = self.expr_pow()?;
+                    e = Expr::bin(BinOp::Div, e, r);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn expr_pow(&mut self) -> Result<Expr, ParseError> {
+        let base = self.primary()?;
+        if matches!(self.peek(), TokenKind::StarStar) {
+            self.bump();
+            // ** is right-associative.
+            let exp = self.expr_pow()?;
+            return Ok(Expr::bin(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::Real(v) => Ok(Expr::Real(v)),
+            TokenKind::Logical(v) => Ok(Expr::Logical(v)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut subs = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            subs.push(self.expr()?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Index(name, subs))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Routine {
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.routines.len(), 1);
+        p.routines.into_iter().next().unwrap()
+    }
+
+    const IN_SUB: &str = "
+      SUBROUTINE in(B, x, mm)
+      REAL B(*)
+      IF (x .GT. SIZE) RETURN
+      DO J = 1, mm
+        B(J) = 0.0
+      ENDDO
+      END
+";
+
+    #[test]
+    fn parse_paper_subroutine_in() {
+        let r = parse_one(IN_SUB);
+        assert_eq!(r.name, "in");
+        assert_eq!(r.kind, RoutineKind::Subroutine);
+        assert_eq!(r.params, vec!["b", "x", "mm"]);
+        assert_eq!(r.arrays.len(), 1);
+        assert_eq!(r.body.len(), 2);
+        match &r.body[0].kind {
+            StmtKind::LogicalIf(cond, inner) => {
+                assert!(matches!(cond, Expr::Bin(BinOp::Gt, _, _)));
+                assert!(matches!(inner.kind, StmtKind::Return));
+            }
+            other => panic!("expected logical IF, got {other:?}"),
+        }
+        match &r.body[1].kind {
+            StmtKind::Do { var, body, .. } => {
+                assert_eq!(var, "j");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_do_with_continue() {
+        let r = parse_one(
+            "
+      PROGRAM t
+      DO 10 K = 1, 9
+        B(K) = 0
+10    CONTINUE
+      END
+",
+        );
+        match &r.body[0].kind {
+            StmtKind::Do { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert_eq!(body[1].label, Some(10));
+                assert!(matches!(body[1].kind, StmtKind::Continue));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn goto_to_labeled_enddo() {
+        // Fig 1(a) style: conditional skip to end of iteration.
+        let r = parse_one(
+            "
+      PROGRAM t
+      DO K = 2, 5
+        IF (B(K+4).GT.cut2) goto 1
+        A(K+4) = 0
+1     ENDDO
+      END
+",
+        );
+        match &r.body[0].kind {
+            StmtKind::Do { body, .. } => {
+                assert_eq!(body.len(), 3);
+                assert!(matches!(body[0].kind, StmtKind::LogicalIf(..)));
+                assert_eq!(body[2].label, Some(1));
+                assert!(matches!(body[2].kind, StmtKind::Continue));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_if_else() {
+        let r = parse_one(
+            "
+      PROGRAM t
+      IF (.NOT. p) THEN
+        a(jmax) = 1
+      ELSE
+        a(1) = 2
+      ENDIF
+      END
+",
+        );
+        match &r.body[0].kind {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                assert!(matches!(cond, Expr::Un(UnOp::Not, _)));
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn elseif_desugars() {
+        let r = parse_one(
+            "
+      PROGRAM t
+      IF (x .GT. 1) THEN
+        y = 1
+      ELSE IF (x .GT. 0) THEN
+        y = 2
+      ELSE
+        y = 3
+      END IF
+      END
+",
+        );
+        match &r.body[0].kind {
+            StmtKind::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn declarations() {
+        let r = parse_one(
+            "
+      SUBROUTINE s(n)
+      INTEGER n, kc, jm(5)
+      REAL a(100), b(10, 0:n)
+      LOGICAL p
+      DIMENSION w(1000)
+      PARAMETER (size = 64)
+      COMMON /blk/ q, r
+      RETURN
+      END
+",
+        );
+        assert_eq!(r.types.len(), 6);
+        assert_eq!(r.arrays.len(), 4);
+        let b = r.arrays.iter().find(|(n, _)| n == "b").unwrap();
+        assert_eq!(b.1.len(), 2);
+        assert!(matches!(b.1[1], DimBound::Both(..)));
+        assert_eq!(r.parameters.len(), 1);
+        assert_eq!(r.commons.len(), 1);
+    }
+
+    #[test]
+    fn do_with_step() {
+        let r = parse_one("      PROGRAM t\n      DO i = 1, n, 2\n      x = i\n      ENDDO\n      END\n");
+        match &r.body[0].kind {
+            StmtKind::Do { step, .. } => assert_eq!(step, &Some(Expr::Int(2))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_and_goto_forms() {
+        let r = parse_one(
+            "
+      PROGRAM t
+      call in(A, x, m)
+      go to 20
+20    continue
+      stop
+      END
+",
+        );
+        assert!(matches!(r.body[0].kind, StmtKind::Call(..)));
+        assert!(matches!(r.body[1].kind, StmtKind::Goto(20)));
+        assert_eq!(r.body[2].label, Some(20));
+        assert!(matches!(r.body[3].kind, StmtKind::Stop));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let r = parse_one("      PROGRAM t\n      x = a + b * c ** 2\n      END\n");
+        match &r.body[0].kind {
+            StmtKind::Assign(_, e) => {
+                assert_eq!(e.to_string(), "(a+(b*(c**2)))");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let r = parse_one(
+            "      PROGRAM t\n      p = .NOT. a .LT. b .AND. c .GT. d .OR. q\n      END\n",
+        );
+        match &r.body[0].kind {
+            StmtKind::Assign(_, e) => {
+                // ((NOT (a<b)) AND (c>d)) OR q
+                assert_eq!(e.to_string(), "(((.NOT.(a.LT.b)).AND.(c.GT.d)).OR.q)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_units() {
+        let p = parse_program(
+            "
+      PROGRAM main
+      call s()
+      END
+      SUBROUTINE s()
+      RETURN
+      END
+",
+        )
+        .unwrap();
+        assert_eq!(p.routines.len(), 2);
+        assert!(p.main().is_some());
+        assert!(p.routine("s").is_some());
+    }
+
+    #[test]
+    fn unterminated_do_errors() {
+        assert!(parse_program("      PROGRAM t\n      DO i = 1, 5\n      x = 1\n      END\n").is_err());
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse_program("      PROGRAM t\n      x = = 1\n      END\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,509 @@
+//! Semantic analysis: symbol tables, implicit typing, array shapes, call
+//! graph construction and recursion detection.
+
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Fortran intrinsics recognized in expressions.
+pub const INTRINSICS: &[&str] = &[
+    "max", "min", "max0", "min0", "amax1", "amin1", "mod", "abs", "iabs", "sqrt", "exp", "log",
+    "sin", "cos", "tan", "atan", "float", "real", "int", "nint", "dble", "sign", "dim",
+];
+
+/// What a name means inside a routine.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SymbolKind {
+    /// A scalar of the given type.
+    Scalar(Ty),
+    /// An array.
+    Array(ArrayInfo),
+    /// A `PARAMETER` constant.
+    Constant(Expr, Ty),
+}
+
+/// Shape information for an array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ArrayInfo {
+    /// Element type.
+    pub ty: Ty,
+    /// Declared dimension bounds.
+    pub dims: Vec<DimBound>,
+    /// `true` iff the array is a dummy parameter of the routine.
+    pub is_param: bool,
+    /// The COMMON block the array lives in, if any.
+    pub common: Option<String>,
+}
+
+impl ArrayInfo {
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// Per-routine symbol table.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    symbols: BTreeMap<String, SymbolKind>,
+    /// Scalars in COMMON blocks: name → block.
+    scalar_commons: BTreeMap<String, String>,
+}
+
+impl SymbolTable {
+    /// Looks up a name.
+    pub fn get(&self, name: &str) -> Option<&SymbolKind> {
+        self.symbols.get(name)
+    }
+
+    /// `true` iff `name` is a declared array.
+    pub fn is_array(&self, name: &str) -> bool {
+        matches!(self.symbols.get(name), Some(SymbolKind::Array(_)))
+    }
+
+    /// Array info for a declared array.
+    pub fn array(&self, name: &str) -> Option<&ArrayInfo> {
+        match self.symbols.get(name) {
+            Some(SymbolKind::Array(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The `PARAMETER` value of a constant.
+    pub fn constant(&self, name: &str) -> Option<&Expr> {
+        match self.symbols.get(name) {
+            Some(SymbolKind::Constant(e, _)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The type of a scalar (declared or implicit).
+    pub fn scalar_ty(&self, name: &str) -> Option<Ty> {
+        match self.symbols.get(name) {
+            Some(SymbolKind::Scalar(t)) => Some(*t),
+            Some(SymbolKind::Constant(_, t)) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The COMMON block a name belongs to (scalar or array).
+    pub fn common_block(&self, name: &str) -> Option<&str> {
+        if let Some(SymbolKind::Array(a)) = self.symbols.get(name) {
+            return a.common.as_deref();
+        }
+        self.scalar_commons.get(name).map(String::as_str)
+    }
+
+    /// Iterates all `(name, kind)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SymbolKind)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn insert(&mut self, name: String, kind: SymbolKind) {
+        self.symbols.insert(name, kind);
+    }
+}
+
+/// Fortran implicit typing: names starting i–n are INTEGER, others REAL.
+pub fn implicit_ty(name: &str) -> Ty {
+    match name.chars().next() {
+        Some(c @ 'i'..='n') if c.is_ascii_lowercase() => Ty::Integer,
+        _ => Ty::Real,
+    }
+}
+
+/// A semantic error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SemaError {
+    /// Description.
+    pub message: String,
+    /// Routine in which the error was detected.
+    pub routine: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}: {}", self.routine, self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// The result of semantic analysis.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramSema {
+    /// Symbol table per routine name.
+    pub tables: BTreeMap<String, SymbolTable>,
+    /// Call graph: routine → distinct callees.
+    pub call_graph: BTreeMap<String, BTreeSet<String>>,
+    /// Routines in reverse topological (callee-first) order.
+    pub bottom_up: Vec<String>,
+}
+
+/// Builds symbol tables and the call graph; rejects recursion, unknown
+/// callees, and arity mismatches (mirroring the paper's assumptions:
+/// acyclic call graphs).
+pub fn analyze(program: &Program) -> Result<ProgramSema, SemaError> {
+    let mut sema = ProgramSema::default();
+    for r in &program.routines {
+        let table = build_table(r)?;
+        sema.tables.insert(r.name.clone(), table);
+    }
+    // Call graph + checks.
+    for r in &program.routines {
+        let mut callees = BTreeSet::new();
+        collect_calls(&r.body, &mut |name, args| {
+            callees.insert(name.to_string());
+            if let Some(callee) = program.routine(name) {
+                if callee.params.len() != args.len() {
+                    return Err(SemaError {
+                        message: format!(
+                            "call to {name} passes {} args, expected {}",
+                            args.len(),
+                            callee.params.len()
+                        ),
+                        routine: r.name.clone(),
+                    });
+                }
+            } else {
+                return Err(SemaError {
+                    message: format!("call to unknown subroutine {name}"),
+                    routine: r.name.clone(),
+                });
+            }
+            Ok(())
+        })?;
+        sema.call_graph.insert(r.name.clone(), callees);
+    }
+    // Topological order, callee-first; detects recursion.
+    let mut order = Vec::new();
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0 unvisited 1 active 2 done
+    fn visit<'a>(
+        n: &'a str,
+        g: &'a BTreeMap<String, BTreeSet<String>>,
+        state: &mut BTreeMap<&'a str, u8>,
+        order: &mut Vec<String>,
+    ) -> Result<(), SemaError> {
+        match state.get(n).copied().unwrap_or(0) {
+            1 => {
+                return Err(SemaError {
+                    message: "recursive call graph (unsupported)".into(),
+                    routine: n.to_string(),
+                })
+            }
+            2 => return Ok(()),
+            _ => {}
+        }
+        state.insert(n, 1);
+        if let Some(cs) = g.get(n) {
+            for c in cs {
+                visit(c, g, state, order)?;
+            }
+        }
+        state.insert(n, 2);
+        order.push(n.to_string());
+        Ok(())
+    }
+    for r in &program.routines {
+        visit(&r.name, &sema.call_graph, &mut state, &mut order)?;
+    }
+    sema.bottom_up = order;
+    Ok(sema)
+}
+
+fn build_table(r: &Routine) -> Result<SymbolTable, SemaError> {
+    let mut t = SymbolTable::default();
+    let declared_ty: BTreeMap<&str, Ty> = r.types.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
+    // COMMON membership.
+    let mut common_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for (block, names) in &r.commons {
+        for n in names {
+            common_of.insert(n.as_str(), block.as_str());
+        }
+    }
+    // Arrays.
+    for (name, dims) in &r.arrays {
+        let ty = declared_ty
+            .get(name.as_str())
+            .copied()
+            .unwrap_or_else(|| implicit_ty(name));
+        if t.is_array(name) {
+            return Err(SemaError {
+                message: format!("array {name} declared twice"),
+                routine: r.name.clone(),
+            });
+        }
+        t.insert(
+            name.clone(),
+            SymbolKind::Array(ArrayInfo {
+                ty,
+                dims: dims.clone(),
+                is_param: r.params.contains(name),
+                common: common_of.get(name.as_str()).map(|s| s.to_string()),
+            }),
+        );
+    }
+    // Parameters (constants).
+    for (name, value) in &r.parameters {
+        let ty = declared_ty
+            .get(name.as_str())
+            .copied()
+            .unwrap_or_else(|| implicit_ty(name));
+        t.insert(name.clone(), SymbolKind::Constant(value.clone(), ty));
+    }
+    // Declared scalars.
+    for (name, ty) in &r.types {
+        if t.get(name).is_none() {
+            t.insert(name.clone(), SymbolKind::Scalar(*ty));
+        }
+    }
+    // Dummy params and everything referenced get implicit scalar entries.
+    for p in &r.params {
+        if t.get(p).is_none() {
+            t.insert(p.clone(), SymbolKind::Scalar(implicit_ty(p)));
+        }
+    }
+    let mut mentioned = BTreeSet::new();
+    collect_names(&r.body, &mut mentioned);
+    for name in mentioned {
+        if t.get(&name).is_none() && !INTRINSICS.contains(&name.as_str()) {
+            t.insert(name.clone(), SymbolKind::Scalar(implicit_ty(&name)));
+        }
+    }
+    // COMMON scalars.
+    for (block, names) in &r.commons {
+        for n in names {
+            if !t.is_array(n) {
+                t.scalar_commons.insert(n.clone(), block.clone());
+                if t.get(n).is_none() {
+                    t.insert(n.clone(), SymbolKind::Scalar(implicit_ty(n)));
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Walks statements calling `f(name, args)` for every CALL.
+fn collect_calls<'a>(
+    stmts: &'a [Stmt],
+    f: &mut impl FnMut(&'a str, &'a [Expr]) -> Result<(), SemaError>,
+) -> Result<(), SemaError> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Call(name, args) => f(name, args)?,
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_calls(then_body, f)?;
+                collect_calls(else_body, f)?;
+            }
+            StmtKind::LogicalIf(_, inner) => collect_calls(std::slice::from_ref(inner), f)?,
+            StmtKind::Do { body, .. } => collect_calls(body, f)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Collects every identifier mentioned in executable statements.
+fn collect_names(stmts: &[Stmt], out: &mut BTreeSet<String>) {
+    fn expr_names(e: &Expr, out: &mut BTreeSet<String>) {
+        e.walk(&mut |x| match x {
+            Expr::Var(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Index(n, _) => {
+                out.insert(n.clone());
+            }
+            _ => {}
+        });
+    }
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign(lhs, rhs) => {
+                out.insert(lhs.name().to_string());
+                if let LValue::Element(_, subs) = lhs {
+                    for sub in subs {
+                        expr_names(sub, out);
+                    }
+                }
+                expr_names(rhs, out);
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_names(cond, out);
+                collect_names(then_body, out);
+                collect_names(else_body, out);
+            }
+            StmtKind::LogicalIf(cond, inner) => {
+                expr_names(cond, out);
+                collect_names(std::slice::from_ref(inner), out);
+            }
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                out.insert(var.clone());
+                expr_names(lo, out);
+                expr_names(hi, out);
+                if let Some(s) = step {
+                    expr_names(s, out);
+                }
+                collect_names(body, out);
+            }
+            StmtKind::Call(_, args) => {
+                for a in args {
+                    expr_names(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sema_of(src: &str) -> ProgramSema {
+        analyze(&parse_program(src).unwrap()).unwrap()
+    }
+
+    const OCEAN_LIKE: &str = "
+      PROGRAM main
+      REAL A(1000)
+      DO i = 1, n
+        x = i
+        call in(A, x, m)
+        call out(A, x, m)
+      ENDDO
+      END
+      SUBROUTINE in(B, x, mm)
+      REAL B(*)
+      IF (x .GT. 64.0) RETURN
+      DO J = 1, mm
+        B(J) = 0.0
+      ENDDO
+      END
+      SUBROUTINE out(B, x, mm)
+      REAL B(*)
+      IF (x .GT. 64.0) RETURN
+      DO J = 1, mm
+        y = B(J)
+      ENDDO
+      END
+";
+
+    #[test]
+    fn symbol_kinds() {
+        let s = sema_of(OCEAN_LIKE);
+        let main = &s.tables["main"];
+        assert!(main.is_array("a"));
+        assert_eq!(main.array("a").unwrap().rank(), 1);
+        assert_eq!(main.scalar_ty("i"), Some(Ty::Integer));
+        assert_eq!(main.scalar_ty("x"), Some(Ty::Real));
+        let sub = &s.tables["in"];
+        assert!(sub.is_array("b"));
+        assert!(sub.array("b").unwrap().is_param);
+    }
+
+    #[test]
+    fn call_graph_and_order() {
+        let s = sema_of(OCEAN_LIKE);
+        assert_eq!(
+            s.call_graph["main"],
+            BTreeSet::from(["in".to_string(), "out".to_string()])
+        );
+        // bottom-up: callees before main
+        let pos = |n: &str| s.bottom_up.iter().position(|x| x == n).unwrap();
+        assert!(pos("in") < pos("main"));
+        assert!(pos("out") < pos("main"));
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let p = parse_program(
+            "
+      SUBROUTINE a()
+      call b()
+      END
+      SUBROUTINE b()
+      call a()
+      END
+",
+        )
+        .unwrap();
+        let e = analyze(&p).unwrap_err();
+        assert!(e.message.contains("recursive"));
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let p = parse_program("      PROGRAM t\n      call nope(x)\n      END\n").unwrap();
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let p = parse_program(
+            "
+      PROGRAM t
+      call s(x)
+      END
+      SUBROUTINE s(a, b)
+      RETURN
+      END
+",
+        )
+        .unwrap();
+        let e = analyze(&p).unwrap_err();
+        assert!(e.message.contains("args"));
+    }
+
+    #[test]
+    fn parameters_and_common() {
+        let s = sema_of(
+            "
+      PROGRAM t
+      PARAMETER (size = 64)
+      COMMON /blk/ w, q
+      REAL w(100)
+      x = size
+      END
+",
+        );
+        let t = &s.tables["t"];
+        assert!(t.constant("size").is_some());
+        assert_eq!(t.common_block("w"), Some("blk"));
+        assert_eq!(t.common_block("q"), Some("blk"));
+        assert!(t.is_array("w"));
+        assert!(!t.is_array("q"));
+    }
+
+    #[test]
+    fn intrinsics_not_scalars() {
+        let s = sema_of("      PROGRAM t\n      x = max(a, b)\n      END\n");
+        let t = &s.tables["t"];
+        assert!(t.get("max").is_none());
+        assert!(t.get("a").is_some());
+    }
+
+    #[test]
+    fn implicit_typing_rule() {
+        assert_eq!(implicit_ty("i"), Ty::Integer);
+        assert_eq!(implicit_ty("n"), Ty::Integer);
+        assert_eq!(implicit_ty("kc"), Ty::Integer);
+        assert_eq!(implicit_ty("x"), Ty::Real);
+        assert_eq!(implicit_ty("a"), Ty::Real);
+    }
+}

@@ -1,0 +1,119 @@
+//! Robustness: the front end must never panic — every input produces
+//! either a parse tree or a structured error.
+
+use fortran::{analyze, parse_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: no panics.
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC*") {
+        let _ = parse_program(&s);
+    }
+
+    /// Fortran-flavored token soup: no panics, and sema never panics on
+    /// whatever happens to parse.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("PROGRAM t".to_string()),
+            Just("SUBROUTINE s(a)".to_string()),
+            Just("END".to_string()),
+            Just("ENDDO".to_string()),
+            Just("ENDIF".to_string()),
+            Just("DO i = 1, 10".to_string()),
+            Just("DO 10 j = 1, 5".to_string()),
+            Just("10    CONTINUE".to_string()),
+            Just("IF (x .GT. 1.0) THEN".to_string()),
+            Just("ELSE".to_string()),
+            Just("IF (p) goto 10".to_string()),
+            Just("goto 10".to_string()),
+            Just("x = y + z(i)".to_string()),
+            Just("a(i) = a(i-1) * 2".to_string()),
+            Just("call s(x)".to_string()),
+            Just("RETURN".to_string()),
+            Just("REAL a(100), x".to_string()),
+            Just("INTEGER i, j".to_string()),
+            Just("PARAMETER (n = 4)".to_string()),
+            Just("COMMON /blk/ q".to_string()),
+            Just("** ( ) , = .AND.".to_string()),
+        ],
+        0..30,
+    )) {
+        let src = tokens.join("\n");
+        if let Ok(p) = parse_program(&src) {
+            let _ = analyze(&p);
+        }
+    }
+
+    /// Structured mutations of a valid program: truncations at arbitrary
+    /// byte positions never panic.
+    #[test]
+    fn truncations_never_panic(cut in 0usize..400) {
+        let src = "
+      PROGRAM t
+      REAL a(100), w(10)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i + k)
+        ENDDO
+        IF (w(1) .GT. 5.0) THEN
+          a(i) = w(1)
+        ELSE
+          a(i) = w(10)
+        ENDIF
+      ENDDO
+      END
+";
+        let cut = cut.min(src.len());
+        // only cut at char boundaries
+        if src.is_char_boundary(cut) {
+            let _ = parse_program(&src[..cut]);
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_does_not_overflow() {
+    // 60 nested DO loops and 60 nested IFs: recursion depths stay sane.
+    let mut src = String::from("      PROGRAM t\n      REAL a(10)\n      INTEGER ");
+    let vars: Vec<String> = (0..60).map(|k| format!("i{k}")).collect();
+    src.push_str(&vars.join(", "));
+    src.push('\n');
+    for v in &vars {
+        src.push_str(&format!("      DO {v} = 1, 2\n"));
+    }
+    src.push_str("      a(1) = 1.0\n");
+    for _ in &vars {
+        src.push_str("      ENDDO\n");
+    }
+    src.push_str("      END\n");
+    let p = parse_program(&src).unwrap();
+    assert!(analyze(&p).is_ok());
+
+    let mut src2 = String::from("      PROGRAM t\n      REAL a(10)\n");
+    for _ in 0..60 {
+        src2.push_str("      IF (a(1) .GT. 0.0) THEN\n");
+    }
+    src2.push_str("      a(1) = 1.0\n");
+    for _ in 0..60 {
+        src2.push_str("      ENDIF\n");
+    }
+    src2.push_str("      END\n");
+    assert!(parse_program(&src2).is_ok());
+}
+
+#[test]
+fn pathological_expressions() {
+    // long operator chains and deep parens
+    let chain = (1..200).map(|k| k.to_string()).collect::<Vec<_>>().join(" + ");
+    let src = format!("      PROGRAM t\n      x = {chain}\n      END\n");
+    assert!(parse_program(&src).is_ok());
+
+    let deep = format!("{}x{}", "(".repeat(100), ")".repeat(100));
+    let src2 = format!("      PROGRAM t\n      y = {deep}\n      END\n");
+    assert!(parse_program(&src2).is_ok());
+}

@@ -1,0 +1,227 @@
+//! The GAR type.
+
+use pred::Pred;
+use region::Region;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sym::Expr;
+
+/// How a GAR's element set relates to the real access set. See the crate
+/// docs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Approx {
+    /// Exactly the accessed elements (when the guard holds).
+    Exact,
+    /// A superset (may information only).
+    Over,
+    /// A subset that is certainly accessed when the guard holds (must
+    /// information only).
+    Under,
+}
+
+/// A guarded array region `[P, R]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Gar {
+    /// The guard predicate.
+    pub guard: Pred,
+    /// The regular array region.
+    pub region: Region,
+    /// Approximation marker.
+    pub approx: Approx,
+}
+
+impl Gar {
+    /// Creates a GAR, normalizing the approximation marker: inexact guards
+    /// or Ω dimensions demote `Exact` to `Over`. The region's validity
+    /// conditions (`lo <= hi`) are conjoined into the guard, per the
+    /// paper's explicit-validity rule.
+    pub fn new(guard: Pred, region: Region) -> Gar {
+        Gar::with_approx(guard, region, Approx::Exact)
+    }
+
+    /// Creates a GAR with an explicit marker (normalized as in
+    /// [`Gar::new`]).
+    pub fn with_approx(guard: Pred, region: Region, approx: Approx) -> Gar {
+        let guard = guard.and(&region.validity());
+        let approx = match approx {
+            Approx::Exact if !guard.is_exact() || !region.is_exact() => Approx::Over,
+            // A must-GAR with lost components cannot promise anything:
+            // degrade to Over (it will then simply never be used to kill).
+            Approx::Under if !guard.is_exact() || !region.is_exact() => Approx::Over,
+            a => a,
+        };
+        Gar {
+            guard,
+            region,
+            approx,
+        }
+    }
+
+    /// A GAR covering one element `A(subs…)` under a guard.
+    pub fn element(guard: Pred, subs: impl IntoIterator<Item = Expr>) -> Gar {
+        Gar::new(guard, Region::element(subs))
+    }
+
+    /// The fully unknown GAR of a given rank (guard Δ, all dims Ω).
+    pub fn unknown(rank: usize) -> Gar {
+        Gar::with_approx(Pred::unknown(), Region::unknown(rank), Approx::Over)
+    }
+
+    /// `true` iff the GAR is provably empty (guard false or region empty).
+    pub fn definitely_empty(&self) -> bool {
+        self.guard.is_false() || self.region.definitely_empty()
+    }
+
+    /// `true` iff exact (usable as may and must information).
+    pub fn is_exact(&self) -> bool {
+        self.approx == Approx::Exact
+    }
+
+    /// `true` iff usable for may queries (dependence detection).
+    pub fn usable_as_may(&self) -> bool {
+        matches!(self.approx, Approx::Exact | Approx::Over)
+    }
+
+    /// `true` iff usable as a kill (subtrahend of upward-exposure).
+    pub fn usable_as_must(&self) -> bool {
+        matches!(self.approx, Approx::Exact | Approx::Under)
+    }
+
+    /// Number of array dimensions.
+    pub fn rank(&self) -> usize {
+        self.region.rank()
+    }
+
+    /// Conjoins a condition onto the guard (IF-condition attachment).
+    pub fn guarded_by(&self, p: &Pred) -> Gar {
+        Gar::with_approx(self.guard.and(p), self.region.clone(), self.approx)
+    }
+
+    /// Substitutes a scalar in guard and region. Demotes to `Over` when
+    /// components are lost.
+    pub fn subst_var(&self, name: &str, value: &Expr) -> Gar {
+        Gar::with_approx(
+            self.guard.subst_var(name, value),
+            self.region.subst_var(name, value),
+            self.approx,
+        )
+    }
+
+    /// Forgets a scalar whose value is unanalyzable: occurrences in the
+    /// guard weaken to Δ, occurrences in the region become Ω.
+    pub fn forget_var(&self, name: &str) -> Gar {
+        Gar::with_approx(
+            self.guard.forget_var(name),
+            self.region.forget_var(name),
+            self.approx,
+        )
+    }
+
+    /// Does the GAR mention the scalar anywhere?
+    pub fn contains_var(&self, name: &str) -> bool {
+        self.guard.contains_var(name) || self.region.contains_var(name)
+    }
+
+    /// Collects every scalar name mentioned by guard or region.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<sym::Name>) {
+        self.guard.collect_vars(out);
+        self.region.collect_vars(out);
+    }
+
+    /// A size measure (atoms + dims) for stats and caps.
+    pub fn size(&self) -> usize {
+        self.guard.size() + self.region.rank()
+    }
+}
+
+impl fmt::Display for Gar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let marker = match self.approx {
+            Approx::Exact => "",
+            Approx::Over => "⊇",
+            Approx::Under => "⊆",
+        };
+        write!(f, "[{}, {}{}]", self.guard, marker, self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sym::parse_expr;
+
+    fn e(s: &str) -> sym::Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn validity_enters_guard() {
+        let g = Gar::new(
+            Pred::tru(),
+            Region::from_ranges([region::Range::contiguous(e("a"), e("b"))]),
+        );
+        // guard now carries a <= b
+        assert!(!g.guard.is_true());
+        assert!(g.guard.implies(&Pred::le(e("a"), e("b"))));
+        assert!(g.is_exact());
+    }
+
+    #[test]
+    fn exactness_demotion() {
+        let g = Gar::new(Pred::unknown(), Region::element([e("i")]));
+        assert_eq!(g.approx, Approx::Over);
+        let h = Gar::new(Pred::tru(), Region::unknown(2));
+        assert_eq!(h.approx, Approx::Over);
+    }
+
+    #[test]
+    fn under_demotion_when_lossy() {
+        let g = Gar::with_approx(Pred::unknown(), Region::element([e("i")]), Approx::Under);
+        assert_eq!(g.approx, Approx::Over);
+        let ok = Gar::with_approx(Pred::tru(), Region::element([e("i")]), Approx::Under);
+        assert_eq!(ok.approx, Approx::Under);
+        assert!(ok.usable_as_must());
+        assert!(!ok.usable_as_may());
+    }
+
+    #[test]
+    fn empty_detection() {
+        let g = Gar::new(Pred::fals(), Region::element([e("i")]));
+        assert!(g.definitely_empty());
+        let h = Gar::new(
+            Pred::tru(),
+            Region::from_ranges([region::Range::contiguous(e("5"), e("2"))]),
+        );
+        assert!(h.definitely_empty());
+        // symbolic invalid range: not *definitely* empty, but guard carries
+        // the validity so intersected contradictions surface.
+        let s = Gar::new(
+            Pred::tru(),
+            Region::from_ranges([region::Range::contiguous(e("a"), e("b"))]),
+        );
+        assert!(!s.definitely_empty());
+        let contradicted = s.guarded_by(&Pred::lt(e("b"), e("a")));
+        assert!(contradicted.definitely_empty());
+    }
+
+    #[test]
+    fn guarded_by_conjoins() {
+        let g = Gar::element(Pred::tru(), [e("jmax")]);
+        let p = Pred::atom(pred::Atom::Bool(sym::Name::new("p"), false));
+        let h = g.guarded_by(&p);
+        assert_eq!(h.guard, p);
+    }
+
+    #[test]
+    fn subst_and_forget() {
+        let g = Gar::new(
+            Pred::le(e("i"), e("n")),
+            Region::from_ranges([region::Range::contiguous(e("1"), e("n"))]),
+        );
+        let s = g.subst_var("n", &e("10"));
+        assert!(s.is_exact());
+        assert!(!s.contains_var("n"));
+        let f = g.forget_var("n");
+        assert_eq!(f.approx, Approx::Over);
+    }
+}

@@ -1,0 +1,40 @@
+//! Guarded array regions (GARs) — the paper's central representation.
+//!
+//! A GAR `[P, R]` pairs a regular array region `R` with a guard predicate
+//! `P`: the elements of `R` are accessed exactly when `P` holds (§3 of
+//! Gu, Li & Lee, SC'95). Summaries (`MOD`, `UE`, …) are [`GarList`]s —
+//! unions of GARs for one array.
+//!
+//! # Approximation tracking
+//!
+//! The paper's sets are exact "unless the GAR's contain unknown
+//! components". This crate makes the unknown-component bookkeeping explicit
+//! with an [`Approx`] marker on every GAR:
+//!
+//! * `Exact` — the GAR describes its element set exactly (guard exact,
+//!   region exact). Usable both for dependence detection ("may" queries)
+//!   and as a subtrahend that kills upward exposure ("must" kills).
+//! * `Over` — over-approximation (may-only): something was lost — a Δ in
+//!   the guard, an Ω dimension, an unrepresentable operation. Sound for
+//!   dependence detection, never used to kill.
+//! * `Under` — under-approximation (must-only): every element is certainly
+//!   written when the guard holds, but other elements may be written too.
+//!   Produced by the ∀-extension when expanding conditionally-guarded
+//!   writes over a loop (the Fig. 1(a) inference). Sound as a kill, never
+//!   used for dependence detection.
+//!
+//! A `GarList` may mix markers; `may_view`/`must_view` select the sound
+//! subset for each query.
+
+#![warn(missing_docs)]
+
+mod expand;
+mod gars;
+mod list;
+
+pub use expand::{expand_gar, expand_list, LoopCtx};
+pub use gars::{Approx, Gar};
+pub use list::GarList;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,205 @@
+//! HSG data structures.
+
+use fortran::{Expr, Stmt};
+use std::fmt;
+
+/// Index of a node within its subgraph.
+pub type NodeId = usize;
+/// Index of a subgraph within the HSG arena.
+pub type SubgraphId = usize;
+
+/// Edge labels. `True`/`False` originate from IF-condition nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Ordinary fall-through / jump edge.
+    Seq,
+    /// Taken when the condition holds.
+    True,
+    /// Taken when the condition fails.
+    False,
+}
+
+/// HSG node kinds.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// Subgraph entry (unique, no statements).
+    Entry,
+    /// Subgraph exit (unique).
+    Exit,
+    /// A basic block of straight-line statements (assignments and
+    /// no-ops only).
+    Block(Vec<Stmt>),
+    /// An IF condition. Out-edges carry `True`/`False`.
+    IfCond(Expr),
+    /// A DO-loop node with its attached body subgraph.
+    Loop {
+        /// Loop index variable.
+        var: String,
+        /// Lower bound expression.
+        lo: Expr,
+        /// Upper bound expression.
+        hi: Expr,
+        /// Step expression (`None` = 1).
+        step: Option<Expr>,
+        /// The attached body subgraph.
+        body: SubgraphId,
+    },
+    /// A CALL statement.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// A condensed goto-cycle: the member nodes, kept for conservative
+    /// summarization (§5.4).
+    Condensed(Vec<Node>),
+}
+
+impl Node {
+    /// Short display tag used by dumps.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Node::Entry => "entry",
+            Node::Exit => "exit",
+            Node::Block(_) => "block",
+            Node::IfCond(_) => "if",
+            Node::Loop { .. } => "loop",
+            Node::Call { .. } => "call",
+            Node::Condensed(_) => "condensed",
+        }
+    }
+}
+
+/// One flow subgraph (a routine body or a DO-loop body). A DAG after
+/// condensation; `topo` is a topological order from entry to exit.
+#[derive(Clone, Debug, Default)]
+pub struct Subgraph {
+    /// Nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// Successor lists with edge kinds.
+    pub succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    /// Predecessor lists.
+    pub preds: Vec<Vec<NodeId>>,
+    /// Entry node id.
+    pub entry: NodeId,
+    /// Exit node id.
+    pub exit: NodeId,
+    /// Topological order (entry first). Unreachable nodes are omitted.
+    pub topo: Vec<NodeId>,
+    /// `true` iff a GOTO left this subgraph prematurely (multi-exit DO).
+    pub premature_exit: bool,
+}
+
+impl Subgraph {
+    /// Successors of `n`.
+    pub fn succs_of(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.succs[n]
+    }
+
+    /// The `True` and `False` successors of an IF-condition node.
+    pub fn branch_succs(&self, n: NodeId) -> (Option<NodeId>, Option<NodeId>) {
+        let mut t = None;
+        let mut f = None;
+        for &(s, k) in &self.succs[n] {
+            match k {
+                EdgeKind::True => t = Some(s),
+                EdgeKind::False => f = Some(s),
+                EdgeKind::Seq => {}
+            }
+        }
+        (t, f)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff empty (never for built graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// The hierarchical supergraph of a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct Hsg {
+    /// All subgraphs (routine bodies and loop bodies).
+    pub subgraphs: Vec<Subgraph>,
+    /// Routine name → its flow subgraph.
+    pub routines: std::collections::BTreeMap<String, SubgraphId>,
+}
+
+impl Hsg {
+    /// The flow subgraph of a routine.
+    pub fn routine(&self, name: &str) -> Option<&Subgraph> {
+        self.routines.get(name).map(|&id| &self.subgraphs[id])
+    }
+
+    /// Total node count across all subgraphs (a size statistic).
+    pub fn total_nodes(&self) -> usize {
+        self.subgraphs.iter().map(Subgraph::len).sum()
+    }
+
+    /// Renders an indented textual dump of a routine's hierarchy (used by
+    /// the Fig. 3 example and tests).
+    pub fn dump_routine(&self, name: &str) -> String {
+        let mut out = String::new();
+        if let Some(&sg) = self.routines.get(name) {
+            out.push_str(&format!("routine {name}:\n"));
+            self.dump_subgraph(sg, 1, &mut out);
+        }
+        out
+    }
+
+    fn dump_subgraph(&self, sg: SubgraphId, indent: usize, out: &mut String) {
+        let g = &self.subgraphs[sg];
+        let pad = "  ".repeat(indent);
+        for &n in &g.topo {
+            let node = &g.nodes[n];
+            let succ: Vec<String> = g.succs[n]
+                .iter()
+                .map(|(s, k)| match k {
+                    EdgeKind::Seq => format!("{s}"),
+                    EdgeKind::True => format!("{s}:T"),
+                    EdgeKind::False => format!("{s}:F"),
+                })
+                .collect();
+            match node {
+                Node::IfCond(c) => {
+                    out.push_str(&format!("{pad}{n} if ({c}) -> [{}]\n", succ.join(", ")));
+                }
+                Node::Loop { var, lo, hi, body, .. } => {
+                    out.push_str(&format!(
+                        "{pad}{n} do {var} = {lo}, {hi} -> [{}]\n",
+                        succ.join(", ")
+                    ));
+                    self.dump_subgraph(*body, indent + 1, out);
+                }
+                Node::Call { name, .. } => {
+                    out.push_str(&format!("{pad}{n} call {name} -> [{}]\n", succ.join(", ")));
+                }
+                Node::Block(stmts) => {
+                    out.push_str(&format!(
+                        "{pad}{n} block({} stmts) -> [{}]\n",
+                        stmts.len(),
+                        succ.join(", ")
+                    ));
+                }
+                other => {
+                    out.push_str(&format!("{pad}{n} {} -> [{}]\n", other.tag(), succ.join(", ")));
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Hsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for name in self.routines.keys() {
+            f.write_str(&self.dump_routine(name))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,25 @@
+//! The Hierarchical Supergraph (HSG) of §4.
+//!
+//! The HSG composes the flow subgraphs of all routines in a program. It has
+//! three kinds of compound-aware nodes beyond plain basic blocks:
+//!
+//! * **call nodes** — one per `CALL` statement, linked to the callee's flow
+//!   subgraph (which is never duplicated across call sites);
+//! * **loop nodes** — one per `DO` loop, with an *attached* flow subgraph
+//!   for the loop body whose back edge is deliberately deleted;
+//! * **IF-condition nodes** — each IF condition forms its own node, with
+//!   `True`/`False` labelled out-edges, so guards can be attached during
+//!   summary propagation.
+//!
+//! Cycles caused by backward `GOTO`s are condensed into [`Node::Condensed`]
+//! nodes (§5.4), and premature exits out of DO loops are flagged, so every
+//! subgraph is a DAG with a topological order, and the whole structure is a
+//! hierarchical DAG as the paper requires.
+
+#![warn(missing_docs)]
+
+mod build;
+mod graph;
+
+pub use build::{build_hsg, HsgError};
+pub use graph::{EdgeKind, Hsg, Node, NodeId, Subgraph, SubgraphId};

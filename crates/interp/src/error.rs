@@ -1,0 +1,30 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// An execution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeError {
+    /// Description.
+    pub message: String,
+    /// Routine in which the failure happened.
+    pub routine: String,
+}
+
+impl RuntimeError {
+    /// Creates an error.
+    pub fn new(routine: &str, message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+            routine: routine.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error in {}: {}", self.routine, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,35 @@
+//! An interpreter and parallel runtime for the Fortran subset.
+//!
+//! This is the execution substrate for the paper's Table 1 speedup column.
+//! The original measurements ran on an 8-processor Alliant FX/8, which we
+//! do not have; instead (per the substitution policy in DESIGN.md §3) this
+//! crate provides:
+//!
+//! * a **sequential interpreter** with deterministic operation counting,
+//! * a **threaded parallel executor** that runs a designated DO loop's
+//!   iterations across real threads, giving each thread private copies of
+//!   the arrays/scalars the privatization analysis marked private —
+//!   demonstrating that privatized execution is *correct* (bitwise equal
+//!   to sequential),
+//! * a **P-processor simulation** that charges each iteration its counted
+//!   operations and schedules chunks over `P` virtual processors, yielding
+//!   deterministic speedup figures with the shape of the paper's.
+//!
+//! Parallel soundness contract: the caller passes a [`ParallelPlan`] that
+//! must come from the privatization verdicts. Threads work on full memory
+//! clones; after the loop, non-private arrays are merged by disjoint-write
+//! diffing (valid because the analysis proved the absence of cross-
+//! iteration output dependences) and private objects are copied out from
+//! the final iteration when live.
+
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod memory;
+mod parallel;
+
+pub use error::RuntimeError;
+pub use exec::{ExecStats, Machine};
+pub use memory::{ArrayData, ArrayStore, Memory, Value};
+pub use parallel::{simulate_speedup, LoopPlan, ParallelOutcome, ParallelPlan, SimResult};

@@ -1,0 +1,339 @@
+//! Threaded parallel DO execution and the P-processor speedup simulation.
+
+use crate::error::RuntimeError;
+use crate::exec::{Flow, Frame, Machine, RunState};
+use crate::memory::{ArrayData, Value};
+use fortran::{Routine, Stmt};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// What to privatize for one parallel loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopPlan {
+    /// Arrays given a private copy per thread.
+    pub private_arrays: Vec<String>,
+    /// Scalars given a private copy per thread (the loop index always is).
+    pub private_scalars: Vec<String>,
+    /// Privatized arrays whose last value must be copied out.
+    pub copy_out: Vec<String>,
+    /// Scalars executed as sum reductions: each thread accumulates from
+    /// the additive identity and the partials are combined after the join.
+    /// Floating-point results may differ from sequential execution by
+    /// reassociation (as on any real parallel machine).
+    pub sum_reductions: Vec<String>,
+}
+
+/// The set of loops to run in parallel, keyed by `(routine, index var)`.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelPlan {
+    loops: BTreeMap<(String, String), LoopPlan>,
+}
+
+impl ParallelPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a loop.
+    pub fn add(&mut self, routine: &str, var: &str, plan: LoopPlan) {
+        self.loops
+            .insert((routine.to_string(), var.to_string()), plan);
+    }
+
+    /// Does the plan cover this loop?
+    pub fn matches(&self, routine: &str, var: &str) -> bool {
+        self.loops
+            .contains_key(&(routine.to_string(), var.to_string()))
+    }
+
+    fn get(&self, routine: &str, var: &str) -> Option<&LoopPlan> {
+        self.loops.get(&(routine.to_string(), var.to_string()))
+    }
+}
+
+/// Outcome information of a parallel run (beyond the memory itself).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ParallelOutcome {
+    /// Iterations executed across threads.
+    pub iterations: u64,
+    /// Threads used.
+    pub threads: usize,
+}
+
+/// Executes the designated DO loop across threads. Called from the
+/// interpreter when it reaches a planned loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel_do(
+    machine: &Machine,
+    r: &Routine,
+    var: &str,
+    lo: i64,
+    step: i64,
+    trips: i64,
+    body: &[Stmt],
+    frame: &mut Frame,
+    st: &mut RunState,
+) -> Result<Flow, RuntimeError> {
+    let plan = st
+        .plan
+        .and_then(|p| p.get(&r.name, var))
+        .cloned()
+        .unwrap_or_default();
+    let nthreads = st.nthreads.max(1).min(trips.max(1) as usize);
+    if trips <= 0 {
+        frame.scalars.insert(var.to_string(), Value::Int(lo));
+        return Ok(Flow::Normal);
+    }
+
+    // Snapshot memory for diff-merging.
+    let base_mem = st.mem.clone();
+    let mut base_frame = frame.clone();
+    // Reduction scalars: remember the incoming value, start threads from
+    // the additive identity.
+    let mut reduction_pre: Vec<(String, Value)> = Vec::new();
+    for s in &plan.sum_reductions {
+        if let Some(v) = base_frame.scalars.get(s).copied() {
+            reduction_pre.push((s.clone(), v));
+            base_frame.scalars.insert(
+                s.clone(),
+                match v {
+                    Value::Int(_) => Value::Int(0),
+                    _ => Value::Real(0.0),
+                },
+            );
+        }
+    }
+    let base_frame = base_frame;
+
+    // Contiguous chunking.
+    let chunk = (trips as usize).div_ceil(nthreads);
+    struct ThreadResult {
+        mem: crate::memory::Memory,
+        frame: Frame,
+        ops: u64,
+        last_iter: Option<i64>,
+        err: Option<RuntimeError>,
+    }
+
+    let results: Vec<ThreadResult> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..nthreads {
+            let begin = t * chunk;
+            let end = ((t + 1) * chunk).min(trips as usize);
+            if begin >= end {
+                continue;
+            }
+            let base_mem = &base_mem;
+            let base_frame = &base_frame;
+            let plan = &plan;
+            handles.push(scope.spawn(move |_| {
+                let mut tst = RunState {
+                    mem: base_mem.clone(),
+                    stats: crate::exec::ExecStats::default(),
+                    commons: BTreeMap::new(),
+                    budget: u64::MAX,
+                    plan: None,
+                    nthreads: 1,
+                    hook: None,
+                    in_target: true,
+                };
+                let mut tframe = base_frame.clone();
+                let mut last_iter = None;
+                let mut err = None;
+                'iters: for k in begin..end {
+                    let iv = lo + k as i64 * step;
+                    tframe.scalars.insert(var.to_string(), Value::Int(iv));
+                    // Reset private scalars each iteration is not needed —
+                    // the analysis guarantees they are written before read.
+                    match machine.exec_body(r, body, &mut tframe, &mut tst) {
+                        Ok(Flow::Normal) => last_iter = Some(iv),
+                        Ok(_) => {
+                            err = Some(RuntimeError::new(
+                                &r.name,
+                                "control left a parallel loop iteration",
+                            ));
+                            break 'iters;
+                        }
+                        Err(e) => {
+                            err = Some(e);
+                            break 'iters;
+                        }
+                    }
+                    let _ = plan;
+                }
+                ThreadResult {
+                    mem: tst.mem,
+                    frame: tframe,
+                    ops: tst.stats.ops,
+                    last_iter,
+                    err,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    for tr in &results {
+        if let Some(e) = &tr.err {
+            return Err(e.clone());
+        }
+    }
+
+    // Private array handles (skipped in the shared merge).
+    let private_handles: Vec<usize> = plan
+        .private_arrays
+        .iter()
+        .filter_map(|n| frame.arrays.get(n).map(|(h, _)| *h))
+        .collect();
+
+    // Merge shared arrays by disjoint-write diffing.
+    for tr in &results {
+        for (h, (base, new)) in base_mem.arrays.iter().zip(&tr.mem.arrays).enumerate() {
+            if private_handles.contains(&h) {
+                continue;
+            }
+            merge_diff(&mut st.mem.arrays[h].data, &base.data, &new.data);
+        }
+        st.stats.ops += tr.ops;
+        st.stats.parallel_iterations += (tr.last_iter.is_some()) as u64;
+    }
+
+    // Copy-out: the thread that ran the final iteration provides last
+    // values of privatized arrays and private scalars.
+    if let Some(final_thread) = results
+        .iter()
+        .filter(|tr| tr.last_iter.is_some())
+        .max_by_key(|tr| tr.last_iter)
+    {
+        for name in plan
+            .copy_out
+            .iter()
+            .chain(plan.private_arrays.iter())
+        {
+            if !plan.copy_out.contains(name) {
+                continue;
+            }
+            if let Some(&(h, _)) = frame.arrays.get(name.as_str()) {
+                st.mem.arrays[h] = final_thread.mem.arrays[h].clone();
+            }
+        }
+        for s in &plan.private_scalars {
+            if let Some(v) = final_thread.frame.scalars.get(s) {
+                frame.scalars.insert(s.clone(), *v);
+            }
+        }
+    }
+
+    // Combine reduction partials: final = pre-value + Σ thread partials.
+    for (name, pre) in &reduction_pre {
+        let combined = results.iter().fold(*pre, |acc, tr| {
+            match (acc, tr.frame.scalars.get(name).copied()) {
+                (Value::Int(a), Some(Value::Int(b))) => Value::Int(a.wrapping_add(b)),
+                (a, Some(b)) => Value::Real(a.as_f64() + b.as_f64()),
+                (a, None) => a,
+            }
+        });
+        frame.scalars.insert(name.clone(), combined);
+    }
+
+    frame
+        .scalars
+        .insert(var.to_string(), Value::Int(lo + trips * step));
+    Ok(Flow::Normal)
+}
+
+/// Applies `new − base` differences onto `dst`, asserting disjointness in
+/// debug builds (a conflict would mean the privatization verdict was
+/// wrong).
+fn merge_diff(dst: &mut ArrayData, base: &ArrayData, new: &ArrayData) {
+    match (dst, base, new) {
+        (ArrayData::Int(d), ArrayData::Int(b), ArrayData::Int(n)) => {
+            for k in 0..d.len() {
+                if n[k] != b[k] {
+                    debug_assert!(
+                        d[k] == b[k] || d[k] == n[k],
+                        "conflicting parallel writes at {k}"
+                    );
+                    d[k] = n[k];
+                }
+            }
+        }
+        (ArrayData::Real(d), ArrayData::Real(b), ArrayData::Real(n)) => {
+            for k in 0..d.len() {
+                if n[k].to_bits() != b[k].to_bits() {
+                    debug_assert!(
+                        d[k].to_bits() == b[k].to_bits() || d[k].to_bits() == n[k].to_bits(),
+                        "conflicting parallel writes at {k}"
+                    );
+                    d[k] = n[k];
+                }
+            }
+        }
+        (ArrayData::Logical(d), ArrayData::Logical(b), ArrayData::Logical(n)) => {
+            for k in 0..d.len() {
+                if n[k] != b[k] {
+                    d[k] = n[k];
+                }
+            }
+        }
+        _ => unreachable!("type-changing merge"),
+    }
+}
+
+/// Result of the deterministic P-processor simulation.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SimResult {
+    /// Sequential operation count of the whole program.
+    pub t1: u64,
+    /// Simulated parallel operation count with P processors.
+    pub tp: u64,
+    /// `t1 as f64 / tp as f64`.
+    pub speedup: f64,
+    /// Fraction of `t1` spent inside the parallelized loop.
+    pub loop_fraction: f64,
+    /// Iterations of the parallelized loop.
+    pub iterations: usize,
+}
+
+/// Per-iteration scheduling overhead charged by the simulation (fork/join
+/// and privatization copying), in abstract operations.
+const SIM_OVERHEAD_PER_CHUNK: u64 = 150;
+
+/// Simulates executing the hooked loop `(routine, var)` on `p` virtual
+/// processors: runs the program sequentially once with per-iteration
+/// instrumentation, then schedules contiguous chunks.
+pub fn simulate_speedup(
+    machine: &Machine,
+    routine: &str,
+    var: &str,
+    p: usize,
+) -> Result<SimResult, RuntimeError> {
+    let (_, stats) = machine.run_hooked(routine, var)?;
+    let t1 = stats.ops;
+    let loop_ops: u64 = stats.iter_ops.iter().sum();
+    let serial = t1 - loop_ops;
+    let p = p.max(1);
+    let n = stats.iter_ops.len();
+    let chunk = n.div_ceil(p.max(1)).max(1);
+    let mut worst: u64 = 0;
+    let mut k = 0;
+    while k < n {
+        let end = (k + chunk).min(n);
+        let cost: u64 = stats.iter_ops[k..end].iter().sum::<u64>() + SIM_OVERHEAD_PER_CHUNK;
+        worst = worst.max(cost);
+        k = end;
+    }
+    let tp = serial + if n == 0 { 0 } else { worst };
+    Ok(SimResult {
+        t1,
+        tp,
+        speedup: t1 as f64 / tp.max(1) as f64,
+        loop_fraction: loop_ops as f64 / t1.max(1) as f64,
+        iterations: n,
+    })
+}

@@ -1,0 +1,227 @@
+//! Disjunctions of atoms (the clauses of a CNF predicate).
+
+use crate::atom::Atom;
+use crate::simplify::{atom_implies, atoms_contradict};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A disjunction `a1 ∨ a2 ∨ … ∨ an` of atoms, kept sorted and deduplicated.
+///
+/// An empty disjunction is `False`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Disj {
+    atoms: Vec<Atom>,
+}
+
+impl Disj {
+    /// Builds a disjunction from atoms, canonicalizing and deduplicating.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Self {
+        let mut v: Vec<Atom> = atoms.into_iter().map(Atom::canon).collect();
+        v.sort();
+        v.dedup();
+        Disj { atoms: v }
+    }
+
+    /// A single-atom disjunction.
+    pub fn unit(atom: Atom) -> Self {
+        Disj {
+            atoms: vec![atom.canon()],
+        }
+    }
+
+    /// The sorted atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// `true` iff the disjunction is the empty (false) clause.
+    pub fn is_false_clause(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// `Some(&atom)` iff the clause has exactly one atom.
+    pub fn as_unit(&self) -> Option<&Atom> {
+        match self.atoms.as_slice() {
+            [a] => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Or-combines two disjunctions.
+    pub fn or(&self, other: &Disj) -> Disj {
+        Disj::from_atoms(self.atoms.iter().chain(other.atoms.iter()).cloned())
+    }
+
+    /// Simplifies the clause pairwise.
+    ///
+    /// Returns `None` if the clause is a tautology (contains a constant-true
+    /// atom or a complementary pair) and should be dropped from the CNF;
+    /// otherwise the simplified clause (possibly empty = false).
+    pub fn simplified(&self) -> Option<Disj> {
+        // Drop constant-false atoms; detect constant-true.
+        let mut kept: Vec<Atom> = Vec::with_capacity(self.atoms.len());
+        for a in &self.atoms {
+            match a.const_value() {
+                Some(true) => return None,
+                Some(false) => {}
+                None => kept.push(a.clone()),
+            }
+        }
+        // Tautology: a ∨ b where ¬a ⇒ b (covers exact complements).
+        for i in 0..kept.len() {
+            for j in 0..kept.len() {
+                if i != j
+                    && kept[i].has_complement()
+                    && atom_implies(&kept[i].complement(), &kept[j])
+                {
+                    return None;
+                }
+            }
+        }
+        // Absorption: drop a if a ⇒ b for some other kept atom b.
+        let mut out: Vec<Atom> = Vec::with_capacity(kept.len());
+        'outer: for (i, a) in kept.iter().enumerate() {
+            for (j, b) in kept.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if atom_implies(a, b) && !(atom_implies(b, a) && i > j) {
+                    // a is subsumed by the (weaker or equal) atom b. The
+                    // second condition keeps exactly one of a mutually
+                    // implying pair.
+                    if atom_implies(b, a) && j > i {
+                        // mutual: keep the first occurrence (i < j) only
+                        continue;
+                    }
+                    continue 'outer;
+                }
+            }
+            out.push(a.clone());
+        }
+        out.sort();
+        out.dedup();
+        Some(Disj { atoms: out })
+    }
+
+    /// Does any atom mention `name`?
+    pub fn contains_var(&self, name: &str) -> bool {
+        self.atoms.iter().any(|a| a.contains_var(name))
+    }
+
+    /// Substitutes `name := value` in every atom; `None` on overflow.
+    pub fn try_subst_var(&self, name: &str, value: &sym::Expr) -> Option<Disj> {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| a.try_subst_var(name, value))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Disj::from_atoms(atoms))
+    }
+
+    /// Collects every scalar name mentioned by the clause.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<sym::Name>) {
+        for a in &self.atoms {
+            a.collect_vars(out);
+        }
+    }
+
+    /// Is `self ∧ other` provably false? Only meaningful for unit clauses.
+    pub fn contradicts_unit(&self, other: &Disj) -> bool {
+        match (self.as_unit(), other.as_unit()) {
+            (Some(a), Some(b)) => atoms_contradict(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Disj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("FALSE");
+        }
+        if self.atoms.len() == 1 {
+            return write!(f, "{}", self.atoms[0]);
+        }
+        f.write_str("(")?;
+        for (k, a) in self.atoms.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sym::{parse_expr, Expr};
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let d = Disj::from_atoms([Atom::lt(e("i"), e("3")), Atom::lt(e("i"), e("3"))]);
+        assert_eq!(d.atoms().len(), 1);
+    }
+
+    #[test]
+    fn const_false_dropped() {
+        let d = Disj::from_atoms([Atom::lt(e("2"), e("1")), Atom::lt(e("i"), e("3"))]);
+        let s = d.simplified().unwrap();
+        assert_eq!(s.atoms().len(), 1);
+    }
+
+    #[test]
+    fn const_true_makes_tautology() {
+        let d = Disj::from_atoms([Atom::lt(e("1"), e("2")), Atom::lt(e("i"), e("3"))]);
+        assert!(d.simplified().is_none());
+    }
+
+    #[test]
+    fn complementary_pair_is_tautology() {
+        let a = Atom::lt(e("i"), e("n"));
+        let d = Disj::from_atoms([a.clone(), a.complement()]);
+        assert!(d.simplified().is_none());
+    }
+
+    #[test]
+    fn covering_pair_is_tautology() {
+        // (i < 5) ∨ (i >= 3) is a tautology: ¬(i<5) = (i>=5) ⇒ (i>=3).
+        let d = Disj::from_atoms([Atom::lt(e("i"), e("5")), Atom::ge(e("i"), e("3"))]);
+        assert!(d.simplified().is_none());
+    }
+
+    #[test]
+    fn absorption_keeps_weakest() {
+        // (i < 3) ∨ (i < 5) simplifies to (i < 5)
+        let d = Disj::from_atoms([Atom::lt(e("i"), e("3")), Atom::lt(e("i"), e("5"))]);
+        let s = d.simplified().unwrap();
+        assert_eq!(s.atoms(), &[Atom::lt(e("i"), e("5"))]);
+    }
+
+    #[test]
+    fn empty_is_false() {
+        let d = Disj::from_atoms([]);
+        assert!(d.is_false_clause());
+        assert_eq!(d.simplified().unwrap(), d);
+        assert_eq!(d.to_string(), "FALSE");
+    }
+
+    #[test]
+    fn subst_var() {
+        let d = Disj::from_atoms([Atom::lt(e("i"), e("n"))]);
+        let s = d.try_subst_var("n", &e("10")).unwrap();
+        assert_eq!(s, Disj::from_atoms([Atom::lt(e("i"), e("10"))]));
+    }
+
+    #[test]
+    fn unit_contradiction() {
+        let d1 = Disj::unit(Atom::eq(e("kc"), e("0")));
+        let d2 = Disj::unit(Atom::ne(e("kc"), e("0")));
+        assert!(d1.contradicts_unit(&d2));
+    }
+}

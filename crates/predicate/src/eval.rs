@@ -1,0 +1,209 @@
+//! Concrete evaluation of predicates, for testing and the interpreter.
+//!
+//! Property tests use evaluation as the soundness oracle: every
+//! simplification the library performs must preserve the truth value under
+//! every concrete assignment.
+
+use crate::atom::{Atom, CondTemplate, RelOp};
+use crate::disj::Disj;
+use crate::predicate::Pred;
+use sym::{Env, Expr};
+
+/// Answers concrete queries about condition templates (the `C⟨t⟩(e)` atoms).
+pub trait CondOracle {
+    /// The truth value of template `t` at concrete index `index`, or `None`
+    /// if unknown.
+    fn eval_cond(&self, template: &CondTemplate, index: i64) -> Option<bool>;
+}
+
+/// An oracle that knows nothing (scalar-only evaluation).
+pub struct NoConds;
+
+impl CondOracle for NoConds {
+    fn eval_cond(&self, _: &CondTemplate, _: i64) -> Option<bool> {
+        None
+    }
+}
+
+impl<F> CondOracle for F
+where
+    F: Fn(&CondTemplate, i64) -> Option<bool>,
+{
+    fn eval_cond(&self, template: &CondTemplate, index: i64) -> Option<bool> {
+        self(template, index)
+    }
+}
+
+/// An evaluation context: scalar bindings plus a condition oracle.
+pub struct EvalCtx<'a> {
+    /// Integer bindings for scalar variables. Logical variables are encoded
+    /// as 0 (false) / nonzero (true).
+    pub env: &'a Env,
+    /// Oracle for condition templates.
+    pub oracle: &'a dyn CondOracle,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// A scalar-only context.
+    pub fn scalars(env: &'a Env) -> EvalCtx<'a> {
+        EvalCtx {
+            env,
+            oracle: &NoConds,
+        }
+    }
+
+    fn eval_expr(&self, e: &Expr) -> Option<i64> {
+        e.eval(self.env)
+    }
+
+    /// Evaluates an atom; `None` when some variable is unbound or an oracle
+    /// query fails.
+    pub fn eval_atom(&self, a: &Atom) -> Option<bool> {
+        match a {
+            Atom::Rel(e, op) => {
+                let v = self.eval_expr(e)?;
+                Some(match op {
+                    RelOp::Lt => v < 0,
+                    RelOp::Eq => v == 0,
+                    RelOp::Ne => v != 0,
+                })
+            }
+            Atom::Bool(name, b) => {
+                let v = self.env.get(name.as_str())?;
+                Some((v != 0) == *b)
+            }
+            Atom::Cond {
+                template,
+                index,
+                positive,
+                ..
+            } => {
+                let i = self.eval_expr(index)?;
+                Some(self.oracle.eval_cond(template, i)? == *positive)
+            }
+            Atom::ForallCond {
+                template,
+                lo,
+                hi,
+                positive,
+                ..
+            } => {
+                let lo = self.eval_expr(lo)?;
+                let hi = self.eval_expr(hi)?;
+                for k in lo..=hi {
+                    if self.oracle.eval_cond(template, k)? != *positive {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+        }
+    }
+
+    /// Evaluates a disjunction: true if any atom is true; false only if all
+    /// evaluate to false.
+    pub fn eval_disj(&self, d: &Disj) -> Option<bool> {
+        let mut all_known = true;
+        for a in d.atoms() {
+            match self.eval_atom(a) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => all_known = false,
+            }
+        }
+        if all_known {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates a predicate. A Δ-carrying predicate evaluates to `None`
+    /// unless its known part is already false.
+    pub fn eval_pred(&self, p: &Pred) -> Option<bool> {
+        match p {
+            Pred::False => Some(false),
+            Pred::Cnf { disjs, unknown } => {
+                let mut all_known = true;
+                for d in disjs {
+                    match self.eval_disj(d) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all_known = false,
+                    }
+                }
+                if *unknown || !all_known {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sym::parse_expr;
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn scalar_pred_eval() {
+        let env = Env::from_pairs([("i", 3), ("n", 10)]);
+        let ctx = EvalCtx::scalars(&env);
+        assert_eq!(ctx.eval_pred(&Pred::le(e("i"), e("n"))), Some(true));
+        assert_eq!(ctx.eval_pred(&Pred::lt(e("n"), e("i"))), Some(false));
+        assert_eq!(ctx.eval_pred(&Pred::tru()), Some(true));
+        assert_eq!(ctx.eval_pred(&Pred::fals()), Some(false));
+        assert_eq!(ctx.eval_pred(&Pred::unknown()), None);
+    }
+
+    #[test]
+    fn unknown_with_false_known_part() {
+        let env = Env::from_pairs([("i", 3)]);
+        let ctx = EvalCtx::scalars(&env);
+        let p = Pred::lt(e("i"), e("0")).and(&Pred::unknown());
+        assert_eq!(ctx.eval_pred(&p), Some(false));
+    }
+
+    #[test]
+    fn bool_atoms() {
+        let env = Env::from_pairs([("p", 1)]);
+        let ctx = EvalCtx::scalars(&env);
+        let tru = Pred::atom(Atom::Bool(sym::Name::new("p"), true));
+        let fal = Pred::atom(Atom::Bool(sym::Name::new("p"), false));
+        assert_eq!(ctx.eval_pred(&tru), Some(true));
+        assert_eq!(ctx.eval_pred(&fal), Some(false));
+    }
+
+    #[test]
+    fn cond_oracle_forall() {
+        let env = Env::from_pairs([("a", 1), ("b", 4)]);
+        let t = CondTemplate::new("c");
+        // Oracle: C(k) holds iff k is even.
+        let oracle = |_t: &CondTemplate, k: i64| Some(k % 2 == 0);
+        let ctx = EvalCtx {
+            env: &env,
+            oracle: &oracle,
+        };
+        let all_even = Atom::ForallCond {
+            deps: vec![],
+            template: t.clone(),
+            lo: e("a"),
+            hi: e("b"),
+            positive: true,
+        };
+        assert_eq!(ctx.eval_atom(&all_even), Some(false));
+        let single = Atom::Cond {
+            deps: vec![],
+            template: t,
+            index: e("b"),
+            positive: true,
+        };
+        assert_eq!(ctx.eval_atom(&single), Some(true));
+    }
+}

@@ -1,0 +1,43 @@
+//! Predicates (guards) for guarded array regions.
+//!
+//! This crate implements the "predicate operation library" and "predicate
+//! simplifier" of Gu, Li & Lee (SC'95, §5.2). A predicate is kept in an
+//! **ordered conjunctive normal form**: a conjunction of [`Disj`]unctions,
+//! each a disjunction of [`Atom`]s. Atoms are relational expressions
+//! normalized against zero —
+//!
+//! * `e < 0`, `e = 0`, `e ≠ 0` over symbolic integer expressions ([`sym::Expr`]),
+//! * logical variables `v = .TRUE. / .FALSE.`,
+//! * (extension, §5.2/§5.3) *guarded array conditions* `C⟨t⟩(e)` — "the
+//!   conditional template `t` holds at index `e`" — and universally
+//!   quantified facts `∀ k ∈ [lo,hi] : ¬C⟨t⟩(k)`, which are what the MDG
+//!   `interf` loop of Fig. 1(a) needs.
+//!
+//! The unknown guard Δ of the paper is tracked as a flag on the predicate:
+//! a [`Pred`] is either `False` or "known CNF part ∧ (optionally) Δ". The
+//! known part is always a *necessary* condition of the actual guard, so
+//! proving the known part false proves the guard false — exactly the
+//! property the emptiness tests of the dataflow analysis rely on.
+//!
+//! The simplifier is pairwise, like the paper's: it evaluates conjunctions
+//! and disjunctions of two atoms/disjunctions at a time, removing redundant
+//! components and detecting contradictions early.
+
+#![warn(missing_docs)]
+
+mod atom;
+mod bounds;
+mod disj;
+mod eval;
+mod predicate;
+mod simplify;
+
+pub use atom::{Atom, CondTemplate, RelOp};
+pub use bounds::{bounds_on, VarBounds};
+pub use disj::Disj;
+pub use eval::{CondOracle, EvalCtx};
+pub use predicate::Pred;
+pub use simplify::{atom_implies, disj_implies};
+
+#[cfg(test)]
+mod proptests;

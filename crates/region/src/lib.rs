@@ -1,0 +1,40 @@
+//! Regular array regions: rectangular sets of array elements described by
+//! symbolic range triples, with guarded set operations.
+//!
+//! A *regular array region* of an `m`-dimensional array is
+//! `A(r_1, …, r_m)` where each `r_k` is a range `(l : u : s)` of symbolic
+//! expressions (§3 of Gu, Li & Lee, SC'95). Because bounds are symbolic,
+//! the set operations ∩, ∪ and − cannot always produce a single region;
+//! instead they produce *guarded* lists `[(P, R)]` where `P` is the symbolic
+//! condition ([`pred::Pred`]) under which the piece `R` is the result. All
+//! `min`/`max` operators are eliminated by case-splitting into such guards,
+//! exactly as §3 prescribes, so simplifiers can discharge empty and
+//! redundant pieces early.
+//!
+//! Conventions:
+//!
+//! * The validity condition `l <= u` of every *produced* range is included
+//!   in its guard (the paper's explicit-validity rule).
+//! * A dimension may be Ω ([`Dim::Unknown`]): the analysis lost track of
+//!   which elements are covered in that dimension. Regions with unknown
+//!   dimensions are over-approximations; [`Region::is_exact`] reports this.
+
+#![warn(missing_docs)]
+
+mod range;
+mod range_ops;
+mod region_type;
+mod region_ops;
+mod shape;
+
+pub use range::Range;
+pub use range_ops::{
+    max_cases, min_cases, prove_eq, prove_le, prove_lt, range_intersect, range_subtract,
+    range_union_merge, Guarded,
+};
+pub use region_type::{Dim, Region};
+pub use shape::{ShapeCond, ShapeOp, ShapedRegion};
+pub use region_ops::{region_covers, region_intersect, region_subtract, region_union_merge};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,178 @@
+//! Symbolic range triples `(l : u : s)`.
+
+use pred::Pred;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sym::{compare, Expr, SymOrdering};
+
+/// A range triple `(lo : hi : step)` denoting `{lo, lo+step, …} ∩ [lo, hi]`.
+///
+/// Steps are positive; the common case is 1. Bounds are symbolic
+/// expressions. A range is *valid* (non-empty) iff `lo <= hi`; validity is
+/// tracked in guards, not in the range itself.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Inclusive upper bound.
+    pub hi: Expr,
+    /// Positive step.
+    pub step: Expr,
+}
+
+impl Range {
+    /// `(lo : hi : step)`.
+    pub fn new(lo: Expr, hi: Expr, step: Expr) -> Self {
+        Range { lo, hi, step }
+    }
+
+    /// A contiguous range `(lo : hi : 1)`.
+    pub fn contiguous(lo: Expr, hi: Expr) -> Self {
+        Range::new(lo, hi, Expr::one())
+    }
+
+    /// A single element `(e : e : 1)`.
+    pub fn unit(e: Expr) -> Self {
+        Range::new(e.clone(), e, Expr::one())
+    }
+
+    /// The validity condition `lo <= hi` of this range.
+    pub fn validity(&self) -> Pred {
+        Pred::le(self.lo.clone(), self.hi.clone())
+    }
+
+    /// `true` iff the range is provably empty (`lo > hi`).
+    pub fn definitely_empty(&self) -> bool {
+        compare(&self.lo, &self.hi) == SymOrdering::Greater
+    }
+
+    /// `true` iff the range is provably non-empty (`lo <= hi`).
+    pub fn definitely_nonempty(&self) -> bool {
+        compare(&self.lo, &self.hi).is_le()
+    }
+
+    /// `true` iff the step is the constant 1.
+    pub fn unit_step(&self) -> bool {
+        self.step.as_const() == Some(1)
+    }
+
+    /// The step as a constant, if it is one.
+    pub fn const_step(&self) -> Option<i64> {
+        self.step.as_const()
+    }
+
+    /// `true` iff this is a single provable element (`lo == hi`).
+    pub fn is_singleton(&self) -> bool {
+        compare(&self.lo, &self.hi) == SymOrdering::Equal
+    }
+
+    /// Does any component mention the variable?
+    pub fn contains_var(&self, name: &str) -> bool {
+        self.lo.contains_var(name)
+            || self.hi.contains_var(name)
+            || self.step.contains_var(name)
+    }
+
+    /// Collects every scalar name mentioned by the range.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<sym::Name>) {
+        out.extend(self.lo.vars());
+        out.extend(self.hi.vars());
+        out.extend(self.step.vars());
+    }
+
+    /// Substitutes a scalar in all components; `None` on overflow.
+    pub fn try_subst_var(&self, name: &str, value: &Expr) -> Option<Range> {
+        Some(Range {
+            lo: self.lo.try_subst_var(name, value)?,
+            hi: self.hi.try_subst_var(name, value)?,
+            step: self.step.try_subst_var(name, value)?,
+        })
+    }
+
+    /// Structural equality after normalization (bounds and step identical as
+    /// polynomials).
+    pub fn same_as(&self, other: &Range) -> bool {
+        self == other
+    }
+
+    /// Number of elements if all bounds are constants.
+    pub fn const_len(&self) -> Option<i64> {
+        let lo = self.lo.as_const()?;
+        let hi = self.hi.as_const()?;
+        let s = self.step.as_const()?;
+        if s <= 0 {
+            return None;
+        }
+        Some(if hi < lo { 0 } else { (hi - lo) / s + 1 })
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else if self.unit_step() {
+            write!(f, "{}:{}", self.lo, self.hi)
+        } else {
+            write!(f, "{}:{}:{}", self.lo, self.hi, self.step)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sym::parse_expr;
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn constructors_and_display() {
+        let r = Range::contiguous(e("1"), e("n"));
+        assert_eq!(r.to_string(), "1:n");
+        let u = Range::unit(e("jmax"));
+        assert_eq!(u.to_string(), "jmax");
+        let s = Range::new(e("1"), e("n"), e("2"));
+        assert_eq!(s.to_string(), "1:n:2");
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Range::contiguous(e("5"), e("3")).definitely_empty());
+        assert!(Range::contiguous(e("3"), e("5")).definitely_nonempty());
+        let sym_r = Range::contiguous(e("a"), e("b"));
+        assert!(!sym_r.definitely_empty());
+        assert!(!sym_r.definitely_nonempty());
+        // a <= a+1 provable
+        assert!(Range::contiguous(e("a"), e("a + 1")).definitely_nonempty());
+    }
+
+    #[test]
+    fn validity_guard() {
+        let r = Range::contiguous(e("a"), e("b"));
+        let v = r.validity();
+        assert!(!v.is_true() && !v.is_false());
+        let t = Range::contiguous(e("1"), e("10"));
+        assert!(t.validity().is_true());
+    }
+
+    #[test]
+    fn singleton_and_len() {
+        assert!(Range::unit(e("k")).is_singleton());
+        assert_eq!(Range::contiguous(e("1"), e("10")).const_len(), Some(10));
+        assert_eq!(Range::new(e("1"), e("9"), e("2")).const_len(), Some(5));
+        assert_eq!(Range::contiguous(e("5"), e("3")).const_len(), Some(0));
+        assert_eq!(Range::contiguous(e("1"), e("n")).const_len(), None);
+    }
+
+    #[test]
+    fn subst() {
+        let r = Range::contiguous(e("1"), e("n"));
+        let s = r.try_subst_var("n", &e("10")).unwrap();
+        assert_eq!(s, Range::contiguous(e("1"), e("10")));
+        assert!(r.contains_var("n"));
+        assert!(!s.contains_var("n"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Guarded set operations on multi-dimensional regions.
+
+use crate::range_ops::{
+    prove_le, range_intersect, range_subtract, range_union_merge, Guarded,
+};
+use crate::region_type::{Dim, Region};
+use pred::Pred;
+
+/// Cap on the number of guarded cases produced by one region operation.
+/// Beyond it the operation degrades gracefully (Ω dimensions / `None`), the
+/// paper's "mark as unknown" escape hatch.
+const CASE_CAP: usize = 64;
+
+/// Intersection `R1 ∩ R2` as guarded cases (§3).
+///
+/// Never fails: undecidable dimensions become Ω (the result is then an
+/// over-approximation, reported by `Region::is_exact` on the pieces). An
+/// empty list means provably empty.
+pub fn region_intersect(ctx: &Pred, r1: &Region, r2: &Region) -> Vec<Guarded<Region>> {
+    assert_eq!(r1.rank(), r2.rank(), "intersecting regions of different rank");
+    // acc holds partial dim-vectors with their accumulated guards.
+    let mut acc: Vec<(Pred, Vec<Dim>)> = vec![(Pred::tru(), Vec::with_capacity(r1.rank()))];
+    for (d1, d2) in r1.dims().iter().zip(r2.dims()) {
+        let dim_cases: Vec<Guarded<Dim>> = match (d1, d2) {
+            (Dim::Unknown, _) | (_, Dim::Unknown) => vec![(Pred::tru(), Dim::Unknown)],
+            (Dim::Range(a), Dim::Range(b)) => match range_intersect(ctx, a, b) {
+                None => vec![(Pred::tru(), Dim::Unknown)],
+                Some(cases) if cases.is_empty() => return Vec::new(),
+                Some(cases) => cases
+                    .into_iter()
+                    .map(|(p, r)| (p, Dim::Range(r)))
+                    .collect(),
+            },
+        };
+        if acc.len().saturating_mul(dim_cases.len()) > CASE_CAP {
+            // Degrade this dimension to Ω instead of exploding.
+            for (_, dims) in &mut acc {
+                dims.push(Dim::Unknown);
+            }
+            continue;
+        }
+        let mut next = Vec::with_capacity(acc.len() * dim_cases.len());
+        for (p, dims) in &acc {
+            for (q, dim) in &dim_cases {
+                let guard = p.and(q);
+                if guard.is_false() {
+                    continue;
+                }
+                let mut nd = dims.clone();
+                nd.push(dim.clone());
+                next.push((guard, nd));
+            }
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        acc = next;
+    }
+    acc.into_iter()
+        .map(|(p, dims)| (p, Region::new(dims)))
+        .collect()
+}
+
+/// Difference `R1 − R2` as guarded cases, following the paper's recursive
+/// peel formula (§3):
+///
+/// ```text
+/// R1(m) − R2(m) = (r1¹−r1², r2¹, …, rm¹) ∪ (r1¹∩r1², R1(m−1) − R2(m−1))
+/// ```
+///
+/// `None` means the difference is not representable (an Ω dimension on
+/// either side, a rank mismatch, or case blow-up); the caller must then keep
+/// `R1` whole and mark the result inexact — subtracting nothing is the sound
+/// direction for upward-exposed sets.
+pub fn region_subtract(ctx: &Pred, r1: &Region, r2: &Region) -> Option<Vec<Guarded<Region>>> {
+    if r1.rank() != r2.rank() {
+        return None;
+    }
+    if r1.dims().iter().any(Dim::is_unknown) || r2.dims().iter().any(Dim::is_unknown) {
+        return None;
+    }
+    let cases = sub_dims(ctx, r1.dims(), r2.dims())?;
+    Some(
+        cases
+            .into_iter()
+            .filter(|(p, _)| !p.is_false())
+            .map(|(p, dims)| (p, Region::new(dims)))
+            .collect(),
+    )
+}
+
+fn sub_dims(ctx: &Pred, d1: &[Dim], d2: &[Dim]) -> Option<Vec<Guarded<Vec<Dim>>>> {
+    let (Dim::Range(h1), Dim::Range(h2)) = (&d1[0], &d2[0]) else {
+        return None;
+    };
+    let head_diff = range_subtract(ctx, h1, h2)?;
+    if d1.len() == 1 {
+        return Some(
+            head_diff
+                .into_iter()
+                .map(|(p, r)| (p, vec![Dim::Range(r)]))
+                .collect(),
+        );
+    }
+    let mut out: Vec<Guarded<Vec<Dim>>> = Vec::new();
+    // Piece 1: rows of R1 outside the head intersection keep their full
+    // tail from R1.
+    for (p, r) in head_diff {
+        let mut dims = Vec::with_capacity(d1.len());
+        dims.push(Dim::Range(r));
+        dims.extend_from_slice(&d1[1..]);
+        out.push((p, dims));
+    }
+    // Piece 2: rows inside the head intersection recurse on the tail.
+    let head_int = range_intersect(ctx, h1, h2)?;
+    let tail = sub_dims(ctx, &d1[1..], &d2[1..])?;
+    if out.len() + head_int.len().saturating_mul(tail.len()) > CASE_CAP {
+        return None;
+    }
+    for (p, r) in &head_int {
+        for (q, dims) in &tail {
+            let guard = p.and(q);
+            if guard.is_false() {
+                continue;
+            }
+            let mut nd = Vec::with_capacity(d1.len());
+            nd.push(Dim::Range(r.clone()));
+            nd.extend(dims.iter().cloned());
+            out.push((guard, nd));
+        }
+    }
+    Some(out)
+}
+
+/// Attempts `R1 ∪ R2` as a *single* region (guarded cases). `None` means
+/// "keep both regions in the list" — not an approximation.
+///
+/// Merging succeeds when the regions are identical, when one provably
+/// covers the other, or when they differ in exactly one dimension whose
+/// ranges merge.
+pub fn region_union_merge(ctx: &Pred, r1: &Region, r2: &Region) -> Option<Vec<Guarded<Region>>> {
+    if r1.rank() != r2.rank() {
+        return None;
+    }
+    if r1 == r2 {
+        return Some(vec![(Pred::tru(), r1.clone())]);
+    }
+    if region_covers(ctx, r1, r2) {
+        return Some(vec![(Pred::tru(), r1.clone())]);
+    }
+    if region_covers(ctx, r2, r1) {
+        return Some(vec![(Pred::tru(), r2.clone())]);
+    }
+    // Exactly one differing dimension?
+    let mut differing = None;
+    for (k, (a, b)) in r1.dims().iter().zip(r2.dims()).enumerate() {
+        if a != b {
+            if differing.is_some() {
+                return None;
+            }
+            differing = Some(k);
+        }
+    }
+    let k = differing?;
+    let (Dim::Range(a), Dim::Range(b)) = (&r1.dims()[k], &r2.dims()[k]) else {
+        return None;
+    };
+    let merged = range_union_merge(ctx, a, b)?;
+    Some(
+        merged
+            .into_iter()
+            .map(|(p, r)| {
+                let mut dims = r1.dims().to_vec();
+                dims[k] = Dim::Range(r);
+                (p, Region::new(dims))
+            })
+            .collect(),
+    )
+}
+
+/// Does `big` provably cover `small` (both exact)?
+pub fn region_covers(ctx: &Pred, big: &Region, small: &Region) -> bool {
+    if big.rank() != small.rank() {
+        return false;
+    }
+    big.dims().iter().zip(small.dims()).all(|(b, s)| {
+        let (Dim::Range(rb), Dim::Range(rs)) = (b, s) else {
+            return false;
+        };
+        // Same step 1 grids only (conservative).
+        rb.unit_step()
+            && rs.unit_step()
+            && prove_le(ctx, &rb.lo, &rs.lo)
+            && prove_le(ctx, &rs.hi, &rb.hi)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::Range;
+    use sym::{parse_expr, Expr};
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    fn reg(dims: &[(&str, &str)]) -> Region {
+        Region::from_ranges(
+            dims.iter()
+                .map(|(lo, hi)| Range::contiguous(e(lo), e(hi))),
+        )
+    }
+
+    #[test]
+    fn intersect_2d_constants() {
+        let a = reg(&[("1", "10"), ("1", "10")]);
+        let b = reg(&[("5", "20"), ("3", "7")]);
+        let cases = region_intersect(&Pred::tru(), &a, &b);
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].1, reg(&[("5", "10"), ("3", "7")]));
+        assert!(cases[0].0.is_true());
+    }
+
+    #[test]
+    fn intersect_empty_dim_empties_region() {
+        let a = reg(&[("1", "10"), ("1", "3")]);
+        let b = reg(&[("5", "20"), ("7", "9")]);
+        assert!(region_intersect(&Pred::tru(), &a, &b).is_empty());
+    }
+
+    #[test]
+    fn intersect_with_unknown_dim() {
+        let a = Region::new(vec![
+            Dim::Range(Range::contiguous(e("1"), e("10"))),
+            Dim::Unknown,
+        ]);
+        let b = reg(&[("5", "20"), ("3", "7")]);
+        let cases = region_intersect(&Pred::tru(), &a, &b);
+        assert_eq!(cases.len(), 1);
+        assert!(!cases[0].1.is_exact());
+        assert_eq!(cases[0].1.dims()[0], Dim::Range(Range::contiguous(e("5"), e("10"))));
+    }
+
+    #[test]
+    fn subtract_2d_paper_example() {
+        // (1:100, 1:100) - (20:30, a:30)
+        let a = reg(&[("1", "100"), ("1", "100")]);
+        let b = reg(&[("20", "30"), ("a", "30")]);
+        let cases = region_subtract(&Pred::tru(), &a, &b).unwrap();
+        let live: Vec<String> = cases
+            .iter()
+            .map(|(p, r)| format!("[{p}] {r}"))
+            .collect();
+        let joined = live.join(" ; ");
+        // The four pieces from §3's worked example must be present.
+        assert!(joined.contains("(1:19, 1:100)"), "{joined}");
+        assert!(joined.contains("(31:100, 1:100)"), "{joined}");
+        assert!(joined.contains("(20:30, 1:a - 1)"), "{joined}");
+        assert!(joined.contains("(20:30, 31:100)"), "{joined}");
+    }
+
+    #[test]
+    fn subtract_full_cover_leaves_nothing() {
+        let a = reg(&[("2", "5")]);
+        let b = reg(&[("1", "10")]);
+        let cases = region_subtract(&Pred::tru(), &a, &b).unwrap();
+        assert!(cases.iter().all(|(p, _)| p.is_false()) || cases.is_empty());
+    }
+
+    #[test]
+    fn subtract_with_unknown_fails() {
+        let a = Region::unknown(1);
+        let b = reg(&[("1", "10")]);
+        assert!(region_subtract(&Pred::tru(), &a, &b).is_none());
+        assert!(region_subtract(&Pred::tru(), &b, &a).is_none());
+    }
+
+    #[test]
+    fn union_merge_identical() {
+        let a = reg(&[("1", "n")]);
+        let m = region_union_merge(&Pred::tru(), &a, &a).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1, a);
+    }
+
+    #[test]
+    fn union_merge_one_dim_adjacent() {
+        let a = reg(&[("1", "5"), ("1", "10")]);
+        let b = reg(&[("6", "9"), ("1", "10")]);
+        let m = region_union_merge(&Pred::tru(), &a, &b).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1, reg(&[("1", "9"), ("1", "10")]));
+    }
+
+    #[test]
+    fn union_merge_covering() {
+        let big = reg(&[("1", "100")]);
+        let small = reg(&[("20", "30")]);
+        let m = region_union_merge(&Pred::tru(), &big, &small).unwrap();
+        assert_eq!(m[0].1, big);
+    }
+
+    #[test]
+    fn union_no_merge_two_dims_differ() {
+        let a = reg(&[("1", "5"), ("1", "5")]);
+        let b = reg(&[("6", "9"), ("6", "9")]);
+        assert!(region_union_merge(&Pred::tru(), &a, &b).is_none());
+    }
+
+    #[test]
+    fn covers_with_context() {
+        let ctx = Pred::le(e("1"), e("a")).and(&Pred::le(e("b"), e("100")));
+        let big = reg(&[("1", "100")]);
+        let small = reg(&[("a", "b")]);
+        assert!(region_covers(&ctx, &big, &small));
+        assert!(!region_covers(&Pred::tru(), &big, &small));
+    }
+}

@@ -1,0 +1,267 @@
+//! Multi-dimensional regular array regions.
+
+use crate::range::Range;
+use pred::Pred;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use sym::Expr;
+
+/// One dimension of a region: a known range or Ω.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Dim {
+    /// A known range triple.
+    Range(Range),
+    /// Ω — the covered indices in this dimension are unknown (the paper
+    /// marks a dimension Ω when a substitution result is not representable
+    /// as a range, §4.1).
+    Unknown,
+}
+
+impl Dim {
+    /// A contiguous known dimension.
+    pub fn contiguous(lo: Expr, hi: Expr) -> Dim {
+        Dim::Range(Range::contiguous(lo, hi))
+    }
+
+    /// A single-element dimension.
+    pub fn unit(e: Expr) -> Dim {
+        Dim::Range(Range::unit(e))
+    }
+
+    /// The range, if known.
+    pub fn as_range(&self) -> Option<&Range> {
+        match self {
+            Dim::Range(r) => Some(r),
+            Dim::Unknown => None,
+        }
+    }
+
+    /// `true` iff this dimension is Ω.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Dim::Unknown)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Range(r) => write!(f, "{r}"),
+            Dim::Unknown => f.write_str("*"),
+        }
+    }
+}
+
+/// A regular array region: one [`Dim`] per array dimension.
+///
+/// The region denotes the rectangular set `dims[0] × dims[1] × …`. Regions
+/// do not carry the array name; summaries key GAR lists by array.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Region {
+    dims: Vec<Dim>,
+}
+
+impl Region {
+    /// Builds a region from dimensions.
+    pub fn new(dims: Vec<Dim>) -> Self {
+        Region { dims }
+    }
+
+    /// An all-Ω region of the given rank.
+    pub fn unknown(rank: usize) -> Self {
+        Region {
+            dims: vec![Dim::Unknown; rank],
+        }
+    }
+
+    /// A region from single ranges.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = Range>) -> Self {
+        Region {
+            dims: ranges.into_iter().map(Dim::Range).collect(),
+        }
+    }
+
+    /// A region covering a single element with the given subscripts.
+    pub fn element(subs: impl IntoIterator<Item = Expr>) -> Self {
+        Region {
+            dims: subs.into_iter().map(Dim::unit).collect(),
+        }
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `true` iff no dimension is Ω — the region exactly describes its
+    /// element set.
+    pub fn is_exact(&self) -> bool {
+        self.dims.iter().all(|d| !d.is_unknown())
+    }
+
+    /// `true` iff every dimension is Ω.
+    pub fn is_fully_unknown(&self) -> bool {
+        !self.dims.is_empty() && self.dims.iter().all(Dim::is_unknown)
+    }
+
+    /// `true` iff some known dimension is provably empty, making the whole
+    /// region empty.
+    pub fn definitely_empty(&self) -> bool {
+        self.dims
+            .iter()
+            .any(|d| d.as_range().is_some_and(Range::definitely_empty))
+    }
+
+    /// The conjunction of validity conditions `lo <= hi` over known
+    /// dimensions — attached to guards when a GAR is created from a region
+    /// with symbolic bounds (the paper's explicit-validity rule).
+    pub fn validity(&self) -> Pred {
+        let mut p = Pred::tru();
+        for d in &self.dims {
+            if let Dim::Range(r) = d {
+                p = p.and(&r.validity());
+            }
+        }
+        p
+    }
+
+    /// Does any dimension mention the scalar variable?
+    pub fn contains_var(&self, name: &str) -> bool {
+        self.dims
+            .iter()
+            .any(|d| d.as_range().is_some_and(|r| r.contains_var(name)))
+    }
+
+    /// Collects every scalar name mentioned by any dimension.
+    pub fn collect_vars(&self, out: &mut std::collections::BTreeSet<sym::Name>) {
+        for d in &self.dims {
+            if let Dim::Range(r) = d {
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// Substitutes a scalar in every dimension. Dimensions whose
+    /// substitution overflows become Ω (sound weakening).
+    pub fn subst_var(&self, name: &str, value: &Expr) -> Region {
+        Region {
+            dims: self
+                .dims
+                .iter()
+                .map(|d| match d {
+                    Dim::Range(r) => match r.try_subst_var(name, value) {
+                        Some(nr) => Dim::Range(nr),
+                        None => Dim::Unknown,
+                    },
+                    Dim::Unknown => Dim::Unknown,
+                })
+                .collect(),
+        }
+    }
+
+    /// Marks the dimensions that mention `name` as Ω (used when expansion
+    /// cannot represent the substitution, §4.1).
+    pub fn forget_var(&self, name: &str) -> Region {
+        Region {
+            dims: self
+                .dims
+                .iter()
+                .map(|d| match d {
+                    Dim::Range(r) if r.contains_var(name) => Dim::Unknown,
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total element count when all bounds are constant.
+    pub fn const_len(&self) -> Option<i64> {
+        let mut n: i64 = 1;
+        for d in &self.dims {
+            n = n.checked_mul(d.as_range()?.const_len()?)?;
+        }
+        Some(n)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sym::parse_expr;
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn element_region() {
+        let r = Region::element([e("i"), e("j + 1")]);
+        assert_eq!(r.rank(), 2);
+        assert!(r.is_exact());
+        assert_eq!(r.to_string(), "(i, j + 1)");
+    }
+
+    #[test]
+    fn unknown_region() {
+        let r = Region::unknown(2);
+        assert!(!r.is_exact());
+        assert!(r.is_fully_unknown());
+        assert_eq!(r.to_string(), "(*, *)");
+    }
+
+    #[test]
+    fn emptiness_via_dim() {
+        let r = Region::from_ranges([
+            Range::contiguous(e("1"), e("10")),
+            Range::contiguous(e("5"), e("2")),
+        ]);
+        assert!(r.definitely_empty());
+    }
+
+    #[test]
+    fn validity_conjunction() {
+        let r = Region::from_ranges([
+            Range::contiguous(e("1"), e("n")),
+            Range::contiguous(e("a"), e("b")),
+        ]);
+        let v = r.validity();
+        // two nontrivial conditions
+        assert_eq!(v.disjs().len(), 2);
+    }
+
+    #[test]
+    fn subst_and_forget() {
+        let r = Region::from_ranges([Range::contiguous(e("1"), e("n"))]);
+        let s = r.subst_var("n", &e("m + 1"));
+        assert_eq!(s.to_string(), "(1:m + 1)");
+        let forgotten = r.forget_var("n");
+        assert!(forgotten.dims()[0].is_unknown());
+    }
+
+    #[test]
+    fn const_len() {
+        let r = Region::from_ranges([
+            Range::contiguous(e("1"), e("10")),
+            Range::contiguous(e("1"), e("5")),
+        ]);
+        assert_eq!(r.const_len(), Some(50));
+        assert_eq!(Region::unknown(1).const_len(), None);
+    }
+}

@@ -1,0 +1,482 @@
+//! Non-rectangular regions — the §5.3 extension.
+//!
+//! The paper notes that GARs can represent non-rectangular element sets by
+//! introducing a *dimension symbol* ψᵢ per dimension and putting relations
+//! between the ψᵢ in the guard: the diagonal `A(i,i)` becomes
+//! `[ψ₁ = ψ₂, A(1:n, 1:n)]` and an upper triangle `[ψ₁ <= ψ₂, A(1:n, 1:n)]`.
+//! Their experience "so far has not required such an extension" for
+//! privatization, and neither do our kernels — so this module implements
+//! the representation and its set algebra as a standalone, fully tested
+//! extension without wiring it into the main dataflow pipeline.
+//!
+//! A [`ShapedRegion`] is a rectangular bounding [`Region`] plus a
+//! conjunction of [`ShapeCond`]s `ψ_a <= ψ_b + c` / `ψ_a = ψ_b + c`
+//! relating pairs of dimensions. Operations stay sound by construction:
+//! intersections are exact, unions and differences fall back to
+//! conservative answers when exactness would require disjunctive shapes.
+
+use crate::range_ops::Guarded;
+use crate::region_ops::{region_intersect, region_subtract, region_union_merge};
+use crate::region_type::Region;
+use pred::Pred;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relation between two dimension symbols.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum ShapeOp {
+    /// `ψ_a = ψ_b + offset`
+    Eq,
+    /// `ψ_a <= ψ_b + offset`
+    Le,
+}
+
+/// One shape condition `ψ_a op ψ_b + offset` (`a != b`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ShapeCond {
+    /// Left dimension index (0-based).
+    pub dim_a: usize,
+    /// Right dimension index.
+    pub dim_b: usize,
+    /// Relation.
+    pub op: ShapeOp,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl ShapeCond {
+    /// `ψ_a = ψ_b + c`.
+    pub fn eq(dim_a: usize, dim_b: usize, offset: i64) -> ShapeCond {
+        ShapeCond {
+            dim_a,
+            dim_b,
+            op: ShapeOp::Eq,
+            offset,
+        }
+    }
+
+    /// `ψ_a <= ψ_b + c`.
+    pub fn le(dim_a: usize, dim_b: usize, offset: i64) -> ShapeCond {
+        ShapeCond {
+            dim_a,
+            dim_b,
+            op: ShapeOp::Le,
+            offset,
+        }
+    }
+
+    /// Does a concrete point satisfy the condition?
+    pub fn holds(&self, point: &[i64]) -> bool {
+        let a = point[self.dim_a];
+        let b = point[self.dim_b];
+        match self.op {
+            ShapeOp::Eq => a == b + self.offset,
+            ShapeOp::Le => a <= b + self.offset,
+        }
+    }
+}
+
+impl fmt::Display for ShapeCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            ShapeOp::Eq => "=",
+            ShapeOp::Le => "<=",
+        };
+        if self.offset == 0 {
+            write!(f, "ψ{} {} ψ{}", self.dim_a + 1, op, self.dim_b + 1)
+        } else {
+            write!(
+                f,
+                "ψ{} {} ψ{} {} {}",
+                self.dim_a + 1,
+                op,
+                self.dim_b + 1,
+                if self.offset >= 0 { "+" } else { "-" },
+                self.offset.abs()
+            )
+        }
+    }
+}
+
+/// A possibly non-rectangular region: rectangular bounds restricted by a
+/// conjunction of shape conditions.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShapedRegion {
+    /// The rectangular bounding region.
+    pub bounds: Region,
+    /// Conjunction of shape conditions, kept sorted and deduplicated.
+    pub shape: Vec<ShapeCond>,
+}
+
+impl ShapedRegion {
+    /// A plain rectangle (no shape conditions).
+    pub fn rect(bounds: Region) -> ShapedRegion {
+        ShapedRegion {
+            bounds,
+            shape: Vec::new(),
+        }
+    }
+
+    /// Builds with conditions, canonicalizing the list.
+    pub fn new(bounds: Region, shape: impl IntoIterator<Item = ShapeCond>) -> ShapedRegion {
+        let mut shape: Vec<ShapeCond> = shape.into_iter().collect();
+        shape.sort();
+        shape.dedup();
+        ShapedRegion { bounds, shape }
+    }
+
+    /// The diagonal `A(i, i), i = 1..n` of the paper's example:
+    /// `[ψ1 = ψ2, A(1:n, 1:n)]`.
+    pub fn diagonal(bounds: Region) -> ShapedRegion {
+        ShapedRegion::new(bounds, [ShapeCond::eq(0, 1, 0)])
+    }
+
+    /// The upper triangle `A(i, j), j >= i`: `[ψ1 <= ψ2, A(1:n, 1:n)]`.
+    pub fn upper_triangle(bounds: Region) -> ShapedRegion {
+        ShapedRegion::new(bounds, [ShapeCond::le(0, 1, 0)])
+    }
+
+    /// `true` iff no shape conditions (plain rectangle).
+    pub fn is_rect(&self) -> bool {
+        self.shape.is_empty()
+    }
+
+    /// Is the shape conjunction provably self-contradictory (e.g.
+    /// `ψ1 = ψ2 + 1 ∧ ψ1 = ψ2 + 2`, or `ψ1 <= ψ2 − k` against
+    /// `ψ2 <= ψ1 − m` with `k + m > 0`)?
+    pub fn shape_contradictory(&self) -> bool {
+        for (i, a) in self.shape.iter().enumerate() {
+            for b in &self.shape[i + 1..] {
+                if a.dim_a == b.dim_a && a.dim_b == b.dim_b {
+                    match (a.op, b.op) {
+                        (ShapeOp::Eq, ShapeOp::Eq) if a.offset != b.offset => return true,
+                        (ShapeOp::Eq, ShapeOp::Le) if a.offset > b.offset => return true,
+                        (ShapeOp::Le, ShapeOp::Eq) if b.offset > a.offset => return true,
+                        _ => {}
+                    }
+                }
+                // Opposite orientation: ψa <= ψb + c1 and ψb <= ψa + c2
+                // require c1 + c2 >= 0; equalities likewise.
+                if a.dim_a == b.dim_b && a.dim_b == b.dim_a && a.offset + b.offset < 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Does a concrete point lie in the region? (Constant bounds only —
+    /// used by tests and enumeration.)
+    pub fn contains(&self, point: &[i64]) -> Option<bool> {
+        if point.len() != self.bounds.rank() {
+            return Some(false);
+        }
+        for (x, d) in point.iter().zip(self.bounds.dims()) {
+            let r = d.as_range()?;
+            let lo = r.lo.as_const()?;
+            let hi = r.hi.as_const()?;
+            let s = r.step.as_const()?;
+            if *x < lo || *x > hi || (s > 1 && (x - lo) % s != 0) {
+                return Some(false);
+            }
+        }
+        Some(self.shape.iter().all(|c| c.holds(point)))
+    }
+
+    /// Enumerates all points (constant bounds only).
+    pub fn enumerate(&self) -> Option<Vec<Vec<i64>>> {
+        let mut dims = Vec::new();
+        for d in self.bounds.dims() {
+            let r = d.as_range()?;
+            let (lo, hi, s) = (r.lo.as_const()?, r.hi.as_const()?, r.step.as_const()?);
+            let mut v = Vec::new();
+            if s >= 1 {
+                let mut x = lo;
+                while x <= hi {
+                    v.push(x);
+                    x += s;
+                }
+            }
+            dims.push(v);
+        }
+        let mut out = vec![Vec::new()];
+        for axis in &dims {
+            let mut next = Vec::with_capacity(out.len() * axis.len());
+            for p in &out {
+                for &x in axis {
+                    let mut q = p.clone();
+                    q.push(x);
+                    next.push(q);
+                }
+            }
+            out = next;
+        }
+        Some(
+            out.into_iter()
+                .filter(|p| self.shape.iter().all(|c| c.holds(p)))
+                .collect(),
+        )
+    }
+
+    /// Exact intersection: bounds intersect (guarded cases) and the shape
+    /// conjunctions concatenate. Pieces with contradictory shapes vanish.
+    pub fn intersect(&self, ctx: &Pred, other: &ShapedRegion) -> Vec<Guarded<ShapedRegion>> {
+        let merged_shape: Vec<ShapeCond> = self
+            .shape
+            .iter()
+            .chain(other.shape.iter())
+            .copied()
+            .collect();
+        let probe = ShapedRegion::new(Region::unknown(0), merged_shape.clone());
+        if probe.shape_contradictory() {
+            return Vec::new();
+        }
+        region_intersect(ctx, &self.bounds, &other.bounds)
+            .into_iter()
+            .map(|(p, r)| (p, ShapedRegion::new(r, merged_shape.iter().copied())))
+            .collect()
+    }
+
+    /// Union: merges only when the shapes are identical and the bounds
+    /// merge; `None` means "keep both" (not an approximation).
+    pub fn union_merge(&self, ctx: &Pred, other: &ShapedRegion) -> Option<Vec<Guarded<ShapedRegion>>> {
+        if self.shape != other.shape {
+            return None;
+        }
+        let merged = region_union_merge(ctx, &self.bounds, &other.bounds)?;
+        Some(
+            merged
+                .into_iter()
+                .map(|(p, r)| (p, ShapedRegion::new(r, self.shape.iter().copied())))
+                .collect(),
+        )
+    }
+
+    /// Difference. Exact when the subtrahend's shape is no more
+    /// restrictive than ours (its conditions are implied by ours, e.g.
+    /// subtracting a rectangle); otherwise `None` — the caller keeps
+    /// `self` whole (the sound, kill-nothing direction).
+    pub fn subtract(&self, ctx: &Pred, other: &ShapedRegion) -> Option<Vec<Guarded<ShapedRegion>>> {
+        let implied = other
+            .shape
+            .iter()
+            .all(|c| self.shape.contains(c) || implied_by(&self.shape, *c));
+        if !implied {
+            return None;
+        }
+        let pieces = region_subtract(ctx, &self.bounds, &other.bounds)?;
+        Some(
+            pieces
+                .into_iter()
+                .map(|(p, r)| (p, ShapedRegion::new(r, self.shape.iter().copied())))
+                .collect(),
+        )
+    }
+}
+
+/// Is `c` implied by the conjunction `shape` (pairwise, constant offsets)?
+fn implied_by(shape: &[ShapeCond], c: ShapeCond) -> bool {
+    shape.iter().any(|s| {
+        s.dim_a == c.dim_a
+            && s.dim_b == c.dim_b
+            && match (s.op, c.op) {
+                // ψa = ψb + k implies ψa <= ψb + c for c >= k.
+                (ShapeOp::Eq, ShapeOp::Le) => s.offset <= c.offset,
+                // ψa <= ψb + k implies ψa <= ψb + c for c >= k.
+                (ShapeOp::Le, ShapeOp::Le) => s.offset <= c.offset,
+                (ShapeOp::Eq, ShapeOp::Eq) => s.offset == c.offset,
+                (ShapeOp::Le, ShapeOp::Eq) => false,
+            }
+    })
+}
+
+impl fmt::Display for ShapedRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.shape.is_empty() {
+            return write!(f, "{}", self.bounds);
+        }
+        f.write_str("[")?;
+        for (k, c) in self.shape.iter().enumerate() {
+            if k > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ", {}]", self.bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::Range;
+    use std::collections::BTreeSet;
+    use sym::Expr;
+
+    fn square(n: i64) -> Region {
+        Region::from_ranges([
+            Range::contiguous(Expr::from(1), Expr::from(n)),
+            Range::contiguous(Expr::from(1), Expr::from(n)),
+        ])
+    }
+
+    fn points(v: &[Guarded<ShapedRegion>]) -> BTreeSet<Vec<i64>> {
+        let mut out = BTreeSet::new();
+        for (p, r) in v {
+            assert!(!p.is_false());
+            // tests use constant bounds; all guards should be decided
+            assert!(p.is_true(), "undecided guard {p}");
+            out.extend(r.enumerate().unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn diagonal_membership() {
+        let d = ShapedRegion::diagonal(square(4));
+        assert_eq!(d.contains(&[2, 2]), Some(true));
+        assert_eq!(d.contains(&[2, 3]), Some(false));
+        assert_eq!(d.enumerate().unwrap().len(), 4);
+        assert_eq!(d.to_string(), "[ψ1 = ψ2, (1:4, 1:4)]");
+    }
+
+    #[test]
+    fn triangle_membership() {
+        let t = ShapedRegion::upper_triangle(square(3));
+        // ψ1 <= ψ2: (i, j) with i <= j
+        assert_eq!(t.enumerate().unwrap().len(), 6);
+        assert_eq!(t.contains(&[1, 3]), Some(true));
+        assert_eq!(t.contains(&[3, 1]), Some(false));
+    }
+
+    #[test]
+    fn triangle_intersect_diagonal() {
+        let t = ShapedRegion::upper_triangle(square(5));
+        let d = ShapedRegion::diagonal(square(5));
+        let i = t.intersect(&Pred::tru(), &d);
+        // upper triangle ∩ diagonal = diagonal
+        let got = points(&i);
+        let want: BTreeSet<Vec<i64>> = (1..=5).map(|k| vec![k, k]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn offset_diagonals_disjoint() {
+        let d0 = ShapedRegion::new(square(5), [ShapeCond::eq(0, 1, 0)]);
+        let d1 = ShapedRegion::new(square(5), [ShapeCond::eq(0, 1, 1)]);
+        assert!(d0.intersect(&Pred::tru(), &d1).is_empty());
+    }
+
+    #[test]
+    fn opposite_triangles_overlap_on_band() {
+        // ψ1 <= ψ2 and ψ2 <= ψ1 overlap exactly on the diagonal.
+        let up = ShapedRegion::new(square(4), [ShapeCond::le(0, 1, 0)]);
+        let lo = ShapedRegion::new(square(4), [ShapeCond::le(1, 0, 0)]);
+        let i = up.intersect(&Pred::tru(), &lo);
+        let got = points(&i);
+        let want: BTreeSet<Vec<i64>> = (1..=4).map(|k| vec![k, k]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strictly_disjoint_triangles() {
+        // ψ1 <= ψ2 - 1 and ψ2 <= ψ1 - 1: contradictory.
+        let a = ShapedRegion::new(square(4), [ShapeCond::le(0, 1, -1)]);
+        let b = ShapedRegion::new(square(4), [ShapeCond::le(1, 0, -1)]);
+        assert!(a.intersect(&Pred::tru(), &b).is_empty());
+    }
+
+    #[test]
+    fn rect_subtract_from_triangle() {
+        // triangle − full rectangle = empty
+        let t = ShapedRegion::upper_triangle(square(3));
+        let r = ShapedRegion::rect(square(3));
+        let d = t.subtract(&Pred::tru(), &r).unwrap();
+        assert!(points(&d).is_empty());
+    }
+
+    #[test]
+    fn triangle_subtract_triangle_refused() {
+        // subtracting a more restrictive shape cannot be represented:
+        // the conservative answer is None (keep everything).
+        let r = ShapedRegion::rect(square(3));
+        let t = ShapedRegion::upper_triangle(square(3));
+        assert!(r.subtract(&Pred::tru(), &t).is_none());
+    }
+
+    #[test]
+    fn same_shape_subtract_bounds() {
+        // upper triangle minus its first two columns, same shape.
+        let t = ShapedRegion::upper_triangle(square(4));
+        let cut = ShapedRegion::new(
+            Region::from_ranges([
+                Range::contiguous(Expr::from(1), Expr::from(4)),
+                Range::contiguous(Expr::from(1), Expr::from(2)),
+            ]),
+            [ShapeCond::le(0, 1, 0)],
+        );
+        let d = t.subtract(&Pred::tru(), &cut).unwrap();
+        let got = points(&d);
+        // brute force
+        let mut want = BTreeSet::new();
+        for i in 1..=4i64 {
+            for j in 3..=4i64 {
+                if i <= j {
+                    want.insert(vec![i, j]);
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_same_shape_merges() {
+        let a = ShapedRegion::new(
+            Region::from_ranges([
+                Range::contiguous(Expr::from(1), Expr::from(2)),
+                Range::contiguous(Expr::from(1), Expr::from(4)),
+            ]),
+            [ShapeCond::le(0, 1, 0)],
+        );
+        let b = ShapedRegion::new(
+            Region::from_ranges([
+                Range::contiguous(Expr::from(3), Expr::from(4)),
+                Range::contiguous(Expr::from(1), Expr::from(4)),
+            ]),
+            [ShapeCond::le(0, 1, 0)],
+        );
+        let m = a.union_merge(&Pred::tru(), &b).unwrap();
+        let got = points(&m);
+        assert_eq!(got, ShapedRegion::upper_triangle(square(4)).enumerate().unwrap().into_iter().collect());
+    }
+
+    #[test]
+    fn union_different_shapes_kept_apart() {
+        let t = ShapedRegion::upper_triangle(square(3));
+        let d = ShapedRegion::diagonal(square(3));
+        assert!(t.union_merge(&Pred::tru(), &d).is_none());
+    }
+
+    #[test]
+    fn brute_force_intersection_agreement() {
+        // Exhaustive check over several shape pairs on a 4×4 grid.
+        let shapes = [
+            vec![],
+            vec![ShapeCond::eq(0, 1, 0)],
+            vec![ShapeCond::le(0, 1, 0)],
+            vec![ShapeCond::le(1, 0, 1)],
+            vec![ShapeCond::eq(0, 1, -1)],
+        ];
+        for sa in &shapes {
+            for sb in &shapes {
+                let a = ShapedRegion::new(square(4), sa.iter().copied());
+                let b = ShapedRegion::new(square(4), sb.iter().copied());
+                let got = points(&a.intersect(&Pred::tru(), &b));
+                let pa: BTreeSet<Vec<i64>> = a.enumerate().unwrap().into_iter().collect();
+                let pb: BTreeSet<Vec<i64>> = b.enumerate().unwrap().into_iter().collect();
+                let want: BTreeSet<Vec<i64>> = pa.intersection(&pb).cloned().collect();
+                assert_eq!(got, want, "shapes {sa:?} ∩ {sb:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Symbolic comparison of expressions.
+//!
+//! The analyzer constantly needs to answer "is `a <= b`?" for symbolic
+//! bounds. Following the paper, comparisons are decided by normalizing the
+//! difference `a - b`: if it reduces to an integer constant the answer is
+//! definite, otherwise it is *unknown* and the caller must case-split by
+//! pushing the inequality into a guard.
+
+use crate::expr::Expr;
+use std::cmp::Ordering;
+
+/// The result of comparing two symbolic expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymOrdering {
+    /// Definitely `a < b`.
+    Less,
+    /// Definitely `a == b` (as polynomials).
+    Equal,
+    /// Definitely `a > b`.
+    Greater,
+    /// Cannot be decided without more information.
+    Unknown,
+}
+
+impl SymOrdering {
+    /// Converts to a definite [`Ordering`] if known.
+    pub fn definite(self) -> Option<Ordering> {
+        match self {
+            SymOrdering::Less => Some(Ordering::Less),
+            SymOrdering::Equal => Some(Ordering::Equal),
+            SymOrdering::Greater => Some(Ordering::Greater),
+            SymOrdering::Unknown => None,
+        }
+    }
+
+    /// `true` iff we can prove `a <= b`.
+    pub fn is_le(self) -> bool {
+        matches!(self, SymOrdering::Less | SymOrdering::Equal)
+    }
+
+    /// `true` iff we can prove `a >= b`.
+    pub fn is_ge(self) -> bool {
+        matches!(self, SymOrdering::Greater | SymOrdering::Equal)
+    }
+}
+
+/// Compares `a` and `b` symbolically by examining `a - b`.
+pub fn compare(a: &Expr, b: &Expr) -> SymOrdering {
+    match a.try_sub(b).and_then(|d| d.as_const()) {
+        Some(c) if c < 0 => SymOrdering::Less,
+        Some(0) => SymOrdering::Equal,
+        Some(_) => SymOrdering::Greater,
+        None => SymOrdering::Unknown,
+    }
+}
+
+/// `Some(c)` iff `a - b` normalizes to the constant `c`. This is the main
+/// workhorse for merging adjacent ranges: `(1:a) ∪ (a+1:100)` merges because
+/// `(a+1) - a == 1`.
+pub fn diff_const(a: &Expr, b: &Expr) -> Option<i64> {
+    a.try_sub(b)?.as_const()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    #[test]
+    fn constant_comparisons() {
+        assert_eq!(compare(&Expr::from(1), &Expr::from(2)), SymOrdering::Less);
+        assert_eq!(compare(&Expr::from(2), &Expr::from(2)), SymOrdering::Equal);
+        assert_eq!(compare(&Expr::from(3), &Expr::from(2)), SymOrdering::Greater);
+    }
+
+    #[test]
+    fn symbolic_equal_after_normalization() {
+        let a = (v("i") + Expr::from(1)) * Expr::from(2);
+        let b = v("i") * Expr::from(2) + Expr::from(2);
+        assert_eq!(compare(&a, &b), SymOrdering::Equal);
+    }
+
+    #[test]
+    fn offset_comparison() {
+        let a = v("n");
+        let b = v("n") + Expr::from(1);
+        assert_eq!(compare(&a, &b), SymOrdering::Less);
+        assert!(compare(&a, &b).is_le());
+        assert!(!compare(&a, &b).is_ge());
+    }
+
+    #[test]
+    fn unrelated_vars_unknown() {
+        assert_eq!(compare(&v("a"), &v("b")), SymOrdering::Unknown);
+        assert_eq!(compare(&v("a"), &v("b")).definite(), None);
+    }
+
+    #[test]
+    fn diff_const_for_merging() {
+        // (a+1) - a == 1, the adjacency test used in range union
+        assert_eq!(diff_const(&(v("a") + Expr::from(1)), &v("a")), Some(1));
+        assert_eq!(diff_const(&v("a"), &v("b")), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integer environments for evaluating symbolic expressions.
+//!
+//! Environments are used by tests (property-based soundness checks: a
+//! simplification is correct iff it preserves the value under *every*
+//! assignment) and by the interpreter substrate.
+
+use std::collections::HashMap;
+
+/// A finite map from variable names to integer values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    map: HashMap<String, i64>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Builds an environment from `(name, value)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
+        Env {
+            map: pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Binds `name` to `value`, returning any previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: i64) -> Option<i64> {
+        self.map.insert(name.into(), value)
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.map.get(name).copied()
+    }
+
+    /// Removes a binding.
+    pub fn unset(&mut self, name: &str) -> Option<i64> {
+        self.map.remove(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(name, value)` bindings in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut env = Env::new();
+        assert!(env.is_empty());
+        assert_eq!(env.set("i", 1), None);
+        assert_eq!(env.set("i", 2), Some(1));
+        assert_eq!(env.get("i"), Some(2));
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.unset("i"), Some(2));
+        assert_eq!(env.get("i"), None);
+    }
+
+    #[test]
+    fn from_pairs_and_iter() {
+        let env = Env::from_pairs([("a", 1), ("b", 2)]);
+        let mut got: Vec<_> = env.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        got.sort();
+        assert_eq!(got, vec![("a".to_string(), 1), ("b".to_string(), 2)]);
+    }
+}

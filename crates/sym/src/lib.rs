@@ -1,0 +1,58 @@
+//! Symbolic integer expressions for array dataflow analysis.
+//!
+//! This crate implements the "general expression operation library" of
+//! Gu, Li & Lee (SC'95): integer symbolic expressions normalized to an
+//! **ordered sum of products**, with addition, subtraction, multiplication,
+//! division by an integer constant, substitution, and symbolic comparison.
+//!
+//! The central type is [`Expr`]. An expression is a canonical sum of
+//! [`Term`]s, each a (coefficient, [`Monomial`]) pair, where a monomial is an
+//! ordered product of powers of named variables. The empty monomial denotes
+//! the constant term, so every integer constant is an `Expr` with at most one
+//! term.
+//!
+//! # Canonical form
+//!
+//! * terms are sorted by monomial (graded lexicographic order),
+//! * no term has a zero coefficient,
+//! * monomial variables are sorted by name with positive integer powers.
+//!
+//! Two expressions are semantically equal iff they are structurally equal,
+//! which makes hashing and set operations on regions cheap — the property the
+//! paper relies on when simplifying guarded array regions.
+//!
+//! # Overflow
+//!
+//! Coefficient arithmetic is checked. The operator impls (`+`, `-`, `*`)
+//! panic on `i64` overflow (compiler-sized expressions never get close);
+//! `try_add`/`try_sub`/`try_mul` return `None` instead and are used where
+//! untrusted input flows.
+//!
+//! # Example
+//!
+//! ```
+//! use sym::Expr;
+//! let i = Expr::var("i");
+//! let e = (i.clone() + Expr::from(1)) * Expr::from(2) - i.clone();
+//! assert_eq!(e.to_string(), "i + 2");
+//! assert_eq!(e.subst_var("i", &Expr::from(3)).as_const(), Some(5));
+//! ```
+
+#![warn(missing_docs)]
+
+mod compare;
+mod env;
+mod expr;
+mod monomial;
+mod parse;
+mod term;
+
+pub use compare::{compare, diff_const, SymOrdering};
+pub use env::Env;
+pub use expr::Expr;
+pub use monomial::{Monomial, Name};
+pub use parse::{parse_expr, ParseError};
+pub use term::Term;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,291 @@
+//! Variable names and monomials (ordered products of variable powers).
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-ish variable name. Cheap to clone (`Arc<str>`), ordered and
+/// hashed by its string content.
+///
+/// Names compare by byte order, which fixes the variable order inside
+/// monomials and therefore the canonical form of every [`crate::Expr`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Name::new(String::deserialize(d)?))
+    }
+}
+
+/// A product of variable powers, e.g. `i^2 * j`. The constant monomial `1`
+/// is the empty product.
+///
+/// Invariants: factors are sorted by [`Name`], every power is `>= 1`, and no
+/// variable appears twice.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Monomial {
+    factors: Vec<(Name, u32)>,
+}
+
+impl Monomial {
+    /// The constant monomial (empty product).
+    pub fn one() -> Self {
+        Monomial { factors: Vec::new() }
+    }
+
+    /// A single variable to the first power.
+    pub fn var(name: impl Into<Name>) -> Self {
+        Monomial {
+            factors: vec![(name.into(), 1)],
+        }
+    }
+
+    /// Builds a monomial from `(name, power)` pairs; merges duplicates and
+    /// drops zero powers.
+    pub fn from_factors(factors: impl IntoIterator<Item = (Name, u32)>) -> Self {
+        let mut v: Vec<(Name, u32)> = Vec::new();
+        for (n, p) in factors {
+            if p == 0 {
+                continue;
+            }
+            v.push((n, p));
+        }
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(Name, u32)> = Vec::with_capacity(v.len());
+        for (n, p) in v {
+            match merged.last_mut() {
+                Some((ln, lp)) if *ln == n => *lp += p,
+                _ => merged.push((n, p)),
+            }
+        }
+        Monomial { factors: merged }
+    }
+
+    /// `true` iff this is the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree — the sum of all powers.
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Number of *distinct* variables.
+    pub fn num_vars(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The sorted `(name, power)` factors.
+    pub fn factors(&self) -> &[(Name, u32)] {
+        &self.factors
+    }
+
+    /// Does the monomial mention `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.factors.iter().any(|(n, _)| n.as_str() == name)
+    }
+
+    /// The power of `name` in this monomial (0 if absent).
+    pub fn power_of(&self, name: &str) -> u32 {
+        self.factors
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map_or(0, |&(_, p)| p)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        Monomial::from_factors(
+            self.factors
+                .iter()
+                .chain(other.factors.iter())
+                .map(|(n, p)| (n.clone(), *p)),
+        )
+    }
+
+    /// Removes `name` entirely, returning the remaining monomial and the
+    /// removed power.
+    pub fn without(&self, name: &str) -> (Monomial, u32) {
+        let mut power = 0;
+        let factors = self
+            .factors
+            .iter()
+            .filter(|(n, p)| {
+                if n.as_str() == name {
+                    power = *p;
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect();
+        (Monomial { factors }, power)
+    }
+
+    /// Iterates over the variable names.
+    pub fn var_names(&self) -> impl Iterator<Item = &Name> {
+        self.factors.iter().map(|(n, _)| n)
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Graded lexicographic order: first by total degree, then lexicographically
+/// by the factor list. The constant monomial sorts last (so constants print
+/// at the end of a sum, like the paper's examples `i + 2`).
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_one(), other.is_one()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            _ => {}
+        }
+        other
+            .degree()
+            .cmp(&self.degree())
+            .then_with(|| self.factors.cmp(&other.factors))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return f.write_str("1");
+        }
+        let mut first = true;
+        for (n, p) in &self.factors {
+            if !first {
+                f.write_str("*")?;
+            }
+            first = false;
+            if *p == 1 {
+                write!(f, "{n}")?;
+            } else {
+                write!(f, "{n}^{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_empty() {
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::one().degree(), 0);
+    }
+
+    #[test]
+    fn factors_sorted_and_merged() {
+        let m = Monomial::from_factors([
+            (Name::new("j"), 1),
+            (Name::new("i"), 2),
+            (Name::new("j"), 1),
+        ]);
+        assert_eq!(m.to_string(), "i^2*j^2");
+        assert_eq!(m.degree(), 4);
+        assert_eq!(m.num_vars(), 2);
+    }
+
+    #[test]
+    fn zero_powers_dropped() {
+        let m = Monomial::from_factors([(Name::new("i"), 0)]);
+        assert!(m.is_one());
+    }
+
+    #[test]
+    fn mul_merges() {
+        let a = Monomial::var("i");
+        let b = Monomial::from_factors([(Name::new("i"), 1), (Name::new("k"), 3)]);
+        assert_eq!(a.mul(&b).to_string(), "i^2*k^3");
+    }
+
+    #[test]
+    fn without_removes_var() {
+        let m = Monomial::from_factors([(Name::new("i"), 2), (Name::new("j"), 1)]);
+        let (rest, p) = m.without("i");
+        assert_eq!(p, 2);
+        assert_eq!(rest.to_string(), "j");
+        let (same, p0) = m.without("zz");
+        assert_eq!(p0, 0);
+        assert_eq!(same, m);
+    }
+
+    #[test]
+    fn ordering_grlex_constant_last() {
+        let one = Monomial::one();
+        let i = Monomial::var("i");
+        let ij = Monomial::from_factors([(Name::new("i"), 1), (Name::new("j"), 1)]);
+        assert!(ij < i, "higher degree sorts first");
+        assert!(i < one, "constant sorts last");
+    }
+
+    #[test]
+    fn power_of_and_contains() {
+        let m = Monomial::from_factors([(Name::new("n"), 3)]);
+        assert_eq!(m.power_of("n"), 3);
+        assert!(m.contains("n"));
+        assert!(!m.contains("m"));
+    }
+}

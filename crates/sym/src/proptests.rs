@@ -1,0 +1,127 @@
+//! Property-based tests: algebraic laws of `Expr` checked against direct
+//! integer evaluation under random environments.
+
+use crate::{compare, parse_expr, Env, Expr, SymOrdering};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["i", "j", "n", "m"];
+
+/// A strategy producing small random expressions over a fixed variable set.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::from),
+        (0usize..VARS.len()).prop_map(|k| Expr::var(VARS[k])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_filter_map("mul overflow", |(a, b)| a.try_mul(&b)),
+            inner.prop_map(|a| -a),
+        ]
+    })
+}
+
+fn arb_env() -> impl Strategy<Value = Env> {
+    proptest::collection::vec(-50i64..50, VARS.len()).prop_map(|vals| {
+        Env::from_pairs(VARS.iter().copied().zip(vals))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_expr(), b in arb_expr()) {
+        prop_assume!(a.try_add(&b).is_some());
+        prop_assert_eq!(a.try_add(&b), b.try_add(&a));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_expr(), b in arb_expr()) {
+        prop_assume!(a.try_mul(&b).is_some());
+        prop_assert_eq!(a.try_mul(&b), b.try_mul(&a));
+    }
+
+    #[test]
+    fn add_assoc(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        let l = a.try_add(&b).and_then(|x| x.try_add(&c));
+        let r = b.try_add(&c).and_then(|x| a.try_add(&x));
+        prop_assume!(l.is_some() && r.is_some());
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        let l = b.try_add(&c).and_then(|s| a.try_mul(&s));
+        let r = a.try_mul(&b).and_then(|ab| a.try_mul(&c).and_then(|ac| ab.try_add(&ac)));
+        prop_assume!(l.is_some() && r.is_some());
+        prop_assert_eq!(l, r);
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in arb_expr()) {
+        prop_assert!(a.try_sub(&a).unwrap().is_zero());
+    }
+
+    /// Normalization is sound: the canonical form evaluates like the
+    /// unnormalized arithmetic under every environment.
+    #[test]
+    fn eval_homomorphism(a in arb_expr(), b in arb_expr(), env in arb_env()) {
+        if let (Some(sum), Some(va), Some(vb)) = (a.try_add(&b), a.eval(&env), b.eval(&env)) {
+            if let (Some(vs), Some(expect)) = (sum.eval(&env), va.checked_add(vb)) {
+                prop_assert_eq!(vs, expect);
+            }
+        }
+        if let (Some(prod), Some(va), Some(vb)) = (a.try_mul(&b), a.eval(&env), b.eval(&env)) {
+            if let (Some(vp), Some(expect)) = (prod.eval(&env), va.checked_mul(vb)) {
+                prop_assert_eq!(vp, expect);
+            }
+        }
+    }
+
+    /// Substitution agrees with evaluation: eval(e[v := r]) == eval(e) when
+    /// env(v) == eval(r).
+    #[test]
+    fn subst_agrees_with_eval(e in arb_expr(), r in arb_expr(), mut env in arb_env()) {
+        // If r mentions i, rebinding i below would change r's own value.
+        prop_assume!(!r.contains_var("i"));
+        if let Some(rv) = r.eval(&env) {
+            if let Some(substituted) = e.try_subst_var("i", &r) {
+                env.set("i", rv);
+                let direct = e.eval(&env);
+                let via_subst = substituted.eval(&env);
+                if let (Some(d), Some(s)) = (direct, via_subst) {
+                    prop_assert_eq!(d, s);
+                }
+            }
+        }
+    }
+
+    /// A definite comparison verdict holds under every environment.
+    #[test]
+    fn compare_sound(a in arb_expr(), b in arb_expr(), env in arb_env()) {
+        if let (Some(va), Some(vb)) = (a.eval(&env), b.eval(&env)) {
+            match compare(&a, &b) {
+                SymOrdering::Less => prop_assert!(va < vb),
+                SymOrdering::Equal => prop_assert_eq!(va, vb),
+                SymOrdering::Greater => prop_assert!(va > vb),
+                SymOrdering::Unknown => {}
+            }
+        }
+    }
+
+    /// Display → parse round-trips to the same canonical expression.
+    #[test]
+    fn display_parse_roundtrip(a in arb_expr()) {
+        let printed = a.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(reparsed, a);
+    }
+
+    /// `div_exact` inverts `try_scale`.
+    #[test]
+    fn div_inverts_scale(a in arb_expr(), c in 1i64..20) {
+        if let Some(scaled) = a.try_scale(c) {
+            prop_assert_eq!(scaled.div_exact(c), Some(a));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A term: coefficient times monomial.
+
+use crate::monomial::Monomial;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One addend of an [`crate::Expr`]: `coef * mono`.
+///
+/// Invariant (enforced by `Expr`): `coef != 0`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Term {
+    /// The integer coefficient, never zero inside a normalized expression.
+    pub coef: i64,
+    /// The product of variable powers.
+    pub mono: Monomial,
+}
+
+impl Term {
+    /// Creates a term.
+    pub fn new(coef: i64, mono: Monomial) -> Self {
+        Term { coef, mono }
+    }
+
+    /// The constant term `c`.
+    pub fn constant(c: i64) -> Self {
+        Term::new(c, Monomial::one())
+    }
+
+    /// Checked product of two terms; `None` on coefficient overflow.
+    pub fn try_mul(&self, other: &Term) -> Option<Term> {
+        Some(Term::new(
+            self.coef.checked_mul(other.coef)?,
+            self.mono.mul(&other.mono),
+        ))
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Orders by monomial (canonical expression order), then by coefficient.
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.mono
+            .cmp(&other.mono)
+            .then_with(|| self.coef.cmp(&other.coef))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mono.is_one() {
+            write!(f, "{}", self.coef)
+        } else if self.coef == 1 {
+            write!(f, "{}", self.mono)
+        } else if self.coef == -1 {
+            write!(f, "-{}", self.mono)
+        } else {
+            write!(f, "{}*{}", self.coef, self.mono)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Name;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::constant(7).to_string(), "7");
+        assert_eq!(Term::new(1, Monomial::var("i")).to_string(), "i");
+        assert_eq!(Term::new(-1, Monomial::var("i")).to_string(), "-i");
+        assert_eq!(Term::new(3, Monomial::var("i")).to_string(), "3*i");
+    }
+
+    #[test]
+    fn try_mul_overflow() {
+        let big = Term::constant(i64::MAX);
+        assert!(big.try_mul(&Term::constant(2)).is_none());
+        let m = Term::new(2, Monomial::var("i"));
+        let r = m.try_mul(&m).unwrap();
+        assert_eq!(r.coef, 4);
+        assert_eq!(
+            r.mono,
+            Monomial::from_factors([(Name::new("i"), 2)])
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Analyze a Perfect-benchmark kernel, derive its privatization plan,
+//! execute it sequentially and in parallel (threads + simulated
+//! P-processor schedule), and report the speedups.
+//!
+//! ```text
+//! cargo run --example parallel_speedup [loop-label]
+//! ```
+//!
+//! e.g. `cargo run --example parallel_speedup ocean/270`.
+
+use benchsuite::kernels;
+use interp::{simulate_speedup, LoopPlan, Machine, ParallelPlan};
+use panorama::{analyze_source, Options};
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let ks = kernels();
+    let kernel = match &wanted {
+        Some(label) => ks
+            .iter()
+            .find(|k| k.loop_label == label.as_str())
+            .unwrap_or_else(|| {
+                eprintln!("unknown loop label {label}; available:");
+                for k in &ks {
+                    eprintln!("  {}", k.loop_label);
+                }
+                std::process::exit(1);
+            }),
+        None => &ks[5], // ocean/270
+    };
+
+    println!("kernel {} ({})", kernel.loop_label, kernel.program);
+
+    // 1. Analyze and derive the plan.
+    let analysis = analyze_source(kernel.source, Options::full()).expect("analysis");
+    let v = analysis
+        .verdict(kernel.routine, kernel.var)
+        .expect("target loop verdict");
+    println!(
+        "  parallel after privatization: {} (privatize arrays {:?}, scalars {:?})",
+        v.parallel_after_privatization, v.privatized, v.private_scalars
+    );
+    if !v.parallel_after_privatization {
+        println!("  blockers: {:?}", v.blockers);
+        return;
+    }
+    let mut plan = ParallelPlan::new();
+    plan.add(
+        kernel.routine,
+        kernel.var,
+        LoopPlan {
+            private_arrays: v.privatized.clone(),
+            private_scalars: v.private_scalars.clone(),
+            copy_out: v
+                .arrays
+                .iter()
+                .filter(|a| a.privatizable && a.needs_copy_out)
+                .map(|a| a.array.clone())
+                .collect(),
+            sum_reductions: v.reductions.clone(),
+        },
+    );
+
+    // 2. Execute.
+    let sema = fortran::analyze(&analysis.program).unwrap();
+    let machine = Machine::new(&analysis.program, &sema);
+    let (_, seq_stats) = machine.run().expect("sequential run");
+    println!("  sequential ops: {}", seq_stats.ops);
+
+    let (_, par_stats) = machine.run_parallel(&plan, 4).expect("parallel run");
+    println!(
+        "  threaded run OK ({} iterations across threads)",
+        par_stats.parallel_iterations
+    );
+
+    // 3. Simulated P-processor speedups (the Table 1 substitute for the
+    //    Alliant FX/8).
+    println!("  simulated speedups:");
+    for p in [1usize, 2, 4, 8, 16] {
+        let sim = simulate_speedup(&machine, kernel.routine, kernel.var, p).expect("simulation");
+        println!(
+            "    P={p:<3} speedup {:.2}  (loop fraction {:.1}%)",
+            sim.speedup,
+            100.0 * sim.loop_fraction
+        );
+    }
+    println!(
+        "  paper reported: {:.1} on 8 processors ({}% of sequential time)",
+        kernel.paper_speedup, kernel.paper_pct_seq
+    );
+}

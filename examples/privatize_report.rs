@@ -1,0 +1,79 @@
+//! Privatization report over the reconstructed Perfect-benchmark kernels:
+//! for every kernel of Tables 1–2, show which arrays privatize under the
+//! full analysis and which technique ablations break them.
+//!
+//! ```text
+//! cargo run --example privatize_report
+//! ```
+
+use benchsuite::kernels;
+use panorama::{analyze_source, Options};
+
+fn privatized_arrays(src: &str, routine: &str, var: &str, opts: Options) -> Vec<String> {
+    let analysis = analyze_source(src, opts).expect("analysis");
+    let v = analysis.verdict(routine, var).expect("target loop");
+    v.arrays
+        .iter()
+        .filter(|a| a.privatizable)
+        .map(|a| a.array.clone())
+        .collect()
+}
+
+fn main() {
+    println!(
+        "{:<14} {:<12} {:<40} broken by ablation",
+        "program/loop", "techniques", "privatized (full analysis)"
+    );
+    println!("{}", "-".repeat(110));
+    for k in kernels() {
+        let full = privatized_arrays(k.source, k.routine, k.var, Options::full());
+        let mut broken = Vec::new();
+        for (tag, opts) in [
+            (
+                "-T1",
+                Options {
+                    symbolic: false,
+                    ..Options::default()
+                },
+            ),
+            (
+                "-T2",
+                Options {
+                    if_conditions: false,
+                    ..Options::default()
+                },
+            ),
+            (
+                "-T3",
+                Options {
+                    interprocedural: false,
+                    ..Options::default()
+                },
+            ),
+        ] {
+            let got = privatized_arrays(k.source, k.routine, k.var, opts);
+            let lost: Vec<&str> = k
+                .privatizable
+                .iter()
+                .filter(|a| !got.contains(&a.to_string()))
+                .copied()
+                .collect();
+            if !lost.is_empty() {
+                broken.push(format!("{tag}: loses {lost:?}"));
+            }
+        }
+        let needs = format!(
+            "T1={} T2={} T3={}",
+            if k.needs.t1 { "Y" } else { "n" },
+            if k.needs.t2 { "Y" } else { "n" },
+            if k.needs.t3 { "Y" } else { "n" }
+        );
+        println!(
+            "{:<14} {:<12} {:<40} {}",
+            k.loop_label,
+            needs,
+            format!("{full:?}"),
+            broken.join("; ")
+        );
+    }
+}

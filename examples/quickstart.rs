@@ -1,0 +1,77 @@
+//! Quickstart: analyze a small Fortran program and print what the
+//! analyzer concluded about every loop.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use panorama::{analyze_source, Options};
+
+const SRC: &str = "
+      PROGRAM demo
+      REAL w(64), a(1000), b(1000)
+      INTEGER i, k, n
+      n = 1000
+C     The classic privatizable-work-array pattern: w is a per-iteration
+C     scratch buffer; only array dataflow analysis can see that.
+      DO i = 1, n
+        DO k = 1, 64
+          w(k) = float(i + k)
+        ENDDO
+        a(i) = w(1) + w(64)
+      ENDDO
+C     An elementwise loop: parallel as-is.
+      DO i = 1, n
+        b(i) = a(i) * 2.0
+      ENDDO
+C     A linear recurrence: genuinely sequential.
+      DO i = 2, n
+        a(i) = a(i-1) + b(i)
+      ENDDO
+      END
+";
+
+fn main() {
+    let analysis = analyze_source(SRC, Options::default()).expect("analysis failed");
+
+    println!("routines analyzed : {}", analysis.routines.len());
+    println!("loops analyzed    : {}", analysis.verdicts.len());
+    println!(
+        "conventional tests already proved parallel: {:?}",
+        analysis.conventional_parallel
+    );
+    println!();
+
+    for v in &analysis.verdicts {
+        println!("loop {} (depth {})", v.id, v.depth);
+        println!("  parallel as-is            : {}", v.parallel_as_is);
+        println!(
+            "  parallel after privatizing : {}",
+            v.parallel_after_privatization
+        );
+        if !v.privatized.is_empty() {
+            println!("  arrays to privatize       : {:?}", v.privatized);
+        }
+        if !v.private_scalars.is_empty() {
+            println!("  scalars to privatize      : {:?}", v.private_scalars);
+        }
+        if !v.blockers.is_empty() {
+            println!("  blockers                  : {:?}", v.blockers);
+        }
+        for a in &v.arrays {
+            println!(
+                "    array {:8} candidate={} privatizable={} flow={} output={} anti={}",
+                a.array, a.candidate, a.privatizable, a.flow_dep, a.output_dep, a.anti_dep
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "analysis time: {:?} (parse {:?}, dataflow {:?}); memory proxy {} GAR units",
+        analysis.times.total(),
+        analysis.times.parse,
+        analysis.times.dataflow,
+        analysis.memory_proxy()
+    );
+}

@@ -1,0 +1,209 @@
+//! Workspace-level integration tests: the whole pipeline on multi-routine
+//! programs, cross-checking the analyzer against actual interpretation.
+
+use panorama::{analyze_source, Options};
+
+#[test]
+fn multi_routine_program_full_pipeline() {
+    let src = "
+      PROGRAM main
+      REAL grid(500), tmp(50), out(100)
+      INTEGER it, k, niter, m
+      niter = 100
+      m = 40
+      DO k = 1, 500
+        grid(k) = float(k) * 0.01
+      ENDDO
+      DO it = 1, niter
+        call relax(tmp, grid, m, it)
+        call reduce(out, tmp, m, it)
+      ENDDO
+      END
+
+      SUBROUTINE relax(t, g, m, it)
+      REAL t(*), g(*)
+      INTEGER m, it, k
+      DO k = 1, m
+        t(k) = g(k) + g(k + 1) + float(it)
+      ENDDO
+      END
+
+      SUBROUTINE reduce(o, t, m, it)
+      REAL o(*), t(*)
+      REAL s
+      INTEGER m, it, k
+      s = 0.0
+      DO k = 1, m
+        s = s + t(k)
+      ENDDO
+      o(it) = s
+      END
+";
+    let a = analyze_source(src, Options::default()).unwrap();
+    // the it loop: tmp is a privatizable work array.
+    let v = a.verdict("main", "it").unwrap();
+    assert!(v.parallel_after_privatization, "{:?}", v.blockers);
+    assert!(v.privatized.contains(&"tmp".to_string()));
+    // grid is read-only inside the loop: no deps.
+    let grid = v.arrays.iter().find(|x| x.array == "grid").unwrap();
+    assert!(!grid.flow_dep && !grid.output_dep && !grid.anti_dep);
+    // the initialization loop is parallel as-is.
+    let init = a.verdict("main", "k").unwrap();
+    assert!(init.parallel_as_is);
+}
+
+#[test]
+fn verdicts_agree_with_execution_semantics() {
+    // If the analyzer says the loop is parallel after privatization, then
+    // running it with the derived plan must give bit-identical results.
+    let src = "
+      PROGRAM t
+      REAL w(20), acc(200)
+      INTEGER i, k, n
+      n = 200
+      DO i = 1, n
+        DO k = 1, 20
+          w(k) = float(i) / float(k)
+        ENDDO
+        acc(i) = w(1) + w(20) * 2.0
+      ENDDO
+      END
+";
+    let a = analyze_source(src, Options::default()).unwrap();
+    let v = a.verdict("t", "i").unwrap();
+    assert!(v.parallel_after_privatization);
+
+    let sema = fortran::analyze(&a.program).unwrap();
+    let m = interp::Machine::new(&a.program, &sema);
+    let (seq, _) = m.run().unwrap();
+
+    let mut plan = interp::ParallelPlan::new();
+    plan.add(
+        "t",
+        "i",
+        interp::LoopPlan {
+            private_arrays: v.privatized.clone(),
+            private_scalars: v.private_scalars.clone(),
+            copy_out: vec![],
+            sum_reductions: v.reductions.clone(),
+        },
+    );
+    let (par, _) = m.run_parallel(&plan, 3).unwrap();
+    // acc (handle 1: w is declared first) must agree.
+    assert_eq!(seq.arrays[1].data, par.arrays[1].data);
+}
+
+#[test]
+fn nested_loop_verdicts_both_levels() {
+    let src = "
+      PROGRAM t
+      REAL a(100, 100)
+      INTEGER i, j
+      DO i = 1, 100
+        DO j = 1, 100
+          a(j, i) = float(i + j)
+        ENDDO
+      ENDDO
+      END
+";
+    let a = analyze_source(src, Options::default()).unwrap();
+    let outer = a.verdict("t", "i").unwrap();
+    let inner = a.verdict("t", "j").unwrap();
+    // The outer loop must privatize the inner index j (a written scalar),
+    // but needs nothing else; the inner loop is parallel outright.
+    assert!(outer.parallel_after_privatization, "{outer:?}");
+    assert!(outer.privatized.is_empty(), "{outer:?}");
+    assert_eq!(outer.private_scalars, vec!["j".to_string()]);
+    assert!(inner.parallel_as_is, "{inner:?}");
+}
+
+#[test]
+fn trace_reproduces_fig5_structure() {
+    // The Fig 1(b)/Fig 5 kernel traced: the trace must show the guarded
+    // A(jmax) UE piece and the (jlow:jup) mod piece.
+    let src = "
+      PROGRAM fig1b
+      REAL a(600)
+      REAL q
+      LOGICAL p
+      INTEGER i, j, jlow, jup, jmax
+      DO i = 1, 4
+        DO j = jlow, jup
+          a(j) = float(i + j)
+        ENDDO
+        IF (.NOT. p) THEN
+          a(jmax) = float(i)
+        ENDIF
+        DO j = jlow, jup
+          q = a(j) + a(jmax)
+        ENDDO
+      ENDDO
+      END
+";
+    let a = analyze_source(
+        src,
+        Options {
+            trace: true,
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let text = a.trace.join("\n");
+    assert!(text.contains("ue_in[a]"), "trace missing UE lines:\n{text}");
+    assert!(text.contains("mod_in[a]"));
+    assert!(text.contains("jmax"));
+    assert!(text.contains("jlow"));
+}
+
+#[test]
+fn goto_heavy_program_survives() {
+    let src = "
+      PROGRAM spaghetti
+      REAL a(50)
+      INTEGER i, k
+      k = 1
+5     IF (k .GT. 50) goto 99
+      a(k) = float(k)
+      k = k + 1
+      goto 5
+99    CONTINUE
+      DO i = 1, 50
+        a(i) = a(i) + 1.0
+      ENDDO
+      END
+";
+    let a = analyze_source(src, Options::default()).unwrap();
+    // the backward-goto cycle condenses; the DO loop still analyzes —
+    // conservatively serial or parallel, but the pipeline must not fail.
+    assert_eq!(a.verdicts.len(), 1);
+    // the DO loop itself has a(i) = a(i) + 1: per-element, no carried dep.
+    let v = a.verdict("spaghetti", "i").unwrap();
+    assert!(v.parallel_as_is, "{v:?}");
+}
+
+#[test]
+fn two_dim_regions_flow_through() {
+    let src = "
+      PROGRAM t
+      REAL u(64, 64), w(64, 64)
+      INTEGER i, j, it
+      DO it = 1, 10
+        DO j = 1, 64
+          DO i = 1, 64
+            w(i, j) = float(i + j + it)
+          ENDDO
+        ENDDO
+        DO j = 1, 64
+          DO i = 1, 64
+            u(i, j) = w(i, j) * 0.5
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+";
+    let a = analyze_source(src, Options::default()).unwrap();
+    let v = a.verdict("t", "it").unwrap();
+    let w = v.arrays.iter().find(|x| x.array == "w").unwrap();
+    assert!(w.privatizable, "2-D work array must privatize: {v:?}");
+    assert!(v.parallel_after_privatization);
+}
