@@ -11,8 +11,8 @@ use std::hint::black_box;
 use sym::Expr;
 
 fn random_region(rng: &mut StdRng) -> Region {
-    let lo = rng.random_range(-20..20);
-    let len = rng.random_range(0..40);
+    let lo: i64 = rng.random_range(-20..20);
+    let len: i64 = rng.random_range(0..40);
     let symbolic = rng.random_bool(0.4);
     if symbolic {
         Region::from_ranges([Range::contiguous(
@@ -27,8 +27,8 @@ fn random_region(rng: &mut StdRng) -> Region {
 fn random_guard(rng: &mut StdRng) -> Pred {
     match rng.random_range(0..3) {
         0 => Pred::tru(),
-        1 => Pred::le(Expr::var("a"), Expr::from(rng.random_range(-5..20))),
-        _ => Pred::le(Expr::from(rng.random_range(-5..20)), Expr::var("a")),
+        1 => Pred::le(Expr::var("a"), Expr::from(rng.random_range(-5i64..20))),
+        _ => Pred::le(Expr::from(rng.random_range(-5i64..20)), Expr::var("a")),
     }
 }
 
@@ -88,10 +88,8 @@ fn bench_pred_ops(c: &mut Criterion) {
 
 fn bench_expansion(c: &mut Criterion) {
     // The §4.1 example: [c <= i+1 <= d, (1:i)] expanded over a <= i <= b.
-    let guard = Pred::le(Expr::var("c"), Expr::var("i") + Expr::from(1)).and(&Pred::le(
-        Expr::var("i") + Expr::from(1),
-        Expr::var("d"),
-    ));
+    let guard = Pred::le(Expr::var("c"), Expr::var("i") + Expr::from(1))
+        .and(&Pred::le(Expr::var("i") + Expr::from(1), Expr::var("d")));
     let gar = Gar::new(
         guard,
         Region::from_ranges([Range::contiguous(Expr::from(1), Expr::var("i"))]),

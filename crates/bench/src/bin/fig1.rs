@@ -23,7 +23,10 @@ struct Row {
 
 fn main() {
     let mut rows = Vec::new();
-    println!("{:<8} {:>16} {:>18} {:>16}", "Figure", "base analysis", "forall extension", "paper (base)");
+    println!(
+        "{:<8} {:>16} {:>18} {:>16}",
+        "Figure", "base analysis", "forall extension", "paper (base)"
+    );
     println!("{}", "-".repeat(64));
     for (tag, routine, var, array, src) in fig1_kernels() {
         let check = |opts: Options| -> bool {
@@ -44,7 +47,11 @@ fn main() {
             base,
             ext,
             expected_base,
-            if base == expected_base { "" } else { "   << MISMATCH" }
+            if base == expected_base {
+                ""
+            } else {
+                "   << MISMATCH"
+            }
         );
         rows.push(Row {
             figure: tag.to_string(),

@@ -36,7 +36,14 @@ fn main() {
     let mut rows = Vec::new();
     println!(
         "{:<8} {:<13} {:>7} {:>8} {:>6} {:>7}   {:<17} {:<17}",
-        "Program", "Loop", "SpdupP", "SpdupSim", "%SeqP", "%SeqSim", "Needed (measured)", "Needed (paper)"
+        "Program",
+        "Loop",
+        "SpdupP",
+        "SpdupSim",
+        "%SeqP",
+        "%SeqSim",
+        "Needed (measured)",
+        "Needed (paper)"
     );
     println!("{}", "-".repeat(100));
     for k in kernels() {
@@ -84,7 +91,11 @@ fn main() {
     let all_match = rows.iter().all(|r| r.matches_paper);
     println!(
         "\ntechnique matrix {} the paper's Table 1",
-        if all_match { "MATCHES" } else { "does NOT match" }
+        if all_match {
+            "MATCHES"
+        } else {
+            "does NOT match"
+        }
     );
     println!(
         "note: %SeqSim is the loop's fraction of *this kernel's* runtime; the paper's\n%Seq is over the whole original benchmark, so only the speedup shape is comparable."

@@ -712,8 +712,13 @@ const FIG1C: &str = "
 
 /// The three Fig. 1 kernels: `(figure tag, target routine, loop var,
 /// target array, source)`.
-pub fn fig1_kernels() -> Vec<(&'static str, &'static str, &'static str, &'static str, &'static str)>
-{
+pub fn fig1_kernels() -> Vec<(
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+)> {
     vec![
         ("1a", "fig1a", "i", "a", FIG1A),
         ("1b", "fig1b", "i", "a", FIG1B),

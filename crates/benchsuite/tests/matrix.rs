@@ -18,11 +18,7 @@ fn prep(src: &str) -> Prep {
     let program = fortran::parse_program(src).unwrap();
     let sema = fortran::analyze(&program).unwrap();
     let hsg = hsg::build_hsg(&program).unwrap();
-    Prep {
-        program,
-        sema,
-        hsg,
-    }
+    Prep { program, sema, hsg }
 }
 
 /// Do all the kernel's listed arrays privatize under these options?
@@ -142,7 +138,10 @@ fn parallel_execution_matches_sequential() {
         if !v.parallel_after_privatization {
             // (only the base-analysis-hard kernels could hit this; with
             // forall on everything should pass)
-            panic!("{}: not parallel after privatization: {:?}", k.loop_label, v.blockers);
+            panic!(
+                "{}: not parallel after privatization: {:?}",
+                k.loop_label, v.blockers
+            );
         }
         let mut plan = ParallelPlan::new();
         plan.add(
@@ -181,10 +180,7 @@ fn parallel_execution_matches_sequential() {
                 .enumerate()
                 .filter(|(_, (n, _))| {
                     v.privatized.contains(n)
-                        && !v
-                            .arrays
-                            .iter()
-                            .any(|a| &a.array == n && a.needs_copy_out)
+                        && !v.arrays.iter().any(|a| &a.array == n && a.needs_copy_out)
                 })
                 .map(|(idx, _)| idx)
                 .collect()

@@ -12,15 +12,19 @@
 //!   --dump-hsg            print the hierarchical supergraph
 //!   --summaries           print per-routine MOD/UE/DE summaries
 //!   --stats               print timing and size statistics
+//!   --explain             run the dynamic race oracle and attach
+//!                         witness diagnostics to negative verdicts
+//!   --json                emit the report as JSON (schema in DESIGN.md)
 //! ```
 
-use panorama::{analyze_source, Options};
+use panorama::{analyze_source, Options, Outcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
-         \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats] FILE.f"
+         \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats]\n\
+         \x20                [--explain] [--json] FILE.f"
     );
     std::process::exit(2);
 }
@@ -31,6 +35,8 @@ fn main() -> ExitCode {
     let mut dump_hsg = false;
     let mut summaries = false;
     let mut stats = false;
+    let mut explain = false;
+    let mut json = false;
     let mut file = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -45,6 +51,8 @@ fn main() -> ExitCode {
             "--dump-hsg" => dump_hsg = true,
             "--summaries" => summaries = true,
             "--stats" => stats = true,
+            "--explain" => explain = true,
+            "--json" => json = true,
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -67,13 +75,32 @@ fn main() -> ExitCode {
         }
     };
 
-    let analysis = match analyze_source(&src, opts) {
+    let mut analysis = match analyze_source(&src, opts) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("panorama: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let oracle = explain.then(|| analysis.run_oracle());
+
+    if json {
+        let report = panorama::json_report(&analysis, oracle.as_ref());
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("panorama: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if oracle.as_ref().is_some_and(|r| !r.sound()) {
+            eprintln!(
+                "panorama: soundness violation — static verdict contradicted by dynamic race"
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if dump_hsg {
         println!("=== HSG ===");
@@ -136,6 +163,55 @@ fn main() -> ExitCode {
                     if a.needs_copy_out { " (copy-out)" } else { "" }
                 );
             }
+        }
+        for d in &v.diagnostics {
+            println!("    witness: {}", d.render());
+        }
+    }
+    if let Some(report) = &oracle {
+        println!("\n=== race oracle ===");
+        for c in &report.loops {
+            let outcome = match c.outcome {
+                Outcome::Confirmed => "confirmed",
+                Outcome::SoundnessViolation => "SOUNDNESS VIOLATION",
+                Outcome::PrecisionGap => "precision gap",
+                Outcome::NotExercised => "not exercised",
+            };
+            let dynamic = if c.dynamic_conflicts.is_empty() {
+                "race-free".to_string()
+            } else {
+                c.dynamic_conflicts
+                    .iter()
+                    .map(|(arr, classes)| {
+                        let cs: Vec<String> = classes.iter().map(|c| c.to_string()).collect();
+                        format!("{arr}: {}", cs.join("+"))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            println!(
+                "{:<28} {outcome:<20} {} iterations, {dynamic}{}",
+                c.id,
+                c.iterations,
+                if c.note.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {}", c.note)
+                }
+            );
+        }
+        println!(
+            "confirmed {} / violations {} / precision gaps {} / not exercised {}",
+            report.confirmed,
+            report.soundness_violations,
+            report.precision_gaps,
+            report.not_exercised
+        );
+        if !report.sound() {
+            eprintln!(
+                "panorama: soundness violation — static verdict contradicted by dynamic race"
+            );
+            return ExitCode::FAILURE;
         }
     }
     if !analysis.conventional_parallel.is_empty() {

@@ -39,7 +39,8 @@ use std::time::{Duration, Instant};
 
 pub use dataflow::{AnalysisStats, LoopAnalysis, Options, RoutineAnalysis, Summary};
 pub use fortran::{Program, ProgramSema};
-pub use privatize::{ArrayVerdict, Blocker, LoopVerdict};
+pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict};
+pub use raceoracle::{LoopComparison, OracleReport, Outcome};
 
 /// Any front-to-back analysis failure.
 #[derive(Debug)]
@@ -139,6 +140,37 @@ impl Analysis {
     pub fn memory_proxy(&self) -> usize {
         self.stats.total_summary_size + self.stats.peak_state_size
     }
+
+    /// Runs the dynamic race oracle (see the `raceoracle` crate) over
+    /// every loop verdict: the program executes sequentially under
+    /// shadow-memory tracing, observed loop-carried conflicts are
+    /// compared against the static claims, and witness diagnostics are
+    /// attached to the negative verdicts the oracle confirmed.
+    pub fn run_oracle(&mut self) -> OracleReport {
+        let report = raceoracle::validate(&self.program, &self.sema, &self.verdicts);
+        raceoracle::attach_diagnostics(&mut self.verdicts, &report);
+        report
+    }
+}
+
+/// Builds the machine-readable analysis report (the CLI's `--json`
+/// output). The schema is documented in DESIGN.md ("JSON report schema")
+/// and versioned via `schema_version`; pass the oracle report to include
+/// the dynamic validation under the `"oracle"` key.
+pub fn json_report(analysis: &Analysis, oracle: Option<&OracleReport>) -> serde::Value {
+    use serde::{Serialize, Value};
+    Value::Object(vec![
+        ("schema_version".to_string(), Value::UInt(1)),
+        ("verdicts".to_string(), analysis.verdicts.to_json_value()),
+        (
+            "conventional_parallel".to_string(),
+            analysis.conventional_parallel.to_json_value(),
+        ),
+        (
+            "oracle".to_string(),
+            oracle.map_or(Value::Null, |r| r.to_json_value()),
+        ),
+    ])
 }
 
 /// Runs the full pipeline on a source string.
@@ -242,9 +274,7 @@ fn visit_loops<'a>(body: &'a [fortran::Stmt], f: &mut impl FnMut(&'a fortran::St
                 visit_loops(then_body, f);
                 visit_loops(else_body, f);
             }
-            fortran::StmtKind::LogicalIf(_, inner) => {
-                visit_loops(std::slice::from_ref(inner), f)
-            }
+            fortran::StmtKind::LogicalIf(_, inner) => visit_loops(std::slice::from_ref(inner), f),
             _ => {}
         }
     }

@@ -1,9 +1,7 @@
 //! The summary propagation engine: `SUM_segment`, `SUM_bb`, `SUM_loop`,
 //! `SUM_call` (§4.1).
 
-use crate::convert::{
-    collect_array_reads, subscripts_region, to_pred, to_sym, ConvertCtx,
-};
+use crate::convert::{collect_array_reads, subscripts_region, to_pred, to_sym, ConvertCtx};
 use crate::scalars::{CounterFact, FreshNames, ValueEnv};
 use crate::summary::{ArraySets, Options, Summary};
 use fortran::{Expr as FExpr, LValue, Program, Stmt, StmtKind, SymbolTable};
@@ -46,6 +44,8 @@ pub struct LoopAnalysis {
     pub subgraph: SubgraphId,
     /// Loop index variable.
     pub var: String,
+    /// 1-based source line of the DO statement (0 if synthetic).
+    pub line: u32,
     /// Nesting depth within the routine (0 = outermost).
     pub depth: usize,
     /// Converted loop bounds (`None` = not representable).
@@ -272,8 +272,7 @@ impl<'a> Analyzer<'a> {
             match &g.nodes[nid].clone() {
                 Node::Entry | Node::Exit => {}
                 Node::Block(stmts) => {
-                    let (sum, must) =
-                        self.sum_bb(stmts, routine, table, &mut env, loop_vars);
+                    let (sum, must) = self.sum_bb(stmts, routine, table, &mut env, loop_vars);
                     node_must_scalar[nid] = must;
                     node_sum[nid] = sum;
                 }
@@ -302,13 +301,23 @@ impl<'a> Analyzer<'a> {
                 }
                 Node::Loop {
                     var,
+                    line,
                     lo,
                     hi,
                     step,
                     body,
                 } => {
                     let (sum, idx) = self.sum_loop(
-                        *body, var, lo, hi, step.as_ref(), routine, table, &mut env, loop_vars,
+                        *body,
+                        var,
+                        *line,
+                        lo,
+                        hi,
+                        step.as_ref(),
+                        routine,
+                        table,
+                        &mut env,
+                        loop_vars,
                         depth,
                     );
                     loop_of_node[nid] = idx;
@@ -388,8 +397,12 @@ impl<'a> Analyzer<'a> {
             // live_after for loops: arrays upward-exposed just below.
             if let Some(li) = loop_of_node[nid] {
                 let below = self.merge_succs(g, nid, &cond_pred, &state);
-                self.loops[li].live_after =
-                    below.ues.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| k.clone()).collect();
+                self.loops[li].live_after = below
+                    .ues
+                    .iter()
+                    .filter(|(_, v)| !v.is_empty())
+                    .map(|(k, _)| k.clone())
+                    .collect();
             }
 
             self.stats.peak_state_size = self
@@ -404,17 +417,18 @@ impl<'a> Analyzer<'a> {
         //             − mod(n)), where reach(n) is the disjunction of path
         // conditions from the entry — so uses born inside a branch carry
         // the branch condition.
-        let edge_guard = |p: NodeId, kind: EdgeKind, facts: &BTreeMap<String, CounterFact>| {
-            match (&cond_pred[p], kind) {
-                (Some(c), EdgeKind::True) if self.opts.if_conditions => {
-                    Some(crate::convert::apply_counter_facts(c.clone(), facts))
-                }
-                (Some(c), EdgeKind::False) if self.opts.if_conditions => {
-                    Some(crate::convert::apply_counter_facts(c.not(), facts))
-                }
-                (None, EdgeKind::True | EdgeKind::False) => Some(Pred::unknown()),
-                _ => None,
+        let edge_guard = |p: NodeId, kind: EdgeKind, facts: &BTreeMap<String, CounterFact>| match (
+            &cond_pred[p],
+            kind,
+        ) {
+            (Some(c), EdgeKind::True) if self.opts.if_conditions => {
+                Some(crate::convert::apply_counter_facts(c.clone(), facts))
             }
+            (Some(c), EdgeKind::False) if self.opts.if_conditions => {
+                Some(crate::convert::apply_counter_facts(c.not(), facts))
+            }
+            (None, EdgeKind::True | EdgeKind::False) => Some(Pred::unknown()),
+            _ => None,
         };
         let mut reach: Vec<Pred> = vec![Pred::fals(); n];
         for &nid in &g.topo.clone() {
@@ -551,8 +565,7 @@ impl<'a> Analyzer<'a> {
                     // Conservative merge: may = union (demoted), plus the
                     // must part = intersection of the two branches' MODs.
                     let mut merged = ts.clone().union(&fs).mark_over();
-                    let arrays: BTreeSet<&String> =
-                        ts.mods.keys().chain(fs.mods.keys()).collect();
+                    let arrays: BTreeSet<&String> = ts.mods.keys().chain(fs.mods.keys()).collect();
                     for arr in arrays {
                         if let (Some(a), Some(b)) = (ts.mods.get(arr), fs.mods.get(arr)) {
                             let both = a.intersect(b);
@@ -592,8 +605,10 @@ impl<'a> Analyzer<'a> {
         let mut scalar_defed: BTreeSet<String> = BTreeSet::new();
         // (reads, array write) per statement, recorded for the DE sweep.
         #[allow(clippy::type_complexity)]
-        let mut record: Vec<(Vec<(String, region::Region)>, Option<(String, region::Region)>)> =
-            Vec::new();
+        let mut record: Vec<(
+            Vec<(String, region::Region)>,
+            Option<(String, region::Region)>,
+        )> = Vec::new();
 
         for s in stmts {
             let StmtKind::Assign(lhs, rhs) = &s.kind else {
@@ -872,6 +887,7 @@ impl<'a> Analyzer<'a> {
         &mut self,
         body_sg: SubgraphId,
         var: &str,
+        line: u32,
         lo: &FExpr,
         hi: &FExpr,
         step: Option<&FExpr>,
@@ -888,7 +904,9 @@ impl<'a> Analyzer<'a> {
         let hi_sym = to_sym(hi, &ctx);
         let step_const = match step {
             None => Some(1i64),
-            Some(s) => to_sym(s, &ctx).and_then(|e| e.as_const()).filter(|&c| c != 0),
+            Some(s) => to_sym(s, &ctx)
+                .and_then(|e| e.as_const())
+                .filter(|&c| c != 0),
         };
         // Scalars assigned anywhere inside (incl. nested calls).
         let assigned = self.scalars_assigned(body_sg, table);
@@ -904,7 +922,14 @@ impl<'a> Analyzer<'a> {
         let mut body_loop_vars = loop_vars.clone();
         body_loop_vars.insert(var.to_string());
 
-        let body = self.sum_segment(body_sg, routine, table, body_env, &body_loop_vars, depth + 1);
+        let body = self.sum_segment(
+            body_sg,
+            routine,
+            table,
+            body_env,
+            &body_loop_vars,
+            depth + 1,
+        );
         let premature = self.hsg.subgraphs[body_sg].premature_exit;
 
         // §5.4: with premature exits, loop-variant components go unknown.
@@ -1013,42 +1038,30 @@ impl<'a> Analyzer<'a> {
             _ => {
                 // Bounds not representable: forget the index everywhere.
                 for arr in body.arrays() {
-                    let m = GarList::from_gars(
-                        sanitize(&body.mod_of(&arr))
-                            .gars()
-                            .iter()
-                            .map(|g| {
-                                Gar::with_approx(
-                                    g.guard.forget_var(var),
-                                    g.region.forget_var(var),
-                                    Approx::Over,
-                                )
-                            }),
-                    );
-                    let u = GarList::from_gars(
-                        sanitize(&body.ue_of(&arr))
-                            .gars()
-                            .iter()
-                            .map(|g| {
-                                Gar::with_approx(
-                                    g.guard.forget_var(var),
-                                    g.region.forget_var(var),
-                                    Approx::Over,
-                                )
-                            }),
-                    );
-                    let d = GarList::from_gars(
-                        sanitize(&body.de_of(&arr))
-                            .gars()
-                            .iter()
-                            .map(|g| {
-                                Gar::with_approx(
-                                    g.guard.forget_var(var),
-                                    g.region.forget_var(var),
-                                    Approx::Over,
-                                )
-                            }),
-                    );
+                    let m =
+                        GarList::from_gars(sanitize(&body.mod_of(&arr)).gars().iter().map(|g| {
+                            Gar::with_approx(
+                                g.guard.forget_var(var),
+                                g.region.forget_var(var),
+                                Approx::Over,
+                            )
+                        }));
+                    let u =
+                        GarList::from_gars(sanitize(&body.ue_of(&arr)).gars().iter().map(|g| {
+                            Gar::with_approx(
+                                g.guard.forget_var(var),
+                                g.region.forget_var(var),
+                                Approx::Over,
+                            )
+                        }));
+                    let d =
+                        GarList::from_gars(sanitize(&body.de_of(&arr)).gars().iter().map(|g| {
+                            Gar::with_approx(
+                                g.guard.forget_var(var),
+                                g.region.forget_var(var),
+                                Approx::Over,
+                            )
+                        }));
                     loop_sum.add_mod(&arr, m);
                     loop_sum.add_ue(&arr, u);
                     loop_sum.add_de(&arr, d);
@@ -1059,10 +1072,18 @@ impl<'a> Analyzer<'a> {
                             ue_i: body.ue_of(&arr),
                             de_i: body.de_of(&arr),
                             mod_lt: GarList::single(Gar::unknown(
-                                body.mod_of(&arr).gars().first().map(|g| g.rank()).unwrap_or(1),
+                                body.mod_of(&arr)
+                                    .gars()
+                                    .first()
+                                    .map(|g| g.rank())
+                                    .unwrap_or(1),
                             )),
                             mod_gt: GarList::single(Gar::unknown(
-                                body.mod_of(&arr).gars().first().map(|g| g.rank()).unwrap_or(1),
+                                body.mod_of(&arr)
+                                    .gars()
+                                    .first()
+                                    .map(|g| g.rank())
+                                    .unwrap_or(1),
                             )),
                         },
                     );
@@ -1136,12 +1157,18 @@ impl<'a> Analyzer<'a> {
             routine: routine.to_string(),
             subgraph: body_sg,
             var: var.to_string(),
+            line,
             depth,
             lo: lo_sym,
             hi: hi_sym,
             step: step_const.unwrap_or(1),
             arrays: sets,
-            scalar_ue: body.scalar_ue.iter().filter(|s| *s != var).cloned().collect(),
+            scalar_ue: body
+                .scalar_ue
+                .iter()
+                .filter(|s| *s != var)
+                .cloned()
+                .collect(),
             scalar_mod: body.scalar_may_mod.clone(),
             premature_exit: premature,
             reductions,
@@ -1452,11 +1479,7 @@ fn rename_var(list: &GarList, from: &str, to: &str) -> GarList {
 }
 
 /// Simultaneous substitution via two-phase temp renaming.
-fn substitute_many(
-    list: &GarList,
-    pairs: &[(String, Expr)],
-    fresh: &mut FreshNames,
-) -> GarList {
+fn substitute_many(list: &GarList, pairs: &[(String, Expr)], fresh: &mut FreshNames) -> GarList {
     if pairs.is_empty() {
         return list.clone();
     }
@@ -1513,7 +1536,14 @@ fn collect_node_names(
                 expr_names(a, arrays, scalars);
             }
         }
-        Node::Loop { var, lo, hi, step, body } => {
+        Node::Loop {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
             scalars.insert(var.clone());
             expr_names(lo, arrays, scalars);
             expr_names(hi, arrays, scalars);
@@ -1592,7 +1622,14 @@ fn is_reduction_scalar(g: &Subgraph, hsg: &Hsg, v: &str) -> bool {
             Node::Block(stmts) => stmts.iter().all(|s| stmt_ok(s, v, found)),
             Node::IfCond(c) => expr_uses(c, v) == 0,
             Node::Call { .. } => false,
-            Node::Loop { var, lo, hi, step, body } => {
+            Node::Loop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
                 var != v
                     && expr_uses(lo, v) == 0
                     && expr_uses(hi, v) == 0

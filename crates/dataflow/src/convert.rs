@@ -30,9 +30,7 @@ impl ConvertCtx<'_> {
         if self.symbolic {
             return true;
         }
-        e.vars()
-            .iter()
-            .all(|v| self.loop_vars.contains(v.as_str()))
+        e.vars().iter().all(|v| self.loop_vars.contains(v.as_str()))
     }
 }
 
@@ -147,9 +145,7 @@ fn to_pred_inner(e: &FExpr, ctx: &ConvertCtx) -> Option<Pred> {
             _ => None,
         },
         FExpr::Un(UnOp::Not, inner) => Some(to_pred_inner(inner, ctx)?.not()),
-        FExpr::Bin(BinOp::And, a, b) => {
-            Some(to_pred_inner(a, ctx)?.and(&to_pred_inner(b, ctx)?))
-        }
+        FExpr::Bin(BinOp::And, a, b) => Some(to_pred_inner(a, ctx)?.and(&to_pred_inner(b, ctx)?)),
         FExpr::Bin(BinOp::Or, a, b) => Some(to_pred_inner(a, ctx)?.or(&to_pred_inner(b, ctx)?)),
         FExpr::Bin(op, a, b) if op.is_relational() => {
             // Integer-exact relation?
@@ -353,7 +349,10 @@ mod tests {
     fn to_sym_basics() {
         with_ctx(DECLS, |ctx| {
             assert_eq!(to_sym(&fexpr("3"), ctx), Some(Expr::from(3)));
-            assert_eq!(to_sym(&fexpr("n + 1"), ctx), Some(Expr::var("n") + Expr::from(1)));
+            assert_eq!(
+                to_sym(&fexpr("n + 1"), ctx),
+                Some(Expr::var("n") + Expr::from(1))
+            );
             assert_eq!(
                 to_sym(&fexpr("2 * i - m"), ctx),
                 Some(Expr::var("i") * 2 - Expr::var("m"))
@@ -368,7 +367,10 @@ mod tests {
             assert_eq!(to_sym(&fexpr("(4 * n) / 2"), ctx), Some(Expr::var("n") * 2));
             assert_eq!(to_sym(&fexpr("n / 2"), ctx), None);
             // power
-            assert_eq!(to_sym(&fexpr("i ** 2"), ctx), Some(Expr::var("i") * Expr::var("i")));
+            assert_eq!(
+                to_sym(&fexpr("i ** 2"), ctx),
+                Some(Expr::var("i") * Expr::var("i"))
+            );
         });
     }
 
@@ -518,7 +520,9 @@ mod tests {
         let p = Pred::eq(Expr::var("kc#1"), Expr::zero());
         let rewritten = apply_counter_facts(p, &facts);
         match rewritten.disjs()[0].as_unit().unwrap() {
-            Atom::ForallCond { positive, lo, hi, .. } => {
+            Atom::ForallCond {
+                positive, lo, hi, ..
+            } => {
                 assert!(!positive);
                 assert_eq!(lo, &Expr::from(1));
                 assert_eq!(hi, &Expr::from(9));

@@ -62,12 +62,7 @@ impl ValueEnv {
     /// Merges environments at a control-flow join: agreeing values are
     /// kept, disagreeing ones are clobbered.
     pub fn join(mut self, other: &ValueEnv, fresh: &mut FreshNames) -> ValueEnv {
-        let names: Vec<String> = self
-            .ints
-            .keys()
-            .chain(other.ints.keys())
-            .cloned()
-            .collect();
+        let names: Vec<String> = self.ints.keys().chain(other.ints.keys()).cloned().collect();
         for n in names {
             if self.int_value(&n) != other.int_value(&n) {
                 let v = fresh.next(&n);

@@ -107,10 +107,7 @@ fn de_survives_partial_overwrite() {
       END
 ",
     );
-    let l = loops
-        .iter()
-        .find(|l| l.var == "i" && l.depth == 0)
-        .unwrap();
+    let l = loops.iter().find(|l| l.var == "i" && l.depth == 0).unwrap();
     let sets = &l.arrays["w"];
     // w(11:20) read by the sum remains downwards exposed.
     assert!(!sets.de_i.definitely_empty());

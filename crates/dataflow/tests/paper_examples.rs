@@ -475,11 +475,7 @@ fn premature_exit_is_conservative() {
     let run = prepare(src, Options::default());
     let mut az = run.analyzer();
     az.run();
-    let inner = az
-        .loops
-        .iter()
-        .find(|l| l.var == "k")
-        .unwrap();
+    let inner = az.loops.iter().find(|l| l.var == "k").unwrap();
     assert!(inner.premature_exit);
     // the inner loop's sets must not claim exact coverage of w
     let sets = inner.arrays.get("w").unwrap();

@@ -28,7 +28,11 @@ struct Ref {
 /// PARAMETER constants.
 pub fn conventional_loop_test(do_stmt: &Stmt, table: &SymbolTable) -> ConvVerdict {
     let StmtKind::Do {
-        var, lo, hi, step, body,
+        var,
+        lo,
+        hi,
+        step,
+        body,
     } = &do_stmt.kind
     else {
         return ConvVerdict::Unknown;
@@ -145,9 +149,7 @@ fn collect(
         *order += 1;
         match &s.kind {
             StmtKind::Assign(lhs, rhs) => {
-                if !collect_expr_reads(
-                    rhs, table, indices, refs, *order, scalar_first_read,
-                ) {
+                if !collect_expr_reads(rhs, table, indices, refs, *order, scalar_first_read) {
                     return false;
                 }
                 match lhs {
@@ -155,7 +157,12 @@ fn collect(
                         let mut affs = Vec::new();
                         for sub in subs {
                             if !collect_expr_reads(
-                                sub, table, indices, refs, *order, scalar_first_read,
+                                sub,
+                                table,
+                                indices,
+                                refs,
+                                *order,
+                                scalar_first_read,
                             ) {
                                 return false;
                             }
@@ -189,11 +196,27 @@ fn collect(
                     return false;
                 }
                 if !collect(
-                    then_body, table, indices, bounds, refs, order, scalar_first_read,
-                    scalar_first_write, scalar_any_write, true,
+                    then_body,
+                    table,
+                    indices,
+                    bounds,
+                    refs,
+                    order,
+                    scalar_first_read,
+                    scalar_first_write,
+                    scalar_any_write,
+                    true,
                 ) || !collect(
-                    else_body, table, indices, bounds, refs, order, scalar_first_read,
-                    scalar_first_write, scalar_any_write, true,
+                    else_body,
+                    table,
+                    indices,
+                    bounds,
+                    refs,
+                    order,
+                    scalar_first_read,
+                    scalar_first_write,
+                    scalar_any_write,
+                    true,
                 ) {
                     return false;
                 }
@@ -218,7 +241,11 @@ fn collect(
                 }
             }
             StmtKind::Do {
-                var, lo, hi, step, body,
+                var,
+                lo,
+                hi,
+                step,
+                body,
             } => {
                 let (Some(l), Some(h)) = (const_of(lo, table), const_of(hi, table)) else {
                     return false;
@@ -229,8 +256,16 @@ fn collect(
                 indices.push(var.clone());
                 bounds.insert(var.clone(), (l, h));
                 if !collect(
-                    body, table, indices, bounds, refs, order, scalar_first_read,
-                    scalar_first_write, scalar_any_write, conditional,
+                    body,
+                    table,
+                    indices,
+                    bounds,
+                    refs,
+                    order,
+                    scalar_first_read,
+                    scalar_first_write,
+                    scalar_any_write,
+                    conditional,
                 ) {
                     return false;
                 }
@@ -273,9 +308,8 @@ fn collect_expr_reads(
                 });
                 true
             } else {
-                subs.iter().all(|s| {
-                    collect_expr_reads(s, table, indices, refs, order, scalar_first_read)
-                })
+                subs.iter()
+                    .all(|s| collect_expr_reads(s, table, indices, refs, order, scalar_first_read))
             }
         }
         Expr::Var(n) => {
@@ -310,10 +344,7 @@ fn affine_of(e: &Expr, table: &SymbolTable, indices: &[String]) -> Option<Affine
             Some(scale(a, -1))
         }
         Expr::Bin(op, a, b) => {
-            let (fa, fb) = (
-                affine_of(a, table, indices),
-                affine_of(b, table, indices),
-            );
+            let (fa, fb) = (affine_of(a, table, indices), affine_of(b, table, indices));
             match op {
                 BinOp::Add => add(fa?, fb?, 1),
                 BinOp::Sub => add(fa?, fb?, -1),

@@ -215,7 +215,10 @@ mod tests {
             Some(DepAnswer::MaybeDependent)
         );
         assert_eq!(
-            ziv_test(&AffineSub::constant(3).with("i", 1), &AffineSub::constant(3)),
+            ziv_test(
+                &AffineSub::constant(3).with("i", 1),
+                &AffineSub::constant(3)
+            ),
             None
         );
     }

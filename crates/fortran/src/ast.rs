@@ -137,6 +137,9 @@ impl LValue {
 pub struct Stmt {
     /// Statement label (GOTO target / DO terminator).
     pub label: Option<u32>,
+    /// 1-based source line of the statement's first token; 0 for
+    /// synthetic statements with no source location.
+    pub line: u32,
     /// The statement proper.
     pub kind: StmtKind,
 }

@@ -137,43 +137,73 @@ fn lex_line(text: &str, line: u32, out: &mut Vec<Token>) -> Result<(), LexError>
         match c {
             b' ' | b'\t' | b'\r' => i += 1,
             b'(' => {
-                out.push(Token { kind: TokenKind::LParen, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Token { kind: TokenKind::RParen, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Token { kind: TokenKind::Comma, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             b'=' => {
-                out.push(Token { kind: TokenKind::Assign, line });
+                out.push(Token {
+                    kind: TokenKind::Assign,
+                    line,
+                });
                 i += 1;
             }
             b':' => {
-                out.push(Token { kind: TokenKind::Colon, line });
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Token { kind: TokenKind::Plus, line });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Token { kind: TokenKind::Minus, line });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Token { kind: TokenKind::Slash, line });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
                 i += 1;
             }
             b'*' => {
                 if i + 1 < b.len() && b[i + 1] == b'*' {
-                    out.push(Token { kind: TokenKind::StarStar, line });
+                    out.push(Token {
+                        kind: TokenKind::StarStar,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Star, line });
+                    out.push(Token {
+                        kind: TokenKind::Star,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -191,10 +221,19 @@ fn lex_line(text: &str, line: u32, out: &mut Vec<Token>) -> Result<(), LexError>
                     let word = text[start..j].to_ascii_lowercase();
                     i = j + 1;
                     match word.as_str() {
-                        "true" => out.push(Token { kind: TokenKind::Logical(true), line }),
-                        "false" => out.push(Token { kind: TokenKind::Logical(false), line }),
+                        "true" => out.push(Token {
+                            kind: TokenKind::Logical(true),
+                            line,
+                        }),
+                        "false" => out.push(Token {
+                            kind: TokenKind::Logical(false),
+                            line,
+                        }),
                         "lt" | "le" | "gt" | "ge" | "eq" | "ne" | "and" | "or" | "not" => {
-                            out.push(Token { kind: TokenKind::DotOp(word), line })
+                            out.push(Token {
+                                kind: TokenKind::DotOp(word),
+                                line,
+                            })
                         }
                         other => return Err(err(&format!("unknown operator .{other}."))),
                     }

@@ -30,4 +30,6 @@ pub use ast::{
 };
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse_program, ParseError};
-pub use sema::{analyze, implicit_ty, ArrayInfo, ProgramSema, SemaError, SymbolKind, SymbolTable, INTRINSICS};
+pub use sema::{
+    analyze, implicit_ty, ArrayInfo, ProgramSema, SemaError, SymbolKind, SymbolTable, INTRINSICS,
+};

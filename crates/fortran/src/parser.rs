@@ -56,6 +56,10 @@ impl Parser {
         }
     }
 
+    fn cur_line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.toks[self.pos].kind
     }
@@ -315,6 +319,7 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
         self.skip_newlines();
+        let line = self.cur_line();
         let label = if let TokenKind::Int(v) = self.peek() {
             let v = *v;
             self.bump();
@@ -323,7 +328,7 @@ impl Parser {
             None
         };
         let kind = self.stmt_kind()?;
-        Ok(Stmt { label, kind })
+        Ok(Stmt { label, line, kind })
     }
 
     /// A simple statement usable as the body of a logical IF.
@@ -430,12 +435,14 @@ impl Parser {
             });
         }
         // Logical IF.
+        let line = self.cur_line();
         let inner = self.simple_stmt_kind()?;
         self.expect_newline()?;
         Ok(StmtKind::LogicalIf(
             cond,
             Box::new(Stmt {
                 label: None,
+                line,
                 kind: inner,
             }),
         ))
@@ -447,6 +454,7 @@ impl Parser {
         let mut then_body = Vec::new();
         loop {
             self.skip_newlines();
+            let line = self.cur_line();
             if self.eat_ident("endif") {
                 self.expect_newline()?;
                 return Ok((then_body, Vec::new()));
@@ -469,6 +477,7 @@ impl Parser {
                 let (tb, eb) = self.if_block_tail()?;
                 let nested = Stmt {
                     label: None,
+                    line,
                     kind: StmtKind::If {
                         cond,
                         then_body: tb,
@@ -489,6 +498,7 @@ impl Parser {
                     let (tb, eb) = self.if_block_tail()?;
                     let nested = Stmt {
                         label: None,
+                        line,
                         kind: StmtKind::If {
                             cond,
                             then_body: tb,
@@ -559,6 +569,7 @@ impl Parser {
             },
             None => loop {
                 self.skip_newlines();
+                let line = self.cur_line();
                 // ENDDO / END DO, possibly labeled (a GOTO target meaning
                 // "end of iteration"): keep the label as a CONTINUE.
                 let enddo_label = if let TokenKind::Int(v) = self.peek() {
@@ -578,6 +589,7 @@ impl Parser {
                     if let Some(l) = enddo_label {
                         body.push(Stmt {
                             label: Some(l),
+                            line,
                             kind: StmtKind::Continue,
                         });
                     }
@@ -592,6 +604,7 @@ impl Parser {
                     if let Some(l) = enddo_label {
                         body.push(Stmt {
                             label: Some(l),
+                            line,
                             kind: StmtKind::Continue,
                         });
                     }
@@ -934,7 +947,9 @@ mod tests {
 
     #[test]
     fn do_with_step() {
-        let r = parse_one("      PROGRAM t\n      DO i = 1, n, 2\n      x = i\n      ENDDO\n      END\n");
+        let r = parse_one(
+            "      PROGRAM t\n      DO i = 1, n, 2\n      x = i\n      ENDDO\n      END\n",
+        );
         match &r.body[0].kind {
             StmtKind::Do { step, .. } => assert_eq!(step, &Some(Expr::Int(2))),
             other => panic!("{other:?}"),
@@ -1004,7 +1019,9 @@ mod tests {
 
     #[test]
     fn unterminated_do_errors() {
-        assert!(parse_program("      PROGRAM t\n      DO i = 1, 5\n      x = 1\n      END\n").is_err());
+        assert!(
+            parse_program("      PROGRAM t\n      DO i = 1, 5\n      x = 1\n      END\n").is_err()
+        );
     }
 
     #[test]

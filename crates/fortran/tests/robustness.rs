@@ -109,7 +109,10 @@ fn deep_nesting_does_not_overflow() {
 #[test]
 fn pathological_expressions() {
     // long operator chains and deep parens
-    let chain = (1..200).map(|k| k.to_string()).collect::<Vec<_>>().join(" + ");
+    let chain = (1..200)
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join(" + ");
     let src = format!("      PROGRAM t\n      x = {chain}\n      END\n");
     assert!(parse_program(&src).is_ok());
 

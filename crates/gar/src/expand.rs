@@ -115,7 +115,10 @@ pub fn expand_gar(gar: &Gar, ctx: &LoopCtx) -> Vec<Gar> {
     let mut out = Vec::new();
     for (pl, lo_e) in &lo_cases {
         for (ph, hi_e) in &hi_cases {
-            let case = residual.and(pl).and(ph).and(&Pred::le(lo_e.clone(), hi_e.clone()));
+            let case = residual
+                .and(pl)
+                .and(ph)
+                .and(&Pred::le(lo_e.clone(), hi_e.clone()));
             if case.is_false() {
                 continue;
             }
@@ -231,8 +234,8 @@ fn expand_region(
     let mut exact = true;
     // Aligned stepping: for step > 1 the last iterate must land on the
     // grid for the produced strided range to be exact.
-    let step_aligned = ctx.step == 1
-        || diff_const(hi_e, lo_e).is_some_and(|d| d >= 0 && d % ctx.step == 0);
+    let step_aligned =
+        ctx.step == 1 || diff_const(hi_e, lo_e).is_some_and(|d| d >= 0 && d % ctx.step == 0);
     let dims = region
         .dims()
         .iter()
@@ -444,10 +447,7 @@ mod tests {
 
     #[test]
     fn index_in_two_dims_goes_unknown() {
-        let g = Gar::new(
-            Pred::tru(),
-            Region::element([e("i"), e("i + 1")]),
-        );
+        let g = Gar::new(Pred::tru(), Region::element([e("i"), e("i + 1")]));
         let ctx = LoopCtx::new("i", e("1"), e("n"));
         let out = expand_gar(&g, &ctx);
         assert_eq!(out.len(), 1);

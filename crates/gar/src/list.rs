@@ -75,12 +75,7 @@ impl GarList {
     /// Union with another list.
     pub fn union(&self, other: &GarList) -> GarList {
         GarList {
-            gars: self
-                .gars
-                .iter()
-                .chain(other.gars.iter())
-                .cloned()
-                .collect(),
+            gars: self.gars.iter().chain(other.gars.iter()).cloned().collect(),
         }
         .simplified()
     }
@@ -139,11 +134,7 @@ impl GarList {
                 next.extend(subtract_gar(g1, g2));
                 if next.len() > 4 * LIST_CAP {
                     // Blow-up: stop killing, keep the rest over-approximate.
-                    next.extend(
-                        pieces
-                            .iter()
-                            .map(|g| demote(g.clone())),
-                    );
+                    next.extend(pieces.iter().map(|g| demote(g.clone())));
                     return GarList { gars: next }.simplified();
                 }
             }
@@ -170,11 +161,7 @@ impl GarList {
     /// §4.1).
     pub fn subst_var(&self, name: &str, value: &Expr) -> GarList {
         GarList {
-            gars: self
-                .gars
-                .iter()
-                .map(|g| g.subst_var(name, value))
-                .collect(),
+            gars: self.gars.iter().map(|g| g.subst_var(name, value)).collect(),
         }
         .simplified()
     }
@@ -182,11 +169,7 @@ impl GarList {
     /// Forgets a scalar whose defining value is unanalyzable.
     pub fn forget_var(&self, name: &str) -> GarList {
         GarList {
-            gars: self
-                .gars
-                .iter()
-                .map(|g| g.forget_var(name))
-                .collect(),
+            gars: self.gars.iter().map(|g| g.forget_var(name)).collect(),
         }
         .simplified()
     }
@@ -457,11 +440,7 @@ mod tests {
 
     #[test]
     fn intersect_under_pieces_ignored() {
-        let a = GarList::from_gars([Gar::with_approx(
-            Pred::tru(),
-            r1d("1", "10"),
-            Approx::Under,
-        )]);
+        let a = GarList::from_gars([Gar::with_approx(Pred::tru(), r1d("1", "10"), Approx::Under)]);
         let b = GarList::single(Gar::new(Pred::tru(), r1d("5", "7")));
         // Under pieces are must-only; may-intersection sees nothing.
         assert!(a.intersect(&b).definitely_empty());
@@ -496,11 +475,8 @@ mod tests {
     #[test]
     fn subtract_over_mod_kills_nothing() {
         let use_set = GarList::single(Gar::new(Pred::tru(), r1d("1", "10")));
-        let mod_set = GarList::from_gars([Gar::with_approx(
-            Pred::tru(),
-            r1d("1", "10"),
-            Approx::Over,
-        )]);
+        let mod_set =
+            GarList::from_gars([Gar::with_approx(Pred::tru(), r1d("1", "10"), Approx::Over)]);
         let ue = use_set.subtract(&mod_set);
         assert_eq!(ue.len(), 1);
         assert_eq!(ue.gars()[0].region, r1d("1", "10"));
@@ -519,11 +495,8 @@ mod tests {
             hi: e("5"),
             positive: false,
         });
-        let mod_set = GarList::from_gars([Gar::with_approx(
-            fa.clone(),
-            r1d("6", "9"),
-            Approx::Under,
-        )]);
+        let mod_set =
+            GarList::from_gars([Gar::with_approx(fa.clone(), r1d("6", "9"), Approx::Under)]);
         let ue = use_set.subtract(&mod_set);
         // survives only under ¬(∀…) — which is inexpressible, so the
         // surviving piece must NOT be exact-true; it must carry the

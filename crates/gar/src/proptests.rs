@@ -29,9 +29,8 @@ fn arb_guard() -> impl Strategy<Value = Pred> {
 }
 
 fn arb_gar() -> impl Strategy<Value = Gar> {
-    (arb_guard(), arb_bound(), arb_bound()).prop_map(|(g, lo, hi)| {
-        Gar::new(g, Region::from_ranges([Range::contiguous(lo, hi)]))
-    })
+    (arb_guard(), arb_bound(), arb_bound())
+        .prop_map(|(g, lo, hi)| Gar::new(g, Region::from_ranges([Range::contiguous(lo, hi)])))
 }
 
 fn arb_list() -> impl Strategy<Value = GarList> {

@@ -147,28 +147,26 @@ impl Builder<'_> {
             }
         }
         match &s.kind {
-            StmtKind::Assign(..) => {
-                match self.current_block {
-                    Some(bid)
-                        if self.frontier == vec![(bid, EdgeKind::Seq)] =>
-                    {
-                        if let Node::Block(stmts) = &mut self.nodes[bid] {
-                            stmts.push(Stmt {
-                                label: None,
-                                kind: s.kind.clone(),
-                            });
-                        }
-                    }
-                    _ => {
-                        let bid = self.add_node(Node::Block(vec![Stmt {
+            StmtKind::Assign(..) => match self.current_block {
+                Some(bid) if self.frontier == vec![(bid, EdgeKind::Seq)] => {
+                    if let Node::Block(stmts) = &mut self.nodes[bid] {
+                        stmts.push(Stmt {
                             label: None,
+                            line: s.line,
                             kind: s.kind.clone(),
-                        }]));
-                        self.attach(bid);
-                        self.current_block = Some(bid);
+                        });
                     }
                 }
-            }
+                _ => {
+                    let bid = self.add_node(Node::Block(vec![Stmt {
+                        label: None,
+                        line: s.line,
+                        kind: s.kind.clone(),
+                    }]));
+                    self.attach(bid);
+                    self.current_block = Some(bid);
+                }
+            },
             StmtKind::Continue => {
                 // No-op; the label (if any) already created an anchor.
                 if self.frontier.is_empty() {
@@ -226,6 +224,7 @@ impl Builder<'_> {
                 let body_sg = build_subgraph(self.hsg, body, self.routine, true)?;
                 let n = self.add_node(Node::Loop {
                     var: var.clone(),
+                    line: s.line,
                     lo: lo.clone(),
                     hi: hi.clone(),
                     step: step.clone(),
@@ -267,9 +266,9 @@ fn compute_preds(nodes: &[Node], succs: &[Vec<(NodeId, EdgeKind)>]) -> Vec<Vec<N
 /// cycles) into single conservative nodes.
 fn condense_cycles(g: &mut Subgraph) {
     let sccs = tarjan_sccs(&g.succs);
-    let needs = sccs.iter().any(|scc| {
-        scc.len() > 1 || g.succs[scc[0]].iter().any(|&(t, _)| t == scc[0])
-    });
+    let needs = sccs
+        .iter()
+        .any(|scc| scc.len() > 1 || g.succs[scc[0]].iter().any(|&(t, _)| t == scc[0]));
     if !needs {
         g.preds = compute_preds(&g.nodes, &g.succs);
         return;

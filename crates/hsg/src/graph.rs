@@ -35,6 +35,9 @@ pub enum Node {
     Loop {
         /// Loop index variable.
         var: String,
+        /// 1-based source line of the DO statement (0 for synthetic
+        /// loops), carried so verdicts can name the exact loop.
+        line: u32,
         /// Lower bound expression.
         lo: Expr,
         /// Upper bound expression.
@@ -170,7 +173,9 @@ impl Hsg {
                 Node::IfCond(c) => {
                     out.push_str(&format!("{pad}{n} if ({c}) -> [{}]\n", succ.join(", ")));
                 }
-                Node::Loop { var, lo, hi, body, .. } => {
+                Node::Loop {
+                    var, lo, hi, body, ..
+                } => {
                     out.push_str(&format!(
                         "{pad}{n} do {var} = {lo}, {hi} -> [{}]\n",
                         succ.join(", ")
@@ -188,7 +193,11 @@ impl Hsg {
                     ));
                 }
                 other => {
-                    out.push_str(&format!("{pad}{n} {} -> [{}]\n", other.tag(), succ.join(", ")));
+                    out.push_str(&format!(
+                        "{pad}{n} {} -> [{}]\n",
+                        other.tag(),
+                        succ.join(", ")
+                    ));
                 }
             }
         }

@@ -3,6 +3,7 @@
 use crate::error::RuntimeError;
 use crate::memory::{resolve_dims, ArrayStore, Memory, Value};
 use crate::parallel::{run_parallel_do, ParallelPlan};
+use crate::trace::{LoopTrace, Tracer};
 use fortran::{BinOp, Expr, LValue, Program, ProgramSema, Routine, Stmt, StmtKind, Ty, UnOp};
 use std::collections::BTreeMap;
 
@@ -46,10 +47,15 @@ pub(crate) struct RunState<'p> {
     pub plan: Option<&'p ParallelPlan>,
     /// Threads for the parallel executor.
     pub nthreads: usize,
-    /// Loop being instrumented for per-iteration costs: (routine, var).
-    pub hook: Option<(String, String)>,
+    /// Loop being instrumented for per-iteration costs:
+    /// `(routine, var, line)`. A `Some` line restricts the hook to the
+    /// DO statement on that 1-based source line, disambiguating loops
+    /// that share an index variable.
+    pub hook: Option<(String, String, Option<u32>)>,
     /// Are we currently inside the hooked/parallel loop (no nesting)?
     pub in_target: bool,
+    /// Shadow-memory recorder for the race oracle (traced runs only).
+    pub tracer: Option<Tracer>,
 }
 
 /// The interpreter, bound to a parsed + semantically checked program.
@@ -66,7 +72,8 @@ impl<'a> Machine<'a> {
 
     /// Runs the PROGRAM unit sequentially. Returns final memory and stats.
     pub fn run(&self) -> Result<(Memory, ExecStats), RuntimeError> {
-        self.run_with(None, 1, None)
+        let (mem, stats, _) = self.run_with(None, 1, None, false)?;
+        Ok((mem, stats))
     }
 
     /// Runs with a per-iteration instrumentation hook on the loop
@@ -76,7 +83,35 @@ impl<'a> Machine<'a> {
         routine: &str,
         var: &str,
     ) -> Result<(Memory, ExecStats), RuntimeError> {
-        self.run_with(None, 1, Some((routine.to_string(), var.to_string())))
+        let hook = Some((routine.to_string(), var.to_string(), None));
+        let (mem, stats, _) = self.run_with(None, 1, hook, false)?;
+        Ok((mem, stats))
+    }
+
+    /// Runs sequentially with shadow-memory tracing on the loop
+    /// `(routine, var)`: every array-element access inside the loop is
+    /// recorded and cross-iteration conflicts are classified. This is
+    /// the dynamic race oracle used to validate static verdicts.
+    pub fn run_traced(
+        &self,
+        routine: &str,
+        var: &str,
+    ) -> Result<(Memory, ExecStats, LoopTrace), RuntimeError> {
+        self.run_traced_at(routine, var, None)
+    }
+
+    /// Like [`Machine::run_traced`], but when `line` is `Some` only the
+    /// DO statement on that 1-based source line is traced — this picks
+    /// one loop out of several sharing an index variable.
+    pub fn run_traced_at(
+        &self,
+        routine: &str,
+        var: &str,
+        line: Option<u32>,
+    ) -> Result<(Memory, ExecStats, LoopTrace), RuntimeError> {
+        let hook = Some((routine.to_string(), var.to_string(), line));
+        let (mem, stats, trace) = self.run_with(None, 1, hook, true)?;
+        Ok((mem, stats, trace.expect("traced run always yields a trace")))
     }
 
     /// Runs with a parallel plan (see [`ParallelPlan`]).
@@ -85,15 +120,17 @@ impl<'a> Machine<'a> {
         plan: &ParallelPlan,
         nthreads: usize,
     ) -> Result<(Memory, ExecStats), RuntimeError> {
-        self.run_with(Some(plan), nthreads, None)
+        let (mem, stats, _) = self.run_with(Some(plan), nthreads, None, false)?;
+        Ok((mem, stats))
     }
 
     fn run_with(
         &self,
         plan: Option<&ParallelPlan>,
         nthreads: usize,
-        hook: Option<(String, String)>,
-    ) -> Result<(Memory, ExecStats), RuntimeError> {
+        hook: Option<(String, String, Option<u32>)>,
+        traced: bool,
+    ) -> Result<(Memory, ExecStats, Option<LoopTrace>), RuntimeError> {
         let main = self
             .program
             .main()
@@ -109,10 +146,15 @@ impl<'a> Machine<'a> {
             nthreads: nthreads.max(1),
             hook,
             in_target: false,
+            tracer: traced.then(Tracer::new),
         };
         let mut frame = self.enter_frame(main, &[], &mut st)?;
         self.exec_body(main, &main.body, &mut frame, &mut st)?;
-        Ok((st.mem, st.stats))
+        let trace = st.tracer.take().map(|t| {
+            let (r, v, _) = st.hook.as_ref().expect("traced runs set a hook");
+            t.finish(r, v)
+        });
+        Ok((st.mem, st.stats, trace))
     }
 
     /// Builds a frame: allocates locals and COMMON arrays, binds params.
@@ -149,12 +191,8 @@ impl<'a> Machine<'a> {
                                 .iter()
                                 .map(|&(l, u)| (u - l + 1).max(0))
                                 .product();
-                            resolve_dims(
-                                &info.dims,
-                                |e| self.const_like(e, &frame, st),
-                                total,
-                            )
-                            .unwrap_or_else(|| caller_dims.clone())
+                            resolve_dims(&info.dims, |e| self.const_like(e, &frame, st), total)
+                                .unwrap_or_else(|| caller_dims.clone())
                         }
                         None => caller_dims.clone(),
                     };
@@ -254,6 +292,9 @@ impl<'a> Machine<'a> {
         st: &mut RunState,
     ) -> Result<Flow, RuntimeError> {
         self.charge(r, st, 1)?;
+        if let Some(tr) = st.tracer.as_mut() {
+            tr.set_line(s.line);
+        }
         match &s.kind {
             StmtKind::Assign(lhs, rhs) => {
                 let v = self.eval(r, rhs, frame, st)?;
@@ -286,7 +327,7 @@ impl<'a> Machine<'a> {
                 hi,
                 step,
                 body,
-            } => self.exec_do(r, var, lo, hi, step.as_ref(), body, frame, st),
+            } => self.exec_do(r, var, s.line, lo, hi, step.as_ref(), body, frame, st),
             StmtKind::Goto(l) => Ok(Flow::Goto(*l)),
             StmtKind::Call(name, args) => {
                 self.exec_call(r, name, args, frame, st)?;
@@ -299,10 +340,12 @@ impl<'a> Machine<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn exec_do(
         &self,
         r: &Routine,
         var: &str,
+        line: u32,
         lo: &Expr,
         hi: &Expr,
         step: Option<&Expr>,
@@ -327,15 +370,20 @@ impl<'a> Machine<'a> {
 
         // Parallel or instrumented execution of the designated loop?
         let is_target = !st.in_target
-            && (st
-                .plan
-                .is_some_and(|p| p.matches(&r.name, var))
-                || st
-                    .hook
-                    .as_ref()
-                    .is_some_and(|(hr, hv)| hr == &r.name && hv == var));
+            && (st.plan.is_some_and(|p| p.matches(&r.name, var))
+                || st.hook.as_ref().is_some_and(|(hr, hv, hline)| {
+                    hr == &r.name && hv == var && hline.is_none_or(|l| l == line)
+                }));
         if is_target && st.plan.is_some_and(|p| p.matches(&r.name, var)) {
             return run_parallel_do(self, r, var, lo, step, trips, body, frame, st);
+        }
+
+        if is_target {
+            if let Some(tr) = st.tracer.as_mut() {
+                // Register the loop routine's own bindings so witnesses
+                // carry these names rather than callee dummy names.
+                tr.enter_loop(frame);
+            }
         }
 
         let mut iv = lo;
@@ -345,6 +393,9 @@ impl<'a> Machine<'a> {
             let prev = st.in_target;
             if is_target {
                 st.in_target = true;
+                if let Some(tr) = st.tracer.as_mut() {
+                    tr.begin_iter(iv);
+                }
             }
             let flow = self.exec_body(r, body, frame, st)?;
             st.in_target = prev;
@@ -401,10 +452,7 @@ impl<'a> Machine<'a> {
         let mut cframe = self.enter_frame(callee, &bindings, st)?;
         match self.exec_body(callee, &callee.body, &mut cframe, st)? {
             Flow::Goto(l) => {
-                return Err(RuntimeError::new(
-                    name,
-                    format!("GOTO {l} escaped routine"),
-                ))
+                return Err(RuntimeError::new(name, format!("GOTO {l} escaped routine")))
             }
             Flow::Stop => {
                 return Err(RuntimeError::new(name, "STOP inside subroutine"));
@@ -434,9 +482,7 @@ impl<'a> Machine<'a> {
     ) -> Result<(), RuntimeError> {
         match lhs {
             LValue::Var(n) => {
-                let ty = self.sema.tables[&r.name]
-                    .scalar_ty(n)
-                    .unwrap_or(Ty::Real);
+                let ty = self.sema.tables[&r.name].scalar_ty(n).unwrap_or(Ty::Real);
                 frame.scalars.insert(n.clone(), v.coerce(ty));
                 Ok(())
             }
@@ -445,19 +491,22 @@ impl<'a> Machine<'a> {
                 for sexpr in subs {
                     idx.push(self.eval(r, sexpr, frame, st)?.as_i64());
                 }
-                let (h, dims) = frame
-                    .arrays
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| RuntimeError::new(&r.name, format!("not an array: {name}")))?;
-                let flat = flat_index(&dims, &idx, st.mem.arrays[h].data.len()).ok_or_else(
-                    || {
+                let (h, dims) =
+                    frame.arrays.get(name).cloned().ok_or_else(|| {
+                        RuntimeError::new(&r.name, format!("not an array: {name}"))
+                    })?;
+                let flat =
+                    flat_index(&dims, &idx, st.mem.arrays[h].data.len()).ok_or_else(|| {
                         RuntimeError::new(
                             &r.name,
                             format!("subscript out of bounds: {name}{idx:?} dims {dims:?}"),
                         )
-                    },
-                )?;
+                    })?;
+                if st.in_target {
+                    if let Some(tr) = st.tracer.as_mut() {
+                        tr.record_write(h, name, &dims, flat);
+                    }
+                }
                 st.mem.arrays[h].data.set(flat, v);
                 Ok(())
             }
@@ -493,13 +542,18 @@ impl<'a> Machine<'a> {
                         idx.push(self.eval(r, sexpr, frame, st)?.as_i64());
                     }
                     let (h, dims) = frame.arrays[name].clone();
-                    let flat = flat_index(&dims, &idx, st.mem.arrays[h].data.len())
-                        .ok_or_else(|| {
+                    let flat =
+                        flat_index(&dims, &idx, st.mem.arrays[h].data.len()).ok_or_else(|| {
                             RuntimeError::new(
                                 &r.name,
                                 format!("subscript out of bounds: {name}{idx:?}"),
                             )
                         })?;
+                    if st.in_target {
+                        if let Some(tr) = st.tracer.as_mut() {
+                            tr.record_read(h, name, &dims, flat);
+                        }
+                    }
                     Ok(st.mem.arrays[h].data.get(flat))
                 } else {
                     self.intrinsic(r, name, subs, frame, st)

@@ -28,8 +28,10 @@ mod error;
 mod exec;
 mod memory;
 mod parallel;
+mod trace;
 
 pub use error::RuntimeError;
 pub use exec::{ExecStats, Machine};
 pub use memory::{ArrayData, ArrayStore, Memory, Value};
 pub use parallel::{simulate_speedup, LoopPlan, ParallelOutcome, ParallelPlan, SimResult};
+pub use trace::{ArrayRaces, LoopTrace, RaceClass, RaceWitness};

@@ -137,6 +137,7 @@ pub(crate) fn run_parallel_do(
                     nthreads: 1,
                     hook: None,
                     in_target: true,
+                    tracer: None,
                 };
                 let mut tframe = base_frame.clone();
                 let mut last_iter = None;
@@ -210,11 +211,7 @@ pub(crate) fn run_parallel_do(
         .filter(|tr| tr.last_iter.is_some())
         .max_by_key(|tr| tr.last_iter)
     {
-        for name in plan
-            .copy_out
-            .iter()
-            .chain(plan.private_arrays.iter())
-        {
+        for name in plan.copy_out.iter().chain(plan.private_arrays.iter()) {
             if !plan.copy_out.contains(name) {
                 continue;
             }

@@ -33,14 +33,8 @@ pub enum RelOp {
 pub struct CondTemplate(pub Arc<str>);
 
 impl Serialize for CondTemplate {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for CondTemplate {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(CondTemplate::new(String::deserialize(d)?))
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
     }
 }
 
@@ -188,12 +182,10 @@ impl Atom {
                 })
             }
             // An empty quantified range is vacuously true.
-            Atom::ForallCond { lo, hi, .. } => {
-                match sym::compare(lo, hi) {
-                    sym::SymOrdering::Greater => Some(true),
-                    _ => None,
-                }
-            }
+            Atom::ForallCond { lo, hi, .. } => match sym::compare(lo, hi) {
+                sym::SymOrdering::Greater => Some(true),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -260,7 +252,13 @@ impl Atom {
                 let deps = if deps.iter().any(|d| d.as_str() == name) {
                     let w = value.as_var()?;
                     deps.iter()
-                        .map(|d| if d.as_str() == name { w.clone() } else { d.clone() })
+                        .map(|d| {
+                            if d.as_str() == name {
+                                w.clone()
+                            } else {
+                                d.clone()
+                            }
+                        })
                         .collect()
                 } else {
                     deps.clone()
@@ -282,7 +280,13 @@ impl Atom {
                 let deps = if deps.iter().any(|d| d.as_str() == name) {
                     let w = value.as_var()?;
                     deps.iter()
-                        .map(|d| if d.as_str() == name { w.clone() } else { d.clone() })
+                        .map(|d| {
+                            if d.as_str() == name {
+                                w.clone()
+                            } else {
+                                d.clone()
+                            }
+                        })
                         .collect()
                 } else {
                     deps.clone()

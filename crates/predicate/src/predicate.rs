@@ -167,11 +167,7 @@ impl Pred {
                 if d1.len().saturating_mul(d2.len()) > DISTRIBUTE_CAP {
                     // Fall back to the clauses common to both sides: each is
                     // implied by either operand, hence by the disjunction.
-                    let common: Vec<Disj> = d1
-                        .iter()
-                        .filter(|c| d2.contains(c))
-                        .cloned()
-                        .collect();
+                    let common: Vec<Disj> = d1.iter().filter(|c| d2.contains(c)).cloned().collect();
                     return simplify_cnf(common, true);
                 }
                 let mut out = Vec::with_capacity(d1.len() * d2.len());
@@ -226,7 +222,13 @@ impl Pred {
         if self.is_false() || other.is_true() {
             return true;
         }
-        let (Pred::Cnf { disjs: d1, .. }, Pred::Cnf { disjs: d2, unknown: u2 }) = (self, other)
+        let (
+            Pred::Cnf { disjs: d1, .. },
+            Pred::Cnf {
+                disjs: d2,
+                unknown: u2,
+            },
+        ) = (self, other)
         else {
             return other.is_true();
         };
@@ -326,7 +328,7 @@ fn simplify_cnf(disjs: Vec<Disj>, unknown: bool) -> Pred {
     let mut clauses: Vec<Disj> = Vec::with_capacity(disjs.len());
     for d in disjs {
         match d.simplified() {
-            None => {}                      // tautology
+            None => {} // tautology
             Some(s) if s.is_false_clause() => return Pred::False,
             Some(s) => clauses.push(s),
         }
@@ -377,7 +379,11 @@ fn simplify_cnf(disjs: Vec<Disj>, unknown: bool) -> Pred {
                     let kept: Vec<crate::atom::Atom> = d
                         .atoms()
                         .iter()
-                        .filter(|a| !units.iter().any(|u| crate::simplify::atoms_contradict(u, a)))
+                        .filter(|a| {
+                            !units
+                                .iter()
+                                .any(|u| crate::simplify::atoms_contradict(u, a))
+                        })
                         .cloned()
                         .collect();
                     if kept.len() != d.atoms().len() {

@@ -18,9 +18,7 @@ fn arb_affine() -> impl Strategy<Value = Expr> {
         -2i64..3,
     )
         .prop_map(|(c0, v1, c1, v2, c2)| {
-            Expr::from(c0)
-                + Expr::var(VARS[v1]) * c1
-                + Expr::var(VARS[v2]) * c2
+            Expr::from(c0) + Expr::var(VARS[v1]) * c1 + Expr::var(VARS[v2]) * c2
         })
 }
 

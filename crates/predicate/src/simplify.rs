@@ -153,7 +153,10 @@ mod tests {
         let b = Atom::lt(e("i"), e("n + 1"));
         assert_eq!(a, b);
         // i < n ⇒ i <= n
-        assert!(atom_implies(&Atom::lt(e("i"), e("n")), &Atom::le(e("i"), e("n"))));
+        assert!(atom_implies(
+            &Atom::lt(e("i"), e("n")),
+            &Atom::le(e("i"), e("n"))
+        ));
     }
 
     #[test]
@@ -170,31 +173,52 @@ mod tests {
     #[test]
     fn eq_implies_lt() {
         // i = 3 ⇒ i < 7  (i.e. i - 3 = 0 ⇒ i - 7 < 0)
-        assert!(atom_implies(&Atom::eq(e("i"), e("3")), &Atom::lt(e("i"), e("7"))));
-        assert!(!atom_implies(&Atom::eq(e("i"), e("9")), &Atom::lt(e("i"), e("7"))));
+        assert!(atom_implies(
+            &Atom::eq(e("i"), e("3")),
+            &Atom::lt(e("i"), e("7"))
+        ));
+        assert!(!atom_implies(
+            &Atom::eq(e("i"), e("9")),
+            &Atom::lt(e("i"), e("7"))
+        ));
     }
 
     #[test]
     fn lt_implies_ne() {
         // i < n ⇒ i ≠ n
-        assert!(atom_implies(&Atom::lt(e("i"), e("n")), &Atom::ne(e("i"), e("n"))));
+        assert!(atom_implies(
+            &Atom::lt(e("i"), e("n")),
+            &Atom::ne(e("i"), e("n"))
+        ));
         // i < n ⇒ i ≠ n + 3
-        assert!(atom_implies(&Atom::lt(e("i"), e("n")), &Atom::ne(e("i"), e("n + 3"))));
+        assert!(atom_implies(
+            &Atom::lt(e("i"), e("n")),
+            &Atom::ne(e("i"), e("n + 3"))
+        ));
     }
 
     #[test]
     fn contradictions() {
         // i < 3 ∧ i > 5 contradictory
-        assert!(atoms_contradict(&Atom::lt(e("i"), e("3")), &Atom::gt(e("i"), e("5"))));
+        assert!(atoms_contradict(
+            &Atom::lt(e("i"), e("3")),
+            &Atom::gt(e("i"), e("5"))
+        ));
         // i = 0 ∧ i ≠ 0 contradictory
-        assert!(atoms_contradict(&Atom::eq(e("i"), e("0")), &Atom::ne(e("i"), e("0"))));
+        assert!(atoms_contradict(
+            &Atom::eq(e("i"), e("0")),
+            &Atom::ne(e("i"), e("0"))
+        ));
         // p ∧ ¬p contradictory
         assert!(atoms_contradict(
             &Atom::Bool(Name::new("p"), true),
             &Atom::Bool(Name::new("p"), false)
         ));
         // i < n ∧ i < m: no contradiction
-        assert!(!atoms_contradict(&Atom::lt(e("i"), e("n")), &Atom::lt(e("i"), e("m"))));
+        assert!(!atoms_contradict(
+            &Atom::lt(e("i"), e("n")),
+            &Atom::lt(e("i"), e("m"))
+        ));
     }
 
     #[test]

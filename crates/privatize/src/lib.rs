@@ -59,6 +59,84 @@ pub enum Blocker {
     PrematureExit,
 }
 
+impl Blocker {
+    /// The array this blocker concerns, if it is an array blocker.
+    pub fn array(&self) -> Option<&str> {
+        match self {
+            Blocker::ArrayFlowDep(a) | Blocker::ArrayStorageDep(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Dependence class of a concrete witness (mirrors the three
+/// loop-carried tests above).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum DepClass {
+    /// `UE_i ∩ MOD_<i`: value flows from an earlier iteration.
+    Flow,
+    /// `DE_i ∩ MOD_>i`: a later iteration overwrites a read value.
+    Anti,
+    /// `MOD_i ∩ (MOD_<i ∪ MOD_>i)`: two iterations write one element.
+    Output,
+}
+
+impl std::fmt::Display for DepClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DepClass::Flow => "flow",
+            DepClass::Anti => "anti",
+            DepClass::Output => "output",
+        })
+    }
+}
+
+/// A concrete witness for a negative verdict: one element of one array,
+/// touched by two conflicting iterations, with source lines. Produced by
+/// the dynamic race oracle and attached to the corresponding
+/// [`LoopVerdict`]; the static analysis alone only proves *existence* of
+/// a dependence, the witness pins it to real accesses.
+#[derive(Clone, Debug, Serialize)]
+pub struct Diagnostic {
+    /// The array involved.
+    pub array: String,
+    /// Dependence class of the conflict.
+    pub class: DepClass,
+    /// Fortran subscripts of the conflicting element.
+    pub element: Vec<i64>,
+    /// Induction-variable value of the earlier conflicting iteration.
+    pub earlier_iter: i64,
+    /// Induction-variable value of the later conflicting iteration.
+    pub later_iter: i64,
+    /// 1-based source line of the earlier access (0 = unknown).
+    pub earlier_line: u32,
+    /// 1-based source line of the later access (0 = unknown).
+    pub later_line: u32,
+}
+
+impl Diagnostic {
+    /// Human-readable one-line rendering, e.g.
+    /// `a(4): flow dependence — iter 2 (line 7) -> iter 3 (line 9)`.
+    pub fn render(&self) -> String {
+        let subs = self
+            .element
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{}({}): {} dependence — iter {} (line {}) -> iter {} (line {})",
+            self.array,
+            subs,
+            self.class,
+            self.earlier_iter,
+            self.earlier_line,
+            self.later_iter,
+            self.later_line
+        )
+    }
+}
+
 /// The full verdict for one loop.
 #[derive(Clone, Debug, Serialize)]
 pub struct LoopVerdict {
@@ -66,6 +144,8 @@ pub struct LoopVerdict {
     pub routine: String,
     /// Loop index variable.
     pub var: String,
+    /// 1-based source line of the DO statement (0 if synthetic).
+    pub line: u32,
     /// Stable loop id (`routine/do var#sg`).
     pub id: String,
     /// Nesting depth.
@@ -87,6 +167,10 @@ pub struct LoopVerdict {
     pub parallel_after_privatization: bool,
     /// What blocks parallelization (empty iff parallelizable).
     pub blockers: Vec<Blocker>,
+    /// Concrete dynamic witnesses for the blockers, when the race oracle
+    /// has run (see the `raceoracle` crate). Empty for positive verdicts
+    /// and for statically-judged-only runs.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Does any piece's *region* mention the variable? (Guards may mention the
@@ -173,6 +257,7 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
     LoopVerdict {
         routine: la.routine.clone(),
         var: la.var.clone(),
+        line: la.line,
         id: la.id(),
         depth: la.depth,
         arrays,
@@ -182,6 +267,7 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         parallel_as_is,
         parallel_after_privatization: parallel_after,
         blockers,
+        diagnostics: Vec::new(),
     }
 }
 

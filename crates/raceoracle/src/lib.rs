@@ -1,0 +1,497 @@
+//! Dynamic race oracle: cross-validates static parallelization verdicts.
+//!
+//! The static pipeline (dataflow → privatize) claims, per loop, either
+//! "parallelizable (after privatization)" or "must stay serial, because
+//! of these blockers". Both claims are checkable against a ground truth:
+//! run the loop *sequentially* under the interpreter's shadow-memory
+//! tracer ([`interp::Machine::run_traced`]) and observe which elements
+//! are actually touched by conflicting iterations.
+//!
+//! Two invariants fall out, and [`validate`] enforces / measures them:
+//!
+//! * **Soundness** — a loop judged parallel after privatization must
+//!   show *zero* dynamic loop-carried conflicts on its shared arrays,
+//!   and no privatized array may have an upward-exposed read paired
+//!   with a write from another iteration (a per-iteration private copy
+//!   would leave that read uninitialized). A violation here is a bug in
+//!   the analyzer, never an acceptable imprecision.
+//! * **Precision** — a loop judged serial purely for array reasons whose
+//!   arrays are dynamically conflict-free on the exercised input is a
+//!   *precision gap*: the conservative answer was safe but lossy. Gaps
+//!   are reported as a metric, not an error.
+//!
+//! When the oracle confirms a negative verdict it produces
+//! [`privatize::Diagnostic`] witnesses — array, element, the two
+//! conflicting iterations and their source lines — which
+//! [`attach_diagnostics`] copies onto the corresponding verdicts for the
+//! CLI to render.
+
+#![warn(missing_docs)]
+
+use fortran::{Program, ProgramSema};
+use interp::{LoopTrace, Machine, RaceClass, RaceWitness};
+use privatize::{Blocker, DepClass, Diagnostic, LoopVerdict};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// How a static verdict compares against the dynamic trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Outcome {
+    /// Static and dynamic agree: a parallel verdict with a race-free
+    /// trace, or a serial verdict whose blockers the trace confirms (or
+    /// that rests on evidence — scalars, premature exits — the array
+    /// oracle cannot contradict).
+    Confirmed,
+    /// Static said parallel, the trace shows a race on a shared array
+    /// (or a privatization that changes semantics). Analyzer bug.
+    SoundnessViolation,
+    /// Static said serial for array reasons only, but every blamed array
+    /// ran conflict-free. Conservative, not wrong.
+    PrecisionGap,
+    /// The loop never executed on this input (zero iterations, dead
+    /// code, runtime error, or an ambiguous `(routine, var)` target), so
+    /// the oracle has no evidence either way.
+    NotExercised,
+}
+
+/// Oracle result for one loop verdict.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoopComparison {
+    /// Stable loop id (matches [`LoopVerdict::id`]).
+    pub id: String,
+    /// Enclosing routine.
+    pub routine: String,
+    /// Loop index variable.
+    pub var: String,
+    /// Iterations the traced run executed (across all loop entries).
+    pub iterations: u64,
+    /// Static: parallel with no transform.
+    pub static_parallel_as_is: bool,
+    /// Static: parallel after privatization.
+    pub static_parallel_after_privatization: bool,
+    /// Observed conflict classes per array (empty vec never occurs).
+    pub dynamic_conflicts: BTreeMap<String, Vec<DepClass>>,
+    /// The comparison outcome.
+    pub outcome: Outcome,
+    /// Concrete witnesses: for violations, the offending accesses; for
+    /// confirmed serial verdicts, evidence for the blockers.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Free-form context (why NotExercised, which array violated, …).
+    pub note: String,
+}
+
+/// Aggregate oracle report over a set of loop verdicts.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct OracleReport {
+    /// Per-loop comparisons, in verdict order.
+    pub loops: Vec<LoopComparison>,
+    /// Loops where static and dynamic agree.
+    pub confirmed: usize,
+    /// Soundness violations (must be zero for a correct analyzer).
+    pub soundness_violations: usize,
+    /// Serial verdicts dynamically shown conflict-free (imprecision).
+    pub precision_gaps: usize,
+    /// Loops the input did not exercise.
+    pub not_exercised: usize,
+}
+
+impl OracleReport {
+    /// True iff no loop violated the soundness invariant.
+    pub fn sound(&self) -> bool {
+        self.soundness_violations == 0
+    }
+
+    /// The comparisons that violated soundness.
+    pub fn violations(&self) -> impl Iterator<Item = &LoopComparison> {
+        self.loops
+            .iter()
+            .filter(|c| c.outcome == Outcome::SoundnessViolation)
+    }
+}
+
+/// Converts a dynamic race class to the static dependence class.
+pub fn dep_class(class: RaceClass) -> DepClass {
+    match class {
+        RaceClass::Flow => DepClass::Flow,
+        RaceClass::Anti => DepClass::Anti,
+        RaceClass::Output => DepClass::Output,
+    }
+}
+
+/// Converts a trace witness into a verdict diagnostic.
+pub fn witness_to_diagnostic(w: &RaceWitness) -> Diagnostic {
+    Diagnostic {
+        array: w.array.clone(),
+        class: dep_class(w.class),
+        element: w.element.clone(),
+        earlier_iter: w.earlier_iter,
+        later_iter: w.later_iter,
+        earlier_line: w.earlier_line,
+        later_line: w.later_line,
+    }
+}
+
+/// Runs the program sequentially with shadow-memory tracing on the
+/// verdict's loop.
+pub fn trace_loop(
+    program: &Program,
+    sema: &ProgramSema,
+    verdict: &LoopVerdict,
+) -> Result<LoopTrace, interp::RuntimeError> {
+    let machine = Machine::new(program, sema);
+    // Target the DO statement by source line when the verdict has one,
+    // so loops sharing an index variable don't pollute each other's
+    // traces.
+    let line = (verdict.line != 0).then_some(verdict.line);
+    let (_, _, trace) = machine.run_traced_at(&verdict.routine, &verdict.var, line)?;
+    Ok(trace)
+}
+
+/// Compares one static verdict against its dynamic trace. Pure: callers
+/// that already hold a trace (tests, batch drivers) can reuse it.
+pub fn compare_loop(verdict: &LoopVerdict, trace: &LoopTrace) -> LoopComparison {
+    let mut cmp = LoopComparison {
+        id: verdict.id.clone(),
+        routine: verdict.routine.clone(),
+        var: verdict.var.clone(),
+        iterations: trace.iterations,
+        static_parallel_as_is: verdict.parallel_as_is,
+        static_parallel_after_privatization: verdict.parallel_after_privatization,
+        dynamic_conflicts: trace
+            .arrays
+            .iter()
+            .filter(|(_, r)| r.has_conflict())
+            .map(|(name, r)| {
+                (
+                    name.clone(),
+                    r.classes().into_iter().map(dep_class).collect(),
+                )
+            })
+            .collect(),
+        outcome: Outcome::Confirmed,
+        diagnostics: Vec::new(),
+        note: String::new(),
+    };
+
+    if trace.iterations == 0 {
+        cmp.outcome = Outcome::NotExercised;
+        cmp.note = "loop did not execute on this input".into();
+        return cmp;
+    }
+
+    if verdict.parallel_after_privatization {
+        // Soundness: shared arrays must be conflict-free; privatized
+        // arrays must not read values another iteration wrote (or would
+        // have needed copy-in).
+        for (name, races) in &trace.arrays {
+            let privatized = verdict.privatized.contains(name);
+            if privatized {
+                if races.ue_write_conflict {
+                    let w = races
+                        .witness(RaceClass::Flow)
+                        .or_else(|| races.witness(RaceClass::Anti));
+                    if let Some(w) = w {
+                        cmp.diagnostics.push(witness_to_diagnostic(w));
+                    }
+                    cmp.note = format!(
+                        "privatized array `{name}` has an upward-exposed read \
+                         conflicting with another iteration's write"
+                    );
+                    cmp.outcome = Outcome::SoundnessViolation;
+                }
+            } else if races.has_conflict() {
+                for class in races.classes() {
+                    if let Some(w) = races.witness(class) {
+                        cmp.diagnostics.push(witness_to_diagnostic(w));
+                    }
+                }
+                cmp.note = format!("shared array `{name}` has loop-carried conflicts");
+                cmp.outcome = Outcome::SoundnessViolation;
+            }
+        }
+        return cmp;
+    }
+
+    // Serial verdict: gather dynamic evidence for each array blocker.
+    let mut array_blockers = 0usize;
+    let mut confirmed_blockers = 0usize;
+    for b in &verdict.blockers {
+        let Some(arr) = b.array() else { continue };
+        array_blockers += 1;
+        let Some(races) = trace.array(arr) else {
+            continue;
+        };
+        let confirmed = match b {
+            Blocker::ArrayFlowDep(_) => races.flow_elems > 0 || races.ue_write_conflict,
+            Blocker::ArrayStorageDep(_) => races.has_conflict(),
+            _ => false,
+        };
+        if confirmed {
+            confirmed_blockers += 1;
+            for class in races.classes() {
+                if let Some(w) = races.witness(class) {
+                    cmp.diagnostics.push(witness_to_diagnostic(w));
+                }
+            }
+        }
+    }
+
+    let non_array_blockers = verdict.blockers.len() - array_blockers;
+    if array_blockers > 0 && confirmed_blockers == 0 && non_array_blockers == 0 {
+        cmp.outcome = Outcome::PrecisionGap;
+        cmp.note = "no blamed array showed a dynamic conflict on this input".into();
+    }
+    cmp
+}
+
+/// Runs the oracle over a set of loop verdicts for one program.
+///
+/// The tracer targets loops by `(routine, var, source line)`. Verdicts
+/// that still collide on that triple (only possible for synthetic,
+/// line-less loops) are skipped ([`Outcome::NotExercised`]): a merged
+/// trace could not be attributed to one verdict.
+pub fn validate(program: &Program, sema: &ProgramSema, verdicts: &[LoopVerdict]) -> OracleReport {
+    let mut key_count: BTreeMap<(&str, &str, u32), usize> = BTreeMap::new();
+    for v in verdicts {
+        *key_count
+            .entry((v.routine.as_str(), v.var.as_str(), v.line))
+            .or_default() += 1;
+    }
+
+    let mut report = OracleReport::default();
+    for v in verdicts {
+        let cmp = if key_count[&(v.routine.as_str(), v.var.as_str(), v.line)] > 1 {
+            LoopComparison {
+                id: v.id.clone(),
+                routine: v.routine.clone(),
+                var: v.var.clone(),
+                iterations: 0,
+                static_parallel_as_is: v.parallel_as_is,
+                static_parallel_after_privatization: v.parallel_after_privatization,
+                dynamic_conflicts: BTreeMap::new(),
+                outcome: Outcome::NotExercised,
+                diagnostics: Vec::new(),
+                note: "several loops share this (routine, index-variable, line) triple".into(),
+            }
+        } else {
+            match trace_loop(program, sema, v) {
+                Ok(trace) => compare_loop(v, &trace),
+                Err(e) => LoopComparison {
+                    id: v.id.clone(),
+                    routine: v.routine.clone(),
+                    var: v.var.clone(),
+                    iterations: 0,
+                    static_parallel_as_is: v.parallel_as_is,
+                    static_parallel_after_privatization: v.parallel_after_privatization,
+                    dynamic_conflicts: BTreeMap::new(),
+                    outcome: Outcome::NotExercised,
+                    diagnostics: Vec::new(),
+                    note: format!("traced run failed: {e}"),
+                },
+            }
+        };
+        match cmp.outcome {
+            Outcome::Confirmed => report.confirmed += 1,
+            Outcome::SoundnessViolation => report.soundness_violations += 1,
+            Outcome::PrecisionGap => report.precision_gaps += 1,
+            Outcome::NotExercised => report.not_exercised += 1,
+        }
+        report.loops.push(cmp);
+    }
+    report
+}
+
+/// Copies the oracle's witnesses onto the matching verdicts (by loop
+/// id), so negative verdicts carry concrete evidence.
+pub fn attach_diagnostics(verdicts: &mut [LoopVerdict], report: &OracleReport) {
+    for cmp in &report.loops {
+        if cmp.diagnostics.is_empty() {
+            continue;
+        }
+        if let Some(v) = verdicts.iter_mut().find(|v| v.id == cmp.id) {
+            v.diagnostics = cmp.diagnostics.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::{Analyzer, Options};
+    use privatize::judge_all;
+
+    fn analyze(src: &str) -> (Program, ProgramSema, Vec<LoopVerdict>) {
+        let program = fortran::parse_program(src).unwrap();
+        let sema = fortran::analyze(&program).unwrap();
+        let h = hsg::build_hsg(&program).unwrap();
+        let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+        az.run();
+        let verdicts = judge_all(&az.loops);
+        (program, sema, verdicts)
+    }
+
+    fn report(src: &str) -> (OracleReport, Vec<LoopVerdict>) {
+        let (program, sema, verdicts) = analyze(src);
+        let r = validate(&program, &sema, &verdicts);
+        (r, verdicts)
+    }
+
+    fn find<'a>(r: &'a OracleReport, routine: &str, var: &str) -> &'a LoopComparison {
+        r.loops
+            .iter()
+            .find(|c| c.routine == routine && c.var == var)
+            .unwrap_or_else(|| panic!("loop {routine}/{var} missing from report"))
+    }
+
+    #[test]
+    fn parallel_verdict_confirmed_race_free() {
+        let (r, _) = report(
+            "
+      PROGRAM t
+      REAL a(50), b(50)
+      INTEGER i
+      DO i = 1, 50
+        b(i) = 1.5
+        a(i) = b(i)
+      ENDDO
+      END
+",
+        );
+        let c = find(&r, "t", "i");
+        assert_eq!(c.outcome, Outcome::Confirmed);
+        assert!(c.dynamic_conflicts.is_empty());
+        assert!(r.sound());
+    }
+
+    #[test]
+    fn recurrence_confirmed_with_flow_witness() {
+        let (r, _) = report(
+            "
+      PROGRAM t
+      REAL a(50)
+      INTEGER i
+      a(1) = 1.0
+      DO i = 2, 50
+        a(i) = a(i-1)
+      ENDDO
+      END
+",
+        );
+        let c = find(&r, "t", "i");
+        assert_eq!(c.outcome, Outcome::Confirmed);
+        assert_eq!(c.dynamic_conflicts["a"], vec![DepClass::Flow]);
+        let d = c
+            .diagnostics
+            .iter()
+            .find(|d| d.class == DepClass::Flow)
+            .expect("flow witness");
+        assert_eq!(d.array, "a");
+        assert_eq!(d.later_iter, d.earlier_iter + 1, "consecutive iterations");
+    }
+
+    #[test]
+    fn same_var_loops_disambiguated_by_line() {
+        // Both loops use `i`; the tracer must tell them apart by the DO
+        // statement's source line, not merge (or refuse) them.
+        let (r, _) = report(
+            "
+      PROGRAM t
+      REAL a(50), b(50)
+      INTEGER i
+      DO i = 1, 50
+        b(i) = -1.0
+      ENDDO
+      DO i = 2, 50
+        IF (b(i) .GT. 0.0) a(i) = a(i-1)
+      ENDDO
+      END
+",
+        );
+        assert_eq!(r.loops.len(), 2);
+        let first = r.loops.iter().find(|c| c.static_parallel_as_is).unwrap();
+        assert_eq!(first.outcome, Outcome::Confirmed, "{first:?}");
+        assert_eq!(first.iterations, 50);
+        // b(i) is always negative, so a(i) = a(i-1) never executes; the
+        // static analysis cannot know that and keeps its flow blocker.
+        let second = r.loops.iter().find(|c| !c.static_parallel_as_is).unwrap();
+        assert_eq!(second.outcome, Outcome::PrecisionGap, "{second:?}");
+        assert_eq!(second.iterations, 49);
+    }
+
+    #[test]
+    fn precision_gap_detected() {
+        let (r, _) = report(
+            "
+      PROGRAM t
+      REAL a(50), b(50)
+      INTEGER i, k
+      DO k = 1, 50
+        b(k) = -1.0
+      ENDDO
+      DO i = 2, 50
+        IF (b(i) .GT. 0.0) a(i) = a(i-1)
+      ENDDO
+      END
+",
+        );
+        let c = find(&r, "t", "i");
+        assert_eq!(c.outcome, Outcome::PrecisionGap, "{c:?}");
+        assert!(!c.static_parallel_after_privatization);
+        assert!(c.dynamic_conflicts.is_empty());
+    }
+
+    #[test]
+    fn privatization_rescue_validated() {
+        let (r, v) = report(
+            "
+      PROGRAM t
+      REAL w(10), a(60)
+      INTEGER i, k
+      DO i = 1, 60
+        DO k = 1, 10
+          w(k) = 1.0
+        ENDDO
+        DO k = 1, 10
+          a(i) = a(i) + w(k)
+        ENDDO
+      ENDDO
+      END
+",
+        );
+        let c = find(&r, "t", "i");
+        let lv = v.iter().find(|x| x.routine == "t" && x.var == "i").unwrap();
+        assert!(lv.parallel_after_privatization);
+        assert_eq!(lv.privatized, vec!["w".to_string()]);
+        // w has dynamic anti/output conflicts, but privatization removes
+        // them — the oracle must NOT call this a violation.
+        assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+        assert!(c.dynamic_conflicts.contains_key("w"));
+        assert!(r.sound());
+    }
+
+    #[test]
+    fn attach_diagnostics_to_verdicts() {
+        let (program, sema, mut verdicts) = analyze(
+            "
+      PROGRAM t
+      REAL a(50)
+      INTEGER i
+      a(1) = 1.0
+      DO i = 2, 50
+        a(i) = a(i-1)
+      ENDDO
+      END
+",
+        );
+        let r = validate(&program, &sema, &verdicts);
+        attach_diagnostics(&mut verdicts, &r);
+        let v = verdicts
+            .iter()
+            .find(|v| v.routine == "t" && v.var == "i")
+            .unwrap();
+        assert!(!v.diagnostics.is_empty());
+        let rendered = v.diagnostics[0].render();
+        assert!(rendered.contains("a("), "{rendered}");
+        assert!(rendered.contains("flow"), "{rendered}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Paired known-racy / known-clean kernels, one pair per dependence
+//! class, each asserting (a) the race class the oracle detects and
+//! (b) agreement between the static verdict and the dynamic trace.
+
+use dataflow::{Analyzer, Options};
+use fortran::{Program, ProgramSema};
+use privatize::{judge_all, DepClass, LoopVerdict};
+use raceoracle::{validate, LoopComparison, OracleReport, Outcome};
+
+fn analyze(src: &str) -> (Program, ProgramSema, Vec<LoopVerdict>) {
+    let program = fortran::parse_program(src).unwrap();
+    let sema = fortran::analyze(&program).unwrap();
+    let h = hsg::build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+    az.run();
+    let verdicts = judge_all(&az.loops);
+    (program, sema, verdicts)
+}
+
+fn oracle(src: &str) -> (OracleReport, Vec<LoopVerdict>) {
+    let (program, sema, verdicts) = analyze(src);
+    let r = validate(&program, &sema, &verdicts);
+    (r, verdicts)
+}
+
+fn the_loop<'a>(r: &'a OracleReport, routine: &str, var: &str) -> &'a LoopComparison {
+    r.loops
+        .iter()
+        .find(|c| c.routine == routine && c.var == var)
+        .unwrap_or_else(|| panic!("loop {routine}/{var} missing"))
+}
+
+// ---------------------------------------------------------------- flow
+
+#[test]
+fn flow_racy() {
+    // First-order recurrence: iteration i reads what i-1 wrote.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(64)
+      INTEGER i
+      a(1) = 1.0
+      DO i = 2, 64
+        a(i) = a(i-1) + 1.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    let lv = &v[0];
+    assert!(!lv.parallel_after_privatization, "static must say serial");
+    assert_eq!(c.dynamic_conflicts["a"], vec![DepClass::Flow]);
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(r.sound());
+}
+
+#[test]
+fn flow_clean() {
+    // Same shape, but reading a different array: no loop-carried flow.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(64), b(64)
+      INTEGER i
+      b(1) = 1.0
+      DO i = 2, 64
+        a(i) = b(i-1) + 1.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    assert!(
+        v[0].parallel_after_privatization,
+        "static must say parallel"
+    );
+    assert!(c.dynamic_conflicts.is_empty(), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed);
+    assert!(r.sound());
+}
+
+// ---------------------------------------------------------------- anti
+
+#[test]
+fn anti_racy() {
+    // Iteration i reads a(i+1) before iteration i+1 overwrites it.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(70)
+      INTEGER i
+      DO i = 1, 64
+        a(i) = a(i+1) + 1.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    assert!(!v[0].parallel_after_privatization, "static must say serial");
+    assert!(c.dynamic_conflicts["a"].contains(&DepClass::Anti), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(r.sound());
+}
+
+#[test]
+fn anti_clean() {
+    // Reads come from an array no iteration writes.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(70), b(70)
+      INTEGER i
+      DO i = 1, 64
+        a(i) = b(i+1) + 1.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    assert!(v[0].parallel_after_privatization);
+    assert!(c.dynamic_conflicts.is_empty());
+    assert_eq!(c.outcome, Outcome::Confirmed);
+    assert!(r.sound());
+}
+
+// -------------------------------------------------------------- output
+
+#[test]
+fn output_racy() {
+    // Iterations i and i+1 both write a(i+1): a pure output dependence
+    // (the array is never read inside the loop).
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(70)
+      INTEGER i
+      DO i = 1, 64
+        a(i) = 1.0
+        a(i+1) = 2.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    assert!(!v[0].parallel_after_privatization, "static must say serial");
+    assert_eq!(c.dynamic_conflicts["a"], vec![DepClass::Output], "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(r.sound());
+}
+
+#[test]
+fn output_clean() {
+    // The twin writes land in distinct arrays: per-array writes are
+    // iteration-disjoint.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL a(70), b(70)
+      INTEGER i
+      DO i = 1, 64
+        a(i) = 1.0
+        b(i+1) = 2.0
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    assert!(v[0].parallel_after_privatization);
+    assert!(c.dynamic_conflicts.is_empty());
+    assert_eq!(c.outcome, Outcome::Confirmed);
+    assert!(r.sound());
+}
+
+// ------------------------------------------------- privatization rescue
+
+#[test]
+fn privatization_rescued() {
+    // Work array written then read every iteration: dynamically full of
+    // anti/output conflicts, statically privatizable — the verdict is
+    // parallel *after privatization* and the oracle must agree.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL w(8), a(64)
+      INTEGER i, k
+      DO i = 1, 64
+        DO k = 1, 8
+          w(k) = float(i) + float(k)
+        ENDDO
+        DO k = 1, 8
+          a(i) = a(i) + w(k)
+        ENDDO
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    let lv = v.iter().find(|x| x.routine == "t" && x.var == "i").unwrap();
+    assert!(lv.parallel_after_privatization);
+    assert_eq!(lv.privatized, vec!["w".to_string()]);
+    assert!(c.dynamic_conflicts.contains_key("w"), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(r.sound());
+}
+
+#[test]
+fn privatization_rescue_fails_when_read_first() {
+    // The racy twin: w is read *before* being written each iteration, so
+    // its value flows across iterations — privatization would change the
+    // program. Static must keep it serial; the oracle must find the flow
+    // race and agree.
+    let (r, v) = oracle(
+        "
+      PROGRAM t
+      REAL w(8), a(64)
+      INTEGER i, k
+      w(1) = 0.5
+      DO i = 1, 64
+        DO k = 1, 8
+          a(i) = a(i) + w(k)
+        ENDDO
+        DO k = 1, 8
+          w(k) = float(i) + float(k)
+        ENDDO
+      ENDDO
+      END
+",
+    );
+    let c = the_loop(&r, "t", "i");
+    let lv = v.iter().find(|x| x.routine == "t" && x.var == "i").unwrap();
+    assert!(
+        !lv.parallel_after_privatization,
+        "read-before-write work array must block: {lv:?}"
+    );
+    assert!(c.dynamic_conflicts["w"].contains(&DepClass::Flow), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(r.sound());
+}
+
+// ------------------------------------------------- witness diagnostics
+
+#[test]
+fn witness_carries_array_iters_class_and_lines() {
+    // Acceptance: a confirmed negative verdict carries a concrete
+    // witness naming the array, the conflicting iteration pair, the
+    // dependence class, and the 1-based source lines of both accesses.
+    let src = "\
+      PROGRAM t
+      REAL a(64)
+      INTEGER i
+      a(1) = 1.0
+      DO i = 2, 64
+        a(i) = a(i-1) + 1.0
+      ENDDO
+      END
+";
+    // The only statement touching `a` inside the loop is on line 6.
+    let (program, sema, mut verdicts) = analyze(src);
+    let report = validate(&program, &sema, &verdicts);
+    raceoracle::attach_diagnostics(&mut verdicts, &report);
+
+    let v = verdicts
+        .iter()
+        .find(|v| v.routine == "t" && v.var == "i")
+        .unwrap();
+    assert_eq!(v.line, 5, "DO statement is on line 5");
+    let d = &v.diagnostics[0];
+    assert_eq!(d.array, "a");
+    assert_eq!(d.class, DepClass::Flow);
+    assert_eq!(d.later_iter, d.earlier_iter + 1);
+    assert_eq!(d.earlier_line, 6, "write on line 6");
+    assert_eq!(d.later_line, 6, "read on line 6");
+    assert_eq!(d.element, vec![d.earlier_iter], "a(i) written at iter i");
+
+    let rendered = d.render();
+    assert!(rendered.contains("a("), "{rendered}");
+    assert!(rendered.contains("flow"), "{rendered}");
+    assert!(rendered.contains("line 6"), "{rendered}");
+}

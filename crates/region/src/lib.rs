@@ -23,8 +23,8 @@
 
 mod range;
 mod range_ops;
-mod region_type;
 mod region_ops;
+mod region_type;
 mod shape;
 
 pub use range::Range;
@@ -32,9 +32,9 @@ pub use range_ops::{
     max_cases, min_cases, prove_eq, prove_le, prove_lt, range_intersect, range_subtract,
     range_union_merge, Guarded,
 };
+pub use region_ops::{region_covers, region_intersect, region_subtract, region_union_merge};
 pub use region_type::{Dim, Region};
 pub use shape::{ShapeCond, ShapeOp, ShapedRegion};
-pub use region_ops::{region_covers, region_intersect, region_subtract, region_union_merge};
 
 #[cfg(test)]
 mod proptests;

@@ -23,7 +23,11 @@ fn arb_bound() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_range() -> impl Strategy<Value = Range> {
-    (arb_bound(), arb_bound(), prop_oneof![Just(1i64), Just(2i64)])
+    (
+        arb_bound(),
+        arb_bound(),
+        prop_oneof![Just(1i64), Just(2i64)],
+    )
         .prop_map(|(lo, hi, s)| Range::new(lo, hi, Expr::from(s)))
 }
 

@@ -68,9 +68,7 @@ impl Range {
 
     /// Does any component mention the variable?
     pub fn contains_var(&self, name: &str) -> bool {
-        self.lo.contains_var(name)
-            || self.hi.contains_var(name)
-            || self.step.contains_var(name)
+        self.lo.contains_var(name) || self.hi.contains_var(name) || self.step.contains_var(name)
     }
 
     /// Collects every scalar name mentioned by the range.

@@ -215,7 +215,11 @@ pub fn range_subtract(ctx: &Pred, r1: &Range, r2: &Range) -> Option<Vec<Guarded<
         // the right-hand piece starts at a real element.
         let (l2c, u2c) = (r2.lo.as_const(), r2.hi.as_const());
         if let (Some(l2), Some(u2)) = (l2c, u2c) {
-            let snapped = if u2 >= l2 { u2 - (u2 - l2).rem_euclid(step) } else { u2 };
+            let snapped = if u2 >= l2 {
+                u2 - (u2 - l2).rem_euclid(step)
+            } else {
+                u2
+            };
             let r2s = Range::new(r2.lo.clone(), Expr::from(snapped), r2.step.clone());
             return subtract_same_grid(ctx, r1, &r2s, &Expr::from(step));
         }
@@ -225,12 +229,7 @@ pub fn range_subtract(ctx: &Pred, r1: &Range, r2: &Range) -> Option<Vec<Guarded<
 }
 
 /// Difference of two ranges known to lie on the same grid with step `s`.
-fn subtract_same_grid(
-    ctx: &Pred,
-    r1: &Range,
-    r2: &Range,
-    s: &Expr,
-) -> Option<Vec<Guarded<Range>>> {
+fn subtract_same_grid(ctx: &Pred, r1: &Range, r2: &Range, s: &Expr) -> Option<Vec<Guarded<Range>>> {
     let mut out: Vec<Guarded<Range>> = Vec::new();
 
     // Enumerate intersection-position cases: d.lo = max(l1, l2),
@@ -246,22 +245,14 @@ fn subtract_same_grid(
             // Case A: intersection non-empty — two surrounding pieces.
             let in_case = case.and(&d_valid);
             if !in_case.is_false() {
-                let left = Range::new(
-                    r1.lo.clone(),
-                    dlo.clone() - s.clone(),
-                    s.clone(),
-                );
+                let left = Range::new(r1.lo.clone(), dlo.clone() - s.clone(), s.clone());
                 if !left.definitely_empty() {
                     let g = in_case.and(&left.validity());
                     if !g.is_false() {
                         out.push((g, left));
                     }
                 }
-                let right = Range::new(
-                    dhi.clone() + s.clone(),
-                    r1.hi.clone(),
-                    s.clone(),
-                );
+                let right = Range::new(dhi.clone() + s.clone(), r1.hi.clone(), s.clone());
                 if !right.definitely_empty() {
                     let g = in_case.and(&right.validity());
                     if !g.is_false() {
@@ -443,8 +434,10 @@ mod tests {
     #[test]
     fn subtract_covering_removes_all() {
         let cases = range_subtract(&Pred::tru(), &rng("3", "5"), &rng("1", "10")).unwrap();
-        assert!(cases.iter().all(|(g, _)| g.is_false()) || cases.is_empty(),
-            "expected nothing to survive: {cases:?}");
+        assert!(
+            cases.iter().all(|(g, _)| g.is_false()) || cases.is_empty(),
+            "expected nothing to survive: {cases:?}"
+        );
     }
 
     #[test]

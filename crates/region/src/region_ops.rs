@@ -1,8 +1,6 @@
 //! Guarded set operations on multi-dimensional regions.
 
-use crate::range_ops::{
-    prove_le, range_intersect, range_subtract, range_union_merge, Guarded,
-};
+use crate::range_ops::{prove_le, range_intersect, range_subtract, range_union_merge, Guarded};
 use crate::region_type::{Dim, Region};
 use pred::Pred;
 
@@ -17,7 +15,11 @@ const CASE_CAP: usize = 64;
 /// over-approximation, reported by `Region::is_exact` on the pieces). An
 /// empty list means provably empty.
 pub fn region_intersect(ctx: &Pred, r1: &Region, r2: &Region) -> Vec<Guarded<Region>> {
-    assert_eq!(r1.rank(), r2.rank(), "intersecting regions of different rank");
+    assert_eq!(
+        r1.rank(),
+        r2.rank(),
+        "intersecting regions of different rank"
+    );
     // acc holds partial dim-vectors with their accumulated guards.
     let mut acc: Vec<(Pred, Vec<Dim>)> = vec![(Pred::tru(), Vec::with_capacity(r1.rank()))];
     for (d1, d2) in r1.dims().iter().zip(r2.dims()) {
@@ -26,10 +28,7 @@ pub fn region_intersect(ctx: &Pred, r1: &Region, r2: &Region) -> Vec<Guarded<Reg
             (Dim::Range(a), Dim::Range(b)) => match range_intersect(ctx, a, b) {
                 None => vec![(Pred::tru(), Dim::Unknown)],
                 Some(cases) if cases.is_empty() => return Vec::new(),
-                Some(cases) => cases
-                    .into_iter()
-                    .map(|(p, r)| (p, Dim::Range(r)))
-                    .collect(),
+                Some(cases) => cases.into_iter().map(|(p, r)| (p, Dim::Range(r))).collect(),
             },
         };
         if acc.len().saturating_mul(dim_cases.len()) > CASE_CAP {
@@ -206,10 +205,7 @@ mod tests {
     }
 
     fn reg(dims: &[(&str, &str)]) -> Region {
-        Region::from_ranges(
-            dims.iter()
-                .map(|(lo, hi)| Range::contiguous(e(lo), e(hi))),
-        )
+        Region::from_ranges(dims.iter().map(|(lo, hi)| Range::contiguous(e(lo), e(hi))))
     }
 
     #[test]
@@ -239,7 +235,10 @@ mod tests {
         let cases = region_intersect(&Pred::tru(), &a, &b);
         assert_eq!(cases.len(), 1);
         assert!(!cases[0].1.is_exact());
-        assert_eq!(cases[0].1.dims()[0], Dim::Range(Range::contiguous(e("5"), e("10"))));
+        assert_eq!(
+            cases[0].1.dims()[0],
+            Dim::Range(Range::contiguous(e("5"), e("10")))
+        );
     }
 
     #[test]
@@ -248,10 +247,7 @@ mod tests {
         let a = reg(&[("1", "100"), ("1", "100")]);
         let b = reg(&[("20", "30"), ("a", "30")]);
         let cases = region_subtract(&Pred::tru(), &a, &b).unwrap();
-        let live: Vec<String> = cases
-            .iter()
-            .map(|(p, r)| format!("[{p}] {r}"))
-            .collect();
+        let live: Vec<String> = cases.iter().map(|(p, r)| format!("[{p}] {r}")).collect();
         let joined = live.join(" ; ");
         // The four pieces from §3's worked example must be present.
         assert!(joined.contains("(1:19, 1:100)"), "{joined}");

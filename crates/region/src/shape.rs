@@ -239,7 +239,11 @@ impl ShapedRegion {
 
     /// Union: merges only when the shapes are identical and the bounds
     /// merge; `None` means "keep both" (not an approximation).
-    pub fn union_merge(&self, ctx: &Pred, other: &ShapedRegion) -> Option<Vec<Guarded<ShapedRegion>>> {
+    pub fn union_merge(
+        &self,
+        ctx: &Pred,
+        other: &ShapedRegion,
+    ) -> Option<Vec<Guarded<ShapedRegion>>> {
         if self.shape != other.shape {
             return None;
         }
@@ -447,7 +451,14 @@ mod tests {
         );
         let m = a.union_merge(&Pred::tru(), &b).unwrap();
         let got = points(&m);
-        assert_eq!(got, ShapedRegion::upper_triangle(square(4)).enumerate().unwrap().into_iter().collect());
+        assert_eq!(
+            got,
+            ShapedRegion::upper_triangle(square(4))
+                .enumerate()
+                .unwrap()
+                .into_iter()
+                .collect()
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod tests {
     fn constant_comparisons() {
         assert_eq!(compare(&Expr::from(1), &Expr::from(2)), SymOrdering::Less);
         assert_eq!(compare(&Expr::from(2), &Expr::from(2)), SymOrdering::Equal);
-        assert_eq!(compare(&Expr::from(3), &Expr::from(2)), SymOrdering::Greater);
+        assert_eq!(
+            compare(&Expr::from(3), &Expr::from(2)),
+            SymOrdering::Greater
+        );
     }
 
     #[test]

@@ -21,10 +21,7 @@ impl Env {
     /// Builds an environment from `(name, value)` pairs.
     pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
         Env {
-            map: pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            map: pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
         }
     }
 

@@ -106,11 +106,10 @@ impl Expr {
 
     /// Checked subtraction.
     pub fn try_sub(&self, other: &Expr) -> Option<Expr> {
-        let negated = other.terms.iter().map(|t| {
-            t.coef
-                .checked_neg()
-                .map(|c| Term::new(c, t.mono.clone()))
-        });
+        let negated = other
+            .terms
+            .iter()
+            .map(|t| t.coef.checked_neg().map(|c| Term::new(c, t.mono.clone())));
         let mut all: Vec<Term> = self.terms.clone();
         for t in negated {
             all.push(t?);
@@ -170,7 +169,12 @@ impl Expr {
             terms: self
                 .terms
                 .iter()
-                .map(|t| Term::new(t.coef.checked_neg().expect("negate overflow"), t.mono.clone()))
+                .map(|t| {
+                    Term::new(
+                        t.coef.checked_neg().expect("negate overflow"),
+                        t.mono.clone(),
+                    )
+                })
                 .collect(),
         }
     }
@@ -193,14 +197,22 @@ impl Expr {
 
     /// Maximum total degree over all terms (0 for constants).
     pub fn degree(&self) -> u32 {
-        self.terms.iter().map(|t| t.mono.degree()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|t| t.mono.degree())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of *distinct* variables multiplied together in any one
     /// term. The paper marks regions **unknown** when this exceeds 1 for
     /// index variables ("multiplications of more than one index variable").
     pub fn max_vars_per_term(&self) -> usize {
-        self.terms.iter().map(|t| t.mono.num_vars()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|t| t.mono.num_vars())
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` iff the expression is affine: every term has degree <= 1.

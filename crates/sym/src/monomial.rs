@@ -57,14 +57,8 @@ impl Borrow<str> for Name {
 }
 
 impl Serialize for Name {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Name {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(Name::new(String::deserialize(d)?))
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
     }
 }
 
@@ -81,7 +75,9 @@ pub struct Monomial {
 impl Monomial {
     /// The constant monomial (empty product).
     pub fn one() -> Self {
-        Monomial { factors: Vec::new() }
+        Monomial {
+            factors: Vec::new(),
+        }
     }
 
     /// A single variable to the first power.

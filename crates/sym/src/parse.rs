@@ -146,14 +146,14 @@ impl<'a> Parser<'a> {
                 Some(b'*') => {
                     self.bump();
                     let f = self.factor()?;
-                    e = e.try_mul(&f).ok_or_else(|| self.err("overflow in product"))?;
+                    e = e
+                        .try_mul(&f)
+                        .ok_or_else(|| self.err("overflow in product"))?;
                 }
                 Some(b'/') => {
                     self.bump();
                     let d = self.integer()?;
-                    e = e
-                        .div_exact(d)
-                        .ok_or_else(|| self.err("inexact division"))?;
+                    e = e.div_exact(d).ok_or_else(|| self.err("inexact division"))?;
                 }
                 _ => break,
             }
@@ -173,7 +173,9 @@ impl<'a> Parser<'a> {
                 Some(b'-') => {
                     self.bump();
                     let t = self.term()?;
-                    e = e.try_sub(&t).ok_or_else(|| self.err("overflow in difference"))?;
+                    e = e
+                        .try_sub(&t)
+                        .ok_or_else(|| self.err("overflow in difference"))?;
                 }
                 _ => break,
             }

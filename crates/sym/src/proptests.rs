@@ -23,9 +23,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_env() -> impl Strategy<Value = Env> {
-    proptest::collection::vec(-50i64..50, VARS.len()).prop_map(|vals| {
-        Env::from_pairs(VARS.iter().copied().zip(vals))
-    })
+    proptest::collection::vec(-50i64..50, VARS.len())
+        .prop_map(|vals| Env::from_pairs(VARS.iter().copied().zip(vals)))
 }
 
 proptest! {

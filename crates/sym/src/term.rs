@@ -85,9 +85,6 @@ mod tests {
         let m = Term::new(2, Monomial::var("i"));
         let r = m.try_mul(&m).unwrap();
         assert_eq!(r.coef, 4);
-        assert_eq!(
-            r.mono,
-            Monomial::from_factors([(Name::new("i"), 2)])
-        );
+        assert_eq!(r.mono, Monomial::from_factors([(Name::new("i"), 2)]));
     }
 }

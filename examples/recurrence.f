@@ -1,0 +1,11 @@
+      PROGRAM demo
+      REAL s(40), a(60)
+      INTEGER i
+      s(1) = 1.0
+      DO i = 2, 40
+        s(i) = s(i-1) + 1.0
+      ENDDO
+      DO i = 1, 60
+        a(i) = float(i)
+      ENDDO
+      END

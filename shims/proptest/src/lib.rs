@@ -1,0 +1,624 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property
+//! tests use — `Strategy` with `prop_map` / `prop_filter_map` /
+//! `prop_recursive`, tuple and range strategies, `Just`, `any::<bool>()`,
+//! string strategies, `prop_oneof!`, `proptest::collection::vec`, and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros — backed by a deterministic splitmix64 RNG.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! case seed instead of a minimized input), and string strategies ignore
+//! the regex pattern and generate printable character soup (the only
+//! pattern used here is `\PC*`, for which that is a faithful model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod collection;
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// The per-case random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed or a strategy filtered the input: skip the
+    /// case without counting it.
+    Reject,
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+/// Result type of a generated test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// `generate` returns `None` when the underlying strategy filtered the
+/// candidate out (the runner rejects and retries the case).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps and filters: `None` rejects the case.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Recursive structures: `recurse` receives a strategy for smaller
+    /// instances and builds one level on top; `depth` bounds nesting.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        let base = self.boxed();
+        Recursive {
+            base,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.base.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let levels = rng.random_range(0..=self.depth);
+        let mut s = self.base.clone();
+        for _ in 0..levels {
+            // Offer both the leaf and the current level to the next tier
+            // so trees are ragged rather than uniformly deep.
+            let tier = Union::new(vec![self.base.clone(), s]);
+            s = (self.recurse)(tier.boxed());
+        }
+        s.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies of the same value type
+/// (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        // Retry a few arms before rejecting the whole case so that
+        // filter-heavy arms don't dominate the reject rate.
+        for _ in 0..4 {
+            let k = rng.random_range(0..self.arms.len());
+            if let Some(v) = self.arms[k].generate(rng) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                Some(rng.random_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start() > self.end() {
+                    return None;
+                }
+                Some(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $idx:tt),+))+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategy from a regex-like pattern. The shim ignores the
+/// pattern and generates printable character soup of length 0–63.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let len = rng.random_range(0usize..64);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.random_range(0u32..10) {
+                0..=6 => char::from(rng.random_range(0x20u8..0x7f)),
+                7 => char::from_u32(rng.random_range(0xa1u32..0x2000)).unwrap_or('¡'),
+                8 => '(',
+                _ => ')',
+            };
+            s.push(c);
+        }
+        Some(s)
+    }
+}
+
+/// Types with a canonical strategy, used through [`any`].
+pub trait Arbitrary: Sized + 'static {
+    /// Draws a value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// The canonical strategy of an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Drives one `proptest!`-generated test: runs accepted cases until the
+/// configured count is reached, bailing out on failure or excessive
+/// rejection. Deterministic: the case seed derives from the test name.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(config.cases) * 64 + 1024;
+    let mut case_index = 0u64;
+    while accepted < config.cases {
+        let seed = base ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(seed);
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest {name}: too many rejected cases ({rejected}) — \
+                     strategies or prop_assume! filters are too strict"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case #{case_index} (seed {seed:#x}) failed:\n{msg}")
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors the real macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(512))]
+///     #[test]
+///     fn my_prop(a in 0i64..10, b in my_strategy()) { prop_assert!(a >= 0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest($cfg, stringify!($name), |__rng| {
+                $(
+                    let $pat = match $crate::Strategy::generate(&($strat), __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            return ::std::result::Result::Err($crate::TestCaseError::Reject)
+                        }
+                    };
+                )+
+                let mut __body = || -> $crate::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __body()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategy expressions of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}\n{}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..100, 0i64..100)
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(p in arb_pair()) {
+            let (a, b) = p;
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn ranges_in_bounds(a in -5i64..5, b in 0usize..3) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(1i64),
+            (2i64..10).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 1 || (4..20).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn config_applies(s in "\\PC*") {
+            prop_assert!(s.chars().count() < 64);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut saw_node = false;
+        crate::run_proptest(ProptestConfig::with_cases(64), "recursive", |rng| {
+            let t = strat.generate(rng).ok_or(TestCaseError::Reject)?;
+            if depth(&t) > 0 {
+                saw_node = true;
+            }
+            if depth(&t) > 6 {
+                return Err(TestCaseError::Fail("too deep".into()));
+            }
+            Ok(())
+        });
+        assert!(saw_node, "recursion never produced an inner node");
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let strat = crate::collection::vec(0i64..5, 2..6);
+        crate::run_proptest(ProptestConfig::with_cases(64), "vec_lengths", |rng| {
+            let v = strat.generate(rng).ok_or(TestCaseError::Reject)?;
+            if !(2..6).contains(&v.len()) {
+                return Err(TestCaseError::Fail(format!("len {}", v.len())));
+            }
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The real serde is unavailable in this build environment (no network,
+//! no vendored registry), so this crate provides the minimal surface the
+//! workspace actually uses: a [`Serialize`] trait that renders values
+//! into an owned JSON [`Value`] tree, and the `Serialize`/`Deserialize`
+//! derive macros (re-exported from the companion `serde_derive` shim).
+//!
+//! The data model matches serde_json's externally-tagged defaults, so
+//! reports produced through this shim are drop-in compatible with ones
+//! produced by the real crates for the types in this workspace.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+// Lets the `::serde::...` paths emitted by the derive macro resolve when
+// the derive is used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating point (non-finite values render as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization into the shim JSON data model.
+///
+/// The derive macro implements this for structs and enums; manual impls
+/// cover primitives, strings and the common std containers.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_json_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::UInt(v),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+/// Types usable as JSON object keys.
+pub trait SerializeKey {
+    /// The key rendered as a string.
+    fn to_key_string(&self) -> String;
+}
+
+impl SerializeKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for str {
+    fn to_key_string(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<T: SerializeKey + ?Sized> SerializeKey for &T {
+    fn to_key_string(&self) -> String {
+        (**self).to_key_string()
+    }
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+impl_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<K: SerializeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: i64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        New(i64),
+        Pair(i64, bool),
+        Rec { a: i64 },
+    }
+
+    #[test]
+    fn derive_struct_shape() {
+        let p = Point {
+            x: 3,
+            label: "hi".into(),
+        };
+        assert_eq!(
+            p.to_json_value(),
+            Value::Object(vec![
+                ("x".into(), Value::Int(3)),
+                ("label".into(), Value::Str("hi".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_enum_shapes() {
+        assert_eq!(Kind::Unit.to_json_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Kind::New(1).to_json_value(),
+            Value::Object(vec![("New".into(), Value::Int(1))])
+        );
+        assert_eq!(
+            Kind::Pair(1, true).to_json_value(),
+            Value::Object(vec![(
+                "Pair".into(),
+                Value::Array(vec![Value::Int(1), Value::Bool(true)])
+            )])
+        );
+        assert_eq!(
+            Kind::Rec { a: 2 }.to_json_value(),
+            Value::Object(vec![(
+                "Rec".into(),
+                Value::Object(vec![("a".into(), Value::Int(2))])
+            )])
+        );
+    }
+
+    #[test]
+    fn containers() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1i64, 2]);
+        assert_eq!(
+            m.to_json_value(),
+            Value::Object(vec![(
+                "k".into(),
+                Value::Array(vec![Value::Int(1), Value::Int(2)])
+            )])
+        );
+        assert_eq!(Option::<i64>::None.to_json_value(), Value::Null);
+    }
+}

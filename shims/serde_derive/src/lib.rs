@@ -1,0 +1,282 @@
+//! A dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! shim used when the real serde crates are unavailable (offline builds).
+//!
+//! `Serialize` generates an implementation of the shim `serde::Serialize`
+//! trait (`fn to_json_value(&self) -> serde::Value`) that mirrors serde's
+//! default externally-tagged data model:
+//!
+//! * named-field structs → JSON objects,
+//! * newtype structs → the inner value,
+//! * tuple structs → JSON arrays,
+//! * unit enum variants → `"Variant"`,
+//! * newtype variants → `{"Variant": value}`,
+//! * tuple variants → `{"Variant": [v0, v1, …]}`,
+//! * struct variants → `{"Variant": {field: value, …}}`.
+//!
+//! `Deserialize` is accepted for API compatibility and expands to nothing
+//! (nothing in this workspace deserializes).
+//!
+//! The input parser is intentionally small: it handles the concrete,
+//! non-generic types this workspace derives on. Generic types are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Expands to nothing: the shim has no deserialization support.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Generates `impl serde::Serialize` producing a `serde::Value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(msg) => return format!("::core::compile_error!({msg:?});").parse().unwrap(),
+    };
+    let mut body = String::new();
+    match &item.shape {
+        Shape::UnitStruct => {
+            body.push_str("::serde::Value::Null");
+        }
+        Shape::NamedStruct(fields) => {
+            body.push_str("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([");
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            body.push_str("])))");
+        }
+        Shape::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_json_value(&self.0)");
+        }
+        Shape::TupleStruct(n) => {
+            body.push_str("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([");
+            for k in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_json_value(&self.{k}),");
+            }
+            body.push_str("])))");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(body, "{name}::{vn}({}) => ", binders.join(","));
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                                items.join(",")
+                            )
+                        };
+                        let _ = write!(
+                            body,
+                            "::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), {inner})]))),"
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = write!(body, "{name}::{vn} {{ {} }} => ", fields.join(","));
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            body,
+                            "::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([{}]))))]))),",
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.name, body
+    );
+    out.parse().unwrap()
+}
+
+enum Shape {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim: expected struct or enum".into()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim: expected type name".into()),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type {name} is not supported by the offline derive"
+        ));
+    }
+    // Skip a possible where-clause: scan forward to the body group / `;`.
+    let shape = match kw.as_str() {
+        "struct" => loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Shape::NamedStruct(named_fields(g.stream())?);
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    break Shape::TupleStruct(count_top_level_items(g.stream()));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::UnitStruct,
+                Some(_) => i += 1,
+                None => break Shape::UnitStruct,
+            }
+        },
+        "enum" => loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Shape::Enum(enum_variants(g.stream())?);
+                }
+                Some(_) => i += 1,
+                None => return Err("serde shim: enum without body".into()),
+            }
+        },
+        other => return Err(format!("serde shim: cannot derive for {other}")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a brace-group token stream into top-level comma-separated
+/// chunks, treating `<…>` nesting as one level (groups are atomic).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0usize;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("serde shim: expected field name".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn enum_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut out = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0usize;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde shim: expected variant name".into()),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantFields::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantFields::Named(named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        out.push(Variant { name, fields });
+    }
+    Ok(out)
+}

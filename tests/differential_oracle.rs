@@ -1,0 +1,120 @@
+//! Differential validation: every loop verdict the static pipeline
+//! produces is cross-checked against the dynamic race oracle.
+//!
+//! The oracle (the `raceoracle` crate, surfaced as
+//! [`panorama::Analysis::run_oracle`]) executes each analyzed program
+//! sequentially under shadow-memory tracing and classifies the observed
+//! loop-carried conflicts. The contract enforced here:
+//!
+//! * **Soundness (hard failure)** — a loop judged "parallel after
+//!   privatization" must show zero dynamic races on its shared arrays,
+//!   and no privatized array may depend on a value from another
+//!   iteration. One violation fails the suite.
+//! * **Precision (metric)** — serial verdicts whose blamed arrays run
+//!   conflict-free are counted and printed, never failed: the static
+//!   analysis is allowed to be conservative, not wrong.
+//!
+//! Inputs: every benchsuite kernel (the paper's Table 1–2 loops and the
+//! Fig. 1 kernels), the synthetic scaling program, and several hundred
+//! random bounds-safe programs from the shared fuzz generator.
+
+use panorama::{analyze_source, Options, Outcome};
+
+#[path = "generator.rs"]
+mod generator;
+use generator::Gen;
+
+/// Analyzes `src`, runs the oracle, and asserts the soundness invariant.
+/// Returns `(confirmed, precision_gaps, not_exercised)`.
+fn check(tag: &str, src: &str) -> (usize, usize, usize) {
+    let mut analysis = analyze_source(src, Options::default())
+        .unwrap_or_else(|e| panic!("{tag}: analysis failed: {e}\n{src}"));
+    let report = analysis.run_oracle();
+    if !report.sound() {
+        let mut msg = format!("{tag}: SOUNDNESS VIOLATION(S):\n");
+        for c in report.violations() {
+            msg.push_str(&format!("  loop {}: {}\n", c.id, c.note));
+            for d in &c.diagnostics {
+                msg.push_str(&format!("    {}\n", d.render()));
+            }
+        }
+        msg.push_str(&format!("program:\n{src}"));
+        panic!("{msg}");
+    }
+    (
+        report.confirmed,
+        report.precision_gaps,
+        report.not_exercised,
+    )
+}
+
+#[test]
+fn benchsuite_kernels_differential() {
+    let mut confirmed = 0;
+    let mut gaps = 0;
+    for k in benchsuite::kernels() {
+        let (c, g, _) = check(k.loop_label, k.source);
+        confirmed += c;
+        gaps += g;
+
+        // The paper's target loop itself must actually be exercised by
+        // the workload — an unexecuted loop validates nothing.
+        let mut analysis = analyze_source(k.source, Options::default()).unwrap();
+        let target_id = analysis.verdict(k.routine, k.var).unwrap().id.clone();
+        let report = analysis.run_oracle();
+        let cmp = report.loops.iter().find(|c| c.id == target_id).unwrap();
+        assert!(
+            cmp.iterations > 0,
+            "{}: target loop {} never executed",
+            k.loop_label,
+            target_id
+        );
+        assert_ne!(cmp.outcome, Outcome::SoundnessViolation);
+    }
+    println!("benchsuite: {confirmed} loops confirmed, {gaps} precision gaps");
+    assert!(
+        confirmed > 0,
+        "no benchsuite loop was dynamically confirmed"
+    );
+}
+
+#[test]
+fn fig1_kernels_differential() {
+    for (label, routine, var, _arr, src) in benchsuite::fig1_kernels() {
+        check(label, src);
+        let mut analysis = analyze_source(src, Options::default()).unwrap();
+        let target_id = analysis.verdict(routine, var).unwrap().id.clone();
+        let report = analysis.run_oracle();
+        let cmp = report.loops.iter().find(|c| c.id == target_id).unwrap();
+        assert!(cmp.iterations > 0, "{label}: target loop never executed");
+    }
+}
+
+#[test]
+fn synthetic_program_differential() {
+    check("synthetic", &benchsuite::synthetic_program(4, 32));
+}
+
+#[test]
+fn fuzz_differential_250_programs() {
+    // ≥200 random programs, every loop verdict cross-validated; the
+    // seed range is disjoint from fuzz_soundness.rs so the two suites
+    // together cover more of the generator's space.
+    let mut confirmed = 0;
+    let mut gaps = 0;
+    let mut not_exercised = 0;
+    for seed in 10_000..10_250u64 {
+        let src = Gen::new(seed).program();
+        let (c, g, n) = check(&format!("seed {seed}"), &src);
+        confirmed += c;
+        gaps += g;
+        not_exercised += n;
+    }
+    println!(
+        "fuzz differential: {confirmed} confirmed, {gaps} precision gaps, \
+         {not_exercised} not exercised"
+    );
+    // The generator's verdict mix must actually exercise the oracle on
+    // both positive and negative verdicts.
+    assert!(confirmed > 100, "too few confirmed loops: {confirmed}");
+}

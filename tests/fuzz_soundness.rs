@@ -13,142 +13,10 @@ use interp::{ArrayData, LoopPlan, Machine, ParallelPlan};
 use panorama::{analyze_source, Options};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::fmt::Write as _;
 
-/// Arrays are sized so that every generated subscript stays in bounds:
-/// subscripts are drawn from {k, k+1, k+2, i, i+c, const} with
-/// i ∈ [1,OUTER], k ∈ [1,INNER].
-const OUTER: i64 = 8;
-const INNER: i64 = 6;
-const ASIZE: i64 = 40;
-
-struct Gen {
-    rng: StdRng,
-    src: String,
-    /// scalar temp counter
-    tmps: usize,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Gen {
-        Gen {
-            rng: StdRng::seed_from_u64(seed),
-            src: String::new(),
-            tmps: 0,
-        }
-    }
-
-    fn subscript(&mut self, inner: bool) -> String {
-        match self.rng.random_range(0..6) {
-            0 if inner => "k".to_string(),
-            1 if inner => "k + 1".to_string(),
-            2 if inner => "k + 2".to_string(),
-            3 => "i".to_string(),
-            4 => format!("i + {}", self.rng.random_range(0..20)),
-            _ => format!("{}", self.rng.random_range(1..=30)),
-        }
-    }
-
-    fn rhs(&mut self, arrays: &[&str], inner: bool) -> String {
-        let mut out = String::new();
-        let terms = self.rng.random_range(1..=2);
-        for t in 0..terms {
-            if t > 0 {
-                out.push_str(" + ");
-            }
-            match self.rng.random_range(0..4) {
-                0 => {
-                    let a = arrays[self.rng.random_range(0..arrays.len())];
-                    let s = self.subscript(inner);
-                    let _ = write!(out, "{a}({s})");
-                }
-                1 => out.push_str("float(i)"),
-                2 if inner => out.push_str("float(k)"),
-                _ => {
-                    let _ = write!(out, "{}.5", self.rng.random_range(0..9));
-                }
-            }
-        }
-        out
-    }
-
-    fn stmt(&mut self, arrays: &[&str], depth: usize, inner: bool) {
-        let pad = "        ";
-        match self.rng.random_range(0..7) {
-            // array assignment
-            0..=2 => {
-                let a = arrays[self.rng.random_range(0..arrays.len())];
-                let s = self.subscript(inner);
-                let r = self.rhs(arrays, inner);
-                let _ = writeln!(self.src, "{pad}{a}({s}) = {r}");
-            }
-            // scalar temp def + use
-            3 => {
-                self.tmps += 1;
-                let t = format!("t{}", self.tmps % 3);
-                let r = self.rhs(arrays, inner);
-                let _ = writeln!(self.src, "{pad}{t} = {r}");
-                let a = arrays[self.rng.random_range(0..arrays.len())];
-                let s = self.subscript(inner);
-                let _ = writeln!(self.src, "{pad}{a}({s}) = {t} + 1.0");
-            }
-            // IF with array assignment
-            4 => {
-                let cond = match self.rng.random_range(0..3) {
-                    0 => "i .GT. 3".to_string(),
-                    1 => format!("x .GT. {}.0", self.rng.random_range(0..8)),
-                    _ if inner => "k .LE. 4".to_string(),
-                    _ => "i .LE. 6".to_string(),
-                };
-                let a = arrays[self.rng.random_range(0..arrays.len())];
-                let s = self.subscript(inner);
-                let r = self.rhs(arrays, inner);
-                let _ = writeln!(self.src, "{pad}IF ({cond}) THEN");
-                let _ = writeln!(self.src, "{pad}  {a}({s}) = {r}");
-                if self.rng.random_bool(0.4) {
-                    let s2 = self.subscript(inner);
-                    let r2 = self.rhs(arrays, inner);
-                    let _ = writeln!(self.src, "{pad}ELSE");
-                    let _ = writeln!(self.src, "{pad}  {a}({s2}) = {r2}");
-                }
-                let _ = writeln!(self.src, "{pad}ENDIF");
-            }
-            // inner DO (only from depth 0)
-            5 if depth == 0 => {
-                let _ = writeln!(self.src, "{pad}DO k = 1, {INNER}");
-                let n = self.rng.random_range(1..=2);
-                for _ in 0..n {
-                    self.stmt(arrays, 1, true);
-                }
-                let _ = writeln!(self.src, "{pad}ENDDO");
-            }
-            _ => {
-                let r = self.rhs(arrays, inner);
-                let _ = writeln!(self.src, "{pad}x = {r}");
-            }
-        }
-    }
-
-    fn program(mut self) -> String {
-        let arrays: Vec<&str> = vec!["u", "v", "w"];
-        let _ = writeln!(self.src, "      PROGRAM fuzz");
-        let _ = writeln!(
-            self.src,
-            "      REAL u({ASIZE}), v({ASIZE}), w({ASIZE})"
-        );
-        let _ = writeln!(self.src, "      REAL x, t0, t1, t2");
-        let _ = writeln!(self.src, "      INTEGER i, k");
-        let _ = writeln!(self.src, "      x = 2.5");
-        let _ = writeln!(self.src, "      DO i = 1, {OUTER}");
-        let n = self.rng.random_range(2..=5);
-        for _ in 0..n {
-            self.stmt(&arrays, 0, false);
-        }
-        let _ = writeln!(self.src, "      ENDDO");
-        let _ = writeln!(self.src, "      END");
-        self.src
-    }
-}
+#[path = "generator.rs"]
+mod generator;
+use generator::{Gen, ASIZE, OUTER};
 
 /// Runs one generated program through analysis and the execution oracle.
 fn check_seed(seed: u64) {
@@ -266,8 +134,8 @@ fn fuzz_with_calls() {
       END
 "
         );
-        let analysis = analyze_source(&src, Options::default())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let analysis =
+            analyze_source(&src, Options::default()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let v = analysis.verdict("fuzz", "i").unwrap();
         assert!(
             v.parallel_after_privatization,
