@@ -10,7 +10,7 @@
 
 use bench_tables::write_report;
 use benchsuite::fig1_kernels;
-use panorama::{analyze_source, Options};
+use panorama::{driver, Options};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,12 +30,13 @@ fn main() {
     println!("{}", "-".repeat(64));
     for (tag, routine, var, array, src) in fig1_kernels() {
         let check = |opts: Options| -> bool {
-            let a = analyze_source(src, opts).expect("analysis");
-            let v = a.verdict(routine, var).unwrap();
-            v.arrays
-                .iter()
-                .find(|x| x.array == array)
-                .is_some_and(|x| x.privatizable)
+            let req = driver::Request {
+                source: src,
+                opts,
+                oracle: false,
+            };
+            let out = driver::run(&req).expect("analysis");
+            driver::array_privatizable(&out.analysis, routine, var, array)
         };
         let base = check(Options::default());
         let ext = check(Options::full());

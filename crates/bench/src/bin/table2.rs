@@ -9,7 +9,7 @@
 
 use bench_tables::{analyze_kernel, write_report};
 use benchsuite::kernels;
-use panorama::Options;
+use panorama::{driver, Options};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,14 +33,8 @@ fn main() {
     for k in kernels() {
         let base = analyze_kernel(&k, Options::default());
         let ext = analyze_kernel(&k, Options::full());
-        let vb = base.verdict(k.routine, k.var).unwrap();
-        let ve = ext.verdict(k.routine, k.var).unwrap();
-        let status = |v: &panorama::LoopVerdict, arr: &str| -> &'static str {
-            if v.arrays
-                .iter()
-                .find(|a| a.array == arr)
-                .is_some_and(|a| a.privatizable)
-            {
+        let status = |a: &panorama::Analysis, arr: &str| -> &'static str {
+            if driver::array_privatizable(a, k.routine, k.var, arr) {
                 "yes"
             } else {
                 "no"
@@ -52,8 +46,8 @@ fn main() {
             .map(|a| (*a, "yes"))
             .chain(k.hard.iter().map(|a| (*a, "no")))
         {
-            let b = status(vb, arr);
-            let f = status(ve, arr);
+            let b = status(&base, arr);
+            let f = status(&ext, arr);
             let matches = b == paper;
             println!(
                 "{:<8} {:<13} {:<10} {:>7} {:>9} {:>9}{}",

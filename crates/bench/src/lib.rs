@@ -7,28 +7,28 @@
 #![warn(missing_docs)]
 
 use benchsuite::Kernel;
-use panorama::{analyze_source, Analysis, Options};
+use panorama::{driver, Analysis, Options};
 use serde::Serialize;
 use std::path::PathBuf;
 
 /// Runs the analyzer on a kernel with the given toggles.
 pub fn analyze_kernel(k: &Kernel, opts: Options) -> Analysis {
-    analyze_source(k.source, opts)
+    let req = driver::Request {
+        source: k.source,
+        opts,
+        oracle: false,
+    };
+    driver::run(&req)
         .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.loop_label))
+        .analysis
 }
 
 /// Are all the kernel's Table 2 arrays privatizable under `opts`?
 pub fn privatizes_all(k: &Kernel, opts: Options) -> bool {
     let a = analyze_kernel(k, opts);
-    let v = a
-        .verdict(k.routine, k.var)
-        .unwrap_or_else(|| panic!("{}: loop not found", k.loop_label));
-    k.privatizable.iter().all(|arr| {
-        v.arrays
-            .iter()
-            .find(|x| &x.array == arr)
-            .is_some_and(|x| x.privatizable)
-    })
+    k.privatizable
+        .iter()
+        .all(|arr| driver::array_privatizable(&a, k.routine, k.var, arr))
 }
 
 /// Detected technique needs: a technique is needed iff turning it off

@@ -17,7 +17,7 @@
 //!   --json                emit the report as JSON (schema in DESIGN.md)
 //! ```
 
-use panorama::{analyze_source, Options, Outcome};
+use panorama::{driver, Options, Outcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -75,25 +75,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut analysis = match analyze_source(&src, opts) {
-        Ok(a) => a,
+    let request = driver::Request {
+        source: &src,
+        opts,
+        oracle: explain,
+    };
+    let out = match driver::run(&request) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("panorama: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let oracle = explain.then(|| analysis.run_oracle());
 
     if json {
-        let report = panorama::json_report(&analysis, oracle.as_ref());
-        match serde_json::to_string_pretty(&report) {
+        match serde_json::to_string_pretty(&out.json()) {
             Ok(s) => println!("{s}"),
             Err(e) => {
                 eprintln!("panorama: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        if oracle.as_ref().is_some_and(|r| !r.sound()) {
+        if out.soundness_violation() {
             eprintln!(
                 "panorama: soundness violation — static verdict contradicted by dynamic race"
             );
@@ -101,6 +104,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let (analysis, oracle) = (out.analysis, out.oracle);
 
     if dump_hsg {
         println!("=== HSG ===");

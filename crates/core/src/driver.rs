@@ -1,0 +1,124 @@
+//! The shared parse→analyze→report driver.
+//!
+//! Every front end — the `panorama` CLI, the `panoramad` service and the
+//! table/figure regeneration binaries — funnels through this module
+//! instead of re-implementing the "analyze a source string, optionally
+//! run the race oracle, build the JSON report, look up a verdict"
+//! sequence. One request in, one [`Outcome`] out.
+
+use crate::{
+    analyze_source_with_cache, json_report, Analysis, Options, OracleReport, PanoramaError,
+    SummaryCache,
+};
+use std::sync::Arc;
+
+/// One unit of analysis work.
+#[derive(Clone, Debug)]
+pub struct Request<'a> {
+    /// Fortran source text.
+    pub source: &'a str,
+    /// Technique toggles.
+    pub opts: Options,
+    /// Also run the dynamic race oracle and attach witness diagnostics.
+    pub oracle: bool,
+}
+
+impl<'a> Request<'a> {
+    /// A request with default options and no oracle.
+    pub fn new(source: &'a str) -> Self {
+        Request {
+            source,
+            opts: Options::default(),
+            oracle: false,
+        }
+    }
+}
+
+/// The result of driving one [`Request`].
+pub struct Outcome {
+    /// The full analysis.
+    pub analysis: Analysis,
+    /// The oracle report, when the request asked for it.
+    pub oracle: Option<OracleReport>,
+}
+
+impl Outcome {
+    /// The machine-readable report (DESIGN.md §4d), oracle included when
+    /// it ran.
+    pub fn json(&self) -> serde::Value {
+        json_report(&self.analysis, self.oracle.as_ref())
+    }
+
+    /// Whether the oracle ran and contradicted a static verdict — the
+    /// condition every front end treats as a hard failure.
+    pub fn soundness_violation(&self) -> bool {
+        self.oracle.as_ref().is_some_and(|r| !r.sound())
+    }
+}
+
+/// Drives one request through the full pipeline.
+pub fn run(req: &Request<'_>) -> Result<Outcome, PanoramaError> {
+    run_with_cache(req, None)
+}
+
+/// [`run`] consulting (and feeding) a cross-run summary cache.
+pub fn run_with_cache(
+    req: &Request<'_>,
+    cache: Option<Arc<dyn SummaryCache>>,
+) -> Result<Outcome, PanoramaError> {
+    let mut analysis = analyze_source_with_cache(req.source, req.opts, cache)?;
+    let oracle = req.oracle.then(|| analysis.run_oracle());
+    Ok(Outcome { analysis, oracle })
+}
+
+/// Is `array` privatizable in the outermost `routine`/`var` loop?
+/// `false` when the loop (or the array's verdict entry) is absent — the
+/// lookup the figure/table generators repeat for every cell.
+pub fn array_privatizable(analysis: &Analysis, routine: &str, var: &str, array: &str) -> bool {
+    analysis.verdict(routine, var).is_some_and(|v| {
+        v.arrays
+            .iter()
+            .find(|a| a.array == array)
+            .is_some_and(|a| a.privatizable)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+      PROGRAM t
+      REAL w(10), a(100)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = i * 1.0
+        ENDDO
+        a(i) = w(5)
+      ENDDO
+      END
+";
+
+    #[test]
+    fn run_and_lookup() {
+        let out = run(&Request::new(SRC)).unwrap();
+        assert!(out.oracle.is_none());
+        assert!(!out.soundness_violation());
+        assert!(array_privatizable(&out.analysis, "t", "i", "w"));
+        assert!(!array_privatizable(&out.analysis, "t", "i", "nosuch"));
+        assert!(!array_privatizable(&out.analysis, "nosuch", "i", "w"));
+    }
+
+    #[test]
+    fn oracle_runs_on_request() {
+        let req = Request {
+            oracle: true,
+            ..Request::new(SRC)
+        };
+        let out = run(&req).unwrap();
+        let report = out.oracle.as_ref().unwrap();
+        assert!(report.sound());
+        assert!(!out.json().get("oracle").unwrap().is_null());
+    }
+}

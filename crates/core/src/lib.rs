@@ -34,10 +34,16 @@
 
 #![warn(missing_docs)]
 
+pub mod driver;
+
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-pub use dataflow::{AnalysisStats, LoopAnalysis, Options, RoutineAnalysis, Summary};
+pub use dataflow::{
+    AnalysisStats, CacheCounters, CacheKey, CachedRoutine, LoopAnalysis, MemoryCache, Options,
+    RoutineAnalysis, Summary, SummaryCache,
+};
 pub use fortran::{Program, ProgramSema};
 pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict};
 pub use raceoracle::{LoopComparison, OracleReport, Outcome};
@@ -159,12 +165,38 @@ impl Analysis {
 /// the dynamic validation under the `"oracle"` key.
 pub fn json_report(analysis: &Analysis, oracle: Option<&OracleReport>) -> serde::Value {
     use serde::{Serialize, Value};
+    let stats = &analysis.stats;
     Value::Object(vec![
         ("schema_version".to_string(), Value::UInt(1)),
         ("verdicts".to_string(), analysis.verdicts.to_json_value()),
         (
             "conventional_parallel".to_string(),
             analysis.conventional_parallel.to_json_value(),
+        ),
+        (
+            "stats".to_string(),
+            Value::Object(vec![
+                (
+                    "nodes_processed".to_string(),
+                    stats.nodes_processed.to_json_value(),
+                ),
+                (
+                    "loops_analyzed".to_string(),
+                    stats.loops_analyzed.to_json_value(),
+                ),
+                (
+                    "routines_analyzed".to_string(),
+                    stats.routines_analyzed.to_json_value(),
+                ),
+                (
+                    "peak_state_size".to_string(),
+                    stats.peak_state_size.to_json_value(),
+                ),
+                (
+                    "total_summary_size".to_string(),
+                    stats.total_summary_size.to_json_value(),
+                ),
+            ]),
         ),
         (
             "oracle".to_string(),
@@ -175,6 +207,18 @@ pub fn json_report(analysis: &Analysis, oracle: Option<&OracleReport>) -> serde:
 
 /// Runs the full pipeline on a source string.
 pub fn analyze_source(src: &str, opts: Options) -> Result<Analysis, PanoramaError> {
+    analyze_source_with_cache(src, opts, None)
+}
+
+/// [`analyze_source`] with an optional cross-run summary cache: routine
+/// summaries whose content key (routine text + options + transitive
+/// callees, see `dataflow::cache`) hits the cache are replayed instead of
+/// recomputed. Reports are byte-identical either way.
+pub fn analyze_source_with_cache(
+    src: &str,
+    opts: Options,
+    cache: Option<Arc<dyn SummaryCache>>,
+) -> Result<Analysis, PanoramaError> {
     let t0 = Instant::now();
     let program = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
     let t_parse = t0.elapsed();
@@ -204,7 +248,7 @@ pub fn analyze_source(src: &str, opts: Options) -> Result<Analysis, PanoramaErro
     let t_conv = t3.elapsed();
 
     let t4 = Instant::now();
-    let mut az = dataflow::Analyzer::new(&program, &sema, &graph, opts);
+    let mut az = dataflow::Analyzer::with_cache(&program, &sema, &graph, opts, cache);
     let routines = az.run();
     let verdicts = privatize::judge_all(&az.loops);
     let t_df = t4.elapsed();

@@ -1,6 +1,7 @@
 //! The summary propagation engine: `SUM_segment`, `SUM_bb`, `SUM_loop`,
 //! `SUM_call` (§4.1).
 
+use crate::cache::{routine_keys, CacheKey, CachedRoutine, SummaryCache};
 use crate::convert::{collect_array_reads, subscripts_region, to_pred, to_sym, ConvertCtx};
 use crate::scalars::{CounterFact, FreshNames, ValueEnv};
 use crate::summary::{ArraySets, Options, Summary};
@@ -9,6 +10,7 @@ use gar::{expand_list, Approx, Gar, GarList, LoopCtx};
 use hsg::{EdgeKind, Hsg, Node, NodeId, Subgraph, SubgraphId};
 use pred::{Atom, Pred};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use sym::Expr;
 
 /// Statistics recorded during an analysis run (Fig. 4's practicality data).
@@ -90,6 +92,13 @@ pub struct Analyzer<'a> {
     facts: BTreeMap<String, CounterFact>,
     /// Memoized context-free routine summaries.
     routine_summaries: BTreeMap<String, Summary>,
+    /// Cross-run content-addressed summary cache (see [`crate::cache`]).
+    cache: Option<Arc<dyn SummaryCache>>,
+    /// Content keys per routine, computed once when a cache is attached.
+    cache_keys: BTreeMap<String, CacheKey>,
+    /// Peak transient GAR state within the routine currently being
+    /// summarized (feeds per-routine cache entries).
+    segment_peak: usize,
     /// All loop analyses, in post-order of discovery.
     pub loops: Vec<LoopAnalysis>,
     /// Statistics.
@@ -176,6 +185,26 @@ impl<'a> Analyzer<'a> {
         hsg: &'a Hsg,
         opts: Options,
     ) -> Self {
+        Analyzer::with_cache(program, sema, hsg, opts, None)
+    }
+
+    /// Creates an analyzer that consults (and feeds) a cross-run
+    /// content-addressed summary cache at the `SUM_call` boundary.
+    /// Traced runs (`opts.trace`) bypass the cache: a replay would skip
+    /// the propagation whose trace the caller asked for.
+    pub fn with_cache(
+        program: &'a Program,
+        sema: &'a fortran::ProgramSema,
+        hsg: &'a Hsg,
+        opts: Options,
+        cache: Option<Arc<dyn SummaryCache>>,
+    ) -> Self {
+        let cache = if opts.trace { None } else { cache };
+        let cache_keys = if cache.is_some() {
+            routine_keys(program, sema, &opts)
+        } else {
+            BTreeMap::new()
+        };
         Analyzer {
             program,
             sema,
@@ -184,6 +213,9 @@ impl<'a> Analyzer<'a> {
             fresh: FreshNames::default(),
             facts: BTreeMap::new(),
             routine_summaries: BTreeMap::new(),
+            cache,
+            cache_keys,
+            segment_peak: 0,
             loops: Vec::new(),
             stats: AnalysisStats::default(),
             trace: Vec::new(),
@@ -210,11 +242,35 @@ impl<'a> Analyzer<'a> {
         (self.loops, self.stats, self.trace)
     }
 
-    /// The memoized context-free summary of a routine.
+    /// The memoized context-free summary of a routine. With a cache
+    /// attached, identical routine content summarized by any prior run
+    /// is replayed instead of recomputed.
     pub fn summarize_routine(&mut self, name: &str) -> Summary {
         if let Some(s) = self.routine_summaries.get(name) {
             return s.clone();
         }
+        let Some((cache, key)) = self.cache.clone().zip(self.cache_keys.get(name).copied()) else {
+            return self.summarize_cold(name);
+        };
+        if let Some(entry) = cache.get(&key) {
+            if let Some(summary) = self.replay_cached(name, &entry) {
+                return summary;
+            }
+        }
+        let loops_before = self.loops.len();
+        let stats_before = self.stats.clone();
+        let summary = self.summarize_cold(name);
+        if let Some(entry) = self.record_entry(name, &summary, loops_before, &stats_before) {
+            cache.put(key, Arc::new(entry));
+        }
+        summary
+    }
+
+    /// Cold summarization (no cache consultation). Fresh-name scoping
+    /// makes the result — including every synthetic name inside it — a
+    /// pure function of the routine's content, so cached replays are
+    /// bitwise-identical to recomputation.
+    fn summarize_cold(&mut self, name: &str) -> Summary {
         let sg = *self
             .hsg
             .routines
@@ -222,12 +278,97 @@ impl<'a> Analyzer<'a> {
             .unwrap_or_else(|| panic!("routine {name} not in HSG"));
         let table = &self.sema.tables[name];
         let loop_vars = BTreeSet::new();
+        let scope = self.fresh.enter_scope(name);
+        let saved_peak = std::mem::take(&mut self.segment_peak);
         let summary = self.sum_segment(sg, name, table, ValueEnv::identity(), &loop_vars, 0);
+        self.segment_peak = saved_peak.max(self.segment_peak);
+        self.fresh.leave_scope(scope);
         self.stats.routines_analyzed += 1;
         self.stats.total_summary_size += summary.size();
         self.routine_summaries
             .insert(name.to_string(), summary.clone());
         summary
+    }
+
+    /// The deterministic pre-order list of a routine's loop-body
+    /// subgraphs. Its indices are the *canonical loop ordinals* cache
+    /// entries use in place of absolute [`SubgraphId`]s: HSG
+    /// construction is deterministic per routine, so any program
+    /// embedding the same routine text yields the same ordinal order
+    /// even though the absolute ids differ. Loops inside condensed
+    /// goto-cycles are excluded, matching `sum_condensed` (they are
+    /// never individually analyzed).
+    fn loop_bodies(&self, routine: &str) -> Vec<SubgraphId> {
+        fn walk(hsg: &Hsg, sg: SubgraphId, out: &mut Vec<SubgraphId>) {
+            for node in &hsg.subgraphs[sg].nodes {
+                if let Node::Loop { body, .. } = node {
+                    out.push(*body);
+                    walk(hsg, *body, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(&sg) = self.hsg.routines.get(routine) {
+            walk(self.hsg, sg, &mut out);
+        }
+        out
+    }
+
+    /// Replays a cached routine: remaps the recorded loop analyses onto
+    /// this program's subgraph ids, replays the recorded statistics
+    /// deltas, and installs the summary. Returns `None` (falling back
+    /// to cold analysis) if the entry does not line up with this
+    /// program's HSG — impossible unless the content hash collided.
+    fn replay_cached(&mut self, name: &str, entry: &CachedRoutine) -> Option<Summary> {
+        let bodies = self.loop_bodies(name);
+        let mut mapped = Vec::with_capacity(entry.loops.len());
+        for (ordinal, la) in &entry.loops {
+            let &sg = bodies.get(*ordinal)?;
+            let mut la = la.clone();
+            la.subgraph = sg;
+            mapped.push(la);
+        }
+        self.loops.extend(mapped);
+        self.stats.nodes_processed += entry.nodes_processed;
+        self.stats.loops_analyzed += entry.loops_analyzed;
+        self.stats.routines_analyzed += 1;
+        self.stats.total_summary_size += entry.summary_size;
+        self.stats.peak_state_size = self.stats.peak_state_size.max(entry.peak_state_size);
+        self.segment_peak = self.segment_peak.max(entry.peak_state_size);
+        self.routine_summaries
+            .insert(name.to_string(), entry.summary.clone());
+        Some(entry.summary.clone())
+    }
+
+    /// Builds the cache entry for a routine just summarized cold.
+    /// Declines (returns `None`) when the extent was not self-contained
+    /// — i.e. another routine was summarized inside it, which happens
+    /// only when callers bypass the bottom-up order of [`Analyzer::run`]
+    /// — because the recorded deltas would then double-count on replay.
+    fn record_entry(
+        &self,
+        name: &str,
+        summary: &Summary,
+        loops_before: usize,
+        stats_before: &AnalysisStats,
+    ) -> Option<CachedRoutine> {
+        if self.stats.routines_analyzed != stats_before.routines_analyzed + 1 {
+            return None;
+        }
+        let bodies = self.loop_bodies(name);
+        let mut loops = Vec::with_capacity(self.loops.len() - loops_before);
+        for la in &self.loops[loops_before..] {
+            let ordinal = bodies.iter().position(|&b| b == la.subgraph)?;
+            loops.push((ordinal, la.clone()));
+        }
+        Some(CachedRoutine {
+            summary: summary.clone(),
+            loops,
+            nodes_processed: self.stats.nodes_processed - stats_before.nodes_processed,
+            loops_analyzed: self.stats.loops_analyzed - stats_before.loops_analyzed,
+            peak_state_size: self.segment_peak,
+            summary_size: self.stats.total_summary_size - stats_before.total_summary_size,
+        })
     }
 
     /// `SUM_segment`: summarizes one flow subgraph under an entry value
@@ -405,10 +546,9 @@ impl<'a> Analyzer<'a> {
                     .collect();
             }
 
-            self.stats.peak_state_size = self
-                .stats
-                .peak_state_size
-                .max(state.iter().flatten().map(State::size).sum::<usize>() + st.size());
+            let live = state.iter().flatten().map(State::size).sum::<usize>() + st.size();
+            self.stats.peak_state_size = self.stats.peak_state_size.max(live);
+            self.segment_peak = self.segment_peak.max(live);
             state[nid] = Some(st);
         }
 

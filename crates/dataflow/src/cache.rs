@@ -1,0 +1,393 @@
+//! Content-addressed routine-summary cache.
+//!
+//! The unit of memoization is exactly the unit the paper already
+//! computes per routine: the context-free `SUM_call` summary (§4.1),
+//! together with the per-loop dependence sets recorded while building
+//! it. A cache entry is keyed by a hash of the routine's *content* —
+//! its AST (including source lines), the analysis [`Options`], and,
+//! transitively, the keys of every callee — so two textually identical
+//! routines in different programs share an entry, while any change to
+//! the routine body, its declarations, an analysis toggle, or anything
+//! it calls produces a different key. Content addressing means there
+//! are **no invalidation rules**: a stale entry is unreachable by
+//! construction, and eviction is purely a capacity concern.
+//!
+//! Replaying an entry must reproduce, byte for byte, the report a cold
+//! analysis would emit. Three mechanisms make that hold (see
+//! `Analyzer::summarize_routine`):
+//!
+//! 1. recorded loop analyses carry a *canonical loop ordinal* instead
+//!    of an absolute `SubgraphId`, remapped into the consuming
+//!    program's HSG on replay;
+//! 2. synthetic names are *routine-scoped* (`x#routine.k`, counter
+//!    restarted per routine — see `scalars::FreshNames`), so the names
+//!    inside an entry are a pure function of the routine's content:
+//!    replaying installs exactly the names a cold run would have
+//!    allocated, and names from different routines can never collide;
+//! 3. the entry stores the statistics deltas (`nodes_processed`,
+//!    `peak_state_size`, …) of the cold computation, which are
+//!    replayed into [`crate::AnalysisStats`].
+
+use crate::analyzer::LoopAnalysis;
+use crate::summary::{Options, Summary};
+use fortran::{Program, ProgramSema};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content hash identifying one `(routine content, options)`
+/// summarization problem.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CacheKey(pub u128);
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a, 128-bit variant — dependency-free and fast enough for
+/// hashing ASTs once per request; 128 bits make accidental collisions
+/// in a long-running daemon negligible.
+#[derive(Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+}
+
+impl ContentHasher {
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents boundary
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// The final key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+/// Everything needed to replay one routine's summarization without
+/// redoing it: the context-free summary, the loop analyses recorded
+/// during the cold run (keyed by canonical loop ordinal within the
+/// routine), and the statistics the cold run accumulated.
+#[derive(Clone, Debug)]
+pub struct CachedRoutine {
+    /// The context-free `SUM_call` summary.
+    pub summary: Summary,
+    /// `(canonical loop ordinal, analysis)` in recording order. The
+    /// ordinal indexes the deterministic pre-order traversal of the
+    /// routine's loop-body subgraphs, so it is stable across programs
+    /// that embed the same routine at different `SubgraphId`s.
+    pub loops: Vec<(usize, LoopAnalysis)>,
+    /// HSG nodes the cold summarization visited.
+    pub nodes_processed: usize,
+    /// Loops the cold summarization analyzed.
+    pub loops_analyzed: usize,
+    /// Peak transient GAR state during the cold summarization.
+    pub peak_state_size: usize,
+    /// `total_summary_size` contribution of the cold summarization.
+    pub summary_size: usize,
+}
+
+/// A shareable summary cache. Implementations must be thread-safe: the
+/// `panoramad` scheduler consults one cache from every worker.
+pub trait SummaryCache: Send + Sync {
+    /// Looks up an entry, recording a hit or miss.
+    fn get(&self, key: &CacheKey) -> Option<Arc<CachedRoutine>>;
+    /// Inserts an entry computed cold.
+    fn put(&self, key: CacheKey, entry: Arc<CachedRoutine>);
+    /// Counter snapshot (hits/misses/entries/evictions).
+    fn counters(&self) -> CacheCounters;
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hit ratio in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The in-memory cache used by `panoramad`: a hash map guarded by a
+/// mutex, FIFO-evicted at an optional capacity. Content addressing
+/// makes concurrent `put`s of one key benign — both writers computed
+/// logically identical entries, so last-write-wins is correct.
+pub struct MemoryCache {
+    inner: Mutex<CacheInner>,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<u128, Arc<CachedRoutine>>,
+    fifo: VecDeque<u128>,
+}
+
+impl Default for MemoryCache {
+    fn default() -> Self {
+        MemoryCache::new()
+    }
+}
+
+impl MemoryCache {
+    /// An unbounded cache.
+    pub fn new() -> MemoryCache {
+        MemoryCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache holding at most `capacity` routine entries (FIFO
+    /// eviction beyond that).
+    pub fn with_capacity(capacity: usize) -> MemoryCache {
+        MemoryCache {
+            capacity: Some(capacity.max(1)),
+            ..MemoryCache::new()
+        }
+    }
+}
+
+impl SummaryCache for MemoryCache {
+    fn get(&self, key: &CacheKey) -> Option<Arc<CachedRoutine>> {
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(&key.0) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: CacheKey, entry: Arc<CachedRoutine>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key.0, entry).is_none() {
+            inner.fifo.push_back(key.0);
+            if let Some(cap) = self.capacity {
+                while inner.map.len() > cap {
+                    let Some(old) = inner.fifo.pop_front() else {
+                        break;
+                    };
+                    inner.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> CacheCounters {
+        let entries = self.inner.lock().expect("cache lock").map.len();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Computes the content key of every routine in a program, callees
+/// first. A routine's key covers:
+///
+/// * a format-version tag (bumped when summarization semantics change,
+///   so persisted processes never replay stale layouts);
+/// * the four semantic [`Options`] toggles (`trace` excluded — it only
+///   affects diagnostics, and traced runs bypass the cache anyway);
+/// * the routine's full AST rendered via `Debug` (covers parameters,
+///   declarations, COMMON layout, statement structure *and* source
+///   lines — lines flow into loop verdicts, so they are content here);
+/// * with interprocedural analysis on, the keys of all direct callees
+///   (sorted), making the key a Merkle hash over the call DAG; with it
+///   off, callee bodies are irrelevant and only callee names are mixed
+///   in.
+pub fn routine_keys(
+    program: &Program,
+    sema: &ProgramSema,
+    opts: &Options,
+) -> BTreeMap<String, CacheKey> {
+    let mut keys: BTreeMap<String, CacheKey> = BTreeMap::new();
+    for name in &sema.bottom_up {
+        let Some(routine) = program.routine(name) else {
+            continue;
+        };
+        let mut h = ContentHasher::default();
+        h.write_str("panorama-summary-cache-v1");
+        h.write(&[
+            u8::from(opts.symbolic),
+            u8::from(opts.if_conditions),
+            u8::from(opts.interprocedural),
+            u8::from(opts.forall_ext),
+        ]);
+        h.write_str(&format!("{routine:?}"));
+        if let Some(callees) = sema.call_graph.get(name) {
+            for callee in callees {
+                match keys.get(callee) {
+                    Some(k) if opts.interprocedural => {
+                        h.write(&k.0.to_le_bytes());
+                    }
+                    _ => h.write_str(callee),
+                }
+            }
+        }
+        keys.insert(name.clone(), h.finish());
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Arc<CachedRoutine> {
+        Arc::new(CachedRoutine {
+            summary: Summary::new(),
+            loops: Vec::new(),
+            nodes_processed: 1,
+            loops_analyzed: 0,
+            peak_state_size: 0,
+            summary_size: 0,
+        })
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let c = MemoryCache::new();
+        let k = CacheKey(7);
+        assert!(c.get(&k).is_none());
+        c.put(k, entry());
+        assert!(c.get(&k).is_some());
+        let s = c.counters();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let c = MemoryCache::with_capacity(2);
+        for i in 0..3 {
+            c.put(CacheKey(i), entry());
+        }
+        assert!(c.get(&CacheKey(0)).is_none()); // evicted first
+        assert!(c.get(&CacheKey(1)).is_some());
+        assert!(c.get(&CacheKey(2)).is_some());
+        assert_eq!(c.counters().evictions, 1);
+    }
+
+    fn keys_of(src: &str, opts: Options) -> BTreeMap<String, CacheKey> {
+        let program = fortran::parse_program(src).unwrap();
+        let sema = fortran::analyze(&program).unwrap();
+        routine_keys(&program, &sema, &opts)
+    }
+
+    const TWO_ROUTINES: &str = "
+      PROGRAM main
+      REAL a(10)
+      INTEGER i
+      DO i = 1, 10
+        CALL fill(a, i)
+      ENDDO
+      END
+      SUBROUTINE fill(b, j)
+      REAL b(10)
+      INTEGER j, k
+      DO k = 1, 10
+        b(k) = j * 1.0
+      ENDDO
+      END
+";
+
+    #[test]
+    fn keys_are_deterministic_and_option_sensitive() {
+        let a = keys_of(TWO_ROUTINES, Options::default());
+        let b = keys_of(TWO_ROUTINES, Options::default());
+        assert_eq!(a, b);
+        let c = keys_of(
+            TWO_ROUTINES,
+            Options {
+                symbolic: false,
+                ..Options::default()
+            },
+        );
+        assert_ne!(a["fill"], c["fill"]);
+        assert_ne!(a["main"], c["main"]);
+    }
+
+    #[test]
+    fn trace_toggle_does_not_change_keys() {
+        let a = keys_of(TWO_ROUTINES, Options::default());
+        let b = keys_of(
+            TWO_ROUTINES,
+            Options {
+                trace: true,
+                ..Options::default()
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn callee_edit_changes_caller_key() {
+        let edited = TWO_ROUTINES.replace("b(k) = j * 1.0", "b(k) = j * 2.0");
+        let a = keys_of(TWO_ROUTINES, Options::default());
+        let b = keys_of(&edited, Options::default());
+        assert_ne!(a["fill"], b["fill"]);
+        // Merkle propagation: the caller's key moves with the callee.
+        assert_ne!(a["main"], b["main"]);
+    }
+
+    #[test]
+    fn caller_edit_leaves_callee_key_alone() {
+        let edited = TWO_ROUTINES.replace("DO i = 1, 10", "DO i = 1, 20");
+        let a = keys_of(TWO_ROUTINES, Options::default());
+        let b = keys_of(&edited, Options::default());
+        assert_eq!(a["fill"], b["fill"]);
+        assert_ne!(a["main"], b["main"]);
+    }
+}

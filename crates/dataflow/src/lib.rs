@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+pub mod cache;
 mod convert;
 mod scalars;
 mod summary;
 
 pub use analyzer::{AnalysisStats, Analyzer, LoopAnalysis, RoutineAnalysis};
+pub use cache::{CacheCounters, CacheKey, CachedRoutine, MemoryCache, SummaryCache};
 pub use convert::{collect_array_reads, to_pred, to_sym, ConvertCtx};
 pub use scalars::{CounterFact, ValueEnv};
 pub use summary::{ArraySets, Options, Summary};

@@ -85,10 +85,28 @@ impl ValueEnv {
     }
 }
 
-/// Generator of fresh synthetic names (`name#k`). `#` cannot appear in
-/// Fortran identifiers, so synthetics never collide with program names.
+/// Generator of fresh synthetic names (`name#k`, or `name#scope.k`
+/// inside a named scope). `#` cannot appear in Fortran identifiers, so
+/// synthetics never collide with program names.
+///
+/// Scoping exists for the content-addressed summary cache: the analyzer
+/// enters a scope named after each routine before summarizing it, with
+/// the counter restarted at zero. Every synthetic name a routine's
+/// summarization produces is then a pure function of the routine's
+/// content — two runs (or two programs embedding the same routine)
+/// allocate *identical* names, which is what makes replaying a cached
+/// summary byte-identical to recomputing it. Names from different
+/// routines can never collide because the scope is part of the name.
 #[derive(Debug, Default)]
 pub struct FreshNames {
+    scope: String,
+    counter: u64,
+}
+
+/// Saved generator state, restored when a scope is left.
+#[derive(Debug)]
+pub struct FreshScope {
+    scope: String,
     counter: u64,
 }
 
@@ -96,7 +114,26 @@ impl FreshNames {
     /// A fresh synthetic derived from `base`.
     pub fn next(&mut self, base: &str) -> Name {
         self.counter += 1;
-        Name::new(format!("{base}#{}", self.counter))
+        if self.scope.is_empty() {
+            Name::new(format!("{base}#{}", self.counter))
+        } else {
+            Name::new(format!("{base}#{}.{}", self.scope, self.counter))
+        }
+    }
+
+    /// Enters a named scope with a zeroed counter, returning the state
+    /// to pass to [`FreshNames::leave_scope`].
+    pub fn enter_scope(&mut self, scope: &str) -> FreshScope {
+        FreshScope {
+            scope: std::mem::replace(&mut self.scope, scope.to_string()),
+            counter: std::mem::replace(&mut self.counter, 0),
+        }
+    }
+
+    /// Restores the generator state saved by [`FreshNames::enter_scope`].
+    pub fn leave_scope(&mut self, saved: FreshScope) {
+        self.scope = saved.scope;
+        self.counter = saved.counter;
     }
 }
 

@@ -1,0 +1,46 @@
+//! The cache payoff claim behind `panoramad`: re-analyzing a program
+//! whose routine summaries are already cached must be at least ~2x
+//! faster than a cold analysis, because the dataflow phase — the bulk
+//! of the pipeline — is replayed instead of recomputed.
+
+use benchsuite::kernels;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::{MemoryCache, SummaryCache};
+use panorama::{analyze_source, analyze_source_with_cache, Options};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn suite_source() -> String {
+    kernels()
+        .iter()
+        .map(|k| k.source)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let src = suite_source();
+    let mut g = c.benchmark_group("server_warm_vs_cold");
+
+    g.bench_function("cold", |b| {
+        b.iter(|| analyze_source(black_box(&src), Options::default()).unwrap())
+    });
+
+    let cache: Arc<dyn SummaryCache> = Arc::new(MemoryCache::new());
+    analyze_source_with_cache(&src, Options::default(), Some(Arc::clone(&cache))).unwrap();
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            analyze_source_with_cache(
+                black_box(&src),
+                Options::default(),
+                Some(Arc::clone(&cache)),
+            )
+            .unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

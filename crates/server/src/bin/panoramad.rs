@@ -1,0 +1,85 @@
+//! The `panoramad` daemon binary.
+//!
+//! ```text
+//! panoramad [OPTIONS]
+//!
+//! OPTIONS:
+//!   --jobs N            worker threads (default: available cores, max 8)
+//!   --socket PATH       serve a Unix socket instead of stdin/stdout
+//!   --no-cache          disable the routine-summary cache
+//!   --cache-capacity N  cap the cache at N routine entries (FIFO)
+//!   --metrics           print the metrics summary to stderr on shutdown
+//! ```
+//!
+//! Protocol: one JSON request per line, one JSON response per line, in
+//! request order (see `panoramad::protocol`). Stdin mode exits at EOF or
+//! `{"cmd": "shutdown"}`; socket mode serves connections until one sends
+//! the shutdown command.
+
+use panoramad::{Config, Daemon};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: panoramad [--jobs N] [--socket PATH] [--no-cache]\n\
+         \x20                [--cache-capacity N] [--metrics]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = Config::default();
+    let mut socket: Option<String> = None;
+    let mut metrics = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> usize {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("{name} needs a positive integer");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--jobs" => config.jobs = num("--jobs").max(1),
+            "--cache-capacity" => config.cache = Some(Some(num("--cache-capacity"))),
+            "--no-cache" => config.cache = None,
+            "--socket" => match args.next() {
+                Some(p) => socket = Some(p),
+                None => {
+                    eprintln!("--socket needs a path");
+                    usage();
+                }
+            },
+            "--metrics" => metrics = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+    }
+
+    let daemon = Daemon::new(config);
+    let served = match &socket {
+        Some(path) => daemon.serve_socket(std::path::Path::new(path)),
+        None => {
+            // `StdoutLock` is not `Send`; the unlocked handle locks
+            // per write, which is fine — the emitter already serializes.
+            let stdin = std::io::stdin().lock();
+            daemon.serve(stdin, std::io::stdout()).map(|_| ())
+        }
+    };
+    if metrics {
+        eprint!("{}", daemon.metrics().render(daemon.cache_counters()));
+    }
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("panoramad: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

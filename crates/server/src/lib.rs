@@ -1,0 +1,391 @@
+//! `panoramad` — the persistent analysis service.
+//!
+//! The `panorama` CLI pays the full parse→analyze→report pipeline per
+//! invocation. This crate keeps the analyzer resident and turns it into
+//! a request/response service: newline-delimited JSON requests arrive on
+//! stdin (or a Unix socket), responses carry the same report schema the
+//! CLI's `--json` flag prints (DESIGN.md §4d). Three things live behind
+//! the protocol:
+//!
+//! * a **content-addressed routine-summary cache** ([`dataflow::cache`])
+//!   shared across requests — re-analyzing an unchanged program, or a
+//!   program sharing routines with an earlier one, replays summaries
+//!   instead of recomputing them, byte-identically;
+//! * a **concurrent scheduler** ([`scheduler`]) — independent requests
+//!   run in parallel on `--jobs` workers, and a multi-root call DAG
+//!   inside one request is warmed root-parallel into the shared cache;
+//!   responses are emitted in request order regardless of completion
+//!   order;
+//! * a **metrics layer** ([`metrics`]) — phase timings, cache hit/miss
+//!   counters, queue gauges and peak GAR state, snapshotted by
+//!   `{"cmd": "stats"}` and dumped at shutdown under `--metrics`.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+
+use dataflow::{CacheCounters, MemoryCache, SummaryCache};
+use metrics::Metrics;
+use panorama::driver;
+use protocol::{error_response, ok_response, stats_response, Request};
+use scheduler::{Emitter, Job, Queue};
+use serde::Value;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Worker threads analyzing requests concurrently.
+    pub jobs: usize,
+    /// Summary cache: `None` disables caching, `Some(None)` is
+    /// unbounded, `Some(Some(n))` keeps at most `n` routine entries.
+    pub cache: Option<Option<usize>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            jobs: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            cache: Some(None),
+        }
+    }
+}
+
+/// The resident service: one summary cache and one metrics ledger,
+/// shared by every request (and every connection in socket mode).
+pub struct Daemon {
+    jobs: usize,
+    cache: Option<Arc<dyn SummaryCache>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Daemon {
+    /// Builds a daemon from a configuration.
+    pub fn new(config: Config) -> Daemon {
+        let cache: Option<Arc<dyn SummaryCache>> = config.cache.map(|cap| match cap {
+            None => Arc::new(MemoryCache::new()) as Arc<dyn SummaryCache>,
+            Some(n) => Arc::new(MemoryCache::with_capacity(n)) as Arc<dyn SummaryCache>,
+        });
+        Daemon {
+            jobs: config.jobs.max(1),
+            cache,
+            metrics: Arc::new(Metrics::default()),
+        }
+    }
+
+    /// The daemon's metric counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Cache counter snapshot (`None` when caching is disabled).
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// Serves one NDJSON stream: reads request lines from `input` until
+    /// EOF or `{"cmd": "shutdown"}`, writes response lines to `output`
+    /// in request order. Returns `true` if a shutdown command ended the
+    /// stream. Blank lines are skipped; unparsable lines get an
+    /// `{"ok": false}` response in their stream position.
+    pub fn serve<R: BufRead, W: Write + Send>(&self, input: R, output: W) -> std::io::Result<bool> {
+        let queue: Queue<Result<Request, String>> = Queue::default();
+        let emitter = Emitter::new(output);
+        let mut shutdown = false;
+        let io_err = crossbeam::thread::scope(|scope| {
+            let workers: Vec<_> = (0..self.jobs)
+                .map(|_| scope.spawn(|_| self.worker(&queue, &emitter)))
+                .collect();
+            let mut read_error = None;
+            let mut seq = 0u64;
+            for line in input.lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        read_error = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let payload = protocol::parse_request(&line);
+                if matches!(payload, Ok(Request::Shutdown)) {
+                    shutdown = true;
+                    break;
+                }
+                self.metrics.enqueued();
+                queue.push(Job { seq, payload });
+                seq += 1;
+            }
+            queue.close();
+            for w in workers {
+                w.join().expect("worker panicked");
+            }
+            read_error
+        })
+        .expect("scheduler scope");
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        emitter.finish()?;
+        Ok(shutdown)
+    }
+
+    /// Serves connections on a Unix socket, each as one NDJSON stream,
+    /// until a connection sends `{"cmd": "shutdown"}`. Connections are
+    /// accepted sequentially; concurrency lives in the per-stream worker
+    /// pool. The socket file is removed first if it already exists, and
+    /// removed again on return.
+    pub fn serve_socket(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        let result = loop {
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) => break Err(e),
+            };
+            let reader = BufReader::new(stream.try_clone()?);
+            match self.serve(reader, stream) {
+                Ok(true) => break Ok(()),
+                Ok(false) => {}
+                // A dropped connection only kills that connection.
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+                Err(e) => break Err(e),
+            }
+        };
+        let _ = std::fs::remove_file(path);
+        result
+    }
+
+    fn worker(&self, queue: &Queue<Result<Request, String>>, emitter: &Emitter<impl Write>) {
+        while let Some(job) = queue.pop() {
+            let line = match job.payload {
+                Ok(Request::Analyze {
+                    id,
+                    source,
+                    opts,
+                    oracle,
+                }) => self.handle_analyze(&id, &source, opts, oracle),
+                Ok(Request::Stats { id }) => {
+                    stats_response(&id, self.metrics.snapshot(self.cache_counters()))
+                }
+                // Shutdown never reaches the queue (the reader stops on it).
+                Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
+                Err(msg) => {
+                    self.metrics.record_failure();
+                    error_response(&Value::Null, &msg)
+                }
+            };
+            self.metrics.dequeued();
+            emitter.emit(job.seq, line);
+        }
+    }
+
+    fn handle_analyze(
+        &self,
+        id: &Value,
+        source: &str,
+        opts: panorama::Options,
+        oracle: bool,
+    ) -> String {
+        if self.cache.is_some() {
+            self.warm_call_dag_roots(source, opts);
+        }
+        let req = driver::Request {
+            source,
+            opts,
+            oracle,
+        };
+        match driver::run_with_cache(&req, self.cache.clone()) {
+            Ok(out) => {
+                self.metrics.record_analysis(
+                    &out.analysis.times,
+                    out.analysis.stats.peak_state_size,
+                    oracle,
+                );
+                ok_response(id, out.json())
+            }
+            Err(e) => {
+                self.metrics.record_failure();
+                error_response(id, &e.to_string())
+            }
+        }
+    }
+
+    /// Intra-request parallelism: when a program's call DAG has several
+    /// roots (routines nobody calls), each root's reachable subtree is
+    /// summarized bottom-up into the shared cache on its own thread. The
+    /// request's real analysis then replays every summary from the
+    /// cache, so the emitted report stays byte-identical to a cold
+    /// serial run. Pipeline errors are ignored here — the real analysis
+    /// reports them in stream order.
+    fn warm_call_dag_roots(&self, source: &str, opts: panorama::Options) {
+        let Some(cache) = self.cache.as_ref() else {
+            return;
+        };
+        let Ok(program) = fortran::parse_program(source) else {
+            return;
+        };
+        let Ok(sema) = fortran::analyze(&program) else {
+            return;
+        };
+        let Ok(graph) = hsg::build_hsg(&program) else {
+            return;
+        };
+        let called: BTreeSet<&String> = sema.call_graph.values().flatten().collect();
+        let roots: Vec<&String> = sema
+            .bottom_up
+            .iter()
+            .filter(|r| !called.contains(r))
+            .collect();
+        if roots.len() < 2 {
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for root in roots {
+                let (program, sema, graph) = (&program, &sema, &graph);
+                let cache = Arc::clone(cache);
+                scope.spawn(move |_| {
+                    let reach = reachable(&sema.call_graph, root);
+                    let mut az =
+                        dataflow::Analyzer::with_cache(program, sema, graph, opts, Some(cache));
+                    // Bottom-up order keeps every summarization extent
+                    // self-contained, so each routine becomes a cache
+                    // entry (see `Analyzer::summarize_routine`).
+                    for name in sema.bottom_up.iter().filter(|n| reach.contains(n.as_str())) {
+                        az.summarize_routine(name);
+                    }
+                });
+            }
+        })
+        .expect("warmup scope");
+    }
+}
+
+/// The set of routines reachable from `root` in the call graph.
+fn reachable<'a>(
+    call_graph: &'a std::collections::BTreeMap<String, BTreeSet<String>>,
+    root: &'a str,
+) -> BTreeSet<&'a str> {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        if !seen.insert(r) {
+            continue;
+        }
+        if let Some(callees) = call_graph.get(r) {
+            stack.extend(callees.iter().map(String::as_str));
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"      PROGRAM t\n      REAL a(10)\n      INTEGER i\n      DO i = 1, 10\n        a(i) = 1.0\n      ENDDO\n      END\n"#;
+
+    fn serve_lines(daemon: &Daemon, input: &str) -> Vec<Value> {
+        let mut out = Vec::new();
+        daemon
+            .serve(std::io::Cursor::new(input.to_string()), &mut out)
+            .unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn analyze_stats_and_errors_in_order() {
+        // One worker: the metric assertions below need the error request
+        // processed before the stats snapshot, not merely emitted first.
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\nnot json\n{}\n",
+            r#"{"id": "s", "cmd": "stats"}"#
+        );
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("id").unwrap(), &Value::Int(1));
+        assert_eq!(responses[0].get("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(
+            responses[0]
+                .get("report")
+                .unwrap()
+                .get("schema_version")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(responses[1].get("ok").unwrap(), &Value::Bool(false));
+        assert!(responses[1].get("id").unwrap().is_null());
+        let stats = responses[2].get("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("requests")
+                .unwrap()
+                .get("failed")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn repeat_request_hits_cache() {
+        // One worker: concurrent identical requests can all miss the
+        // cold cache, so hit counting needs serial processing.
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let line = format!(r#"{{"id": 1, "source": "{SRC}"}}"#);
+        let input = format!("{line}\n{line}\n{line}\n");
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0], responses[1]);
+        let counters = daemon.cache_counters().unwrap();
+        assert!(counters.hits >= 2, "expected cache hits: {counters:?}");
+    }
+
+    #[test]
+    fn shutdown_command_stops_stream() {
+        let daemon = Daemon::new(Config::default());
+        let mut out = Vec::new();
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\n{}\n{}\n",
+            r#"{"cmd": "shutdown"}"#, r#"{"id": 2, "cmd": "stats"}"#
+        );
+        let shutdown = daemon.serve(std::io::Cursor::new(input), &mut out).unwrap();
+        assert!(shutdown);
+        // The line after shutdown was never processed.
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn reachable_walks_transitively() {
+        let mut g = std::collections::BTreeMap::new();
+        g.insert(
+            "a".to_string(),
+            ["b".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        g.insert(
+            "b".to_string(),
+            ["c".to_string()].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let r = reachable(&g, "a");
+        assert_eq!(r, ["a", "b", "c"].into_iter().collect());
+        assert_eq!(reachable(&g, "c"), ["c"].into_iter().collect());
+    }
+}

@@ -1,0 +1,204 @@
+//! Daemon metrics: request counters, aggregate phase timings, queue
+//! gauges and cache counters, snapshotted by the `{"cmd": "stats"}`
+//! request and dumped at shutdown under `--metrics`.
+
+use dataflow::CacheCounters;
+use panorama::PhaseTimes;
+use serde::Value;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shared, lock-free metric counters. One instance lives for the whole
+/// daemon; workers update it as requests complete.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests answered with `ok: true` (stats requests excluded).
+    pub completed: AtomicU64,
+    /// Requests answered with `ok: false`.
+    pub failed: AtomicU64,
+    /// Completed requests that also ran the race oracle.
+    pub oracle_runs: AtomicU64,
+    /// Requests currently queued or being analyzed.
+    pub queue_depth: AtomicUsize,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: AtomicUsize,
+    /// Largest per-request peak transient GAR state (memory proxy).
+    pub peak_state_size: AtomicUsize,
+    /// Aggregate per-phase analysis time, in microseconds.
+    pub parse_micros: AtomicU64,
+    /// Semantic analysis time.
+    pub sema_micros: AtomicU64,
+    /// HSG construction time.
+    pub hsg_micros: AtomicU64,
+    /// Conventional pre-filter time.
+    pub conventional_micros: AtomicU64,
+    /// Dataflow analysis + verdict time.
+    pub dataflow_micros: AtomicU64,
+}
+
+impl Metrics {
+    /// Records a request entering the queue.
+    pub fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the system (answered, either way).
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Folds one completed analysis into the aggregates.
+    pub fn record_analysis(&self, times: &PhaseTimes, peak_state_size: usize, oracle: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if oracle {
+            self.oracle_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.peak_state_size
+            .fetch_max(peak_state_size, Ordering::Relaxed);
+        let add = |counter: &AtomicU64, d: std::time::Duration| {
+            counter.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        };
+        add(&self.parse_micros, times.parse);
+        add(&self.sema_micros, times.sema);
+        add(&self.hsg_micros, times.hsg);
+        add(&self.conventional_micros, times.conventional);
+        add(&self.dataflow_micros, times.dataflow);
+    }
+
+    /// Records a failed request.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stats snapshot as a JSON object (the `"stats"` payload of a
+    /// `{"cmd": "stats"}` response).
+    pub fn snapshot(&self, cache: Option<CacheCounters>) -> Value {
+        let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        let cache_obj = match cache {
+            None => Value::Null,
+            Some(c) => Value::Object(vec![
+                ("hits".to_string(), Value::UInt(c.hits)),
+                ("misses".to_string(), Value::UInt(c.misses)),
+                ("entries".to_string(), Value::UInt(c.entries as u64)),
+                ("evictions".to_string(), Value::UInt(c.evictions)),
+                ("hit_ratio".to_string(), Value::Float(c.hit_ratio())),
+            ]),
+        };
+        Value::Object(vec![
+            (
+                "requests".to_string(),
+                Value::Object(vec![
+                    ("completed".to_string(), load(&self.completed)),
+                    ("failed".to_string(), load(&self.failed)),
+                    ("oracle_runs".to_string(), load(&self.oracle_runs)),
+                ]),
+            ),
+            ("cache".to_string(), cache_obj),
+            (
+                "queue".to_string(),
+                Value::Object(vec![
+                    (
+                        "depth".to_string(),
+                        Value::UInt(self.queue_depth.load(Ordering::Relaxed) as u64),
+                    ),
+                    (
+                        "peak_depth".to_string(),
+                        Value::UInt(self.peak_queue_depth.load(Ordering::Relaxed) as u64),
+                    ),
+                ]),
+            ),
+            (
+                "peak_state_size".to_string(),
+                Value::UInt(self.peak_state_size.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "phase_micros".to_string(),
+                Value::Object(vec![
+                    ("parse".to_string(), load(&self.parse_micros)),
+                    ("sema".to_string(), load(&self.sema_micros)),
+                    ("hsg".to_string(), load(&self.hsg_micros)),
+                    ("conventional".to_string(), load(&self.conventional_micros)),
+                    ("dataflow".to_string(), load(&self.dataflow_micros)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Renders the shutdown summary printed to stderr under `--metrics`.
+    pub fn render(&self, cache: Option<CacheCounters>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "panoramad: {} completed, {} failed, {} oracle runs, peak queue {}\n",
+            self.completed.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+            self.oracle_runs.load(Ordering::Relaxed),
+            self.peak_queue_depth.load(Ordering::Relaxed),
+        ));
+        match cache {
+            Some(c) => out.push_str(&format!(
+                "panoramad: cache {} hits / {} misses ({:.0}% hit ratio), {} entries, {} evictions\n",
+                c.hits,
+                c.misses,
+                100.0 * c.hit_ratio(),
+                c.entries,
+                c.evictions,
+            )),
+            None => out.push_str("panoramad: cache disabled\n"),
+        }
+        out.push_str(&format!(
+            "panoramad: phase micros parse={} sema={} hsg={} conventional={} dataflow={}, peak state {} GAR units\n",
+            self.parse_micros.load(Ordering::Relaxed),
+            self.sema_micros.load(Ordering::Relaxed),
+            self.hsg_micros.load(Ordering::Relaxed),
+            self.conventional_micros.load(Ordering::Relaxed),
+            self.dataflow_micros.load(Ordering::Relaxed),
+            self.peak_state_size.load(Ordering::Relaxed),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_gauges_track_peak() {
+        let m = Metrics::default();
+        m.enqueued();
+        m.enqueued();
+        m.dequeued();
+        m.enqueued();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 2);
+        assert_eq!(m.peak_queue_depth.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let m = Metrics::default();
+        m.record_analysis(&PhaseTimes::default(), 42, true);
+        m.record_failure();
+        let s = m.snapshot(Some(CacheCounters {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            evictions: 0,
+        }));
+        assert_eq!(
+            s.get("requests").unwrap().get("completed").unwrap(),
+            &Value::UInt(1)
+        );
+        assert_eq!(
+            s.get("requests").unwrap().get("failed").unwrap(),
+            &Value::UInt(1)
+        );
+        assert_eq!(s.get("peak_state_size").unwrap(), &Value::UInt(42));
+        assert_eq!(
+            s.get("cache").unwrap().get("hits").unwrap(),
+            &Value::UInt(3)
+        );
+        let m2 = Metrics::default();
+        assert!(m2.snapshot(None).get("cache").unwrap().is_null());
+        assert!(!m2.render(None).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! The NDJSON wire protocol.
+//!
+//! One JSON object per line in, one JSON object per line out, matched by
+//! the client-chosen `id` and emitted **in request order** regardless of
+//! which worker finishes first.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id": 1, "source": "      PROGRAM t\n      ...", "opts": {"forall_ext": true}, "oracle": true}
+//! {"id": "probe", "cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! Responses (`report` follows DESIGN.md §4d exactly — the same schema
+//! the `panorama --json` CLI prints):
+//!
+//! ```json
+//! {"id": 1, "ok": true, "report": {"schema_version": 1, ...}}
+//! {"id": "probe", "ok": true, "stats": {...}}
+//! {"id": 2, "ok": false, "error": "parse: ..."}
+//! ```
+
+use panorama::Options;
+use serde::Value;
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Analyze a source string.
+    Analyze {
+        /// Client correlation id, echoed verbatim in the response.
+        id: Value,
+        /// Fortran source text.
+        source: String,
+        /// Technique toggles (missing fields keep their defaults).
+        opts: Options,
+        /// Also run the dynamic race oracle.
+        oracle: bool,
+    },
+    /// Snapshot the daemon metrics.
+    Stats {
+        /// Client correlation id.
+        id: Value,
+    },
+    /// Stop accepting work (socket mode; stdin mode stops at EOF).
+    Shutdown,
+}
+
+/// Parses one request line. `Err` carries the message for an
+/// `{"ok": false}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    if value.as_object().is_none() {
+        return Err("bad request: expected a JSON object".to_string());
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    match value.get("cmd").and_then(Value::as_str) {
+        Some("stats") => return Ok(Request::Stats { id }),
+        Some("shutdown") => return Ok(Request::Shutdown),
+        Some(other) => return Err(format!("bad request: unknown cmd {other:?}")),
+        None => {}
+    }
+    let Some(source) = value.get("source").and_then(Value::as_str) else {
+        return Err("bad request: missing \"source\" (or \"cmd\")".to_string());
+    };
+    let mut opts = Options::default();
+    if let Some(o) = value.get("opts") {
+        if o.as_object().is_none() {
+            return Err("bad request: \"opts\" must be an object".to_string());
+        }
+        let flag = |key: &str, default: bool| -> Result<bool, String> {
+            match o.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| format!("bad request: \"opts\".{key} must be a boolean")),
+            }
+        };
+        opts.symbolic = flag("symbolic", opts.symbolic)?;
+        opts.if_conditions = flag("if_conditions", opts.if_conditions)?;
+        opts.interprocedural = flag("interprocedural", opts.interprocedural)?;
+        opts.forall_ext = flag("forall_ext", opts.forall_ext)?;
+    }
+    let oracle = match value.get("oracle") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "bad request: \"oracle\" must be a boolean".to_string())?,
+    };
+    Ok(Request::Analyze {
+        id,
+        source: source.to_string(),
+        opts,
+        oracle,
+    })
+}
+
+/// A successful analysis response line.
+pub fn ok_response(id: &Value, report: Value) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("report".to_string(), report),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+/// A stats snapshot response line.
+pub fn stats_response(id: &Value, stats: Value) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("stats".to_string(), stats),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+/// An error response line.
+pub fn error_response(id: &Value, message: &str) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_analyze_with_opts() {
+        let r = parse_request(
+            r#"{"id": 7, "source": "      END", "opts": {"forall_ext": true, "symbolic": false}, "oracle": true}"#,
+        )
+        .unwrap();
+        let Request::Analyze {
+            id,
+            source,
+            opts,
+            oracle,
+        } = r
+        else {
+            panic!("not an analyze request");
+        };
+        assert_eq!(id, Value::Int(7));
+        assert_eq!(source, "      END");
+        assert!(opts.forall_ext && !opts.symbolic && opts.if_conditions);
+        assert!(oracle);
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert!(matches!(
+            parse_request(r#"{"id": "x", "cmd": "stats"}"#),
+            Ok(Request::Stats { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd": "shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1, 2]").is_err());
+        assert!(parse_request(r#"{"id": 1}"#).is_err());
+        assert!(parse_request(r#"{"cmd": "nope"}"#).is_err());
+        assert!(parse_request(r#"{"id": 1, "source": "x", "oracle": "yes"}"#).is_err());
+        assert!(parse_request(r#"{"id": 1, "source": "x", "opts": {"symbolic": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let id = Value::Str("a".into());
+        for line in [
+            ok_response(&id, Value::Null),
+            stats_response(&id, Value::Object(vec![])),
+            error_response(&id, "boom"),
+        ] {
+            let v = serde_json::from_str(&line).unwrap();
+            assert_eq!(v.get("id").unwrap(), &id);
+            assert!(v.get("ok").is_some());
+        }
+    }
+}

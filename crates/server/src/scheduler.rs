@@ -1,0 +1,175 @@
+//! The concurrent scheduler: a blocking work queue feeding a fixed pool
+//! of worker threads, and an ordered emitter that buffers out-of-order
+//! completions so responses leave in request order.
+//!
+//! Determinism contract: a client replaying the same request stream
+//! reads byte-identical response lines whatever `--jobs` is — workers
+//! race only on *when* a response is computed, never on where it lands
+//! in the output or what it contains (analysis reports are pure, and
+//! cached-summary replays are byte-identical to cold runs).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+/// A unit of scheduled work: a request's sequence number plus its
+/// payload, produced by the reader thread.
+pub struct Job<T> {
+    /// Position in the request stream; responses are emitted in this
+    /// order.
+    pub seq: u64,
+    /// The parsed request (or the parse error to report).
+    pub payload: T,
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<Job<T>>,
+    closed: bool,
+}
+
+/// A blocking MPMC work queue. `pop` parks until a job arrives or the
+/// queue is closed and drained.
+pub struct Queue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Queue<T> {
+    fn default() -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl<T> Queue<T> {
+    /// Enqueues a job.
+    pub fn push(&self, job: Job<T>) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Marks the stream finished; blocked and future `pop`s return
+    /// `None` once the backlog drains.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Takes the next job, blocking while the queue is open and empty.
+    pub fn pop(&self) -> Option<Job<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+}
+
+struct EmitState<W> {
+    next_seq: u64,
+    pending: BTreeMap<u64, String>,
+    out: W,
+    error: Option<std::io::Error>,
+}
+
+/// Reorders worker output back into request order. Line `seq` is held
+/// until every line before it has been written.
+pub struct Emitter<W: Write> {
+    state: Mutex<EmitState<W>>,
+}
+
+impl<W: Write> Emitter<W> {
+    /// Wraps a writer; emission starts at sequence number 0.
+    pub fn new(out: W) -> Emitter<W> {
+        Emitter {
+            state: Mutex::new(EmitState {
+                next_seq: 0,
+                pending: BTreeMap::new(),
+                out,
+                error: None,
+            }),
+        }
+    }
+
+    /// Hands over the response line for `seq`, writing it and any
+    /// now-unblocked successors. I/O errors are remembered and returned
+    /// by [`Emitter::finish`] (workers cannot usefully handle them).
+    pub fn emit(&self, seq: u64, line: String) {
+        let mut state = self.state.lock().expect("emitter lock");
+        state.pending.insert(seq, line);
+        loop {
+            let next = state.next_seq;
+            let Some(line) = state.pending.remove(&next) else {
+                break;
+            };
+            state.next_seq += 1;
+            if state.error.is_some() {
+                continue;
+            }
+            let res = writeln!(state.out, "{line}").and_then(|()| state.out.flush());
+            if let Err(e) = res {
+                state.error = Some(e);
+            }
+        }
+    }
+
+    /// Tears down the emitter, returning the writer or the first write
+    /// error. Pending lines (impossible unless a worker died) are
+    /// dropped.
+    pub fn finish(self) -> std::io::Result<W> {
+        let state = self.state.into_inner().expect("emitter lock");
+        match state.error {
+            Some(e) => Err(e),
+            None => Ok(state.out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_drains_after_close() {
+        let q: Queue<u32> = Queue::default();
+        q.push(Job { seq: 0, payload: 1 });
+        q.push(Job { seq: 1, payload: 2 });
+        q.close();
+        assert_eq!(q.pop().map(|j| j.payload), Some(1));
+        assert_eq!(q.pop().map(|j| j.payload), Some(2));
+        assert!(q.pop().is_none());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q: std::sync::Arc<Queue<u32>> = std::sync::Arc::new(Queue::default());
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().map(|j| j.payload));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(Job { seq: 0, payload: 9 });
+        assert_eq!(h.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn emitter_reorders_out_of_order_completions() {
+        let em = Emitter::new(Vec::new());
+        em.emit(2, "third".to_string());
+        em.emit(0, "first".to_string());
+        em.emit(1, "second".to_string());
+        let out = em.finish().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "first\nsecond\nthird\n");
+    }
+}

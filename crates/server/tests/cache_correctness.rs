@@ -1,0 +1,140 @@
+//! Cache correctness at the core-library level: sharing a routine
+//! summary across *different programs* must not change any verdict, and
+//! any content change — even one subscript — must miss the cache.
+
+use panorama::{analyze_source, analyze_source_with_cache, json_report, Options, SummaryCache};
+use panoramad::{Config, Daemon};
+use std::sync::Arc;
+
+/// Upcasts for the `analyze_source_with_cache` parameter.
+fn share(cache: &Arc<panorama::MemoryCache>) -> Option<Arc<dyn SummaryCache>> {
+    Some(Arc::clone(cache) as Arc<dyn SummaryCache>)
+}
+
+/// `work` fills a private work array — privatizable in every caller.
+const SHARED_ROUTINE: &str = "
+      SUBROUTINE work(w, n, j)
+      INTEGER n, j, k
+      REAL w(n)
+      DO k = 1, n
+        w(k) = j * 1.0
+      ENDDO
+      w(1) = w(2) + 1.0
+      END
+";
+
+fn caller_a() -> String {
+    format!(
+        "
+      PROGRAM pa
+      REAL w(50), a(100)
+      INTEGER i
+      DO i = 1, 100
+        CALL work(w, 50, i)
+        a(i) = w(1)
+      ENDDO
+      END
+{SHARED_ROUTINE}"
+    )
+}
+
+fn caller_b() -> String {
+    format!(
+        "
+      PROGRAM pb
+      REAL buf(30), out(40)
+      INTEGER m
+      DO m = 1, 40
+        CALL work(buf, 30, m)
+        out(m) = buf(3)
+      ENDDO
+      END
+{SHARED_ROUTINE}"
+    )
+}
+
+fn report(src: &str, cache: Option<Arc<dyn SummaryCache>>) -> String {
+    let analysis = match cache {
+        Some(c) => analyze_source_with_cache(src, Options::default(), Some(c)).unwrap(),
+        None => analyze_source(src, Options::default()).unwrap(),
+    };
+    serde_json::to_string(&json_report(&analysis, None)).unwrap()
+}
+
+#[test]
+fn shared_routine_replay_matches_cold_analysis() {
+    let cache = Arc::new(panorama::MemoryCache::new());
+    let a = caller_a();
+    let b = caller_b();
+
+    // Cold baselines, no cache anywhere.
+    let cold_a = report(&a, None);
+    let cold_b = report(&b, None);
+
+    // Program A populates the cache; program B replays `work` from it.
+    let warm_a = report(&a, share(&cache));
+    let before_b = cache.counters();
+    let warm_b = report(&b, share(&cache));
+    let after_b = cache.counters();
+
+    assert_eq!(warm_a, cold_a);
+    assert_eq!(warm_b, cold_b);
+    assert!(
+        after_b.hits > before_b.hits,
+        "program B never hit program A's `work` entry: {after_b:?}"
+    );
+
+    // Both verdicts privatize the shared work array.
+    for src in [&a, &b] {
+        let an = analyze_source_with_cache(src, Options::default(), share(&cache)).unwrap();
+        let v = an.verdicts.iter().find(|v| v.depth == 0).unwrap();
+        assert!(v.parallel_after_privatization, "{}", v.id);
+    }
+}
+
+#[test]
+fn subscript_mutation_misses_the_cache() {
+    let cache = Arc::new(panorama::MemoryCache::new());
+    let a = caller_a();
+    let _ = report(&a, share(&cache));
+    let entries_before = cache.counters().entries;
+    assert!(entries_before >= 2, "expected entries for pa and work");
+
+    // One subscript changes inside the shared routine: w(2) -> w(k).
+    let mutated = a.replace("w(1) = w(2) + 1.0", "w(1) = w(k) + 1.0");
+    assert_ne!(mutated, a);
+    let warm = report(&mutated, share(&cache));
+    let cold = report(&mutated, None);
+
+    // The stale entry was not reused (the report matches a cold run) and
+    // the mutated routine got its own, new cache entries.
+    assert_eq!(warm, cold);
+    assert!(
+        cache.counters().entries > entries_before,
+        "mutated routine should occupy new entries: {:?}",
+        cache.counters()
+    );
+}
+
+#[test]
+fn daemon_shares_summaries_between_programs() {
+    // The same property end to end through the NDJSON protocol.
+    let daemon = Daemon::new(Config {
+        jobs: 1,
+        cache: Some(None),
+    });
+    let mk = |id: &str, src: &str| {
+        serde_json::to_string(&serde::Value::Object(vec![
+            ("id".to_string(), serde::Value::Str(id.to_string())),
+            ("source".to_string(), serde::Value::Str(src.to_string())),
+        ]))
+        .unwrap()
+    };
+    let input = format!("{}\n{}\n", mk("a", &caller_a()), mk("b", &caller_b()));
+    let mut out = Vec::new();
+    daemon.serve(std::io::Cursor::new(input), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count(), 2);
+    let counters = daemon.cache_counters().unwrap();
+    assert!(counters.hits > 0, "no cross-program sharing: {counters:?}");
+}

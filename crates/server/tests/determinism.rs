@@ -1,0 +1,88 @@
+//! The daemon's determinism contract: for a fixed request stream, the
+//! response byte stream is identical whatever the worker count and
+//! whether the summary cache is enabled — concurrency and caching must
+//! change *when* reports are computed, never what they say.
+
+use benchsuite::kernels;
+use panoramad::{Config, Daemon};
+use serde::Value;
+
+/// One analyze request per benchsuite kernel (one also runs the race
+/// oracle), then each kernel again — the repeats force cache replays on
+/// the cached configurations.
+fn request_stream() -> String {
+    let mut lines = Vec::new();
+    for pass in 0..2 {
+        for (i, k) in kernels().iter().enumerate() {
+            let obj = Value::Object(vec![
+                (
+                    "id".to_string(),
+                    Value::Str(format!("{}/{pass}", k.loop_label)),
+                ),
+                ("source".to_string(), Value::Str(k.source.to_string())),
+                ("oracle".to_string(), Value::Bool(pass == 0 && i == 0)),
+            ]);
+            lines.push(serde_json::to_string(&obj).unwrap());
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+fn serve(config: Config, input: &str) -> String {
+    let daemon = Daemon::new(config);
+    let mut out = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input.to_string()), &mut out)
+        .expect("serve");
+    String::from_utf8(out).expect("utf8 output")
+}
+
+#[test]
+fn reports_identical_across_jobs_and_cache() {
+    let input = request_stream();
+    let baseline = serve(
+        Config {
+            jobs: 1,
+            cache: None,
+        },
+        &input,
+    );
+    assert!(!baseline.is_empty());
+    for (jobs, cache) in [
+        (4, None),
+        (1, Some(None)),
+        (4, Some(None)),
+        (4, Some(Some(8))),
+    ] {
+        let got = serve(Config { jobs, cache }, &input);
+        assert_eq!(
+            got, baseline,
+            "response stream diverged at jobs={jobs}, cache={cache:?}"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_reports_identical_to_cold() {
+    // One daemon, same stream twice: the second pass replays every
+    // routine summary from the first pass's cache.
+    let input = request_stream();
+    let daemon = Daemon::new(Config {
+        jobs: 2,
+        cache: Some(None),
+    });
+    let mut first = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input.clone()), &mut first)
+        .expect("serve");
+    let mut second = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input), &mut second)
+        .expect("serve");
+    assert_eq!(first, second);
+    let counters = daemon.cache_counters().expect("cache enabled");
+    assert!(
+        counters.hits > counters.misses,
+        "second pass should be dominated by cache hits: {counters:?}"
+    );
+}
