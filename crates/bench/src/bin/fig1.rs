@@ -31,9 +31,8 @@ fn main() {
     for (tag, routine, var, array, src) in fig1_kernels() {
         let check = |opts: Options| -> bool {
             let req = driver::Request {
-                source: src,
                 opts,
-                oracle: false,
+                ..driver::Request::new(src)
             };
             let out = driver::run(&req).expect("analysis");
             driver::array_privatizable(&out.analysis, routine, var, array)

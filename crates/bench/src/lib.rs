@@ -14,9 +14,8 @@ use std::path::PathBuf;
 /// Runs the analyzer on a kernel with the given toggles.
 pub fn analyze_kernel(k: &Kernel, opts: Options) -> Analysis {
     let req = driver::Request {
-        source: k.source,
         opts,
-        oracle: false,
+        ..driver::Request::new(k.source)
     };
     driver::run(&req)
         .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.loop_label))

@@ -1,0 +1,111 @@
+//! Degradation soundness over the whole benchmark suite: starving the
+//! analyzer of fuel may only move verdicts in the conservative
+//! direction (parallel → serial, privatizable → not), and whatever
+//! parallelism a starved run still claims must survive the dynamic
+//! race oracle.
+
+use benchsuite::kernels;
+use panorama::{analyze_source, analyze_source_limited, FuelLimits, Options};
+
+fn starve(src: &str, fuel: u64) -> panorama::Analysis {
+    analyze_source_limited(
+        src,
+        Options::default(),
+        None,
+        FuelLimits {
+            steps: Some(fuel),
+            ..FuelLimits::unlimited()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn fuel_starvation_only_flips_verdicts_conservatively() {
+    for k in kernels() {
+        let full = analyze_source(k.source, Options::default()).unwrap();
+        for fuel in [0u64, 1, 4, 16, 64, 256, 1024] {
+            let starved = starve(k.source, fuel);
+            assert_eq!(
+                starved.verdicts.len(),
+                full.verdicts.len(),
+                "{}: fuel {fuel} changed the loop set",
+                k.loop_label
+            );
+            for v in &starved.verdicts {
+                let f = full
+                    .verdicts
+                    .iter()
+                    .find(|f| f.id == v.id)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{}: verdict {} vanished under fuel {fuel}",
+                            k.loop_label, v.id
+                        )
+                    });
+                if v.parallel_as_is {
+                    assert!(
+                        f.parallel_as_is,
+                        "{}: fuel {fuel} invented parallelism for {}",
+                        k.loop_label, v.id
+                    );
+                }
+                if v.parallel_after_privatization {
+                    assert!(
+                        f.parallel_after_privatization,
+                        "{}: fuel {fuel} invented privatizability for {}",
+                        k.loop_label, v.id
+                    );
+                }
+                for a in &v.arrays {
+                    if a.privatizable {
+                        let fa = f.arrays.iter().find(|fa| fa.array == a.array);
+                        assert!(
+                            fa.is_some_and(|fa| fa.privatizable),
+                            "{}: fuel {fuel} invented privatizability of `{}` in {}",
+                            k.loop_label,
+                            a.array,
+                            v.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn starved_runs_are_flagged_degraded_exactly_when_widened() {
+    // Fuel 0 must degrade every kernel; unlimited fuel must degrade
+    // none — the flag is an honest account of widening.
+    for k in kernels() {
+        assert!(
+            starve(k.source, 0).degraded(),
+            "{}: zero fuel not flagged degraded",
+            k.loop_label
+        );
+        let full = analyze_source(k.source, Options::default()).unwrap();
+        assert!(
+            !full.degraded(),
+            "{}: unlimited run flagged degraded",
+            k.loop_label
+        );
+    }
+}
+
+#[test]
+fn starved_parallel_claims_survive_the_race_oracle() {
+    // Whatever parallelism survives starvation is cross-checked
+    // dynamically: the oracle must find no soundness violation.
+    for k in kernels() {
+        for fuel in [16u64, 128] {
+            let mut starved = starve(k.source, fuel);
+            let report = starved.run_oracle();
+            assert!(
+                report.sound(),
+                "{}: fuel {fuel} produced an unsound parallel claim: {report:?}",
+                k.loop_label
+            );
+        }
+    }
+}

@@ -15,22 +15,27 @@
 //!   --explain             run the dynamic race oracle and attach
 //!                         witness diagnostics to negative verdicts
 //!   --json                emit the report as JSON (schema in DESIGN.md)
+//!   --fuel N              cap analysis at N propagation steps; on
+//!                         exhaustion verdicts widen conservatively and
+//!                         the report is marked degraded
+//!   --deadline-ms N       wall-clock budget for the analysis phase
 //! ```
 
-use panorama::{driver, Options, Outcome};
+use panorama::{driver, FuelLimits, Options, Outcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
          \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats]\n\
-         \x20                [--explain] [--json] FILE.f"
+         \x20                [--explain] [--json] [--fuel N] [--deadline-ms N] FILE.f"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut opts = Options::default();
+    let mut limits = FuelLimits::unlimited();
     let mut trace = false;
     let mut dump_hsg = false;
     let mut summaries = false;
@@ -38,7 +43,19 @@ fn main() -> ExitCode {
     let mut explain = false;
     let mut json = false;
     let mut file = None;
-    for arg in std::env::args().skip(1) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let num = |i: &mut usize| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{arg} requires a number");
+                    usage();
+                })
+        };
         match arg.as_str() {
             "--no-symbolic" => opts.symbolic = false,
             "--no-if-conditions" => opts.if_conditions = false,
@@ -53,6 +70,8 @@ fn main() -> ExitCode {
             "--stats" => stats = true,
             "--explain" => explain = true,
             "--json" => json = true,
+            "--fuel" => limits.steps = Some(num(&mut i)),
+            "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -65,6 +84,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        i += 1;
     }
     let Some(path) = file else { usage() };
     let src = match std::fs::read_to_string(&path) {
@@ -79,6 +99,7 @@ fn main() -> ExitCode {
         source: &src,
         opts,
         oracle: explain,
+        limits,
     };
     let out = match driver::run(&request) {
         Ok(out) => out,
@@ -106,6 +127,12 @@ fn main() -> ExitCode {
     }
     let (analysis, oracle) = (out.analysis, out.oracle);
 
+    if let Some(reason) = analysis.degrade_reason {
+        println!(
+            "note: analysis degraded ({}) — affected verdicts widened to conservative answers\n",
+            reason.as_str()
+        );
+    }
     if dump_hsg {
         println!("=== HSG ===");
         print!("{}", analysis.hsg);

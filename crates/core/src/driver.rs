@@ -7,8 +7,8 @@
 //! sequence. One request in, one [`Outcome`] out.
 
 use crate::{
-    analyze_source_with_cache, json_report, Analysis, Options, OracleReport, PanoramaError,
-    SummaryCache,
+    analyze_source_limited, json_report, Analysis, FuelLimits, Options, OracleReport,
+    PanoramaError, SummaryCache,
 };
 use std::sync::Arc;
 
@@ -21,15 +21,18 @@ pub struct Request<'a> {
     pub opts: Options,
     /// Also run the dynamic race oracle and attach witness diagnostics.
     pub oracle: bool,
+    /// Resource budgets (fuel/state caps/deadline); unlimited by default.
+    pub limits: FuelLimits,
 }
 
 impl<'a> Request<'a> {
-    /// A request with default options and no oracle.
+    /// A request with default options, no oracle and no budgets.
     pub fn new(source: &'a str) -> Self {
         Request {
             source,
             opts: Options::default(),
             oracle: false,
+            limits: FuelLimits::unlimited(),
         }
     }
 }
@@ -66,7 +69,7 @@ pub fn run_with_cache(
     req: &Request<'_>,
     cache: Option<Arc<dyn SummaryCache>>,
 ) -> Result<Outcome, PanoramaError> {
-    let mut analysis = analyze_source_with_cache(req.source, req.opts, cache)?;
+    let mut analysis = analyze_source_limited(req.source, req.opts, cache, req.limits)?;
     let oracle = req.oracle.then(|| analysis.run_oracle());
     Ok(Outcome { analysis, oracle })
 }

@@ -41,8 +41,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use dataflow::{
-    AnalysisStats, CacheCounters, CacheKey, CachedRoutine, LoopAnalysis, MemoryCache, Options,
-    RoutineAnalysis, Summary, SummaryCache,
+    AnalysisStats, CacheCounters, CacheKey, CachedRoutine, DegradeReason, FuelLimits, LoopAnalysis,
+    MemoryCache, Options, RoutineAnalysis, Summary, SummaryCache,
 };
 pub use fortran::{Program, ProgramSema};
 pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict};
@@ -121,6 +121,9 @@ pub struct Analysis {
     pub times: PhaseTimes,
     /// Backward-propagation trace (with `Options::trace`).
     pub trace: Vec<String>,
+    /// Why the run degraded, when a resource budget (fuel, state cap or
+    /// deadline) forced widening. `None` = full precision.
+    pub degrade_reason: Option<DegradeReason>,
 }
 
 impl Analysis {
@@ -145,6 +148,13 @@ impl Analysis {
     /// summaries plus peak transient state (Fig. 4's memory bars).
     pub fn memory_proxy(&self) -> usize {
         self.stats.total_summary_size + self.stats.peak_state_size
+    }
+
+    /// Whether any verdict was widened by a resource budget. Degraded
+    /// results are sound over-approximations: verdicts can only have
+    /// moved in the conservative direction (parallel → serial).
+    pub fn degraded(&self) -> bool {
+        self.degrade_reason.is_some()
     }
 
     /// Runs the dynamic race oracle (see the `raceoracle` crate) over
@@ -172,6 +182,13 @@ pub fn json_report(analysis: &Analysis, oracle: Option<&OracleReport>) -> serde:
         (
             "conventional_parallel".to_string(),
             analysis.conventional_parallel.to_json_value(),
+        ),
+        ("degraded".to_string(), analysis.degraded().to_json_value()),
+        (
+            "degrade_reason".to_string(),
+            analysis
+                .degrade_reason
+                .map_or(Value::Null, |r| Value::Str(r.as_str().to_string())),
         ),
         (
             "stats".to_string(),
@@ -219,6 +236,21 @@ pub fn analyze_source_with_cache(
     opts: Options,
     cache: Option<Arc<dyn SummaryCache>>,
 ) -> Result<Analysis, PanoramaError> {
+    analyze_source_limited(src, opts, cache, FuelLimits::unlimited())
+}
+
+/// [`analyze_source_with_cache`] under resource budgets: when a budget
+/// runs out mid-analysis the affected summaries are *widened* to sound
+/// over-approximations instead of diverging, and the result is marked
+/// [`Analysis::degraded`]. Result-constraining limits bypass the summary
+/// cache (see `dataflow::Analyzer::with_limits`); degraded results are
+/// never cached.
+pub fn analyze_source_limited(
+    src: &str,
+    opts: Options,
+    cache: Option<Arc<dyn SummaryCache>>,
+    limits: FuelLimits,
+) -> Result<Analysis, PanoramaError> {
     let t0 = Instant::now();
     let program = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
     let t_parse = t0.elapsed();
@@ -248,11 +280,12 @@ pub fn analyze_source_with_cache(
     let t_conv = t3.elapsed();
 
     let t4 = Instant::now();
-    let mut az = dataflow::Analyzer::with_cache(&program, &sema, &graph, opts, cache);
+    let mut az = dataflow::Analyzer::with_limits(&program, &sema, &graph, opts, cache, limits);
     let routines = az.run();
     let verdicts = privatize::judge_all(&az.loops);
     let t_df = t4.elapsed();
 
+    let degrade_reason = az.degradation();
     let (loops, stats, trace) = az.finish();
     Ok(Analysis {
         program,
@@ -271,6 +304,7 @@ pub fn analyze_source_with_cache(
             dataflow: t_df,
         },
         trace,
+        degrade_reason,
     })
 }
 

@@ -3,6 +3,7 @@
 
 use crate::cache::{routine_keys, CacheKey, CachedRoutine, SummaryCache};
 use crate::convert::{collect_array_reads, subscripts_region, to_pred, to_sym, ConvertCtx};
+use crate::fuel::{DegradeReason, Fuel, FuelLimits};
 use crate::scalars::{CounterFact, FreshNames, ValueEnv};
 use crate::summary::{ArraySets, Options, Summary};
 use fortran::{Expr as FExpr, LValue, Program, Stmt, StmtKind, SymbolTable};
@@ -72,6 +73,11 @@ pub struct LoopAnalysis {
     /// Arrays used below the loop in the same routine (candidates for
     /// last-value copy-out if privatized).
     pub live_after: BTreeSet<String>,
+    /// Whether any of this loop's sets were widened because a resource
+    /// budget ran out during its analysis (see [`crate::fuel`]). Widened
+    /// sets are sound over-approximations; verdicts derived from them
+    /// can only be conservative.
+    pub degraded: bool,
 }
 
 impl LoopAnalysis {
@@ -99,6 +105,9 @@ pub struct Analyzer<'a> {
     /// Peak transient GAR state within the routine currently being
     /// summarized (feeds per-routine cache entries).
     segment_peak: usize,
+    /// Resource meter: step/size/deadline budgets with sticky exhaustion
+    /// (see [`crate::fuel`]).
+    fuel: Fuel,
     /// All loop analyses, in post-order of discovery.
     pub loops: Vec<LoopAnalysis>,
     /// Statistics.
@@ -199,7 +208,31 @@ impl<'a> Analyzer<'a> {
         opts: Options,
         cache: Option<Arc<dyn SummaryCache>>,
     ) -> Self {
-        let cache = if opts.trace { None } else { cache };
+        Analyzer::with_limits(program, sema, hsg, opts, cache, FuelLimits::unlimited())
+    }
+
+    /// Creates an analyzer with resource budgets (see [`crate::fuel`]).
+    ///
+    /// Result-constraining limits (steps, GAR-length cap, predicate-term
+    /// cap) bypass the summary cache entirely, like traced runs: a warm
+    /// hit would replay a full-precision summary that a cold run under
+    /// the same limits would have widened, making the report depend on
+    /// cache state. A deadline alone keeps the cache — a hit can only
+    /// restore precision — but degraded results are never written back
+    /// (see [`Analyzer::summarize_routine`]).
+    pub fn with_limits(
+        program: &'a Program,
+        sema: &'a fortran::ProgramSema,
+        hsg: &'a Hsg,
+        opts: Options,
+        cache: Option<Arc<dyn SummaryCache>>,
+        limits: FuelLimits,
+    ) -> Self {
+        let cache = if opts.trace || limits.constrains_results() {
+            None
+        } else {
+            cache
+        };
         let cache_keys = if cache.is_some() {
             routine_keys(program, sema, &opts)
         } else {
@@ -216,6 +249,7 @@ impl<'a> Analyzer<'a> {
             cache,
             cache_keys,
             segment_peak: 0,
+            fuel: Fuel::new(limits),
             loops: Vec::new(),
             stats: AnalysisStats::default(),
             trace: Vec::new(),
@@ -227,6 +261,7 @@ impl<'a> Analyzer<'a> {
         let order = self.sema.bottom_up.clone();
         let mut out = Vec::new();
         for name in order {
+            failpoints::fail_point("analyze", &name);
             let summary = self.summarize_routine(&name);
             out.push(RoutineAnalysis {
                 name: name.clone(),
@@ -234,6 +269,12 @@ impl<'a> Analyzer<'a> {
             });
         }
         out
+    }
+
+    /// Why (and whether) this run degraded: `None` means every budget
+    /// held and the results are full precision.
+    pub fn degradation(&self) -> Option<DegradeReason> {
+        self.fuel.reason()
     }
 
     /// Consumes the analyzer, returning the loop analyses, statistics and
@@ -253,6 +294,7 @@ impl<'a> Analyzer<'a> {
             return self.summarize_cold(name);
         };
         if let Some(entry) = cache.get(&key) {
+            failpoints::fail_point("cache-replay", name);
             if let Some(summary) = self.replay_cached(name, &entry) {
                 return summary;
             }
@@ -260,6 +302,11 @@ impl<'a> Analyzer<'a> {
         let loops_before = self.loops.len();
         let stats_before = self.stats.clone();
         let summary = self.summarize_cold(name);
+        // A summary computed under a blown budget is widened; caching it
+        // would serve the degraded result to later full-budget requests.
+        if self.fuel.degraded() {
+            return summary;
+        }
         if let Some(entry) = self.record_entry(name, &summary, loops_before, &stats_before) {
             cache.put(key, Arc::new(entry));
         }
@@ -394,6 +441,9 @@ impl<'a> Analyzer<'a> {
         let mut loop_of_node: Vec<Option<usize>> = vec![None; n];
 
         for &nid in &g.topo.clone() {
+            if !self.fuel.tick() {
+                return self.widen_segment(sg_id, routine, table, depth, &loop_of_node);
+            }
             // Entry env: join of predecessors' outputs.
             let mut env = if nid == g.entry {
                 env_in.clone()
@@ -476,6 +526,9 @@ impl<'a> Analyzer<'a> {
         // ---- backward pass: mod_in / ue_in ----
         let mut state: Vec<Option<State>> = vec![None; n];
         for &nid in g.topo.clone().iter().rev() {
+            if !self.fuel.tick() {
+                return self.widen_segment(sg_id, routine, table, depth, &loop_of_node);
+            }
             self.stats.nodes_processed += 1;
             let merged = self.merge_succs(g, nid, &cond_pred, &state);
 
@@ -532,6 +585,15 @@ impl<'a> Analyzer<'a> {
                 }
             }
 
+            // Size caps: collapse any list/guard that outgrew its budget
+            // to a sound over-approximation and keep propagating.
+            for list in st.mods.values_mut() {
+                *list = self.fuel_clamp(std::mem::take(list));
+            }
+            for list in st.ues.values_mut() {
+                *list = self.fuel_clamp(std::mem::take(list));
+            }
+
             if self.opts.trace {
                 self.trace_node(routine, sg_id, nid, g, &st);
             }
@@ -572,6 +634,9 @@ impl<'a> Analyzer<'a> {
         };
         let mut reach: Vec<Pred> = vec![Pred::fals(); n];
         for &nid in &g.topo.clone() {
+            if !self.fuel.tick() {
+                return self.widen_segment(sg_id, routine, table, depth, &loop_of_node);
+            }
             if nid == g.entry {
                 reach[nid] = Pred::tru();
                 continue;
@@ -595,6 +660,9 @@ impl<'a> Analyzer<'a> {
         }
         let mut de_state: Vec<Option<BTreeMap<String, GarList>>> = vec![None; n];
         for &nid in &g.topo.clone() {
+            if !self.fuel.tick() {
+                return self.widen_segment(sg_id, routine, table, depth, &loop_of_node);
+            }
             let mut incoming: BTreeMap<String, GarList> = BTreeMap::new();
             for &p in &g.preds[nid] {
                 let Some(ps) = de_state[p].clone() else {
@@ -751,6 +819,9 @@ impl<'a> Analyzer<'a> {
         )> = Vec::new();
 
         for s in stmts {
+            if !self.fuel.tick() {
+                return self.widen_bb(stmts, table, env);
+            }
             let StmtKind::Assign(lhs, rhs) = &s.kind else {
                 continue; // CONTINUE etc.
             };
@@ -1038,6 +1109,7 @@ impl<'a> Analyzer<'a> {
         depth: usize,
     ) -> (Summary, Option<usize>) {
         self.stats.loops_analyzed += 1;
+        let fuel_events = self.fuel.events();
         // Bounds in the enclosing frame.
         let ctx = self.ctx(table, env, loop_vars);
         let lo_sym = to_sym(lo, &ctx);
@@ -1136,7 +1208,7 @@ impl<'a> Analyzer<'a> {
                     );
                     ctx_lt.step = step_c;
                     ctx_lt.forall_ext = self.opts.forall_ext;
-                    let mod_lt = expand_list(&mod_k, &ctx_lt);
+                    let mod_lt = self.fuel_clamp(expand_list(&mod_k, &ctx_lt));
 
                     // MOD_>i.
                     let mut ctx_gt = LoopCtx::new(
@@ -1146,19 +1218,19 @@ impl<'a> Analyzer<'a> {
                     );
                     ctx_gt.step = step_c;
                     ctx_gt.forall_ext = self.opts.forall_ext;
-                    let mod_gt = expand_list(&mod_k, &ctx_gt);
+                    let mod_gt = self.fuel_clamp(expand_list(&mod_k, &ctx_gt));
 
                     // Loop-level UE and MOD.
                     let ue_out = ue_i.subtract(&mod_lt);
                     let mut ctx_all = LoopCtx::new(var.to_string(), lo_e.clone(), hi_e.clone());
                     ctx_all.step = step_c;
                     ctx_all.forall_ext = self.opts.forall_ext;
-                    let ue_loop = expand_list(&ue_out, &ctx_all);
-                    let mod_loop = expand_list(&mod_i, &ctx_all);
+                    let ue_loop = self.fuel_clamp(expand_list(&ue_out, &ctx_all));
+                    let mod_loop = self.fuel_clamp(expand_list(&mod_i, &ctx_all));
                     // Loop-level DE: uses of iteration i still exposed at
                     // the loop's end — not overwritten by later iterations.
                     let de_out = de_i.subtract(&mod_gt);
-                    let de_loop = expand_list(&de_out, &ctx_all);
+                    let de_loop = self.fuel_clamp(expand_list(&de_out, &ctx_all));
 
                     loop_sum.add_mod(&arr, mod_loop);
                     loop_sum.add_ue(&arr, ue_loop);
@@ -1313,6 +1385,7 @@ impl<'a> Analyzer<'a> {
             premature_exit: premature,
             reductions,
             live_after: BTreeSet::new(),
+            degraded: self.fuel.halted() || self.fuel.events() != fuel_events,
         };
         self.loops.push(la);
         (loop_sum, Some(self.loops.len() - 1))
@@ -1530,6 +1603,203 @@ impl<'a> Analyzer<'a> {
         s
     }
 
+    /// Enforces the size caps on one GAR list: guards larger than the
+    /// predicate-term cap go to `true` (over-approximate: the region is
+    /// assumed always accessed), and a list longer than the GAR-length
+    /// cap collapses to a single unknown region. Both directions are
+    /// `Approx::Over`, which the GAR algebra already treats as
+    /// not-must-usable, so clamped MOD sets can never kill exposed uses.
+    fn fuel_clamp(&mut self, list: GarList) -> GarList {
+        let lim = self.fuel.limits();
+        if lim.max_gar_len.is_none() && lim.max_pred_terms.is_none() {
+            return list;
+        }
+        let mut list = list;
+        if let Some(cap) = lim.max_pred_terms {
+            if list.gars().iter().any(|g| g.guard.size() > cap) {
+                self.fuel.note_degraded(DegradeReason::StateCap);
+                list = GarList::from_gars(list.gars().iter().map(|g| {
+                    if g.guard.size() > cap {
+                        Gar::with_approx(Pred::tru(), g.region.clone(), Approx::Over)
+                    } else {
+                        g.clone()
+                    }
+                }));
+            }
+        }
+        if let Some(cap) = lim.max_gar_len {
+            if list.gars().len() > cap {
+                self.fuel.note_degraded(DegradeReason::StateCap);
+                let rank = list.gars().first().map(|g| g.rank()).unwrap_or(1);
+                list = GarList::single(Gar::unknown(rank));
+            }
+        }
+        list
+    }
+
+    /// All array and scalar names mentioned anywhere in a subgraph
+    /// (recursing through loop bodies and condensed regions). A whole
+    /// array passed to a CALL appears syntactically as a bare variable,
+    /// so the split between the two sets is decided by the symbol
+    /// table, not by how the name was collected — otherwise arrays
+    /// touched only through calls would vanish from widened summaries
+    /// and the degraded verdicts would under-report dependences.
+    fn subtree_names(
+        &self,
+        sg: SubgraphId,
+        table: &SymbolTable,
+    ) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut arrays = BTreeSet::new();
+        let mut scalars = BTreeSet::new();
+        for node in &self.hsg.subgraphs[sg].nodes {
+            collect_node_names(node, self.hsg, &mut arrays, &mut scalars);
+        }
+        partition_by_table(arrays, scalars, table)
+    }
+
+    /// Conservative replacement for a basic block once fuel runs out:
+    /// every referenced array becomes unknown MOD/UE/DE, every scalar is
+    /// may-modified and upwards exposed, nothing is must-modified, and
+    /// assigned scalars are clobbered in the value environment so no
+    /// stale binding survives.
+    fn widen_bb(
+        &mut self,
+        stmts: &[Stmt],
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+    ) -> (Summary, BTreeSet<String>) {
+        let mut arrays = BTreeSet::new();
+        let mut scalars = BTreeSet::new();
+        collect_node_names(
+            &Node::Block(stmts.to_vec()),
+            self.hsg,
+            &mut arrays,
+            &mut scalars,
+        );
+        let (arrays, scalars) = partition_by_table(arrays, scalars, table);
+        let mut sum = Summary::new();
+        for a in arrays {
+            if table.is_array(&a) {
+                let rank = table.array(&a).map(|x| x.rank()).unwrap_or(1);
+                sum.add_mod(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_ue(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_de(&a, GarList::single(Gar::unknown(rank)));
+            }
+        }
+        for s in scalars {
+            if !table.is_array(&s) {
+                sum.scalar_may_mod.insert(s.clone());
+                sum.scalar_ue.insert(s);
+            }
+        }
+        for s in stmts {
+            if let StmtKind::Assign(LValue::Var(v), _) = &s.kind {
+                env.clobber(v, &mut self.fresh);
+            }
+        }
+        (sum, BTreeSet::new())
+    }
+
+    /// The whole-segment widening applied when a budget runs out inside
+    /// `sum_segment`: the summary goes to unknown MOD/UE/DE over every
+    /// name in the subtree, already-recorded direct-child loops get a
+    /// conservative `live_after` (their liveness pass will never run),
+    /// and every loop never reached gets a fully-widened degraded
+    /// placeholder analysis so it still appears in the report — with the
+    /// conservative serial verdict — instead of vanishing.
+    fn widen_segment(
+        &mut self,
+        sg_id: SubgraphId,
+        routine: &str,
+        table: &SymbolTable,
+        depth: usize,
+        loop_of_node: &[Option<usize>],
+    ) -> Summary {
+        for li in loop_of_node.iter().flatten() {
+            let arrays: BTreeSet<String> = self.loops[*li].arrays.keys().cloned().collect();
+            self.loops[*li].live_after = arrays;
+            self.loops[*li].degraded = true;
+        }
+        let recorded: BTreeSet<SubgraphId> = self.loops.iter().map(|l| l.subgraph).collect();
+        self.record_widened_loops(sg_id, routine, table, depth, &recorded);
+
+        let (arrays, scalars) = self.subtree_names(sg_id, table);
+        let mut sum = Summary::new();
+        for a in arrays {
+            if table.is_array(&a) {
+                let rank = table.array(&a).map(|x| x.rank()).unwrap_or(1);
+                sum.add_mod(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_ue(&a, GarList::single(Gar::unknown(rank)));
+                sum.add_de(&a, GarList::single(Gar::unknown(rank)));
+            }
+        }
+        for s in scalars {
+            if !table.is_array(&s) {
+                sum.scalar_may_mod.insert(s.clone());
+                sum.scalar_ue.insert(s);
+            }
+        }
+        sum
+    }
+
+    /// Records a degraded placeholder [`LoopAnalysis`] for every loop in
+    /// the subtree that was never summarized (the forward pass bailed
+    /// before reaching it). Loops inside condensed goto-cycles are
+    /// excluded, matching `sum_condensed`.
+    fn record_widened_loops(
+        &mut self,
+        sg_id: SubgraphId,
+        routine: &str,
+        table: &SymbolTable,
+        depth: usize,
+        recorded: &BTreeSet<SubgraphId>,
+    ) {
+        let nodes = self.hsg.subgraphs[sg_id].nodes.clone();
+        for node in &nodes {
+            let Node::Loop {
+                var, line, body, ..
+            } = node
+            else {
+                continue;
+            };
+            if !recorded.contains(body) {
+                let (named_arrays, named_scalars) = self.subtree_names(*body, table);
+                let mut sets = BTreeMap::new();
+                let mut live = BTreeSet::new();
+                for a in named_arrays {
+                    if table.is_array(&a) {
+                        let rank = table.array(&a).map(|x| x.rank()).unwrap_or(1);
+                        sets.insert(a.clone(), ArraySets::unknown(rank));
+                        live.insert(a);
+                    }
+                }
+                let scalars: BTreeSet<String> = named_scalars
+                    .into_iter()
+                    .filter(|s| !table.is_array(s))
+                    .collect();
+                self.stats.loops_analyzed += 1;
+                self.loops.push(LoopAnalysis {
+                    routine: routine.to_string(),
+                    subgraph: *body,
+                    var: var.clone(),
+                    line: *line,
+                    depth,
+                    lo: None,
+                    hi: None,
+                    step: 1,
+                    arrays: sets,
+                    scalar_ue: scalars.iter().filter(|s| *s != var).cloned().collect(),
+                    scalar_mod: scalars,
+                    premature_exit: self.hsg.subgraphs[*body].premature_exit,
+                    reductions: BTreeSet::new(),
+                    live_after: live,
+                    degraded: true,
+                });
+            }
+            self.record_widened_loops(*body, routine, table, depth + 1, recorded);
+        }
+    }
+
     fn ctx<'b>(
         &'b self,
         table: &'b SymbolTable,
@@ -1701,6 +1971,27 @@ fn collect_node_names(
         }
         _ => {}
     }
+}
+
+/// Re-files collected names by what the symbol table says they are: a
+/// name the collector saw only as a bare variable (e.g. a whole array in
+/// a CALL argument list) belongs with the arrays when it is declared as
+/// one, and declared scalars never belong with the arrays.
+fn partition_by_table(
+    arrays: BTreeSet<String>,
+    scalars: BTreeSet<String>,
+    table: &SymbolTable,
+) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut arr = BTreeSet::new();
+    let mut scal = BTreeSet::new();
+    for n in arrays.into_iter().chain(scalars) {
+        if table.is_array(&n) {
+            arr.insert(n);
+        } else {
+            scal.insert(n);
+        }
+    }
+    (arr, scal)
 }
 
 fn scalars_insert(sum: &mut Summary, name: &str) {

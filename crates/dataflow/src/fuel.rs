@@ -1,0 +1,302 @@
+//! Cooperative resource governance for the analysis engine.
+//!
+//! Symbolic GAR lists, predicate CNFs and substitution chains can grow
+//! without bound on pathological inputs. Rather than diverge (or OOM a
+//! resident `panoramad`), the analyzer carries a [`Fuel`] meter and
+//! *widens* when a budget runs out: guards go to `true`, regions to the
+//! full declared bounds, and every affected verdict falls back to the
+//! conservative "not privatizable / serial" answer. The report is marked
+//! `degraded: true` with a [`DegradeReason`].
+//!
+//! Soundness of widening rests on the `Approx::Over` discipline already
+//! in the GAR algebra: over-approximate pieces are never "must-usable",
+//! so they cannot kill upward-exposed uses in `subtract`, and they make
+//! disjointness unprovable in `intersect` — both push verdicts toward
+//! serial, never toward parallel.
+//!
+//! Two budget families behave differently:
+//!
+//! * **result-constraining** limits (`steps`, `max_gar_len`,
+//!   `max_pred_terms`) change *what* is computed deterministically — the
+//!   same limits give byte-identical reports regardless of worker count
+//!   or cache state, because the analyzer bypasses the summary cache
+//!   entirely when any of them is set (see `Analyzer::with_limits`);
+//! * the **deadline** (`deadline_ms`) is wall-clock and inherently
+//!   non-deterministic; deadline-only runs may still read the cache
+//!   (a hit can only *restore* precision), but degraded results are
+//!   never written back.
+
+use std::time::Instant;
+
+/// Budget limits for one analysis run. `None` everywhere (the default)
+/// means unlimited — the meter then costs two branch checks per tick.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuelLimits {
+    /// Maximum propagation steps (HSG nodes + statements processed).
+    pub steps: Option<u64>,
+    /// Maximum pieces per GAR list before it collapses to unknown.
+    pub max_gar_len: Option<usize>,
+    /// Maximum predicate size (atoms) per guard before it goes `true`.
+    pub max_pred_terms: Option<usize>,
+    /// Wall-clock deadline for the whole run, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl FuelLimits {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        FuelLimits::default()
+    }
+
+    /// True when no budget is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == FuelLimits::default()
+    }
+
+    /// True when a limit is set that changes *what* the analyzer
+    /// computes (as opposed to only *how long* it may take). Such runs
+    /// must bypass the summary cache: a warm hit would replay a
+    /// full-precision summary that a cold run under the same limits
+    /// would have widened, making results depend on cache state.
+    pub fn constrains_results(&self) -> bool {
+        self.steps.is_some() || self.max_gar_len.is_some() || self.max_pred_terms.is_some()
+    }
+
+    /// Field-wise merge: `self` wins where set, `other` fills the gaps.
+    /// Used to overlay per-request limits onto server defaults.
+    pub fn or(self, other: FuelLimits) -> FuelLimits {
+        FuelLimits {
+            steps: self.steps.or(other.steps),
+            max_gar_len: self.max_gar_len.or(other.max_gar_len),
+            max_pred_terms: self.max_pred_terms.or(other.max_pred_terms),
+            deadline_ms: self.deadline_ms.or(other.deadline_ms),
+        }
+    }
+}
+
+/// Why a run degraded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The step budget ran out (halts propagation).
+    FuelExhausted,
+    /// The wall-clock deadline passed (halts propagation).
+    Deadline,
+    /// A GAR list or guard hit its size cap and was widened in place
+    /// (analysis continues; only the clamped state loses precision).
+    StateCap,
+}
+
+impl DegradeReason {
+    /// Stable string for reports and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradeReason::FuelExhausted => "fuel_exhausted",
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::StateCap => "state_cap",
+        }
+    }
+}
+
+/// The runtime meter threaded through one [`crate::Analyzer`].
+///
+/// Exhaustion is *sticky*: once [`Fuel::tick`] returns `false`, every
+/// later tick also returns `false`, so all summaries produced after the
+/// first widening are themselves widened — there is no window where a
+/// half-propagated state leaks into a "precise" result.
+#[derive(Debug)]
+pub struct Fuel {
+    limits: FuelLimits,
+    steps_used: u64,
+    start: Instant,
+    /// First degradation observed (the one reported).
+    reason: Option<DegradeReason>,
+    /// Set once a steps/deadline budget runs out; sticky.
+    halted: bool,
+    /// Count of degradation events (clamps + halts). Callers snapshot
+    /// this around an extent to tell whether *that* extent degraded.
+    events: u64,
+}
+
+impl Fuel {
+    /// Starts the meter (the deadline clock begins now).
+    pub fn new(limits: FuelLimits) -> Self {
+        Fuel {
+            limits,
+            steps_used: 0,
+            start: Instant::now(),
+            reason: None,
+            halted: false,
+            events: 0,
+        }
+    }
+
+    /// The limits this meter enforces.
+    pub fn limits(&self) -> FuelLimits {
+        self.limits
+    }
+
+    /// Charges one propagation step. Returns `false` when the caller
+    /// must stop and widen; the verdict is sticky.
+    pub fn tick(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        self.steps_used += 1;
+        if let Some(max) = self.limits.steps {
+            if self.steps_used > max {
+                self.halt(DegradeReason::FuelExhausted);
+                return false;
+            }
+        }
+        if let Some(ms) = self.limits.deadline_ms {
+            if self.start.elapsed().as_millis() as u64 >= ms {
+                self.halt(DegradeReason::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn halt(&mut self, reason: DegradeReason) {
+        self.halted = true;
+        self.events += 1;
+        if self.reason.is_none() {
+            self.reason = Some(reason);
+        }
+    }
+
+    /// Whether propagation has been halted (steps or deadline). A
+    /// `StateCap` degradation does *not* halt — clamped state is still
+    /// a sound over-approximation to keep propagating.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Records an in-place widening (e.g. a state cap) without halting.
+    /// Never downgrades an existing halt reason.
+    pub fn note_degraded(&mut self, reason: DegradeReason) {
+        self.events += 1;
+        if self.reason.is_none() {
+            self.reason = Some(reason);
+        }
+    }
+
+    /// Number of degradation events so far (see the field doc).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether any widening happened during this run.
+    pub fn degraded(&self) -> bool {
+        self.reason.is_some()
+    }
+
+    /// The first degradation reason, if any.
+    pub fn reason(&self) -> Option<DegradeReason> {
+        self.reason
+    }
+
+    /// Steps consumed so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_halts() {
+        let mut f = Fuel::new(FuelLimits::unlimited());
+        for _ in 0..10_000 {
+            assert!(f.tick());
+        }
+        assert!(!f.degraded());
+        assert_eq!(f.reason(), None);
+    }
+
+    #[test]
+    fn step_budget_is_sticky() {
+        let mut f = Fuel::new(FuelLimits {
+            steps: Some(3),
+            ..FuelLimits::default()
+        });
+        assert!(f.tick());
+        assert!(f.tick());
+        assert!(f.tick());
+        assert!(!f.tick());
+        assert!(!f.tick());
+        assert_eq!(f.reason(), Some(DegradeReason::FuelExhausted));
+        assert!(f.halted());
+    }
+
+    #[test]
+    fn state_cap_degrades_without_halting() {
+        let mut f = Fuel::new(FuelLimits {
+            max_gar_len: Some(4),
+            ..FuelLimits::default()
+        });
+        f.note_degraded(DegradeReason::StateCap);
+        assert!(f.degraded());
+        assert!(!f.halted());
+        assert!(f.tick());
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let mut f = Fuel::new(FuelLimits {
+            steps: Some(1),
+            ..FuelLimits::default()
+        });
+        f.note_degraded(DegradeReason::StateCap);
+        assert!(f.tick());
+        assert!(!f.tick());
+        // The step budget halted the run, but the reported reason stays
+        // the first degradation observed.
+        assert!(f.halted());
+        assert_eq!(f.reason(), Some(DegradeReason::StateCap));
+    }
+
+    #[test]
+    fn deadline_halts() {
+        let mut f = Fuel::new(FuelLimits {
+            deadline_ms: Some(0),
+            ..FuelLimits::default()
+        });
+        assert!(!f.tick());
+        assert_eq!(f.reason(), Some(DegradeReason::Deadline));
+    }
+
+    #[test]
+    fn constrains_results_excludes_deadline() {
+        let deadline_only = FuelLimits {
+            deadline_ms: Some(1000),
+            ..FuelLimits::default()
+        };
+        assert!(!deadline_only.constrains_results());
+        let stepped = FuelLimits {
+            steps: Some(10),
+            ..FuelLimits::default()
+        };
+        assert!(stepped.constrains_results());
+        assert!(!stepped.is_unlimited());
+        assert!(FuelLimits::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn merge_prefers_self() {
+        let req = FuelLimits {
+            steps: Some(5),
+            ..FuelLimits::default()
+        };
+        let def = FuelLimits {
+            steps: Some(100),
+            deadline_ms: Some(60_000),
+            ..FuelLimits::default()
+        };
+        let merged = req.or(def);
+        assert_eq!(merged.steps, Some(5));
+        assert_eq!(merged.deadline_ms, Some(60_000));
+    }
+}

@@ -26,11 +26,13 @@
 mod analyzer;
 pub mod cache;
 mod convert;
+pub mod fuel;
 mod scalars;
 mod summary;
 
 pub use analyzer::{AnalysisStats, Analyzer, LoopAnalysis, RoutineAnalysis};
 pub use cache::{CacheCounters, CacheKey, CachedRoutine, MemoryCache, SummaryCache};
 pub use convert::{collect_array_reads, to_pred, to_sym, ConvertCtx};
+pub use fuel::{DegradeReason, Fuel, FuelLimits};
 pub use scalars::{CounterFact, ValueEnv};
 pub use summary::{ArraySets, Options, Summary};

@@ -1,6 +1,6 @@
 //! Summary data structures and analysis options.
 
-use gar::GarList;
+use gar::{Gar, GarList};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Technique toggles, matching Table 1's columns.
@@ -159,4 +159,21 @@ pub struct ArraySets {
     pub mod_lt: GarList,
     /// `MOD_>i` — written in iterations after `i`.
     pub mod_gt: GarList,
+}
+
+impl ArraySets {
+    /// The fully widened sets for a fuel-exhausted loop: every set is a
+    /// single unknown over-approximate GAR of the array's rank. All
+    /// dependence tests on these sets fail to prove disjointness, so
+    /// the verdicts fall out serial / not privatizable.
+    pub fn unknown(rank: usize) -> ArraySets {
+        let u = || GarList::single(Gar::unknown(rank));
+        ArraySets {
+            mod_i: u(),
+            ue_i: u(),
+            de_i: u(),
+            mod_lt: u(),
+            mod_gt: u(),
+        }
+    }
 }

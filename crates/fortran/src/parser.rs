@@ -30,10 +30,25 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Hard bound on parser recursion, in weighted units: nested statements
+/// charge 3 (their frames are an order of magnitude fatter than
+/// expression frames on a debug build), parenthesized expressions and
+/// chained right-recursive operators charge 2. Inputs beyond the budget
+/// get a structured [`ParseError`] instead of a stack overflow — the
+/// weights keep the worst mixed-nesting case comfortably inside a 2 MiB
+/// thread stack while allowing ~130 statement levels or ~200 paren
+/// levels, far past any real program.
+const MAX_NEST: usize = 400;
+
 /// Parses a whole source file into a [`Program`].
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    failpoints::fail_point("parse", src);
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut routines = Vec::new();
     p.skip_newlines();
     while !p.at_eof() {
@@ -46,9 +61,25 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Enters one recursion level of weight `cost`; callers must pair
+    /// it with [`Parser::ascend`] of the same cost on every non-error
+    /// path.
+    fn descend(&mut self, cost: usize) -> Result<(), ParseError> {
+        self.depth += cost;
+        if self.depth > MAX_NEST {
+            return Err(self.err("nesting deeper than the parser's recursion limit"));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self, cost: usize) {
+        self.depth -= cost;
+    }
+
     fn err(&self, m: impl Into<String>) -> ParseError {
         ParseError {
             message: m.into(),
@@ -318,6 +349,13 @@ impl Parser {
     // ---- statements ----------------------------------------------------
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.descend(3)?;
+        let r = self.statement_inner();
+        self.ascend(3);
+        r
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
         self.skip_newlines();
         let line = self.cur_line();
         let label = if let TokenKind::Int(v) = self.peek() {
@@ -631,7 +669,10 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.expr_or()
+        self.descend(2)?;
+        let e = self.expr_or();
+        self.ascend(2);
+        e
     }
 
     fn expr_or(&mut self) -> Result<Expr, ParseError> {
@@ -657,8 +698,10 @@ impl Parser {
     fn expr_not(&mut self) -> Result<Expr, ParseError> {
         if matches!(self.peek(), TokenKind::DotOp(w) if w == "not") {
             self.bump();
-            let e = self.expr_not()?;
-            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+            self.descend(2)?;
+            let e = self.expr_not();
+            self.ascend(2);
+            return Ok(Expr::Un(UnOp::Not, Box::new(e?)));
         }
         self.expr_rel()
     }
@@ -740,8 +783,10 @@ impl Parser {
         if matches!(self.peek(), TokenKind::StarStar) {
             self.bump();
             // ** is right-associative.
-            let exp = self.expr_pow()?;
-            return Ok(Expr::bin(BinOp::Pow, base, exp));
+            self.descend(2)?;
+            let exp = self.expr_pow();
+            self.ascend(2);
+            return Ok(Expr::bin(BinOp::Pow, base, exp?));
         }
         Ok(base)
     }

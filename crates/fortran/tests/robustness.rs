@@ -120,3 +120,47 @@ fn pathological_expressions() {
     let src2 = format!("      PROGRAM t\n      y = {deep}\n      END\n");
     assert!(parse_program(&src2).is_ok());
 }
+
+#[test]
+fn runaway_paren_nesting_is_an_error_not_an_overflow() {
+    // Far past any plausible program, well past the recursion cap: the
+    // parser must return a structured error instead of blowing the
+    // stack.
+    let deep = format!("{}x{}", "(".repeat(10_000), ")".repeat(10_000));
+    let src = format!("      PROGRAM t\n      y = {deep}\n      END\n");
+    let err = parse_program(&src).unwrap_err();
+    assert!(err.message.contains("limit"), "{err}");
+}
+
+#[test]
+fn runaway_statement_nesting_is_an_error_not_an_overflow() {
+    let mut src = String::from("      PROGRAM t\n      REAL a(10)\n");
+    for _ in 0..10_000 {
+        src.push_str("      IF (a(1) .GT. 0.0) THEN\n");
+    }
+    // No closers: the depth cap must fire long before EOF handling.
+    let err = parse_program(&src).unwrap_err();
+    assert!(err.message.contains("limit"), "{err}");
+}
+
+#[test]
+fn runaway_right_recursive_operators_are_an_error_not_an_overflow() {
+    let nots = ".NOT. ".repeat(10_000);
+    let src = format!("      PROGRAM t\n      p = {nots}q\n      END\n");
+    let err = parse_program(&src).unwrap_err();
+    assert!(err.message.contains("limit"), "{err}");
+
+    let pows = vec!["2"; 10_000].join(" ** ");
+    let src2 = format!("      PROGRAM t\n      y = {pows}\n      END\n");
+    let err2 = parse_program(&src2).unwrap_err();
+    assert!(err2.message.contains("limit"), "{err2}");
+}
+
+#[test]
+fn nesting_cap_is_generous_for_real_programs() {
+    // 150 nested parens: beyond anything the benchsuite contains, still
+    // inside the cap.
+    let deep = format!("{}x{}", "(".repeat(150), ")".repeat(150));
+    let src = format!("      PROGRAM t\n      y = {deep}\n      END\n");
+    assert!(parse_program(&src).is_ok());
+}

@@ -2,6 +2,17 @@
 
 use std::fmt;
 
+/// What kind of failure stopped execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// An ordinary runtime fault (bad subscript, missing unit, …).
+    General,
+    /// The interpreter's operation budget ran out: the program did not
+    /// fail, the *oracle* gave up. Callers report this as a resource
+    /// verdict, not a program error.
+    BudgetExceeded,
+}
+
 /// An execution failure.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RuntimeError {
@@ -9,6 +20,8 @@ pub struct RuntimeError {
     pub message: String,
     /// Routine in which the failure happened.
     pub routine: String,
+    /// Failure class.
+    pub kind: ErrorKind,
 }
 
 impl RuntimeError {
@@ -17,7 +30,22 @@ impl RuntimeError {
         RuntimeError {
             message: message.into(),
             routine: routine.to_string(),
+            kind: ErrorKind::General,
         }
+    }
+
+    /// Creates the budget-exhaustion error.
+    pub fn budget_exceeded(routine: &str) -> Self {
+        RuntimeError {
+            message: "operation budget exceeded".to_string(),
+            routine: routine.to_string(),
+            kind: ErrorKind::BudgetExceeded,
+        }
+    }
+
+    /// Did the operation budget (not the program) fail?
+    pub fn is_budget_exceeded(&self) -> bool {
+        self.kind == ErrorKind::BudgetExceeded
     }
 }
 

@@ -58,16 +58,36 @@ pub(crate) struct RunState<'p> {
     pub tracer: Option<Tracer>,
 }
 
+/// Default per-run operation budget: large enough for every benchmark
+/// kernel, small enough that a runaway backward-goto cycle fails fast.
+pub const DEFAULT_OP_BUDGET: u64 = 50_000_000;
+
 /// The interpreter, bound to a parsed + semantically checked program.
 pub struct Machine<'a> {
     pub(crate) program: &'a Program,
     pub(crate) sema: &'a ProgramSema,
+    budget: u64,
 }
 
 impl<'a> Machine<'a> {
-    /// Creates a machine.
+    /// Creates a machine with the default operation budget.
     pub fn new(program: &'a Program, sema: &'a ProgramSema) -> Self {
-        Machine { program, sema }
+        Machine {
+            program,
+            sema,
+            budget: DEFAULT_OP_BUDGET,
+        }
+    }
+
+    /// Creates a machine with an explicit operation budget. Exhausting
+    /// it fails the run with a [`RuntimeError`] whose kind is
+    /// [`crate::ErrorKind::BudgetExceeded`].
+    pub fn with_budget(program: &'a Program, sema: &'a ProgramSema, budget: u64) -> Self {
+        Machine {
+            program,
+            sema,
+            budget,
+        }
     }
 
     /// Runs the PROGRAM unit sequentially. Returns final memory and stats.
@@ -139,9 +159,7 @@ impl<'a> Machine<'a> {
             mem: Memory::default(),
             stats: ExecStats::default(),
             commons: BTreeMap::new(),
-            // Large enough for every benchmark kernel, small enough that a
-            // runaway backward-goto cycle fails fast.
-            budget: 50_000_000,
+            budget: self.budget,
             plan,
             nthreads: nthreads.max(1),
             hook,
@@ -279,7 +297,7 @@ impl<'a> Machine<'a> {
     fn charge(&self, r: &Routine, st: &mut RunState, n: u64) -> Result<(), RuntimeError> {
         st.stats.ops += n;
         if st.stats.ops > st.budget {
-            return Err(RuntimeError::new(&r.name, "operation budget exceeded"));
+            return Err(RuntimeError::budget_exceeded(&r.name));
         }
         Ok(())
     }

@@ -30,8 +30,8 @@ mod memory;
 mod parallel;
 mod trace;
 
-pub use error::RuntimeError;
-pub use exec::{ExecStats, Machine};
+pub use error::{ErrorKind, RuntimeError};
+pub use exec::{ExecStats, Machine, DEFAULT_OP_BUDGET};
 pub use memory::{ArrayData, ArrayStore, Memory, Value};
 pub use parallel::{simulate_speedup, LoopPlan, ParallelOutcome, ParallelPlan, SimResult};
 pub use trace::{ArrayRaces, LoopTrace, RaceClass, RaceWitness};

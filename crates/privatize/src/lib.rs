@@ -171,6 +171,11 @@ pub struct LoopVerdict {
     /// has run (see the `raceoracle` crate). Empty for positive verdicts
     /// and for statically-judged-only runs.
     pub diagnostics: Vec<Diagnostic>,
+    /// Whether the underlying analysis was widened by a resource budget
+    /// (fuel, state cap or deadline — see `dataflow::fuel`). A degraded
+    /// verdict is sound but conservative: it may say "serial" for a loop
+    /// a full-budget run proves parallel, never the reverse.
+    pub degraded: bool,
 }
 
 /// Does any piece's *region* mention the variable? (Guards may mention the
@@ -268,6 +273,7 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         parallel_after_privatization: parallel_after,
         blockers,
         diagnostics: Vec::new(),
+        degraded: la.degraded,
     }
 }
 

@@ -78,6 +78,9 @@ pub struct LoopComparison {
     pub diagnostics: Vec<Diagnostic>,
     /// Free-form context (why NotExercised, which array violated, …).
     pub note: String,
+    /// The traced run exhausted the interpreter's operation budget:
+    /// the oracle ran out of resources, the program did not fail.
+    pub budget_exceeded: bool,
 }
 
 /// Aggregate oracle report over a set of loop verdicts.
@@ -93,6 +96,9 @@ pub struct OracleReport {
     pub precision_gaps: usize,
     /// Loops the input did not exercise.
     pub not_exercised: usize,
+    /// Loops whose traced run ran out of interpreter budget (a subset
+    /// of `not_exercised`).
+    pub budget_exceeded: usize,
 }
 
 impl OracleReport {
@@ -138,7 +144,17 @@ pub fn trace_loop(
     sema: &ProgramSema,
     verdict: &LoopVerdict,
 ) -> Result<LoopTrace, interp::RuntimeError> {
-    let machine = Machine::new(program, sema);
+    trace_loop_budgeted(program, sema, verdict, interp::DEFAULT_OP_BUDGET)
+}
+
+/// [`trace_loop`] with an explicit interpreter operation budget.
+pub fn trace_loop_budgeted(
+    program: &Program,
+    sema: &ProgramSema,
+    verdict: &LoopVerdict,
+    budget: u64,
+) -> Result<LoopTrace, interp::RuntimeError> {
+    let machine = Machine::with_budget(program, sema, budget);
     // Target the DO statement by source line when the verdict has one,
     // so loops sharing an index variable don't pollute each other's
     // traces.
@@ -171,6 +187,7 @@ pub fn compare_loop(verdict: &LoopVerdict, trace: &LoopTrace) -> LoopComparison 
         outcome: Outcome::Confirmed,
         diagnostics: Vec::new(),
         note: String::new(),
+        budget_exceeded: false,
     };
 
     if trace.iterations == 0 {
@@ -251,6 +268,18 @@ pub fn compare_loop(verdict: &LoopVerdict, trace: &LoopTrace) -> LoopComparison 
 /// line-less loops) are skipped ([`Outcome::NotExercised`]): a merged
 /// trace could not be attributed to one verdict.
 pub fn validate(program: &Program, sema: &ProgramSema, verdicts: &[LoopVerdict]) -> OracleReport {
+    validate_with_budget(program, sema, verdicts, interp::DEFAULT_OP_BUDGET)
+}
+
+/// [`validate`] with an explicit interpreter operation budget. A traced
+/// run that exhausts it yields [`Outcome::NotExercised`] flagged
+/// `budget_exceeded` — a resource verdict, never a soundness one.
+pub fn validate_with_budget(
+    program: &Program,
+    sema: &ProgramSema,
+    verdicts: &[LoopVerdict],
+    budget: u64,
+) -> OracleReport {
     let mut key_count: BTreeMap<(&str, &str, u32), usize> = BTreeMap::new();
     for v in verdicts {
         *key_count
@@ -272,9 +301,10 @@ pub fn validate(program: &Program, sema: &ProgramSema, verdicts: &[LoopVerdict])
                 outcome: Outcome::NotExercised,
                 diagnostics: Vec::new(),
                 note: "several loops share this (routine, index-variable, line) triple".into(),
+                budget_exceeded: false,
             }
         } else {
-            match trace_loop(program, sema, v) {
+            match trace_loop_budgeted(program, sema, v, budget) {
                 Ok(trace) => compare_loop(v, &trace),
                 Err(e) => LoopComparison {
                     id: v.id.clone(),
@@ -286,7 +316,12 @@ pub fn validate(program: &Program, sema: &ProgramSema, verdicts: &[LoopVerdict])
                     dynamic_conflicts: BTreeMap::new(),
                     outcome: Outcome::NotExercised,
                     diagnostics: Vec::new(),
-                    note: format!("traced run failed: {e}"),
+                    note: if e.is_budget_exceeded() {
+                        "oracle: budget_exceeded".to_string()
+                    } else {
+                        format!("traced run failed: {e}")
+                    },
+                    budget_exceeded: e.is_budget_exceeded(),
                 },
             }
         };
@@ -295,6 +330,9 @@ pub fn validate(program: &Program, sema: &ProgramSema, verdicts: &[LoopVerdict])
             Outcome::SoundnessViolation => report.soundness_violations += 1,
             Outcome::PrecisionGap => report.precision_gaps += 1,
             Outcome::NotExercised => report.not_exercised += 1,
+        }
+        if cmp.budget_exceeded {
+            report.budget_exceeded += 1;
         }
         report.loops.push(cmp);
     }

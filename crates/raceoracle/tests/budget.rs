@@ -1,0 +1,63 @@
+//! The oracle's own resource governance: a traced run that exhausts the
+//! interpreter's operation budget must surface as a *resource* verdict
+//! (`budget_exceeded`, `NotExercised`), never as a program error or a
+//! soundness violation.
+
+use dataflow::{Analyzer, Options};
+use fortran::{Program, ProgramSema};
+use privatize::{judge_all, LoopVerdict};
+use raceoracle::{validate, validate_with_budget, Outcome};
+
+const SRC: &str = "
+      PROGRAM t
+      REAL a(64)
+      INTEGER i
+      DO i = 1, 64
+        a(i) = i * 2.0
+      ENDDO
+      END
+";
+
+fn analyze(src: &str) -> (Program, ProgramSema, Vec<LoopVerdict>) {
+    let program = fortran::parse_program(src).unwrap();
+    let sema = fortran::analyze(&program).unwrap();
+    let h = hsg::build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::default());
+    az.run();
+    let verdicts = judge_all(&az.loops);
+    (program, sema, verdicts)
+}
+
+#[test]
+fn starved_oracle_reports_budget_exceeded() {
+    let (program, sema, verdicts) = analyze(SRC);
+    assert!(!verdicts.is_empty());
+    let report = validate_with_budget(&program, &sema, &verdicts, 3);
+    let c = &report.loops[0];
+    assert_eq!(c.outcome, Outcome::NotExercised, "{c:?}");
+    assert!(c.budget_exceeded, "{c:?}");
+    assert_eq!(c.note, "oracle: budget_exceeded");
+    assert_eq!(report.budget_exceeded, report.loops.len());
+    assert_eq!(report.not_exercised, report.loops.len());
+    // Starvation is not a soundness problem.
+    assert!(report.sound());
+}
+
+#[test]
+fn default_budget_is_ample() {
+    let (program, sema, verdicts) = analyze(SRC);
+    let report = validate(&program, &sema, &verdicts);
+    assert_eq!(report.budget_exceeded, 0);
+    assert!(report.loops.iter().all(|c| !c.budget_exceeded));
+    assert_eq!(report.confirmed, report.loops.len(), "{report:?}");
+}
+
+#[test]
+fn budget_flag_serializes_into_the_report() {
+    use serde::Serialize;
+    let (program, sema, verdicts) = analyze(SRC);
+    let report = validate_with_budget(&program, &sema, &verdicts, 3);
+    let json = serde_json::to_string(&report.to_json_value()).unwrap();
+    assert!(json.contains("\"budget_exceeded\""), "{json}");
+    assert!(json.contains("oracle: budget_exceeded"), "{json}");
+}

@@ -8,6 +8,10 @@
 //!   --socket PATH       serve a Unix socket instead of stdin/stdout
 //!   --no-cache          disable the routine-summary cache
 //!   --cache-capacity N  cap the cache at N routine entries (FIFO)
+//!   --fuel N            default per-request propagation-step budget
+//!   --deadline-ms N     default per-request wall-clock deadline
+//!                       (default 60000; requests override both via
+//!                       "fuel"/"timeout_ms" fields)
 //!   --metrics           print the metrics summary to stderr on shutdown
 //! ```
 //!
@@ -22,7 +26,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: panoramad [--jobs N] [--socket PATH] [--no-cache]\n\
-         \x20                [--cache-capacity N] [--metrics]"
+         \x20                [--cache-capacity N] [--fuel N] [--deadline-ms N] [--metrics]"
     );
     std::process::exit(2);
 }
@@ -46,6 +50,8 @@ fn main() -> ExitCode {
             "--jobs" => config.jobs = num("--jobs").max(1),
             "--cache-capacity" => config.cache = Some(Some(num("--cache-capacity"))),
             "--no-cache" => config.cache = None,
+            "--fuel" => config.limits.steps = Some(num("--fuel") as u64),
+            "--deadline-ms" => config.limits.deadline_ms = Some(num("--deadline-ms") as u64),
             "--socket" => match args.next() {
                 Some(p) => socket = Some(p),
                 None => {

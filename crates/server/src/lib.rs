@@ -28,13 +28,19 @@ pub mod scheduler;
 
 use dataflow::{CacheCounters, MemoryCache, SummaryCache};
 use metrics::Metrics;
-use panorama::driver;
-use protocol::{error_response, ok_response, stats_response, Request};
+use panorama::{driver, FuelLimits};
+use protocol::{error_response, ok_response, panic_response, stats_response, Request};
 use scheduler::{Emitter, Job, Queue};
 use serde::Value;
 use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Largest accepted request line, in bytes. A longer line is consumed
+/// (so the stream stays framed) and answered with an in-order error
+/// response instead of growing an unbounded buffer.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -44,6 +50,11 @@ pub struct Config {
     /// Summary cache: `None` disables caching, `Some(None)` is
     /// unbounded, `Some(Some(n))` keeps at most `n` routine entries.
     pub cache: Option<Option<usize>>,
+    /// Daemon-wide analysis budgets; per-request `fuel`/`timeout_ms`
+    /// fields override them field by field. The default carries a
+    /// 60-second wall-clock deadline so one pathological program
+    /// degrades to a conservative report instead of wedging a worker.
+    pub limits: FuelLimits,
 }
 
 impl Default for Config {
@@ -51,6 +62,10 @@ impl Default for Config {
         Config {
             jobs: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             cache: Some(None),
+            limits: FuelLimits {
+                deadline_ms: Some(60_000),
+                ..FuelLimits::unlimited()
+            },
         }
     }
 }
@@ -60,6 +75,7 @@ impl Default for Config {
 pub struct Daemon {
     jobs: usize,
     cache: Option<Arc<dyn SummaryCache>>,
+    limits: FuelLimits,
     metrics: Arc<Metrics>,
 }
 
@@ -73,6 +89,7 @@ impl Daemon {
         Daemon {
             jobs: config.jobs.max(1),
             cache,
+            limits: config.limits,
             metrics: Arc::new(Metrics::default()),
         }
     }
@@ -92,47 +109,64 @@ impl Daemon {
     /// in request order. Returns `true` if a shutdown command ended the
     /// stream. Blank lines are skipped; unparsable lines get an
     /// `{"ok": false}` response in their stream position.
-    pub fn serve<R: BufRead, W: Write + Send>(&self, input: R, output: W) -> std::io::Result<bool> {
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        mut input: R,
+        output: W,
+    ) -> std::io::Result<bool> {
         let queue: Queue<Result<Request, String>> = Queue::default();
         let emitter = Emitter::new(output);
         let mut shutdown = false;
-        let io_err = crossbeam::thread::scope(|scope| {
+        let (io_err, total) = crossbeam::thread::scope(|scope| {
             let workers: Vec<_> = (0..self.jobs)
                 .map(|_| scope.spawn(|_| self.worker(&queue, &emitter)))
                 .collect();
             let mut read_error = None;
             let mut seq = 0u64;
-            for line in input.lines() {
-                let line = match line {
-                    Ok(l) => l,
+            loop {
+                let payload = match read_line_capped(&mut input, MAX_LINE_BYTES) {
+                    Ok(None) => break,
                     Err(e) => {
                         read_error = Some(e);
                         break;
                     }
+                    Ok(Some(Err(msg))) => Err(msg),
+                    Ok(Some(Ok(line))) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let payload = protocol::parse_request(&line);
+                        if matches!(payload, Ok(Request::Shutdown)) {
+                            shutdown = true;
+                            break;
+                        }
+                        payload
+                    }
                 };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let payload = protocol::parse_request(&line);
-                if matches!(payload, Ok(Request::Shutdown)) {
-                    shutdown = true;
-                    break;
-                }
                 self.metrics.enqueued();
                 queue.push(Job { seq, payload });
                 seq += 1;
             }
             queue.close();
             for w in workers {
-                w.join().expect("worker panicked");
+                // A worker that somehow died through both panic
+                // barriers only costs its in-flight responses, which
+                // `finish` below synthesizes.
+                let _ = w.join();
             }
-            read_error
+            (read_error, seq)
         })
         .expect("scheduler scope");
         if let Some(e) = io_err {
             return Err(e);
         }
-        emitter.finish()?;
+        let (_, dropped) = emitter.finish(total, |_| {
+            panic_response(&Value::Null, "response dropped: worker died mid-request")
+        })?;
+        for _ in &dropped {
+            self.metrics.dequeued();
+            self.metrics.record_failure();
+        }
         Ok(shutdown)
     }
 
@@ -162,27 +196,58 @@ impl Daemon {
         result
     }
 
+    /// The outer worker shell: a respawn barrier around the job loop.
+    /// The loop already isolates each job, so only faults in the
+    /// scheduler path itself (notably the `sched` failpoint) land here;
+    /// such a panic drops the in-flight job — `serve` synthesizes its
+    /// response at `finish` — and the worker re-enters its loop.
     fn worker(&self, queue: &Queue<Result<Request, String>>, emitter: &Emitter<impl Write>) {
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.worker_loop(queue, emitter))) {
+                Ok(()) => return,
+                Err(_) => self.metrics.record_panic(),
+            }
+        }
+    }
+
+    fn worker_loop(&self, queue: &Queue<Result<Request, String>>, emitter: &Emitter<impl Write>) {
         while let Some(job) = queue.pop() {
-            let line = match job.payload {
-                Ok(Request::Analyze {
-                    id,
-                    source,
-                    opts,
-                    oracle,
-                }) => self.handle_analyze(&id, &source, opts, oracle),
-                Ok(Request::Stats { id }) => {
-                    stats_response(&id, self.metrics.snapshot(self.cache_counters()))
-                }
-                // Shutdown never reaches the queue (the reader stops on it).
-                Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
-                Err(msg) => {
+            failpoints::fail_point("sched", &job.seq.to_string());
+            let id = request_id(&job.payload);
+            let payload = job.payload;
+            // Per-job isolation: a panic anywhere in the analysis
+            // pipeline becomes a structured `internal_panic` response in
+            // the job's stream position; the worker and its peers keep
+            // serving.
+            let line =
+                catch_unwind(AssertUnwindSafe(|| self.handle(payload))).unwrap_or_else(|payload| {
+                    self.metrics.record_panic();
                     self.metrics.record_failure();
-                    error_response(&Value::Null, &msg)
-                }
-            };
+                    panic_response(&id, &panic_message(payload.as_ref()))
+                });
             self.metrics.dequeued();
             emitter.emit(job.seq, line);
+        }
+    }
+
+    fn handle(&self, payload: Result<Request, String>) -> String {
+        match payload {
+            Ok(Request::Analyze {
+                id,
+                source,
+                opts,
+                oracle,
+                limits,
+            }) => self.handle_analyze(&id, &source, opts, oracle, limits),
+            Ok(Request::Stats { id }) => {
+                stats_response(&id, self.metrics.snapshot(self.cache_counters()))
+            }
+            // Shutdown never reaches the queue (the reader stops on it).
+            Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
+            Err(msg) => {
+                self.metrics.record_failure();
+                error_response(&Value::Null, &msg)
+            }
         }
     }
 
@@ -192,17 +257,28 @@ impl Daemon {
         source: &str,
         opts: panorama::Options,
         oracle: bool,
+        limits: FuelLimits,
     ) -> String {
-        if self.cache.is_some() {
+        // Request budgets win field by field; unset fields inherit the
+        // daemon defaults.
+        let limits = limits.or(self.limits);
+        // Result-constraining budgets bypass the cache entirely (the
+        // analyzer refuses to mix budgeted and unbudgeted state), so
+        // warming it would be wasted full-precision work.
+        if self.cache.is_some() && !limits.constrains_results() {
             self.warm_call_dag_roots(source, opts);
         }
         let req = driver::Request {
             source,
             opts,
             oracle,
+            limits,
         };
         match driver::run_with_cache(&req, self.cache.clone()) {
             Ok(out) => {
+                if out.analysis.degraded() {
+                    self.metrics.record_degraded(out.analysis.degrade_reason);
+                }
                 self.metrics.record_analysis(
                     &out.analysis.times,
                     out.analysis.stats.peak_state_size,
@@ -264,6 +340,72 @@ impl Daemon {
             }
         })
         .expect("warmup scope");
+    }
+}
+
+/// The `id` of a parsed request, for labeling a panic response when the
+/// handler never got far enough to build one.
+fn request_id(payload: &Result<Request, String>) -> Value {
+    match payload {
+        Ok(Request::Analyze { id, .. }) | Ok(Request::Stats { id }) => id.clone(),
+        _ => Value::Null,
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads cover
+/// everything `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Reads one newline-terminated line, enforcing `cap`. `Ok(None)` is
+/// EOF; `Ok(Some(Err(msg)))` is an oversized or non-UTF-8 line that was
+/// fully consumed (the stream stays framed) and should be answered with
+/// `msg` in stream position.
+fn read_line_capped<R: BufRead>(
+    input: &mut R,
+    cap: usize,
+) -> std::io::Result<Option<Result<String, String>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropped = 0usize;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() && dropped == 0 {
+                return Ok(None);
+            }
+            break;
+        }
+        let (take, consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos, pos + 1, true),
+            None => (chunk.len(), chunk.len(), false),
+        };
+        if dropped == 0 && buf.len() + take <= cap {
+            buf.extend_from_slice(&chunk[..take]);
+        } else {
+            dropped += take;
+        }
+        input.consume(consumed);
+        if done {
+            break;
+        }
+    }
+    if dropped > 0 {
+        return Ok(Some(Err(format!(
+            "bad request: line exceeds the {cap} byte limit"
+        ))));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(
+            Err("bad request: line is not valid UTF-8".to_string()),
+        )),
     }
 }
 

@@ -15,6 +15,14 @@ pub struct Metrics {
     pub completed: AtomicU64,
     /// Requests answered with `ok: false`.
     pub failed: AtomicU64,
+    /// Completed requests whose analysis ran out of budget and was
+    /// widened to a conservative report (`degraded: true`).
+    pub degraded: AtomicU64,
+    /// Degraded requests whose budget reason was the wall-clock
+    /// deadline (a subset of `degraded`).
+    pub timeouts: AtomicU64,
+    /// Worker panics contained by the per-job isolation barrier.
+    pub panics: AtomicU64,
     /// Completed requests that also ran the race oracle.
     pub oracle_runs: AtomicU64,
     /// Requests currently queued or being analyzed.
@@ -70,6 +78,20 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a completed-but-degraded analysis.
+    pub fn record_degraded(&self, reason: Option<panorama::DegradeReason>) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        if reason == Some(panorama::DegradeReason::Deadline) {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a worker panic that was caught and turned into an
+    /// `internal_panic` response (or a synthesized one at finish).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The stats snapshot as a JSON object (the `"stats"` payload of a
     /// `{"cmd": "stats"}` response).
     pub fn snapshot(&self, cache: Option<CacheCounters>) -> Value {
@@ -90,6 +112,9 @@ impl Metrics {
                 Value::Object(vec![
                     ("completed".to_string(), load(&self.completed)),
                     ("failed".to_string(), load(&self.failed)),
+                    ("degraded".to_string(), load(&self.degraded)),
+                    ("timeouts".to_string(), load(&self.timeouts)),
+                    ("panics".to_string(), load(&self.panics)),
                     ("oracle_runs".to_string(), load(&self.oracle_runs)),
                 ]),
             ),
@@ -133,6 +158,12 @@ impl Metrics {
             self.failed.load(Ordering::Relaxed),
             self.oracle_runs.load(Ordering::Relaxed),
             self.peak_queue_depth.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "panoramad: {} degraded ({} deadline timeouts), {} worker panics contained\n",
+            self.degraded.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
         ));
         match cache {
             Some(c) => out.push_str(&format!(
@@ -178,6 +209,9 @@ mod tests {
         let m = Metrics::default();
         m.record_analysis(&PhaseTimes::default(), 42, true);
         m.record_failure();
+        m.record_degraded(Some(panorama::DegradeReason::Deadline));
+        m.record_degraded(Some(panorama::DegradeReason::FuelExhausted));
+        m.record_panic();
         let s = m.snapshot(Some(CacheCounters {
             hits: 3,
             misses: 1,
@@ -190,6 +224,18 @@ mod tests {
         );
         assert_eq!(
             s.get("requests").unwrap().get("failed").unwrap(),
+            &Value::UInt(1)
+        );
+        assert_eq!(
+            s.get("requests").unwrap().get("degraded").unwrap(),
+            &Value::UInt(2)
+        );
+        assert_eq!(
+            s.get("requests").unwrap().get("timeouts").unwrap(),
+            &Value::UInt(1)
+        );
+        assert_eq!(
+            s.get("requests").unwrap().get("panics").unwrap(),
             &Value::UInt(1)
         );
         assert_eq!(s.get("peak_state_size").unwrap(), &Value::UInt(42));

@@ -21,8 +21,12 @@
 //! {"id": 2, "ok": false, "error": "parse: ..."}
 //! ```
 
-use panorama::Options;
+use panorama::{FuelLimits, Options};
 use serde::Value;
+
+/// Largest accepted `"source"` string, in bytes. Programs beyond this
+/// are rejected up front instead of being handed to the analyzer.
+pub const MAX_SOURCE_BYTES: usize = 4 * 1024 * 1024;
 
 /// A parsed request line.
 #[derive(Clone, Debug)]
@@ -37,6 +41,10 @@ pub enum Request {
         opts: Options,
         /// Also run the dynamic race oracle.
         oracle: bool,
+        /// Per-request budgets: `"fuel"` caps propagation steps,
+        /// `"timeout_ms"` sets a wall-clock deadline. Unset fields fall
+        /// back to the daemon-wide defaults.
+        limits: FuelLimits,
     },
     /// Snapshot the daemon metrics.
     Stats {
@@ -64,6 +72,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let Some(source) = value.get("source").and_then(Value::as_str) else {
         return Err("bad request: missing \"source\" (or \"cmd\")".to_string());
     };
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(format!(
+            "bad request: \"source\" is {} bytes, limit is {MAX_SOURCE_BYTES}",
+            source.len()
+        ));
+    }
     let mut opts = Options::default();
     if let Some(o) = value.get("opts") {
         if o.as_object().is_none() {
@@ -88,11 +102,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .as_bool()
             .ok_or_else(|| "bad request: \"oracle\" must be a boolean".to_string())?,
     };
+    let budget = |key: &str| -> Result<Option<u64>, String> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("bad request: \"{key}\" must be a non-negative integer")),
+        }
+    };
+    let mut limits = FuelLimits::unlimited();
+    limits.steps = budget("fuel")?;
+    limits.deadline_ms = budget("timeout_ms")?;
     Ok(Request::Analyze {
         id,
         source: source.to_string(),
         opts,
         oracle,
+        limits,
     })
 }
 
@@ -112,6 +139,25 @@ pub fn stats_response(id: &Value, stats: Value) -> String {
         ("id".to_string(), id.clone()),
         ("ok".to_string(), Value::Bool(true)),
         ("stats".to_string(), stats),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+/// The response line for a request whose worker panicked: the panic is
+/// contained, reported in stream position, and the daemon keeps
+/// serving. The error is structured so clients can tell an internal
+/// fault from a bad request.
+pub fn panic_response(id: &Value, message: &str) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("kind".to_string(), Value::Str("internal_panic".to_string())),
+                ("message".to_string(), Value::Str(message.to_string())),
+            ]),
+        ),
     ]);
     serde_json::to_string(&obj).expect("serialize response")
 }
@@ -141,6 +187,7 @@ mod tests {
             source,
             opts,
             oracle,
+            limits,
         } = r
         else {
             panic!("not an analyze request");
@@ -149,6 +196,47 @@ mod tests {
         assert_eq!(source, "      END");
         assert!(opts.forall_ext && !opts.symbolic && opts.if_conditions);
         assert!(oracle);
+        assert!(limits.is_unlimited());
+    }
+
+    #[test]
+    fn parses_budget_fields() {
+        let r =
+            parse_request(r#"{"id": 1, "source": "      END", "fuel": 500, "timeout_ms": 2000}"#)
+                .unwrap();
+        let Request::Analyze { limits, .. } = r else {
+            panic!("not an analyze request");
+        };
+        assert_eq!(limits.steps, Some(500));
+        assert_eq!(limits.deadline_ms, Some(2000));
+        assert!(parse_request(r#"{"id": 1, "source": "      END", "fuel": -3}"#).is_err());
+        assert!(
+            parse_request(r#"{"id": 1, "source": "      END", "timeout_ms": "soon"}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_source() {
+        let big = "x".repeat(MAX_SOURCE_BYTES + 1);
+        let line = serde_json::to_string(&Value::Object(vec![
+            ("id".to_string(), Value::Int(1)),
+            ("source".to_string(), Value::Str(big)),
+        ]))
+        .unwrap();
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn panic_response_is_structured() {
+        let v: Value = serde_json::from_str(&panic_response(&Value::Int(3), "boom")).unwrap();
+        assert_eq!(v.get("ok").unwrap(), &Value::Bool(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").unwrap(),
+            &Value::Str("internal_panic".into())
+        );
+        assert_eq!(err.get("message").unwrap(), &Value::Str("boom".into()));
     }
 
     #[test]

@@ -10,7 +10,15 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the guard when a previous holder panicked.
+/// Every structure in this module is a plain value store — a panic
+/// mid-update cannot leave it logically torn — so poisoning is noise:
+/// shrugging it off is what lets the daemon outlive a crashed worker.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A unit of scheduled work: a request's sequence number plus its
 /// payload, produced by the reader thread.
@@ -49,7 +57,7 @@ impl<T> Default for Queue<T> {
 impl<T> Queue<T> {
     /// Enqueues a job.
     pub fn push(&self, job: Job<T>) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         state.jobs.push_back(job);
         drop(state);
         self.ready.notify_one();
@@ -58,13 +66,13 @@ impl<T> Queue<T> {
     /// Marks the stream finished; blocked and future `pop`s return
     /// `None` once the backlog drains.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        lock_recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 
     /// Takes the next job, blocking while the queue is open and empty.
     pub fn pop(&self) -> Option<Job<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -72,7 +80,10 @@ impl<T> Queue<T> {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -107,7 +118,7 @@ impl<W: Write> Emitter<W> {
     /// now-unblocked successors. I/O errors are remembered and returned
     /// by [`Emitter::finish`] (workers cannot usefully handle them).
     pub fn emit(&self, seq: u64, line: String) {
-        let mut state = self.state.lock().expect("emitter lock");
+        let mut state = lock_recover(&self.state);
         state.pending.insert(seq, line);
         loop {
             let next = state.next_seq;
@@ -125,14 +136,40 @@ impl<W: Write> Emitter<W> {
         }
     }
 
-    /// Tears down the emitter, returning the writer or the first write
-    /// error. Pending lines (impossible unless a worker died) are
-    /// dropped.
-    pub fn finish(self) -> std::io::Result<W> {
-        let state = self.state.into_inner().expect("emitter lock");
+    /// Tears down the emitter after `expected` lines were scheduled.
+    /// Sequence numbers that never arrived — a worker died between
+    /// popping the job and emitting its response — get a line from
+    /// `synthesize`, so the client still sees exactly one in-order
+    /// response per request. Returns the writer plus the seqs that had
+    /// to be synthesized, or the first write error.
+    pub fn finish(
+        self,
+        expected: u64,
+        synthesize: impl Fn(u64) -> String,
+    ) -> std::io::Result<(W, Vec<u64>)> {
+        let mut state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut synthesized = Vec::new();
+        for seq in state.next_seq..expected {
+            let line = match state.pending.remove(&seq) {
+                Some(line) => line,
+                None => {
+                    synthesized.push(seq);
+                    synthesize(seq)
+                }
+            };
+            if state.error.is_none() {
+                let res = writeln!(state.out, "{line}").and_then(|()| state.out.flush());
+                if let Err(e) = res {
+                    state.error = Some(e);
+                }
+            }
+        }
         match state.error {
             Some(e) => Err(e),
-            None => Ok(state.out),
+            None => Ok((state.out, synthesized)),
         }
     }
 }
@@ -169,7 +206,35 @@ mod tests {
         em.emit(2, "third".to_string());
         em.emit(0, "first".to_string());
         em.emit(1, "second".to_string());
-        let out = em.finish().unwrap();
+        let (out, synthesized) = em.finish(3, |_| unreachable!("no gaps")).unwrap();
+        assert!(synthesized.is_empty());
         assert_eq!(String::from_utf8(out).unwrap(), "first\nsecond\nthird\n");
+    }
+
+    #[test]
+    fn finish_synthesizes_lines_for_dropped_seqs() {
+        // Responses 0 and 3 arrived; 1 and 2 were lost to a dead worker.
+        let em = Emitter::new(Vec::new());
+        em.emit(3, "d".to_string());
+        em.emit(0, "a".to_string());
+        let (out, synthesized) = em.finish(4, |seq| format!("gap {seq}")).unwrap();
+        assert_eq!(synthesized, vec![1, 2]);
+        assert_eq!(String::from_utf8(out).unwrap(), "a\ngap 1\ngap 2\nd\n");
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        let q: std::sync::Arc<Queue<u32>> = std::sync::Arc::new(Queue::default());
+        let q2 = std::sync::Arc::clone(&q);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        q.push(Job { seq: 0, payload: 5 });
+        q.close();
+        assert_eq!(q.pop().map(|j| j.payload), Some(5));
+        assert!(q.pop().is_none());
     }
 }

@@ -2,7 +2,10 @@
 //! summary across *different programs* must not change any verdict, and
 //! any content change — even one subscript — must miss the cache.
 
-use panorama::{analyze_source, analyze_source_with_cache, json_report, Options, SummaryCache};
+use panorama::{
+    analyze_source, analyze_source_limited, analyze_source_with_cache, json_report, FuelLimits,
+    Options, SummaryCache,
+};
 use panoramad::{Config, Daemon};
 use std::sync::Arc;
 
@@ -122,6 +125,7 @@ fn daemon_shares_summaries_between_programs() {
     let daemon = Daemon::new(Config {
         jobs: 1,
         cache: Some(None),
+        ..Config::default()
     });
     let mk = |id: &str, src: &str| {
         serde_json::to_string(&serde::Value::Object(vec![
@@ -137,4 +141,104 @@ fn daemon_shares_summaries_between_programs() {
     assert_eq!(text.lines().count(), 2);
     let counters = daemon.cache_counters().unwrap();
     assert!(counters.hits > 0, "no cross-program sharing: {counters:?}");
+}
+
+#[test]
+fn degraded_analyses_never_populate_the_cache() {
+    let cache = Arc::new(panorama::MemoryCache::new());
+    let a = caller_a();
+
+    // Step-starved: a result-constraining budget bypasses the cache
+    // wholesale — widened summaries must never become replayable state.
+    let starved = analyze_source_limited(
+        &a,
+        Options::default(),
+        share(&cache),
+        FuelLimits {
+            steps: Some(3),
+            ..FuelLimits::unlimited()
+        },
+    )
+    .unwrap();
+    assert!(starved.degraded(), "3 steps must starve this program");
+    assert_eq!(
+        cache.counters().entries,
+        0,
+        "degraded summaries leaked into the cache: {:?}",
+        cache.counters()
+    );
+
+    // Deadline-starved: reads stay allowed (hits only restore
+    // precision) but a degraded run still writes nothing.
+    let deadlined = analyze_source_limited(
+        &a,
+        Options::default(),
+        share(&cache),
+        FuelLimits {
+            deadline_ms: Some(0),
+            ..FuelLimits::unlimited()
+        },
+    )
+    .unwrap();
+    assert!(deadlined.degraded());
+    assert_eq!(cache.counters().entries, 0);
+
+    // A later unbudgeted run over the same cache gets full precision —
+    // byte-identical to a cold run — and now fills the cache.
+    let full = analyze_source_limited(
+        &a,
+        Options::default(),
+        share(&cache),
+        FuelLimits::unlimited(),
+    )
+    .unwrap();
+    assert!(!full.degraded());
+    let cold = analyze_source(&a, Options::default()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&json_report(&full, None)).unwrap(),
+        serde_json::to_string(&json_report(&cold, None)).unwrap()
+    );
+    assert!(cache.counters().entries >= 2, "{:?}", cache.counters());
+}
+
+#[test]
+fn starved_verdicts_are_conservative_not_wrong() {
+    // Fuel starvation may flip parallel -> serial and privatizable ->
+    // not, never the reverse.
+    let a = caller_a();
+    let full = analyze_source(&a, Options::default()).unwrap();
+    for fuel in [0u64, 2, 8, 32, 128] {
+        let starved = analyze_source_limited(
+            &a,
+            Options::default(),
+            None,
+            FuelLimits {
+                steps: Some(fuel),
+                ..FuelLimits::unlimited()
+            },
+        )
+        .unwrap();
+        assert_eq!(starved.verdicts.len(), full.verdicts.len());
+        for v in &starved.verdicts {
+            let f = full
+                .verdicts
+                .iter()
+                .find(|f| f.id == v.id)
+                .unwrap_or_else(|| panic!("verdict {} vanished under fuel {fuel}", v.id));
+            if v.parallel_as_is {
+                assert!(
+                    f.parallel_as_is,
+                    "fuel {fuel} invented parallelism: {}",
+                    v.id
+                );
+            }
+            if v.parallel_after_privatization {
+                assert!(
+                    f.parallel_after_privatization,
+                    "fuel {fuel} invented privatizability: {}",
+                    v.id
+                );
+            }
+        }
+    }
 }

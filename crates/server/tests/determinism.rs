@@ -11,17 +11,26 @@ use serde::Value;
 /// oracle), then each kernel again — the repeats force cache replays on
 /// the cached configurations.
 fn request_stream() -> String {
+    request_stream_with_budget(None)
+}
+
+/// Like [`request_stream`], with a per-request `fuel` field attached.
+fn request_stream_with_budget(fuel: Option<u64>) -> String {
     let mut lines = Vec::new();
     for pass in 0..2 {
         for (i, k) in kernels().iter().enumerate() {
-            let obj = Value::Object(vec![
+            let mut fields = vec![
                 (
                     "id".to_string(),
                     Value::Str(format!("{}/{pass}", k.loop_label)),
                 ),
                 ("source".to_string(), Value::Str(k.source.to_string())),
                 ("oracle".to_string(), Value::Bool(pass == 0 && i == 0)),
-            ]);
+            ];
+            if let Some(fuel) = fuel {
+                fields.push(("fuel".to_string(), Value::UInt(fuel)));
+            }
+            let obj = Value::Object(fields);
             lines.push(serde_json::to_string(&obj).unwrap());
         }
     }
@@ -44,6 +53,7 @@ fn reports_identical_across_jobs_and_cache() {
         Config {
             jobs: 1,
             cache: None,
+            ..Config::default()
         },
         &input,
     );
@@ -54,7 +64,14 @@ fn reports_identical_across_jobs_and_cache() {
         (4, Some(None)),
         (4, Some(Some(8))),
     ] {
-        let got = serve(Config { jobs, cache }, &input);
+        let got = serve(
+            Config {
+                jobs,
+                cache,
+                ..Config::default()
+            },
+            &input,
+        );
         assert_eq!(
             got, baseline,
             "response stream diverged at jobs={jobs}, cache={cache:?}"
@@ -70,6 +87,7 @@ fn warm_cache_reports_identical_to_cold() {
     let daemon = Daemon::new(Config {
         jobs: 2,
         cache: Some(None),
+        ..Config::default()
     });
     let mut first = Vec::new();
     daemon
@@ -85,4 +103,39 @@ fn warm_cache_reports_identical_to_cold() {
         counters.hits > counters.misses,
         "second pass should be dominated by cache hits: {counters:?}"
     );
+}
+
+#[test]
+fn fuel_limited_reports_identical_across_jobs_and_cache() {
+    // The same contract with a per-request step budget: a fixed fuel
+    // value must produce byte-identical (degraded) reports whatever the
+    // worker count, and the cache must not be able to change them.
+    let input = request_stream_with_budget(Some(100));
+    let baseline = serve(
+        Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        },
+        &input,
+    );
+    assert!(!baseline.is_empty());
+    assert!(
+        baseline.contains("\"degraded\":true"),
+        "100 steps should starve at least one kernel"
+    );
+    for (jobs, cache) in [(4, None), (1, Some(None)), (4, Some(None))] {
+        let got = serve(
+            Config {
+                jobs,
+                cache,
+                ..Config::default()
+            },
+            &input,
+        );
+        assert_eq!(
+            got, baseline,
+            "fuel-limited stream diverged at jobs={jobs}, cache={cache:?}"
+        );
+    }
 }

@@ -189,17 +189,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8).
+                    // Bulk-copy up to the next quote or backslash. Both
+                    // delimiters are ASCII, so the span edge is always a
+                    // UTF-8 character boundary; validating per span (not
+                    // per character) keeps huge strings linear-time.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    let stop = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let span = std::str::from_utf8(&rest[..stop])
                         .map_err(|_| Error::parse("invalid utf-8", self.pos))?;
-                    let c = s.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
+                    if span.chars().any(|c| (c as u32) < 0x20) {
                         return Err(Error::parse("control character in string", self.pos));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(span);
+                    self.pos += stop;
                 }
             }
         }
