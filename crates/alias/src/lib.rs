@@ -1,0 +1,23 @@
+//! Call-site alias analysis over storage association, plus `panolint`.
+//!
+//! The paper's SUM_call translation assumes Fortran's no-alias
+//! convention: every formal is bound to a distinct array and no actual
+//! is simultaneously visible to the callee through COMMON. Real codes
+//! violate this (`CALL F(A, A)`, COMMON arrays passed as actuals,
+//! EQUIVALENCE overlays), so this crate classifies, for every CALL,
+//! each formal/formal and formal/global pair as *must-alias*,
+//! *may-alias* or *no-alias* using the storage classes computed by
+//! `fortran::sema` ([`classify_call`]). `dataflow` consumes the
+//! verdicts to degrade its substitution plan soundly; the [`lint`]
+//! module turns the same facts — plus other "we conservatively assume
+//! X" decisions — into stable, machine-readable diagnostics.
+
+#![warn(missing_docs)]
+
+mod classify;
+pub mod lint;
+
+pub use classify::{
+    classify_call, AliasClass, AliasReason, CallAliasing, FormalPair, GlobalOverlap,
+};
+pub use lint::{lint_program, Lint, LintCode};

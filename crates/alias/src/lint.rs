@@ -1,0 +1,468 @@
+//! `panolint`: stable, machine-readable diagnostics.
+//!
+//! Every "we conservatively assume X" decision in the pipeline becomes
+//! a lint with a stable code. Lints are computed by a standalone static
+//! pass over the program — never during summary propagation — so the
+//! output is deterministic across `--jobs`, cache state, and daemon vs
+//! one-shot CLI.
+
+use crate::classify::classify_call;
+use fortran::{Expr, LValue, Program, ProgramSema, Routine, Stmt, StmtKind, SymbolTable};
+
+/// Stable lint codes. The numeric code of an existing lint never
+/// changes; new lints append.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LintCode {
+    /// `P001` — two actuals of one CALL (or an actual and a COMMON
+    /// block visible to the callee) share storage.
+    AliasedActuals,
+    /// `P002` — an array's shape differs across a call boundary: rank
+    /// change, or a COMMON block laid out differently per routine.
+    ReshapedAcrossCall,
+    /// `P003` — an element/slice actual `a(k)`; the callee's footprint
+    /// inside `a` is not tracked.
+    SliceActual,
+    /// `P004` — an EQUIVALENCE group overlays arrays; overlaid arrays
+    /// are never privatization candidates.
+    EquivalenceOverlay,
+    /// `P005` — a subscript is not affine in loop variables (indirect
+    /// indexing, products of variables, …); regions become unknown.
+    NonlinearSubscript,
+    /// `P006` — a CALL summarized without interprocedural analysis;
+    /// its reachable storage is clobbered.
+    ConservativeClobber,
+}
+
+impl LintCode {
+    /// All codes, in code order.
+    pub const ALL: [LintCode; 6] = [
+        LintCode::AliasedActuals,
+        LintCode::ReshapedAcrossCall,
+        LintCode::SliceActual,
+        LintCode::EquivalenceOverlay,
+        LintCode::NonlinearSubscript,
+        LintCode::ConservativeClobber,
+    ];
+
+    /// The stable code, e.g. `"P001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::AliasedActuals => "P001",
+            LintCode::ReshapedAcrossCall => "P002",
+            LintCode::SliceActual => "P003",
+            LintCode::EquivalenceOverlay => "P004",
+            LintCode::NonlinearSubscript => "P005",
+            LintCode::ConservativeClobber => "P006",
+        }
+    }
+
+    /// The human slug, e.g. `"aliased-actuals"`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            LintCode::AliasedActuals => "aliased-actuals",
+            LintCode::ReshapedAcrossCall => "reshaped-across-call",
+            LintCode::SliceActual => "slice-actual",
+            LintCode::EquivalenceOverlay => "equivalence-overlay",
+            LintCode::NonlinearSubscript => "nonlinear-subscript",
+            LintCode::ConservativeClobber => "conservative-clobber",
+        }
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.slug())
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lint {
+    /// Stable code.
+    pub code: LintCode,
+    /// Routine the lint is anchored in.
+    pub routine: String,
+    /// 1-based source line (0 = declaration-level, no single line).
+    pub line: u32,
+    /// Human-readable explanation; deterministic, derived only from
+    /// the AST.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.routine, self.code, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.routine, self.line, self.code, self.message
+            )
+        }
+    }
+}
+
+/// Computes every lint for a checked program. `interprocedural`
+/// mirrors the analysis option: with it off, every CALL earns a `P006`
+/// conservative-clobber witness. The result is sorted by
+/// `(routine, line, code, message)` and deduplicated — byte-identical
+/// regardless of job count or cache state.
+pub fn lint_program(program: &Program, sema: &ProgramSema, interprocedural: bool) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for r in &program.routines {
+        let Some(table) = sema.tables.get(&r.name) else {
+            continue;
+        };
+        lint_equivalences(r, &mut lints);
+        walk_stmts(&r.body, &mut |stmt| {
+            lint_stmt(program, sema, r, table, stmt, interprocedural, &mut lints);
+        });
+    }
+    lints.sort_by(|a, b| {
+        (a.routine.as_str(), a.line, a.code, a.message.as_str()).cmp(&(
+            b.routine.as_str(),
+            b.line,
+            b.code,
+            b.message.as_str(),
+        ))
+    });
+    lints.dedup();
+    lints
+}
+
+fn lint_equivalences(r: &Routine, lints: &mut Vec<Lint>) {
+    for group in &r.equivalences {
+        let names: Vec<&str> = group.iter().map(|(n, _)| n.as_str()).collect();
+        lints.push(Lint {
+            code: LintCode::EquivalenceOverlay,
+            routine: r.name.clone(),
+            line: 0,
+            message: format!("EQUIVALENCE overlays {}", names.join(", ")),
+        });
+    }
+}
+
+fn lint_stmt(
+    program: &Program,
+    sema: &ProgramSema,
+    r: &Routine,
+    table: &SymbolTable,
+    stmt: &Stmt,
+    interprocedural: bool,
+    lints: &mut Vec<Lint>,
+) {
+    let mut push = |code: LintCode, message: String| {
+        lints.push(Lint {
+            code,
+            routine: r.name.clone(),
+            line: stmt.line,
+            message,
+        });
+    };
+
+    if let StmtKind::Call(callee, args) = &stmt.kind {
+        let params: &[String] = program.routine(callee).map_or(&[], |c| &c.params);
+        let c = classify_call(sema, &r.name, callee, params, args);
+        for p in &c.pairs {
+            let how = match &p.reason {
+                crate::AliasReason::SameActual(n) => format!("both pass {n}"),
+                crate::AliasReason::StorageOverlap(x, y) => {
+                    format!("{x} and {y} may share storage")
+                }
+            };
+            push(
+                LintCode::AliasedActuals,
+                format!(
+                    "actuals #{} and #{} of CALL {callee} {}-alias ({how})",
+                    p.a + 1,
+                    p.b + 1,
+                    if p.class == crate::AliasClass::Must {
+                        "must"
+                    } else {
+                        "may"
+                    },
+                ),
+            );
+        }
+        for g in &c.globals {
+            push(
+                LintCode::AliasedActuals,
+                format!(
+                    "actual #{} of CALL {callee} ({}) is also reachable by {callee} through COMMON /{}/",
+                    g.pos + 1,
+                    g.actual,
+                    g.block
+                ),
+            );
+        }
+        for (pos, actual, fr, ar) in &c.reshaped {
+            push(
+                LintCode::ReshapedAcrossCall,
+                format!(
+                    "actual #{} of CALL {callee} reshapes {actual} from rank {ar} to rank {fr}",
+                    pos + 1
+                ),
+            );
+        }
+        for b in &c.mismatched_commons {
+            push(
+                LintCode::ReshapedAcrossCall,
+                format!("COMMON /{b}/ reachable from CALL {callee} is laid out differently across routines"),
+            );
+        }
+        for (pos, base) in &c.slices {
+            push(
+                LintCode::SliceActual,
+                format!(
+                    "actual #{} of CALL {callee} passes a slice of {base}",
+                    pos + 1
+                ),
+            );
+        }
+        if !interprocedural {
+            let reach = sema.common_reach.get(callee);
+            let blocks: Vec<String> = reach
+                .map(|r| r.iter().map(|b| format!("/{b}/")).collect())
+                .unwrap_or_default();
+            push(
+                LintCode::ConservativeClobber,
+                if blocks.is_empty() {
+                    format!("CALL {callee} summarized without interprocedural analysis; clobbers its array actuals")
+                } else {
+                    format!(
+                        "CALL {callee} summarized without interprocedural analysis; clobbers its array actuals and COMMON {}",
+                        blocks.join(", ")
+                    )
+                },
+            );
+        }
+    }
+
+    // P005: nonlinear subscripts anywhere in the statement.
+    let check_subs = |name: &str, subs: &[Expr], push: &mut dyn FnMut(LintCode, String)| {
+        if !table.is_array(name) {
+            return;
+        }
+        for s in subs {
+            if !is_affine(s, table) {
+                push(
+                    LintCode::NonlinearSubscript,
+                    format!("nonlinear subscript {s} in reference to {name}"),
+                );
+            }
+        }
+    };
+    each_expr(stmt, &mut |e| {
+        if let Expr::Index(name, subs) = e {
+            check_subs(name, subs, &mut push);
+        }
+    });
+    if let StmtKind::Assign(LValue::Element(name, subs), _) = &stmt.kind {
+        check_subs(name, subs, &mut push);
+    }
+}
+
+/// Pre-order walk over nested statements.
+fn walk_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        match &s.kind {
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            StmtKind::LogicalIf(_, inner) => {
+                f(inner);
+            }
+            StmtKind::Do { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visits every expression of one statement (not nested statements,
+/// except the body of a logical IF which is part of the same line).
+fn each_expr<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match &stmt.kind {
+        StmtKind::Assign(lv, rhs) => {
+            if let LValue::Element(_, subs) = lv {
+                for s in subs {
+                    s.walk(f);
+                }
+            }
+            rhs.walk(f);
+        }
+        StmtKind::If { cond, .. } => cond.walk(f),
+        StmtKind::LogicalIf(cond, inner) => {
+            cond.walk(f);
+            each_expr(inner, f);
+        }
+        StmtKind::Do { lo, hi, step, .. } => {
+            lo.walk(f);
+            hi.walk(f);
+            if let Some(s) = step {
+                s.walk(f);
+            }
+        }
+        StmtKind::Call(_, args) => {
+            for a in args {
+                a.walk(f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Is a subscript affine: a sum of `const * var` and `const` terms?
+fn is_affine(e: &Expr, t: &SymbolTable) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Var(_) => true,
+        Expr::Un(_, a) => is_affine(a, t),
+        Expr::Bin(op, a, b) => match op {
+            fortran::BinOp::Add | fortran::BinOp::Sub => is_affine(a, t) && is_affine(b, t),
+            fortran::BinOp::Mul => {
+                (is_const(a, t) && is_affine(b, t)) || (is_const(b, t) && is_affine(a, t))
+            }
+            _ => is_const(a, t) && is_const(b, t),
+        },
+        Expr::Index(..) => false,
+    }
+}
+
+/// Is an expression a compile-time constant (literals and PARAMETERs)?
+fn is_const(e: &Expr, t: &SymbolTable) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) => true,
+        Expr::Var(n) => t.constant(n).is_some(),
+        Expr::Un(_, a) => is_const(a, t),
+        Expr::Bin(_, a, b) => is_const(a, t) && is_const(b, t),
+        Expr::Index(..) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortran::{analyze, parse_program};
+
+    fn lints_of(src: &str, interprocedural: bool) -> Vec<Lint> {
+        let p = parse_program(src).unwrap();
+        let sema = analyze(&p).unwrap();
+        lint_program(&p, &sema, interprocedural)
+    }
+
+    #[test]
+    fn aliased_call_and_clobber_lints() {
+        let src = "
+      PROGRAM t
+      REAL a(10)
+      CALL f(a, a)
+      END
+      SUBROUTINE f(x, y)
+      REAL x(10), y(10)
+      x(1) = y(1)
+      END
+";
+        let l = lints_of(src, true);
+        assert_eq!(l.len(), 1, "{l:?}");
+        assert_eq!(l[0].code, LintCode::AliasedActuals);
+        assert_eq!(l[0].routine, "t");
+        assert_eq!(l[0].line, 4);
+        // With interprocedural analysis off, a P006 witness appears too.
+        let l = lints_of(src, false);
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P001", "P006"]);
+    }
+
+    #[test]
+    fn equivalence_and_nonlinear_lints() {
+        let l = lints_of(
+            "
+      PROGRAM t
+      REAL a(10), b(4), c(10)
+      EQUIVALENCE (a(3), b(1))
+      DO i = 1, 10
+        c(i*i) = a(i)
+      ENDDO
+      END
+",
+            true,
+        );
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P004", "P005"]);
+        assert!(l[1].message.contains("(i*i)"), "{}", l[1].message);
+    }
+
+    #[test]
+    fn indirect_subscript_is_nonlinear() {
+        let l = lints_of(
+            "
+      PROGRAM t
+      REAL a(10)
+      INTEGER idx(10)
+      DO i = 1, 10
+        a(idx(i)) = 0.0
+      ENDDO
+      END
+",
+            true,
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].code, LintCode::NonlinearSubscript);
+    }
+
+    #[test]
+    fn affine_subscripts_stay_quiet() {
+        let l = lints_of(
+            "
+      PROGRAM t
+      PARAMETER (n = 5)
+      REAL a(100)
+      DO i = 1, 10
+        a(2*i + n - 1) = 0.0
+      ENDDO
+      END
+",
+            true,
+        );
+        assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn lints_are_sorted_and_deduped() {
+        let l = lints_of(
+            "
+      PROGRAM t
+      REAL a(10)
+      DO i = 1, 10
+        a(i*i) = a(i*i) + 1.0
+      ENDDO
+      CALL f(a, a)
+      END
+      SUBROUTINE f(x, y)
+      REAL x(10), y(10)
+      x(1) = y(1)
+      END
+",
+            true,
+        );
+        // One P005 (deduped across read+write of the same expr), one P001.
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P005", "P001"]);
+        let mut sorted = l.clone();
+        sorted.sort_by(|a, b| {
+            (a.routine.as_str(), a.line, a.code, a.message.as_str()).cmp(&(
+                b.routine.as_str(),
+                b.line,
+                b.code,
+                b.message.as_str(),
+            ))
+        });
+        assert_eq!(l, sorted);
+    }
+}

@@ -1,0 +1,25 @@
+//! Writes every benchsuite kernel to `<outdir>/<nn>_<label>.f` plus a
+//! `manifest.tsv` (filename, program, loop label, kernel order), so
+//! shell jobs — the CI `lint-golden` job in particular — can drive the
+//! `panorama` CLI over the exact sources the library tests use.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn main() {
+    let outdir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "kernels.d".to_string());
+    let dir = Path::new(&outdir);
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let mut manifest = String::new();
+    for (n, k) in benchsuite::kernels().iter().enumerate() {
+        // Loop labels contain `/` (e.g. `interf/1000`); keep filenames
+        // flat and sortable in kernel order.
+        let fname = format!("{n:02}_{}.f", k.loop_label.replace('/', "_"));
+        std::fs::write(dir.join(&fname), k.source).expect("write kernel");
+        writeln!(manifest, "{fname}\t{}\t{}", k.program, k.loop_label).unwrap();
+    }
+    std::fs::write(dir.join("manifest.tsv"), manifest).expect("write manifest");
+    println!("wrote {} kernels to {outdir}", benchsuite::kernels().len());
+}

@@ -14,6 +14,8 @@
 //!   --stats               print timing and size statistics
 //!   --explain             run the dynamic race oracle and attach
 //!                         witness diagnostics to negative verdicts
+//!   --lint                print panolint diagnostics (stable P00x
+//!                         codes for every conservative assumption)
 //!   --json                emit the report as JSON (schema in DESIGN.md)
 //!   --fuel N              cap analysis at N propagation steps; on
 //!                         exhaustion verdicts widen conservatively and
@@ -28,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
          \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats]\n\
-         \x20                [--explain] [--json] [--fuel N] [--deadline-ms N] FILE.f"
+         \x20                [--explain] [--lint] [--json] [--fuel N] [--deadline-ms N] FILE.f"
     );
     std::process::exit(2);
 }
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
     let mut summaries = false;
     let mut stats = false;
     let mut explain = false;
+    let mut lint = false;
     let mut json = false;
     let mut file = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
             "--summaries" => summaries = true,
             "--stats" => stats = true,
             "--explain" => explain = true,
+            "--lint" => lint = true,
             "--json" => json = true,
             "--fuel" => limits.steps = Some(num(&mut i)),
             "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
@@ -158,6 +162,17 @@ fn main() -> ExitCode {
             for (arr, list) in &r.summary.des {
                 println!("  DE [{arr}] = {list}");
             }
+        }
+        println!();
+    }
+
+    if lint {
+        println!("=== lints ===");
+        if analysis.lints.is_empty() {
+            println!("  (none)");
+        }
+        for l in &analysis.lints {
+            println!("  {l}");
         }
         println!();
     }

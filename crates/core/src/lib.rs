@@ -40,6 +40,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use alias::{Lint, LintCode};
 pub use dataflow::{
     AnalysisStats, CacheCounters, CacheKey, CachedRoutine, DegradeReason, FuelLimits, LoopAnalysis,
     MemoryCache, Options, RoutineAnalysis, Summary, SummaryCache,
@@ -121,6 +122,11 @@ pub struct Analysis {
     pub times: PhaseTimes,
     /// Backward-propagation trace (with `Options::trace`).
     pub trace: Vec<String>,
+    /// `panolint` diagnostics: every conservative assumption the
+    /// analysis made, as stable machine-readable codes (DESIGN.md §4e).
+    /// Computed by a standalone static pass — deterministic across job
+    /// counts and cache state.
+    pub lints: Vec<Lint>,
     /// Why the run degraded, when a resource budget (fuel, state cap or
     /// deadline) forced widening. `None` = full precision.
     pub degrade_reason: Option<DegradeReason>,
@@ -216,6 +222,24 @@ pub fn json_report(analysis: &Analysis, oracle: Option<&OracleReport>) -> serde:
             ]),
         ),
         (
+            "lints".to_string(),
+            Value::Array(
+                analysis
+                    .lints
+                    .iter()
+                    .map(|l| {
+                        Value::Object(vec![
+                            ("code".to_string(), Value::Str(l.code.code().to_string())),
+                            ("slug".to_string(), Value::Str(l.code.slug().to_string())),
+                            ("routine".to_string(), Value::Str(l.routine.clone())),
+                            ("line".to_string(), Value::UInt(u64::from(l.line))),
+                            ("message".to_string(), Value::Str(l.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "oracle".to_string(),
             oracle.map_or(Value::Null, |r| r.to_json_value()),
         ),
@@ -287,6 +311,7 @@ pub fn analyze_source_limited(
 
     let degrade_reason = az.degradation();
     let (loops, stats, trace) = az.finish();
+    let lints = alias::lint_program(&program, &sema, opts.interprocedural);
     Ok(Analysis {
         program,
         sema,
@@ -304,6 +329,7 @@ pub fn analyze_source_limited(
             dataflow: t_df,
         },
         trace,
+        lints,
         degrade_reason,
     })
 }

@@ -73,6 +73,10 @@ pub struct LoopAnalysis {
     /// Arrays used below the loop in the same routine (candidates for
     /// last-value copy-out if privatized).
     pub live_after: BTreeSet<String>,
+    /// Arrays whose storage overlaps another name's (EQUIVALENCE or
+    /// COMMON layout). Writes reach them under other names, so they are
+    /// never privatization candidates.
+    pub overlaid: BTreeSet<String>,
     /// Whether any of this loop's sets were widened because a resource
     /// budget ran out during its analysis (see [`crate::fuel`]). Widened
     /// sets are sound over-approximations; verdicts derived from them
@@ -799,6 +803,41 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// Storage-overlay poisoning: an access to `name` may touch every
+    /// COMMON/EQUIVALENCE partner sharing its bytes, under that
+    /// partner's own name. Writes land as unknown over-approximate MOD
+    /// (never a kill), reads as unknown UE; scalar partners are
+    /// clobbered so value tracking cannot see through the overlay.
+    fn poison_partners(
+        &mut self,
+        name: &str,
+        write: bool,
+        table: &SymbolTable,
+        env: &mut ValueEnv,
+        sum: &mut Summary,
+    ) {
+        let partners: Vec<String> = table
+            .storage_partners(name)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        for p in partners {
+            if table.is_array(&p) {
+                let rank = table.array(&p).map(|a| a.rank()).unwrap_or(1);
+                if write {
+                    sum.add_mod(&p, GarList::single(Gar::unknown(rank)));
+                } else {
+                    sum.add_ue(&p, GarList::single(Gar::unknown(rank)));
+                }
+            } else if write {
+                env.clobber(&p, &mut self.fresh);
+                sum.scalar_may_mod.insert(p);
+            } else {
+                sum.scalar_ue.insert(p);
+            }
+        }
+    }
+
     /// `SUM_bb` (§4.1): forward walk over a basic block.
     fn sum_bb(
         &mut self,
@@ -852,6 +891,7 @@ impl<'a> Analyzer<'a> {
                 }
             }
             for u in used {
+                self.poison_partners(&u, false, table, env, &mut sum);
                 if !scalar_defed.contains(&u) {
                     sum.scalar_ue.insert(u);
                 }
@@ -886,6 +926,10 @@ impl<'a> Analyzer<'a> {
                     sum.scalar_must_mod.insert(v.clone());
                 }
             }
+            for (arr, _) in &stmt_reads {
+                self.poison_partners(arr, false, table, env, &mut sum);
+            }
+            self.poison_partners(lhs.name(), true, table, env, &mut sum);
             record.push((stmt_reads, stmt_write));
         }
         // Downwards-exposed uses: a reverse sweep over the recorded
@@ -916,7 +960,7 @@ impl<'a> Analyzer<'a> {
         &mut self,
         callee: &str,
         args: &[FExpr],
-        _routine: &str,
+        routine: &str,
         table: &SymbolTable,
         env: &mut ValueEnv,
         loop_vars: &BTreeSet<String>,
@@ -944,25 +988,44 @@ impl<'a> Analyzer<'a> {
 
         if !self.opts.interprocedural {
             // Conservative: the call may read and write every array it can
-            // reach — array actuals and COMMON arrays.
+            // reach — array actuals plus storage in COMMON blocks the
+            // callee (transitively) declares. Blocks only the *caller*
+            // sees are untouchable by the callee and survive intact.
             let mut clobbered: BTreeSet<String> = BTreeSet::new();
+            let mut scalars: BTreeSet<String> = BTreeSet::new();
             for a in args {
                 match a {
                     FExpr::Var(n) | FExpr::Index(n, _) if table.is_array(n) => {
                         clobbered.insert(n.clone());
                     }
                     FExpr::Var(n) => {
-                        env.clobber(n, &mut self.fresh);
-                        sum.scalar_may_mod.insert(n.clone());
+                        scalars.insert(n.clone());
                         sum.scalar_ue.insert(n.clone());
                     }
                     _ => {}
                 }
             }
-            for (name, kind) in table.iter() {
-                if let fortran::SymbolKind::Array(info) = kind {
-                    if info.common.is_some() {
-                        clobbered.insert(name.to_string());
+            let reach = self.sema.common_reach.get(callee);
+            for (name, loc) in table.storage_iter() {
+                let fortran::StorageClass::Common(b) = &loc.class else {
+                    continue;
+                };
+                if !reach.is_some_and(|r| r.contains(b)) {
+                    continue;
+                }
+                if table.is_array(name) {
+                    clobbered.insert(name.to_string());
+                } else {
+                    scalars.insert(name.to_string());
+                }
+            }
+            // Names overlaying clobbered storage are clobbered with it.
+            for n in clobbered.clone().iter().chain(scalars.clone().iter()) {
+                for p in table.storage_partners(n) {
+                    if table.is_array(p) {
+                        clobbered.insert(p.to_string());
+                    } else {
+                        scalars.insert(p.to_string());
                     }
                 }
             }
@@ -970,15 +1033,14 @@ impl<'a> Analyzer<'a> {
                 let rank = table.array(&arr).map(|a| a.rank()).unwrap_or(1);
                 sum.add_mod(&arr, GarList::single(Gar::unknown(rank)));
                 sum.add_ue(&arr, GarList::single(Gar::unknown(rank)));
-                sum.add_de(&arr, GarList::single(Gar::unknown(rank)));
+                // No DE: downward-exposed uses may only be kept when the
+                // read provably survives to the segment end, and nothing
+                // about the callee's accesses is known here. The unknown
+                // MOD above already forces the output/flow tests, so an
+                // empty DE loses no soundness — a `Gar::unknown` here
+                // manufactured anti dependences on every clobbered array.
             }
-            // COMMON scalars may change too.
-            let commons: Vec<String> = table
-                .iter()
-                .filter(|(n, _)| table.common_block(n).is_some() && !table.is_array(n))
-                .map(|(n, _)| n.to_string())
-                .collect();
-            for s in commons {
+            for s in scalars {
                 env.clobber(&s, &mut self.fresh);
                 sum.scalar_may_mod.insert(s);
             }
@@ -1011,7 +1073,14 @@ impl<'a> Analyzer<'a> {
                         sum.add_ue(a, GarList::single(Gar::unknown(rank)));
                     }
                     _ => {
+                        // A scalar (or expression) actual bound to an
+                        // array formal: the callee may write through it.
                         array_map.insert(formal.clone(), None);
+                        if let FExpr::Var(v) = actual {
+                            env.clobber(v, &mut self.fresh);
+                            sum.scalar_may_mod.insert(v.clone());
+                            sum.scalar_ue.insert(v.clone());
+                        }
                     }
                 }
             } else {
@@ -1067,12 +1136,20 @@ impl<'a> Analyzer<'a> {
         for s in &callee_summary.scalar_may_mod {
             // A modified formal scalar writes through to a Var actual.
             if let Some(k) = callee_routine.params.iter().position(|p| p == s) {
-                if let FExpr::Var(v) = &args[k] {
-                    env.clobber(v, &mut self.fresh);
-                    sum.scalar_may_mod.insert(v.clone());
-                    if callee_summary.scalar_must_mod.contains(s) {
-                        sum.scalar_must_mod.insert(v.clone());
+                match &args[k] {
+                    FExpr::Var(v) => {
+                        env.clobber(v, &mut self.fresh);
+                        sum.scalar_may_mod.insert(v.clone());
+                        if callee_summary.scalar_must_mod.contains(s) {
+                            sum.scalar_must_mod.insert(v.clone());
+                        }
                     }
+                    // An element actual `a(k)`: the write lands in `a`.
+                    FExpr::Index(a, _) if table.is_array(a) => {
+                        let rank = table.array(a).map(|x| x.rank()).unwrap_or(1);
+                        sum.add_mod(a, GarList::single(Gar::unknown(rank)));
+                    }
+                    _ => {}
                 }
             } else if callee_table.common_block(s).is_some() {
                 env.clobber(s, &mut self.fresh);
@@ -1087,6 +1164,64 @@ impl<'a> Analyzer<'a> {
             } else if callee_table.common_block(s).is_some() {
                 sum.scalar_ue.insert(s.clone());
             }
+        }
+
+        // Alias-aware degradation (ISSUE 4): the mapping above assumed
+        // Fortran's no-alias convention. Where the call site violates it,
+        // the mapped sets degrade soundly: may-aliased targets go to
+        // unknown MOD/UE, every aliased target loses its DE (interleaved
+        // accesses through the other name mean a use may not actually be
+        // exposed at segment end; the unknown/unioned MOD keeps the
+        // output test honest). Must-aliased targets keep their unioned
+        // MOD/UE — over-approximate but usable.
+        let aliasing =
+            alias::classify_call(self.sema, routine, callee, &callee_routine.params, args);
+        if !aliasing.clean() {
+            for t in aliasing.may_targets() {
+                if table.is_array(&t) {
+                    let rank = table.array(&t).map(|x| x.rank()).unwrap_or(1);
+                    sum.add_mod(&t, GarList::single(Gar::unknown(rank)));
+                    sum.add_ue(&t, GarList::single(Gar::unknown(rank)));
+                } else {
+                    env.clobber(&t, &mut self.fresh);
+                    sum.scalar_may_mod.insert(t.clone());
+                    sum.scalar_ue.insert(t);
+                }
+            }
+            for t in aliasing.de_unsafe_targets() {
+                sum.des.remove(&t);
+            }
+            // A COMMON block laid out differently across routines means
+            // callee-side names do not denote caller bytes one-to-one:
+            // every caller member of the block degrades.
+            for b in &aliasing.mismatched_commons {
+                let members: Vec<String> = table
+                    .storage_iter()
+                    .filter(|(_, l)| matches!(&l.class, fortran::StorageClass::Common(x) if x == b))
+                    .map(|(n, _)| n.to_string())
+                    .collect();
+                for m in members {
+                    if table.is_array(&m) {
+                        let rank = table.array(&m).map(|x| x.rank()).unwrap_or(1);
+                        sum.add_mod(&m, GarList::single(Gar::unknown(rank)));
+                        sum.add_ue(&m, GarList::single(Gar::unknown(rank)));
+                        sum.des.remove(&m);
+                    } else {
+                        env.clobber(&m, &mut self.fresh);
+                        sum.scalar_may_mod.insert(m.clone());
+                        sum.scalar_ue.insert(m);
+                    }
+                }
+            }
+        }
+
+        // Writes mapped into caller names reach their storage partners
+        // too (EQUIVALENCE/COMMON overlays on the caller side).
+        for m in sum.mods.keys().cloned().collect::<Vec<_>>() {
+            self.poison_partners(&m, true, table, env, &mut sum);
+        }
+        for s in sum.scalar_may_mod.iter().cloned().collect::<Vec<_>>() {
+            self.poison_partners(&s, true, table, env, &mut sum);
         }
         sum
     }
@@ -1365,6 +1500,11 @@ impl<'a> Analyzer<'a> {
         };
 
         // Record the loop analysis.
+        let overlaid = sets
+            .keys()
+            .filter(|a| !table.storage_partners(a).is_empty())
+            .cloned()
+            .collect();
         let la = LoopAnalysis {
             routine: routine.to_string(),
             subgraph: body_sg,
@@ -1385,6 +1525,7 @@ impl<'a> Analyzer<'a> {
             premature_exit: premature,
             reductions,
             live_after: BTreeSet::new(),
+            overlaid,
             degraded: self.fuel.halted() || self.fuel.events() != fuel_events,
         };
         self.loops.push(la);
@@ -1777,6 +1918,11 @@ impl<'a> Analyzer<'a> {
                     .into_iter()
                     .filter(|s| !table.is_array(s))
                     .collect();
+                let overlaid = sets
+                    .keys()
+                    .filter(|a| !table.storage_partners(a).is_empty())
+                    .cloned()
+                    .collect();
                 self.stats.loops_analyzed += 1;
                 self.loops.push(LoopAnalysis {
                     routine: routine.to_string(),
@@ -1792,6 +1938,7 @@ impl<'a> Analyzer<'a> {
                     scalar_mod: scalars,
                     premature_exit: self.hsg.subgraphs[*body].premature_exit,
                     reductions: BTreeSet::new(),
+                    overlaid,
                     live_after: live,
                     degraded: true,
                 });

@@ -259,7 +259,7 @@ pub fn routine_keys(
             continue;
         };
         let mut h = ContentHasher::default();
-        h.write_str("panorama-summary-cache-v1");
+        h.write_str("panorama-summary-cache-v2");
         h.write(&[
             u8::from(opts.symbolic),
             u8::from(opts.if_conditions),
@@ -267,13 +267,41 @@ pub fn routine_keys(
             u8::from(opts.forall_ext),
         ]);
         h.write_str(&format!("{routine:?}"));
+        // Storage association is cross-routine state: alias degradation
+        // and the layout-mismatch check consult how *every* routine lays
+        // out the COMMON blocks this routine can reach, so those layouts
+        // participate in the key. Routines touching no COMMON hash
+        // nothing here and still share across programs.
+        if let Some(reach) = sema.common_reach.get(name) {
+            for b in reach {
+                h.write_str(b);
+                for (rname, t) in &sema.tables {
+                    for (n, loc) in t.storage_iter() {
+                        if matches!(&loc.class, fortran::StorageClass::Common(x) if x == b) {
+                            h.write_str(rname);
+                            h.write_str(&format!("{n}:{loc:?}"));
+                        }
+                    }
+                }
+            }
+        }
         if let Some(callees) = sema.call_graph.get(name) {
             for callee in callees {
                 match keys.get(callee) {
                     Some(k) if opts.interprocedural => {
                         h.write(&k.0.to_le_bytes());
                     }
-                    _ => h.write_str(callee),
+                    _ => {
+                        h.write_str(callee);
+                        // Without interprocedural analysis the clobber
+                        // scope is the callee's reachable COMMON set,
+                        // which depends on the transitive call graph.
+                        if let Some(reach) = sema.common_reach.get(callee) {
+                            for b in reach {
+                                h.write_str(b);
+                            }
+                        }
+                    }
                 }
             }
         }

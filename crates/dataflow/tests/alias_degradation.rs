@@ -1,0 +1,247 @@
+//! Call-site alias degradation and the conservative-clobber path:
+//! dropping DE at clobber sites (no invented anti dependences), scoping
+//! the COMMON clobber to the callee's reachable storage classes, and
+//! poisoning EQUIVALENCE overlays.
+
+use dataflow::{Analyzer, Options};
+use fortran::{analyze, parse_program};
+use hsg::build_hsg;
+
+fn loops_of(src: &str, opts: Options) -> Vec<dataflow::LoopAnalysis> {
+    let program = parse_program(src).unwrap();
+    let sema = analyze(&program).unwrap();
+    let h = build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, opts);
+    az.run();
+    let (loops, _, _) = az.finish();
+    loops
+}
+
+fn no_t3() -> Options {
+    Options {
+        interprocedural: false,
+        ..Options::default()
+    }
+}
+
+#[test]
+fn clobber_site_drops_de_instead_of_inventing_anti_deps() {
+    // The read of b(1) is overwritten later in the same iteration, so
+    // nothing of b is downwards exposed. The conservative call used to
+    // add an unknown region to DE anyway, which manufactured a spurious
+    // anti dependence (DE_i ∩ MOD_>i with unknown MOD from the clobber).
+    // An empty DE is the sound direction for an over-approximated
+    // summary: any read a must-write removes from DE implies that write
+    // is in MOD_i, so the output test still reports the conflict.
+    let loops = loops_of(
+        "
+      PROGRAM t
+      REAL b(10), r(100)
+      REAL x
+      INTEGER i
+      DO i = 1, 100
+        x = b(1)
+        b(1) = float(i)
+        CALL f(b)
+        r(i) = x
+      ENDDO
+      END
+
+      SUBROUTINE f(b)
+      REAL b(10)
+      b(2) = 1.0
+      END
+",
+        no_t3(),
+    );
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let sets = &l.arrays["b"];
+    assert!(sets.de_i.definitely_empty(), "DE_i = {}", sets.de_i);
+    assert!(!sets.mod_i.definitely_empty(), "clobber must keep MOD");
+    assert!(!sets.ue_i.definitely_empty(), "clobber must keep UE");
+    let v = privatize::judge_loop(l);
+    let b = v.arrays.iter().find(|a| a.array == "b").unwrap();
+    assert!(!b.anti_dep, "clobbered DE must not invent anti deps: {b:?}");
+    assert!(b.flow_dep, "unknown UE against unknown MOD stays flow");
+    assert!(b.output_dep, "unknown MOD against itself stays output");
+    assert!(
+        !v.parallel_after_privatization,
+        "verdict stays conservative"
+    );
+}
+
+const CALLEE_NO_COMMON: &str = "
+      SUBROUTINE f(b)
+      REAL b(10)
+      b(1) = 1.0
+      END
+";
+
+const CALLEE_WITH_COMMON: &str = "
+      SUBROUTINE f(b)
+      REAL c(100), b(10)
+      COMMON /data/ c
+      b(1) = 1.0
+      c(1) = 2.0
+      END
+";
+
+fn common_caller(callee: &str) -> String {
+    format!(
+        "
+      PROGRAM t
+      REAL c(100), b(10)
+      COMMON /data/ c
+      INTEGER i
+      DO i = 1, 100
+        c(i) = float(i)
+        CALL f(b)
+      ENDDO
+      END
+{callee}"
+    )
+}
+
+#[test]
+fn clobber_scope_excludes_commons_the_callee_cannot_reach() {
+    // `f` declares no COMMON and calls nothing, so the conservative
+    // call can only touch its actual `b`. The seed clobbered every
+    // COMMON name in the caller instead, which would have degraded `c`.
+    let loops = loops_of(&common_caller(CALLEE_NO_COMMON), no_t3());
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let v = privatize::judge_loop(l);
+    let c = v.arrays.iter().find(|a| a.array == "c").unwrap();
+    assert!(
+        !c.flow_dep && !c.output_dep && !c.anti_dep,
+        "COMMON array the callee cannot reach must stay precise: {c:?}"
+    );
+    let b = v.arrays.iter().find(|a| a.array == "b").unwrap();
+    assert!(b.output_dep, "the actual is still clobbered: {b:?}");
+}
+
+#[test]
+fn clobber_scope_includes_commons_the_callee_reaches() {
+    // Same caller, but now `f` declares /data/ itself: `c` is in the
+    // callee's reachable storage and must be degraded.
+    let loops = loops_of(&common_caller(CALLEE_WITH_COMMON), no_t3());
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let v = privatize::judge_loop(l);
+    let c = v.arrays.iter().find(|a| a.array == "c").unwrap();
+    assert!(
+        c.output_dep,
+        "COMMON array the callee declares must be clobbered: {c:?}"
+    );
+}
+
+#[test]
+fn clobber_scope_follows_transitive_callees() {
+    // `f` itself is storage-free but calls `g`, which writes /data/:
+    // the reach is transitive, so `c` still degrades at the CALL f site.
+    let src = "
+      PROGRAM t
+      REAL c(100), b(10)
+      COMMON /data/ c
+      INTEGER i
+      DO i = 1, 100
+        c(i) = float(i)
+        CALL f(b)
+      ENDDO
+      END
+
+      SUBROUTINE f(b)
+      REAL b(10)
+      b(1) = 1.0
+      CALL g()
+      END
+
+      SUBROUTINE g()
+      REAL c(100)
+      COMMON /data/ c
+      c(1) = 2.0
+      END
+";
+    let loops = loops_of(src, no_t3());
+    let l = loops.iter().find(|l| l.var == "i").unwrap();
+    let v = privatize::judge_loop(l);
+    let c = v.arrays.iter().find(|a| a.array == "c").unwrap();
+    assert!(c.output_dep, "transitively reached COMMON degrades: {c:?}");
+}
+
+#[test]
+fn must_aliased_actuals_union_both_formal_views() {
+    // CALL step(a, a, i): the callee writes x(i) and reads y(i-1);
+    // with both formals bound to `a` the read observes the previous
+    // iteration's write — a loop-carried flow dependence that vanishes
+    // if either formal's contribution is dropped on the floor.
+    let src = "
+      PROGRAM t
+      REAL a(200), r(200)
+      INTEGER i
+      a(1) = 0.0
+      DO i = 2, 100
+        CALL step(a, a, i)
+        r(i) = a(i)
+      ENDDO
+      END
+
+      SUBROUTINE step(x, y, i)
+      REAL x(200), y(200)
+      INTEGER i
+      x(i) = y(i-1) + 1.0
+      END
+";
+    let loops = loops_of(src, Options::default());
+    let l = loops
+        .iter()
+        .find(|l| l.routine == "t" && l.var == "i")
+        .unwrap();
+    let v = privatize::judge_loop(l);
+    let a = v.arrays.iter().find(|a| a.array == "a").unwrap();
+    assert!(a.flow_dep, "aliased recurrence must be detected: {a:?}");
+    assert!(!a.privatizable, "{a:?}");
+    assert!(!v.parallel_after_privatization, "{v:?}");
+}
+
+#[test]
+fn equivalence_partners_are_overlaid_and_poisoned() {
+    // w and v share storage via EQUIVALENCE. Privatizing w would break
+    // the read of v(1) (it reads w(1)'s cell), so overlaid arrays are
+    // banned from candidacy and writes poison the partner's MOD.
+    let src = "
+      PROGRAM t
+      REAL w(10), v(10), r(100)
+      EQUIVALENCE (w(1), v(1))
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i + k)
+        ENDDO
+        r(i) = v(1)
+      ENDDO
+      END
+";
+    let loops = loops_of(src, Options::default());
+    let l = loops.iter().find(|l| l.var == "i" && l.depth == 0).unwrap();
+    assert!(
+        l.overlaid.contains("w") && l.overlaid.contains("v"),
+        "{:?}",
+        l.overlaid
+    );
+    let v = privatize::judge_loop(l);
+    let w = v.arrays.iter().find(|a| a.array == "w").unwrap();
+    assert!(!w.privatizable, "overlaid arrays never privatize: {w:?}");
+    assert!(
+        !v.parallel_after_privatization,
+        "the overlay carries a cross-iteration dependence: {v:?}"
+    );
+    // Without the EQUIVALENCE the same loop privatizes w and runs
+    // parallel — the degradation is attributable to the overlay alone.
+    let clean = loops_of(
+        &src.replace("      EQUIVALENCE (w(1), v(1))\n", ""),
+        Options::default(),
+    );
+    let l2 = clean.iter().find(|l| l.var == "i" && l.depth == 0).unwrap();
+    assert!(l2.overlaid.is_empty());
+    let v2 = privatize::judge_loop(l2);
+    assert!(v2.parallel_after_privatization, "{v2:?}");
+}

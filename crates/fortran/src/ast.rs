@@ -223,6 +223,10 @@ pub struct Routine {
     pub parameters: Vec<(String, Expr)>,
     /// `COMMON /block/ names`.
     pub commons: Vec<(String, Vec<String>)>,
+    /// `EQUIVALENCE (item, item, …), …` — each group lists storage-
+    /// associated items as `(name, subscripts)`; a bare name has no
+    /// subscripts and anchors at its first element.
+    pub equivalences: Vec<Vec<(String, Vec<Expr>)>>,
     /// Executable statements.
     pub body: Vec<Stmt>,
 }
@@ -328,6 +332,7 @@ mod tests {
                 arrays: vec![],
                 parameters: vec![],
                 commons: vec![],
+                equivalences: vec![],
                 body: vec![],
             }],
         };

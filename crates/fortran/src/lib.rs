@@ -7,7 +7,7 @@
 //!
 //! * `PROGRAM` / `SUBROUTINE` units with parameters,
 //! * `INTEGER` / `REAL` / `LOGICAL` declarations, `DIMENSION`,
-//!   `PARAMETER`, `COMMON`,
+//!   `PARAMETER`, `COMMON`, `EQUIVALENCE`,
 //! * assignments, arithmetic/relational/logical expressions with the
 //!   classic `.GT.`-style operators, intrinsic calls,
 //! * `DO` loops (both `DO label …`/`label CONTINUE` and `DO …`/`ENDDO`),
@@ -31,5 +31,6 @@ pub use ast::{
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse_program, ParseError};
 pub use sema::{
-    analyze, implicit_ty, ArrayInfo, ProgramSema, SemaError, SymbolKind, SymbolTable, INTRINSICS,
+    analyze, implicit_ty, ArrayInfo, ProgramSema, SemaError, StorageClass, StorageLoc, SymbolKind,
+    SymbolTable, ELEM_BYTES, INTRINSICS,
 };

@@ -204,6 +204,7 @@ impl Parser {
             arrays: Vec::new(),
             parameters: Vec::new(),
             commons: Vec::new(),
+            equivalences: Vec::new(),
             body: Vec::new(),
         };
         // Declarations and executable statements, until END.
@@ -312,6 +313,46 @@ impl Parser {
                     }
                 }
                 r.commons.push((block, names));
+            }
+            self.expect_newline()?;
+            return Ok(true);
+        }
+        if self.eat_ident("equivalence") {
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut group = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    let subs = if matches!(self.peek(), TokenKind::LParen) {
+                        self.bump();
+                        let mut subs = vec![self.expr()?];
+                        while matches!(self.peek(), TokenKind::Comma) {
+                            self.bump();
+                            subs.push(self.expr()?);
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        subs
+                    } else {
+                        Vec::new()
+                    };
+                    group.push((name, subs));
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                if group.len() < 2 {
+                    return Err(self.err("EQUIVALENCE group needs at least two items"));
+                }
+                group.sort_by(|a, b| a.0.cmp(&b.0));
+                r.equivalences.push(group);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
             }
             self.expect_newline()?;
             return Ok(true);
@@ -868,6 +909,38 @@ mod tests {
             }
             other => panic!("expected DO, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_equivalence_groups() {
+        let r = parse_one(
+            "
+      PROGRAM t
+      REAL x(10), y(4), s
+      EQUIVALENCE (x(3), y(1)), (s, x(10))
+      END
+",
+        );
+        assert_eq!(r.equivalences.len(), 2);
+        // Groups are canonicalized by name.
+        assert_eq!(r.equivalences[0][0].0, "x");
+        assert_eq!(r.equivalences[0][1].0, "y");
+        assert_eq!(r.equivalences[0][0].1, vec![Expr::Int(3)]);
+        assert_eq!(r.equivalences[1][0].0, "s");
+        assert!(r.equivalences[1][0].1.is_empty());
+        assert_eq!(r.equivalences[1][1].1, vec![Expr::Int(10)]);
+    }
+
+    #[test]
+    fn equivalence_single_item_rejected() {
+        assert!(parse_program(
+            "
+      PROGRAM t
+      EQUIVALENCE (x(1))
+      END
+"
+        )
+        .is_err());
     }
 
     #[test]

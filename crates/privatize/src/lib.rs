@@ -197,7 +197,11 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
 
     for (name, sets) in &la.arrays {
         let written = !sets.mod_i.is_empty();
+        // Arrays whose storage overlaps another name (EQUIVALENCE or
+        // COMMON layout) are never privatization candidates: a private
+        // copy would sever the overlay partners' view of the bytes.
         let candidate = written
+            && !la.overlaid.contains(name)
             && !regions_contain_var(&sets.mod_i, &la.var)
             && !regions_contain_var(&sets.ue_i, &la.var);
         let flow_dep = !disjoint(&sets.ue_i, &sets.mod_lt);

@@ -1,0 +1,344 @@
+//! Differential alias corpus: paired kernels, one per aliasing route
+//! (same actual twice, COMMON-visible actual, EQUIVALENCE overlay),
+//! each cross-validated against the dynamic race oracle. A soundness
+//! violation is a hard failure; a precision gap is only a metric.
+//!
+//! Every degraded kernel must also carry a P00x lint witness naming the
+//! conservative assumption, and its clean twin must not.
+
+use alias::{lint_program, LintCode};
+use dataflow::{Analyzer, Options};
+use fortran::{Program, ProgramSema};
+use privatize::{judge_all, DepClass, LoopVerdict};
+use raceoracle::{validate, LoopComparison, OracleReport, Outcome};
+
+fn analyze(src: &str, opts: Options) -> (Program, ProgramSema, Vec<LoopVerdict>) {
+    let program = fortran::parse_program(src).unwrap();
+    let sema = fortran::analyze(&program).unwrap();
+    let h = hsg::build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, opts);
+    az.run();
+    let verdicts = judge_all(&az.loops);
+    (program, sema, verdicts)
+}
+
+struct Run {
+    report: OracleReport,
+    verdicts: Vec<LoopVerdict>,
+    lints: Vec<alias::Lint>,
+}
+
+fn oracle(src: &str, opts: Options) -> Run {
+    let interprocedural = opts.interprocedural;
+    let (program, sema, verdicts) = analyze(src, opts);
+    let report = validate(&program, &sema, &verdicts);
+    let lints = lint_program(&program, &sema, interprocedural);
+    Run {
+        report,
+        verdicts,
+        lints,
+    }
+}
+
+fn the_loop<'a>(r: &'a OracleReport, routine: &str, var: &str) -> &'a LoopComparison {
+    r.loops
+        .iter()
+        .find(|c| c.routine == routine && c.var == var)
+        .unwrap_or_else(|| panic!("loop {routine}/{var} missing"))
+}
+
+fn target<'a>(v: &'a [LoopVerdict], routine: &str, var: &str) -> &'a LoopVerdict {
+    v.iter()
+        .find(|v| v.routine == routine && v.var == var)
+        .unwrap()
+}
+
+fn has_code(run: &Run, code: LintCode) -> bool {
+    run.lints.iter().any(|l| l.code == code)
+}
+
+// ------------------------------------------------- same actual twice
+
+#[test]
+fn same_actual_racy() {
+    // CALL step(a, a, i): the callee's write of x(i) feeds the next
+    // iteration's read of y(i-1) through the shared actual.
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL a(200), r(200)
+      INTEGER i
+      a(1) = 0.0
+      DO i = 2, 100
+        CALL step(a, a, i)
+        r(i) = a(i)
+      ENDDO
+      END
+
+      SUBROUTINE step(x, y, i)
+      REAL x(200), y(200)
+      INTEGER i
+      x(i) = y(i-1) + 1.0
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(!v.parallel_after_privatization, "static must say serial");
+    let c = the_loop(&run.report, "t", "i");
+    assert!(c.dynamic_conflicts["a"].contains(&DepClass::Flow), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(run.report.sound());
+    assert!(has_code(&run, LintCode::AliasedActuals), "{:?}", run.lints);
+}
+
+#[test]
+fn same_actual_clean() {
+    // Distinct actuals: the recurrence disappears and the loop is
+    // parallel. No alias lint may fire.
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL a(200), b(200), r(200)
+      INTEGER i
+      b(1) = 0.0
+      DO i = 2, 100
+        CALL step(a, b, i)
+        r(i) = a(i)
+      ENDDO
+      END
+
+      SUBROUTINE step(x, y, i)
+      REAL x(200), y(200)
+      INTEGER i
+      x(i) = y(i-1) + 1.0
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(v.parallel_after_privatization, "{v:?}");
+    let c = the_loop(&run.report, "t", "i");
+    assert!(c.dynamic_conflicts.is_empty(), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(run.report.sound());
+    assert!(!has_code(&run, LintCode::AliasedActuals), "{:?}", run.lints);
+}
+
+// ------------------------------------------- COMMON-visible actual
+
+#[test]
+fn common_visible_actual_racy() {
+    // The actual `c` is COMMON storage the callee also sees by name:
+    // the write through the formal x races with the read through the
+    // COMMON view one iteration later.
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL c(200), r(200)
+      COMMON /shared/ c
+      INTEGER i
+      c(1) = 0.0
+      DO i = 2, 100
+        CALL bump(c, i)
+        r(i) = c(i)
+      ENDDO
+      END
+
+      SUBROUTINE bump(x, i)
+      REAL c(200), x(200)
+      COMMON /shared/ c
+      INTEGER i
+      x(i) = c(i-1) + 1.0
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(!v.parallel_after_privatization, "static must say serial");
+    let c = the_loop(&run.report, "t", "i");
+    assert!(c.dynamic_conflicts["c"].contains(&DepClass::Flow), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(run.report.sound());
+    assert!(has_code(&run, LintCode::AliasedActuals), "{:?}", run.lints);
+}
+
+#[test]
+fn common_visible_actual_clean() {
+    // The caller still owns COMMON /shared/, but the callee neither
+    // declares nor reaches it — passing a local array is alias-free.
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL c(200), b(200), r(200)
+      COMMON /shared/ c
+      INTEGER i
+      DO i = 2, 100
+        CALL bump(b, i)
+        r(i) = b(i)
+      ENDDO
+      END
+
+      SUBROUTINE bump(x, i)
+      REAL x(200)
+      INTEGER i
+      x(i) = float(i)
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(v.parallel_after_privatization, "{v:?}");
+    let c = the_loop(&run.report, "t", "i");
+    assert!(c.dynamic_conflicts.is_empty(), "{c:?}");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(run.report.sound());
+    assert!(!has_code(&run, LintCode::AliasedActuals), "{:?}", run.lints);
+}
+
+// --------------------------------------------- EQUIVALENCE overlay
+
+#[test]
+fn equivalence_overlay_racy() {
+    // v(1) overlays w(1): privatizing w would starve the read of v(1).
+    // The interpreter does not model storage association, so the
+    // dynamic side cannot witness this race — the static verdict must
+    // be conservative on its own, and the comparison may only come out
+    // as a precision gap (metric), never a soundness violation (hard).
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL w(10), v(10), r(100)
+      EQUIVALENCE (w(1), v(1))
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i + k)
+        ENDDO
+        r(i) = v(1)
+      ENDDO
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(
+        !v.parallel_after_privatization,
+        "overlaid storage must stay serial: {v:?}"
+    );
+    assert!(!v.privatized.contains(&"w".to_string()), "{v:?}");
+    let c = the_loop(&run.report, "t", "i");
+    assert_ne!(c.outcome, Outcome::SoundnessViolation, "{c:?}");
+    assert!(run.report.sound());
+    assert!(
+        has_code(&run, LintCode::EquivalenceOverlay),
+        "{:?}",
+        run.lints
+    );
+}
+
+#[test]
+fn equivalence_overlay_clean() {
+    // Identical code without the EQUIVALENCE: w privatizes and the
+    // loop parallelizes, confirmed by the oracle.
+    let run = oracle(
+        "
+      PROGRAM t
+      REAL w(10), v(10), r(100)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i + k)
+        ENDDO
+        r(i) = v(1)
+      ENDDO
+      END
+",
+        Options::default(),
+    );
+    let v = target(&run.verdicts, "t", "i");
+    assert!(v.parallel_after_privatization, "{v:?}");
+    assert!(v.privatized.contains(&"w".to_string()), "{v:?}");
+    let c = the_loop(&run.report, "t", "i");
+    assert_eq!(c.outcome, Outcome::Confirmed, "{c:?}");
+    assert!(run.report.sound());
+    assert!(
+        !has_code(&run, LintCode::EquivalenceOverlay),
+        "{:?}",
+        run.lints
+    );
+}
+
+// ------------------------------------------------ generated corpus
+
+use proptest::prelude::*;
+
+/// Builds one program with an alias-carrying call site.
+///
+/// * `mode` 0: `CALL s(a, a, i)` — must-aliased actuals;
+/// * `mode` 1: COMMON-visible actual — the callee reads the block the
+///   actual lives in;
+/// * `mode` 2: distinct local actuals — alias-free control.
+///
+/// `d1`/`d2` skew the written and read subscripts, so generated sites
+/// cover no-dependence, in-iteration and cross-iteration overlap.
+fn gen_program(mode: u8, d1: i64, d2: i64) -> String {
+    let body = format!("x(i+{d1}) = y(i-{d2}) + 1.0");
+    let (call, decls, ybind) = match mode {
+        0 => ("CALL s(a, a, i)", "", "y"),
+        1 => ("CALL s(b, i)", "      COMMON /g/ b\n", "b"),
+        _ => ("CALL s(a, b, i)", "", "y"),
+    };
+    let (params, ydecl) = if mode == 1 {
+        ("x, i", "      REAL b(300)\n      COMMON /g/ b\n")
+    } else {
+        ("x, y, i", "      REAL y(300)\n")
+    };
+    format!(
+        "
+      PROGRAM t
+      REAL a(300), b(300), r(200)
+{decls}      INTEGER i
+      DO i = 5, 100
+        {call}
+        r(i) = a(1) + b(1)
+      ENDDO
+      END
+
+      SUBROUTINE s({params})
+      REAL x(300)
+{ydecl}      INTEGER i
+      {}
+      END
+",
+        body.replace('y', ybind)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the aliasing route, subscript skew and technique
+    /// setting, the static verdict is never contradicted by the
+    /// dynamic trace.
+    #[test]
+    fn generated_alias_callsites_never_unsound(
+        mode in 0u8..3,
+        d1 in 0i64..3,
+        d2 in 0i64..4,
+        t3 in 0u8..2,
+    ) {
+        let src = gen_program(mode, d1, d2);
+        let opts = Options {
+            interprocedural: t3 == 1,
+            ..Options::default()
+        };
+        let (program, sema, verdicts) = analyze(&src, opts);
+        let report = validate(&program, &sema, &verdicts);
+        prop_assert!(
+            report.sound(),
+            "mode={mode} d1={d1} d2={d2} t3={t3}:\n{src}\n{:?}",
+            report.violations().collect::<Vec<_>>()
+        );
+    }
+}

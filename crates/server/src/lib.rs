@@ -284,6 +284,7 @@ impl Daemon {
                     out.analysis.stats.peak_state_size,
                     oracle,
                 );
+                self.metrics.record_lints(&out.analysis.lints);
                 ok_response(id, out.json())
             }
             Err(e) => {

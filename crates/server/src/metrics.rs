@@ -31,6 +31,9 @@ pub struct Metrics {
     pub peak_queue_depth: AtomicUsize,
     /// Largest per-request peak transient GAR state (memory proxy).
     pub peak_state_size: AtomicUsize,
+    /// Lints emitted by completed analyses, one counter per stable
+    /// `panolint` code (index = position in [`panorama::LintCode::ALL`]).
+    pub lints: [AtomicU64; 6],
     /// Aggregate per-phase analysis time, in microseconds.
     pub parse_micros: AtomicU64,
     /// Semantic analysis time.
@@ -78,6 +81,15 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a completed analysis's lints into the per-code counters.
+    pub fn record_lints(&self, lints: &[panorama::Lint]) {
+        for l in lints {
+            if let Some(k) = panorama::LintCode::ALL.iter().position(|c| *c == l.code) {
+                self.lints[k].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Records a completed-but-degraded analysis.
     pub fn record_degraded(&self, reason: Option<panorama::DegradeReason>) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
@@ -117,6 +129,16 @@ impl Metrics {
                     ("panics".to_string(), load(&self.panics)),
                     ("oracle_runs".to_string(), load(&self.oracle_runs)),
                 ]),
+            ),
+            (
+                "lints".to_string(),
+                Value::Object(
+                    panorama::LintCode::ALL
+                        .iter()
+                        .enumerate()
+                        .map(|(k, c)| (c.code().to_string(), load(&self.lints[k])))
+                        .collect(),
+                ),
             ),
             ("cache".to_string(), cache_obj),
             (
@@ -176,6 +198,12 @@ impl Metrics {
             )),
             None => out.push_str("panoramad: cache disabled\n"),
         }
+        let lint_counts: Vec<String> = panorama::LintCode::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, c)| format!("{}={}", c.code(), self.lints[k].load(Ordering::Relaxed)))
+            .collect();
+        out.push_str(&format!("panoramad: lints {}\n", lint_counts.join(" ")));
         out.push_str(&format!(
             "panoramad: phase micros parse={} sema={} hsg={} conventional={} dataflow={}, peak state {} GAR units\n",
             self.parse_micros.load(Ordering::Relaxed),

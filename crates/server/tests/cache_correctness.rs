@@ -242,3 +242,86 @@ fn starved_verdicts_are_conservative_not_wrong() {
         }
     }
 }
+
+/// Byte-identical caller `PROGRAM`; the two callees differ only in the
+/// storage they can reach. Under `--no-interprocedural` the caller's
+/// summary depends on that reach (the conservative clobber is scoped to
+/// the callee's COMMON blocks), so the caller's cache key must differ
+/// even though its own AST does not.
+const ALIAS_CALLER: &str = "
+      PROGRAM px
+      REAL c(50), b(10)
+      COMMON /blk/ c
+      INTEGER i
+      DO i = 1, 50
+        c(i) = float(i)
+        CALL f(b)
+      ENDDO
+      END
+";
+
+#[test]
+fn caller_side_aliasing_participates_in_the_cache_key() {
+    let opts = Options {
+        interprocedural: false,
+        ..Options::default()
+    };
+    let storage_free = format!(
+        "{ALIAS_CALLER}
+      SUBROUTINE f(b)
+      REAL b(10)
+      b(1) = 1.0
+      END
+"
+    );
+    let reaches_blk = format!(
+        "{ALIAS_CALLER}
+      SUBROUTINE f(b)
+      REAL c(50), b(10)
+      COMMON /blk/ c
+      b(1) = 1.0
+      c(1) = 2.0
+      END
+"
+    );
+
+    // The two programs genuinely disagree about `c`: proof that reusing
+    // the caller's summary across them would change a verdict.
+    let flags = |src: &str| {
+        let an = analyze_source_with_cache(src, opts, None).unwrap();
+        let v = an.verdicts.iter().find(|v| v.routine == "px").unwrap();
+        let c = v.arrays.iter().find(|a| a.array == "c").unwrap();
+        (c.flow_dep, c.output_dep, c.anti_dep)
+    };
+    assert_eq!(flags(&storage_free), (false, false, false));
+    assert_ne!(flags(&reaches_blk), (false, false, false));
+
+    // Warm the cache with the storage-free program, then analyze the
+    // /blk/-reaching one through the same cache: the report must match
+    // its cold run bit for bit (no stale caller summary was replayed).
+    let cache = Arc::new(panorama::MemoryCache::new());
+    let warm_json = |src: &str| {
+        let an = analyze_source_with_cache(src, opts, share(&cache)).unwrap();
+        serde_json::to_string(&json_report(&an, None)).unwrap()
+    };
+    let cold_json = |src: &str| {
+        let an = analyze_source_with_cache(src, opts, None).unwrap();
+        serde_json::to_string(&json_report(&an, None)).unwrap()
+    };
+    let _ = warm_json(&storage_free);
+    let before = cache.counters();
+    let warm = warm_json(&reaches_blk);
+    let after = cache.counters();
+    assert_eq!(warm, cold_json(&reaches_blk));
+    assert_eq!(
+        after.hits, before.hits,
+        "the caller key must miss when the callee's storage reach changes: {after:?}"
+    );
+    assert!(after.misses > before.misses, "{after:?}");
+
+    // Replaying each program against its own warm entries stays a hit.
+    let before = cache.counters();
+    assert_eq!(warm_json(&storage_free), cold_json(&storage_free));
+    assert_eq!(warm_json(&reaches_blk), cold_json(&reaches_blk));
+    assert!(cache.counters().hits > before.hits);
+}

@@ -139,3 +139,55 @@ fn fuel_limited_reports_identical_across_jobs_and_cache() {
         );
     }
 }
+
+#[test]
+fn daemon_lints_match_direct_analysis() {
+    // The `lints` array a daemon response carries is byte-identical to
+    // the one the library (and therefore `panorama --lint --json`)
+    // computes for the same source — concurrency, queueing and the
+    // summary cache must not touch it.
+    let daemon = Daemon::new(Config {
+        jobs: 4,
+        cache: Some(None),
+        ..Config::default()
+    });
+    let input = request_stream();
+    let mut out = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input), &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf8");
+    let by_id: std::collections::BTreeMap<String, Value> = text
+        .lines()
+        .map(|line| {
+            let v: Value = serde_json::from_str(line).expect("response json");
+            let id = match v.get("id").unwrap() {
+                Value::Str(s) => s.clone(),
+                other => panic!("unexpected id {other:?}"),
+            };
+            (id, v)
+        })
+        .collect();
+    let mut seen = 0;
+    for k in kernels() {
+        let analysis =
+            panorama::analyze_source(k.source, panorama::Options::default()).expect("analysis");
+        let direct = panorama::json_report(&analysis, None);
+        let want = serde_json::to_string(direct.get("lints").expect("lints key")).unwrap();
+        for pass in 0..2 {
+            let resp = &by_id[&format!("{}/{pass}", k.loop_label)];
+            let got = resp
+                .get("report")
+                .and_then(|r| r.get("lints"))
+                .unwrap_or_else(|| panic!("{}: no lints in response", k.loop_label));
+            assert_eq!(
+                serde_json::to_string(got).unwrap(),
+                want,
+                "{}/{pass}: daemon lints diverge from direct analysis",
+                k.loop_label
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 2 * kernels().len());
+}

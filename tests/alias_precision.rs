@@ -1,0 +1,127 @@
+//! Precision guards for the alias layer: the benchsuite kernels are
+//! alias-clean, so the new degradation machinery must not cost them a
+//! single verdict — and the storage-class-scoped conservative clobber
+//! must leave COMMON storage alone when the callees cannot reach it.
+
+use panorama::{analyze_source, LintCode, Options};
+
+fn no_t3() -> Options {
+    Options {
+        interprocedural: false,
+        ..Options::default()
+    }
+}
+
+#[test]
+fn benchsuite_kernels_keep_their_verdicts_under_the_alias_layer() {
+    // Table 1/2 ground truth: no kernel passes one array twice, none
+    // mismatches COMMON layouts — the alias pass must classify every
+    // call clean and leave the paper's privatization results intact.
+    for k in benchsuite::kernels() {
+        let an = analyze_source(k.source, Options::default()).unwrap();
+        let v = an
+            .verdicts
+            .iter()
+            .find(|v| v.routine == k.routine && v.var == k.var && v.depth == 0)
+            .unwrap_or_else(|| panic!("{}: target loop missing", k.loop_label));
+        for arr in k.privatizable {
+            let a = v.arrays.iter().find(|a| &a.array == arr).unwrap();
+            assert!(a.privatizable, "{}: lost {arr}", k.loop_label);
+        }
+        for l in &an.lints {
+            assert!(
+                !matches!(
+                    l.code,
+                    LintCode::AliasedActuals | LintCode::ReshapedAcrossCall
+                ),
+                "{}: benchsuite kernel flagged as aliased: {l}",
+                k.loop_label
+            );
+        }
+    }
+}
+
+#[test]
+fn conservative_clobber_carries_a_p006_witness() {
+    // The same kernels without interprocedural analysis: every CALL is
+    // summarized conservatively and says so through a stable lint.
+    for k in benchsuite::kernels() {
+        let has_call = k.source.to_lowercase().contains("call ");
+        let an = analyze_source(k.source, no_t3()).unwrap();
+        let clobbers = an
+            .lints
+            .iter()
+            .filter(|l| l.code == LintCode::ConservativeClobber)
+            .count();
+        assert_eq!(
+            clobbers > 0,
+            has_call,
+            "{}: P006 must fire exactly on call-bearing kernels",
+            k.loop_label
+        );
+    }
+}
+
+#[test]
+fn scoped_clobber_keeps_unreachable_common_precise() {
+    // TRACK nlfilt/300 extended with a COMMON accumulator the callees
+    // never see. The seed clobbered every COMMON name in the caller at
+    // each non-interprocedural CALL, which would have manufactured
+    // output dependences on csum; the scoped clobber only degrades the
+    // storage the callee can actually reach, so csum stays exact.
+    let k = benchsuite::kernels()
+        .into_iter()
+        .find(|k| k.loop_label == "nlfilt/300")
+        .unwrap();
+    let src = k
+        .source
+        .replace(
+            "      REAL r(100)\n",
+            "      REAL r(100), csum(100)\n      COMMON /accum/ csum\n",
+        )
+        .replace(
+            "        call score(r, xsd, i)\n",
+            "        call score(r, xsd, i)\n        csum(i) = float(i)\n",
+        );
+    assert_ne!(src, k.source, "kernel source drifted; update the test");
+    assert!(src.contains("csum(i)"));
+
+    let an = analyze_source(&src, no_t3()).unwrap();
+    let v = an
+        .verdicts
+        .iter()
+        .find(|v| v.routine == k.routine && v.var == k.var && v.depth == 0)
+        .unwrap();
+    let csum = v.arrays.iter().find(|a| a.array == "csum").unwrap();
+    // The seed's blanket clobber gave csum unknown MOD/UE/DE at every
+    // CALL: flow and anti dependences out of thin air, privatization
+    // impossible. Scoped, csum keeps its real sets. (An output
+    // dependence remains: the loop index is passed by reference into
+    // the callees, so the clobbered scalar makes the subscript
+    // non-exact — that conservatism is about `i`, not about storage.)
+    assert!(
+        !csum.flow_dep && !csum.anti_dep,
+        "COMMON storage no callee reaches must stay precise: {csum:?}"
+    );
+    assert!(
+        csum.privatizable,
+        "csum's write still covers the iteration: {csum:?}"
+    );
+    // The actual arguments are still clobbered — the loop itself stays
+    // conservative without interprocedural analysis.
+    assert!(!v.parallel_after_privatization, "{v:?}");
+
+    // With interprocedural analysis the extended kernel keeps the
+    // paper's verdict: work arrays privatize, the loop parallelizes.
+    let full = analyze_source(&src, Options::default()).unwrap();
+    let v = full
+        .verdicts
+        .iter()
+        .find(|v| v.routine == k.routine && v.var == k.var && v.depth == 0)
+        .unwrap();
+    assert!(v.parallel_after_privatization, "{v:?}");
+    for arr in k.privatizable {
+        let a = v.arrays.iter().find(|a| &a.array == arr).unwrap();
+        assert!(a.privatizable, "lost {arr} in the extended kernel");
+    }
+}

@@ -1,0 +1,89 @@
+//! Golden lint output over the benchsuite: the exact diagnostics for
+//! every kernel are checked in at `tests/golden/benchsuite_lints.txt`
+//! and must never change silently. CI re-derives the same bytes through
+//! the `panorama --lint --json` CLI (see the `lint-golden` job).
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p panorama --test lint_golden`.
+
+use panorama::{analyze_source, Options};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/benchsuite_lints.txt"
+);
+
+/// Renders one kernel's section, using the same `Display` the CLI's
+/// `--lint` mode prints and the field layout `--json` exposes.
+fn section(program: &str, label: &str, source: &str, opts: Options) -> String {
+    let analysis = analyze_source(source, opts).unwrap();
+    let mut out = format!("== {program} {label} ==\n");
+    if analysis.lints.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for l in &analysis.lints {
+        out.push_str(&format!("{l}\n"));
+    }
+    out
+}
+
+fn render() -> String {
+    // Each kernel twice: the full analysis (alias-clean corpus — the
+    // interesting fact is which codes do NOT fire) and the
+    // `--no-interprocedural` ablation, where every CALL must carry its
+    // P006 conservative-clobber witness.
+    let mut out = String::new();
+    for k in benchsuite::kernels() {
+        out.push_str(&section(
+            k.program,
+            k.loop_label,
+            k.source,
+            Options::default(),
+        ));
+        out.push_str(&section(
+            k.program,
+            &format!("{} --no-interprocedural", k.loop_label),
+            k.source,
+            Options {
+                interprocedural: false,
+                ..Options::default()
+            },
+        ));
+    }
+    out
+}
+
+#[test]
+fn benchsuite_lints_match_the_golden_file() {
+    let got = render();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "lint output drifted from tests/golden/benchsuite_lints.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_rendering_is_independent_of_noise_options() {
+    // The lints derive from the AST and the technique toggles alone:
+    // tracing, fuel accounting and the oracle must not perturb them.
+    for k in benchsuite::kernels() {
+        let base = section(k.program, k.loop_label, k.source, Options::default());
+        let traced = section(
+            k.program,
+            k.loop_label,
+            k.source,
+            Options {
+                trace: true,
+                ..Options::default()
+            },
+        );
+        assert_eq!(base, traced, "{}: trace changed lints", k.loop_label);
+    }
+}
