@@ -149,6 +149,7 @@ pub fn classify_call(
     callee_params: &[String],
     args: &[Expr],
 ) -> CallAliasing {
+    let _span = trace::span_with(|| format!("alias:{caller}->{callee}"));
     let mut out = CallAliasing::default();
     let Some(caller_t) = sema.tables.get(caller) else {
         return out;

@@ -12,8 +12,10 @@
 //!   --dump-hsg            print the hierarchical supergraph
 //!   --summaries           print per-routine MOD/UE/DE summaries
 //!   --stats               print timing and size statistics
-//!   --explain             run the dynamic race oracle and attach
-//!                         witness diagnostics to negative verdicts
+//!   --explain             run the dynamic race oracle, attach witness
+//!                         diagnostics to negative verdicts, and print
+//!                         the provenance decision trace of every
+//!                         verdict (positive and negative)
 //!   --lint                print panolint diagnostics (stable P00x
 //!                         codes for every conservative assumption)
 //!   --json                emit the report as JSON (schema in DESIGN.md)
@@ -21,6 +23,8 @@
 //!                         exhaustion verdicts widen conservatively and
 //!                         the report is marked degraded
 //!   --deadline-ms N       wall-clock budget for the analysis phase
+//!   --trace-out FILE      write a Chrome trace-event JSON profile of
+//!                         the run (open in Perfetto / chrome://tracing)
 //! ```
 
 use panorama::{driver, FuelLimits, Options, Outcome};
@@ -30,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
          \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats]\n\
-         \x20                [--explain] [--lint] [--json] [--fuel N] [--deadline-ms N] FILE.f"
+         \x20                [--explain] [--lint] [--json] [--fuel N] [--deadline-ms N]\n\
+         \x20                [--trace-out FILE] FILE.f"
     );
     std::process::exit(2);
 }
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
     let mut explain = false;
     let mut lint = false;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut file = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +81,16 @@ fn main() -> ExitCode {
             "--lint" => lint = true,
             "--json" => json = true,
             "--fuel" => limits.steps = Some(num(&mut i)),
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-out requires a file path");
+                        usage();
+                    }
+                }
+            }
             "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -104,14 +120,27 @@ fn main() -> ExitCode {
         opts,
         oracle: explain,
         limits,
+        trace_spans: trace_out.is_some(),
     };
-    let out = match driver::run(&request) {
+    let scope = trace_out
+        .as_ref()
+        .map(|_| trace::CollectorScope::install(trace::Collector::new()));
+    let result = driver::run(&request);
+    let collector = scope.and_then(trace::CollectorScope::finish);
+    let out = match result {
         Ok(out) => out,
         Err(e) => {
             eprintln!("panorama: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(path), Some(collector)) = (&trace_out, &collector) {
+        let json = trace::chrome_trace(&[("panorama".to_string(), collector)]);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("panorama: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if json {
         match serde_json::to_string_pretty(&out.json()) {
@@ -208,6 +237,11 @@ fn main() -> ExitCode {
                     a.privatizable,
                     if a.needs_copy_out { " (copy-out)" } else { "" }
                 );
+            }
+        }
+        if explain {
+            for e in &v.provenance {
+                println!("    prov: {}", e.render());
             }
         }
         for d in &v.diagnostics {

@@ -23,6 +23,12 @@ pub struct Request<'a> {
     pub oracle: bool,
     /// Resource budgets (fuel/state caps/deadline); unlimited by default.
     pub limits: FuelLimits,
+    /// This request's span tree will be reported (the caller installs a
+    /// `trace::Collector` around [`run`]). Trace-reported requests
+    /// bypass the summary cache: cache replay changes which `sum_*`
+    /// spans exist, and the determinism contract extends to span trees
+    /// (`crates/server/tests/determinism.rs`).
+    pub trace_spans: bool,
 }
 
 impl<'a> Request<'a> {
@@ -33,6 +39,7 @@ impl<'a> Request<'a> {
             opts: Options::default(),
             oracle: false,
             limits: FuelLimits::unlimited(),
+            trace_spans: false,
         }
     }
 }
@@ -69,6 +76,7 @@ pub fn run_with_cache(
     req: &Request<'_>,
     cache: Option<Arc<dyn SummaryCache>>,
 ) -> Result<Outcome, PanoramaError> {
+    let cache = if req.trace_spans { None } else { cache };
     let mut analysis = analyze_source_limited(req.source, req.opts, cache, req.limits)?;
     let oracle = req.oracle.then(|| analysis.run_oracle());
     Ok(Outcome { analysis, oracle })

@@ -46,7 +46,7 @@ pub use dataflow::{
     MemoryCache, Options, RoutineAnalysis, Summary, SummaryCache,
 };
 pub use fortran::{Program, ProgramSema};
-pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict};
+pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict, ProvEntry};
 pub use raceoracle::{LoopComparison, OracleReport, Outcome};
 
 /// Any front-to-back analysis failure.
@@ -276,42 +276,63 @@ pub fn analyze_source_limited(
     limits: FuelLimits,
 ) -> Result<Analysis, PanoramaError> {
     let t0 = Instant::now();
-    let program = fortran::parse_program(src).map_err(PanoramaError::Parse)?;
+    let program = {
+        let _span = trace::span("parse");
+        fortran::parse_program(src).map_err(PanoramaError::Parse)?
+    };
     let t_parse = t0.elapsed();
 
     let t1 = Instant::now();
-    let sema = fortran::analyze(&program).map_err(PanoramaError::Sema)?;
+    let sema = {
+        let _span = trace::span("sema");
+        fortran::analyze(&program).map_err(PanoramaError::Sema)?
+    };
     let t_sema = t1.elapsed();
 
     let t2 = Instant::now();
-    let graph = hsg::build_hsg(&program).map_err(PanoramaError::Hsg)?;
+    let graph = {
+        let _span = trace::span("hsg");
+        hsg::build_hsg(&program).map_err(PanoramaError::Hsg)?
+    };
     let t_hsg = t2.elapsed();
 
     // Conventional pre-filter, as Panorama applies it (§6): loops it
     // proves parallel don't strictly need the dataflow analysis.
     let t3 = Instant::now();
     let mut conventional_parallel = Vec::new();
-    for r in &program.routines {
-        let table = &sema.tables[&r.name];
-        visit_loops(&r.body, &mut |stmt| {
-            if deptest::conventional_loop_test(stmt, table) == deptest::ConvVerdict::Parallel {
-                if let fortran::StmtKind::Do { var, .. } = &stmt.kind {
-                    conventional_parallel.push(format!("{}/{}", r.name, var));
+    {
+        let _span = trace::span("conventional");
+        for r in &program.routines {
+            let table = &sema.tables[&r.name];
+            visit_loops(&r.body, &mut |stmt| {
+                if deptest::conventional_loop_test(stmt, table) == deptest::ConvVerdict::Parallel {
+                    if let fortran::StmtKind::Do { var, .. } = &stmt.kind {
+                        conventional_parallel.push(format!("{}/{}", r.name, var));
+                    }
                 }
-            }
-        });
+            });
+        }
     }
     let t_conv = t3.elapsed();
 
     let t4 = Instant::now();
     let mut az = dataflow::Analyzer::with_limits(&program, &sema, &graph, opts, cache, limits);
-    let routines = az.run();
-    let verdicts = privatize::judge_all(&az.loops);
+    let routines = {
+        let _span = trace::span("dataflow");
+        az.run()
+    };
+    let verdicts = {
+        let _span = trace::span("privatize");
+        privatize::judge_all(&az.loops)
+    };
     let t_df = t4.elapsed();
 
     let degrade_reason = az.degradation();
     let (loops, stats, trace) = az.finish();
-    let lints = alias::lint_program(&program, &sema, opts.interprocedural);
+    let lints = {
+        let _span = trace::span("lint");
+        alias::lint_program(&program, &sema, opts.interprocedural)
+    };
     Ok(Analysis {
         program,
         sema,

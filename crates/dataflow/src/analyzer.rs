@@ -300,9 +300,12 @@ impl<'a> Analyzer<'a> {
         if let Some(entry) = cache.get(&key) {
             failpoints::fail_point("cache-replay", name);
             if let Some(summary) = self.replay_cached(name, &entry) {
+                trace::add("cache_replays", 1);
+                trace::event("cache_replay", || name.to_string());
                 return summary;
             }
         }
+        trace::add("cache_misses", 1);
         let loops_before = self.loops.len();
         let stats_before = self.stats.clone();
         let summary = self.summarize_cold(name);
@@ -322,6 +325,7 @@ impl<'a> Analyzer<'a> {
     /// pure function of the routine's content, so cached replays are
     /// bitwise-identical to recomputation.
     fn summarize_cold(&mut self, name: &str) -> Summary {
+        let _span = trace::span_with(|| format!("sum_routine:{name}"));
         let sg = *self
             .hsg
             .routines
@@ -336,6 +340,7 @@ impl<'a> Analyzer<'a> {
         self.fresh.leave_scope(scope);
         self.stats.routines_analyzed += 1;
         self.stats.total_summary_size += summary.size();
+        trace::add("summary_gar_pieces", summary.size() as u64);
         self.routine_summaries
             .insert(name.to_string(), summary.clone());
         summary
@@ -965,6 +970,7 @@ impl<'a> Analyzer<'a> {
         env: &mut ValueEnv,
         loop_vars: &BTreeSet<String>,
     ) -> Summary {
+        let _span = trace::span_with(|| format!("sum_call:{callee}"));
         // Reads performed by evaluating the actual argument expressions.
         let mut sum = Summary::new();
         {
@@ -1176,7 +1182,9 @@ impl<'a> Analyzer<'a> {
         // MOD/UE — over-approximate but usable.
         let aliasing =
             alias::classify_call(self.sema, routine, callee, &callee_routine.params, args);
+        trace::add("alias_classifications", 1);
         if !aliasing.clean() {
+            trace::event("alias_degrade", || format!("{routine} -> {callee}"));
             for t in aliasing.may_targets() {
                 if table.is_array(&t) {
                     let rank = table.array(&t).map(|x| x.rank()).unwrap_or(1);
@@ -1243,6 +1251,7 @@ impl<'a> Analyzer<'a> {
         loop_vars: &BTreeSet<String>,
         depth: usize,
     ) -> (Summary, Option<usize>) {
+        let _span = trace::span_with(|| format!("sum_loop:{routine}/{var}"));
         self.stats.loops_analyzed += 1;
         let fuel_events = self.fuel.events();
         // Bounds in the enclosing frame.
@@ -1528,6 +1537,22 @@ impl<'a> Analyzer<'a> {
             overlaid,
             degraded: self.fuel.halted() || self.fuel.events() != fuel_events,
         };
+        if trace::enabled() {
+            let mut pieces = 0u64;
+            let mut pred_terms = 0u64;
+            for s in la.arrays.values() {
+                for list in [&s.mod_i, &s.ue_i, &s.de_i, &s.mod_lt, &s.mod_gt] {
+                    pieces += list.gars().len() as u64;
+                    pred_terms += list
+                        .gars()
+                        .iter()
+                        .map(|g| g.guard.size() as u64)
+                        .sum::<u64>();
+                }
+            }
+            trace::add("loop_gar_pieces", pieces);
+            trace::add("pred_terms", pred_terms);
+        }
         self.loops.push(la);
         (loop_sum, Some(self.loops.len() - 1))
     }
@@ -1751,6 +1776,7 @@ impl<'a> Analyzer<'a> {
     /// `Approx::Over`, which the GAR algebra already treats as
     /// not-must-usable, so clamped MOD sets can never kill exposed uses.
     fn fuel_clamp(&mut self, list: GarList) -> GarList {
+        trace::add("expansions", 1);
         let lim = self.fuel.limits();
         if lim.max_gar_len.is_none() && lim.max_pred_terms.is_none() {
             return list;
@@ -1759,6 +1785,10 @@ impl<'a> Analyzer<'a> {
         if let Some(cap) = lim.max_pred_terms {
             if list.gars().iter().any(|g| g.guard.size() > cap) {
                 self.fuel.note_degraded(DegradeReason::StateCap);
+                trace::add("widenings", 1);
+                trace::event("fuel_widen", || {
+                    "predicate-term cap: guard -> true".to_string()
+                });
                 list = GarList::from_gars(list.gars().iter().map(|g| {
                     if g.guard.size() > cap {
                         Gar::with_approx(Pred::tru(), g.region.clone(), Approx::Over)
@@ -1771,6 +1801,10 @@ impl<'a> Analyzer<'a> {
         if let Some(cap) = lim.max_gar_len {
             if list.gars().len() > cap {
                 self.fuel.note_degraded(DegradeReason::StateCap);
+                trace::add("widenings", 1);
+                trace::event("fuel_widen", || {
+                    "GAR-length cap: list -> unknown".to_string()
+                });
                 let rank = list.gars().first().map(|g| g.rank()).unwrap_or(1);
                 list = GarList::single(Gar::unknown(rank));
             }
@@ -1809,6 +1843,10 @@ impl<'a> Analyzer<'a> {
         table: &SymbolTable,
         env: &mut ValueEnv,
     ) -> (Summary, BTreeSet<String>) {
+        trace::add("widenings", 1);
+        trace::event("fuel_widen", || {
+            "basic block -> unknown summary".to_string()
+        });
         let mut arrays = BTreeSet::new();
         let mut scalars = BTreeSet::new();
         collect_node_names(
@@ -1856,6 +1894,10 @@ impl<'a> Analyzer<'a> {
         depth: usize,
         loop_of_node: &[Option<usize>],
     ) -> Summary {
+        trace::add("widenings", 1);
+        trace::event("fuel_widen", || {
+            format!("segment of {routine} -> unknown summary")
+        });
         for li in loop_of_node.iter().flatten() {
             let arrays: BTreeSet<String> = self.loops[*li].arrays.keys().cloned().collect();
             self.loops[*li].live_after = arrays;

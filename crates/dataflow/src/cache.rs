@@ -33,7 +33,7 @@ use crate::summary::{Options, Summary};
 use fortran::{Program, ProgramSema};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A 128-bit content hash identifying one `(routine content, options)`
 /// summarization problem.
@@ -190,11 +190,20 @@ impl MemoryCache {
             ..MemoryCache::new()
         }
     }
+
+    /// Poison-safe lock: a worker panic mid-`put` leaves the map with
+    /// either the whole entry or none of it (a single `insert` is the
+    /// only mutation under the lock), so the surviving workers — and the
+    /// shutdown metrics dump calling [`SummaryCache::counters`] — keep
+    /// going instead of propagating the poison.
+    fn inner(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl SummaryCache for MemoryCache {
     fn get(&self, key: &CacheKey) -> Option<Arc<CachedRoutine>> {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.inner();
         match inner.map.get(&key.0) {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -208,7 +217,7 @@ impl SummaryCache for MemoryCache {
     }
 
     fn put(&self, key: CacheKey, entry: Arc<CachedRoutine>) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.inner();
         if inner.map.insert(key.0, entry).is_none() {
             inner.fifo.push_back(key.0);
             if let Some(cap) = self.capacity {
@@ -224,7 +233,7 @@ impl SummaryCache for MemoryCache {
     }
 
     fn counters(&self) -> CacheCounters {
-        let entries = self.inner.lock().expect("cache lock").map.len();
+        let entries = self.inner().map.len();
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

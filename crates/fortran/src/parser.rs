@@ -43,7 +43,13 @@ const MAX_NEST: usize = 400;
 /// Parses a whole source file into a [`Program`].
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     failpoints::fail_point("parse", src);
-    let toks = lex(src)?;
+    let toks = {
+        let _span = trace::span("lex");
+        let toks = lex(src)?;
+        trace::add("tokens", toks.len() as u64);
+        toks
+    };
+    let _span = trace::span("parse_units");
     let mut p = Parser {
         toks,
         pos: 0,
@@ -55,6 +61,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         routines.push(p.unit()?);
         p.skip_newlines();
     }
+    trace::add("routines", routines.len() as u64);
     Ok(Program { routines })
 }
 

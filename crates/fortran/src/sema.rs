@@ -239,6 +239,7 @@ pub struct ProgramSema {
 /// callees, and arity mismatches (mirroring the paper's assumptions:
 /// acyclic call graphs).
 pub fn analyze(program: &Program) -> Result<ProgramSema, SemaError> {
+    let _span = trace::span("sema_tables");
     let mut sema = ProgramSema::default();
     for r in &program.routines {
         let table = build_table(r)?;

@@ -27,9 +27,14 @@ impl std::error::Error for HsgError {}
 pub fn build_hsg(program: &Program) -> Result<Hsg, HsgError> {
     let mut hsg = Hsg::default();
     for r in &program.routines {
+        let _span = trace::span_with(|| format!("hsg:{}", r.name));
         let sg = build_subgraph(&mut hsg, &r.body, &r.name, false)?;
         hsg.routines.insert(r.name.clone(), sg);
     }
+    trace::add(
+        "hsg_nodes",
+        hsg.subgraphs.iter().map(|sg| sg.nodes.len() as u64).sum(),
+    );
     Ok(hsg)
 }
 

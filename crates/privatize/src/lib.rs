@@ -23,6 +23,49 @@ use dataflow::LoopAnalysis;
 use gar::GarList;
 use serde::Serialize;
 
+/// One step of the decision trace behind a verdict (DESIGN.md §4f).
+///
+/// A [`LoopVerdict`]'s `provenance` is the ordered chain of region
+/// operations that decided it: candidate screening, every loop-carried
+/// intersection test with the surviving GAR (guard included) when the
+/// intersection is non-empty, scalar/reduction classification, budget
+/// degradation, and a final `decide` entry naming the deciding
+/// intersection or degradation. Built purely from the [`LoopAnalysis`]
+/// sets, so it is byte-identical across worker counts and cache
+/// settings.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProvEntry {
+    /// Operation kind: `candidate`, `intersect`, `scalar`,
+    /// `premature_exit`, `degraded` or `decide`.
+    pub op: String,
+    /// The array or scalar concerned (empty for loop-level entries).
+    pub subject: String,
+    /// What was tested, e.g. `UE_i ∩ MOD_<i`, with the surviving GAR
+    /// and its guard when the test failed to prove emptiness.
+    pub detail: String,
+    /// Outcome of the step: `empty`, `nonempty`, `yes`, `no`,
+    /// `reduction`, `private`, `serializes`, `parallel_as_is`,
+    /// `parallel_after_privatization` or `serial`.
+    pub result: String,
+}
+
+impl ProvEntry {
+    /// One-line rendering for `--explain` and the golden provenance
+    /// file: `intersect w: MOD_i ∩ MOD_<i = nonempty — ...`.
+    pub fn render(&self) -> String {
+        let subject = if self.subject.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", self.subject)
+        };
+        if self.detail.is_empty() {
+            format!("{}{}: {}", self.op, subject, self.result)
+        } else {
+            format!("{}{}: {} = {}", self.op, subject, self.detail, self.result)
+        }
+    }
+}
+
 /// Dependence / privatization verdict for one array in one loop.
 #[derive(Clone, Debug, Serialize)]
 pub struct ArrayVerdict {
@@ -176,6 +219,11 @@ pub struct LoopVerdict {
     /// verdict is sound but conservative: it may say "serial" for a loop
     /// a full-budget run proves parallel, never the reverse.
     pub degraded: bool,
+    /// The ordered decision trace (never empty): every region operation
+    /// that fed the verdict, ending in a `decide` entry that names the
+    /// deciding intersection or degradation. Additive JSON key; see
+    /// DESIGN.md §4f.
+    pub provenance: Vec<ProvEntry>,
 }
 
 /// Does any piece's *region* mention the variable? (Guards may mention the
@@ -184,16 +232,37 @@ fn regions_contain_var(list: &GarList, var: &str) -> bool {
     list.gars().iter().any(|g| g.region.contains_var(var))
 }
 
-/// Is the intersection provably empty?
-fn disjoint(a: &GarList, b: &GarList) -> bool {
-    a.intersect(b).definitely_empty()
+/// Runs one loop-carried intersection test and records it in the
+/// provenance chain: the sets tested, and — when emptiness cannot be
+/// proved — the surviving GAR with its guard (the guard that failed to
+/// refute the dependence). Returns whether a dependence survives.
+fn probe(prov: &mut Vec<ProvEntry>, subject: &str, label: &str, a: &GarList, b: &GarList) -> bool {
+    let inter = a.intersect(b);
+    let dep = !inter.definitely_empty();
+    let detail = match inter.gars().first() {
+        Some(g) if dep => format!("{label}; surviving GAR {g}"),
+        _ => label.to_string(),
+    };
+    prov.push(ProvEntry {
+        op: "intersect".to_string(),
+        subject: subject.to_string(),
+        detail,
+        result: if dep { "nonempty" } else { "empty" }.to_string(),
+    });
+    trace::add("intersections", 1);
+    if dep {
+        trace::add("intersections_nonempty", 1);
+    }
+    dep
 }
 
 /// Judges one analyzed loop.
 pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
+    let _span = trace::span_with(|| format!("judge:{}", la.id()));
     let mut arrays = Vec::new();
     let mut blockers = Vec::new();
     let mut privatized = Vec::new();
+    let mut prov = Vec::new();
 
     for (name, sets) in &la.arrays {
         let written = !sets.mod_i.is_empty();
@@ -204,12 +273,30 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
             && !la.overlaid.contains(name)
             && !regions_contain_var(&sets.mod_i, &la.var)
             && !regions_contain_var(&sets.ue_i, &la.var);
-        let flow_dep = !disjoint(&sets.ue_i, &sets.mod_lt);
-        let output_dep =
-            !(disjoint(&sets.mod_i, &sets.mod_lt) && disjoint(&sets.mod_i, &sets.mod_gt));
+        let why = if !written {
+            "not written in the loop"
+        } else if la.overlaid.contains(name) {
+            "storage overlay (COMMON/EQUIVALENCE partner)"
+        } else if regions_contain_var(&sets.mod_i, &la.var)
+            || regions_contain_var(&sets.ue_i, &la.var)
+        {
+            "accessed regions vary with the loop index"
+        } else {
+            "written; accessed regions independent of the loop index"
+        };
+        prov.push(ProvEntry {
+            op: "candidate".to_string(),
+            subject: name.clone(),
+            detail: why.to_string(),
+            result: if candidate { "yes" } else { "no" }.to_string(),
+        });
+        let flow_dep = probe(&mut prov, name, "UE_i ∩ MOD_<i", &sets.ue_i, &sets.mod_lt);
+        let out_lt = probe(&mut prov, name, "MOD_i ∩ MOD_<i", &sets.mod_i, &sets.mod_lt);
+        let out_gt = probe(&mut prov, name, "MOD_i ∩ MOD_>i", &sets.mod_i, &sets.mod_gt);
+        let output_dep = out_lt || out_gt;
         // §3.2.2: when anti dependences are considered separately, the
         // downwards-exposed use set DE_i replaces UE_i.
-        let anti_dep = !disjoint(&sets.de_i, &sets.mod_gt);
+        let anti_dep = probe(&mut prov, name, "DE_i ∩ MOD_>i", &sets.de_i, &sets.mod_gt);
         let privatizable = candidate && !flow_dep;
         let needs_copy_out = la.live_after.contains(name);
 
@@ -244,17 +331,41 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         if s == &la.var {
             continue;
         }
-        if la.reductions.contains(s) {
+        let (class, detail) = if la.reductions.contains(s) {
             reductions.push(s.clone());
+            ("reduction", "recognized reduction (s = s op e)")
         } else if la.scalar_ue.contains(s) {
             blockers.push(Blocker::ScalarDep(s.clone()));
+            ("serializes", "written and upwards exposed")
         } else {
             private_scalars.push(s.clone());
-        }
+            ("private", "written, not upwards exposed")
+        };
+        prov.push(ProvEntry {
+            op: "scalar".to_string(),
+            subject: s.clone(),
+            detail: detail.to_string(),
+            result: class.to_string(),
+        });
     }
 
     if la.premature_exit {
         blockers.push(Blocker::PrematureExit);
+        prov.push(ProvEntry {
+            op: "premature_exit".to_string(),
+            subject: String::new(),
+            detail: "multi-exit DO: iterations cannot be reordered".to_string(),
+            result: "serializes".to_string(),
+        });
+    }
+
+    if la.degraded {
+        prov.push(ProvEntry {
+            op: "degraded".to_string(),
+            subject: String::new(),
+            detail: "resource budget widened summaries to unknown over-approximations".to_string(),
+            result: "conservative".to_string(),
+        });
     }
 
     let parallel_after = blockers.is_empty();
@@ -262,6 +373,49 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         && privatized.is_empty()
         && private_scalars.is_empty()
         && reductions.is_empty();
+
+    // The final entry names the deciding fact: for serial loops the
+    // first blocking intersection (or the degradation that made it
+    // non-refutable), for parallel loops the emptiness of every test.
+    let (result, detail) = if !parallel_after {
+        let named = match &blockers[0] {
+            Blocker::ArrayFlowDep(a) | Blocker::ArrayStorageDep(a) => prov
+                .iter()
+                .find(|e| e.op == "intersect" && &e.subject == a && e.result == "nonempty")
+                .map(|e| format!("{} ({a}) nonempty", intersection_label(&e.detail))),
+            Blocker::ScalarDep(s) => Some(format!("scalar {s} written and upwards exposed")),
+            Blocker::PrematureExit => Some("premature loop exit".to_string()),
+        }
+        .unwrap_or_else(|| "loop-carried dependence".to_string());
+        let detail = if la.degraded {
+            format!("degradation: budget widening left {named} non-refutable")
+        } else {
+            named
+        };
+        ("serial", detail)
+    } else if parallel_as_is {
+        (
+            "parallel_as_is",
+            "all loop-carried intersections empty".to_string(),
+        )
+    } else {
+        (
+            "parallel_after_privatization",
+            format!(
+                "all remaining dependences on privatizable storage \
+                 (arrays [{}], scalars [{}], reductions [{}])",
+                privatized.join(", "),
+                private_scalars.join(", "),
+                reductions.join(", ")
+            ),
+        )
+    };
+    prov.push(ProvEntry {
+        op: "decide".to_string(),
+        subject: String::new(),
+        detail,
+        result: result.to_string(),
+    });
 
     LoopVerdict {
         routine: la.routine.clone(),
@@ -278,7 +432,14 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         blockers,
         diagnostics: Vec::new(),
         degraded: la.degraded,
+        provenance: prov,
     }
+}
+
+/// The set-expression part of an `intersect` entry's detail (before the
+/// `; surviving GAR …` suffix).
+fn intersection_label(detail: &str) -> &str {
+    detail.split(';').next().unwrap_or(detail)
 }
 
 /// Judges every loop of an analysis run.
@@ -538,6 +699,93 @@ mod tests {
         let v = find(&vs, "t", "i");
         assert!(v.blockers.contains(&Blocker::PrematureExit));
         assert!(!v.parallel_after_privatization);
+    }
+
+    #[test]
+    fn provenance_ends_in_decide() {
+        let vs = verdicts(
+            "
+      PROGRAM t
+      REAL a(100), b(100)
+      INTEGER i
+      DO i = 1, 100
+        a(i) = b(i)
+      ENDDO
+      END
+",
+            Options::default(),
+        );
+        let v = find(&vs, "t", "i");
+        assert!(!v.provenance.is_empty());
+        let last = v.provenance.last().unwrap();
+        assert_eq!(last.op, "decide");
+        assert_eq!(last.result, "parallel_as_is");
+        assert_eq!(last.detail, "all loop-carried intersections empty");
+        assert!(v
+            .provenance
+            .iter()
+            .any(|e| e.op == "intersect" && e.subject == "a" && e.result == "empty"));
+    }
+
+    #[test]
+    fn provenance_names_blocking_intersection_with_surviving_gar() {
+        let vs = verdicts(
+            "
+      PROGRAM t
+      REAL a(100)
+      INTEGER i
+      DO i = 2, 100
+        a(i) = a(i-1)
+      ENDDO
+      END
+",
+            Options::default(),
+        );
+        let v = find(&vs, "t", "i");
+        let flow = v
+            .provenance
+            .iter()
+            .find(|e| e.op == "intersect" && e.detail.starts_with("UE_i ∩ MOD_<i"))
+            .expect("flow intersection recorded");
+        assert_eq!(flow.result, "nonempty");
+        assert!(
+            flow.detail.contains("surviving GAR"),
+            "nonempty test must carry its witness GAR: {}",
+            flow.detail
+        );
+        let last = v.provenance.last().unwrap();
+        assert_eq!(last.result, "serial");
+        assert!(
+            last.detail.contains("UE_i ∩ MOD_<i (a) nonempty"),
+            "decide must name the deciding intersection: {}",
+            last.detail
+        );
+    }
+
+    #[test]
+    fn provenance_is_deterministic() {
+        let src = "
+      PROGRAM t
+      REAL w(10), a(100)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = 1.0
+        ENDDO
+        a(i) = w(5)
+      ENDDO
+      END
+";
+        let render = |vs: &[LoopVerdict]| {
+            vs.iter()
+                .flat_map(|v| v.provenance.iter().map(ProvEntry::render))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let a = render(&verdicts(src, Options::default()));
+        let b = render(&verdicts(src, Options::default()));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 
     #[test]

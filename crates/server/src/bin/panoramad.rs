@@ -13,6 +13,10 @@
 //!                       (default 60000; requests override both via
 //!                       "fuel"/"timeout_ms" fields)
 //!   --metrics           print the metrics summary to stderr on shutdown
+//!   --trace-out PATH    record every request's spans, one Chrome trace
+//!                       process track per worker, and write the
+//!                       trace-event JSON to PATH on shutdown (load it
+//!                       in Perfetto or chrome://tracing)
 //! ```
 //!
 //! Protocol: one JSON request per line, one JSON response per line, in
@@ -22,11 +26,13 @@
 
 use panoramad::{Config, Daemon};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: panoramad [--jobs N] [--socket PATH] [--no-cache]\n\
-         \x20                [--cache-capacity N] [--fuel N] [--deadline-ms N] [--metrics]"
+         \x20                [--cache-capacity N] [--fuel N] [--deadline-ms N] [--metrics]\n\
+         \x20                [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -35,6 +41,7 @@ fn main() -> ExitCode {
     let mut config = Config::default();
     let mut socket: Option<String> = None;
     let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> usize {
@@ -60,6 +67,13 @@ fn main() -> ExitCode {
                 }
             },
             "--metrics" => metrics = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    usage();
+                }
+            },
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -68,7 +82,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let daemon = Daemon::new(config);
+    let registry = trace_out.as_ref().map(|_| Arc::new(trace::Registry::new()));
+    let mut daemon = Daemon::new(config);
+    if let Some(reg) = &registry {
+        daemon = daemon.with_trace_registry(Arc::clone(reg));
+    }
     let served = match &socket {
         Some(path) => daemon.serve_socket(std::path::Path::new(path)),
         None => {
@@ -80,6 +98,12 @@ fn main() -> ExitCode {
     };
     if metrics {
         eprint!("{}", daemon.metrics().render(daemon.cache_counters()));
+    }
+    if let (Some(path), Some(reg)) = (&trace_out, &registry) {
+        if let Err(e) = std::fs::write(path, reg.chrome_trace()) {
+            eprintln!("panoramad: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     match served {
         Ok(()) => ExitCode::SUCCESS,

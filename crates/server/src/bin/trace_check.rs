@@ -1,0 +1,87 @@
+//! `trace_check` — validates a Chrome trace-event JSON file.
+//!
+//! ```text
+//! trace_check FILE [SPAN_NAME...]
+//! ```
+//!
+//! Exits 0 when `FILE` parses as `{"traceEvents": [...]}` with
+//! well-formed events (every event has a string `name`, a `ph` of
+//! `"X"`, `"i"` or `"M"`, and integer `pid`/`tid`; complete events
+//! carry `ts` and `dur`, instants carry `ts`), and every `SPAN_NAME`
+//! argument appears as a complete span. CI's `trace-smoke` job runs it
+//! on `panorama --trace-out` and `panoramad --trace-out` output.
+
+use serde::Value;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return fail("usage: trace_check FILE [SPAN_NAME...]");
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path}: not valid JSON: {e}")),
+    };
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        return fail(&format!("{path}: missing \"traceEvents\" array"));
+    };
+    if events.is_empty() {
+        return fail(&format!("{path}: \"traceEvents\" is empty"));
+    }
+    let mut spans: Vec<&str> = Vec::new();
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let bad = |what: &str| format!("{path}: event {i}: {what}");
+        let Some(name) = ev.get("name").and_then(Value::as_str) else {
+            return fail(&bad("missing string \"name\""));
+        };
+        let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
+            return fail(&bad("missing string \"ph\""));
+        };
+        for key in ["pid", "tid"] {
+            if ev.get(key).and_then(Value::as_u64).is_none() {
+                return fail(&bad(&format!("missing integer \"{key}\"")));
+            }
+        }
+        match ph {
+            "X" => {
+                for key in ["ts", "dur"] {
+                    if ev.get(key).and_then(Value::as_u64).is_none() {
+                        return fail(&bad(&format!("complete event missing \"{key}\"")));
+                    }
+                }
+                spans.push(name);
+            }
+            "i" => {
+                if ev.get("ts").and_then(Value::as_u64).is_none() {
+                    return fail(&bad("instant event missing \"ts\""));
+                }
+                instants += 1;
+            }
+            "M" => {}
+            other => return fail(&bad(&format!("unknown phase {other:?}"))),
+        }
+    }
+    for want in &required {
+        if !spans.iter().any(|s| s == want) {
+            return fail(&format!("{path}: no span named {want:?}"));
+        }
+    }
+    println!(
+        "trace_check: {path}: {} events ({} spans, {instants} instants) ok",
+        events.len(),
+        spans.len()
+    );
+    ExitCode::SUCCESS
+}

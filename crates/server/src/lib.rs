@@ -29,7 +29,10 @@ pub mod scheduler;
 use dataflow::{CacheCounters, MemoryCache, SummaryCache};
 use metrics::Metrics;
 use panorama::{driver, FuelLimits};
-use protocol::{error_response, ok_response, panic_response, stats_response, Request};
+use protocol::{
+    error_response, metrics_response, ok_response, panic_response, stats_response, traced_response,
+    Request,
+};
 use scheduler::{Emitter, Job, Queue};
 use serde::Value;
 use std::collections::BTreeSet;
@@ -77,6 +80,7 @@ pub struct Daemon {
     cache: Option<Arc<dyn SummaryCache>>,
     limits: FuelLimits,
     metrics: Arc<Metrics>,
+    trace_registry: Option<Arc<trace::Registry>>,
 }
 
 impl Daemon {
@@ -91,7 +95,17 @@ impl Daemon {
             cache,
             limits: config.limits,
             metrics: Arc::new(Metrics::default()),
+            trace_registry: None,
         }
+    }
+
+    /// Attaches a span-trace registry: every worker records the
+    /// requests it serves on its own process track, aligned to the
+    /// registry's epoch, for a `--trace-out` Chrome trace dump at
+    /// shutdown (DESIGN.md §4f).
+    pub fn with_trace_registry(mut self, registry: Arc<trace::Registry>) -> Daemon {
+        self.trace_registry = Some(registry);
+        self
     }
 
     /// The daemon's metric counters.
@@ -118,8 +132,9 @@ impl Daemon {
         let emitter = Emitter::new(output);
         let mut shutdown = false;
         let (io_err, total) = crossbeam::thread::scope(|scope| {
+            let (queue_ref, emitter_ref) = (&queue, &emitter);
             let workers: Vec<_> = (0..self.jobs)
-                .map(|_| scope.spawn(|_| self.worker(&queue, &emitter)))
+                .map(|w| scope.spawn(move |_| self.worker(w, queue_ref, emitter_ref)))
                 .collect();
             let mut read_error = None;
             let mut seq = 0u64;
@@ -201,11 +216,28 @@ impl Daemon {
     /// scheduler path itself (notably the `sched` failpoint) land here;
     /// such a panic drops the in-flight job — `serve` synthesizes its
     /// response at `finish` — and the worker re-enters its loop.
-    fn worker(&self, queue: &Queue<Result<Request, String>>, emitter: &Emitter<impl Write>) {
+    fn worker(
+        &self,
+        index: usize,
+        queue: &Queue<Result<Request, String>>,
+        emitter: &Emitter<impl Write>,
+    ) {
+        // Daemon-wide profiling (`--trace-out`): this worker records
+        // every request it serves on its own collector, aligned to the
+        // registry epoch so all worker tracks share one timeline.
+        let scope = self
+            .trace_registry
+            .as_ref()
+            .map(|reg| trace::CollectorScope::install(trace::Collector::with_epoch(reg.epoch())));
         loop {
             match catch_unwind(AssertUnwindSafe(|| self.worker_loop(queue, emitter))) {
-                Ok(()) => return,
+                Ok(()) => break,
                 Err(_) => self.metrics.record_panic(),
+            }
+        }
+        if let (Some(reg), Some(scope)) = (self.trace_registry.as_ref(), scope) {
+            if let Some(c) = scope.finish() {
+                reg.adopt(&format!("worker-{index}"), c);
             }
         }
     }
@@ -238,9 +270,13 @@ impl Daemon {
                 opts,
                 oracle,
                 limits,
-            }) => self.handle_analyze(&id, &source, opts, oracle, limits),
+                trace,
+            }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace),
             Ok(Request::Stats { id }) => {
                 stats_response(&id, self.metrics.snapshot(self.cache_counters()))
+            }
+            Ok(Request::Metrics { id }) => {
+                metrics_response(&id, self.metrics.prometheus(self.cache_counters()))
             }
             // Shutdown never reaches the queue (the reader stops on it).
             Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
@@ -258,14 +294,18 @@ impl Daemon {
         opts: panorama::Options,
         oracle: bool,
         limits: FuelLimits,
+        trace_req: bool,
     ) -> String {
         // Request budgets win field by field; unset fields inherit the
         // daemon defaults.
         let limits = limits.or(self.limits);
         // Result-constraining budgets bypass the cache entirely (the
         // analyzer refuses to mix budgeted and unbudgeted state), so
-        // warming it would be wasted full-precision work.
-        if self.cache.is_some() && !limits.constrains_results() {
+        // warming it would be wasted full-precision work. So do traced
+        // requests (`driver::Request::trace_spans`): warming would also
+        // record warm-up spans and break the span-tree determinism
+        // contract.
+        if self.cache.is_some() && !limits.constrains_results() && !trace_req {
             self.warm_call_dag_roots(source, opts);
         }
         let req = driver::Request {
@@ -273,8 +313,12 @@ impl Daemon {
             opts,
             oracle,
             limits,
+            trace_spans: trace_req,
         };
-        match driver::run_with_cache(&req, self.cache.clone()) {
+        let request_trace = trace_req.then(RequestTrace::start);
+        let result = driver::run_with_cache(&req, self.cache.clone());
+        let collector = request_trace.and_then(RequestTrace::finish);
+        match result {
             Ok(out) => {
                 if out.analysis.degraded() {
                     self.metrics.record_degraded(out.analysis.degrade_reason);
@@ -285,7 +329,10 @@ impl Daemon {
                     oracle,
                 );
                 self.metrics.record_lints(&out.analysis.lints);
-                ok_response(id, out.json())
+                match collector {
+                    Some(c) => traced_response(id, out.json(), span_tree_value(&c.tree())),
+                    None => ok_response(id, out.json()),
+                }
             }
             Err(e) => {
                 self.metrics.record_failure();
@@ -348,9 +395,95 @@ impl Daemon {
 /// handler never got far enough to build one.
 fn request_id(payload: &Result<Request, String>) -> Value {
     match payload {
-        Ok(Request::Analyze { id, .. }) | Ok(Request::Stats { id }) => id.clone(),
+        Ok(Request::Analyze { id, .. })
+        | Ok(Request::Stats { id })
+        | Ok(Request::Metrics { id }) => id.clone(),
         _ => Value::Null,
     }
+}
+
+/// Swaps a fresh per-request collector onto the worker thread for a
+/// `"trace": true` request, restoring whatever collector the worker had
+/// (its daemon-wide `--trace-out` track) on drop — including through a
+/// panic in the analysis, so one traced request can never eat its
+/// worker's track.
+struct RequestTrace {
+    saved: Option<trace::Collector>,
+    scope: Option<trace::CollectorScope>,
+}
+
+impl RequestTrace {
+    fn start() -> RequestTrace {
+        let saved = trace::uninstall();
+        RequestTrace {
+            saved,
+            scope: Some(trace::CollectorScope::install(trace::Collector::new())),
+        }
+    }
+
+    fn finish(mut self) -> Option<trace::Collector> {
+        let collector = self.scope.take().and_then(trace::CollectorScope::finish);
+        if let Some(saved) = self.saved.take() {
+            trace::install(saved);
+        }
+        collector
+    }
+}
+
+impl Drop for RequestTrace {
+    fn drop(&mut self) {
+        self.scope.take();
+        if let Some(saved) = self.saved.take() {
+            trace::install(saved);
+        }
+    }
+}
+
+/// Renders a span forest as the `"trace"` payload of a traced response:
+/// `{"spans": [...]}`, each node carrying `name`, `start_us`, `dur_us`,
+/// `counters`, `events` and `children` (DESIGN.md §4f).
+fn span_tree_value(nodes: &[trace::SpanNode]) -> Value {
+    Value::Object(vec![("spans".to_string(), span_nodes_value(nodes))])
+}
+
+fn span_nodes_value(nodes: &[trace::SpanNode]) -> Value {
+    Value::Array(
+        nodes
+            .iter()
+            .map(|n| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(n.name.clone())),
+                    ("start_us".to_string(), Value::UInt(n.start_us)),
+                    ("dur_us".to_string(), Value::UInt(n.dur_us)),
+                    (
+                        "counters".to_string(),
+                        Value::Object(
+                            n.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::UInt(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "events".to_string(),
+                        Value::Array(
+                            n.events
+                                .iter()
+                                .map(|e| {
+                                    Value::Object(vec![
+                                        ("at_us".to_string(), Value::UInt(e.at_us)),
+                                        ("name".to_string(), Value::Str(e.name.clone())),
+                                        ("detail".to_string(), Value::Str(e.detail.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("children".to_string(), span_nodes_value(&n.children)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Renders a caught panic payload (`&str` and `String` payloads cover
@@ -500,6 +633,78 @@ mod tests {
         assert_eq!(responses[0], responses[1]);
         let counters = daemon.cache_counters().unwrap();
         assert!(counters.hits >= 2, "expected cache hits: {counters:?}");
+    }
+
+    #[test]
+    fn traced_request_embeds_span_tree() {
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\", \"trace\": true}}\n{{\"id\": 2, \"source\": \"{SRC}\"}}\n"
+        );
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].get("ok").unwrap(), &Value::Bool(true));
+        assert!(responses[0].get("report").is_some());
+        let spans = responses[0].get("trace").unwrap().get("spans").unwrap();
+        let Value::Array(roots) = spans else {
+            panic!("spans is not an array: {spans:?}");
+        };
+        let names: Vec<&str> = roots
+            .iter()
+            .filter_map(|n| n.get("name").and_then(Value::as_str))
+            .collect();
+        for want in ["parse", "sema", "hsg", "dataflow", "privatize"] {
+            assert!(names.contains(&want), "missing {want} span in {names:?}");
+        }
+        // An untraced request carries no trace key.
+        assert!(responses[1].get("trace").is_none());
+    }
+
+    #[test]
+    fn metrics_command_returns_prometheus_text() {
+        // One worker so the analysis lands in the counters before the
+        // metrics snapshot runs.
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\n{}\n",
+            r#"{"id": "m", "cmd": "metrics"}"#
+        );
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses[1].get("ok").unwrap(), &Value::Bool(true));
+        let text = responses[1]
+            .get("metrics")
+            .and_then(Value::as_str)
+            .expect("metrics text");
+        assert!(text.contains("panorama_requests_total{outcome=\"completed\"} 1\n"));
+        assert!(text.contains("panorama_cache_hits_total"));
+        assert!(text.contains(
+            "panorama_phase_latency_microseconds_bucket{phase=\"dataflow\",le=\"+Inf\"} 1\n"
+        ));
+    }
+
+    #[test]
+    fn trace_registry_collects_worker_tracks() {
+        let reg = Arc::new(trace::Registry::new());
+        let daemon = Daemon::new(Config {
+            jobs: 2,
+            ..Config::default()
+        })
+        .with_trace_registry(Arc::clone(&reg));
+        let input =
+            format!("{{\"id\": 1, \"source\": \"{SRC}\"}}\n{{\"id\": 2, \"source\": \"{SRC}\"}}\n");
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses.len(), 2);
+        let json = reg.chrome_trace();
+        assert!(json.contains("\"process_name\""), "no process track");
+        assert!(json.contains("worker-"), "no worker label");
+        assert!(json.contains("\"parse\""), "no parse span");
+        assert!(json.contains("\"ph\":\"X\""));
     }
 
     #[test]

@@ -1,11 +1,148 @@
-//! Daemon metrics: request counters, aggregate phase timings, queue
-//! gauges and cache counters, snapshotted by the `{"cmd": "stats"}`
-//! request and dumped at shutdown under `--metrics`.
+//! Daemon metrics: request counters, aggregate phase timings, per-phase
+//! latency histograms, queue gauges and cache counters, snapshotted by
+//! the `{"cmd": "stats"}` request, exported as Prometheus text by
+//! `{"cmd": "metrics"}` and dumped at shutdown under `--metrics`.
 
 use dataflow::CacheCounters;
 use panorama::PhaseTimes;
 use serde::Value;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Histogram bucket count: upper bounds 2⁰..2²⁰ microseconds plus a
+/// final +Inf overflow bucket.
+const HIST_BUCKETS: usize = 22;
+
+/// A lock-free log2-bucketed latency histogram. Bucket `k < 21` counts
+/// observations `v` with `2^(k-1) < v <= 2^k` microseconds (bucket 0
+/// holds `v <= 1`); bucket 21 is the +Inf overflow. Covers 1 µs to
+/// ~1 s, beyond which the wall-clock deadline dominates anyway.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn bucket_index(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            ((u64::BITS - (us - 1).leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The upper bound of bucket `k`, rendered Prometheus-style.
+    fn bound(k: usize) -> String {
+        if k == HIST_BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            (1u64 << k).to_string()
+        }
+    }
+
+    /// Records one observation, in microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn loaded(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed))
+    }
+
+    /// An upper bound on the `q` quantile (0..=1): the bound of the
+    /// first bucket whose cumulative count reaches it, `0` when empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let buckets = self.loaded();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (k, b) in buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target.max(1) {
+                return 1u64 << k.min(HIST_BUCKETS - 2);
+            }
+        }
+        1u64 << (HIST_BUCKETS - 2)
+    }
+
+    /// The histogram as a JSON object: non-cumulative bucket counts
+    /// keyed by upper bound, plus `sum` and `count`.
+    pub fn snapshot(&self) -> Value {
+        let buckets = self.loaded();
+        let mut fields: Vec<(String, Value)> = buckets
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (format!("le_{}", Self::bound(k)), Value::UInt(c)))
+            .collect();
+        fields.push((
+            "sum".to_string(),
+            Value::UInt(self.sum.load(Ordering::Relaxed)),
+        ));
+        fields.push(("count".to_string(), Value::UInt(self.count())));
+        Value::Object(fields)
+    }
+
+    /// Appends the Prometheus exposition lines (cumulative `_bucket`
+    /// series, `_sum`, `_count`) for this histogram under `name` with a
+    /// `phase` label.
+    fn prometheus_into(&self, out: &mut String, name: &str, phase: &str) {
+        let buckets = self.loaded();
+        let mut cum = 0u64;
+        for (k, &b) in buckets.iter().enumerate() {
+            cum += b;
+            out.push_str(&format!(
+                "{name}_bucket{{phase=\"{phase}\",le=\"{}\"}} {cum}\n",
+                Self::bound(k)
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{{phase=\"{phase}\"}} {}\n",
+            self.sum.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "{name}_count{{phase=\"{phase}\"}} {}\n",
+            self.count()
+        ));
+    }
+}
+
+/// One latency histogram per analysis phase.
+#[derive(Default)]
+pub struct PhaseHistograms {
+    /// Lex + parse.
+    pub parse: Histogram,
+    /// Symbol tables + call graph.
+    pub sema: Histogram,
+    /// HSG construction.
+    pub hsg: Histogram,
+    /// Conventional pre-filter.
+    pub conventional: Histogram,
+    /// Dataflow analysis + verdicts.
+    pub dataflow: Histogram,
+}
+
+impl PhaseHistograms {
+    fn phases(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("parse", &self.parse),
+            ("sema", &self.sema),
+            ("hsg", &self.hsg),
+            ("conventional", &self.conventional),
+            ("dataflow", &self.dataflow),
+        ]
+    }
+}
 
 /// Shared, lock-free metric counters. One instance lives for the whole
 /// daemon; workers update it as requests complete.
@@ -44,6 +181,9 @@ pub struct Metrics {
     pub conventional_micros: AtomicU64,
     /// Dataflow analysis + verdict time.
     pub dataflow_micros: AtomicU64,
+    /// Per-phase latency distributions (log2-bucketed microseconds),
+    /// one observation per completed analysis.
+    pub phase_hist: PhaseHistograms,
 }
 
 impl Metrics {
@@ -66,14 +206,24 @@ impl Metrics {
         }
         self.peak_state_size
             .fetch_max(peak_state_size, Ordering::Relaxed);
-        let add = |counter: &AtomicU64, d: std::time::Duration| {
-            counter.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        let add = |counter: &AtomicU64, hist: &Histogram, d: std::time::Duration| {
+            let us = d.as_micros() as u64;
+            counter.fetch_add(us, Ordering::Relaxed);
+            hist.record(us);
         };
-        add(&self.parse_micros, times.parse);
-        add(&self.sema_micros, times.sema);
-        add(&self.hsg_micros, times.hsg);
-        add(&self.conventional_micros, times.conventional);
-        add(&self.dataflow_micros, times.dataflow);
+        add(&self.parse_micros, &self.phase_hist.parse, times.parse);
+        add(&self.sema_micros, &self.phase_hist.sema, times.sema);
+        add(&self.hsg_micros, &self.phase_hist.hsg, times.hsg);
+        add(
+            &self.conventional_micros,
+            &self.phase_hist.conventional,
+            times.conventional,
+        );
+        add(
+            &self.dataflow_micros,
+            &self.phase_hist.dataflow,
+            times.dataflow,
+        );
     }
 
     /// Records a failed request.
@@ -168,7 +318,75 @@ impl Metrics {
                     ("dataflow".to_string(), load(&self.dataflow_micros)),
                 ]),
             ),
+            (
+                "phase_histograms_us".to_string(),
+                Value::Object(
+                    self.phase_hist
+                        .phases()
+                        .iter()
+                        .map(|(name, h)| (name.to_string(), h.snapshot()))
+                        .collect(),
+                ),
+            ),
         ])
+    }
+
+    /// The metrics in Prometheus text exposition format (the `"metrics"`
+    /// payload of a `{"cmd": "metrics"}` response).
+    pub fn prometheus(&self, cache: Option<CacheCounters>) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE panorama_requests_total counter\n");
+        for (outcome, c) in [
+            ("completed", &self.completed),
+            ("failed", &self.failed),
+            ("degraded", &self.degraded),
+            ("timeouts", &self.timeouts),
+            ("panics", &self.panics),
+            ("oracle_runs", &self.oracle_runs),
+        ] {
+            out.push_str(&format!(
+                "panorama_requests_total{{outcome=\"{outcome}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE panorama_lints_total counter\n");
+        for (k, code) in panorama::LintCode::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "panorama_lints_total{{code=\"{}\"}} {}\n",
+                code.code(),
+                self.lints[k].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE panorama_queue_depth gauge\n");
+        out.push_str(&format!(
+            "panorama_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE panorama_queue_peak_depth gauge\n");
+        out.push_str(&format!(
+            "panorama_queue_peak_depth {}\n",
+            self.peak_queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE panorama_peak_state_size gauge\n");
+        out.push_str(&format!(
+            "panorama_peak_state_size {}\n",
+            self.peak_state_size.load(Ordering::Relaxed)
+        ));
+        if let Some(c) = cache {
+            out.push_str("# TYPE panorama_cache_hits_total counter\n");
+            out.push_str(&format!("panorama_cache_hits_total {}\n", c.hits));
+            out.push_str("# TYPE panorama_cache_misses_total counter\n");
+            out.push_str(&format!("panorama_cache_misses_total {}\n", c.misses));
+            out.push_str("# TYPE panorama_cache_evictions_total counter\n");
+            out.push_str(&format!("panorama_cache_evictions_total {}\n", c.evictions));
+            out.push_str("# TYPE panorama_cache_entries gauge\n");
+            out.push_str(&format!("panorama_cache_entries {}\n", c.entries));
+        }
+        out.push_str("# TYPE panorama_phase_latency_microseconds histogram\n");
+        for (phase, h) in self.phase_hist.phases() {
+            h.prometheus_into(&mut out, "panorama_phase_latency_microseconds", phase);
+        }
+        out
     }
 
     /// Renders the shutdown summary printed to stderr under `--metrics`.
@@ -213,6 +431,24 @@ impl Metrics {
             self.dataflow_micros.load(Ordering::Relaxed),
             self.peak_state_size.load(Ordering::Relaxed),
         ));
+        if self.phase_hist.dataflow.count() > 0 {
+            let bounds: Vec<String> = self
+                .phase_hist
+                .phases()
+                .iter()
+                .map(|(name, h)| {
+                    format!(
+                        "{name}<={}/{}",
+                        h.quantile_bound(0.5),
+                        h.quantile_bound(0.95)
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "panoramad: phase latency p50/p95 bounds (us) {}\n",
+                bounds.join(" ")
+            ));
+        }
         out
     }
 }
@@ -274,5 +510,85 @@ mod tests {
         let m2 = Metrics::default();
         assert!(m2.snapshot(None).get("cache").unwrap().is_null());
         assert!(!m2.render(None).is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 20), 20);
+        assert_eq!(Histogram::bucket_index((1 << 20) + 1), HIST_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for us in [1, 2, 3, 100, 5_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        let snap = h.snapshot();
+        assert_eq!(snap.get("le_1").unwrap(), &Value::UInt(1));
+        assert_eq!(snap.get("le_2").unwrap(), &Value::UInt(1));
+        assert_eq!(snap.get("le_4").unwrap(), &Value::UInt(1));
+        assert_eq!(snap.get("le_128").unwrap(), &Value::UInt(1));
+        assert_eq!(snap.get("le_+Inf").unwrap(), &Value::UInt(1));
+        assert_eq!(snap.get("sum").unwrap(), &Value::UInt(5_000_106));
+        assert_eq!(snap.get("count").unwrap(), &Value::UInt(5));
+        // Quantile bounds: p50 of {1,2,3,100,5M} lands in the le_4
+        // bucket (cumulative 3 of 5), p95 in the overflow, reported as
+        // the largest finite bound.
+        assert_eq!(h.quantile_bound(0.5), 4);
+        assert_eq!(h.quantile_bound(0.95), 1 << 20);
+        assert_eq!(Histogram::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = Metrics::default();
+        let times = PhaseTimes {
+            dataflow: std::time::Duration::from_micros(300),
+            ..PhaseTimes::default()
+        };
+        m.record_analysis(&times, 7, false);
+        m.record_failure();
+        let text = m.prometheus(Some(CacheCounters {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            evictions: 0,
+        }));
+        assert!(text.contains("panorama_requests_total{outcome=\"completed\"} 1\n"));
+        assert!(text.contains("panorama_requests_total{outcome=\"failed\"} 1\n"));
+        assert!(text.contains("panorama_cache_hits_total 3\n"));
+        assert!(text.contains("# TYPE panorama_phase_latency_microseconds histogram\n"));
+        assert!(text.contains(
+            "panorama_phase_latency_microseconds_bucket{phase=\"dataflow\",le=\"512\"} 1\n"
+        ));
+        assert!(text.contains(
+            "panorama_phase_latency_microseconds_bucket{phase=\"dataflow\",le=\"+Inf\"} 1\n"
+        ));
+        assert!(text.contains("panorama_phase_latency_microseconds_sum{phase=\"dataflow\"} 300\n"));
+        assert!(text.contains("panorama_phase_latency_microseconds_count{phase=\"dataflow\"} 1\n"));
+        // Buckets are cumulative: every bucket at or above 512 µs
+        // carries the observation.
+        assert!(text.contains(
+            "panorama_phase_latency_microseconds_bucket{phase=\"dataflow\",le=\"1024\"} 1\n"
+        ));
+        // No cache → no cache series.
+        assert!(!m.prometheus(None).contains("panorama_cache_"));
+        // The snapshot carries the same histograms.
+        let snap = m.snapshot(None);
+        let hist = snap
+            .get("phase_histograms_us")
+            .unwrap()
+            .get("dataflow")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap(), &Value::UInt(1));
     }
 }

@@ -8,17 +8,22 @@
 //!
 //! ```json
 //! {"id": 1, "source": "      PROGRAM t\n      ...", "opts": {"forall_ext": true}, "oracle": true}
+//! {"id": 2, "source": "      ...", "trace": true}
 //! {"id": "probe", "cmd": "stats"}
+//! {"id": "prom", "cmd": "metrics"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
 //! Responses (`report` follows DESIGN.md §4d exactly — the same schema
-//! the `panorama --json` CLI prints):
+//! the `panorama --json` CLI prints; `"trace": true` requests carry the
+//! request's span tree under a `trace` key, DESIGN.md §4f):
 //!
 //! ```json
 //! {"id": 1, "ok": true, "report": {"schema_version": 1, ...}}
+//! {"id": 2, "ok": true, "report": {...}, "trace": {"spans": [...]}}
 //! {"id": "probe", "ok": true, "stats": {...}}
-//! {"id": 2, "ok": false, "error": "parse: ..."}
+//! {"id": "prom", "ok": true, "metrics": "# TYPE panorama_requests_total counter\n..."}
+//! {"id": 3, "ok": false, "error": "parse: ..."}
 //! ```
 
 use panorama::{FuelLimits, Options};
@@ -45,9 +50,18 @@ pub enum Request {
         /// `"timeout_ms"` sets a wall-clock deadline. Unset fields fall
         /// back to the daemon-wide defaults.
         limits: FuelLimits,
+        /// Embed this request's span tree in the response. Traced
+        /// requests bypass the summary cache so the tree is
+        /// deterministic (see `panorama::driver::Request::trace_spans`).
+        trace: bool,
     },
-    /// Snapshot the daemon metrics.
+    /// Snapshot the daemon metrics as JSON.
     Stats {
+        /// Client correlation id.
+        id: Value,
+    },
+    /// Export the daemon metrics as Prometheus text.
+    Metrics {
         /// Client correlation id.
         id: Value,
     },
@@ -65,6 +79,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let id = value.get("id").cloned().unwrap_or(Value::Null);
     match value.get("cmd").and_then(Value::as_str) {
         Some("stats") => return Ok(Request::Stats { id }),
+        Some("metrics") => return Ok(Request::Metrics { id }),
         Some("shutdown") => return Ok(Request::Shutdown),
         Some(other) => return Err(format!("bad request: unknown cmd {other:?}")),
         None => {}
@@ -96,12 +111,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         opts.interprocedural = flag("interprocedural", opts.interprocedural)?;
         opts.forall_ext = flag("forall_ext", opts.forall_ext)?;
     }
-    let oracle = match value.get("oracle") {
-        None => false,
-        Some(v) => v
-            .as_bool()
-            .ok_or_else(|| "bad request: \"oracle\" must be a boolean".to_string())?,
+    let flag = |key: &str| -> Result<bool, String> {
+        match value.get(key) {
+            None => Ok(false),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| format!("bad request: \"{key}\" must be a boolean")),
+        }
     };
+    let oracle = flag("oracle")?;
+    let trace = flag("trace")?;
     let budget = |key: &str| -> Result<Option<u64>, String> {
         match value.get(key) {
             None => Ok(None),
@@ -120,6 +139,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         opts,
         oracle,
         limits,
+        trace,
     })
 }
 
@@ -129,6 +149,28 @@ pub fn ok_response(id: &Value, report: Value) -> String {
         ("id".to_string(), id.clone()),
         ("ok".to_string(), Value::Bool(true)),
         ("report".to_string(), report),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+/// A successful analysis response line with the request's span tree
+/// attached (the `"trace": true` form).
+pub fn traced_response(id: &Value, report: Value, trace: Value) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("report".to_string(), report),
+        ("trace".to_string(), trace),
+    ]);
+    serde_json::to_string(&obj).expect("serialize response")
+}
+
+/// A Prometheus-text metrics response line.
+pub fn metrics_response(id: &Value, text: String) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("metrics".to_string(), Value::Str(text)),
     ]);
     serde_json::to_string(&obj).expect("serialize response")
 }
@@ -188,6 +230,7 @@ mod tests {
             opts,
             oracle,
             limits,
+            trace,
         } = r
         else {
             panic!("not an analyze request");
@@ -197,6 +240,17 @@ mod tests {
         assert!(opts.forall_ext && !opts.symbolic && opts.if_conditions);
         assert!(oracle);
         assert!(limits.is_unlimited());
+        assert!(!trace);
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let r = parse_request(r#"{"id": 1, "source": "      END", "trace": true}"#).unwrap();
+        let Request::Analyze { trace, .. } = r else {
+            panic!("not an analyze request");
+        };
+        assert!(trace);
+        assert!(parse_request(r#"{"id": 1, "source": "      END", "trace": 1}"#).is_err());
     }
 
     #[test]
@@ -246,6 +300,10 @@ mod tests {
             Ok(Request::Stats { .. })
         ));
         assert!(matches!(
+            parse_request(r#"{"id": "p", "cmd": "metrics"}"#),
+            Ok(Request::Metrics { .. })
+        ));
+        assert!(matches!(
             parse_request(r#"{"cmd": "shutdown"}"#),
             Ok(Request::Shutdown)
         ));
@@ -266,6 +324,8 @@ mod tests {
         let id = Value::Str("a".into());
         for line in [
             ok_response(&id, Value::Null),
+            traced_response(&id, Value::Null, Value::Object(vec![])),
+            metrics_response(&id, "# TYPE x counter\n".to_string()),
             stats_response(&id, Value::Object(vec![])),
             error_response(&id, "boom"),
         ] {

@@ -140,6 +140,171 @@ fn fuel_limited_reports_identical_across_jobs_and_cache() {
     }
 }
 
+/// One `"trace": true` request per benchsuite kernel.
+fn traced_request_stream() -> String {
+    let mut lines = Vec::new();
+    for k in kernels() {
+        let obj = Value::Object(vec![
+            ("id".to_string(), Value::Str(k.loop_label.to_string())),
+            ("source".to_string(), Value::Str(k.source.to_string())),
+            ("trace".to_string(), Value::Bool(true)),
+        ]);
+        lines.push(serde_json::to_string(&obj).unwrap());
+    }
+    lines.join("\n") + "\n"
+}
+
+/// Zeroes every `start_us`/`dur_us`/`at_us` field in place: wall-clock
+/// durations are the only nondeterministic part of a span tree.
+fn zero_timestamps(v: &mut Value) {
+    match v {
+        Value::Object(fields) => {
+            for (key, val) in fields.iter_mut() {
+                if matches!(key.as_str(), "start_us" | "dur_us" | "at_us") {
+                    *val = Value::UInt(0);
+                } else {
+                    zero_timestamps(val);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                zero_timestamps(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn span_trees_and_provenance_identical_across_jobs_and_cache() {
+    // The determinism contract extends to observability: with
+    // timestamps normalized, the span tree a `"trace": true` response
+    // embeds — and every verdict's provenance chain — is byte-identical
+    // whatever the worker count and cache configuration.
+    let input = traced_request_stream();
+    let normalize = |raw: String| -> Vec<String> {
+        raw.lines()
+            .map(|line| {
+                let mut v: Value = serde_json::from_str(line).expect("response json");
+                zero_timestamps(&mut v);
+                serde_json::to_string(&v).unwrap()
+            })
+            .collect()
+    };
+    let baseline = normalize(serve(
+        Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        },
+        &input,
+    ));
+    assert_eq!(baseline.len(), kernels().len());
+    for line in &baseline {
+        let v: Value = serde_json::from_str(line).expect("normalized json");
+        let id = v.get("id").unwrap();
+        let spans = v
+            .get("trace")
+            .and_then(|t| t.get("spans"))
+            .unwrap_or_else(|| panic!("{id:?}: no trace.spans"));
+        let Value::Array(roots) = spans else {
+            panic!("{id:?}: spans is not an array");
+        };
+        let names: Vec<&str> = roots
+            .iter()
+            .filter_map(|n| n.get("name").and_then(Value::as_str))
+            .collect();
+        for want in ["parse", "sema", "hsg", "dataflow", "privatize"] {
+            assert!(names.contains(&want), "{id:?}: missing {want} in {names:?}");
+        }
+        let Some(Value::Array(verdicts)) = v.get("report").and_then(|r| r.get("verdicts")) else {
+            panic!("{id:?}: no verdicts array");
+        };
+        assert!(!verdicts.is_empty(), "{id:?}: empty verdicts");
+        for verdict in verdicts {
+            let Some(Value::Array(prov)) = verdict.get("provenance") else {
+                panic!("{id:?}: verdict without provenance array");
+            };
+            assert!(!prov.is_empty(), "{id:?}: empty provenance");
+            let last = prov.last().unwrap();
+            assert_eq!(
+                last.get("op").unwrap(),
+                &Value::Str("decide".to_string()),
+                "{id:?}: provenance does not end in a decide entry"
+            );
+        }
+    }
+    for (jobs, cache) in [(4, None), (1, Some(None)), (4, Some(None))] {
+        let got = normalize(serve(
+            Config {
+                jobs,
+                cache,
+                ..Config::default()
+            },
+            &input,
+        ));
+        assert_eq!(
+            got, baseline,
+            "traced stream diverged at jobs={jobs}, cache={cache:?}"
+        );
+    }
+}
+
+#[test]
+fn stats_surface_request_and_lint_counters() {
+    // Satellite of the observability PR: the `{"cmd": "stats"}`
+    // snapshot carries per-outcome request counters, per-code lint
+    // counters, queue gauges and the cache hit ratio.
+    let daemon = Daemon::new(Config {
+        jobs: 1,
+        ..Config::default()
+    });
+    let input = format!(
+        "{}{}\n",
+        request_stream(),
+        r#"{"id": "probe", "cmd": "stats"}"#
+    );
+    let mut out = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input), &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf8");
+    let last: Value = serde_json::from_str(text.lines().last().unwrap()).expect("stats json");
+    let stats = last.get("stats").expect("stats payload");
+    let requests = stats.get("requests").expect("requests");
+    assert_eq!(
+        requests.get("completed").unwrap().as_u64(),
+        Some(2 * kernels().len() as u64)
+    );
+    for key in ["failed", "degraded", "timeouts", "panics", "oracle_runs"] {
+        assert!(requests.get(key).is_some(), "missing requests.{key}");
+    }
+    let lints = stats.get("lints").expect("lints");
+    let Value::Object(codes) = lints else {
+        panic!("lints is not an object");
+    };
+    assert!(!codes.is_empty());
+    let cache = stats.get("cache").expect("cache");
+    assert!(cache.get("hit_ratio").unwrap().as_f64().is_some());
+    assert!(
+        stats
+            .get("queue")
+            .and_then(|q| q.get("peak_depth"))
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    let hist = stats
+        .get("phase_histograms_us")
+        .and_then(|h| h.get("dataflow"))
+        .expect("dataflow histogram");
+    assert_eq!(
+        hist.get("count").unwrap().as_u64(),
+        Some(2 * kernels().len() as u64)
+    );
+}
+
 #[test]
 fn daemon_lints_match_direct_analysis() {
     // The `lints` array a daemon response carries is byte-identical to

@@ -1,0 +1,98 @@
+//! Golden verdict provenance for the MDG `interf` kernel — the paper's
+//! flagship loop, needing all three techniques. The exact decision
+//! trace (`LoopVerdict::provenance`) is checked in at
+//! `tests/golden/interf_provenance.txt` and must never change silently.
+//! CI re-derives the same chain through the `panorama --json` CLI (see
+//! the `trace-smoke` job).
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p panorama --test provenance_golden`.
+
+use dataflow::{MemoryCache, SummaryCache};
+use panorama::{analyze_source, analyze_source_with_cache, Analysis, Options};
+use std::sync::Arc;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/interf_provenance.txt"
+);
+
+fn interf_source() -> &'static str {
+    benchsuite::kernels()
+        .iter()
+        .find(|k| k.loop_label == "interf/1000")
+        .expect("interf kernel in the benchsuite")
+        .source
+}
+
+/// Renders every loop verdict's provenance chain, one `render()` line
+/// per entry — the same lines `panorama --explain` prints.
+fn render(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &analysis.verdicts {
+        out.push_str(&format!("== {} (line {}) ==\n", v.id, v.line));
+        for e in &v.provenance {
+            out.push_str(&format!("{}\n", e.render()));
+        }
+    }
+    out
+}
+
+#[test]
+fn interf_provenance_matches_the_golden_file() {
+    let analysis = analyze_source(interf_source(), Options::default()).unwrap();
+    let got = render(&analysis);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "provenance drifted from tests/golden/interf_provenance.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn provenance_identical_across_cache_replay() {
+    // Provenance is derived purely from the loop's dependence sets, so
+    // a cache replay must reproduce it byte for byte.
+    let src = interf_source();
+    let cold = analyze_source(src, Options::default()).unwrap();
+    let cache: Arc<dyn SummaryCache> = Arc::new(MemoryCache::new());
+    analyze_source_with_cache(src, Options::default(), Some(Arc::clone(&cache))).unwrap();
+    let warm =
+        analyze_source_with_cache(src, Options::default(), Some(Arc::clone(&cache))).unwrap();
+    assert!(cache.counters().hits > 0, "second run should replay");
+    assert_eq!(render(&cold), render(&warm));
+}
+
+#[test]
+fn every_kernel_verdict_ends_in_decide() {
+    // The acceptance bar: every verdict in the suite carries a
+    // non-empty provenance chain whose final entry is the decision,
+    // naming the deciding intersection (or degradation) for serial
+    // loops.
+    for k in benchsuite::kernels() {
+        let analysis = analyze_source(k.source, Options::default()).unwrap();
+        assert!(
+            !analysis.verdicts.is_empty(),
+            "{}: no verdicts",
+            k.loop_label
+        );
+        for v in &analysis.verdicts {
+            assert!(!v.provenance.is_empty(), "{}: empty provenance", v.id);
+            let last = v.provenance.last().unwrap();
+            assert_eq!(last.op, "decide", "{}: last op is {}", v.id, last.op);
+            if !v.parallel_as_is && !v.parallel_after_privatization {
+                assert!(
+                    !last.detail.is_empty(),
+                    "{}: serial decide entry names nothing",
+                    v.id
+                );
+            }
+        }
+    }
+}
