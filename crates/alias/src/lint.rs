@@ -31,17 +31,29 @@ pub enum LintCode {
     /// `P006` — a CALL summarized without interprocedural analysis;
     /// its reachable storage is clobbered.
     ConservativeClobber,
+    /// `P007` — an IF condition is provably constant under the scalar
+    /// value ranges, so one arm can never execute.
+    InfeasibleGuard,
+    /// `P008` — a subscript's proved range is disjoint from the array's
+    /// declared dimension bounds.
+    SubscriptOutOfDeclaredBounds,
+    /// `P009` — a DO loop's trip range is provably empty: the body
+    /// never executes.
+    LoopNeverExecutes,
 }
 
 impl LintCode {
     /// All codes, in code order.
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::AliasedActuals,
         LintCode::ReshapedAcrossCall,
         LintCode::SliceActual,
         LintCode::EquivalenceOverlay,
         LintCode::NonlinearSubscript,
         LintCode::ConservativeClobber,
+        LintCode::InfeasibleGuard,
+        LintCode::SubscriptOutOfDeclaredBounds,
+        LintCode::LoopNeverExecutes,
     ];
 
     /// The stable code, e.g. `"P001"`.
@@ -53,6 +65,9 @@ impl LintCode {
             LintCode::EquivalenceOverlay => "P004",
             LintCode::NonlinearSubscript => "P005",
             LintCode::ConservativeClobber => "P006",
+            LintCode::InfeasibleGuard => "P007",
+            LintCode::SubscriptOutOfDeclaredBounds => "P008",
+            LintCode::LoopNeverExecutes => "P009",
         }
     }
 
@@ -65,7 +80,18 @@ impl LintCode {
             LintCode::EquivalenceOverlay => "equivalence-overlay",
             LintCode::NonlinearSubscript => "nonlinear-subscript",
             LintCode::ConservativeClobber => "conservative-clobber",
+            LintCode::InfeasibleGuard => "infeasible-guard",
+            LintCode::SubscriptOutOfDeclaredBounds => "subscript-out-of-declared-bounds",
+            LintCode::LoopNeverExecutes => "loop-never-executes",
         }
+    }
+
+    /// Parses a stable code (`"P007"`) or slug (`"infeasible-guard"`).
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .iter()
+            .copied()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.slug() == s)
     }
 }
 
@@ -105,10 +131,17 @@ impl std::fmt::Display for Lint {
 
 /// Computes every lint for a checked program. `interprocedural`
 /// mirrors the analysis option: with it off, every CALL earns a `P006`
-/// conservative-clobber witness. The result is sorted by
+/// conservative-clobber witness. `value_range` mirrors the value-range
+/// pass: with it on, the flow-sensitive range walk contributes
+/// P007/P008/P009. The result is sorted by
 /// `(routine, line, code, message)` and deduplicated — byte-identical
 /// regardless of job count or cache state.
-pub fn lint_program(program: &Program, sema: &ProgramSema, interprocedural: bool) -> Vec<Lint> {
+pub fn lint_program(
+    program: &Program,
+    sema: &ProgramSema,
+    interprocedural: bool,
+    value_range: bool,
+) -> Vec<Lint> {
     let mut lints = Vec::new();
     for r in &program.routines {
         let Some(table) = sema.tables.get(&r.name) else {
@@ -118,6 +151,9 @@ pub fn lint_program(program: &Program, sema: &ProgramSema, interprocedural: bool
         walk_stmts(&r.body, &mut |stmt| {
             lint_stmt(program, sema, r, table, stmt, interprocedural, &mut lints);
         });
+        if value_range {
+            lint_ranges(r, table, &mut lints);
+        }
     }
     lints.sort_by(|a, b| {
         (a.routine.as_str(), a.line, a.code, a.message.as_str()).cmp(&(
@@ -129,6 +165,60 @@ pub fn lint_program(program: &Program, sema: &ProgramSema, interprocedural: bool
     });
     lints.dedup();
     lints
+}
+
+/// P007/P008/P009: runs the value-range walk (`vrange::routine_facts`)
+/// over one routine and renders each proved fact as a lint. The walk is
+/// a standalone AST pass under its own budget, so — like every other
+/// rule here — the output is independent of job count and cache state;
+/// budget exhaustion silently drops facts, never invents them.
+fn lint_ranges(r: &Routine, table: &SymbolTable, lints: &mut Vec<Lint>) {
+    let mut dims = vrange::DeclaredDims::new();
+    for (name, _) in &r.arrays {
+        if let Some(b) = table.declared_bounds(name) {
+            dims.insert(name.clone(), b);
+        }
+    }
+    let budget = vrange::Budget::new(vrange::DEFAULT_BUDGET);
+    for fact in vrange::routine_facts(r, &dims, &budget) {
+        let (code, message) = match fact.kind {
+            vrange::RangeFactKind::InfeasibleGuard { cond, always } => (
+                LintCode::InfeasibleGuard,
+                format!(
+                    "condition ({cond}) is provably {}; the {} branch never executes",
+                    if always { "true" } else { "false" },
+                    if always { "ELSE" } else { "THEN" },
+                ),
+            ),
+            vrange::RangeFactKind::SubscriptOutOfBounds {
+                array,
+                dim,
+                subscript,
+                range,
+                declared,
+            } => {
+                let lo = declared.0.map_or("*".to_string(), |v| v.to_string());
+                let hi = declared.1.map_or("*".to_string(), |v| v.to_string());
+                (
+                    LintCode::SubscriptOutOfDeclaredBounds,
+                    format!(
+                        "subscript {subscript} of {array} proved in {range}, \
+                         outside declared dimension {dim} ({lo}:{hi})"
+                    ),
+                )
+            }
+            vrange::RangeFactKind::LoopNeverExecutes { var, lo, hi } => (
+                LintCode::LoopNeverExecutes,
+                format!("DO {var} never executes: lower bound in {lo}, upper bound in {hi}"),
+            ),
+        };
+        lints.push(Lint {
+            code,
+            routine: r.name.clone(),
+            line: fact.line,
+            message,
+        });
+    }
 }
 
 fn lint_equivalences(r: &Routine, lints: &mut Vec<Lint>) {
@@ -353,7 +443,7 @@ mod tests {
     fn lints_of(src: &str, interprocedural: bool) -> Vec<Lint> {
         let p = parse_program(src).unwrap();
         let sema = analyze(&p).unwrap();
-        lint_program(&p, &sema, interprocedural)
+        lint_program(&p, &sema, interprocedural, true)
     }
 
     #[test]
@@ -431,6 +521,47 @@ mod tests {
             true,
         );
         assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn range_lints_fire_with_value_range_on() {
+        let src = "
+      PROGRAM t
+      REAL a(100)
+      INTEGER n, m, i
+      n = 150
+      a(n) = 0.0
+      IF (n .GT. 200) THEN
+        a(1) = 1.0
+      ENDIF
+      m = 0
+      DO i = 1, m
+        a(i) = 2.0
+      ENDDO
+      END
+";
+        let l = lints_of(src, true);
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P008", "P007", "P009"], "{l:?}");
+        assert!(l[0]
+            .message
+            .contains("outside declared dimension 1 (1:100)"));
+        assert!(l[1].message.contains("provably false"));
+        assert!(l[2].message.contains("never executes"));
+        // With the value-range pass off, none of P007–P009 appear.
+        let p = parse_program(src).unwrap();
+        let sema = analyze(&p).unwrap();
+        assert!(lint_program(&p, &sema, true, false).is_empty());
+    }
+
+    #[test]
+    fn lint_code_parse_round_trips() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.code()), Some(c));
+            assert_eq!(LintCode::parse(c.slug()), Some(c));
+        }
+        assert_eq!(LintCode::parse("p007"), Some(LintCode::InfeasibleGuard));
+        assert_eq!(LintCode::parse("P042"), None);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 
 use benchsuite::kernels;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use panorama::{analyze_source, conventional_compile_proxy, parse_only, Options};
+use dataflow::{MemoryCache, SummaryCache};
+use panorama::{
+    analyze_source, analyze_source_with_cache, conventional_compile_proxy, parse_only, Options,
+};
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn program_sources() -> BTreeMap<&'static str, String> {
     let mut programs: BTreeMap<&str, String> = BTreeMap::new();
@@ -83,9 +87,44 @@ fn bench_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cache_and_trace(c: &mut Criterion) {
+    // Cold vs. warm throughput and trace overhead over the whole suite:
+    // the three numbers BENCH_*.json tracks across PRs.
+    let programs = program_sources();
+    let all: String = programs.values().cloned().collect::<Vec<_>>().join("\n");
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache: Arc<dyn SummaryCache> = Arc::new(MemoryCache::new());
+            analyze_source_with_cache(black_box(&all), Options::default(), Some(cache)).unwrap()
+        })
+    });
+    let warm: Arc<dyn SummaryCache> = Arc::new(MemoryCache::new());
+    analyze_source_with_cache(&all, Options::default(), Some(Arc::clone(&warm))).unwrap();
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            analyze_source_with_cache(black_box(&all), Options::default(), Some(Arc::clone(&warm)))
+                .unwrap()
+        })
+    });
+    g.bench_function("trace", |b| {
+        b.iter(|| {
+            analyze_source(
+                black_box(&all),
+                Options {
+                    trace: true,
+                    ..Options::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_phases, bench_ablations, bench_scaling
+    targets = bench_phases, bench_ablations, bench_scaling, bench_cache_and_trace
 }
 criterion_main!(benches);

@@ -21,5 +21,17 @@ fn main() {
         writeln!(manifest, "{fname}\t{}\t{}", k.program, k.loop_label).unwrap();
     }
     std::fs::write(dir.join("manifest.tsv"), manifest).expect("write manifest");
+    // The range-flip kernels and the range-lint demo go in a separate
+    // manifest so jobs driving the Table 1/2 corpus are unaffected.
+    let mut range_manifest = String::new();
+    for k in benchsuite::range_kernels() {
+        let fname = format!("range_{}.f", k.tag);
+        std::fs::write(dir.join(&fname), k.source).expect("write range kernel");
+        writeln!(range_manifest, "{fname}\trange\t{}", k.tag).unwrap();
+    }
+    std::fs::write(dir.join("range_rdemo.f"), benchsuite::range_lint_demo())
+        .expect("write range demo");
+    writeln!(range_manifest, "range_rdemo.f\trange\trdemo").unwrap();
+    std::fs::write(dir.join("range_manifest.tsv"), range_manifest).expect("write range manifest");
     println!("wrote {} kernels to {outdir}", benchsuite::kernels().len());
 }

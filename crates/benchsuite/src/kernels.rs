@@ -757,6 +757,125 @@ mod tests {
     }
 }
 
+// --------------------------------------------------------------------
+// Range-flip kernels: loops the base symbolic analysis reports serial
+// because a Δ-guard stays unknown, and the value-range pass (DESIGN.md
+// §4g) proves parallel by bounding the guard symbols. Kept separate
+// from `kernels()` so the Table 1/2 goldens are untouched.
+// --------------------------------------------------------------------
+
+// Conditionally-set write bound `m` (≤100) and read lower bound `n`
+// (≥150) keep UE_i(w) = (n:200) disjoint from MOD_<i(w) = (1:m); the
+// cross-symbol comparison n > m is only decidable from the branch
+// value ranges. `w` then privatizes (first-write overlays the reads).
+const RANGE_FLIP_A: &str = "
+      PROGRAM rka
+      REAL w(200), a(100)
+      INTEGER i, k, m, n
+      DO i = 1, 100
+        IF (a(i) .GT. 0.0) THEN
+          m = 50
+        ELSE
+          m = 100
+        ENDIF
+        IF (a(i) .LT. 0.0) THEN
+          n = 150
+        ELSE
+          n = 180
+        ENDIF
+        DO k = n, 200
+          a(i) = a(i) + w(k)
+        ENDDO
+        DO k = 1, m
+          w(k) = a(i)
+        ENDDO
+      ENDDO
+      END
+";
+
+// Index-offset access `a(i) = a(i+m)` with `m` conditionally 150 or
+// 200: the flow test needs m ≥ 150 > 0 and the anti test needs
+// i + m > 100 for i in (1:100) — both pure range facts.
+const RANGE_FLIP_B: &str = "
+      PROGRAM rkb
+      REAL a(300), b(100)
+      INTEGER i, m
+      DO i = 1, 100
+        IF (b(i) .GT. 0.0) THEN
+          m = 150
+        ELSE
+          m = 200
+        ENDIF
+        a(i) = a(i+m)
+      ENDDO
+      END
+";
+
+// Fires every range lint: P008 (a(150) against a REAL a(100)
+// declaration), P007 (n > 200 is provably false for n = 150), and
+// P009 (DO i = 1, m never executes for m = 0).
+const RANGE_LINT_DEMO: &str = "
+      PROGRAM rdemo
+      REAL a(100), b(50)
+      INTEGER i, m, n
+      n = 150
+      m = 0
+      a(n) = 1.0
+      IF (n .GT. 200) THEN
+        b(1) = 2.0
+      ENDIF
+      DO i = 1, m
+        b(i) = 3.0
+      ENDDO
+      END
+";
+
+/// A small program that trips every range lint (P007, P008, P009) —
+/// the worked example for the range-golden suite and the README.
+pub fn range_lint_demo() -> &'static str {
+    RANGE_LINT_DEMO
+}
+
+/// A kernel whose designated loop flips serial → parallel when the
+/// value-range pass is enabled.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeKernel {
+    /// Short tag for diagnostics.
+    pub tag: &'static str,
+    /// Routine containing the target loop.
+    pub routine: &'static str,
+    /// Target loop index variable.
+    pub var: &'static str,
+    /// Arrays the verdict must privatize (may be empty).
+    pub privatized: &'static [&'static str],
+    /// Scalars the verdict must privatize (may be empty).
+    pub private_scalars: &'static [&'static str],
+    /// Full Fortran source.
+    pub source: &'static str,
+}
+
+/// The range-flip kernels (see `tests/range_flips.rs`).
+pub fn range_kernels() -> Vec<RangeKernel> {
+    vec![
+        RangeKernel {
+            tag: "rka",
+            routine: "rka",
+            var: "i",
+            privatized: &["w"],
+            private_scalars: &["m", "n"],
+            source: RANGE_FLIP_A,
+        },
+        RangeKernel {
+            tag: "rkb",
+            routine: "rkb",
+            var: "i",
+            privatized: &[],
+            private_scalars: &["m"],
+            source: RANGE_FLIP_B,
+        },
+    ]
+}
+
 /// Generates a synthetic program of parameterized size for scaling
 /// benchmarks: `n_routines` subroutines, each with a work-array
 /// fill/consume loop nest, called from a main loop — the same access

@@ -14,7 +14,9 @@
 
 mod kernels;
 
-pub use kernels::{fig1_kernels, kernels, synthetic_program, Kernel};
+pub use kernels::{
+    fig1_kernels, kernels, range_kernels, range_lint_demo, synthetic_program, Kernel, RangeKernel,
+};
 
 /// Which techniques a loop needs, per Table 1 (`T1` symbolic, `T2` IF
 /// conditions, `T3` interprocedural).

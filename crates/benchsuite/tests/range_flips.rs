@@ -1,0 +1,104 @@
+//! The value-range flip suite: each `range_kernels()` loop must be
+//! judged serial with the pass off, parallel (after privatization)
+//! with the pass on, carry `range_refute`/`range_compare` provenance
+//! explaining why, and survive the dynamic race oracle.
+
+use benchsuite::{range_kernels, RangeKernel};
+use dataflow::{Analyzer, Options};
+use privatize::{judge_all, LoopVerdict};
+
+struct Prep {
+    program: fortran::Program,
+    sema: fortran::ProgramSema,
+    hsg: hsg::Hsg,
+}
+
+fn prep(src: &str) -> Prep {
+    let program = fortran::parse_program(src).unwrap();
+    let sema = fortran::analyze(&program).unwrap();
+    let hsg = hsg::build_hsg(&program).unwrap();
+    Prep { program, sema, hsg }
+}
+
+fn judge(p: &Prep, k: &RangeKernel, opts: Options) -> LoopVerdict {
+    let mut az = Analyzer::new(&p.program, &p.sema, &p.hsg, opts);
+    az.run();
+    judge_all(&az.loops)
+        .into_iter()
+        .find(|v| v.routine == k.routine && v.var == k.var && v.depth == 0)
+        .unwrap_or_else(|| panic!("{}: target loop missing", k.tag))
+}
+
+#[test]
+fn range_pass_flips_the_kernels() {
+    for k in range_kernels() {
+        let p = prep(k.source);
+
+        // Pass off: the Δ-guard stays unknown, the loop stays serial.
+        let off = judge(
+            &p,
+            &k,
+            Options {
+                value_range: false,
+                ..Options::default()
+            },
+        );
+        assert!(
+            !off.parallel_as_is && !off.parallel_after_privatization,
+            "{}: expected serial with value_range off, got {:?}",
+            k.tag,
+            off.blockers
+        );
+
+        // Pass on (the default): parallel, with the expected storage
+        // privatized and range provenance explaining the refutation.
+        let on = judge(&p, &k, Options::default());
+        assert!(
+            on.parallel_as_is || on.parallel_after_privatization,
+            "{}: expected parallel with value_range on, got {:?}",
+            k.tag,
+            on.blockers
+        );
+        for arr in k.privatized {
+            assert!(
+                on.privatized.iter().any(|a| a == arr),
+                "{}: array {arr} not privatized",
+                k.tag
+            );
+        }
+        for s in k.private_scalars {
+            assert!(
+                on.private_scalars.iter().any(|v| v == s),
+                "{}: scalar {s} not private",
+                k.tag
+            );
+        }
+        assert!(
+            on.provenance
+                .iter()
+                .any(|e| e.op == "range_compare" || e.op == "range_refute"),
+            "{}: no range provenance in {:?}",
+            k.tag,
+            on.provenance
+        );
+    }
+}
+
+#[test]
+fn range_flips_pass_the_race_oracle() {
+    for k in range_kernels() {
+        let p = prep(k.source);
+        let mut az = Analyzer::new(&p.program, &p.sema, &p.hsg, Options::default());
+        az.run();
+        let verdicts = judge_all(&az.loops);
+        let report = raceoracle::validate(&p.program, &p.sema, &verdicts);
+        assert_eq!(
+            report.soundness_violations, 0,
+            "{}: race oracle violations: {:?}",
+            k.tag, report.loops
+        );
+        // The target loop itself must be dynamically exercised and
+        // confirmed, not skipped.
+        assert!(report.confirmed > 0, "{}: nothing confirmed", k.tag);
+    }
+}

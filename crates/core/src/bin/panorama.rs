@@ -7,6 +7,9 @@
 //!   --no-symbolic         disable T1 (symbolic analysis)
 //!   --no-if-conditions    disable T2 (IF-condition guards)
 //!   --no-interprocedural  disable T3 (call summarization)
+//!   --no-value-range      disable the scalar value-range pass (range
+//!                         refutation, range_compare provenance and the
+//!                         P007–P009 lints)
 //!   --forall              enable the ∀-extension (Fig. 1(a) inference)
 //!   --trace               print the backward propagation trace
 //!   --dump-hsg            print the hierarchical supergraph
@@ -18,6 +21,16 @@
 //!                         verdict (positive and negative)
 //!   --lint                print panolint diagnostics (stable P00x
 //!                         codes for every conservative assumption)
+//!   --deny-lints[=CODES]  exit with code 3 when any lint fires; with
+//!                         =CODES (comma-separated codes or slugs, e.g.
+//!                         P007,loop-never-executes) only those codes
+//!                         deny
+//!
+//! EXIT CODES:
+//!   0  analysis succeeded (and no denied lint fired)
+//!   1  I/O, parse, semantic or soundness failure
+//!   2  usage error
+//!   3  --deny-lints matched at least one lint
 //!   --json                emit the report as JSON (schema in DESIGN.md)
 //!   --fuel N              cap analysis at N propagation steps; on
 //!                         exhaustion verdicts widen conservatively and
@@ -27,17 +40,43 @@
 //!                         the run (open in Perfetto / chrome://tracing)
 //! ```
 
-use panorama::{driver, FuelLimits, Options, Outcome};
+use panorama::{driver, FuelLimits, Lint, LintCode, Options, Outcome};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
-         \x20                [--forall] [--trace] [--dump-hsg] [--summaries] [--stats]\n\
-         \x20                [--explain] [--lint] [--json] [--fuel N] [--deadline-ms N]\n\
+         \x20                [--no-value-range] [--forall] [--trace] [--dump-hsg]\n\
+         \x20                [--summaries] [--stats] [--explain] [--lint]\n\
+         \x20                [--deny-lints[=CODES]] [--json] [--fuel N] [--deadline-ms N]\n\
          \x20                [--trace-out FILE] FILE.f"
     );
     std::process::exit(2);
+}
+
+/// The lints `--deny-lints` turns into exit code 3: all of them for a
+/// bare flag, otherwise only the listed codes.
+fn denied<'a>(lints: &'a [Lint], deny: &Option<Vec<LintCode>>) -> Vec<&'a Lint> {
+    match deny {
+        None => Vec::new(),
+        Some(codes) => lints
+            .iter()
+            .filter(|l| codes.is_empty() || codes.contains(&l.code))
+            .collect(),
+    }
+}
+
+/// Reports denied lints on stderr; `Some(3)` when any fired.
+fn deny_exit(lints: &[Lint], deny: &Option<Vec<LintCode>>) -> Option<ExitCode> {
+    let hits = denied(lints, deny);
+    if hits.is_empty() {
+        return None;
+    }
+    for l in &hits {
+        eprintln!("panorama: denied lint {l}");
+    }
+    eprintln!("panorama: {} denied lint(s)", hits.len());
+    Some(ExitCode::from(3))
 }
 
 fn main() -> ExitCode {
@@ -49,6 +88,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut explain = false;
     let mut lint = false;
+    let mut deny_lints: Option<Vec<LintCode>> = None;
     let mut json = false;
     let mut trace_out: Option<String> = None;
     let mut file = None;
@@ -69,6 +109,7 @@ fn main() -> ExitCode {
             "--no-symbolic" => opts.symbolic = false,
             "--no-if-conditions" => opts.if_conditions = false,
             "--no-interprocedural" => opts.interprocedural = false,
+            "--no-value-range" => opts.value_range = false,
             "--forall" => opts.forall_ext = true,
             "--trace" => {
                 opts.trace = true;
@@ -79,6 +120,24 @@ fn main() -> ExitCode {
             "--stats" => stats = true,
             "--explain" => explain = true,
             "--lint" => lint = true,
+            "--deny-lints" => deny_lints = Some(Vec::new()),
+            other if other.starts_with("--deny-lints=") => {
+                let codes = other["--deny-lints=".len()..]
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        LintCode::parse(s).unwrap_or_else(|| {
+                            eprintln!("unknown lint code {s}");
+                            usage();
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                if codes.is_empty() {
+                    eprintln!("--deny-lints= requires at least one code");
+                    usage();
+                }
+                deny_lints = Some(codes);
+            }
             "--json" => json = true,
             "--fuel" => limits.steps = Some(num(&mut i)),
             "--trace-out" => {
@@ -155,6 +214,9 @@ fn main() -> ExitCode {
                 "panorama: soundness violation — static verdict contradicted by dynamic race"
             );
             return ExitCode::FAILURE;
+        }
+        if let Some(code) = deny_exit(&out.analysis.lints, &deny_lints) {
+            return code;
         }
         return ExitCode::SUCCESS;
     }
@@ -311,6 +373,9 @@ fn main() -> ExitCode {
         println!("hsg nodes      : {}", analysis.hsg.total_nodes());
         println!("loops analyzed : {}", analysis.stats.loops_analyzed);
         println!("memory proxy   : {} GAR units", analysis.memory_proxy());
+    }
+    if let Some(code) = deny_exit(&analysis.lints, &deny_lints) {
+        return code;
     }
     ExitCode::SUCCESS
 }

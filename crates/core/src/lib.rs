@@ -331,7 +331,7 @@ pub fn analyze_source_limited(
     let (loops, stats, trace) = az.finish();
     let lints = {
         let _span = trace::span("lint");
-        alias::lint_program(&program, &sema, opts.interprocedural)
+        alias::lint_program(&program, &sema, opts.interprocedural, opts.value_range)
     };
     Ok(Analysis {
         program,

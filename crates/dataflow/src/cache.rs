@@ -268,12 +268,13 @@ pub fn routine_keys(
             continue;
         };
         let mut h = ContentHasher::default();
-        h.write_str("panorama-summary-cache-v2");
+        h.write_str("panorama-summary-cache-v3");
         h.write(&[
             u8::from(opts.symbolic),
             u8::from(opts.if_conditions),
             u8::from(opts.interprocedural),
             u8::from(opts.forall_ext),
+            u8::from(opts.value_range),
         ]);
         h.write_str(&format!("{routine:?}"));
         // Storage association is cross-routine state: alias degradation

@@ -52,21 +52,45 @@ impl ValueEnv {
         self.ints.insert(name.to_string(), value);
     }
 
-    /// Invalidates a scalar with a fresh synthetic version/value.
-    pub fn clobber(&mut self, name: &str, fresh: &mut FreshNames) {
+    /// Invalidates a scalar with a fresh synthetic version/value,
+    /// returning the synthetic name (callers binding range facts to the
+    /// new version need it).
+    pub fn clobber(&mut self, name: &str, fresh: &mut FreshNames) -> Name {
         let v = fresh.next(name);
         self.ints.insert(name.to_string(), Expr::var(v.clone()));
-        self.versions.insert(name.to_string(), v);
+        self.versions.insert(name.to_string(), v.clone());
+        v
     }
 
     /// Merges environments at a control-flow join: agreeing values are
     /// kept, disagreeing ones are clobbered.
-    pub fn join(mut self, other: &ValueEnv, fresh: &mut FreshNames) -> ValueEnv {
+    pub fn join(self, other: &ValueEnv, fresh: &mut FreshNames) -> ValueEnv {
+        self.join_recording(other, fresh, &mut Vec::new())
+    }
+
+    /// Like [`ValueEnv::join`], but appends one [`JoinRecord`] per
+    /// integer scalar whose disagreeing values were replaced by a fresh
+    /// synthetic — the binding points where the value-range pass can
+    /// prove an interval for the synthetic (the join of both arms'
+    /// proved values).
+    pub fn join_recording(
+        mut self,
+        other: &ValueEnv,
+        fresh: &mut FreshNames,
+        records: &mut Vec<JoinRecord>,
+    ) -> ValueEnv {
         let names: Vec<String> = self.ints.keys().chain(other.ints.keys()).cloned().collect();
         for n in names {
-            if self.int_value(&n) != other.int_value(&n) {
+            let left = self.int_value(&n);
+            let right = other.int_value(&n);
+            if left != right {
                 let v = fresh.next(&n);
-                self.ints.insert(n.clone(), Expr::var(v));
+                self.ints.insert(n.clone(), Expr::var(v.clone()));
+                records.push(JoinRecord {
+                    synthetic: v,
+                    left,
+                    right,
+                });
             }
         }
         let vnames: Vec<String> = self
@@ -83,6 +107,18 @@ impl ValueEnv {
         }
         self
     }
+}
+
+/// One synthetic allocated at a [`ValueEnv::join_recording`] merge: the
+/// new name and the two entry-relative values it replaced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinRecord {
+    /// The fresh synthetic bound at the join.
+    pub synthetic: Name,
+    /// The first arm's value.
+    pub left: Expr,
+    /// The second arm's value.
+    pub right: Expr,
 }
 
 /// Generator of fresh synthetic names (`name#k`, or `name#scope.k`

@@ -20,6 +20,10 @@ pub struct Options {
     /// The ∀-extension (§5.2 future work): conditional-counter recognition
     /// and universally quantified condition facts (Fig. 1(a)).
     pub forall_ext: bool,
+    /// Value-range analysis (DESIGN.md §4g): propagate scalar
+    /// interval/congruence facts and let them refute Δ-unknown guards
+    /// through the `sym::bounds` oracle.
+    pub value_range: bool,
     /// Record a per-node trace of the backward propagation (Fig. 5).
     pub trace: bool,
 }
@@ -31,6 +35,7 @@ impl Default for Options {
             if_conditions: true,
             interprocedural: true,
             forall_ext: false,
+            value_range: true,
             trace: false,
         }
     }
@@ -46,13 +51,14 @@ impl Options {
     }
 
     /// Conventional baseline: no symbolic, no IF conditions, no
-    /// interprocedural analysis.
+    /// interprocedural analysis, no value ranges.
     pub fn conventional() -> Options {
         Options {
             symbolic: false,
             if_conditions: false,
             interprocedural: false,
             forall_ext: false,
+            value_range: false,
             trace: false,
         }
     }
@@ -76,6 +82,10 @@ pub struct Summary {
     pub scalar_must_mod: BTreeSet<String>,
     /// Scalars read before any write on some path (upwards exposed).
     pub scalar_ue: BTreeSet<String>,
+    /// Proved `(lo, hi)` bounds on the exit value of may-modified
+    /// scalar formals and COMMON scalars — the interprocedural slice of
+    /// the value-range pass, cached alongside the rest of `SUM_call`.
+    pub scalar_exit_range: BTreeMap<String, (Option<i64>, Option<i64>)>,
 }
 
 impl Summary {

@@ -127,6 +127,43 @@ impl SymbolTable {
         }
     }
 
+    /// Constant-evaluated `(lo, hi)` bounds per dimension of a declared
+    /// array; `None` components are symbolic or assumed-size. This is
+    /// the declared-shape surface the value-range lint rules (P008)
+    /// check proved subscript ranges against.
+    pub fn declared_bounds(&self, name: &str) -> Option<Vec<(Option<i64>, Option<i64>)>> {
+        let info = self.array(name)?;
+        // PARAMETER constants may reference one another in any order;
+        // iterate to a fixed point (terminates: each pass only adds).
+        let mut consts: BTreeMap<String, i64> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for (n, k) in &self.symbols {
+                if let SymbolKind::Constant(e, _) = k {
+                    if !consts.contains_key(n) {
+                        if let Some(v) = const_eval(e, &consts) {
+                            consts.insert(n.clone(), v);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(
+            info.dims
+                .iter()
+                .map(|d| match d {
+                    DimBound::Upper(e) => (Some(1), const_eval(e, &consts)),
+                    DimBound::Both(l, h) => (const_eval(l, &consts), const_eval(h, &consts)),
+                    DimBound::Assumed => (Some(1), None),
+                })
+                .collect(),
+        )
+    }
+
     /// The `PARAMETER` value of a constant.
     pub fn constant(&self, name: &str) -> Option<&Expr> {
         match self.symbols.get(name) {

@@ -170,16 +170,33 @@ impl Atom {
     }
 
     /// Constant-folds the atom: `Some(true/false)` if it is a tautology or
-    /// contradiction on its own.
+    /// contradiction on its own. Besides literal constants, a symbolic
+    /// relation is discharged when the [`sym::bounds`] range oracle (when
+    /// one is installed) proves the sign of its expression — this is how
+    /// proved value ranges refute Δ-unknown guards.
     pub fn const_value(&self) -> Option<bool> {
         match self {
             Atom::Rel(e, op) => {
-                let c = e.as_const()?;
-                Some(match op {
-                    RelOp::Lt => c < 0,
-                    RelOp::Eq => c == 0,
-                    RelOp::Ne => c != 0,
-                })
+                if let Some(c) = e.as_const() {
+                    return Some(match op {
+                        RelOp::Lt => c < 0,
+                        RelOp::Eq => c == 0,
+                        RelOp::Ne => c != 0,
+                    });
+                }
+                if !sym::bounds::oracle_active() {
+                    return None;
+                }
+                use sym::SymOrdering::{Equal, Greater, Less};
+                match (sym::compare(e, &sym::Expr::zero()), op) {
+                    (Less, RelOp::Lt) => Some(true),
+                    (Equal | Greater, RelOp::Lt) => Some(false),
+                    (Equal, RelOp::Eq) => Some(true),
+                    (Less | Greater, RelOp::Eq) => Some(false),
+                    (Equal, RelOp::Ne) => Some(false),
+                    (Less | Greater, RelOp::Ne) => Some(true),
+                    _ => None,
+                }
             }
             // An empty quantified range is vacuously true.
             Atom::ForallCond { lo, hi, .. } => match sym::compare(lo, hi) {

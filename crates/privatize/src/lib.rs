@@ -19,9 +19,10 @@
 
 #![warn(missing_docs)]
 
-use dataflow::LoopAnalysis;
+use dataflow::{LoopAnalysis, RangeNote};
 use gar::GarList;
 use serde::Serialize;
+use vrange::{eval_sym, Budget, Interval, RangeEnv, ValueRange, DEFAULT_BUDGET};
 
 /// One step of the decision trace behind a verdict (DESIGN.md §4f).
 ///
@@ -36,7 +37,8 @@ use serde::Serialize;
 #[derive(Clone, Debug, Serialize)]
 pub struct ProvEntry {
     /// Operation kind: `candidate`, `intersect`, `scalar`,
-    /// `premature_exit`, `degraded` or `decide`.
+    /// `premature_exit`, `degraded`, `range_refute`, `range_compare`
+    /// or `decide`.
     pub op: String,
     /// The array or scalar concerned (empty for loop-level entries).
     pub subject: String,
@@ -256,6 +258,66 @@ fn probe(prov: &mut Vec<ProvEntry>, subject: &str, label: &str, a: &GarList, b: 
     dep
 }
 
+/// Renders one value-range contribution recorded at analysis time as a
+/// provenance entry (`range_refute` / `range_compare`, DESIGN.md §4g).
+fn range_note_entry(note: &RangeNote) -> ProvEntry {
+    match note {
+        RangeNote::Refute { cond, always } => ProvEntry {
+            op: "range_refute".to_string(),
+            subject: String::new(),
+            detail: cond.clone(),
+            result: if *always { "always" } else { "never" }.to_string(),
+        },
+        RangeNote::Compare {
+            lhs,
+            rhs,
+            detail,
+            result,
+        } => ProvEntry {
+            op: "range_compare".to_string(),
+            subject: String::new(),
+            detail: format!("{lhs} ? {rhs}; {detail}"),
+            result: result.clone(),
+        },
+    }
+}
+
+/// Re-installs the loop's proved scalar bounds as a [`sym::bounds`]
+/// comparison oracle for the duration of the judge's intersection
+/// tests. The analyzer snapshotted the bounds on the [`LoopAnalysis`],
+/// so cached replays reach the same Δ-unknown decisions as a cold run.
+fn install_range_oracle(la: &LoopAnalysis) -> Option<sym::bounds::OracleGuard> {
+    if la.range_bounds.is_empty() || sym::bounds::oracle_active() {
+        return None;
+    }
+    let mut env = RangeEnv::new();
+    for (name, (lo, hi)) in &la.range_bounds {
+        env.set(
+            name.clone(),
+            ValueRange::of_interval(Interval::new(*lo, *hi)),
+        );
+    }
+    let budget = Budget::new(DEFAULT_BUDGET);
+    Some(sym::bounds::OracleGuard::install(Box::new(
+        move |diff: &sym::Expr| {
+            let iv = eval_sym(diff, &env, &budget).interval;
+            if iv.is_empty() {
+                return None;
+            }
+            let ord = if iv.as_const() == Some(0) {
+                sym::SymOrdering::Equal
+            } else if iv.hi.is_some_and(|h| h < 0) {
+                sym::SymOrdering::Less
+            } else if iv.lo.is_some_and(|l| l > 0) {
+                sym::SymOrdering::Greater
+            } else {
+                return None;
+            };
+            Some((ord, format!("{diff} in {iv}")))
+        },
+    )))
+}
+
 /// Judges one analyzed loop.
 pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
     let _span = trace::span_with(|| format!("judge:{}", la.id()));
@@ -263,6 +325,14 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
     let mut blockers = Vec::new();
     let mut privatized = Vec::new();
     let mut prov = Vec::new();
+
+    // What the value-range pass contributed while the loop was
+    // summarized, replayed from the analysis so cached verdicts render
+    // identical provenance.
+    for note in &la.range_notes {
+        prov.push(range_note_entry(note));
+    }
+    let range_guard = install_range_oracle(la);
 
     for (name, sets) in &la.arrays {
         let written = !sets.mod_i.is_empty();
@@ -290,6 +360,7 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
             detail: why.to_string(),
             result: if candidate { "yes" } else { "no" }.to_string(),
         });
+        let mark = sym::bounds::log_mark();
         let flow_dep = probe(&mut prov, name, "UE_i ∩ MOD_<i", &sets.ue_i, &sets.mod_lt);
         let out_lt = probe(&mut prov, name, "MOD_i ∩ MOD_<i", &sets.mod_i, &sets.mod_lt);
         let out_gt = probe(&mut prov, name, "MOD_i ∩ MOD_>i", &sets.mod_i, &sets.mod_gt);
@@ -297,6 +368,18 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
         // §3.2.2: when anti dependences are considered separately, the
         // downwards-exposed use set DE_i replaces UE_i.
         let anti_dep = probe(&mut prov, name, "DE_i ∩ MOD_>i", &sets.de_i, &sets.mod_gt);
+        // Δ-unknown comparisons the reinstalled range oracle decided
+        // inside this array's four tests.
+        if range_guard.is_some() {
+            for d in sym::bounds::decisions_since(mark) {
+                prov.push(ProvEntry {
+                    op: "range_compare".to_string(),
+                    subject: name.clone(),
+                    detail: format!("{} ? {}; {}", d.lhs, d.rhs, d.detail),
+                    result: d.result.to_string(),
+                });
+            }
+        }
         let privatizable = candidate && !flow_dep;
         let needs_copy_out = la.live_after.contains(name);
 

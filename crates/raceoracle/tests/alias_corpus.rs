@@ -30,9 +30,10 @@ struct Run {
 
 fn oracle(src: &str, opts: Options) -> Run {
     let interprocedural = opts.interprocedural;
+    let value_range = opts.value_range;
     let (program, sema, verdicts) = analyze(src, opts);
     let report = validate(&program, &sema, &verdicts);
-    let lints = lint_program(&program, &sema, interprocedural);
+    let lints = lint_program(&program, &sema, interprocedural, value_range);
     Run {
         report,
         verdicts,

@@ -307,6 +307,8 @@ impl Daemon {
         // contract.
         if self.cache.is_some() && !limits.constrains_results() && !trace_req {
             self.warm_call_dag_roots(source, opts);
+        } else if self.cache.is_some() && trace_req {
+            self.metrics.record_trace_bypass();
         }
         let req = driver::Request {
             source,

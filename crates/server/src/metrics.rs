@@ -168,9 +168,13 @@ pub struct Metrics {
     pub peak_queue_depth: AtomicUsize,
     /// Largest per-request peak transient GAR state (memory proxy).
     pub peak_state_size: AtomicUsize,
+    /// Traced requests (`"trace": true`) that skipped the warm summary
+    /// cache to keep the span tree deterministic. Distinct from cache
+    /// misses: the cache was available but deliberately bypassed.
+    pub trace_bypass: AtomicU64,
     /// Lints emitted by completed analyses, one counter per stable
     /// `panolint` code (index = position in [`panorama::LintCode::ALL`]).
-    pub lints: [AtomicU64; 6],
+    pub lints: [AtomicU64; panorama::LintCode::ALL.len()],
     /// Aggregate per-phase analysis time, in microseconds.
     pub parse_micros: AtomicU64,
     /// Semantic analysis time.
@@ -248,6 +252,11 @@ impl Metrics {
         }
     }
 
+    /// Records a traced request that bypassed the warm summary cache.
+    pub fn record_trace_bypass(&self) {
+        self.trace_bypass.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a worker panic that was caught and turned into an
     /// `internal_panic` response (or a synthesized one at finish).
     pub fn record_panic(&self) {
@@ -278,6 +287,7 @@ impl Metrics {
                     ("timeouts".to_string(), load(&self.timeouts)),
                     ("panics".to_string(), load(&self.panics)),
                     ("oracle_runs".to_string(), load(&self.oracle_runs)),
+                    ("trace_bypass".to_string(), load(&self.trace_bypass)),
                 ]),
             ),
             (
@@ -343,6 +353,7 @@ impl Metrics {
             ("timeouts", &self.timeouts),
             ("panics", &self.panics),
             ("oracle_runs", &self.oracle_runs),
+            ("trace_bypass", &self.trace_bypass),
         ] {
             out.push_str(&format!(
                 "panorama_requests_total{{outcome=\"{outcome}\"}} {}\n",

@@ -110,6 +110,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         opts.if_conditions = flag("if_conditions", opts.if_conditions)?;
         opts.interprocedural = flag("interprocedural", opts.interprocedural)?;
         opts.forall_ext = flag("forall_ext", opts.forall_ext)?;
+        opts.value_range = flag("value_range", opts.value_range)?;
     }
     let flag = |key: &str| -> Result<bool, String> {
         match value.get(key) {

@@ -140,18 +140,31 @@ fn fuel_limited_reports_identical_across_jobs_and_cache() {
     }
 }
 
-/// One `"trace": true` request per benchsuite kernel.
+/// One `"trace": true` request per benchsuite kernel, plus the
+/// range-flip kernels so the determinism contract covers the
+/// value-range pass's provenance (`range_refute`/`range_compare`).
 fn traced_request_stream() -> String {
     let mut lines = Vec::new();
-    for k in kernels() {
+    let mut push = |id: &str, source: &str| {
         let obj = Value::Object(vec![
-            ("id".to_string(), Value::Str(k.loop_label.to_string())),
-            ("source".to_string(), Value::Str(k.source.to_string())),
+            ("id".to_string(), Value::Str(id.to_string())),
+            ("source".to_string(), Value::Str(source.to_string())),
             ("trace".to_string(), Value::Bool(true)),
         ]);
         lines.push(serde_json::to_string(&obj).unwrap());
+    };
+    for k in kernels() {
+        push(k.loop_label, k.source);
+    }
+    for k in benchsuite::range_kernels() {
+        push(k.tag, k.source);
     }
     lines.join("\n") + "\n"
+}
+
+/// Number of requests [`traced_request_stream`] produces.
+fn traced_request_count() -> usize {
+    kernels().len() + benchsuite::range_kernels().len()
 }
 
 /// Zeroes every `start_us`/`dur_us`/`at_us` field in place: wall-clock
@@ -200,7 +213,7 @@ fn span_trees_and_provenance_identical_across_jobs_and_cache() {
         },
         &input,
     ));
-    assert_eq!(baseline.len(), kernels().len());
+    assert_eq!(baseline.len(), traced_request_count());
     for line in &baseline {
         let v: Value = serde_json::from_str(line).expect("normalized json");
         let id = v.get("id").unwrap();
@@ -235,6 +248,14 @@ fn span_trees_and_provenance_identical_across_jobs_and_cache() {
             );
         }
     }
+    // The stream must actually exercise the value-range pass: some
+    // verdict's provenance carries a range oracle entry.
+    assert!(
+        baseline
+            .iter()
+            .any(|l| l.contains("range_compare") || l.contains("range_refute")),
+        "no range provenance anywhere in the traced stream"
+    );
     for (jobs, cache) in [(4, None), (1, Some(None)), (4, Some(None))] {
         let got = normalize(serve(
             Config {
@@ -277,7 +298,14 @@ fn stats_surface_request_and_lint_counters() {
         requests.get("completed").unwrap().as_u64(),
         Some(2 * kernels().len() as u64)
     );
-    for key in ["failed", "degraded", "timeouts", "panics", "oracle_runs"] {
+    for key in [
+        "failed",
+        "degraded",
+        "timeouts",
+        "panics",
+        "oracle_runs",
+        "trace_bypass",
+    ] {
         assert!(requests.get(key).is_some(), "missing requests.{key}");
     }
     let lints = stats.get("lints").expect("lints");
@@ -303,6 +331,41 @@ fn stats_surface_request_and_lint_counters() {
         hist.get("count").unwrap().as_u64(),
         Some(2 * kernels().len() as u64)
     );
+}
+
+#[test]
+fn stats_count_traced_cache_bypasses_distinctly() {
+    // Traced requests deliberately skip warming the summary cache so
+    // span trees stay deterministic; the stats snapshot reports those
+    // skips under `requests.trace_bypass`, not as cache misses.
+    let daemon = Daemon::new(Config {
+        jobs: 1,
+        ..Config::default() // cache enabled
+    });
+    let input = format!(
+        "{}{}\n",
+        traced_request_stream(),
+        r#"{"id": "probe", "cmd": "stats"}"#
+    );
+    let mut out = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input), &mut out)
+        .expect("serve");
+    let text = String::from_utf8(out).expect("utf8");
+    let last: Value = serde_json::from_str(text.lines().last().unwrap()).expect("stats json");
+    let stats = last.get("stats").expect("stats payload");
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("trace_bypass"))
+            .and_then(Value::as_u64),
+        Some(traced_request_count() as u64)
+    );
+    // The bypassed requests never touched the warm path: the cache
+    // object is present (cache enabled) and records no activity.
+    let cache = stats.get("cache").expect("cache");
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(0));
 }
 
 #[test]

@@ -44,13 +44,19 @@ impl SymOrdering {
     }
 }
 
-/// Compares `a` and `b` symbolically by examining `a - b`.
+/// Compares `a` and `b` symbolically by examining `a - b`. When the
+/// difference stays symbolic, an installed bounds oracle
+/// ([`crate::bounds`]) gets a chance to decide its sign from proved
+/// scalar ranges before the answer degrades to Δ-unknown.
 pub fn compare(a: &Expr, b: &Expr) -> SymOrdering {
-    match a.try_sub(b).and_then(|d| d.as_const()) {
+    let Some(d) = a.try_sub(b) else {
+        return SymOrdering::Unknown;
+    };
+    match d.as_const() {
         Some(c) if c < 0 => SymOrdering::Less,
         Some(0) => SymOrdering::Equal,
         Some(_) => SymOrdering::Greater,
-        None => SymOrdering::Unknown,
+        None => crate::bounds::consult(a, b, &d),
     }
 }
 

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bounds;
 mod compare;
 mod env;
 mod expr;

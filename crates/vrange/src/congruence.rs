@@ -1,0 +1,188 @@
+//! Congruence lattice: `x ≡ rem (mod modulus)`.
+
+use std::fmt;
+
+/// A congruence constraint. `modulus == 0` pins the exact constant
+/// `rem`; `modulus == 1` is ⊤ (no information); otherwise the value is
+/// known to be `rem (mod modulus)` with `0 <= rem < modulus`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Congruence {
+    /// The modulus (0 = constant, 1 = ⊤).
+    pub modulus: u64,
+    /// The residue (the constant itself when `modulus == 0`).
+    pub rem: i64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Congruence {
+    /// No information: any value.
+    pub const TOP: Congruence = Congruence { modulus: 1, rem: 0 };
+
+    /// Exactly the constant `c`.
+    pub fn constant(c: i64) -> Congruence {
+        Congruence { modulus: 0, rem: c }
+    }
+
+    /// `rem (mod modulus)`, normalizing the residue into `[0, modulus)`.
+    pub fn of(modulus: u64, rem: i64) -> Congruence {
+        match modulus {
+            0 => Congruence::constant(rem),
+            1 => Congruence::TOP,
+            m => Congruence {
+                modulus: m,
+                rem: rem.rem_euclid(m as i64),
+            },
+        }
+    }
+
+    /// `true` iff nothing is known.
+    pub fn is_top(&self) -> bool {
+        self.modulus == 1
+    }
+
+    /// `Some(c)` iff the congruence pins an exact constant.
+    pub fn as_const(&self) -> Option<i64> {
+        (self.modulus == 0).then_some(self.rem)
+    }
+
+    /// `true` iff `v` satisfies the congruence.
+    pub fn contains(&self, v: i64) -> bool {
+        match self.modulus {
+            0 => v == self.rem,
+            1 => true,
+            m => v.rem_euclid(m as i64) == self.rem,
+        }
+    }
+
+    /// Least upper bound: the coarsest congruence both satisfy
+    /// (`gcd` of the moduli and of the residue difference).
+    pub fn join(&self, other: &Congruence) -> Congruence {
+        if self == other {
+            return *self;
+        }
+        let diff = self.rem.abs_diff(other.rem);
+        let m = gcd(gcd(self.modulus, other.modulus), diff);
+        Congruence::of(m, self.rem)
+    }
+
+    /// Congruence sum.
+    pub fn add(&self, other: &Congruence) -> Congruence {
+        let m = gcd(self.modulus, other.modulus);
+        match self.rem.checked_add(other.rem) {
+            Some(r) => Congruence::of(m, r),
+            None => Congruence::TOP,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Congruence {
+        match self.rem.checked_neg() {
+            Some(r) => Congruence::of(self.modulus, r),
+            None => Congruence::TOP,
+        }
+    }
+
+    /// Congruence product: constants multiply exactly; a constant `c`
+    /// scales a congruence to `(c*m, c*r)`; otherwise the best modulus
+    /// is the gcd of the cross products.
+    pub fn mul(&self, other: &Congruence) -> Congruence {
+        let scaled = |c: i64, g: &Congruence| -> Congruence {
+            let m = g.modulus.checked_mul(c.unsigned_abs());
+            match (m, g.rem.checked_mul(c)) {
+                (Some(m), Some(r)) => Congruence::of(m, r),
+                _ => Congruence::TOP,
+            }
+        };
+        match (self.as_const(), other.as_const()) {
+            (Some(a), Some(b)) => match a.checked_mul(b) {
+                Some(c) => Congruence::constant(c),
+                None => Congruence::TOP,
+            },
+            (Some(c), None) => scaled(c, other),
+            (None, Some(c)) => scaled(c, self),
+            // (m1·k)·(m2·j) ≡ 0 (mod m1·m2); anything with nonzero
+            // residues is ⊤ here.
+            (None, None) if self.rem == 0 && other.rem == 0 => {
+                match self.modulus.checked_mul(other.modulus) {
+                    Some(m) => Congruence::of(m, 0),
+                    None => Congruence::TOP,
+                }
+            }
+            (None, None) => Congruence::TOP,
+        }
+    }
+
+    /// `true` iff no value can satisfy both congruences — the
+    /// disequality refutation used for `.EQ.` guards.
+    pub fn disjoint(&self, other: &Congruence) -> bool {
+        match (self.modulus, other.modulus) {
+            (0, 0) => self.rem != other.rem,
+            (0, m) | (m, 0) if m > 1 => {
+                let (c, g) = if self.modulus == 0 {
+                    (self.rem, other)
+                } else {
+                    (other.rem, self)
+                };
+                !g.contains(c)
+            }
+            (a, b) if a > 1 && b > 1 => {
+                let g = gcd(a, b) as i64;
+                g > 1 && self.rem.rem_euclid(g) != other.rem.rem_euclid(g)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Congruence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.modulus {
+            0 => write!(f, "= {}", self.rem),
+            1 => f.write_str("any"),
+            m => write!(f, "{} (mod {m})", self.rem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_constants() {
+        let a = Congruence::constant(4);
+        let b = Congruence::constant(10);
+        let j = a.join(&b);
+        assert_eq!(j, Congruence::of(6, 4));
+        assert!(j.contains(4) && j.contains(10) && j.contains(16));
+        assert!(!j.contains(5));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let even = Congruence::of(2, 0);
+        let three = Congruence::constant(3);
+        // 2k + 3 is odd:
+        assert_eq!(even.add(&three), Congruence::of(2, 1));
+        assert_eq!(even.mul(&three), Congruence::of(6, 0));
+        assert_eq!(three.neg(), Congruence::constant(-3));
+    }
+
+    #[test]
+    fn disjointness() {
+        let even = Congruence::of(2, 0);
+        let odd = Congruence::of(2, 1);
+        assert!(even.disjoint(&odd));
+        assert!(!even.disjoint(&Congruence::of(4, 2)));
+        assert!(even.disjoint(&Congruence::constant(5)));
+        assert!(Congruence::constant(1).disjoint(&Congruence::constant(2)));
+        assert!(!Congruence::TOP.disjoint(&even));
+    }
+}

@@ -1,0 +1,313 @@
+//! Integer intervals with optionally-infinite endpoints.
+
+use std::fmt;
+
+/// An integer interval `[lo, hi]`; `None` means unbounded on that side.
+/// The empty interval is canonicalized to `[1, 0]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Lower bound (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The full interval ⊤ (every integer).
+    pub const TOP: Interval = Interval { lo: None, hi: None };
+
+    /// The empty interval ⊥.
+    pub const EMPTY: Interval = Interval {
+        lo: Some(1),
+        hi: Some(0),
+    };
+
+    /// A single constant.
+    pub fn constant(c: i64) -> Interval {
+        Interval {
+            lo: Some(c),
+            hi: Some(c),
+        }
+    }
+
+    /// `[lo, hi]`, canonicalizing an inverted pair to [`Interval::EMPTY`].
+    pub fn new(lo: Option<i64>, hi: Option<i64>) -> Interval {
+        match (lo, hi) {
+            (Some(l), Some(h)) if l > h => Interval::EMPTY,
+            _ => Interval { lo, hi },
+        }
+    }
+
+    /// `true` iff no integer is in the interval.
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// `true` iff every integer is in the interval.
+    pub fn is_top(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+
+    /// `Some(c)` iff the interval is exactly `{c}`.
+    pub fn as_const(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    /// `true` iff `v` lies in the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        !self.is_empty() && self.lo.is_none_or(|l| l <= v) && self.hi.is_none_or(|h| v <= h)
+    }
+
+    /// `true` iff `other` is a subset of `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        let lo_ok = match (self.lo, other.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a <= b,
+        };
+        let hi_ok = match (self.hi, other.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => b <= a,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Greatest lower bound (intersection).
+    pub fn meet(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(
+            match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (x, None) | (None, x) => x,
+            },
+            match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            },
+        )
+    }
+
+    /// Interval sum; an overflowing endpoint becomes unbounded.
+    pub fn add(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Interval difference `self - other`.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.hi.and_then(i64::checked_neg),
+            hi: self.lo.and_then(i64::checked_neg),
+        }
+    }
+
+    /// Interval product. Fully finite operands take the corner-product
+    /// hull; a half-infinite operand only survives scaling by an exact
+    /// constant, everything else widens to ⊤ — imprecise but sound.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        if let Some(c) = self.as_const() {
+            return other.scale(c);
+        }
+        if let Some(c) = other.as_const() {
+            return self.scale(c);
+        }
+        match (self.lo, self.hi, other.lo, other.hi) {
+            (Some(a), Some(b), Some(c), Some(d)) => {
+                let corners = [
+                    a.checked_mul(c),
+                    a.checked_mul(d),
+                    b.checked_mul(c),
+                    b.checked_mul(d),
+                ];
+                if corners.iter().any(Option::is_none) {
+                    return Interval::TOP;
+                }
+                let vals: Vec<i64> = corners.iter().map(|c| c.unwrap()).collect();
+                Interval {
+                    lo: vals.iter().min().copied(),
+                    hi: vals.iter().max().copied(),
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&self, c: i64) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        if c == 0 {
+            return Interval::constant(0);
+        }
+        let lo = self.lo.and_then(|v| v.checked_mul(c));
+        let hi = self.hi.and_then(|v| v.checked_mul(c));
+        if c > 0 {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Standard widening against the [`crate::WIDENING_THRESHOLDS`]
+    /// ladder: an endpoint that moved past the previous iterate jumps to
+    /// the nearest enclosing threshold instead of creeping one step per
+    /// iteration.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_empty() {
+            return *next;
+        }
+        if next.is_empty() {
+            return *self;
+        }
+        let lo = match (self.lo, next.lo) {
+            (Some(a), Some(b)) if b < a => crate::WIDENING_THRESHOLDS
+                .iter()
+                .rev()
+                .find(|&&t| t <= b)
+                .copied(),
+            (Some(a), Some(_)) => Some(a),
+            _ => None,
+        };
+        let hi = match (self.hi, next.hi) {
+            (Some(a), Some(b)) if b > a => crate::WIDENING_THRESHOLDS
+                .iter()
+                .find(|&&t| t >= b)
+                .copied(),
+            (Some(a), Some(_)) => Some(a),
+            _ => None,
+        };
+        Interval { lo, hi }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("empty");
+        }
+        match self.lo {
+            Some(l) => write!(f, "[{l}, ")?,
+            None => f.write_str("[-inf, ")?,
+        }
+        match self.hi {
+            Some(h) => write!(f, "{h}]"),
+            None => f.write_str("+inf]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_basics() {
+        let a = Interval::new(Some(1), Some(5));
+        let b = Interval::new(Some(3), Some(9));
+        assert_eq!(a.join(&b), Interval::new(Some(1), Some(9)));
+        assert_eq!(a.meet(&b), Interval::new(Some(3), Some(5)));
+        assert!(Interval::new(Some(6), Some(9)).meet(&a).is_empty());
+        assert!(Interval::TOP.contains_interval(&a));
+        assert!(!a.contains_interval(&Interval::TOP));
+        assert!(a.contains_interval(&Interval::EMPTY));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(Some(1), Some(5));
+        let b = Interval::new(Some(-2), Some(3));
+        assert_eq!(a.add(&b), Interval::new(Some(-1), Some(8)));
+        assert_eq!(a.sub(&b), Interval::new(Some(-2), Some(7)));
+        assert_eq!(a.neg(), Interval::new(Some(-5), Some(-1)));
+        assert_eq!(a.mul(&b), Interval::new(Some(-10), Some(15)));
+        assert_eq!(a.scale(-2), Interval::new(Some(-10), Some(-2)));
+        let half = Interval::new(Some(0), None);
+        assert_eq!(half.add(&a), Interval::new(Some(1), None));
+        assert_eq!(half.mul(&b), Interval::TOP);
+        assert_eq!(half.scale(3), Interval::new(Some(0), None));
+    }
+
+    #[test]
+    fn overflow_is_unbounded_not_wrapped() {
+        let big = Interval::constant(i64::MAX);
+        let sum = big.add(&Interval::constant(1));
+        assert_eq!(sum.hi, None);
+        assert_eq!(big.scale(2).hi, None);
+    }
+
+    #[test]
+    fn widening_jumps_to_thresholds() {
+        let a = Interval::new(Some(0), Some(1));
+        let b = Interval::new(Some(0), Some(2));
+        let w = a.widen(&b);
+        assert_eq!(w.lo, Some(0));
+        assert!(w.hi.unwrap() >= 2, "widened above the moving bound");
+        // A stable bound is left alone.
+        assert_eq!(a.widen(&a), a);
+        // Motion past the last threshold goes to infinity.
+        let huge = Interval::new(Some(0), Some(i64::MAX - 1));
+        assert_eq!(a.widen(&huge).hi, None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::new(Some(1), Some(5)).to_string(), "[1, 5]");
+        assert_eq!(Interval::new(None, Some(0)).to_string(), "[-inf, 0]");
+        assert_eq!(Interval::EMPTY.to_string(), "empty");
+    }
+}

@@ -1,0 +1,139 @@
+//! Golden range-lint output (P007 infeasible-guard, P008
+//! subscript-out-of-declared-bounds, P009 loop-never-executes) over
+//! the benchsuite, the range-flip kernels and the range-lint demo:
+//! checked in at `tests/golden/range_lints.txt`, re-derived through
+//! the `panorama --lint --json` CLI by the CI `range-golden` job.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p panorama --test range_golden`.
+
+use panorama::{analyze_source, LintCode, Options};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/range_lints.txt"
+);
+
+const RANGE_CODES: [LintCode; 3] = [
+    LintCode::InfeasibleGuard,
+    LintCode::SubscriptOutOfDeclaredBounds,
+    LintCode::LoopNeverExecutes,
+];
+
+/// All (program, label, source) sections the golden covers.
+fn corpus() -> Vec<(String, String, String)> {
+    let mut out: Vec<(String, String, String)> = benchsuite::kernels()
+        .iter()
+        .map(|k| {
+            (
+                k.program.to_string(),
+                k.loop_label.to_string(),
+                k.source.to_string(),
+            )
+        })
+        .collect();
+    for k in benchsuite::range_kernels() {
+        out.push(("range".to_string(), k.tag.to_string(), k.source.to_string()));
+    }
+    out.push((
+        "range".to_string(),
+        "rdemo".to_string(),
+        benchsuite::range_lint_demo().to_string(),
+    ));
+    out
+}
+
+fn section(program: &str, label: &str, source: &str, opts: Options) -> String {
+    let analysis = analyze_source(source, opts).unwrap();
+    let range_lints: Vec<_> = analysis
+        .lints
+        .iter()
+        .filter(|l| RANGE_CODES.contains(&l.code))
+        .collect();
+    let mut out = format!("== {program} {label} ==\n");
+    if range_lints.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for l in range_lints {
+        out.push_str(&format!("{l}\n"));
+    }
+    out
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    for (program, label, source) in corpus() {
+        out.push_str(&section(&program, &label, &source, Options::default()));
+    }
+    out
+}
+
+#[test]
+fn range_lints_match_the_golden_file() {
+    let got = render();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "range lint output drifted from tests/golden/range_lints.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn demo_kernel_fires_every_range_code() {
+    // The golden must stay meaningful: the demo section pins all three
+    // codes, in source-line order.
+    let analysis = analyze_source(benchsuite::range_lint_demo(), Options::default()).unwrap();
+    let codes: Vec<LintCode> = analysis
+        .lints
+        .iter()
+        .filter(|l| RANGE_CODES.contains(&l.code))
+        .map(|l| l.code)
+        .collect();
+    assert_eq!(
+        codes,
+        vec![
+            LintCode::SubscriptOutOfDeclaredBounds,
+            LintCode::InfeasibleGuard,
+            LintCode::LoopNeverExecutes,
+        ]
+    );
+}
+
+#[test]
+fn no_range_lints_without_the_pass() {
+    // `--no-value-range` must silence exactly P007–P009 and nothing
+    // else, for the whole corpus.
+    for (program, label, source) in corpus() {
+        let off = Options {
+            value_range: false,
+            ..Options::default()
+        };
+        let analysis = analyze_source(&source, off).unwrap();
+        assert!(
+            analysis
+                .lints
+                .iter()
+                .all(|l| !RANGE_CODES.contains(&l.code)),
+            "{program} {label}: range lint fired with value_range off"
+        );
+        let on = analyze_source(&source, Options::default()).unwrap();
+        let non_range = |lints: &[panorama::Lint]| {
+            lints
+                .iter()
+                .filter(|l| !RANGE_CODES.contains(&l.code))
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            non_range(&analysis.lints),
+            non_range(&on.lints),
+            "{program} {label}: value_range toggled a non-range lint"
+        );
+    }
+}
