@@ -1,0 +1,80 @@
+//! Criterion benches for the panogen emission backend (DESIGN.md §4h):
+//! cost of clause selection + directive emission + plan lowering on top
+//! of an existing analysis, and the threaded executor against its
+//! serial baseline. Tracked across PRs in `BENCH_codegen.json`.
+
+use benchsuite::kernels;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interp::Machine;
+use panorama::{analyze_source, Analysis, Options};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn program_sources() -> BTreeMap<&'static str, String> {
+    let mut programs: BTreeMap<&str, String> = BTreeMap::new();
+    for k in kernels() {
+        programs.entry(k.program).or_default().push_str(k.source);
+    }
+    programs
+}
+
+fn transform(a: &Analysis) -> codegen::Transform {
+    codegen::transform(&a.program, &a.sema, &a.loops, &a.verdicts)
+}
+
+fn bench_transform(c: &mut Criterion) {
+    // Emission rides a finished analysis, so the analysis runs once
+    // outside the timed region: these numbers are the marginal cost of
+    // `--emit-openmp` over a plain analysis run.
+    let analyses: Vec<(&str, Analysis)> = program_sources()
+        .iter()
+        .map(|(name, src)| (*name, analyze_source(src, Options::full()).unwrap()))
+        .collect();
+    let mut g = c.benchmark_group("codegen");
+    for (name, a) in &analyses {
+        g.bench_with_input(BenchmarkId::new("transform", name), a, |b, a| {
+            b.iter(|| transform(black_box(a)))
+        });
+    }
+    g.bench_function("transform_suite", |b| {
+        b.iter(|| {
+            for (_, a) in &analyses {
+                black_box(transform(black_box(a)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_exec(c: &mut Criterion) {
+    // Serial interpretation vs. the lowered ParallelPlan on the first
+    // benchsuite kernel that plans a loop: the executor's overhead and
+    // scaling are part of the emission contract.
+    let (label, a, t) = kernels()
+        .into_iter()
+        .find_map(|k| {
+            let a = analyze_source(k.source, Options::full()).unwrap();
+            let t = transform(&a);
+            let planned = t.loops.iter().any(|l| l.planned);
+            planned.then_some((k.loop_label, a, t))
+        })
+        .expect("no benchsuite kernel plans a loop");
+    let machine = Machine::new(&a.program, &a.sema);
+    let mut g = c.benchmark_group("parallel_exec");
+    g.bench_function(format!("serial/{label}"), |b| {
+        b.iter(|| machine.run().unwrap())
+    });
+    for threads in [2usize, 4] {
+        g.bench_function(format!("threads{threads}/{label}"), |b| {
+            b.iter(|| machine.run_parallel(black_box(&t.plan), threads).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transform, bench_parallel_exec
+}
+criterion_main!(benches);

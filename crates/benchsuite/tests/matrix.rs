@@ -148,7 +148,10 @@ fn parallel_execution_matches_sequential() {
             k.routine,
             k.var,
             LoopPlan {
-                private_arrays: v.privatized.clone(),
+                // FIRSTPRIVATE (copy-in) for every privatized array: the
+                // conservative clause that is correct whether or not the
+                // loop reads pre-loop values.
+                firstprivate: v.privatized.clone(),
                 private_scalars: v.private_scalars.clone(),
                 copy_out: v
                     .arrays
@@ -156,7 +159,9 @@ fn parallel_execution_matches_sequential() {
                     .filter(|a| a.privatizable && a.needs_copy_out)
                     .map(|a| a.array.clone())
                     .collect(),
+                scalar_copy_out: v.private_scalars.clone(),
                 sum_reductions: v.reductions.clone(),
+                ..Default::default()
             },
         );
 

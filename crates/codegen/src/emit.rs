@@ -1,0 +1,50 @@
+//! OpenMP-annotated source emission.
+//!
+//! Directives ride the faithful pretty-printer ([`fortran::printer`]) as
+//! comment annotations anchored to `(routine, line, var)` of the selected
+//! `DO` statements. Because `!` starts a comment anywhere in the liberal
+//! free form, the emitted text reparses to the original AST — the
+//! emission golden and the round-trip test both pin this.
+
+use fortran::{Annotator, Program, Routine, Stmt, StmtKind};
+use std::collections::BTreeMap;
+
+/// Directive text per annotated loop, keyed `(routine, line, var)`.
+pub type DirectiveMap = BTreeMap<(String, u32, String), String>;
+
+struct Omp<'a> {
+    map: &'a DirectiveMap,
+}
+
+impl Omp<'_> {
+    fn key(&self, r: &Routine, s: &Stmt) -> Option<(String, u32, String)> {
+        if let StmtKind::Do { var, .. } = &s.kind {
+            let key = (r.name.clone(), s.line, var.clone());
+            if self.map.contains_key(&key) {
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+impl Annotator for Omp<'_> {
+    fn before(&mut self, r: &Routine, s: &Stmt) -> Vec<String> {
+        match self.key(r, s) {
+            Some(k) => vec![self.map[&k].clone()],
+            None => Vec::new(),
+        }
+    }
+
+    fn after(&mut self, r: &Routine, s: &Stmt) -> Vec<String> {
+        match self.key(r, s) {
+            Some(_) => vec!["!$OMP END PARALLEL DO".to_string()],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Prints the program with the given directives attached.
+pub fn emit(program: &Program, directives: &DirectiveMap) -> String {
+    fortran::print_program_annotated(program, &mut Omp { map: directives })
+}

@@ -1,0 +1,176 @@
+//! Lowering selected clauses to an executable [`interp::LoopPlan`].
+//!
+//! The interpreter's threaded executor keys its [`interp::ParallelPlan`]
+//! by `(routine, index var)` — coarser than a source line. Lowering
+//! therefore refuses when the key is ambiguous (the routine has more
+//! than one `DO` statement on that index variable): a plan entry would
+//! fire on *every* matching loop, including unverified ones. The OpenMP
+//! annotation is line-anchored and unaffected; only the executable plan
+//! is withheld.
+//!
+//! Two further refusals keep the differential byte-exact:
+//!
+//! * product reductions — the executor combines thread partials
+//!   additively, which is wrong for `s = s * e`;
+//! * REAL-typed sum reductions — partial-sum reassociation is not
+//!   byte-stable in floating point (the directive still carries
+//!   `REDUCTION(+:s)`; a real OpenMP compiler accepts the same
+//!   tolerance).
+
+use crate::clauses::Clauses;
+use fortran::{Routine, Stmt, StmtKind, SymbolKind, SymbolTable, Ty};
+use interp::LoopPlan;
+use privatize::{LoopVerdict, ProvEntry};
+
+/// Tries to lower one loop's clauses to an executable plan. Returns the
+/// plan, or `None` with a human-readable note naming the refusal. Either
+/// way a `lower` provenance entry is appended.
+pub fn lower(
+    v: &LoopVerdict,
+    clauses: &Clauses,
+    routine: &Routine,
+    table: &SymbolTable,
+    prov: &mut Vec<ProvEntry>,
+) -> (Option<LoopPlan>, Option<String>) {
+    let refuse = |prov: &mut Vec<ProvEntry>, note: String| {
+        prov.push(ProvEntry {
+            op: "lower".to_string(),
+            subject: String::new(),
+            detail: note.clone(),
+            result: "not_planned".to_string(),
+        });
+        (None, Some(note))
+    };
+
+    let n = count_do_with_var(&routine.body, &v.var);
+    if n != 1 {
+        return refuse(
+            prov,
+            format!(
+                "ambiguous plan key: {n} DO statements in {} use index {} \
+                 and the executor keys plans by (routine, var)",
+                v.routine, v.var
+            ),
+        );
+    }
+    if let Some(s) = clauses.reduction_mul.first() {
+        return refuse(
+            prov,
+            format!("product reduction {s}: the executor only combines additive partials"),
+        );
+    }
+    if let Some(s) = clauses
+        .reduction_add
+        .iter()
+        .find(|s| scalar_ty(table, s) == Some(Ty::Real))
+    {
+        return refuse(
+            prov,
+            format!("REAL reduction {s}: parallel partial-sum reassociation is not byte-stable"),
+        );
+    }
+
+    // Split the name lists by kind; LASTPRIVATE arrays not already
+    // FIRSTPRIVATE still need a private (zero-initialized) copy.
+    let is_array = |n: &String| table.is_array(n);
+    let firstprivate: Vec<String> = clauses.firstprivate.clone();
+    let mut private_arrays: Vec<String> = clauses
+        .private
+        .iter()
+        .filter(|n| is_array(n))
+        .cloned()
+        .collect();
+    for n in clauses.lastprivate.iter().filter(|n| is_array(n)) {
+        if !firstprivate.contains(n) && !private_arrays.contains(n) {
+            private_arrays.push(n.clone());
+        }
+    }
+    let copy_out: Vec<String> = clauses
+        .lastprivate
+        .iter()
+        .filter(|n| is_array(n))
+        .cloned()
+        .collect();
+    let mut private_scalars: Vec<String> = clauses
+        .private
+        .iter()
+        .filter(|n| !is_array(n))
+        .cloned()
+        .collect();
+    let scalar_copy_out: Vec<String> = clauses
+        .lastprivate
+        .iter()
+        .filter(|n| !is_array(n))
+        .cloned()
+        .collect();
+    for s in &scalar_copy_out {
+        if !private_scalars.contains(s) {
+            private_scalars.push(s.clone());
+        }
+    }
+
+    prov.push(ProvEntry {
+        op: "lower".to_string(),
+        subject: String::new(),
+        detail: format!(
+            "plan key ({}, {}); private arrays [{}], firstprivate [{}], copy-out [{}], \
+             private scalars [{}], scalar copy-out [{}], sum reductions [{}]",
+            v.routine,
+            v.var,
+            private_arrays.join(", "),
+            firstprivate.join(", "),
+            copy_out.join(", "),
+            private_scalars.join(", "),
+            scalar_copy_out.join(", "),
+            clauses.reduction_add.join(", "),
+        ),
+        result: "planned".to_string(),
+    });
+    (
+        Some(LoopPlan {
+            private_arrays,
+            firstprivate,
+            private_scalars,
+            copy_out,
+            scalar_copy_out,
+            sum_reductions: clauses.reduction_add.clone(),
+        }),
+        None,
+    )
+}
+
+/// Declared type of a scalar (None for arrays/constants/undeclared).
+fn scalar_ty(table: &SymbolTable, name: &str) -> Option<Ty> {
+    match table.get(name) {
+        Some(SymbolKind::Scalar(t)) => Some(*t),
+        _ => None,
+    }
+}
+
+/// Counts `DO` statements (at any nesting depth) using `var` as index.
+pub fn count_do_with_var(stmts: &[Stmt], var: &str) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Do { var: v, body, .. } => {
+                if v == var {
+                    n += 1;
+                }
+                n += count_do_with_var(body, var);
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                n += count_do_with_var(then_body, var);
+                n += count_do_with_var(else_body, var);
+            }
+            StmtKind::LogicalIf(_, inner) => {
+                n += count_do_with_var(std::slice::from_ref(inner), var);
+            }
+            _ => {}
+        }
+    }
+    n
+}

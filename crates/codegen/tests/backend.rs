@@ -1,0 +1,307 @@
+//! panogen unit tests: clause selection, plan lowering guards, skip
+//! diagnostics and emission identity.
+
+use codegen::{transform, SkipReason};
+use dataflow::{Analyzer, LoopAnalysis, Options};
+use fortran::{parse_program, strip_lines, Program, ProgramSema};
+use privatize::{judge_all, LoopVerdict};
+
+fn run(src: &str) -> (Program, ProgramSema, Vec<LoopAnalysis>, Vec<LoopVerdict>) {
+    let program = parse_program(src).unwrap();
+    let sema = fortran::analyze(&program).unwrap();
+    let h = hsg::build_hsg(&program).unwrap();
+    let mut az = Analyzer::new(&program, &sema, &h, Options::full());
+    az.run();
+    let verdicts = judge_all(&az.loops);
+    let (loops, _, _) = az.finish();
+    (program, sema, loops, verdicts)
+}
+
+#[test]
+fn clause_selection_private_firstprivate_lastprivate() {
+    // w: privatized, reads w(101:200) it never writes -> FIRSTPRIVATE.
+    // p: privatized, written before read, dead after -> PRIVATE.
+    // m: private scalar read after the loop -> LASTPRIVATE.
+    // k: inner index, dead after -> PRIVATE.
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL w(200), p(10), a(100)
+      INTEGER i, k, m
+      DO i = 1, 100
+        DO k = 1, 100
+          w(k) = w(k + 100) + float(i)
+        ENDDO
+        DO k = 1, 10
+          p(k) = w(k)
+        ENDDO
+        m = i + i
+        a(i) = w(5) + p(3)
+      ENDDO
+      a(1) = a(1) + float(m)
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let lt = t.loop_transform("t", "i").expect("i loop transformed");
+    assert!(lt.clauses.firstprivate.contains(&"w".to_string()), "{lt:?}");
+    assert!(lt.clauses.private.contains(&"p".to_string()), "{lt:?}");
+    assert!(lt.clauses.lastprivate.contains(&"m".to_string()), "{lt:?}");
+    assert!(lt.clauses.private.contains(&"k".to_string()), "{lt:?}");
+    assert!(!lt.clauses.lastprivate.contains(&"k".to_string()));
+    // Clause decisions are recorded in provenance.
+    assert!(lt
+        .provenance
+        .iter()
+        .any(|e| e.op == "clause" && e.subject == "w" && e.result.contains("FIRSTPRIVATE")));
+    // The plan key (t, i) is unique, so the loop is also planned.
+    assert!(lt.planned, "{:?}", lt.plan_note);
+    assert!(t.plan.matches("t", "i"));
+    // The directive carries all clauses.
+    assert!(
+        lt.directive.starts_with("!$OMP PARALLEL DO"),
+        "{}",
+        lt.directive
+    );
+    assert!(lt.directive.contains("FIRSTPRIVATE(w)"), "{}", lt.directive);
+    assert!(lt.directive.contains("LASTPRIVATE(m)"), "{}", lt.directive);
+}
+
+#[test]
+fn ambiguous_plan_key_annotated_but_not_planned() {
+    // Two sibling parallel loops share index k: both get directives,
+    // neither gets a plan entry (the executor keys by (routine, var)).
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(50), b(50)
+      INTEGER k
+      DO k = 1, 50
+        a(k) = float(k)
+      ENDDO
+      DO k = 1, 50
+        b(k) = a(k) * 2.0
+      ENDDO
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    assert_eq!(t.loops.len(), 2);
+    for lt in &t.loops {
+        assert!(!lt.planned);
+        assert!(
+            lt.plan_note.as_deref().unwrap_or("").contains("ambiguous"),
+            "{:?}",
+            lt.plan_note
+        );
+        assert!(lt.directive.starts_with("!$OMP PARALLEL DO"));
+    }
+    assert!(!t.plan.matches("t", "k"));
+    assert_eq!(t.source.matches("!$OMP PARALLEL DO").count(), 2);
+}
+
+#[test]
+fn nested_loop_reported_not_replanned() {
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(100, 100)
+      INTEGER i, j
+      DO i = 1, 100
+        DO j = 1, 100
+          a(j, i) = float(i + j)
+        ENDDO
+      ENDDO
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    assert_eq!(t.loops.len(), 1, "only the outer loop transforms");
+    assert_eq!(t.loops[0].var, "i");
+    let nested = t
+        .skipped
+        .iter()
+        .find(|s| s.var == "j")
+        .expect("inner loop skip diagnostic");
+    assert_eq!(nested.reason, SkipReason::Nested);
+    assert!(nested.detail.contains("t/do i"), "{}", nested.detail);
+}
+
+#[test]
+fn serial_loop_reported_with_blockers() {
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(100)
+      INTEGER i
+      DO i = 2, 100
+        a(i) = a(i-1)
+      ENDDO
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    assert!(t.loops.is_empty());
+    let skip = &t.skipped[0];
+    assert_eq!(skip.reason, SkipReason::Serial);
+    assert!(skip.detail.contains("ArrayFlowDep"), "{}", skip.detail);
+    assert!(!t.source.contains("!$OMP"));
+}
+
+#[test]
+fn synthetic_verdict_skipped_with_structured_diagnostic() {
+    let (program, sema, loops, mut verdicts) = run("
+      PROGRAM t
+      REAL a(10)
+      INTEGER i
+      DO i = 1, 10
+        a(i) = 1.0
+      ENDDO
+      END
+");
+    // A harness-synthesized verdict: no source line to anchor to.
+    let mut synthetic = verdicts[0].clone();
+    synthetic.line = 0;
+    synthetic.id = "t/do q#99".to_string();
+    synthetic.var = "q".to_string();
+    verdicts.push(synthetic);
+    let t = transform(&program, &sema, &loops, &verdicts);
+    assert_eq!(t.loops.len(), 1, "the real loop still transforms");
+    let skip = t
+        .skipped
+        .iter()
+        .find(|s| s.reason == SkipReason::Synthetic)
+        .expect("synthetic skip diagnostic");
+    assert_eq!(skip.line, 0);
+    assert_eq!(skip.id, "t/do q#99");
+    assert!(skip.detail.contains("line 0"), "{}", skip.detail);
+    assert!(skip.render().contains("[synthetic]"));
+}
+
+#[test]
+fn integer_reduction_planned_real_reduction_annotated_only() {
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(100), s
+      INTEGER i, n
+      n = 0
+      s = 0.0
+      DO i = 1, 100
+        s = s + a(i)
+      ENDDO
+      DO n = 1, 100
+        a(n) = s
+      ENDDO
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let red = t.loop_transform("t", "i").unwrap();
+    assert!(
+        red.directive.contains("REDUCTION(+:s)"),
+        "{}",
+        red.directive
+    );
+    assert!(!red.planned);
+    assert!(
+        red.plan_note
+            .as_deref()
+            .unwrap_or("")
+            .contains("REAL reduction"),
+        "{:?}",
+        red.plan_note
+    );
+
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      INTEGER a(100), s, i
+      s = 0
+      DO i = 1, 100
+        s = s + a(i)
+      ENDDO
+      a(1) = s
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let red = t.loop_transform("t", "i").unwrap();
+    assert!(red.directive.contains("REDUCTION(+:s)"));
+    assert!(red.planned, "{:?}", red.plan_note);
+}
+
+#[test]
+fn product_reduction_never_planned() {
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      INTEGER a(20), s, i
+      s = 1
+      DO i = 1, 20
+        s = s * a(i)
+      ENDDO
+      a(1) = s
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let red = t.loop_transform("t", "i").unwrap();
+    assert!(
+        red.directive.contains("REDUCTION(*:s)"),
+        "{}",
+        red.directive
+    );
+    assert!(!red.planned);
+    assert!(
+        red.plan_note.as_deref().unwrap_or("").contains("product"),
+        "{:?}",
+        red.plan_note
+    );
+}
+
+#[test]
+fn goto_forces_scalar_copy_out() {
+    // A backward GOTO can revisit pre-loop text after the loop ran, so
+    // every private scalar becomes LASTPRIVATE.
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(50)
+      INTEGER i, m
+      DO i = 1, 50
+        m = i + 1
+        a(i) = float(m)
+      ENDDO
+      IF (a(1) .GT. 0.0) goto 9
+      a(2) = 1.0
+9     CONTINUE
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let lt = t.loop_transform("t", "i").unwrap();
+    assert!(lt.clauses.lastprivate.contains(&"m".to_string()), "{lt:?}");
+}
+
+#[test]
+fn emitted_source_reparses_to_original_ast() {
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL w(10), a(100)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i) / float(k)
+        ENDDO
+        a(i) = w(1) + w(10)
+      ENDDO
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    assert!(t.source.contains("!$OMP PARALLEL DO"));
+    assert!(t.source.contains("!$OMP END PARALLEL DO"));
+    let reparsed = parse_program(&t.source).unwrap();
+    assert_eq!(strip_lines(&reparsed), strip_lines(&program));
+}
+
+#[test]
+fn directive_rendering_format() {
+    let c = codegen::Clauses {
+        private: vec!["k".into(), "w".into()],
+        firstprivate: vec!["u".into()],
+        lastprivate: vec!["m".into()],
+        reduction_add: vec!["s".into()],
+        reduction_mul: vec!["p".into()],
+    };
+    assert_eq!(
+        c.directive(),
+        "!$OMP PARALLEL DO PRIVATE(k, w) FIRSTPRIVATE(u) LASTPRIVATE(m) \
+         REDUCTION(+:s) REDUCTION(*:p)"
+    );
+    assert!(c.all_names().contains("s"));
+}

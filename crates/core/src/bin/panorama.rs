@@ -31,6 +31,13 @@
 //!   1  I/O, parse, semantic or soundness failure
 //!   2  usage error
 //!   3  --deny-lints matched at least one lint
+//!   --emit-openmp         print the OpenMP-annotated source (panogen,
+//!                         DESIGN.md §4h) on stdout; per-loop skip
+//!                         diagnostics go to stderr. The annotated text
+//!                         reparses to the original program.
+//!   --transform-out FILE  write the transform report (loops, clauses,
+//!                         skip diagnostics, provenance, annotated
+//!                         source) as JSON to FILE
 //!   --json                emit the report as JSON (schema in DESIGN.md)
 //!   --fuel N              cap analysis at N propagation steps; on
 //!                         exhaustion verdicts widen conservatively and
@@ -49,7 +56,7 @@ fn usage() -> ! {
          \x20                [--no-value-range] [--forall] [--trace] [--dump-hsg]\n\
          \x20                [--summaries] [--stats] [--explain] [--lint]\n\
          \x20                [--deny-lints[=CODES]] [--json] [--fuel N] [--deadline-ms N]\n\
-         \x20                [--trace-out FILE] FILE.f"
+         \x20                [--trace-out FILE] [--emit-openmp] [--transform-out FILE] FILE.f"
     );
     std::process::exit(2);
 }
@@ -91,6 +98,8 @@ fn main() -> ExitCode {
     let mut deny_lints: Option<Vec<LintCode>> = None;
     let mut json = false;
     let mut trace_out: Option<String> = None;
+    let mut emit_openmp = false;
+    let mut transform_out: Option<String> = None;
     let mut file = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -150,6 +159,17 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--emit-openmp" => emit_openmp = true,
+            "--transform-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => transform_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--transform-out requires a file path");
+                        usage();
+                    }
+                }
+            }
             "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -180,6 +200,7 @@ fn main() -> ExitCode {
         oracle: explain,
         limits,
         trace_spans: trace_out.is_some(),
+        emit: emit_openmp || transform_out.is_some(),
     };
     let scope = trace_out
         .as_ref()
@@ -201,6 +222,38 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &transform_out {
+        let report = out.transform.as_ref().expect("emit was requested").json();
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(path, s + "\n") {
+                    eprintln!("panorama: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("panorama: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if emit_openmp {
+        let t = out.transform.as_ref().expect("emit was requested");
+        for s in &t.skipped {
+            eprintln!("panorama: {}", s.render());
+        }
+        print!("{}", t.source);
+        if out.soundness_violation() {
+            eprintln!(
+                "panorama: soundness violation — static verdict contradicted by dynamic race"
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Some(code) = deny_exit(&out.analysis.lints, &deny_lints) {
+            return code;
+        }
+        return ExitCode::SUCCESS;
+    }
     if json {
         match serde_json::to_string_pretty(&out.json()) {
             Ok(s) => println!("{s}"),

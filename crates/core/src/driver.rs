@@ -29,10 +29,15 @@ pub struct Request<'a> {
     /// spans exist, and the determinism contract extends to span trees
     /// (`crates/server/tests/determinism.rs`).
     pub trace_spans: bool,
+    /// Also run the panogen emission backend (DESIGN.md §4h): select
+    /// OpenMP clauses, lower the executable parallel plan and print the
+    /// annotated source. The result lands in [`Outcome::transform`] and
+    /// under the additive `"transform"` JSON key.
+    pub emit: bool,
 }
 
 impl<'a> Request<'a> {
-    /// A request with default options, no oracle and no budgets.
+    /// A request with default options, no oracle, no budgets, no emission.
     pub fn new(source: &'a str) -> Self {
         Request {
             source,
@@ -40,6 +45,7 @@ impl<'a> Request<'a> {
             oracle: false,
             limits: FuelLimits::unlimited(),
             trace_spans: false,
+            emit: false,
         }
     }
 }
@@ -50,13 +56,23 @@ pub struct Outcome {
     pub analysis: Analysis,
     /// The oracle report, when the request asked for it.
     pub oracle: Option<OracleReport>,
+    /// The emission backend's result, when the request asked for it.
+    pub transform: Option<codegen::Transform>,
 }
 
 impl Outcome {
     /// The machine-readable report (DESIGN.md §4d), oracle included when
-    /// it ran.
+    /// it ran, transform included (additive `"transform"` key) when the
+    /// emission backend ran.
     pub fn json(&self) -> serde::Value {
-        json_report(&self.analysis, self.oracle.as_ref())
+        let report = json_report(&self.analysis, self.oracle.as_ref());
+        match (&self.transform, report) {
+            (Some(t), serde::Value::Object(mut fields)) => {
+                fields.push(("transform".to_string(), t.json()));
+                serde::Value::Object(fields)
+            }
+            (_, report) => report,
+        }
     }
 
     /// Whether the oracle ran and contradicted a static verdict — the
@@ -79,7 +95,19 @@ pub fn run_with_cache(
     let cache = if req.trace_spans { None } else { cache };
     let mut analysis = analyze_source_limited(req.source, req.opts, cache, req.limits)?;
     let oracle = req.oracle.then(|| analysis.run_oracle());
-    Ok(Outcome { analysis, oracle })
+    let transform = req.emit.then(|| {
+        codegen::transform(
+            &analysis.program,
+            &analysis.sema,
+            &analysis.loops,
+            &analysis.verdicts,
+        )
+    });
+    Ok(Outcome {
+        analysis,
+        oracle,
+        transform,
+    })
 }
 
 /// Is `array` privatizable in the outermost `routine`/`var` loop?

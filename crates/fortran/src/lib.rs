@@ -23,6 +23,7 @@
 mod ast;
 mod lexer;
 mod parser;
+pub mod printer;
 mod sema;
 
 pub use ast::{
@@ -30,6 +31,7 @@ pub use ast::{
 };
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse_program, ParseError};
+pub use printer::{print_program, print_program_annotated, strip_lines, Annotator};
 pub use sema::{
     analyze, implicit_ty, ArrayInfo, ProgramSema, SemaError, StorageClass, StorageLoc, SymbolKind,
     SymbolTable, ELEM_BYTES, INTRINSICS,

@@ -1,0 +1,590 @@
+//! A faithful pretty-printer for the Fortran subset.
+//!
+//! [`print_program`] turns a parsed [`Program`] back into canonical
+//! fixed-form-style source that the parser accepts, and — for any AST the
+//! parser itself can produce — reparses to the **identical** AST modulo
+//! statement line numbers (pinned by the parse→print→parse property test
+//! in `tests/printer_roundtrip.rs`). That identity is what makes emitted
+//! transformed source trustworthy: annotations are carried as `!`
+//! comment lines (e.g. OpenMP `!$OMP` sentinels), which the lexer drops,
+//! so an annotated program relexes to exactly the program the analysis
+//! judged.
+//!
+//! Canonical form: 6-space statement indent growing 2 per block level,
+//! labels right-justified in a 5-column field, `ENDDO`-terminated `DO`
+//! blocks (label-terminated `DO 10 …` loops print their terminator as
+//! the labeled statement the parser already rewrote them to), fully
+//! parenthesized expressions, and single-name declaration statements
+//! ordered to replay the routine's `types`/`arrays` vectors exactly.
+//!
+//! Two AST shapes cannot round-trip and are printed as their desugared
+//! equivalents: a [`StmtKind::LogicalIf`] wrapping a non-simple
+//! statement (unparseable; printed as a block IF) and negative numeric
+//! literals (the parser only builds them as unary minus). Neither is
+//! constructible by the parser.
+
+use crate::ast::{
+    BinOp, DimBound, Expr, LValue, Program, Routine, RoutineKind, Stmt, StmtKind, Ty, UnOp,
+};
+
+/// Hooks for decorating printed statements with comment lines.
+///
+/// [`print_program_annotated`] calls `before`/`after` around every
+/// statement (at any nesting depth). Returned lines are printed verbatim
+/// at the statement's indentation — annotators emit `!`-comment lines
+/// (the lexer drops them), keeping the reparse identity intact. For a
+/// `DO` statement, `after` lines land after the closing `ENDDO`.
+pub trait Annotator {
+    /// Lines to print immediately before `stmt`.
+    fn before(&mut self, routine: &Routine, stmt: &Stmt) -> Vec<String> {
+        let _ = (routine, stmt);
+        Vec::new()
+    }
+    /// Lines to print immediately after `stmt` (after `ENDDO`/`ENDIF`
+    /// for block statements).
+    fn after(&mut self, routine: &Routine, stmt: &Stmt) -> Vec<String> {
+        let _ = (routine, stmt);
+        Vec::new()
+    }
+}
+
+/// The no-op annotator.
+struct Plain;
+impl Annotator for Plain {}
+
+/// Prints a whole program in canonical form.
+pub fn print_program(p: &Program) -> String {
+    print_program_annotated(p, &mut Plain)
+}
+
+/// [`print_program`] with per-statement annotation hooks.
+pub fn print_program_annotated(p: &Program, ann: &mut dyn Annotator) -> String {
+    let mut out = String::new();
+    for (k, r) in p.routines.iter().enumerate() {
+        if k > 0 {
+            out.push('\n');
+        }
+        print_routine(&mut out, r, ann);
+    }
+    out
+}
+
+/// Prints one routine.
+fn print_routine(out: &mut String, r: &Routine, ann: &mut dyn Annotator) {
+    match r.kind {
+        RoutineKind::Program => put(out, None, 6, &format!("PROGRAM {}", r.name)),
+        RoutineKind::Subroutine => {
+            let head = if r.params.is_empty() {
+                format!("SUBROUTINE {}", r.name)
+            } else {
+                format!("SUBROUTINE {}({})", r.name, r.params.join(", "))
+            };
+            put(out, None, 6, &head);
+        }
+    }
+    print_decls(out, r);
+    for s in &r.body {
+        print_stmt(out, r, s, 6, ann);
+    }
+    put(out, None, 6, "END");
+}
+
+/// Emits the declaration statements so that reparsing replays the
+/// routine's `types` and `arrays` vectors in their original order.
+///
+/// The two vectors are interleaved merges of the original declaration
+/// statements: a `REAL a(10)` appended to both, a `REAL a` to `types`
+/// only, a `DIMENSION a(10)` (or dims inside `COMMON`) to `arrays`
+/// only. A two-pointer merge reconstructs a statement sequence whose
+/// replay is order-exact, whichever interleaving produced the vectors —
+/// including the `REAL a … DIMENSION a(10)` split, where the dims must
+/// be deferred past later typed declarations.
+fn print_decls(out: &mut String, r: &Routine) {
+    let ty_kw = |ty: Ty| match ty {
+        Ty::Integer => "INTEGER",
+        Ty::Real => "REAL",
+        Ty::Logical => "LOGICAL",
+    };
+    let mut i = 0; // over r.types
+    let mut j = 0; // over r.arrays
+    while i < r.types.len() || j < r.arrays.len() {
+        if i < r.types.len() && j < r.arrays.len() && r.types[i].0 == r.arrays[j].0 {
+            // Typed array declared in one statement: advances both.
+            let (name, ty) = &r.types[i];
+            put(
+                out,
+                None,
+                6,
+                &format!("{} {}({})", ty_kw(*ty), name, dim_list(&r.arrays[j].1)),
+            );
+            i += 1;
+            j += 1;
+            continue;
+        }
+        let t_in_rest_a =
+            i < r.types.len() && r.arrays[j..].iter().any(|(n, _)| n == &r.types[i].0);
+        if i < r.types.len() && !t_in_rest_a {
+            // Scalar (or an array whose dims were already replayed).
+            let (name, ty) = &r.types[i];
+            put(out, None, 6, &format!("{} {}", ty_kw(*ty), name));
+            i += 1;
+            continue;
+        }
+        let a_in_rest_t =
+            j < r.arrays.len() && r.types[i..].iter().any(|(n, _)| n == &r.arrays[j].0);
+        if j < r.arrays.len() && !a_in_rest_t {
+            // Untyped array, or one typed earlier without dims.
+            let (name, dims) = &r.arrays[j];
+            put(
+                out,
+                None,
+                6,
+                &format!("DIMENSION {}({})", name, dim_list(dims)),
+            );
+            j += 1;
+            continue;
+        }
+        // Both heads pending but crossed (`REAL a` … `DIMENSION a` after
+        // other typed arrays): emit the type now, defer the dims.
+        let (name, ty) = &r.types[i];
+        put(out, None, 6, &format!("{} {}", ty_kw(*ty), name));
+        i += 1;
+    }
+    for (name, value) in &r.parameters {
+        put(
+            out,
+            None,
+            6,
+            &format!("PARAMETER ({} = {})", name, expr(value)),
+        );
+    }
+    for (block, names) in &r.commons {
+        put(
+            out,
+            None,
+            6,
+            &format!("COMMON /{}/ {}", block, names.join(", ")),
+        );
+    }
+    for group in &r.equivalences {
+        let items: Vec<String> = group
+            .iter()
+            .map(|(name, subs)| {
+                if subs.is_empty() {
+                    name.clone()
+                } else {
+                    let ss: Vec<String> = subs.iter().map(expr).collect();
+                    format!("{}({})", name, ss.join(", "))
+                }
+            })
+            .collect();
+        put(out, None, 6, &format!("EQUIVALENCE ({})", items.join(", ")));
+    }
+}
+
+/// Prints one statement (and its block contents) at indentation `ind`.
+fn print_stmt(out: &mut String, r: &Routine, s: &Stmt, ind: usize, ann: &mut dyn Annotator) {
+    for l in ann.before(r, s) {
+        put(out, None, ind, &l);
+    }
+    match &s.kind {
+        StmtKind::Assign(lv, e) => put(out, s.label, ind, &format!("{} = {}", lvalue(lv), expr(e))),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            put(out, s.label, ind, &format!("IF ({}) THEN", expr(cond)));
+            print_if_tail(out, r, then_body, else_body, ind, ann);
+        }
+        StmtKind::LogicalIf(cond, inner) => {
+            if let Some(text) = simple_stmt_text(&inner.kind) {
+                put(out, s.label, ind, &format!("IF ({}) {}", expr(cond), text));
+            } else {
+                // Unparseable as a logical IF (the parser never builds
+                // this shape): print the equivalent block IF.
+                put(out, s.label, ind, &format!("IF ({}) THEN", expr(cond)));
+                print_stmt(out, r, inner, ind + 2, ann);
+                put(out, None, ind, "ENDIF");
+            }
+        }
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
+            let head = match step {
+                Some(st) => format!("DO {} = {}, {}, {}", var, expr(lo), expr(hi), expr(st)),
+                None => format!("DO {} = {}, {}", var, expr(lo), expr(hi)),
+            };
+            put(out, s.label, ind, &head);
+            for b in body {
+                print_stmt(out, r, b, ind + 2, ann);
+            }
+            put(out, None, ind, "ENDDO");
+        }
+        StmtKind::Goto(l) => put(out, s.label, ind, &format!("GOTO {l}")),
+        StmtKind::Call(..) | StmtKind::Return | StmtKind::Continue | StmtKind::Stop => {
+            let text = simple_stmt_text(&s.kind).expect("simple statement");
+            put(out, s.label, ind, &text);
+        }
+    }
+    for l in ann.after(r, s) {
+        put(out, None, ind, &l);
+    }
+}
+
+/// Prints the THEN/ELSE bodies and terminator of a block IF whose header
+/// is already out. A singleton unlabeled `If` in the ELSE branch prints
+/// as an `ELSEIF` chain — exactly the shape the parser desugars it from.
+fn print_if_tail(
+    out: &mut String,
+    r: &Routine,
+    then_body: &[Stmt],
+    else_body: &[Stmt],
+    ind: usize,
+    ann: &mut dyn Annotator,
+) {
+    for b in then_body {
+        print_stmt(out, r, b, ind + 2, ann);
+    }
+    match else_body {
+        [] => put(out, None, ind, "ENDIF"),
+        [nested] if nested.label.is_none() => {
+            if let StmtKind::If {
+                cond,
+                then_body: tb,
+                else_body: eb,
+            } = &nested.kind
+            {
+                // Let annotators see the desugared statement even though
+                // it prints as a chain link.
+                for l in ann.before(r, nested) {
+                    put(out, None, ind, &l);
+                }
+                put(out, None, ind, &format!("ELSEIF ({}) THEN", expr(cond)));
+                print_if_tail(out, r, tb, eb, ind, ann);
+                for l in ann.after(r, nested) {
+                    put(out, None, ind, &l);
+                }
+            } else {
+                put(out, None, ind, "ELSE");
+                print_stmt(out, r, nested, ind + 2, ann);
+                put(out, None, ind, "ENDIF");
+            }
+        }
+        _ => {
+            put(out, None, ind, "ELSE");
+            for b in else_body {
+                print_stmt(out, r, b, ind + 2, ann);
+            }
+            put(out, None, ind, "ENDIF");
+        }
+    }
+}
+
+/// Renders the statements a logical IF can carry; `None` for block
+/// statements.
+fn simple_stmt_text(kind: &StmtKind) -> Option<String> {
+    Some(match kind {
+        StmtKind::Assign(lv, e) => format!("{} = {}", lvalue(lv), expr(e)),
+        StmtKind::Goto(l) => format!("GOTO {l}"),
+        StmtKind::Call(name, args) => {
+            if args.is_empty() {
+                format!("CALL {name}")
+            } else {
+                let rendered: Vec<String> = args.iter().map(expr).collect();
+                format!("CALL {}({})", name, rendered.join(", "))
+            }
+        }
+        StmtKind::Return => "RETURN".to_string(),
+        StmtKind::Continue => "CONTINUE".to_string(),
+        StmtKind::Stop => "STOP".to_string(),
+        _ => return None,
+    })
+}
+
+/// Writes one source line: a 5-column label field when labeled,
+/// `ind` spaces otherwise.
+fn put(out: &mut String, label: Option<u32>, ind: usize, text: &str) {
+    match label {
+        Some(l) => {
+            out.push_str(&format!("{l:>5} "));
+            // Pad on toward the nesting indent so labeled statements keep
+            // their block alignment when it is deeper than the label field.
+            for _ in 6..ind {
+                out.push(' ');
+            }
+        }
+        None => {
+            for _ in 0..ind {
+                out.push(' ');
+            }
+        }
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn dim_list(dims: &[DimBound]) -> String {
+    dims.iter()
+        .map(|d| match d {
+            DimBound::Upper(e) => expr(e),
+            DimBound::Both(a, b) => format!("{}:{}", expr(a), expr(b)),
+            DimBound::Assumed => "*".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::Element(n, subs) => {
+            let ss: Vec<String> = subs.iter().map(expr).collect();
+            format!("{}({})", n, ss.join(", "))
+        }
+    }
+}
+
+/// Renders an expression fully parenthesized (precedence-proof) with
+/// reparseable literals.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Real(v) => real_literal(*v),
+        Expr::Logical(true) => ".TRUE.".to_string(),
+        Expr::Logical(false) => ".FALSE.".to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, subs) => {
+            let ss: Vec<String> = subs.iter().map(expr).collect();
+            format!("{}({})", n, ss.join(", "))
+        }
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Div => " / ",
+                BinOp::Pow => " ** ",
+                BinOp::Lt => " .LT. ",
+                BinOp::Le => " .LE. ",
+                BinOp::Gt => " .GT. ",
+                BinOp::Ge => " .GE. ",
+                BinOp::Eq => " .EQ. ",
+                BinOp::Ne => " .NE. ",
+                BinOp::And => " .AND. ",
+                BinOp::Or => " .OR. ",
+            };
+            format!("({}{}{})", expr(a), sym, expr(b))
+        }
+        Expr::Un(UnOp::Neg, a) => format!("(-{})", expr(a)),
+        Expr::Un(UnOp::Not, a) => format!("(.NOT. {})", expr(a)),
+    }
+}
+
+/// A real literal the lexer tokenizes back to the same `f64`. Rust's
+/// shortest-round-trip `Display` already preserves the value; this only
+/// patches the forms the lexer cannot take bare: an integral value gains
+/// `.0`, and an exponent form without a fraction gains one (`1e30` →
+/// `1.0e30`).
+fn real_literal(v: f64) -> String {
+    let s = v.to_string();
+    if let Some(epos) = s.find(['e', 'E']) {
+        if s[..epos].contains('.') {
+            s
+        } else {
+            format!("{}.0{}", &s[..epos], &s[epos..])
+        }
+    } else if s.contains('.') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A copy of the program with every statement's source line zeroed —
+/// the normalization under which parse→print→parse is an identity
+/// (printed source has its own line numbering).
+pub fn strip_lines(p: &Program) -> Program {
+    let mut p = p.clone();
+    for r in &mut p.routines {
+        for s in &mut r.body {
+            strip_stmt(s);
+        }
+    }
+    p
+}
+
+fn strip_stmt(s: &mut Stmt) {
+    s.line = 0;
+    match &mut s.kind {
+        StmtKind::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            for b in then_body.iter_mut().chain(else_body.iter_mut()) {
+                strip_stmt(b);
+            }
+        }
+        StmtKind::LogicalIf(_, inner) => strip_stmt(inner),
+        StmtKind::Do { body, .. } => {
+            for b in body {
+                strip_stmt(b);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed source fails to parse: {e}\n{printed}"));
+        assert_eq!(
+            strip_lines(&p1),
+            strip_lines(&p2),
+            "round-trip changed the AST\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_declaration_interleavings() {
+        roundtrip(
+            "
+      PROGRAM t
+      REAL a
+      DIMENSION x(5)
+      REAL b(10)
+      DIMENSION a(10)
+      INTEGER i
+      PARAMETER (n = 64)
+      COMMON /blk/ q, r
+      DIMENSION q(8)
+      a(1) = 0.0
+      END
+",
+        );
+    }
+
+    #[test]
+    fn roundtrips_common_inline_dims() {
+        roundtrip(
+            "
+      PROGRAM t
+      COMMON /b/ w(10), z
+      REAL y(4)
+      EQUIVALENCE (y(1), z)
+      w(1) = 1.0
+      END
+",
+        );
+    }
+
+    #[test]
+    fn roundtrips_statements_and_labels() {
+        roundtrip(
+            "
+      PROGRAM t
+      REAL a(10)
+      INTEGER i, m
+      m = 3
+      DO 10 i = 1, 10
+        a(i) = float(i) * 2.0
+        IF (a(i) .GT. 5.0) GOTO 10
+        a(i) = -a(i) ** 2
+   10 CONTINUE
+      DO i = 1, 10, 2
+        IF (i .EQ. 3) THEN
+          a(i) = 0.0
+        ELSE IF (i .EQ. 5) THEN
+          a(i) = 1.0
+        ELSE
+          CALL sub(a, i)
+        ENDIF
+      ENDDO
+      IF (.NOT. (m .GT. 0 .AND. m .LT. 9)) STOP
+      END
+
+      SUBROUTINE sub(a, i)
+      REAL a(*)
+      INTEGER i
+      a(i) = 7.5
+      RETURN
+      END
+",
+        );
+    }
+
+    #[test]
+    fn roundtrips_labeled_enddo_and_goto() {
+        roundtrip(
+            "
+      PROGRAM t
+      REAL a(5)
+      INTEGER i
+      DO i = 1, 5
+        IF (i .EQ. 2) GO TO 20
+        a(i) = 1.0
+   20 ENDDO
+      END
+",
+        );
+    }
+
+    #[test]
+    fn real_literals_reparse_exactly() {
+        for v in [0.0, 1.0, 0.5, 1.5e-12, 3.25e30, 123456789.125] {
+            let s = real_literal(v);
+            let toks = crate::lexer::lex(&s).unwrap();
+            match &toks[0].kind {
+                crate::lexer::TokenKind::Real(r) => {
+                    assert_eq!(r.to_bits(), v.to_bits(), "{s}")
+                }
+                other => panic!("{s} lexed to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn annotations_are_comments() {
+        struct Omp;
+        impl Annotator for Omp {
+            fn before(&mut self, _r: &Routine, s: &Stmt) -> Vec<String> {
+                match &s.kind {
+                    StmtKind::Do { .. } => vec!["!$OMP PARALLEL DO".to_string()],
+                    _ => Vec::new(),
+                }
+            }
+            fn after(&mut self, _r: &Routine, s: &Stmt) -> Vec<String> {
+                match &s.kind {
+                    StmtKind::Do { .. } => vec!["!$OMP END PARALLEL DO".to_string()],
+                    _ => Vec::new(),
+                }
+            }
+        }
+        let src = "
+      PROGRAM t
+      REAL a(10)
+      INTEGER i
+      DO i = 1, 10
+        a(i) = 1.0
+      ENDDO
+      END
+";
+        let p1 = parse_program(src).unwrap();
+        let annotated = print_program_annotated(&p1, &mut Omp);
+        assert!(annotated.contains("!$OMP PARALLEL DO"));
+        let p2 = parse_program(&annotated).unwrap();
+        assert_eq!(strip_lines(&p1), strip_lines(&p2));
+    }
+}

@@ -1,0 +1,97 @@
+//! Parse→print→parse round-trip property: the pretty-printer is an
+//! identity on the AST (modulo source line numbers), and printing is
+//! idempotent byte for byte. This is the contract the panogen emission
+//! backend rides — directives are comment lines layered over a printer
+//! that must never change the program underneath.
+
+use fortran::{parse_program, print_program, strip_lines};
+use proptest::prelude::*;
+
+/// One generated statement block (already indented, newline-terminated).
+fn block() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u32..9, 1u32..9).prop_map(|(m, n)| format!("      x = {m}.5 + float({n})\n")),
+        (1u32..40).prop_map(|n| format!("      a({n}) = b({n}) * 2.0\n")),
+        (1u32..9).prop_map(|n| format!("      y = (x + {n}.0) / (y - {n}.25)\n")),
+        (1u32..9).prop_map(|n| format!("      k = i * {n} - j\n")),
+        (2u32..20).prop_map(|n| format!(
+            "      DO i = 1, {n}\n        a(i) = x + float(i)\n      ENDDO\n"
+        )),
+        (2u32..20).prop_map(|n| format!(
+            "      DO j = {n}, 2, -1\n        b(j) = a(j) + y\n      ENDDO\n"
+        )),
+        (2u32..10, 2u32..10).prop_map(|(m, n)| format!(
+            "      DO i = 1, {m}\n        DO k = 1, {n}\n          b(k) = b(k) + a(i)\n\
+             \x20       ENDDO\n      ENDDO\n"
+        )),
+        (1u32..9).prop_map(|n| format!(
+            "      IF (x .GT. {n}.0) THEN\n        y = float({n})\n      ELSE\n\
+             \x20       y = -1.0\n      ENDIF\n"
+        )),
+        (1u32..9).prop_map(|n| format!(
+            "      IF (p .AND. (i .LE. {n})) THEN\n        q = q + 1.0\n      ENDIF\n"
+        )),
+        Just("      IF (p) y = y + 1.0\n".to_string()),
+        Just("      IF (.NOT. p) goto 10\n".to_string()),
+        Just("      CALL s(x)\n".to_string()),
+        Just("      CALL s(a(1))\n".to_string()),
+        (1u32..9).prop_map(|n| format!("      p = (x .LT. {n}.0) .OR. (j .EQ. {n})\n")),
+    ]
+}
+
+/// A full parser-constructible program around the generated blocks.
+fn program(blocks: &[String]) -> String {
+    let mut src = String::from(
+        "      PROGRAM rt\n\
+         \x20     REAL a(50), b(50), x, y\n\
+         \x20     LOGICAL p\n\
+         \x20     INTEGER i, j, k, n\n\
+         \x20     COMMON /blk/ q\n\
+         \x20     REAL q\n\
+         \x20     PARAMETER (nmax = 50)\n\
+         \x20     p = .FALSE.\n\
+         \x20     x = 1.5\n\
+         \x20     y = 2.5\n\
+         \x20     i = 1\n\
+         \x20     j = 2\n\
+         \x20     k = 3\n\
+         \x20     n = nmax\n",
+    );
+    for b in blocks {
+        src.push_str(b);
+    }
+    src.push_str(
+        "10    CONTINUE\n\
+         \x20     END\n\
+         \x20     SUBROUTINE s(v)\n\
+         \x20     REAL v\n\
+         \x20     v = v + 1.0\n\
+         \x20     RETURN\n\
+         \x20     END\n",
+    );
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print is an AST identity (modulo line numbers) and a byte-level
+    /// fixed point.
+    #[test]
+    fn parse_print_parse_is_identity(blocks in proptest::collection::vec(block(), 0..12)) {
+        let src = program(&blocks);
+        let ast = parse_program(&src)
+            .unwrap_or_else(|e| panic!("generated program does not parse: {e}\n{src}"));
+        let printed = print_program(&ast);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program does not reparse: {e}\n{printed}"));
+        prop_assert_eq!(
+            strip_lines(&reparsed),
+            strip_lines(&ast),
+            "printer changed the program:\n{}",
+            printed
+        );
+        // Idempotence: printing the reparsed AST reproduces the bytes.
+        prop_assert_eq!(print_program(&reparsed), printed);
+    }
+}

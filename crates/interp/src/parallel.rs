@@ -8,19 +8,55 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// What to privatize for one parallel loop.
+///
+/// The array and scalar lists implement the OpenMP data-sharing clauses
+/// the codegen backend selects, so a wrong clause choice is *executable*
+/// and shows up as a differential mismatch:
+///
+/// * `private_arrays` — PRIVATE: each thread gets a **zero-initialized**
+///   copy (OpenMP leaves it undefined; zero is the deterministic model
+///   of "undefined"). Sound only when the analysis proved every read is
+///   preceded by a same-iteration write.
+/// * `firstprivate` — FIRSTPRIVATE: each thread's copy starts from the
+///   incoming shared values (copy-in).
+/// * `copy_out` — LASTPRIVATE for arrays: the sequentially-last value is
+///   copied back after the join.
+/// * `private_scalars` are likewise zero-scrubbed at entry;
+///   `scalar_copy_out` names the subset copied back (scalar LASTPRIVATE).
 #[derive(Clone, Debug, Default)]
 pub struct LoopPlan {
-    /// Arrays given a private copy per thread.
+    /// Arrays given a zero-initialized private copy per thread (PRIVATE).
     pub private_arrays: Vec<String>,
+    /// Arrays given a value-copied private copy per thread (FIRSTPRIVATE).
+    /// Implicitly private; a name needs to appear in only one of the two
+    /// lists.
+    pub firstprivate: Vec<String>,
     /// Scalars given a private copy per thread (the loop index always is).
+    /// Scrubbed to the type's zero at loop entry.
     pub private_scalars: Vec<String>,
-    /// Privatized arrays whose last value must be copied out.
+    /// Privatized arrays whose last value must be copied out (LASTPRIVATE).
     pub copy_out: Vec<String>,
+    /// Private scalars whose last value must be copied out after the join
+    /// (scalar LASTPRIVATE).
+    pub scalar_copy_out: Vec<String>,
     /// Scalars executed as sum reductions: each thread accumulates from
     /// the additive identity and the partials are combined after the join.
     /// Floating-point results may differ from sequential execution by
     /// reassociation (as on any real parallel machine).
     pub sum_reductions: Vec<String>,
+}
+
+impl LoopPlan {
+    /// Every privatized array (PRIVATE ∪ FIRSTPRIVATE), in order, deduped.
+    pub fn privatized_arrays(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for n in self.private_arrays.iter().chain(&self.firstprivate) {
+            if !out.contains(&n.as_str()) {
+                out.push(n);
+            }
+        }
+        out
+    }
 }
 
 /// The set of loops to run in parallel, keyed by `(routine, index var)`.
@@ -104,7 +140,36 @@ pub(crate) fn run_parallel_do(
             );
         }
     }
+    // PRIVATE semantics: scrub the thread-visible starting values. A
+    // scalar or array the analysis proved written-before-read never sees
+    // the scrub; a wrong PRIVATE-vs-FIRSTPRIVATE clause choice does, and
+    // diverges from the sequential run.
+    for s in &plan.private_scalars {
+        if let Some(v) = base_frame.scalars.get(s).copied() {
+            base_frame.scalars.insert(
+                s.clone(),
+                match v {
+                    Value::Int(_) => Value::Int(0),
+                    _ => Value::Real(0.0),
+                },
+            );
+        }
+    }
     let base_frame = base_frame;
+    let mut thread_base_mem = base_mem.clone();
+    for name in &plan.private_arrays {
+        if plan.firstprivate.contains(name) {
+            continue;
+        }
+        if let Some(&(h, _)) = frame.arrays.get(name.as_str()) {
+            match &mut thread_base_mem.arrays[h].data {
+                ArrayData::Int(v) => v.fill(0),
+                ArrayData::Real(v) => v.fill(0.0),
+                ArrayData::Logical(v) => v.fill(false),
+            }
+        }
+    }
+    let thread_base_mem = thread_base_mem;
 
     // Contiguous chunking.
     let chunk = (trips as usize).div_ceil(nthreads);
@@ -124,12 +189,12 @@ pub(crate) fn run_parallel_do(
             if begin >= end {
                 continue;
             }
-            let base_mem = &base_mem;
+            let thread_base_mem = &thread_base_mem;
             let base_frame = &base_frame;
             let plan = &plan;
             handles.push(scope.spawn(move |_| {
                 let mut tst = RunState {
-                    mem: base_mem.clone(),
+                    mem: thread_base_mem.clone(),
                     stats: crate::exec::ExecStats::default(),
                     commons: BTreeMap::new(),
                     budget: u64::MAX,
@@ -185,10 +250,11 @@ pub(crate) fn run_parallel_do(
         }
     }
 
-    // Private array handles (skipped in the shared merge).
+    // Private array handles (PRIVATE ∪ FIRSTPRIVATE; skipped in the
+    // shared merge).
     let private_handles: Vec<usize> = plan
-        .private_arrays
-        .iter()
+        .privatized_arrays()
+        .into_iter()
         .filter_map(|n| frame.arrays.get(n).map(|(h, _)| *h))
         .collect();
 
@@ -211,15 +277,12 @@ pub(crate) fn run_parallel_do(
         .filter(|tr| tr.last_iter.is_some())
         .max_by_key(|tr| tr.last_iter)
     {
-        for name in plan.copy_out.iter().chain(plan.private_arrays.iter()) {
-            if !plan.copy_out.contains(name) {
-                continue;
-            }
+        for name in &plan.copy_out {
             if let Some(&(h, _)) = frame.arrays.get(name.as_str()) {
                 st.mem.arrays[h] = final_thread.mem.arrays[h].clone();
             }
         }
-        for s in &plan.private_scalars {
+        for s in &plan.scalar_copy_out {
             if let Some(v) = final_thread.frame.scalars.get(s) {
                 frame.scalars.insert(s.clone(), *v);
             }

@@ -257,8 +257,7 @@ fn parallel_matches_sequential_ocean() {
         LoopPlan {
             private_arrays: vec!["a".to_string()],
             private_scalars: vec!["x".to_string()],
-            copy_out: vec![],
-            sum_reductions: vec![],
+            ..Default::default()
         },
     );
     for threads in [1, 2, 4] {
@@ -312,7 +311,7 @@ fn parallel_work_array_with_copy_out() {
             private_arrays: vec!["w".to_string()],
             private_scalars: vec!["k".to_string()],
             copy_out: vec!["w".to_string()],
-            sum_reductions: vec![],
+            ..Default::default()
         },
     );
     let (par_mem, _) = m.run_parallel(&plan, 3).unwrap();
@@ -413,10 +412,8 @@ fn parallel_sum_reduction() {
         "t",
         "i",
         LoopPlan {
-            private_arrays: vec![],
-            private_scalars: vec![],
-            copy_out: vec![],
             sum_reductions: vec!["s".to_string()],
+            ..Default::default()
         },
     );
     // NOTE: the plan applies to BOTH i loops (keyed by routine/var); the

@@ -271,7 +271,8 @@ impl Daemon {
                 oracle,
                 limits,
                 trace,
-            }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace),
+                emit,
+            }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace, emit),
             Ok(Request::Stats { id }) => {
                 stats_response(&id, self.metrics.snapshot(self.cache_counters()))
             }
@@ -287,6 +288,7 @@ impl Daemon {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_analyze(
         &self,
         id: &Value,
@@ -295,6 +297,7 @@ impl Daemon {
         oracle: bool,
         limits: FuelLimits,
         trace_req: bool,
+        emit: bool,
     ) -> String {
         // Request budgets win field by field; unset fields inherit the
         // daemon defaults.
@@ -316,6 +319,7 @@ impl Daemon {
             oracle,
             limits,
             trace_spans: trace_req,
+            emit,
         };
         let request_trace = trace_req.then(RequestTrace::start);
         let result = driver::run_with_cache(&req, self.cache.clone());

@@ -9,6 +9,7 @@
 //! ```json
 //! {"id": 1, "source": "      PROGRAM t\n      ...", "opts": {"forall_ext": true}, "oracle": true}
 //! {"id": 2, "source": "      ...", "trace": true}
+//! {"id": 3, "source": "      ...", "emit": true}
 //! {"id": "probe", "cmd": "stats"}
 //! {"id": "prom", "cmd": "metrics"}
 //! {"cmd": "shutdown"}
@@ -54,6 +55,10 @@ pub enum Request {
         /// requests bypass the summary cache so the tree is
         /// deterministic (see `panorama::driver::Request::trace_spans`).
         trace: bool,
+        /// Also run the panogen emission backend; the report gains an
+        /// additive `"transform"` key (loops, clauses, skip diagnostics,
+        /// annotated source — DESIGN.md §4h).
+        emit: bool,
     },
     /// Snapshot the daemon metrics as JSON.
     Stats {
@@ -122,6 +127,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     let oracle = flag("oracle")?;
     let trace = flag("trace")?;
+    let emit = flag("emit")?;
     let budget = |key: &str| -> Result<Option<u64>, String> {
         match value.get(key) {
             None => Ok(None),
@@ -141,6 +147,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         oracle,
         limits,
         trace,
+        emit,
     })
 }
 
@@ -232,6 +239,7 @@ mod tests {
             oracle,
             limits,
             trace,
+            emit,
         } = r
         else {
             panic!("not an analyze request");
@@ -242,6 +250,17 @@ mod tests {
         assert!(oracle);
         assert!(limits.is_unlimited());
         assert!(!trace);
+        assert!(!emit);
+    }
+
+    #[test]
+    fn parses_emit_flag() {
+        let r = parse_request(r#"{"id": 1, "source": "      END", "emit": true}"#).unwrap();
+        let Request::Analyze { emit, .. } = r else {
+            panic!("not an analyze request");
+        };
+        assert!(emit);
+        assert!(parse_request(r#"{"id": 1, "source": "      END", "emit": "y"}"#).is_err());
     }
 
     #[test]

@@ -272,6 +272,74 @@ fn span_trees_and_provenance_identical_across_jobs_and_cache() {
     }
 }
 
+/// One `"emit": true` request per benchsuite kernel, each sent twice so
+/// cached configurations replay the second pass.
+fn emit_request_stream() -> String {
+    let mut lines = Vec::new();
+    for pass in 0..2 {
+        for k in kernels() {
+            let obj = Value::Object(vec![
+                (
+                    "id".to_string(),
+                    Value::Str(format!("emit {}/{pass}", k.loop_label)),
+                ),
+                ("source".to_string(), Value::Str(k.source.to_string())),
+                ("emit".to_string(), Value::Bool(true)),
+            ]);
+            lines.push(serde_json::to_string(&obj).unwrap());
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn emitted_transforms_identical_across_jobs_and_cache() {
+    // The determinism contract extends to the emission backend: the
+    // `"transform"` payload (clauses, directives, skip diagnostics and
+    // the full annotated source) is byte-identical whatever the worker
+    // count and cache configuration.
+    let input = emit_request_stream();
+    let baseline = serve(
+        Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        },
+        &input,
+    );
+    for line in baseline.lines() {
+        let v: Value = serde_json::from_str(line).expect("response json");
+        let id = v.get("id").unwrap();
+        let transform = v
+            .get("report")
+            .and_then(|r| r.get("transform"))
+            .unwrap_or_else(|| panic!("{id:?}: no transform payload"));
+        let source = transform
+            .get("source")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{id:?}: no transform.source"));
+        assert!(
+            source.contains("!$OMP PARALLEL DO"),
+            "{id:?}: no directive in emitted source"
+        );
+        assert!(transform.get("loops").is_some(), "{id:?}: no loops array");
+    }
+    for (jobs, cache) in [(4, None), (1, Some(None)), (4, Some(None))] {
+        let got = serve(
+            Config {
+                jobs,
+                cache,
+                ..Config::default()
+            },
+            &input,
+        );
+        assert_eq!(
+            got, baseline,
+            "emit stream diverged at jobs={jobs}, cache={cache:?}"
+        );
+    }
+}
+
 #[test]
 fn stats_surface_request_and_lint_counters() {
     // Satellite of the observability PR: the `{"cmd": "stats"}`

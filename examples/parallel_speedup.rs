@@ -49,7 +49,10 @@ fn main() {
         kernel.routine,
         kernel.var,
         LoopPlan {
-            private_arrays: v.privatized.clone(),
+            // Copy-in for every privatized array: sound whether or not
+            // the loop has upward-exposed reads (the codegen backend
+            // refines this to PRIVATE when it proves no copy-in need).
+            firstprivate: v.privatized.clone(),
             private_scalars: v.private_scalars.clone(),
             copy_out: v
                 .arrays
@@ -57,7 +60,9 @@ fn main() {
                 .filter(|a| a.privatizable && a.needs_copy_out)
                 .map(|a| a.array.clone())
                 .collect(),
+            scalar_copy_out: v.private_scalars.clone(),
             sum_reductions: v.reductions.clone(),
+            ..Default::default()
         },
     );
 

@@ -1,0 +1,62 @@
+//! Golden emitted-source output over the benchsuite: the exact
+//! OpenMP-annotated text (and skip diagnostics) for every kernel is
+//! checked in at `tests/golden/openmp_emit.txt` and must never change
+//! silently. CI re-derives the TRACK kernel's bytes through the
+//! `panorama --emit-openmp` CLI (see the `codegen-differential` job).
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p panorama --test codegen_golden`.
+
+use panorama::{driver, Options};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/openmp_emit.txt"
+);
+
+fn emit(source: &str) -> codegen::Transform {
+    let req = driver::Request {
+        opts: Options::full(),
+        emit: true,
+        ..driver::Request::new(source)
+    };
+    driver::run(&req).unwrap().transform.unwrap()
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    for k in benchsuite::kernels() {
+        let t = emit(k.source);
+        out.push_str(&format!("== {} {} ==\n", k.program, k.loop_label));
+        out.push_str(&t.source);
+        for s in &t.skipped {
+            out.push_str(&format!("{}\n", s.render()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn benchsuite_emission_matches_the_golden_file() {
+    let got = render();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "emitted OpenMP source drifted from tests/golden/openmp_emit.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn emission_is_deterministic() {
+    // Two cold runs and the directive layer itself must agree byte for
+    // byte — the same contract the server determinism suite pins across
+    // worker counts and cache modes.
+    assert_eq!(render(), render());
+}

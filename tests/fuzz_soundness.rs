@@ -41,7 +41,9 @@ fn check_seed(seed: u64) {
         "fuzz",
         "i",
         LoopPlan {
-            private_arrays: v.privatized.clone(),
+            // Copy-in for all privatized arrays: sound regardless of
+            // upward-exposed reads (panogen picks the tighter clause).
+            firstprivate: v.privatized.clone(),
             private_scalars: v.private_scalars.clone(),
             copy_out: v
                 .arrays
@@ -49,7 +51,9 @@ fn check_seed(seed: u64) {
                 .filter(|a| a.privatizable && a.needs_copy_out)
                 .map(|a| a.array.clone())
                 .collect(),
+            scalar_copy_out: v.private_scalars.clone(),
             sum_reductions: v.reductions.clone(),
+            ..Default::default()
         },
     );
     for threads in [2usize, 3] {
@@ -149,10 +153,11 @@ fn fuzz_with_calls() {
             "fuzz",
             "i",
             LoopPlan {
-                private_arrays: v.privatized.clone(),
+                firstprivate: v.privatized.clone(),
                 private_scalars: v.private_scalars.clone(),
-                copy_out: vec![],
+                scalar_copy_out: v.private_scalars.clone(),
                 sum_reductions: v.reductions.clone(),
+                ..Default::default()
             },
         );
         let (par, _) = machine.run_parallel(&plan, 3).unwrap();

@@ -82,10 +82,11 @@ fn verdicts_agree_with_execution_semantics() {
         "t",
         "i",
         interp::LoopPlan {
-            private_arrays: v.privatized.clone(),
+            firstprivate: v.privatized.clone(),
             private_scalars: v.private_scalars.clone(),
-            copy_out: vec![],
+            scalar_copy_out: v.private_scalars.clone(),
             sum_reductions: v.reductions.clone(),
+            ..Default::default()
         },
     );
     let (par, _) = m.run_parallel(&plan, 3).unwrap();
