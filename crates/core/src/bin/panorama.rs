@@ -43,12 +43,25 @@
 //!                         exhaustion verdicts widen conservatively and
 //!                         the report is marked degraded
 //!   --deadline-ms N       wall-clock budget for the analysis phase
+//!   --cache-dir DIR       read and write routine summaries in a
+//!                         crash-safe persistent cache at DIR (shared
+//!                         with other panorama/panoramad processes); a
+//!                         warm run replays summaries byte-identically,
+//!                         and any cache fault degrades to an uncached
+//!                         run, never to a failure
+//!   --cache-budget-bytes N
+//!                         evict oldest cache segments beyond N total
+//!                         bytes (default 256 MiB)
 //!   --trace-out FILE      write a Chrome trace-event JSON profile of
 //!                         the run (open in Perfetto / chrome://tracing)
 //! ```
 
-use panorama::{driver, FuelLimits, Lint, LintCode, Options, Outcome};
+use panorama::{
+    driver, DiskCache, FuelLimits, Lint, LintCode, MemoryCache, Options, Outcome, SummaryCache,
+    TieredCache,
+};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -56,7 +69,8 @@ fn usage() -> ! {
          \x20                [--no-value-range] [--forall] [--trace] [--dump-hsg]\n\
          \x20                [--summaries] [--stats] [--explain] [--lint]\n\
          \x20                [--deny-lints[=CODES]] [--json] [--fuel N] [--deadline-ms N]\n\
-         \x20                [--trace-out FILE] [--emit-openmp] [--transform-out FILE] FILE.f"
+         \x20                [--cache-dir DIR] [--cache-budget-bytes N] [--trace-out FILE]\n\
+         \x20                [--emit-openmp] [--transform-out FILE] FILE.f"
     );
     std::process::exit(2);
 }
@@ -100,6 +114,8 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut emit_openmp = false;
     let mut transform_out: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_budget: Option<u64> = None;
     let mut file = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -171,6 +187,17 @@ fn main() -> ExitCode {
                 }
             }
             "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(p.clone()),
+                    None => {
+                        eprintln!("--cache-dir requires a directory path");
+                        usage();
+                    }
+                }
+            }
+            "--cache-budget-bytes" => cache_budget = Some(num(&mut i)),
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -202,10 +229,18 @@ fn main() -> ExitCode {
         trace_spans: trace_out.is_some(),
         emit: emit_openmp || transform_out.is_some(),
     };
+    // `--cache-dir`: a persistent summary tier warmed by earlier
+    // panorama/panoramad runs. `DiskCache::open` never fails — a
+    // corrupt or unwritable directory yields a disabled tier and the
+    // run proceeds uncached, byte-identical to no `--cache-dir`.
+    let cache: Option<Arc<dyn SummaryCache>> = cache_dir.as_ref().map(|dir| {
+        let disk = Arc::new(DiskCache::open(dir.as_str(), cache_budget));
+        Arc::new(TieredCache::new(MemoryCache::new(), disk)) as Arc<dyn SummaryCache>
+    });
     let scope = trace_out
         .as_ref()
         .map(|_| trace::CollectorScope::install(trace::Collector::new()));
-    let result = driver::run(&request);
+    let result = driver::run_with_cache(&request, cache);
     let collector = scope.and_then(trace::CollectorScope::finish);
     let out = match result {
         Ok(out) => out,

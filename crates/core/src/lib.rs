@@ -42,8 +42,9 @@ use std::time::{Duration, Instant};
 
 pub use alias::{Lint, LintCode};
 pub use dataflow::{
-    AnalysisStats, CacheCounters, CacheKey, CachedRoutine, DegradeReason, FuelLimits, LoopAnalysis,
-    MemoryCache, Options, RoutineAnalysis, Summary, SummaryCache,
+    AnalysisStats, CacheCounters, CacheKey, CachedRoutine, DegradeReason, DiskCache,
+    DiskTierSnapshot, FuelLimits, LoopAnalysis, MemoryCache, Options, RoutineAnalysis, Summary,
+    SummaryCache, TieredCache,
 };
 pub use fortran::{Program, ProgramSema};
 pub use privatize::{ArrayVerdict, Blocker, Diagnostic, LoopVerdict, ProvEntry};

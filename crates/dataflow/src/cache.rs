@@ -119,6 +119,12 @@ pub trait SummaryCache: Send + Sync {
     fn put(&self, key: CacheKey, entry: Arc<CachedRoutine>);
     /// Counter snapshot (hits/misses/entries/evictions).
     fn counters(&self) -> CacheCounters;
+    /// Snapshot of the persistent tier, when the implementation has
+    /// one (see [`crate::panostore`]). Memory-only caches return
+    /// `None` and the disk metrics simply do not render.
+    fn disk(&self) -> Option<crate::panostore::DiskTierSnapshot> {
+        None
+    }
 }
 
 /// Point-in-time cache counters.
@@ -198,6 +204,16 @@ impl MemoryCache {
     /// going instead of propagating the poison.
     fn inner(&self) -> std::sync::MutexGuard<'_, CacheInner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The resident entries, as `(key, entry)` pairs in no particular
+    /// order. For tests and cross-tier validation.
+    pub fn entries(&self) -> Vec<(CacheKey, Arc<CachedRoutine>)> {
+        self.inner()
+            .map
+            .iter()
+            .map(|(k, v)| (CacheKey(*k), Arc::clone(v)))
+            .collect()
     }
 }
 
@@ -356,6 +372,50 @@ mod tests {
         assert!(c.get(&CacheKey(1)).is_some());
         assert!(c.get(&CacheKey(2)).is_some());
         assert_eq!(c.counters().evictions, 1);
+    }
+
+    /// Four threads hammer a capacity-8 cache with overlapping keys.
+    /// Eviction and counter bookkeeping must stay consistent under
+    /// contention: capacity is never exceeded, the FIFO ledger matches
+    /// the map, and hits + misses equals the number of lookups issued.
+    #[test]
+    fn concurrent_put_get_keeps_fifo_and_counters_consistent() {
+        const THREADS: u64 = 4;
+        const OPS: u64 = 500;
+        const CAP: usize = 8;
+        let c = std::sync::Arc::new(MemoryCache::with_capacity(CAP));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        // Overlapping key space across threads so the
+                        // same key is raced by puts and gets.
+                        let k = CacheKey(u128::from((t * OPS + i) % 32));
+                        if i % 3 == 0 {
+                            c.get(&k);
+                        } else {
+                            c.put(k, entry());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        let s = c.counters();
+        assert!(s.entries <= CAP, "capacity exceeded: {s:?}");
+        let lookups = THREADS * OPS.div_ceil(3);
+        assert_eq!(s.hits + s.misses, lookups, "{s:?}");
+        assert!(s.evictions > 0, "eviction path never exercised: {s:?}");
+        // The FIFO ledger and the map agree exactly (no ghost keys,
+        // no unevictable residents).
+        let inner = c.inner();
+        assert_eq!(inner.map.len(), inner.fifo.len());
+        for k in &inner.fifo {
+            assert!(inner.map.contains_key(k), "fifo ghost {k}");
+        }
     }
 
     fn keys_of(src: &str, opts: Options) -> BTreeMap<String, CacheKey> {

@@ -27,6 +27,7 @@ mod analyzer;
 pub mod cache;
 mod convert;
 pub mod fuel;
+pub mod panostore;
 mod scalars;
 mod summary;
 
@@ -34,5 +35,6 @@ pub use analyzer::{AnalysisStats, Analyzer, LoopAnalysis, RangeNote, RoutineAnal
 pub use cache::{CacheCounters, CacheKey, CachedRoutine, MemoryCache, SummaryCache};
 pub use convert::{collect_array_reads, to_pred, to_sym, ConvertCtx};
 pub use fuel::{DegradeReason, Fuel, FuelLimits};
+pub use panostore::{DiskCache, DiskTierSnapshot, TieredCache};
 pub use scalars::{CounterFact, ValueEnv};
 pub use summary::{ArraySets, Options, Summary};

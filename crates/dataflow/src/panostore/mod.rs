@@ -1,0 +1,891 @@
+//! panostore: the crash-safe persistent tier of the summary cache.
+//!
+//! An on-disk, content-addressed store for [`CachedRoutine`] entries,
+//! shared across processes through a cache directory. The design goal
+//! is the ROADMAP's scale-out item — summaries outliving one daemon —
+//! under this repo's house robustness rule (PR 3's "sound graceful
+//! degradation"): **infrastructure failure is precision loss, never
+//! soundness loss**. Concretely:
+//!
+//! * a record that fails its magic / version / checksum is
+//!   *quarantined* — moved aside, counted, reported via a
+//!   `cache_quarantine` trace event — never loaded and never fatal;
+//! * any unexpected IO error disables the tier with a structured
+//!   reason and the analysis falls back to the in-memory tier, whose
+//!   output is byte-identical to `--no-cache`;
+//! * transient write failures are retried with backoff before the
+//!   tier gives up.
+//!
+//! # On-disk layout (see DESIGN.md §5d)
+//!
+//! ```text
+//! <dir>/seg-<seq>-<pid>.pano    immutable segment files
+//! <dir>/LOCK                    advisory write lock (pid inside)
+//! <dir>/quarantine/             corrupt files moved aside, never read
+//! <dir>/.tmp-<pid>-*            uncommitted writes (crash leftovers)
+//! ```
+//!
+//! A segment is written *whole*: encode → temp file → fsync → atomic
+//! rename. The rename is the commit point, so a crash at any earlier
+//! instant leaves only a `.tmp-*` file that reopening sweeps away
+//! (only for dead pids — a live writer's in-flight temp is left
+//! alone); a torn segment can only exist if the filesystem itself tore
+//! the rename, and then the checksum catches it. Each segment holds
+//! one or more records:
+//!
+//! ```text
+//! segment := SEG_MAGIC record*
+//! record  := REC_MAGIC version:u16 key:u128 len:u32 payload checksum:u64
+//! ```
+//!
+//! with the checksum (FNV-1a-64) covering version, key, length and
+//! payload. Eviction is segment-granular: oldest sequence numbers are
+//! deleted until the directory fits the byte budget (entries are
+//! content-addressed, so an evicted entry is re-derivable — eviction
+//! is purely a capacity concern, exactly as in the memory tier). When
+//! the file count grows past a threshold, live records are compacted
+//! into one fresh segment through the same atomic path; a crash
+//! mid-compaction leaves records duplicated, deduplicated by the next
+//! open.
+//!
+//! Cross-process sharing is cooperative: mutations take the `LOCK`
+//! file (pid inside, staleness decided via `/proc/<pid>`), reads are
+//! lock-free against immutable segments. A process indexes the
+//! directory once at open; segments another process commits later are
+//! picked up at *its next open* — acceptable for a warm-start cache,
+//! and it keeps `get` to one file read.
+
+pub mod wire;
+
+use crate::cache::{CacheCounters, CacheKey, CachedRoutine, MemoryCache, SummaryCache};
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Magic at the head of every segment file.
+const SEG_MAGIC: &[u8; 8] = b"PANOSEG1";
+/// Magic at the head of every record.
+const REC_MAGIC: &[u8; 4] = b"PREC";
+/// Default byte budget for the cache directory (segments only).
+pub const DEFAULT_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+/// Compact when the directory holds more than this many segments.
+const COMPACT_SEGMENTS: usize = 128;
+/// Write attempts before a failure is considered non-transient.
+const WRITE_ATTEMPTS: u32 = 3;
+
+/// FNV-1a, 64-bit — the record checksum. Same family as the content
+/// hash; dependency-free and plenty for corruption *detection* (the
+/// 128-bit content key already guards against collisions).
+fn fnv64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Point-in-time counters of the disk tier, surfaced through
+/// `{"cmd":"stats"}`, the Prometheus endpoint and `--metrics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiskTierSnapshot {
+    /// Lookups served from disk (after a memory miss).
+    pub disk_hits: u64,
+    /// Lookups that missed the disk tier.
+    pub disk_misses: u64,
+    /// Corrupt records/files detected and set aside, ever.
+    pub quarantined: u64,
+    /// Put operations abandoned after retries.
+    pub write_errors: u64,
+    /// Bytes currently held by committed segment files.
+    pub bytes_on_disk: u64,
+    /// Committed segment files currently live.
+    pub segments: usize,
+    /// Distinct keys readable from disk.
+    pub entries: usize,
+    /// Segments deleted to fit the byte budget, ever.
+    pub evictions: u64,
+    /// `Some(reason)` when the tier degraded to read-never/write-never.
+    pub disabled: Option<String>,
+}
+
+/// Where a readable record lives.
+#[derive(Clone, Debug)]
+struct RecordRef {
+    segment: u64,
+    /// Byte offset of the payload within the segment file.
+    payload_at: u64,
+    payload_len: u32,
+    checksum: u64,
+}
+
+#[derive(Clone, Debug)]
+struct SegmentMeta {
+    path: PathBuf,
+    bytes: u64,
+    keys: Vec<u128>,
+}
+
+/// A record ready to be written: key, encoded payload, checksum.
+type PendingRecord = (u128, Vec<u8>, u64);
+
+#[derive(Default)]
+struct DiskState {
+    index: HashMap<u128, RecordRef>,
+    /// Segment sequence number → metadata, oldest first.
+    segments: BTreeMap<u64, SegmentMeta>,
+    next_seq: u64,
+    /// `Some(reason)` once the tier has degraded; all operations
+    /// become no-ops (read-never / write-never).
+    disabled: Option<String>,
+}
+
+/// The persistent tier. All methods are infallible at the API surface:
+/// errors degrade (a miss, a skipped write, or a disabled tier),
+/// matching the contract that cache trouble may cost speed but never
+/// change output.
+pub struct DiskCache {
+    dir: PathBuf,
+    budget_bytes: u64,
+    state: Mutex<DiskState>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    quarantined: AtomicU64,
+    write_errors: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory. Never fails: an
+    /// unusable directory yields a tier that is already disabled, with
+    /// the reason in [`DiskCache::snapshot`].
+    pub fn open(dir: impl Into<PathBuf>, budget_bytes: Option<u64>) -> DiskCache {
+        let dir = dir.into();
+        let cache = DiskCache {
+            dir: dir.clone(),
+            budget_bytes: budget_bytes.unwrap_or(DEFAULT_BUDGET_BYTES).max(1),
+            state: Mutex::new(DiskState::default()),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        if let Err(e) = cache.open_scan() {
+            cache.disable(format!("open {}: {e}", dir.display()));
+        }
+        cache
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, DiskState> {
+        // Poison-safety mirrors MemoryCache: a panicking worker must
+        // not take the cache down with it.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flips the tier to read-never/write-never with a structured
+    /// reason (kept; the first reason wins).
+    fn disable(&self, reason: String) {
+        let mut st = self.state();
+        if st.disabled.is_none() {
+            trace::event("cache_disable", || reason.clone());
+            st.disabled = Some(reason);
+        }
+        st.index.clear();
+        st.segments.clear();
+    }
+
+    // -- open ---------------------------------------------------------
+
+    /// Scans the directory, building the index from every record that
+    /// passes its header and checksum. Corrupt files are quarantined
+    /// (their valid prefix re-committed), dead writers' temp files are
+    /// swept. Only an error preparing the directory itself propagates
+    /// (and disables the tier).
+    fn open_scan(&self) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        // Probe writability up front so a read-only directory reports
+        // one structured reason instead of failing every later put.
+        let probe = self.dir.join(format!(".probe-{}", std::process::id()));
+        fs::write(&probe, b"w")?;
+        let _ = fs::remove_file(&probe);
+
+        let mut salvaged: Vec<PendingRecord> = Vec::new();
+        {
+            let _lock = LockGuard::acquire(&self.dir, 10);
+            let mut files: Vec<(u64, PathBuf)> = Vec::new();
+            for entry in fs::read_dir(&self.dir)? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let path = entry.path();
+                if let Some(pid) = parse_tmp_name(&name) {
+                    // Uncommitted write: never renamed, so it holds no
+                    // promised data. Swept only when its writer died —
+                    // a live process may be between write and rename.
+                    if !pid_alive(pid) {
+                        let _ = fs::remove_file(&path);
+                    }
+                    continue;
+                }
+                if let Some(seq) = parse_segment_name(&name) {
+                    files.push((seq, path));
+                }
+            }
+            files.sort();
+
+            let mut st = self.state();
+            for (seq, path) in files {
+                st.next_seq = st.next_seq.max(seq + 1);
+                match scan_segment(seq, &path) {
+                    Ok((meta, records, corrupt_tail)) => {
+                        if let Some(why) = corrupt_tail {
+                            // Salvage the valid prefix *before* the
+                            // file moves, then re-commit it below.
+                            for (key, rref) in &records {
+                                if let Ok(payload) = read_payload_checked(&path, rref) {
+                                    salvaged.push((*key, payload, rref.checksum));
+                                }
+                            }
+                            drop(st);
+                            self.quarantine_file(&path, &why);
+                            st = self.state();
+                            continue;
+                        }
+                        for (key, rref) in records {
+                            st.index.insert(key, rref);
+                        }
+                        st.segments.insert(seq, meta);
+                    }
+                    Err(why) => {
+                        drop(st);
+                        self.quarantine_file(&path, &why.to_string());
+                        st = self.state();
+                    }
+                }
+            }
+        }
+        if !salvaged.is_empty() {
+            // Keys already re-committed by a fresh segment win over
+            // nothing; keys also present in an intact segment keep the
+            // intact copy (commit_records only fills absent keys).
+            self.commit_records(&salvaged);
+        }
+        self.maintain();
+        Ok(())
+    }
+
+    /// Moves a corrupt file into `<dir>/quarantine/`, counting and
+    /// tracing it. If the move fails the file is removed; if even that
+    /// fails it stays in place unindexed — still never loaded.
+    fn quarantine_file(&self, path: &Path, why: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let why = why.to_string();
+        let shown = path.display().to_string();
+        trace::event("cache_quarantine", || format!("{shown}: {why}"));
+        let qdir = self.dir.join("quarantine");
+        let moved = fs::create_dir_all(&qdir).and_then(|()| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "unknown".to_string());
+            fs::rename(path, qdir.join(name))
+        });
+        if moved.is_err() {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    // -- get ----------------------------------------------------------
+
+    /// Looks a key up on disk. A hit decodes the payload (checksum
+    /// re-verified at read time); any failure along the way is a miss,
+    /// with corrupt segments quarantined as they are discovered.
+    pub fn get_entry(&self, key: &CacheKey) -> Option<CachedRoutine> {
+        let (rref, seg_path) = {
+            let st = self.state();
+            if st.disabled.is_some() {
+                return None;
+            }
+            let Some(rref) = st.index.get(&key.0).cloned() else {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            let Some(path) = st.segments.get(&rref.segment).map(|m| m.path.clone()) else {
+                drop(st);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            (rref, path)
+        };
+        match read_payload_checked(&seg_path, &rref) {
+            Ok(payload) => match wire::decode_entry(&payload) {
+                Ok(entry) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(entry)
+                }
+                Err(e) => {
+                    self.drop_segment(rref.segment);
+                    self.quarantine_file(&seg_path, &format!("undecodable record: {e}"));
+                    self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Another process evicted the segment under us: a
+                // benign race, plain miss.
+                self.drop_segment(rref.segment);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(e) => {
+                self.drop_segment(rref.segment);
+                self.quarantine_file(&seg_path, &format!("unreadable record: {e}"));
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Forgets a segment and every key resolved through it.
+    fn drop_segment(&self, seq: u64) {
+        let mut st = self.state();
+        if let Some(meta) = st.segments.remove(&seq) {
+            for k in meta.keys {
+                if st.index.get(&k).is_some_and(|r| r.segment == seq) {
+                    st.index.remove(&k);
+                }
+            }
+        }
+    }
+
+    // -- put ----------------------------------------------------------
+
+    /// Persists an entry: encode, then commit a fresh segment through
+    /// temp + fsync + rename under the advisory lock, then run
+    /// eviction/compaction maintenance. Write trouble is retried with
+    /// backoff; persistent trouble counts a write error and disables
+    /// the tier with the failure as the structured reason.
+    pub fn put_entry(&self, key: &CacheKey, entry: &CachedRoutine) {
+        {
+            let st = self.state();
+            if st.disabled.is_some() || st.index.contains_key(&key.0) {
+                return;
+            }
+        }
+        let payload = wire::encode_entry(entry);
+        let checksum = record_checksum(key.0, &payload);
+        if self.commit_records(&[(key.0, payload, checksum)]) {
+            self.maintain();
+        }
+    }
+
+    /// Commits records as one new segment file and indexes them (keys
+    /// already indexed keep their existing copy). Returns whether the
+    /// segment reached disk. Lock contention (another live process
+    /// writing) skips the commit — the memory tier still holds the
+    /// data, so skipping is sound.
+    fn commit_records(&self, records: &[PendingRecord]) -> bool {
+        if records.is_empty() {
+            return false;
+        }
+        let _lock = match LockGuard::acquire(&self.dir, 5) {
+            LockOutcome::Held(g) => g,
+            LockOutcome::Busy => return false,
+            LockOutcome::Failed(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.disable(format!("lock {}: {e}", self.dir.display()));
+                return false;
+            }
+        };
+        let seq = {
+            let mut st = self.state();
+            if st.disabled.is_some() {
+                return false;
+            }
+            let s = st.next_seq;
+            st.next_seq += 1;
+            s
+        };
+        let mut body = Vec::with_capacity(
+            SEG_MAGIC.len()
+                + records
+                    .iter()
+                    .map(|(_, p, _)| p.len() + REC_HEADER_LEN + 8)
+                    .sum::<usize>(),
+        );
+        body.extend_from_slice(SEG_MAGIC);
+        let mut refs = Vec::with_capacity(records.len());
+        for (key, payload, checksum) in records {
+            let at = body.len();
+            body.extend_from_slice(REC_MAGIC);
+            body.extend_from_slice(&wire::WIRE_VERSION.to_le_bytes());
+            body.extend_from_slice(&key.to_le_bytes());
+            body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(payload);
+            body.extend_from_slice(&checksum.to_le_bytes());
+            refs.push((
+                *key,
+                RecordRef {
+                    segment: seq,
+                    payload_at: (at + REC_HEADER_LEN) as u64,
+                    payload_len: payload.len() as u32,
+                    checksum: *checksum,
+                },
+            ));
+        }
+        let final_path = self.dir.join(segment_name(seq));
+        match commit_file_with_retries(&self.dir, &final_path, &body) {
+            Ok(()) => {
+                let mut st = self.state();
+                for (key, rref) in refs {
+                    st.index.entry(key).or_insert(rref);
+                }
+                st.segments.insert(
+                    seq,
+                    SegmentMeta {
+                        path: final_path,
+                        bytes: body.len() as u64,
+                        keys: records.iter().map(|(k, _, _)| *k).collect(),
+                    },
+                );
+                true
+            }
+            Err(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.disable(format!("write {}: {e}", self.dir.display()));
+                false
+            }
+        }
+    }
+
+    // -- eviction / compaction ---------------------------------------
+
+    /// Post-commit maintenance: evict to the byte budget, then compact
+    /// if the directory is crowded with small segments.
+    fn maintain(&self) {
+        self.evict_to_budget();
+        let crowded = self.state().segments.len() > COMPACT_SEGMENTS;
+        if crowded {
+            self.compact();
+        }
+    }
+
+    /// Deletes oldest segments until the directory fits the budget.
+    /// Racing another process's eviction only means an ENOENT remove.
+    fn evict_to_budget(&self) {
+        loop {
+            let victim = {
+                let mut st = self.state();
+                let total: u64 = st.segments.values().map(|m| m.bytes).sum();
+                if total <= self.budget_bytes || st.segments.len() <= 1 {
+                    return;
+                }
+                let Some(seq) = st.segments.keys().next().copied() else {
+                    return;
+                };
+                let Some(meta) = st.segments.remove(&seq) else {
+                    return;
+                };
+                for k in &meta.keys {
+                    if st.index.get(k).is_some_and(|r| r.segment == seq) {
+                        st.index.remove(k);
+                    }
+                }
+                meta
+            };
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::remove_file(&victim.path);
+        }
+    }
+
+    /// Rewrites all live records into one fresh segment and deletes
+    /// the originals. Crash-safe: the new segment commits (or not)
+    /// atomically before any original is removed, so a crash anywhere
+    /// leaves every record readable (possibly duplicated; the next
+    /// open deduplicates by key).
+    fn compact(&self) {
+        let (records, old): (Vec<PendingRecord>, Vec<(u64, PathBuf)>) = {
+            let st = self.state();
+            if st.disabled.is_some() {
+                return;
+            }
+            let mut recs = Vec::with_capacity(st.index.len());
+            for (key, rref) in &st.index {
+                let Some(meta) = st.segments.get(&rref.segment) else {
+                    continue;
+                };
+                if let Ok(payload) = read_payload_checked(&meta.path, rref) {
+                    recs.push((*key, payload, rref.checksum));
+                }
+            }
+            // Deterministic segment bytes regardless of HashMap order.
+            recs.sort_by_key(|(k, _, _)| *k);
+            let old = st
+                .segments
+                .iter()
+                .map(|(s, m)| (*s, m.path.clone()))
+                .collect();
+            (recs, old)
+        };
+        if records.is_empty() {
+            return;
+        }
+        // The compacted copy must become the indexed one, or dropping
+        // the old segments below would orphan every key.
+        {
+            let mut st = self.state();
+            for (seq, _) in &old {
+                let seq = *seq;
+                if let Some(meta) = st.segments.remove(&seq) {
+                    for k in meta.keys {
+                        if st.index.get(&k).is_some_and(|r| r.segment == seq) {
+                            st.index.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+        if !self.commit_records(&records) {
+            // Old files stay on disk; a future open re-indexes them.
+            return;
+        }
+        for (_, path) in old {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    // -- observability ------------------------------------------------
+
+    /// Current counters and occupancy.
+    pub fn snapshot(&self) -> DiskTierSnapshot {
+        let st = self.state();
+        DiskTierSnapshot {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            bytes_on_disk: st.segments.values().map(|m| m.bytes).sum(),
+            segments: st.segments.len(),
+            entries: st.index.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disabled: st.disabled.clone(),
+        }
+    }
+}
+
+const REC_HEADER_LEN: usize = 4 + 2 + 16 + 4; // magic, version, key, len
+
+fn record_checksum(key: u128, payload: &[u8]) -> u64 {
+    fnv64(&[
+        &wire::WIRE_VERSION.to_le_bytes(),
+        &key.to_le_bytes(),
+        &(payload.len() as u32).to_le_bytes(),
+        payload,
+    ])
+}
+
+/// What [`scan_segment`] learned about one file: its metadata, the
+/// valid records, and `Some(reason)` when a corrupt tail follows them.
+type SegmentScan = (SegmentMeta, Vec<(u128, RecordRef)>, Option<String>);
+
+/// Parses one segment file without touching shared state. A file whose
+/// segment header is wrong is an `Err` (whole-file quarantine).
+fn scan_segment(seq: u64, path: &Path) -> io::Result<SegmentScan> {
+    failpoints::fail_point_io("disk-read", &path.to_string_lossy())?;
+    let bytes = fs::read(path)?;
+    if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Err(io::Error::other("bad segment magic"));
+    }
+    let mut records = Vec::new();
+    let mut pos = SEG_MAGIC.len();
+    let mut corrupt = None;
+    while pos < bytes.len() {
+        match parse_record(&bytes, pos) {
+            Ok((key, payload_at, len, checksum, next)) => {
+                records.push((
+                    key,
+                    RecordRef {
+                        segment: seq,
+                        payload_at: payload_at as u64,
+                        payload_len: len,
+                        checksum,
+                    },
+                ));
+                pos = next;
+            }
+            Err(why) => {
+                corrupt = Some(format!("{why} at byte {pos}"));
+                break;
+            }
+        }
+    }
+    let meta = SegmentMeta {
+        path: path.to_path_buf(),
+        bytes: bytes.len() as u64,
+        keys: records.iter().map(|(k, _)| *k).collect(),
+    };
+    Ok((meta, records, corrupt))
+}
+
+/// Parses one record at `pos`; returns (key, payload offset, payload
+/// len, checksum, next record offset).
+fn parse_record(bytes: &[u8], pos: usize) -> Result<(u128, usize, u32, u64, usize), &'static str> {
+    let header_end = pos.checked_add(REC_HEADER_LEN).ok_or("record overflow")?;
+    if header_end > bytes.len() {
+        return Err("truncated record header");
+    }
+    if &bytes[pos..pos + 4] != REC_MAGIC {
+        return Err("bad record magic");
+    }
+    let version = u16::from_le_bytes(bytes[pos + 4..pos + 6].try_into().expect("2 bytes"));
+    if version != wire::WIRE_VERSION {
+        return Err("record version mismatch");
+    }
+    let key = u128::from_le_bytes(bytes[pos + 6..pos + 22].try_into().expect("16 bytes"));
+    let len = u32::from_le_bytes(bytes[pos + 22..pos + 26].try_into().expect("4 bytes"));
+    let payload_at = header_end;
+    let payload_end = payload_at
+        .checked_add(len as usize)
+        .ok_or("record overflow")?;
+    let rec_end = payload_end.checked_add(8).ok_or("record overflow")?;
+    if rec_end > bytes.len() {
+        return Err("truncated record body");
+    }
+    let payload = &bytes[payload_at..payload_end];
+    let stored = u64::from_le_bytes(bytes[payload_end..rec_end].try_into().expect("8 bytes"));
+    if stored != record_checksum(key, payload) {
+        return Err("checksum mismatch");
+    }
+    Ok((key, payload_at, len, stored, rec_end))
+}
+
+/// Reads a record's payload from its segment and re-verifies the
+/// stored checksum — the file may have changed since open.
+fn read_payload_checked(path: &Path, rref: &RecordRef) -> io::Result<Vec<u8>> {
+    failpoints::fail_point_io("disk-read", &path.to_string_lossy())?;
+    let mut f = fs::File::open(path)?;
+    // Re-read the key from the header to bind payload to checksum.
+    let key_at = rref
+        .payload_at
+        .checked_sub((16 + 4) as u64)
+        .ok_or_else(|| io::Error::other("record before header"))?;
+    f.seek(SeekFrom::Start(key_at))?;
+    let mut kb = [0u8; 16];
+    f.read_exact(&mut kb)?;
+    let key = u128::from_le_bytes(kb);
+    f.seek(SeekFrom::Start(rref.payload_at))?;
+    let mut payload = vec![0u8; rref.payload_len as usize];
+    f.read_exact(&mut payload)?;
+    if record_checksum(key, &payload) != rref.checksum {
+        return Err(io::Error::other("checksum mismatch on read"));
+    }
+    Ok(payload)
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("seg-{seq:012}-{}.pano", std::process::id())
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?;
+    let rest = rest.strip_suffix(".pano")?;
+    let (seq, _pid) = rest.split_once('-')?;
+    seq.parse().ok()
+}
+
+/// `Some(pid)` for a `.tmp-<pid>-…` temp-file name.
+fn parse_tmp_name(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix(".tmp-")?;
+    let (pid, _) = rest.split_once('-')?;
+    pid.parse().ok()
+}
+
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Temp-write + fsync + atomic rename, wrapped in retry-with-backoff
+/// for transient trouble (three attempts: immediately, ~1ms, ~4ms).
+fn commit_file_with_retries(dir: &Path, final_path: &Path, body: &[u8]) -> io::Result<()> {
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
+        }
+        match commit_file_once(dir, final_path, body) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+fn commit_file_once(dir: &Path, final_path: &Path, body: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        final_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    let result = (|| -> io::Result<()> {
+        failpoints::fail_point_io("disk-write", &final_path.to_string_lossy())?;
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(body)?;
+        failpoints::fail_point_io("disk-fsync", &final_path.to_string_lossy())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, final_path)?;
+        // Make the rename itself durable; best-effort (some
+        // filesystems refuse fsync on directories).
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Advisory lock
+// ---------------------------------------------------------------------
+
+enum LockOutcome {
+    Held(LockGuard),
+    /// A live process holds the lock.
+    Busy,
+    /// The lock file could not be created for IO reasons.
+    Failed(io::Error),
+}
+
+/// `<dir>/LOCK`, created exclusively with our pid inside. Staleness is
+/// decided by `/proc/<pid>` existence, so a `kill -9`'d writer never
+/// wedges the directory. RAII: dropping the guard removes the file.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(dir: &Path, attempts: u32) -> LockOutcome {
+        let path = dir.join("LOCK");
+        if let Err(e) = failpoints::fail_point_io("disk-lock", &path.to_string_lossy()) {
+            return LockOutcome::Failed(e);
+        }
+        for attempt in 0..attempts.max(1) {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    let _ = f.sync_all();
+                    return LockOutcome::Held(LockGuard { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if holder_is_stale(&path) {
+                        let _ = fs::remove_file(&path);
+                        continue; // retry the create_new race
+                    }
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                }
+                Err(e) => return LockOutcome::Failed(e),
+            }
+        }
+        LockOutcome::Busy
+    }
+}
+
+/// `true` when the pid recorded in the lock file no longer exists. An
+/// unreadable or garbled lock file usually means a dead writer too —
+/// except for the tiny create-to-write window of a live one, which
+/// gets a short mtime grace period.
+fn holder_is_stale(path: &Path) -> bool {
+    match fs::read_to_string(path) {
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(pid) => !pid_alive(pid),
+            Err(_) => !recently_modified(path),
+        },
+        Err(e) => e.kind() != io::ErrorKind::NotFound && !recently_modified(path),
+    }
+}
+
+fn recently_modified(path: &Path) -> bool {
+    fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age < std::time::Duration::from_secs(2))
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The two-tier cache
+// ---------------------------------------------------------------------
+
+/// Memory in front of disk: `get` checks memory, then disk (promoting
+/// hits); `put` writes through to both. The memory tier alone already
+/// guarantees byte-identical replay, so every disk failure mode simply
+/// collapses this into a [`MemoryCache`].
+pub struct TieredCache {
+    memory: MemoryCache,
+    disk: Arc<DiskCache>,
+}
+
+impl TieredCache {
+    /// Builds a tiered cache over an already opened disk tier.
+    pub fn new(memory: MemoryCache, disk: Arc<DiskCache>) -> TieredCache {
+        TieredCache { memory, disk }
+    }
+
+    /// The disk tier (for tests and direct snapshots).
+    pub fn disk_tier(&self) -> &DiskCache {
+        &self.disk
+    }
+}
+
+impl SummaryCache for TieredCache {
+    fn get(&self, key: &CacheKey) -> Option<Arc<CachedRoutine>> {
+        if let Some(hit) = self.memory.get(key) {
+            return Some(hit);
+        }
+        let entry = Arc::new(self.disk.get_entry(key)?);
+        // Promote: later lookups in this process stay in memory.
+        self.memory.put(*key, Arc::clone(&entry));
+        Some(entry)
+    }
+
+    fn put(&self, key: CacheKey, entry: Arc<CachedRoutine>) {
+        self.disk.put_entry(&key, &entry);
+        self.memory.put(key, entry);
+    }
+
+    fn counters(&self) -> CacheCounters {
+        self.memory.counters()
+    }
+
+    fn disk(&self) -> Option<DiskTierSnapshot> {
+        Some(self.disk.snapshot())
+    }
+}

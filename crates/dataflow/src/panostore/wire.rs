@@ -1,0 +1,1006 @@
+//! Binary wire codec for persisted cache entries.
+//!
+//! The vendored serde shim renders JSON for *diagnostics only* — its
+//! `Deserialize` derive expands to nothing — so the disk tier carries
+//! its own length-prefixed little-endian codec over the whole
+//! [`CachedRoutine`] type graph (summary → GAR lists → predicates →
+//! symbolic expressions).
+//!
+//! **Exactness contract.** `decode(encode(x))` must reproduce `x`
+//! byte-for-byte under `Debug` formatting, because replaying a disk
+//! entry must emit the identical report a cold run would (the cache's
+//! replay contract, `dataflow::cache` module docs). Every container in
+//! the graph stores values *already in canonical form* (sorted terms,
+//! canonicalized atoms, simplified GAR lists), so decoding rebuilds
+//! them through raw constructors — [`Disj::from_canonical_atoms`],
+//! [`GarList::from_simplified`], struct literals for [`Gar`] — rather
+//! than the public normalizing constructors, whose simplifiers are not
+//! guaranteed to be fixed points for every value they once produced.
+//!
+//! **Robustness contract.** Decoding never panics and never trusts a
+//! length: every read is bounds-checked, collection counts are capped,
+//! and any inconsistency returns [`WireError`] so the caller can
+//! quarantine the record instead of loading garbage. (Records are
+//! checksummed before decoding, so a `WireError` in practice means a
+//! version skew the header check missed or a corrupted-but-colliding
+//! payload; both are treated as corruption.)
+
+use crate::analyzer::{LoopAnalysis, RangeNote};
+use crate::cache::CachedRoutine;
+use crate::summary::{ArraySets, Summary};
+use gar::{Approx, Gar, GarList};
+use pred::{Atom, CondTemplate, Disj, Pred, RelOp};
+use region::{Dim, Range, Region};
+use std::collections::{BTreeMap, BTreeSet};
+use sym::{Expr, Monomial, Name, Term};
+
+/// Version of the payload layout. Bumped whenever any encoded type
+/// gains, loses, or reorders a field; old records then fail the header
+/// check and are quarantined rather than misdecoded.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on any single collection length in a record. Entries
+/// are per-routine summaries — thousands of elements, not millions —
+/// so anything larger is corruption, and refusing early keeps a bad
+/// length from turning into a giant allocation.
+const MAX_COUNT: usize = 1 << 22;
+
+/// A malformed or truncated payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What failed to decode.
+    pub what: &'static str,
+    /// Byte offset at which the failure was noticed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error: {} at byte {}",
+            self.what, self.offset
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------
+// Primitive encoder / decoder
+// ---------------------------------------------------------------------
+
+/// Byte-sink with little-endian primitive writers.
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty sink.
+    pub fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn count(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.count(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_i64(&mut self, v: &Option<i64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.i64(*x);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+impl Default for Enc {
+    fn default() -> Self {
+        Enc::new()
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    /// Fails unless every byte was consumed — trailing garbage after a
+    /// structurally valid prefix is corruption too.
+    pub fn finish(self) -> Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing bytes"))
+        }
+    }
+
+    fn err(&self, what: &'static str) -> WireError {
+        WireError {
+            what,
+            offset: self.pos,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err(what))?;
+        if end > self.bytes.len() {
+            return Err(self.err(what));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn count(&mut self, what: &'static str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        if n > MAX_COUNT {
+            return Err(self.err(what));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String> {
+        let n = self.count(what)?;
+        let b = self.take(n, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.err(what))
+    }
+
+    fn opt_i64(&mut self, what: &'static str) -> Result<Option<i64>> {
+        Ok(if self.bool(what)? {
+            Some(self.i64(what)?)
+        } else {
+            None
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// sym: Name / Monomial / Term / Expr
+// ---------------------------------------------------------------------
+
+fn enc_name(e: &mut Enc, n: &Name) {
+    e.str(n.as_str());
+}
+
+fn dec_name(d: &mut Dec) -> Result<Name> {
+    Ok(Name::new(d.str("name")?))
+}
+
+fn enc_monomial(e: &mut Enc, m: &Monomial) {
+    e.count(m.factors().len());
+    for (n, p) in m.factors() {
+        enc_name(e, n);
+        e.u32(*p);
+    }
+}
+
+fn dec_monomial(d: &mut Dec) -> Result<Monomial> {
+    let n = d.count("monomial factors")?;
+    let mut factors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = dec_name(d)?;
+        let pow = d.u32("monomial power")?;
+        factors.push((name, pow));
+    }
+    // `from_factors` sorts and merges; on factors encoded from a
+    // canonical monomial it is the identity.
+    Ok(Monomial::from_factors(factors))
+}
+
+fn enc_expr(e: &mut Enc, x: &Expr) {
+    e.count(x.terms().len());
+    for t in x.terms() {
+        e.i64(t.coef);
+        enc_monomial(e, &t.mono);
+    }
+}
+
+fn dec_expr(d: &mut Dec) -> Result<Expr> {
+    let n = d.count("expr terms")?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let coef = d.i64("term coef")?;
+        let mono = dec_monomial(d)?;
+        terms.push(Term::new(coef, mono));
+    }
+    // Identity on canonical term lists; `None` only when a corrupt
+    // payload merged two terms into an overflowing coefficient.
+    Expr::try_from_terms(terms).ok_or_else(|| d.err("expr overflow"))
+}
+
+fn enc_opt_expr(e: &mut Enc, x: &Option<Expr>) {
+    match x {
+        Some(x) => {
+            e.bool(true);
+            enc_expr(e, x);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn dec_opt_expr(d: &mut Dec) -> Result<Option<Expr>> {
+    Ok(if d.bool("opt expr")? {
+        Some(dec_expr(d)?)
+    } else {
+        None
+    })
+}
+
+// ---------------------------------------------------------------------
+// pred: Atom / Disj / Pred
+// ---------------------------------------------------------------------
+
+fn enc_relop(e: &mut Enc, op: RelOp) {
+    e.u8(match op {
+        RelOp::Lt => 0,
+        RelOp::Eq => 1,
+        RelOp::Ne => 2,
+    });
+}
+
+fn dec_relop(d: &mut Dec) -> Result<RelOp> {
+    Ok(match d.u8("relop")? {
+        0 => RelOp::Lt,
+        1 => RelOp::Eq,
+        2 => RelOp::Ne,
+        _ => return Err(d.err("relop tag")),
+    })
+}
+
+fn enc_names(e: &mut Enc, names: &[Name]) {
+    e.count(names.len());
+    for n in names {
+        enc_name(e, n);
+    }
+}
+
+fn dec_names(d: &mut Dec) -> Result<Vec<Name>> {
+    let n = d.count("name list")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec_name(d)?);
+    }
+    Ok(out)
+}
+
+fn enc_atom(e: &mut Enc, a: &Atom) {
+    match a {
+        Atom::Rel(x, op) => {
+            e.u8(0);
+            enc_expr(e, x);
+            enc_relop(e, *op);
+        }
+        Atom::Bool(n, v) => {
+            e.u8(1);
+            enc_name(e, n);
+            e.bool(*v);
+        }
+        Atom::Cond {
+            template,
+            index,
+            deps,
+            positive,
+        } => {
+            e.u8(2);
+            e.str(&template.0);
+            enc_expr(e, index);
+            enc_names(e, deps);
+            e.bool(*positive);
+        }
+        Atom::ForallCond {
+            template,
+            lo,
+            hi,
+            deps,
+            positive,
+        } => {
+            e.u8(3);
+            e.str(&template.0);
+            enc_expr(e, lo);
+            enc_expr(e, hi);
+            enc_names(e, deps);
+            e.bool(*positive);
+        }
+    }
+}
+
+fn dec_atom(d: &mut Dec) -> Result<Atom> {
+    // Stored atoms are already canonical (they came out of a Disj), so
+    // variants are rebuilt literally, without `Atom::canon`.
+    Ok(match d.u8("atom tag")? {
+        0 => {
+            let x = dec_expr(d)?;
+            let op = dec_relop(d)?;
+            Atom::Rel(x, op)
+        }
+        1 => {
+            let n = dec_name(d)?;
+            let v = d.bool("bool atom value")?;
+            Atom::Bool(n, v)
+        }
+        2 => {
+            let template = CondTemplate::new(d.str("cond template")?);
+            let index = dec_expr(d)?;
+            let deps = dec_names(d)?;
+            let positive = d.bool("cond polarity")?;
+            Atom::Cond {
+                template,
+                index,
+                deps,
+                positive,
+            }
+        }
+        3 => {
+            let template = CondTemplate::new(d.str("forall template")?);
+            let lo = dec_expr(d)?;
+            let hi = dec_expr(d)?;
+            let deps = dec_names(d)?;
+            let positive = d.bool("forall polarity")?;
+            Atom::ForallCond {
+                template,
+                lo,
+                hi,
+                deps,
+                positive,
+            }
+        }
+        _ => return Err(d.err("atom tag")),
+    })
+}
+
+fn enc_disj(e: &mut Enc, dj: &Disj) {
+    e.count(dj.atoms().len());
+    for a in dj.atoms() {
+        enc_atom(e, a);
+    }
+}
+
+fn dec_disj(d: &mut Dec) -> Result<Disj> {
+    let n = d.count("disj atoms")?;
+    let mut atoms = Vec::with_capacity(n);
+    for _ in 0..n {
+        atoms.push(dec_atom(d)?);
+    }
+    Ok(Disj::from_canonical_atoms(atoms))
+}
+
+fn enc_pred(e: &mut Enc, p: &Pred) {
+    match p {
+        Pred::False => e.u8(0),
+        Pred::Cnf { disjs, unknown } => {
+            e.u8(1);
+            e.count(disjs.len());
+            for dj in disjs {
+                enc_disj(e, dj);
+            }
+            e.bool(*unknown);
+        }
+    }
+}
+
+fn dec_pred(d: &mut Dec) -> Result<Pred> {
+    Ok(match d.u8("pred tag")? {
+        0 => Pred::False,
+        1 => {
+            let n = d.count("pred disjs")?;
+            let mut disjs = Vec::with_capacity(n);
+            for _ in 0..n {
+                disjs.push(dec_disj(d)?);
+            }
+            let unknown = d.bool("pred unknown")?;
+            Pred::Cnf { disjs, unknown }
+        }
+        _ => return Err(d.err("pred tag")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// region: Range / Dim / Region
+// ---------------------------------------------------------------------
+
+fn enc_region(e: &mut Enc, r: &Region) {
+    e.count(r.dims().len());
+    for dim in r.dims() {
+        match dim {
+            Dim::Range(rg) => {
+                e.u8(0);
+                enc_expr(e, &rg.lo);
+                enc_expr(e, &rg.hi);
+                enc_expr(e, &rg.step);
+            }
+            Dim::Unknown => e.u8(1),
+        }
+    }
+}
+
+fn dec_region(d: &mut Dec) -> Result<Region> {
+    let n = d.count("region dims")?;
+    let mut dims = Vec::with_capacity(n);
+    for _ in 0..n {
+        dims.push(match d.u8("dim tag")? {
+            0 => {
+                let lo = dec_expr(d)?;
+                let hi = dec_expr(d)?;
+                let step = dec_expr(d)?;
+                Dim::Range(Range { lo, hi, step })
+            }
+            1 => Dim::Unknown,
+            _ => return Err(d.err("dim tag")),
+        });
+    }
+    Ok(Region::new(dims))
+}
+
+// ---------------------------------------------------------------------
+// gar: Gar / GarList
+// ---------------------------------------------------------------------
+
+fn enc_gar(e: &mut Enc, g: &Gar) {
+    enc_pred(e, &g.guard);
+    enc_region(e, &g.region);
+    e.u8(match g.approx {
+        Approx::Exact => 0,
+        Approx::Over => 1,
+        Approx::Under => 2,
+    });
+}
+
+fn dec_gar(d: &mut Dec) -> Result<Gar> {
+    let guard = dec_pred(d)?;
+    let region = dec_region(d)?;
+    let approx = match d.u8("approx tag")? {
+        0 => Approx::Exact,
+        1 => Approx::Over,
+        2 => Approx::Under,
+        _ => return Err(d.err("approx tag")),
+    };
+    // Struct literal, not `Gar::with_approx`: the stored GAR already
+    // carries its validity conjuncts and normalized marker, and the
+    // normalizer must not run twice.
+    Ok(Gar {
+        guard,
+        region,
+        approx,
+    })
+}
+
+fn enc_garlist(e: &mut Enc, l: &GarList) {
+    e.count(l.gars().len());
+    for g in l.gars() {
+        enc_gar(e, g);
+    }
+}
+
+fn dec_garlist(d: &mut Dec) -> Result<GarList> {
+    let n = d.count("garlist")?;
+    let mut gars = Vec::with_capacity(n);
+    for _ in 0..n {
+        gars.push(dec_gar(d)?);
+    }
+    Ok(GarList::from_simplified(gars))
+}
+
+// ---------------------------------------------------------------------
+// Maps and sets of the summary layer
+// ---------------------------------------------------------------------
+
+fn enc_garlist_map(e: &mut Enc, m: &BTreeMap<String, GarList>) {
+    e.count(m.len());
+    for (k, v) in m {
+        e.str(k);
+        enc_garlist(e, v);
+    }
+}
+
+fn dec_garlist_map(d: &mut Dec) -> Result<BTreeMap<String, GarList>> {
+    let n = d.count("garlist map")?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let k = d.str("garlist map key")?;
+        let v = dec_garlist(d)?;
+        m.insert(k, v);
+    }
+    Ok(m)
+}
+
+fn enc_str_set(e: &mut Enc, s: &BTreeSet<String>) {
+    e.count(s.len());
+    for x in s {
+        e.str(x);
+    }
+}
+
+fn dec_str_set(d: &mut Dec) -> Result<BTreeSet<String>> {
+    let n = d.count("string set")?;
+    let mut s = BTreeSet::new();
+    for _ in 0..n {
+        s.insert(d.str("string set entry")?);
+    }
+    Ok(s)
+}
+
+type BoundsMap = BTreeMap<String, (Option<i64>, Option<i64>)>;
+
+fn enc_bounds_map(e: &mut Enc, m: &BoundsMap) {
+    e.count(m.len());
+    for (k, (lo, hi)) in m {
+        e.str(k);
+        e.opt_i64(lo);
+        e.opt_i64(hi);
+    }
+}
+
+fn dec_bounds_map(d: &mut Dec) -> Result<BoundsMap> {
+    let n = d.count("bounds map")?;
+    let mut m = BTreeMap::new();
+    for _ in 0..n {
+        let k = d.str("bounds map key")?;
+        let lo = d.opt_i64("bound lo")?;
+        let hi = d.opt_i64("bound hi")?;
+        m.insert(k, (lo, hi));
+    }
+    Ok(m)
+}
+
+fn enc_summary(e: &mut Enc, s: &Summary) {
+    enc_garlist_map(e, &s.mods);
+    enc_garlist_map(e, &s.ues);
+    enc_garlist_map(e, &s.des);
+    enc_str_set(e, &s.scalar_may_mod);
+    enc_str_set(e, &s.scalar_must_mod);
+    enc_str_set(e, &s.scalar_ue);
+    enc_bounds_map(e, &s.scalar_exit_range);
+}
+
+fn dec_summary(d: &mut Dec) -> Result<Summary> {
+    Ok(Summary {
+        mods: dec_garlist_map(d)?,
+        ues: dec_garlist_map(d)?,
+        des: dec_garlist_map(d)?,
+        scalar_may_mod: dec_str_set(d)?,
+        scalar_must_mod: dec_str_set(d)?,
+        scalar_ue: dec_str_set(d)?,
+        scalar_exit_range: dec_bounds_map(d)?,
+    })
+}
+
+fn enc_array_sets(e: &mut Enc, a: &ArraySets) {
+    enc_garlist(e, &a.mod_i);
+    enc_garlist(e, &a.ue_i);
+    enc_garlist(e, &a.de_i);
+    enc_garlist(e, &a.mod_lt);
+    enc_garlist(e, &a.mod_gt);
+}
+
+fn dec_array_sets(d: &mut Dec) -> Result<ArraySets> {
+    Ok(ArraySets {
+        mod_i: dec_garlist(d)?,
+        ue_i: dec_garlist(d)?,
+        de_i: dec_garlist(d)?,
+        mod_lt: dec_garlist(d)?,
+        mod_gt: dec_garlist(d)?,
+    })
+}
+
+fn enc_range_note(e: &mut Enc, n: &RangeNote) {
+    match n {
+        RangeNote::Refute { cond, always } => {
+            e.u8(0);
+            e.str(cond);
+            e.bool(*always);
+        }
+        RangeNote::Compare {
+            lhs,
+            rhs,
+            detail,
+            result,
+        } => {
+            e.u8(1);
+            e.str(lhs);
+            e.str(rhs);
+            e.str(detail);
+            e.str(result);
+        }
+    }
+}
+
+fn dec_range_note(d: &mut Dec) -> Result<RangeNote> {
+    Ok(match d.u8("range note tag")? {
+        0 => RangeNote::Refute {
+            cond: d.str("refute cond")?,
+            always: d.bool("refute always")?,
+        },
+        1 => RangeNote::Compare {
+            lhs: d.str("compare lhs")?,
+            rhs: d.str("compare rhs")?,
+            detail: d.str("compare detail")?,
+            result: d.str("compare result")?,
+        },
+        _ => return Err(d.err("range note tag")),
+    })
+}
+
+fn enc_loop(e: &mut Enc, l: &LoopAnalysis) {
+    e.str(&l.routine);
+    e.u64(l.subgraph as u64);
+    e.str(&l.var);
+    e.u32(l.line);
+    e.u64(l.depth as u64);
+    enc_opt_expr(e, &l.lo);
+    enc_opt_expr(e, &l.hi);
+    e.i64(l.step);
+    e.count(l.arrays.len());
+    for (k, v) in &l.arrays {
+        e.str(k);
+        enc_array_sets(e, v);
+    }
+    enc_str_set(e, &l.scalar_ue);
+    enc_str_set(e, &l.scalar_mod);
+    e.bool(l.premature_exit);
+    enc_str_set(e, &l.reductions);
+    enc_str_set(e, &l.live_after);
+    enc_str_set(e, &l.overlaid);
+    e.bool(l.degraded);
+    e.count(l.range_notes.len());
+    for n in &l.range_notes {
+        enc_range_note(e, n);
+    }
+    enc_bounds_map(e, &l.range_bounds);
+}
+
+fn dec_loop(d: &mut Dec) -> Result<LoopAnalysis> {
+    let routine = d.str("loop routine")?;
+    let subgraph = d.u64("loop subgraph")? as usize;
+    let var = d.str("loop var")?;
+    let line = d.u32("loop line")?;
+    let depth = d.u64("loop depth")? as usize;
+    let lo = dec_opt_expr(d)?;
+    let hi = dec_opt_expr(d)?;
+    let step = d.i64("loop step")?;
+    let n = d.count("loop arrays")?;
+    let mut arrays = BTreeMap::new();
+    for _ in 0..n {
+        let k = d.str("loop array name")?;
+        let v = dec_array_sets(d)?;
+        arrays.insert(k, v);
+    }
+    let scalar_ue = dec_str_set(d)?;
+    let scalar_mod = dec_str_set(d)?;
+    let premature_exit = d.bool("premature exit")?;
+    let reductions = dec_str_set(d)?;
+    let live_after = dec_str_set(d)?;
+    let overlaid = dec_str_set(d)?;
+    let degraded = d.bool("degraded")?;
+    let nn = d.count("range notes")?;
+    let mut range_notes = Vec::with_capacity(nn);
+    for _ in 0..nn {
+        range_notes.push(dec_range_note(d)?);
+    }
+    let range_bounds = dec_bounds_map(d)?;
+    Ok(LoopAnalysis {
+        routine,
+        subgraph,
+        var,
+        line,
+        depth,
+        lo,
+        hi,
+        step,
+        arrays,
+        scalar_ue,
+        scalar_mod,
+        premature_exit,
+        reductions,
+        live_after,
+        overlaid,
+        degraded,
+        range_notes,
+        range_bounds,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Entry point: CachedRoutine
+// ---------------------------------------------------------------------
+
+/// Encodes an entry into the record payload.
+pub fn encode_entry(entry: &CachedRoutine) -> Vec<u8> {
+    let mut e = Enc::new();
+    enc_summary(&mut e, &entry.summary);
+    e.count(entry.loops.len());
+    for (ordinal, l) in &entry.loops {
+        e.u64(*ordinal as u64);
+        enc_loop(&mut e, l);
+    }
+    e.u64(entry.nodes_processed as u64);
+    e.u64(entry.loops_analyzed as u64);
+    e.u64(entry.peak_state_size as u64);
+    e.u64(entry.summary_size as u64);
+    e.into_bytes()
+}
+
+/// Decodes a record payload. Total function: corrupt input yields
+/// `Err`, never a panic or a partially trusted value.
+pub fn decode_entry(bytes: &[u8]) -> Result<CachedRoutine> {
+    let mut d = Dec::new(bytes);
+    let summary = dec_summary(&mut d)?;
+    let n = d.count("loops")?;
+    let mut loops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ordinal = d.u64("loop ordinal")? as usize;
+        let l = dec_loop(&mut d)?;
+        loops.push((ordinal, l));
+    }
+    let nodes_processed = d.u64("nodes processed")? as usize;
+    let loops_analyzed = d.u64("loops analyzed")? as usize;
+    let peak_state_size = d.u64("peak state size")? as usize;
+    let summary_size = d.u64("summary size")? as usize;
+    let entry = CachedRoutine {
+        summary,
+        loops,
+        nodes_processed,
+        loops_analyzed,
+        peak_state_size,
+        summary_size,
+    };
+    d.finish()?;
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pred::Pred;
+    use sym::parse_expr;
+
+    fn e(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    /// The replay contract is Debug-identity: two entries that render
+    /// the same `Debug` produce byte-identical reports.
+    fn assert_roundtrip(entry: &CachedRoutine) {
+        let bytes = encode_entry(entry);
+        let back = decode_entry(&bytes).expect("decode");
+        assert_eq!(format!("{entry:?}"), format!("{back:?}"));
+        // Re-encoding the decoded value must be byte-stable, or a
+        // compaction rewrite would change record bytes.
+        assert_eq!(bytes, encode_entry(&back));
+    }
+
+    fn rich_entry() -> CachedRoutine {
+        let g1 = Gar::new(
+            Pred::le(e("1"), e("n")),
+            Region::from_ranges([Range::contiguous(e("1"), e("n"))]),
+        );
+        let g2 = Gar::with_approx(
+            Pred::unknown(),
+            Region::new(vec![
+                Dim::Unknown,
+                Dim::Range(Range::new(e("i"), e("i+2"), e("2"))),
+            ]),
+            Approx::Over,
+        );
+        let mut mods = BTreeMap::new();
+        mods.insert(
+            "a".to_string(),
+            GarList::from_gars([g1.clone(), g2.clone()]),
+        );
+        let mut ues = BTreeMap::new();
+        ues.insert(
+            "b".to_string(),
+            GarList::single(Gar::element(
+                Pred::atom(Atom::Cond {
+                    template: CondTemplate::new("$0 > cut"),
+                    index: e("k"),
+                    deps: vec![Name::new("cut")],
+                    positive: true,
+                }),
+                [e("k*2+1")],
+            )),
+        );
+        let mut summary = Summary::new();
+        summary.mods = mods;
+        summary.ues = ues;
+        summary.scalar_may_mod.insert("s".to_string());
+        summary.scalar_must_mod.insert("s".to_string());
+        summary.scalar_ue.insert("t".to_string());
+        summary
+            .scalar_exit_range
+            .insert("s".to_string(), (Some(0), None));
+
+        let mut arrays = BTreeMap::new();
+        arrays.insert(
+            "a".to_string(),
+            ArraySets {
+                mod_i: GarList::single(g1.clone()),
+                ue_i: GarList::empty(),
+                de_i: GarList::single(g2),
+                mod_lt: GarList::single(g1.clone()),
+                mod_gt: GarList::single(g1),
+            },
+        );
+        let la = LoopAnalysis {
+            routine: "sub1".to_string(),
+            subgraph: 7,
+            var: "i".to_string(),
+            line: 12,
+            depth: 1,
+            lo: Some(e("1")),
+            hi: Some(e("n")),
+            step: 1,
+            arrays,
+            scalar_ue: ["t".to_string()].into(),
+            scalar_mod: ["s".to_string()].into(),
+            premature_exit: false,
+            reductions: ["s".to_string()].into(),
+            live_after: ["a".to_string()].into(),
+            overlaid: BTreeSet::new(),
+            degraded: false,
+            range_notes: vec![
+                RangeNote::Refute {
+                    cond: "m > 0".to_string(),
+                    always: true,
+                },
+                RangeNote::Compare {
+                    lhs: "m".to_string(),
+                    rhs: "100".to_string(),
+                    detail: "m in [50, 60]".to_string(),
+                    result: "lt".to_string(),
+                },
+            ],
+            range_bounds: [("m".to_string(), (Some(50), Some(60)))].into(),
+        };
+        CachedRoutine {
+            summary,
+            loops: vec![(0, la)],
+            nodes_processed: 42,
+            loops_analyzed: 3,
+            peak_state_size: 17,
+            summary_size: 9,
+        }
+    }
+
+    #[test]
+    fn empty_entry_roundtrips() {
+        assert_roundtrip(&CachedRoutine {
+            summary: Summary::new(),
+            loops: Vec::new(),
+            nodes_processed: 0,
+            loops_analyzed: 0,
+            peak_state_size: 0,
+            summary_size: 0,
+        });
+    }
+
+    #[test]
+    fn rich_entry_roundtrips() {
+        assert_roundtrip(&rich_entry());
+    }
+
+    #[test]
+    fn forall_and_bool_atoms_roundtrip() {
+        let p = Pred::from_disjs(
+            [
+                Disj::unit(Atom::ForallCond {
+                    template: CondTemplate::new("$0 > cut"),
+                    lo: e("1"),
+                    hi: e("n"),
+                    deps: vec![Name::new("cut")],
+                    positive: false,
+                }),
+                Disj::unit(Atom::Bool(Name::new("flag"), true)),
+            ],
+            true,
+        );
+        let mut entry = rich_entry();
+        entry.summary.mods.insert(
+            "c".to_string(),
+            GarList::single(Gar::new(p, Region::unknown(1))),
+        );
+        assert_roundtrip(&entry);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let bytes = encode_entry(&rich_entry());
+        for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_entry(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let mut bytes = encode_entry(&rich_entry());
+        bytes.push(0);
+        assert!(decode_entry(&bytes).is_err());
+    }
+
+    #[test]
+    fn flipped_bytes_never_panic() {
+        let bytes = encode_entry(&rich_entry());
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x41;
+            // Either decodes (harmlessly different value) or errors;
+            // must never panic.
+            let _ = decode_entry(&b);
+        }
+    }
+
+    #[test]
+    fn absurd_count_is_rejected_without_allocation() {
+        let mut e = Enc::new();
+        e.u32(u32::MAX); // claims ~4 billion map entries
+        assert!(decode_entry(&e.into_bytes()).is_err());
+    }
+}

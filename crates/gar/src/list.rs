@@ -37,6 +37,16 @@ impl GarList {
         .simplified()
     }
 
+    /// Rebuilds a list from GARs that already went through
+    /// [`GarList::simplified`] (as returned by [`GarList::gars`]),
+    /// skipping re-simplification. Used by persistence layers that must
+    /// reproduce a previously observed value byte-for-byte — running
+    /// the simplifier again is not guaranteed to be a fixed point for
+    /// every input, and the cache contract is exact replay.
+    pub fn from_simplified(gars: Vec<Gar>) -> GarList {
+        GarList { gars }
+    }
+
     /// The pieces.
     pub fn gars(&self) -> &[Gar] {
         &self.gars

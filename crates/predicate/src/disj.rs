@@ -22,6 +22,15 @@ impl Disj {
         Disj { atoms: v }
     }
 
+    /// Rebuilds a disjunction from atoms that are *already canonical*
+    /// (as returned by [`Disj::atoms`]), without re-canonicalizing,
+    /// sorting, or deduplicating. Used by persistence layers that must
+    /// reproduce a previously observed value byte-for-byte; feeding it
+    /// non-canonical atoms breaks `Eq`/`Ord` invariants.
+    pub fn from_canonical_atoms(atoms: Vec<Atom>) -> Self {
+        Disj { atoms }
+    }
+
     /// A single-atom disjunction.
     pub fn unit(atom: Atom) -> Self {
         Disj {

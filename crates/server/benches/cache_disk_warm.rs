@@ -1,0 +1,77 @@
+//! The persistent-cache payoff claim: a fresh process warmed only from
+//! disk (`--cache-dir`) must land between a cold analysis and a
+//! memory-warm one — it pays segment reads and wire decoding, but not
+//! the dataflow recomputation. Three points on that curve:
+//!
+//! * `cold`           — no cache at all;
+//! * `memory_warm`    — the in-process `MemoryCache` hit path;
+//! * `disk_warm_fresh_process` — a brand-new `TieredCache` (empty
+//!   memory tier) over a pre-populated directory per iteration, the
+//!   stand-in for a daemon restart.
+
+use benchsuite::kernels;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::{DiskCache, MemoryCache, SummaryCache, TieredCache};
+use panorama::{analyze_source, analyze_source_with_cache, Options};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn suite_source() -> String {
+    kernels()
+        .iter()
+        .map(|k| k.source)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn bench_cache_disk_warm(c: &mut Criterion) {
+    let src = suite_source();
+    let dir = std::env::temp_dir().join(format!("panostore-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut g = c.benchmark_group("cache_disk_warm");
+    g.sample_size(20);
+
+    g.bench_function("cold", |b| {
+        b.iter(|| analyze_source(black_box(&src), Options::default()).unwrap())
+    });
+
+    let memory: Arc<dyn SummaryCache> = Arc::new(MemoryCache::new());
+    analyze_source_with_cache(&src, Options::default(), Some(Arc::clone(&memory))).unwrap();
+    g.bench_function("memory_warm", |b| {
+        b.iter(|| {
+            analyze_source_with_cache(
+                black_box(&src),
+                Options::default(),
+                Some(Arc::clone(&memory)),
+            )
+            .unwrap()
+        })
+    });
+
+    // Populate the disk tier once, then measure fresh-instance replay:
+    // every iteration opens the store anew (index rebuild included) and
+    // decodes every summary from its segments.
+    {
+        let tiered: Arc<dyn SummaryCache> = Arc::new(TieredCache::new(
+            MemoryCache::new(),
+            Arc::new(DiskCache::open(dir.clone(), None)),
+        ));
+        analyze_source_with_cache(&src, Options::default(), Some(tiered)).unwrap();
+    }
+    g.bench_function("disk_warm_fresh_process", |b| {
+        b.iter(|| {
+            let tiered: Arc<dyn SummaryCache> = Arc::new(TieredCache::new(
+                MemoryCache::new(),
+                Arc::new(DiskCache::open(dir.clone(), None)),
+            ));
+            analyze_source_with_cache(black_box(&src), Options::default(), Some(tiered)).unwrap()
+        })
+    });
+
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_cache_disk_warm);
+criterion_main!(benches);

@@ -8,6 +8,14 @@
 //!   --socket PATH       serve a Unix socket instead of stdin/stdout
 //!   --no-cache          disable the routine-summary cache
 //!   --cache-capacity N  cap the cache at N routine entries (FIFO)
+//!   --cache-dir PATH    back the cache with a crash-safe persistent
+//!                       tier in PATH, shared across restarts (and, via
+//!                       an advisory lock, across processes); corrupt
+//!                       records are quarantined and IO faults degrade
+//!                       to memory-only — never to failed requests
+//!   --cache-budget-bytes N
+//!                       evict oldest disk segments beyond N total
+//!                       bytes (default 256 MiB)
 //!   --fuel N            default per-request propagation-step budget
 //!   --deadline-ms N     default per-request wall-clock deadline
 //!                       (default 60000; requests override both via
@@ -31,8 +39,9 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: panoramad [--jobs N] [--socket PATH] [--no-cache]\n\
-         \x20                [--cache-capacity N] [--fuel N] [--deadline-ms N] [--metrics]\n\
-         \x20                [--trace-out PATH]"
+         \x20                [--cache-capacity N] [--cache-dir PATH]\n\
+         \x20                [--cache-budget-bytes N] [--fuel N] [--deadline-ms N]\n\
+         \x20                [--metrics] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -57,6 +66,16 @@ fn main() -> ExitCode {
             "--jobs" => config.jobs = num("--jobs").max(1),
             "--cache-capacity" => config.cache = Some(Some(num("--cache-capacity"))),
             "--no-cache" => config.cache = None,
+            "--cache-dir" => match args.next() {
+                Some(p) => config.cache_dir = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-dir needs a path");
+                    usage();
+                }
+            },
+            "--cache-budget-bytes" => {
+                config.cache_budget_bytes = Some(num("--cache-budget-bytes") as u64)
+            }
             "--fuel" => config.limits.steps = Some(num("--fuel") as u64),
             "--deadline-ms" => config.limits.deadline_ms = Some(num("--deadline-ms") as u64),
             "--socket" => match args.next() {
@@ -97,7 +116,12 @@ fn main() -> ExitCode {
         }
     };
     if metrics {
-        eprint!("{}", daemon.metrics().render(daemon.cache_counters()));
+        eprint!(
+            "{}",
+            daemon
+                .metrics()
+                .render(daemon.cache_counters(), daemon.disk_snapshot())
+        );
     }
     if let (Some(path), Some(reg)) = (&trace_out, &registry) {
         if let Err(e) = std::fs::write(path, reg.chrome_trace()) {

@@ -26,7 +26,9 @@ pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
 
-use dataflow::{CacheCounters, MemoryCache, SummaryCache};
+use dataflow::{
+    CacheCounters, DiskCache, DiskTierSnapshot, MemoryCache, SummaryCache, TieredCache,
+};
 use metrics::Metrics;
 use panorama::{driver, FuelLimits};
 use protocol::{
@@ -53,6 +55,13 @@ pub struct Config {
     /// Summary cache: `None` disables caching, `Some(None)` is
     /// unbounded, `Some(Some(n))` keeps at most `n` routine entries.
     pub cache: Option<Option<usize>>,
+    /// Persistent cache directory: when set (and `cache` is enabled),
+    /// the in-memory cache is backed by a crash-safe disk tier shared
+    /// across daemon restarts (see [`dataflow::panostore`]). IO faults
+    /// degrade the tier to memory-only; they never fail requests.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget for the disk tier (`None` = panostore default).
+    pub cache_budget_bytes: Option<u64>,
     /// Daemon-wide analysis budgets; per-request `fuel`/`timeout_ms`
     /// fields override them field by field. The default carries a
     /// 60-second wall-clock deadline so one pathological program
@@ -65,6 +74,8 @@ impl Default for Config {
         Config {
             jobs: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             cache: Some(None),
+            cache_dir: None,
+            cache_budget_bytes: None,
             limits: FuelLimits {
                 deadline_ms: Some(60_000),
                 ..FuelLimits::unlimited()
@@ -86,9 +97,22 @@ pub struct Daemon {
 impl Daemon {
     /// Builds a daemon from a configuration.
     pub fn new(config: Config) -> Daemon {
-        let cache: Option<Arc<dyn SummaryCache>> = config.cache.map(|cap| match cap {
-            None => Arc::new(MemoryCache::new()) as Arc<dyn SummaryCache>,
-            Some(n) => Arc::new(MemoryCache::with_capacity(n)) as Arc<dyn SummaryCache>,
+        let cache: Option<Arc<dyn SummaryCache>> = config.cache.map(|cap| {
+            let memory = match cap {
+                None => MemoryCache::new(),
+                Some(n) => MemoryCache::with_capacity(n),
+            };
+            match &config.cache_dir {
+                // `DiskCache::open` is infallible by contract: a
+                // poisoned or unwritable directory yields a disabled
+                // tier (visible in stats as `disk_disabled`), and the
+                // daemon serves memory-only, byte-identically.
+                Some(dir) => {
+                    let disk = Arc::new(DiskCache::open(dir.clone(), config.cache_budget_bytes));
+                    Arc::new(TieredCache::new(memory, disk)) as Arc<dyn SummaryCache>
+                }
+                None => Arc::new(memory) as Arc<dyn SummaryCache>,
+            }
         });
         Daemon {
             jobs: config.jobs.max(1),
@@ -118,6 +142,11 @@ impl Daemon {
         self.cache.as_ref().map(|c| c.counters())
     }
 
+    /// Disk-tier snapshot (`None` without `--cache-dir`).
+    pub fn disk_snapshot(&self) -> Option<DiskTierSnapshot> {
+        self.cache.as_ref().and_then(|c| c.disk())
+    }
+
     /// Serves one NDJSON stream: reads request lines from `input` until
     /// EOF or `{"cmd": "shutdown"}`, writes response lines to `output`
     /// in request order. Returns `true` if a shutdown command ended the
@@ -131,7 +160,7 @@ impl Daemon {
         let queue: Queue<Result<Request, String>> = Queue::default();
         let emitter = Emitter::new(output);
         let mut shutdown = false;
-        let (io_err, total) = crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let (queue_ref, emitter_ref) = (&queue, &emitter);
             let workers: Vec<_> = (0..self.jobs)
                 .map(|w| scope.spawn(move |_| self.worker(w, queue_ref, emitter_ref)))
@@ -170,8 +199,20 @@ impl Daemon {
                 let _ = w.join();
             }
             (read_error, seq)
-        })
-        .expect("scheduler scope");
+        });
+        // The scope errs only if a worker thread died through both
+        // panic barriers (`worker` catches its loop, the loop catches
+        // each job). Rather than poisoning the daemon with a panic,
+        // surface it as a stream error — socket mode drops just this
+        // connection, stdin mode exits with a message.
+        let (io_err, total) = match scope_result {
+            Ok(v) => v,
+            Err(_) => {
+                return Err(std::io::Error::other(
+                    "scheduler scope failed: worker thread died outside the panic barriers",
+                ))
+            }
+        };
         if let Some(e) = io_err {
             return Err(e);
         }
@@ -273,12 +314,16 @@ impl Daemon {
                 trace,
                 emit,
             }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace, emit),
-            Ok(Request::Stats { id }) => {
-                stats_response(&id, self.metrics.snapshot(self.cache_counters()))
-            }
-            Ok(Request::Metrics { id }) => {
-                metrics_response(&id, self.metrics.prometheus(self.cache_counters()))
-            }
+            Ok(Request::Stats { id }) => stats_response(
+                &id,
+                self.metrics
+                    .snapshot(self.cache_counters(), self.disk_snapshot()),
+            ),
+            Ok(Request::Metrics { id }) => metrics_response(
+                &id,
+                self.metrics
+                    .prometheus(self.cache_counters(), self.disk_snapshot()),
+            ),
             // Shutdown never reaches the queue (the reader stops on it).
             Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
             Err(msg) => {
@@ -376,24 +421,38 @@ impl Daemon {
         if roots.len() < 2 {
             return;
         }
-        crossbeam::thread::scope(|scope| {
+        let result = crossbeam::thread::scope(|scope| {
             for root in roots {
                 let (program, sema, graph) = (&program, &sema, &graph);
                 let cache = Arc::clone(cache);
+                let metrics = Arc::clone(&self.metrics);
                 scope.spawn(move |_| {
-                    let reach = reachable(&sema.call_graph, root);
-                    let mut az =
-                        dataflow::Analyzer::with_cache(program, sema, graph, opts, Some(cache));
-                    // Bottom-up order keeps every summarization extent
-                    // self-contained, so each routine becomes a cache
-                    // entry (see `Analyzer::summarize_routine`).
-                    for name in sema.bottom_up.iter().filter(|n| reach.contains(n.as_str())) {
-                        az.summarize_routine(name);
+                    // Warming is best-effort: a panic here loses only
+                    // this root's warm-up — the real analysis redoes
+                    // the work under the per-job isolation barrier and
+                    // reports the fault in stream position.
+                    let warmed = catch_unwind(AssertUnwindSafe(|| {
+                        let reach = reachable(&sema.call_graph, root);
+                        let mut az =
+                            dataflow::Analyzer::with_cache(program, sema, graph, opts, Some(cache));
+                        // Bottom-up order keeps every summarization extent
+                        // self-contained, so each routine becomes a cache
+                        // entry (see `Analyzer::summarize_routine`).
+                        for name in sema.bottom_up.iter().filter(|n| reach.contains(n.as_str())) {
+                            az.summarize_routine(name);
+                        }
+                    }));
+                    if warmed.is_err() {
+                        metrics.record_panic();
                     }
                 });
             }
-        })
-        .expect("warmup scope");
+        });
+        // Unreachable with the catch_unwind above, but a scope failure
+        // must not take the worker down for a best-effort warm-up.
+        if result.is_err() {
+            self.metrics.record_panic();
+        }
     }
 }
 

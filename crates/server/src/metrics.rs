@@ -3,7 +3,7 @@
 //! the `{"cmd": "stats"}` request, exported as Prometheus text by
 //! `{"cmd": "metrics"}` and dumped at shutdown under `--metrics`.
 
-use dataflow::CacheCounters;
+use dataflow::{CacheCounters, DiskTierSnapshot};
 use panorama::PhaseTimes;
 use serde::Value;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -265,17 +265,39 @@ impl Metrics {
 
     /// The stats snapshot as a JSON object (the `"stats"` payload of a
     /// `{"cmd": "stats"}` response).
-    pub fn snapshot(&self, cache: Option<CacheCounters>) -> Value {
+    pub fn snapshot(&self, cache: Option<CacheCounters>, disk: Option<DiskTierSnapshot>) -> Value {
         let load = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
         let cache_obj = match cache {
             None => Value::Null,
-            Some(c) => Value::Object(vec![
-                ("hits".to_string(), Value::UInt(c.hits)),
-                ("misses".to_string(), Value::UInt(c.misses)),
-                ("entries".to_string(), Value::UInt(c.entries as u64)),
-                ("evictions".to_string(), Value::UInt(c.evictions)),
-                ("hit_ratio".to_string(), Value::Float(c.hit_ratio())),
-            ]),
+            Some(c) => {
+                let mut fields = vec![
+                    ("hits".to_string(), Value::UInt(c.hits)),
+                    ("misses".to_string(), Value::UInt(c.misses)),
+                    ("entries".to_string(), Value::UInt(c.entries as u64)),
+                    ("evictions".to_string(), Value::UInt(c.evictions)),
+                    ("hit_ratio".to_string(), Value::Float(c.hit_ratio())),
+                ];
+                if let Some(d) = &disk {
+                    fields.extend([
+                        ("disk_hits".to_string(), Value::UInt(d.disk_hits)),
+                        ("disk_misses".to_string(), Value::UInt(d.disk_misses)),
+                        ("quarantined".to_string(), Value::UInt(d.quarantined)),
+                        ("write_errors".to_string(), Value::UInt(d.write_errors)),
+                        ("bytes_on_disk".to_string(), Value::UInt(d.bytes_on_disk)),
+                        ("disk_entries".to_string(), Value::UInt(d.entries as u64)),
+                        ("disk_segments".to_string(), Value::UInt(d.segments as u64)),
+                        ("disk_evictions".to_string(), Value::UInt(d.evictions)),
+                        (
+                            "disk_disabled".to_string(),
+                            match &d.disabled {
+                                None => Value::Null,
+                                Some(reason) => Value::Str(reason.clone()),
+                            },
+                        ),
+                    ]);
+                }
+                Value::Object(fields)
+            }
         };
         Value::Object(vec![
             (
@@ -343,7 +365,11 @@ impl Metrics {
 
     /// The metrics in Prometheus text exposition format (the `"metrics"`
     /// payload of a `{"cmd": "metrics"}` response).
-    pub fn prometheus(&self, cache: Option<CacheCounters>) -> String {
+    pub fn prometheus(
+        &self,
+        cache: Option<CacheCounters>,
+        disk: Option<DiskTierSnapshot>,
+    ) -> String {
         let mut out = String::new();
         out.push_str("# TYPE panorama_requests_total counter\n");
         for (outcome, c) in [
@@ -393,6 +419,28 @@ impl Metrics {
             out.push_str("# TYPE panorama_cache_entries gauge\n");
             out.push_str(&format!("panorama_cache_entries {}\n", c.entries));
         }
+        if let Some(d) = disk {
+            for (name, v) in [
+                ("panorama_cache_disk_hits_total", d.disk_hits),
+                ("panorama_cache_disk_misses_total", d.disk_misses),
+                ("panorama_cache_disk_quarantined_total", d.quarantined),
+                ("panorama_cache_disk_write_errors_total", d.write_errors),
+                ("panorama_cache_disk_evictions_total", d.evictions),
+            ] {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            for (name, v) in [
+                ("panorama_cache_disk_bytes", d.bytes_on_disk),
+                ("panorama_cache_disk_entries", d.entries as u64),
+                ("panorama_cache_disk_segments", d.segments as u64),
+                (
+                    "panorama_cache_disk_disabled",
+                    u64::from(d.disabled.is_some()),
+                ),
+            ] {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+        }
         out.push_str("# TYPE panorama_phase_latency_microseconds histogram\n");
         for (phase, h) in self.phase_hist.phases() {
             h.prometheus_into(&mut out, "panorama_phase_latency_microseconds", phase);
@@ -401,7 +449,7 @@ impl Metrics {
     }
 
     /// Renders the shutdown summary printed to stderr under `--metrics`.
-    pub fn render(&self, cache: Option<CacheCounters>) -> String {
+    pub fn render(&self, cache: Option<CacheCounters>, disk: Option<DiskTierSnapshot>) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "panoramad: {} completed, {} failed, {} oracle runs, peak queue {}\n",
@@ -426,6 +474,15 @@ impl Metrics {
                 c.evictions,
             )),
             None => out.push_str("panoramad: cache disabled\n"),
+        }
+        if let Some(d) = disk {
+            out.push_str(&format!(
+                "panoramad: disk cache {} hits / {} misses, {} quarantined, {} write errors, {} bytes in {} segments\n",
+                d.disk_hits, d.disk_misses, d.quarantined, d.write_errors, d.bytes_on_disk, d.segments,
+            ));
+            if let Some(reason) = &d.disabled {
+                out.push_str(&format!("panoramad: disk cache disabled: {reason}\n"));
+            }
         }
         let lint_counts: Vec<String> = panorama::LintCode::ALL
             .iter()
@@ -487,12 +544,15 @@ mod tests {
         m.record_degraded(Some(panorama::DegradeReason::Deadline));
         m.record_degraded(Some(panorama::DegradeReason::FuelExhausted));
         m.record_panic();
-        let s = m.snapshot(Some(CacheCounters {
-            hits: 3,
-            misses: 1,
-            entries: 2,
-            evictions: 0,
-        }));
+        let s = m.snapshot(
+            Some(CacheCounters {
+                hits: 3,
+                misses: 1,
+                entries: 2,
+                evictions: 0,
+            }),
+            None,
+        );
         assert_eq!(
             s.get("requests").unwrap().get("completed").unwrap(),
             &Value::UInt(1)
@@ -519,8 +579,57 @@ mod tests {
             &Value::UInt(3)
         );
         let m2 = Metrics::default();
-        assert!(m2.snapshot(None).get("cache").unwrap().is_null());
-        assert!(!m2.render(None).is_empty());
+        assert!(m2.snapshot(None, None).get("cache").unwrap().is_null());
+        assert!(!m2.render(None, None).is_empty());
+    }
+
+    #[test]
+    fn disk_tier_shows_up_in_all_three_surfaces() {
+        let m = Metrics::default();
+        let counters = CacheCounters {
+            hits: 1,
+            misses: 1,
+            entries: 1,
+            evictions: 0,
+        };
+        let disk = DiskTierSnapshot {
+            disk_hits: 5,
+            disk_misses: 2,
+            quarantined: 1,
+            write_errors: 3,
+            bytes_on_disk: 4096,
+            segments: 2,
+            entries: 7,
+            evictions: 1,
+            disabled: Some("disk is on fire".to_string()),
+        };
+        let s = m.snapshot(Some(counters), Some(disk.clone()));
+        let cache = s.get("cache").unwrap();
+        assert_eq!(cache.get("disk_hits").unwrap(), &Value::UInt(5));
+        assert_eq!(cache.get("disk_misses").unwrap(), &Value::UInt(2));
+        assert_eq!(cache.get("quarantined").unwrap(), &Value::UInt(1));
+        assert_eq!(cache.get("write_errors").unwrap(), &Value::UInt(3));
+        assert_eq!(cache.get("bytes_on_disk").unwrap(), &Value::UInt(4096));
+        assert_eq!(
+            cache.get("disk_disabled").unwrap(),
+            &Value::Str("disk is on fire".to_string())
+        );
+        let text = m.prometheus(Some(counters), Some(disk.clone()));
+        assert!(text.contains("panorama_cache_disk_hits_total 5\n"));
+        assert!(text.contains("panorama_cache_disk_quarantined_total 1\n"));
+        assert!(text.contains("panorama_cache_disk_write_errors_total 3\n"));
+        assert!(text.contains("panorama_cache_disk_bytes 4096\n"));
+        assert!(text.contains("panorama_cache_disk_disabled 1\n"));
+        let rendered = m.render(Some(counters), Some(disk));
+        assert!(rendered.contains("disk cache 5 hits / 2 misses"));
+        assert!(rendered.contains("disk cache disabled: disk is on fire"));
+        // No disk tier → no disk series, and the memory-only cache
+        // object carries no disk keys.
+        assert!(!m
+            .prometheus(Some(counters), None)
+            .contains("panorama_cache_disk_"));
+        let s2 = m.snapshot(Some(counters), None);
+        assert!(s2.get("cache").unwrap().get("disk_hits").is_none());
     }
 
     #[test]
@@ -568,12 +677,15 @@ mod tests {
         };
         m.record_analysis(&times, 7, false);
         m.record_failure();
-        let text = m.prometheus(Some(CacheCounters {
-            hits: 3,
-            misses: 1,
-            entries: 2,
-            evictions: 0,
-        }));
+        let text = m.prometheus(
+            Some(CacheCounters {
+                hits: 3,
+                misses: 1,
+                entries: 2,
+                evictions: 0,
+            }),
+            None,
+        );
         assert!(text.contains("panorama_requests_total{outcome=\"completed\"} 1\n"));
         assert!(text.contains("panorama_requests_total{outcome=\"failed\"} 1\n"));
         assert!(text.contains("panorama_cache_hits_total 3\n"));
@@ -592,9 +704,9 @@ mod tests {
             "panorama_phase_latency_microseconds_bucket{phase=\"dataflow\",le=\"1024\"} 1\n"
         ));
         // No cache → no cache series.
-        assert!(!m.prometheus(None).contains("panorama_cache_"));
+        assert!(!m.prometheus(None, None).contains("panorama_cache_"));
         // The snapshot carries the same histograms.
-        let snap = m.snapshot(None);
+        let snap = m.snapshot(None, None);
         let hist = snap
             .get("phase_histograms_us")
             .unwrap()

@@ -151,6 +151,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
+/// Renders a response object as its NDJSON line. Serializing a `Value`
+/// cannot fail in practice (every string is already valid UTF-8 and the
+/// tree is finite), but a response line must go out in stream position
+/// no matter what — a panic here would silently drop the response and
+/// desynchronize the client — so the impossible case degrades to a
+/// well-formed error line instead of unwinding.
+fn response_line(obj: &Value) -> String {
+    serde_json::to_string(obj).unwrap_or_else(|e| {
+        format!("{{\"id\": null, \"ok\": false, \"error\": \"internal: cannot serialize response: {e}\"}}")
+    })
+}
+
 /// A successful analysis response line.
 pub fn ok_response(id: &Value, report: Value) -> String {
     let obj = Value::Object(vec![
@@ -158,7 +170,7 @@ pub fn ok_response(id: &Value, report: Value) -> String {
         ("ok".to_string(), Value::Bool(true)),
         ("report".to_string(), report),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 /// A successful analysis response line with the request's span tree
@@ -170,7 +182,7 @@ pub fn traced_response(id: &Value, report: Value, trace: Value) -> String {
         ("report".to_string(), report),
         ("trace".to_string(), trace),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 /// A Prometheus-text metrics response line.
@@ -180,7 +192,7 @@ pub fn metrics_response(id: &Value, text: String) -> String {
         ("ok".to_string(), Value::Bool(true)),
         ("metrics".to_string(), Value::Str(text)),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 /// A stats snapshot response line.
@@ -190,7 +202,7 @@ pub fn stats_response(id: &Value, stats: Value) -> String {
         ("ok".to_string(), Value::Bool(true)),
         ("stats".to_string(), stats),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 /// The response line for a request whose worker panicked: the panic is
@@ -209,7 +221,7 @@ pub fn panic_response(id: &Value, message: &str) -> String {
             ]),
         ),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 /// An error response line.
@@ -219,7 +231,7 @@ pub fn error_response(id: &Value, message: &str) -> String {
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::Str(message.to_string())),
     ]);
-    serde_json::to_string(&obj).expect("serialize response")
+    response_line(&obj)
 }
 
 #[cfg(test)]

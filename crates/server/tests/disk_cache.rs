@@ -1,0 +1,287 @@
+//! The persistent summary-cache tier through the daemon: `--cache-dir`
+//! warm restarts replay reports byte-identically, the stats/metrics
+//! surfaces carry the disk counters, and injected disk faults degrade
+//! the tier — never a request, never the stream.
+
+use panoramad::{Config, Daemon};
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Failpoint configuration is process-global: tests that install one
+/// must not interleave.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+fn fp_lock() -> std::sync::MutexGuard<'static, ()> {
+    FP_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct FpGuard;
+impl Drop for FpGuard {
+    fn drop(&mut self) {
+        failpoints::clear();
+    }
+}
+
+/// A private scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "panoramad-diskcache-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A program with a called subroutine, so summarization produces cache
+/// entries (the summary cache is keyed per routine).
+const SRC: &str = "      PROGRAM main\n      REAL a(100), b(100)\n      INTEGER i, m\n      m = 40\n      DO i = 1, m\n        CALL fill(a, b, i, m)\n      ENDDO\n      END\n      SUBROUTINE fill(x, y, j, n)\n      REAL x(100), y(100)\n      INTEGER j, n, k\n      DO k = 1, n\n        IF (k .LT. j) THEN\n          x(k) = y(k) + 1.0\n        ENDIF\n        y(k) = x(k) * 2.0\n      ENDDO\n      END\n";
+
+fn daemon_with_dir(dir: Option<PathBuf>) -> Daemon {
+    Daemon::new(Config {
+        jobs: 1,
+        cache_dir: dir,
+        ..Config::default()
+    })
+}
+
+fn analyze_line(id: u64) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("id".to_string(), Value::Int(id as i64)),
+        ("source".to_string(), Value::Str(SRC.to_string())),
+    ]))
+    .unwrap()
+}
+
+/// Serves `input` and returns the raw response lines (byte-identity is
+/// the contract under test, so no JSON round-tripping here).
+fn serve_raw(daemon: &Daemon, input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    daemon
+        .serve(std::io::Cursor::new(input.to_string()), &mut out)
+        .expect("serve");
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn serve_values(daemon: &Daemon, input: &str) -> Vec<Value> {
+    serve_raw(daemon, input)
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect()
+}
+
+/// Warm restart: a fresh daemon over a directory populated by an
+/// earlier daemon serves the same report **byte-identically** to an
+/// uncached daemon, and its summaries come from disk.
+#[test]
+fn warm_restart_replays_byte_identical_reports_from_disk() {
+    if failpoints::env_active() {
+        return; // the CI matrix drives the env-injection test below
+    }
+    let _serial = fp_lock();
+    let scratch = Scratch::new("warm");
+
+    let baseline = serve_raw(
+        &Daemon::new(Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        }),
+        &(analyze_line(1) + "\n"),
+    );
+
+    // Cold daemon populates the disk tier.
+    let cold = daemon_with_dir(Some(scratch.path()));
+    let cold_lines = serve_raw(&cold, &(analyze_line(1) + "\n"));
+    assert_eq!(cold_lines, baseline, "cold cached run diverged");
+    let snap = cold.disk_snapshot().expect("disk tier");
+    assert!(snap.disabled.is_none(), "{snap:?}");
+    assert!(snap.entries > 0, "nothing persisted: {snap:?}");
+
+    // Fresh daemon, same directory: the report is byte-identical and
+    // the summaries were fed from disk.
+    let warm = daemon_with_dir(Some(scratch.path()));
+    let warm_lines = serve_raw(&warm, &(analyze_line(1) + "\n"));
+    assert_eq!(warm_lines, baseline, "warm-from-disk run diverged");
+    let snap = warm.disk_snapshot().expect("disk tier");
+    assert!(snap.disk_hits > 0, "no disk hits: {snap:?}");
+    assert_eq!(snap.quarantined, 0, "{snap:?}");
+}
+
+/// The disk counters ride `{"cmd": "stats"}` and `{"cmd": "metrics"}`.
+#[test]
+fn stats_and_metrics_surface_disk_counters() {
+    if failpoints::env_active() {
+        return;
+    }
+    let _serial = fp_lock();
+    let scratch = Scratch::new("stats");
+    let daemon = daemon_with_dir(Some(scratch.path()));
+    let input = format!(
+        "{}\n{}\n{}\n",
+        analyze_line(1),
+        r#"{"id": "s", "cmd": "stats"}"#,
+        r#"{"id": "m", "cmd": "metrics"}"#
+    );
+    let responses = serve_values(&daemon, &input);
+    assert_eq!(responses.len(), 3);
+    let cache = responses[1].get("stats").unwrap().get("cache").unwrap();
+    for key in [
+        "disk_hits",
+        "disk_misses",
+        "quarantined",
+        "write_errors",
+        "bytes_on_disk",
+    ] {
+        assert!(
+            cache.get(key).is_some(),
+            "stats cache lacks {key}: {cache:?}"
+        );
+    }
+    assert!(cache.get("bytes_on_disk").unwrap().as_u64().unwrap() > 0);
+    assert!(cache.get("disk_disabled").unwrap().is_null(), "{cache:?}");
+    let text = responses[2]
+        .get("metrics")
+        .and_then(Value::as_str)
+        .expect("metrics text");
+    for series in [
+        "panorama_cache_disk_hits_total",
+        "panorama_cache_disk_misses_total",
+        "panorama_cache_disk_quarantined_total",
+        "panorama_cache_disk_write_errors_total",
+        "panorama_cache_disk_bytes",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    // Without --cache-dir, none of the disk series exist.
+    let plain = daemon_with_dir(None);
+    let responses = serve_values(&plain, &format!("{}\n", r#"{"id": "m", "cmd": "metrics"}"#));
+    let text = responses[0].get("metrics").and_then(Value::as_str).unwrap();
+    assert!(!text.contains("panorama_cache_disk_"), "{text}");
+}
+
+/// A persistent write fault degrades the tier to memory-only with a
+/// structured reason; every request still succeeds, byte-identically
+/// to an uncached daemon.
+#[test]
+fn disk_write_fault_degrades_tier_not_requests() {
+    if failpoints::env_active() {
+        return;
+    }
+    let _serial = fp_lock();
+    let _reset = FpGuard;
+    let scratch = Scratch::new("wfault");
+    let baseline = serve_raw(
+        &Daemon::new(Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        }),
+        &format!("{}\n{}\n", analyze_line(1), analyze_line(2)),
+    );
+
+    failpoints::configure("disk-write=err(disk is on fire)");
+    let daemon = daemon_with_dir(Some(scratch.path()));
+    let lines = serve_raw(
+        &daemon,
+        &format!("{}\n{}\n", analyze_line(1), analyze_line(2)),
+    );
+    assert_eq!(lines, baseline, "degraded run diverged from --no-cache");
+    let snap = daemon.disk_snapshot().expect("disk tier");
+    assert!(snap.write_errors >= 1, "{snap:?}");
+    let reason = snap.disabled.as_deref().expect("tier disabled");
+    assert!(reason.contains("disk is on fire"), "{reason}");
+}
+
+/// Read faults over a warm directory are misses (or quarantines), never
+/// failures: the daemon re-analyzes and the stream stays well formed.
+#[test]
+fn disk_read_fault_is_a_miss_not_a_failure() {
+    if failpoints::env_active() {
+        return;
+    }
+    let _serial = fp_lock();
+    let scratch = Scratch::new("rfault");
+    {
+        let cold = daemon_with_dir(Some(scratch.path()));
+        serve_raw(&cold, &(analyze_line(1) + "\n"));
+        assert!(cold.disk_snapshot().unwrap().entries > 0);
+    }
+    let _reset = FpGuard;
+    failpoints::configure("disk-read=err");
+    let warm = daemon_with_dir(Some(scratch.path()));
+    let responses = serve_values(
+        &warm,
+        &format!("{}\n{}\n", analyze_line(1), analyze_line(2)),
+    );
+    assert_eq!(responses.len(), 2);
+    for r in &responses {
+        assert_eq!(r.get("ok").unwrap(), &Value::Bool(true), "{r:?}");
+    }
+}
+
+/// A cache path that cannot exist (a directory under a regular file)
+/// yields a disabled tier with a structured reason — the daemon serves
+/// normally.
+#[test]
+fn poisoned_cache_dir_is_never_fatal() {
+    if failpoints::env_active() {
+        return;
+    }
+    let _serial = fp_lock();
+    let scratch = Scratch::new("poison");
+    std::fs::create_dir_all(scratch.path()).unwrap();
+    let file = scratch.path().join("not-a-dir");
+    std::fs::write(&file, b"plain file").unwrap();
+    let daemon = daemon_with_dir(Some(file.join("cache")));
+    let responses = serve_values(&daemon, &(analyze_line(1) + "\n"));
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].get("ok").unwrap(), &Value::Bool(true));
+    let snap = daemon.disk_snapshot().expect("snapshot even when disabled");
+    assert!(snap.disabled.is_some(), "{snap:?}");
+}
+
+/// The CI `cache-crash-matrix` entry point: with `FAILPOINTS` armed at
+/// any disk site, a daemon with a cache directory must keep every
+/// response well formed and in order, and a reopen of the same
+/// directory must come up clean. Without the environment this is a
+/// smoke test of the same contract.
+#[test]
+fn cache_dir_stream_stays_well_formed_under_env_injection() {
+    let _serial = fp_lock();
+    let scratch = Scratch::new("env");
+    for round in 0..2 {
+        let daemon = daemon_with_dir(Some(scratch.path()));
+        let n = 4u64;
+        let input: String = (1..=n).map(|i| analyze_line(i) + "\n").collect();
+        let responses = serve_values(&daemon, &input);
+        assert_eq!(responses.len(), n as usize, "round {round}");
+        for (expect, r) in (1u64..).zip(responses.iter()) {
+            assert!(r.get("ok").is_some(), "round {round}: {r:?}");
+            if let Some(got) = r.get("id").unwrap().as_u64() {
+                assert_eq!(got, expect, "round {round}: {responses:?}");
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! actions := action ("->" action)*
 //! action  := [count "*"] kind
 //! kind    := "off" | "panic" | "panic(" selector ")" | "sleep(" millis ")"
+//!          | "err" | "err(" message ")"
 //! ```
 //!
 //! An action with a `count` fires that many times before the chain
@@ -25,6 +26,12 @@
 //! contains the selector, which lets a test target one request out of
 //! many. Evaluations that don't match the selector do not consume the
 //! action's count.
+//!
+//! The `err` kind only has an effect at [`fail_point_io`] sites, where
+//! it returns an injected [`std::io::Error`]; plain [`fail_point`]
+//! sites treat it as `off`. This lets IO fault matrices exercise error
+//! paths (short read, failed fsync, lost lock) without a real failing
+//! disk.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -61,6 +68,10 @@ enum Kind {
     Off,
     Panic(Option<String>),
     Sleep(u64),
+    /// Inject an `io::Error` at a [`fail_point_io`] site (no-op at a
+    /// plain [`fail_point`] site). The optional message becomes the
+    /// error's display text.
+    Err(Option<String>),
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -126,6 +137,13 @@ fn parse_action(a: &str) -> Result<Action, String> {
             .parse()
             .map_err(|_| format!("failpoints: bad sleep millis in {a:?}"))?;
         Kind::Sleep(ms)
+    } else if kind_str == "err" {
+        Kind::Err(None)
+    } else if let Some(msg) = kind_str
+        .strip_prefix("err(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        Kind::Err(Some(msg.to_string()))
     } else {
         return Err(format!("failpoints: unknown action {kind_str:?}"));
     };
@@ -182,59 +200,77 @@ fn ensure_env_loaded() {
     }
 }
 
-/// A named injection site. `arg` is caller-chosen context (the source
-/// text, a routine name, …) matched against `panic(selector)` actions.
-/// Inactive sites cost one atomic load.
-pub fn fail_point(name: &str, arg: &str) {
+/// Evaluates a site: fast-path gate, site lookup, selector matching,
+/// count consumption. Returns the kind to act on, or `None` when the
+/// site is inactive.
+fn evaluate(name: &str, arg: &str) -> Option<Kind> {
     if !ACTIVE.load(Ordering::Acquire) {
         // One-time: activation via env happens lazily on the first call
         // after the process set ACTIVE through configure(); env-only
         // processes activate here.
         static ENV_CHECKED: AtomicBool = AtomicBool::new(false);
         if ENV_CHECKED.swap(true, Ordering::AcqRel) {
-            return;
+            return None;
         }
         ensure_env_loaded();
         if !ACTIVE.load(Ordering::Acquire) {
-            return;
+            return None;
         }
     }
-    let action = {
-        let mut reg = lock();
-        ensure_env_loaded_in(&mut reg);
-        let reg = &mut *reg;
-        let sites = if let Some(p) = reg.programmatic.as_mut() {
-            p
-        } else if let Some(e) = reg.env.as_mut() {
-            e
-        } else {
-            return;
-        };
-        let Some(site) = sites.iter_mut().find(|s| s.name == name) else {
-            return;
-        };
-        let Some(head) = site.actions.first_mut() else {
-            return;
-        };
-        // Selector mismatch: the site stays armed, nothing consumed.
-        if let Kind::Panic(Some(sel)) = &head.kind {
-            if !arg.contains(sel.as_str()) {
-                return;
-            }
-        }
-        let kind = head.kind.clone();
-        if let Some(n) = &mut head.remaining {
-            *n -= 1;
-            if *n == 0 {
-                site.actions.remove(0);
-            }
-        }
-        kind
+    let mut reg = lock();
+    ensure_env_loaded_in(&mut reg);
+    let reg = &mut *reg;
+    let sites = match reg.programmatic.as_mut() {
+        Some(p) => p,
+        None => reg.env.as_mut()?,
     };
-    match action {
-        Kind::Off => {}
-        Kind::Sleep(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
-        Kind::Panic(_) => panic!("failpoint {name:?} triggered"),
+    let site = sites.iter_mut().find(|s| s.name == name)?;
+    let head = site.actions.first_mut()?;
+    // Selector mismatch: the site stays armed, nothing consumed.
+    if let Kind::Panic(Some(sel)) = &head.kind {
+        if !arg.contains(sel.as_str()) {
+            return None;
+        }
+    }
+    let kind = head.kind.clone();
+    if let Some(n) = &mut head.remaining {
+        *n -= 1;
+        if *n == 0 {
+            site.actions.remove(0);
+        }
+    }
+    Some(kind)
+}
+
+/// A named injection site. `arg` is caller-chosen context (the source
+/// text, a routine name, …) matched against `panic(selector)` actions.
+/// Inactive sites cost one atomic load. `err` actions are no-ops here —
+/// a plain site has no error channel to return them through.
+pub fn fail_point(name: &str, arg: &str) {
+    match evaluate(name, arg) {
+        None | Some(Kind::Off) | Some(Kind::Err(_)) => {}
+        Some(Kind::Sleep(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(Kind::Panic(_)) => panic!("failpoint {name:?} triggered"),
+    }
+}
+
+/// A named injection site on an IO path. Behaves like [`fail_point`],
+/// and additionally turns an `err` / `err(message)` action into an
+/// injected [`std::io::Error`] (`ErrorKind::Other`) for the caller to
+/// propagate. Inactive sites cost one atomic load and return `Ok(())`.
+pub fn fail_point_io(name: &str, arg: &str) -> std::io::Result<()> {
+    match evaluate(name, arg) {
+        None | Some(Kind::Off) => Ok(()),
+        Some(Kind::Sleep(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(Kind::Panic(_)) => panic!("failpoint {name:?} triggered"),
+        Some(Kind::Err(msg)) => {
+            Err(std::io::Error::other(msg.unwrap_or_else(|| {
+                format!("injected IO failure at failpoint {name:?}")
+            })))
+        }
     }
 }
 
@@ -304,6 +340,37 @@ mod tests {
         let _g = guard();
         let r = std::panic::catch_unwind(|| configure("site=explode"));
         assert!(r.is_err());
+        clear();
+    }
+
+    #[test]
+    fn err_action_injects_io_error_with_message() {
+        let _g = guard();
+        configure("disk=1*err(no space left)->off");
+        let e = fail_point_io("disk", "").unwrap_err();
+        assert_eq!(e.to_string(), "no space left");
+        // Count exhausted: the chain advanced to `off`.
+        assert!(fail_point_io("disk", "").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn err_action_is_inert_at_plain_sites() {
+        let _g = guard();
+        configure("disk=err");
+        fail_point("disk", ""); // must not panic or sleep
+        assert!(fail_point_io("disk", "").is_err());
+        clear();
+    }
+
+    #[test]
+    fn io_site_honors_panic_and_retry_chains() {
+        let _g = guard();
+        configure("w=2*err->off");
+        assert!(fail_point_io("w", "").is_err());
+        assert!(fail_point_io("w", "").is_err());
+        // Third attempt (a retry loop) succeeds.
+        assert!(fail_point_io("w", "").is_ok());
         clear();
     }
 

@@ -1,0 +1,164 @@
+//! Cross-validation of the persistent summary cache (`dataflow::panostore`):
+//! for every benchsuite kernel, the Fig. 1 kernels, the synthetic
+//! scaling program and a fuzz-generator sweep, a **fresh-instance**
+//! run warmed only from disk must emit a report byte-identical to a
+//! cold uncached run. A disk tier that changed any verdict, region,
+//! guard or lint — however slightly — fails here.
+//!
+//! The replay contract is strict byte identity of the serialized JSON
+//! report, not structural equality: the wire codec must reconstruct
+//! every summary exactly (`Disj::from_canonical_atoms` and friends
+//! bypass re-normalization precisely so this holds).
+
+use panorama::{driver, DiskCache, MemoryCache, Options, SummaryCache, TieredCache};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[path = "generator.rs"]
+mod generator;
+use generator::Gen;
+
+/// A private scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "panorama-diskreplay-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiered(dir: &std::path::Path) -> Arc<dyn SummaryCache> {
+    Arc::new(TieredCache::new(
+        MemoryCache::new(),
+        Arc::new(DiskCache::open(dir, None)),
+    ))
+}
+
+/// Renders the canonical report JSON for `src` under `cache`.
+fn report(src: &str, cache: Option<Arc<dyn SummaryCache>>) -> String {
+    let req = driver::Request {
+        source: src,
+        opts: Options::default(),
+        oracle: false,
+        limits: panorama::FuelLimits::unlimited(),
+        trace_spans: false,
+        emit: false,
+    };
+    let out = driver::run_with_cache(&req, cache).expect("analysis");
+    serde_json::to_string(&out.json()).expect("serialize report")
+}
+
+/// Cold (uncached), cold-cached (populating `dir`), then warm from a
+/// fresh tier over the same directory — all three byte-identical.
+fn assert_replay(tag: &str, src: &str, dir: &std::path::Path) {
+    let cold = report(src, None);
+    let populate = report(src, Some(tiered(dir)));
+    assert_eq!(cold, populate, "{tag}: cold cached run diverged");
+    // Fresh instance: empty memory tier, summaries only on disk.
+    let warm_cache = tiered(dir);
+    let warm = report(src, Some(warm_cache.clone()));
+    assert_eq!(cold, warm, "{tag}: warm-from-disk replay diverged");
+    let snap = warm_cache.disk().expect("disk tier snapshot");
+    assert!(snap.disabled.is_none(), "{tag}: tier disabled: {snap:?}");
+    assert_eq!(snap.quarantined, 0, "{tag}: quarantined records: {snap:?}");
+}
+
+#[test]
+fn benchsuite_kernels_replay_byte_identically_from_disk() {
+    let scratch = Scratch::new("bench");
+    let mut disk_was_hit = false;
+    for k in benchsuite::kernels() {
+        let dir = scratch.path().join(k.loop_label.replace('/', "_"));
+        assert_replay(k.loop_label, k.source, &dir);
+        let probe = tiered(&dir);
+        let _ = report(k.source, Some(probe.clone()));
+        disk_was_hit |= probe.disk().expect("tier").disk_hits > 0;
+    }
+    assert!(disk_was_hit, "no benchsuite kernel ever hit the disk tier");
+}
+
+#[test]
+fn fig1_kernels_replay_byte_identically_from_disk() {
+    let scratch = Scratch::new("fig1");
+    for (label, _routine, _var, _arr, src) in benchsuite::fig1_kernels() {
+        assert_replay(label, src, &scratch.path().join(label.replace('/', "_")));
+    }
+}
+
+#[test]
+fn synthetic_program_replays_byte_identically_from_disk() {
+    let scratch = Scratch::new("synthetic");
+    assert_replay(
+        "synthetic",
+        &benchsuite::synthetic_program(6, 48),
+        scratch.path(),
+    );
+}
+
+#[test]
+fn fuzz_corpus_replays_byte_identically_from_disk() {
+    // Seed range disjoint from fuzz_soundness.rs and
+    // differential_oracle.rs, so the three suites jointly cover more of
+    // the generator's space. All seeds share one directory: the store
+    // must replay each program correctly out of a pool of everyone
+    // else's segments (content-addressed keys make this safe).
+    let scratch = Scratch::new("fuzz");
+    for seed in 20_000..20_100u64 {
+        let src = Gen::new(seed).program();
+        assert_replay(&format!("seed {seed}"), &src, scratch.path());
+    }
+}
+
+/// Race-oracle spot check: a warm-from-disk analysis must stay sound
+/// under dynamic cross-validation exactly like a cold one.
+#[test]
+fn warm_replay_stays_sound_under_race_oracle() {
+    let scratch = Scratch::new("oracle");
+    let sources: Vec<(String, String)> = benchsuite::kernels()
+        .iter()
+        .take(4)
+        .map(|k| (k.loop_label.to_string(), k.source.to_string()))
+        .chain(std::iter::once((
+            "seed 20_500".to_string(),
+            Gen::new(20_500).program(),
+        )))
+        .collect();
+    for (tag, src) in &sources {
+        let dir = scratch.path().join(tag.replace(['/', ' '], "_"));
+        // Populate the disk tier cold.
+        let _ = report(src, Some(tiered(&dir)));
+        // Warm fresh-instance run with the oracle on.
+        let req = driver::Request {
+            source: src,
+            opts: Options::default(),
+            oracle: true,
+            limits: panorama::FuelLimits::unlimited(),
+            trace_spans: false,
+            emit: false,
+        };
+        let out = driver::run_with_cache(&req, Some(tiered(&dir))).expect("analysis");
+        let oracle = out.oracle.as_ref().expect("oracle report");
+        assert!(
+            oracle.sound(),
+            "{tag}: warm replay produced a soundness violation"
+        );
+    }
+}
