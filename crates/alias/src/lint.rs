@@ -40,11 +40,20 @@ pub enum LintCode {
     /// `P009` — a DO loop's trip range is provably empty: the body
     /// never executes.
     LoopNeverExecutes,
+    /// `P010` — a local array is read in a region no earlier store may
+    /// have defined: the value is whatever the allocator left there.
+    ReadBeforeWrite,
+    /// `P011` — an array store is completely overwritten before any
+    /// element of it is read.
+    RedundantStore,
+    /// `P012` — an initialization loop whose entire effect is
+    /// overwritten before any read.
+    DeadInitializationLoop,
 }
 
 impl LintCode {
     /// All codes, in code order.
-    pub const ALL: [LintCode; 9] = [
+    pub const ALL: [LintCode; 12] = [
         LintCode::AliasedActuals,
         LintCode::ReshapedAcrossCall,
         LintCode::SliceActual,
@@ -54,6 +63,9 @@ impl LintCode {
         LintCode::InfeasibleGuard,
         LintCode::SubscriptOutOfDeclaredBounds,
         LintCode::LoopNeverExecutes,
+        LintCode::ReadBeforeWrite,
+        LintCode::RedundantStore,
+        LintCode::DeadInitializationLoop,
     ];
 
     /// The stable code, e.g. `"P001"`.
@@ -68,6 +80,9 @@ impl LintCode {
             LintCode::InfeasibleGuard => "P007",
             LintCode::SubscriptOutOfDeclaredBounds => "P008",
             LintCode::LoopNeverExecutes => "P009",
+            LintCode::ReadBeforeWrite => "P010",
+            LintCode::RedundantStore => "P011",
+            LintCode::DeadInitializationLoop => "P012",
         }
     }
 
@@ -83,6 +98,9 @@ impl LintCode {
             LintCode::InfeasibleGuard => "infeasible-guard",
             LintCode::SubscriptOutOfDeclaredBounds => "subscript-out-of-declared-bounds",
             LintCode::LoopNeverExecutes => "loop-never-executes",
+            LintCode::ReadBeforeWrite => "read-before-write",
+            LintCode::RedundantStore => "redundant-store",
+            LintCode::DeadInitializationLoop => "dead-initialization-loop",
         }
     }
 
@@ -133,14 +151,16 @@ impl std::fmt::Display for Lint {
 /// mirrors the analysis option: with it off, every CALL earns a `P006`
 /// conservative-clobber witness. `value_range` mirrors the value-range
 /// pass: with it on, the flow-sensitive range walk contributes
-/// P007/P008/P009. The result is sorted by
-/// `(routine, line, code, message)` and deduplicated — byte-identical
-/// regardless of job count or cache state.
+/// P007/P008/P009. `content` mirrors the array-content pass: with it
+/// on, the initialization walk contributes P010/P011/P012. The result
+/// is sorted by `(routine, line, code, message)` and deduplicated —
+/// byte-identical regardless of job count or cache state.
 pub fn lint_program(
     program: &Program,
     sema: &ProgramSema,
     interprocedural: bool,
     value_range: bool,
+    content: bool,
 ) -> Vec<Lint> {
     let mut lints = Vec::new();
     for r in &program.routines {
@@ -153,6 +173,9 @@ pub fn lint_program(
         });
         if value_range {
             lint_ranges(r, table, &mut lints);
+        }
+        if content {
+            lint_content(r, table, &mut lints);
         }
     }
     lints.sort_by(|a, b| {
@@ -217,6 +240,27 @@ fn lint_ranges(r: &Routine, table: &SymbolTable, lints: &mut Vec<Lint>) {
             routine: r.name.clone(),
             line: fact.line,
             message,
+        });
+    }
+}
+
+/// P010/P011/P012: runs the array-content initialization walk
+/// (`content::lint_routine`) over one routine. Like the range walk, it
+/// is a standalone AST pass under its own budget: deterministic across
+/// jobs and caches, and budget exhaustion only silences lints.
+fn lint_content(r: &Routine, table: &SymbolTable, lints: &mut Vec<Lint>) {
+    let budget = vrange::Budget::new(vrange::DEFAULT_BUDGET);
+    for l in content::lint_routine(r, table, &budget) {
+        let code = match l.kind {
+            content::LintKind::ReadBeforeWrite => LintCode::ReadBeforeWrite,
+            content::LintKind::RedundantStore => LintCode::RedundantStore,
+            content::LintKind::DeadInitializationLoop => LintCode::DeadInitializationLoop,
+        };
+        lints.push(Lint {
+            code,
+            routine: r.name.clone(),
+            line: l.line,
+            message: l.message,
         });
     }
 }
@@ -443,7 +487,7 @@ mod tests {
     fn lints_of(src: &str, interprocedural: bool) -> Vec<Lint> {
         let p = parse_program(src).unwrap();
         let sema = analyze(&p).unwrap();
-        lint_program(&p, &sema, interprocedural, true)
+        lint_program(&p, &sema, interprocedural, true, true)
     }
 
     #[test]
@@ -502,8 +546,10 @@ mod tests {
 ",
             true,
         );
-        assert_eq!(l.len(), 1);
-        assert_eq!(l[0].code, LintCode::NonlinearSubscript);
+        // P005 for the indirect subscript — and P010, because idx is a
+        // local array read without ever being written.
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P005", "P010"], "{l:?}");
     }
 
     #[test]
@@ -551,7 +597,86 @@ mod tests {
         // With the value-range pass off, none of P007–P009 appear.
         let p = parse_program(src).unwrap();
         let sema = analyze(&p).unwrap();
-        assert!(lint_program(&p, &sema, true, false).is_empty());
+        assert!(lint_program(&p, &sema, true, false, false).is_empty());
+    }
+
+    #[test]
+    fn content_lints_fire_with_content_on() {
+        let src = "
+      PROGRAM t
+      REAL a(10), b(10), c(10)
+      INTEGER i
+      c(1) = 1.0
+      c(1) = 2.0
+      DO i = 1, 10
+        b(i) = a(i)
+      ENDDO
+      b(1) = c(1)
+      END
+";
+        let l = lints_of(src, true);
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P011", "P010"], "{l:?}");
+        // P011: c(1) stored on line 5 and overwritten on line 6 unread.
+        assert_eq!(l[0].line, 5);
+        assert!(
+            l[0].message.contains("overwritten before it is ever read"),
+            "{}",
+            l[0].message
+        );
+        // P010: a read in the loop without any prior store.
+        assert!(
+            l[1].message.contains("read before any element is written"),
+            "{}",
+            l[1].message
+        );
+        // With the content pass off, none of P010–P012 appear.
+        let p = parse_program(src).unwrap();
+        let sema = analyze(&p).unwrap();
+        assert!(lint_program(&p, &sema, true, false, false).is_empty());
+    }
+
+    #[test]
+    fn dead_initialization_loop_lint() {
+        let src = "
+      PROGRAM t
+      INTEGER a(10), s, i
+      DO i = 1, 10
+        a(i) = 0
+      ENDDO
+      DO i = 1, 10
+        a(i) = i + 1
+      ENDDO
+      s = a(5)
+      END
+";
+        let l = lints_of(src, true);
+        let codes: Vec<&str> = l.iter().map(|x| x.code.code()).collect();
+        assert_eq!(codes, vec!["P012"], "{l:?}");
+        assert!(
+            l[0].message.contains("initializes a to 0"),
+            "{}",
+            l[0].message
+        );
+
+        // The clean twin — a read between the loops — stays quiet.
+        let quiet = lints_of(
+            "
+      PROGRAM t
+      INTEGER a(10), s, i
+      DO i = 1, 10
+        a(i) = 0
+      ENDDO
+      s = a(5)
+      DO i = 1, 10
+        a(i) = i + 1
+      ENDDO
+      s = s + a(5)
+      END
+",
+            true,
+        );
+        assert!(quiet.is_empty(), "{quiet:?}");
     }
 
     #[test]

@@ -66,6 +66,13 @@ fn bench_ablations(c: &mut Criterion) {
             },
         ),
         ("conventional_only", Options::conventional()),
+        (
+            "content",
+            Options {
+                content: true,
+                ..Options::default()
+            },
+        ),
     ] {
         g.bench_function(tag, |b| {
             b.iter(|| analyze_source(black_box(&all), opts).unwrap())

@@ -33,5 +33,18 @@ fn main() {
         .expect("write range demo");
     writeln!(range_manifest, "range_rdemo.f\trange\trdemo").unwrap();
     std::fs::write(dir.join("range_manifest.tsv"), range_manifest).expect("write range manifest");
+    // Likewise the content-flip kernels and the content-lint demo, for
+    // the `content-golden` job.
+    let mut content_manifest = String::new();
+    for k in benchsuite::content_kernels() {
+        let fname = format!("content_{}.f", k.tag);
+        std::fs::write(dir.join(&fname), k.source).expect("write content kernel");
+        writeln!(content_manifest, "{fname}\tcontent\t{}", k.tag).unwrap();
+    }
+    std::fs::write(dir.join("content_cdemo.f"), benchsuite::content_lint_demo())
+        .expect("write content demo");
+    writeln!(content_manifest, "content_cdemo.f\tcontent\tcdemo").unwrap();
+    std::fs::write(dir.join("content_manifest.tsv"), content_manifest)
+        .expect("write content manifest");
     println!("wrote {} kernels to {outdir}", benchsuite::kernels().len());
 }

@@ -876,6 +876,162 @@ pub fn range_kernels() -> Vec<RangeKernel> {
     ]
 }
 
+// --------------------------------------------------------------------
+// Content kernels: loops the array-content pass (DESIGN.md §4i)
+// improves — either flipping serial → parallel by refuting a guarded
+// UE_i, or demoting FIRSTPRIVATE → PRIVATE by proving every declared
+// element is written each iteration. Kept separate from `kernels()` and
+// `range_kernels()` so their goldens are untouched.
+// --------------------------------------------------------------------
+
+// The work array w is written under `c(k) > 0` and read under the same
+// syntactic guard in a second inner loop. Guard-blind region analysis
+// leaves both sides approximate, so UE_i(w) survives and w carries a
+// cross-iteration flow dependence. The content pass matches the guard
+// templates, proves every guarded read is covered by the same-guard
+// write earlier in the iteration, and refutes UE_i(w) — the loop flips
+// serial → parallel with w privatized.
+const CONTENT_FLIP_A: &str = "
+      PROGRAM cka
+      REAL w(100), b(100), c(100), r(50)
+      REAL s2
+      INTEGER i, k
+      DO i = 1, 50
+        DO k = 1, 100
+          IF (c(k) .GT. 0.0) THEN
+            w(k) = b(k) + float(i)
+          ENDIF
+        ENDDO
+        s2 = 0.0
+        DO k = 1, 100
+          IF (c(k) .GT. 0.0) THEN
+            s2 = s2 + w(k)
+          ENDIF
+        ENDDO
+        r(i) = s2
+      ENDDO
+      END
+";
+
+// The work array w(10) is fully overwritten by the inner loop every
+// iteration and is live after the loop (read at the end), so the
+// baseline clauses are FIRSTPRIVATE + LASTPRIVATE. The content pass
+// proves the definition covers the declared bounds (content_full_def),
+// demoting the copy-in: LASTPRIVATE only, and the executable plan gives
+// w a zero-initialized PRIVATE copy.
+const CONTENT_DEMOTE_B: &str = "
+      PROGRAM ckb
+      REAL w(10), a(100)
+      INTEGER i, k
+      DO i = 1, 100
+        DO k = 1, 10
+          w(k) = float(i) / float(k)
+        ENDDO
+        a(i) = w(1) + w(10)
+      ENDDO
+      a(2) = w(3)
+      END
+";
+
+// Negative twin of CONTENT_FLIP_A: the read guard (`c(k) < 0`) is NOT
+// the write guard, so elements can be read that the current iteration
+// never wrote. The content pass must refuse to refute UE_i(w) and the
+// loop must stay serial even with the pass on.
+const CONTENT_NEG_C: &str = "
+      PROGRAM ckc
+      REAL w(100), b(100), c(100), r(50)
+      REAL s2
+      INTEGER i, k
+      DO i = 1, 50
+        DO k = 1, 100
+          IF (c(k) .GT. 0.0) THEN
+            w(k) = b(k) + float(i)
+          ENDIF
+        ENDDO
+        s2 = 0.0
+        DO k = 1, 100
+          IF (c(k) .LT. 0.0) THEN
+            s2 = s2 + w(k)
+          ENDIF
+        ENDDO
+        r(i) = s2
+      ENDDO
+      END
+";
+
+// Trips every content lint: P010 (u read, never written), P011 (the
+// store to t(1) is overwritten unread) and P012 (the zeroing loop over
+// v is fully overwritten before any read).
+const CONTENT_LINT_DEMO: &str = "
+      PROGRAM cdemo
+      INTEGER u(10), v(10), t(10), s, i
+      t(1) = 1
+      t(1) = 2
+      DO i = 1, 10
+        v(i) = 0
+      ENDDO
+      DO i = 1, 10
+        v(i) = i + 1
+      ENDDO
+      s = u(3) + v(5) + t(1)
+      END
+";
+
+/// A small program that trips every content lint (P010, P011, P012) —
+/// the worked example for the content-golden suite and the README.
+pub fn content_lint_demo() -> &'static str {
+    CONTENT_LINT_DEMO
+}
+
+/// A kernel exercising the array-content pass (see
+/// `tests/content_flips.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct ContentKernel {
+    /// Short tag for diagnostics.
+    pub tag: &'static str,
+    /// Routine containing the target loop.
+    pub routine: &'static str,
+    /// Target loop index variable.
+    pub var: &'static str,
+    /// Whether the pass must flip the loop serial → parallel.
+    pub flips: bool,
+    /// Arrays the content pass must privatize when it flips.
+    pub privatized: &'static [&'static str],
+    /// Full Fortran source.
+    pub source: &'static str,
+}
+
+/// The content kernels: the guarded-write flip, the full-definition
+/// demotion kernel, and the negative twin the pass must not flip.
+pub fn content_kernels() -> Vec<ContentKernel> {
+    vec![
+        ContentKernel {
+            tag: "cka",
+            routine: "cka",
+            var: "i",
+            flips: true,
+            privatized: &["w"],
+            source: CONTENT_FLIP_A,
+        },
+        ContentKernel {
+            tag: "ckb",
+            routine: "ckb",
+            var: "i",
+            flips: false,
+            privatized: &[],
+            source: CONTENT_DEMOTE_B,
+        },
+        ContentKernel {
+            tag: "ckc",
+            routine: "ckc",
+            var: "i",
+            flips: false,
+            privatized: &[],
+            source: CONTENT_NEG_C,
+        },
+    ]
+}
+
 /// Generates a synthetic program of parameterized size for scaling
 /// benchmarks: `n_routines` subroutines, each with a work-array
 /// fill/consume loop nest, called from a main loop — the same access

@@ -15,7 +15,8 @@
 mod kernels;
 
 pub use kernels::{
-    fig1_kernels, kernels, range_kernels, range_lint_demo, synthetic_program, Kernel, RangeKernel,
+    content_kernels, content_lint_demo, fig1_kernels, kernels, range_kernels, range_lint_demo,
+    synthetic_program, ContentKernel, Kernel, RangeKernel,
 };
 
 /// Which techniques a loop needs, per Table 1 (`T1` symbolic, `T2` IF

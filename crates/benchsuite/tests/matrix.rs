@@ -147,6 +147,7 @@ fn parallel_execution_matches_sequential() {
         plan.add(
             k.routine,
             k.var,
+            v.line,
             LoopPlan {
                 // FIRSTPRIVATE (copy-in) for every privatized array: the
                 // conservative clause that is correct whether or not the

@@ -112,23 +112,32 @@ pub fn select(
             .is_some_and(|a| a.needs_copy_out);
         let (clause, why) = if copy_out {
             // LASTPRIVATE transfers the final iteration's *whole* private
-            // copy. The analysis does not prove the final iteration
-            // definitely writes every live-out element, so the copy must
-            // be seeded from the shared array (FIRSTPRIVATE) or
-            // never-written elements would come back undefined.
-            c.firstprivate.push(name.clone());
-            c.lastprivate.push(name.clone());
-            if copy_in {
+            // copy. Unless the content pass proved every declared element
+            // is written each iteration, the copy must be seeded from the
+            // shared array (FIRSTPRIVATE) or never-written elements would
+            // come back undefined.
+            if !copy_in && la.content_full.contains(name) {
+                c.lastprivate.push(name.clone());
                 (
-                    "FIRSTPRIVATE LASTPRIVATE",
-                    "UE_i not provably empty (reads pre-loop values); live after the loop",
+                    "LASTPRIVATE",
+                    "live after the loop; content pass proves every declared \
+                     element is written each iteration, so no seeding is needed",
                 )
             } else {
-                (
-                    "FIRSTPRIVATE LASTPRIVATE",
-                    "live after the loop: copy-out transfers the whole array, so the \
-                     private copy is seeded to preserve never-written elements",
-                )
+                c.firstprivate.push(name.clone());
+                c.lastprivate.push(name.clone());
+                if copy_in {
+                    (
+                        "FIRSTPRIVATE LASTPRIVATE",
+                        "UE_i not provably empty (reads pre-loop values); live after the loop",
+                    )
+                } else {
+                    (
+                        "FIRSTPRIVATE LASTPRIVATE",
+                        "live after the loop: copy-out transfers the whole array, so the \
+                         private copy is seeded to preserve never-written elements",
+                    )
+                }
             }
         } else if copy_in {
             c.firstprivate.push(name.clone());

@@ -17,9 +17,8 @@
 //! [`SkipDiag`]s rather than silently dropping: synthetic loops (no
 //! source location), serial verdicts, budget-degraded verdicts, and
 //! loops nested inside an already-parallelized ancestor. A transformed
-//! loop whose plan could not be lowered (ambiguous `(routine, var)` key,
-//! product or REAL reduction) still carries its directive; `planned`
-//! is false and `plan_note` says why.
+//! loop whose plan could not be lowered (REAL-typed reduction) still
+//! carries its directive; `planned` is false and `plan_note` says why.
 //!
 //! Every decision is traced: the whole pass runs under a `codegen` span,
 //! each loop under `codegen:<loop-id>`, and each [`LoopTransform`]
@@ -349,7 +348,7 @@ fn transform_loop(
     let planned = plan.is_some();
     if let Some(p) = plan {
         trace::add("codegen_planned", 1);
-        out.plan.add(&v.routine, &v.var, p);
+        out.plan.add(&v.routine, &v.var, v.line, p);
     }
     let directive = c.directive();
     prov.push(ProvEntry {

@@ -1,21 +1,16 @@
 //! Lowering selected clauses to an executable [`interp::LoopPlan`].
 //!
 //! The interpreter's threaded executor keys its [`interp::ParallelPlan`]
-//! by `(routine, index var)` — coarser than a source line. Lowering
-//! therefore refuses when the key is ambiguous (the routine has more
-//! than one `DO` statement on that index variable): a plan entry would
-//! fire on *every* matching loop, including unverified ones. The OpenMP
-//! annotation is line-anchored and unaffected; only the executable plan
-//! is withheld.
+//! by `(routine, index var, line)`, so routines with several `DO`
+//! statements on the same index variable lower without ambiguity — the
+//! plan entry fires only on the verified loop.
 //!
-//! Two further refusals keep the differential byte-exact:
-//!
-//! * product reductions — the executor combines thread partials
-//!   additively, which is wrong for `s = s * e`;
-//! * REAL-typed sum reductions — partial-sum reassociation is not
-//!   byte-stable in floating point (the directive still carries
-//!   `REDUCTION(+:s)`; a real OpenMP compiler accepts the same
-//!   tolerance).
+//! One refusal keeps the differential byte-exact: REAL-typed reductions
+//! (sum or product) — partial reassociation is not byte-stable in
+//! floating point (the directive still carries `REDUCTION(+:s)` or
+//! `REDUCTION(*:s)`; a real OpenMP compiler accepts the same
+//! tolerance). INTEGER reductions of either operator are exact under
+//! wrapping arithmetic and are planned.
 
 use crate::clauses::Clauses;
 use fortran::{Routine, Stmt, StmtKind, SymbolKind, SymbolTable, Ty};
@@ -28,7 +23,7 @@ use privatize::{LoopVerdict, ProvEntry};
 pub fn lower(
     v: &LoopVerdict,
     clauses: &Clauses,
-    routine: &Routine,
+    _routine: &Routine,
     table: &SymbolTable,
     prov: &mut Vec<ProvEntry>,
 ) -> (Option<LoopPlan>, Option<String>) {
@@ -42,31 +37,15 @@ pub fn lower(
         (None, Some(note))
     };
 
-    let n = count_do_with_var(&routine.body, &v.var);
-    if n != 1 {
-        return refuse(
-            prov,
-            format!(
-                "ambiguous plan key: {n} DO statements in {} use index {} \
-                 and the executor keys plans by (routine, var)",
-                v.routine, v.var
-            ),
-        );
-    }
-    if let Some(s) = clauses.reduction_mul.first() {
-        return refuse(
-            prov,
-            format!("product reduction {s}: the executor only combines additive partials"),
-        );
-    }
     if let Some(s) = clauses
         .reduction_add
         .iter()
+        .chain(&clauses.reduction_mul)
         .find(|s| scalar_ty(table, s) == Some(Ty::Real))
     {
         return refuse(
             prov,
-            format!("REAL reduction {s}: parallel partial-sum reassociation is not byte-stable"),
+            format!("REAL reduction {s}: parallel partial reassociation is not byte-stable"),
         );
     }
 
@@ -113,16 +92,23 @@ pub fn lower(
         op: "lower".to_string(),
         subject: String::new(),
         detail: format!(
-            "plan key ({}, {}); private arrays [{}], firstprivate [{}], copy-out [{}], \
-             private scalars [{}], scalar copy-out [{}], sum reductions [{}]",
+            "plan key ({}, {}, {}); private arrays [{}], firstprivate [{}], copy-out [{}], \
+             private scalars [{}], scalar copy-out [{}], reductions [{}]",
             v.routine,
             v.var,
+            v.line,
             private_arrays.join(", "),
             firstprivate.join(", "),
             copy_out.join(", "),
             private_scalars.join(", "),
             scalar_copy_out.join(", "),
-            clauses.reduction_add.join(", "),
+            clauses
+                .reduction_add
+                .iter()
+                .chain(&clauses.reduction_mul)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", "),
         ),
         result: "planned".to_string(),
     });
@@ -134,6 +120,7 @@ pub fn lower(
             copy_out,
             scalar_copy_out,
             sum_reductions: clauses.reduction_add.clone(),
+            mul_reductions: clauses.reduction_mul.clone(),
         }),
         None,
     )

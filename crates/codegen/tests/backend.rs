@@ -52,9 +52,9 @@ fn clause_selection_private_firstprivate_lastprivate() {
         .provenance
         .iter()
         .any(|e| e.op == "clause" && e.subject == "w" && e.result.contains("FIRSTPRIVATE")));
-    // The plan key (t, i) is unique, so the loop is also planned.
+    // No reduction refusal applies, so the loop is also planned.
     assert!(lt.planned, "{:?}", lt.plan_note);
-    assert!(t.plan.matches("t", "i"));
+    assert!(t.plan.matches("t", "i", lt.line));
     // The directive carries all clauses.
     assert!(
         lt.directive.starts_with("!$OMP PARALLEL DO"),
@@ -66,9 +66,10 @@ fn clause_selection_private_firstprivate_lastprivate() {
 }
 
 #[test]
-fn ambiguous_plan_key_annotated_but_not_planned() {
-    // Two sibling parallel loops share index k: both get directives,
-    // neither gets a plan entry (the executor keys by (routine, var)).
+fn sibling_same_var_loops_both_planned() {
+    // Two sibling parallel loops share index k: the executor keys plans
+    // by (routine, var, line), so each gets its own line-anchored entry
+    // and both are planned.
     let (program, sema, loops, verdicts) = run("
       PROGRAM t
       REAL a(50), b(50)
@@ -84,15 +85,13 @@ fn ambiguous_plan_key_annotated_but_not_planned() {
     let t = transform(&program, &sema, &loops, &verdicts);
     assert_eq!(t.loops.len(), 2);
     for lt in &t.loops {
-        assert!(!lt.planned);
-        assert!(
-            lt.plan_note.as_deref().unwrap_or("").contains("ambiguous"),
-            "{:?}",
-            lt.plan_note
-        );
+        assert!(lt.planned, "{:?}", lt.plan_note);
+        assert!(t.plan.matches("t", "k", lt.line));
         assert!(lt.directive.starts_with("!$OMP PARALLEL DO"));
     }
-    assert!(!t.plan.matches("t", "k"));
+    let lines: Vec<u32> = t.loops.iter().map(|lt| lt.line).collect();
+    assert_ne!(lines[0], lines[1], "entries anchor to distinct lines");
+    assert!(!t.plan.matches("t", "k", 0), "no entry at a bogus line");
     assert_eq!(t.source.matches("!$OMP PARALLEL DO").count(), 2);
 }
 
@@ -220,7 +219,10 @@ fn integer_reduction_planned_real_reduction_annotated_only() {
 }
 
 #[test]
-fn product_reduction_never_planned() {
+fn integer_product_planned_real_product_annotated_only() {
+    // INTEGER products are exact under wrapping multiplication, so the
+    // executor can combine partials multiplicatively; REAL products stay
+    // directive-only (reassociation is not byte-stable).
     let (program, sema, loops, verdicts) = run("
       PROGRAM t
       INTEGER a(20), s, i
@@ -238,9 +240,28 @@ fn product_reduction_never_planned() {
         "{}",
         red.directive
     );
+    assert!(red.planned, "{:?}", red.plan_note);
+
+    let (program, sema, loops, verdicts) = run("
+      PROGRAM t
+      REAL a(20), s
+      INTEGER i
+      s = 1.0
+      DO i = 1, 20
+        s = s * a(i)
+      ENDDO
+      a(1) = s
+      END
+");
+    let t = transform(&program, &sema, &loops, &verdicts);
+    let red = t.loop_transform("t", "i").unwrap();
+    assert!(red.directive.contains("REDUCTION(*:s)"));
     assert!(!red.planned);
     assert!(
-        red.plan_note.as_deref().unwrap_or("").contains("product"),
+        red.plan_note
+            .as_deref()
+            .unwrap_or("")
+            .contains("REAL reduction"),
         "{:?}",
         red.plan_note
     );

@@ -1,0 +1,129 @@
+//! The abstract content lattice.
+
+use vrange::ValueRange;
+
+/// What an array region is known to hold at a program point.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Content {
+    /// Unreachable / no information yet (identity of [`Content::join`]).
+    Bot,
+    /// Definitely never written.
+    #[default]
+    Uninit,
+    /// Written with a value the analysis could not bound.
+    Defined,
+    /// Written, and every stored value lies in the given range.
+    DefinedConst(ValueRange),
+    /// Anything — the analysis gave up (budget exhaustion, unmodelled
+    /// statement). ⊤ decides nothing: see [`Content::proves_defined`].
+    Top,
+}
+
+impl Content {
+    /// Normalizing constructor for the value level: a ⊤ range carries no
+    /// information beyond "defined".
+    pub fn defined_const(r: ValueRange) -> Content {
+        if r.is_top() || r.is_empty() {
+            Content::Defined
+        } else {
+            Content::DefinedConst(r)
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &Content) -> Content {
+        use Content::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x.clone(),
+            (Top, _) | (_, Top) => Top,
+            (Uninit, Uninit) => Uninit,
+            // A maybe-written/maybe-not region holds anything.
+            (Uninit, _) | (_, Uninit) => Top,
+            (DefinedConst(a), DefinedConst(b)) => Content::defined_const(a.join(b)),
+            (Defined, _) | (_, Defined) => Defined,
+        }
+    }
+
+    /// Widening: like join, but the value component uses the vrange
+    /// widening ladder so ascending chains stabilize. All other levels
+    /// of the lattice have finite height, so [`Content::widen`] chains
+    /// terminate unconditionally.
+    pub fn widen(&self, next: &Content) -> Content {
+        use Content::*;
+        match (self, next) {
+            (DefinedConst(a), DefinedConst(b)) => Content::defined_const(a.widen(b)),
+            _ => self.join(next),
+        }
+    }
+
+    /// Partial order: `self ⊑ other`.
+    pub fn le(&self, other: &Content) -> bool {
+        self.join(other) == *other
+    }
+
+    /// `true` only when every execution reaching this point has written
+    /// the region. ⊤ and `Uninit` return `false`: a degraded map can
+    /// never be used to claim initialization.
+    pub fn proves_defined(&self) -> bool {
+        matches!(self, Content::Defined | Content::DefinedConst(_))
+    }
+
+    /// `true` only when the region was certainly never written. ⊤
+    /// returns `false`: degradation decides nothing.
+    pub fn proves_uninit(&self) -> bool {
+        matches!(self, Content::Uninit)
+    }
+
+    /// The proved value range, when one is known.
+    pub fn value(&self) -> Option<&ValueRange> {
+        match self {
+            Content::DefinedConst(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Content {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Content::Bot => write!(f, "bot"),
+            Content::Uninit => write!(f, "uninit"),
+            Content::Defined => write!(f, "defined"),
+            Content::DefinedConst(r) => write!(f, "defined{r}"),
+            Content::Top => write!(f, "top"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_identity_and_top() {
+        let c = Content::defined_const(ValueRange::constant(3));
+        assert_eq!(Content::Bot.join(&c), c);
+        assert_eq!(Content::Top.join(&c), Content::Top);
+    }
+
+    #[test]
+    fn uninit_meets_defined_is_top() {
+        assert_eq!(Content::Uninit.join(&Content::Defined), Content::Top);
+    }
+
+    #[test]
+    fn const_joins_value_ranges() {
+        let a = Content::defined_const(ValueRange::constant(1));
+        let b = Content::defined_const(ValueRange::constant(5));
+        let j = a.join(&b);
+        assert!(j.proves_defined());
+        assert!(j.value().is_some());
+    }
+
+    #[test]
+    fn top_decides_nothing() {
+        assert!(!Content::Top.proves_defined());
+        assert!(!Content::Top.proves_uninit());
+        assert!(Content::Top.value().is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! Array-content dataflow analysis (DESIGN.md §4i).
+//!
+//! The GAR machinery tracks *which* elements a statement touches; this
+//! crate layers a forward pass on top that tracks *what the elements
+//! hold*: per array, a partial-order map from symbolic regions (the
+//! same [`region`]/[`gar`] segment descriptors the dependence analysis
+//! uses) to an abstract content lattice
+//!
+//! ```text
+//!        ⊤            anything — analysis gave up
+//!      /   \
+//!  Uninit  Defined    never written / written with some value
+//!            |
+//!     DefinedConst(r) written, value proved in range r
+//!      \   /
+//!        ⊥            unreachable
+//! ```
+//!
+//! with the `vrange` interval×congruence domain as the value component.
+//! Joins happen at control merges; loop bodies reach a fixpoint through
+//! the widening ladder of [`Content::widen`]; every walk is metered by a
+//! [`vrange::Budget`] whose exhaustion degrades the map to ⊤ — degraded
+//! facts decide nothing, so exhaustion is never unsound.
+//!
+//! Two consumers:
+//!
+//! * [`lint_routine`] — routine-level initialization lints (panolint
+//!   P010 read-before-write, P011 redundant-store, P012
+//!   dead-initialization-loop).
+//! * [`analyze_loop_body`] — per-iteration coverage facts for one DO
+//!   body, used by the dataflow analyzer to refute UE₍i₎ entries
+//!   (`content_refute` provenance) and to prove full definition for
+//!   FIRSTPRIVATE→PRIVATE demotion.
+
+#![warn(missing_docs)]
+
+mod body;
+mod conv;
+mod lattice;
+mod lints;
+
+pub use body::{analyze_loop_body, BodyFacts};
+pub use lattice::Content;
+pub use lints::{lint_routine, Lint, LintKind};

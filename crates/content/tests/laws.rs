@@ -1,0 +1,105 @@
+//! Property tests for the content lattice: join is a semilattice
+//! (commutative, associative, idempotent, Bot identity, Top absorbing),
+//! the partial order is consistent with join, widening chains terminate,
+//! and ⊤ never decides a query.
+
+use content::Content;
+use proptest::prelude::*;
+use vrange::{Interval, ValueRange};
+
+fn arb_range() -> impl Strategy<Value = ValueRange> {
+    prop_oneof![
+        (-100i64..100).prop_map(ValueRange::constant),
+        (-100i64..100, 0i64..200).prop_map(|(lo, w)| ValueRange::of_interval(Interval::new(
+            Some(lo),
+            Some(lo + w)
+        ))),
+        (-100i64..100).prop_map(|lo| ValueRange::of_interval(Interval::new(Some(lo), None))),
+        (-100i64..100).prop_map(|hi| ValueRange::of_interval(Interval::new(None, Some(hi)))),
+    ]
+}
+
+fn arb_content() -> impl Strategy<Value = Content> {
+    prop_oneof![
+        Just(Content::Bot),
+        Just(Content::Uninit),
+        Just(Content::Defined),
+        Just(Content::Top),
+        arb_range().prop_map(Content::defined_const),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn join_commutative(a in arb_content(), b in arb_content()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn join_idempotent(a in arb_content()) {
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn join_associative(a in arb_content(), b in arb_content(), c in arb_content()) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn bot_is_identity_top_absorbs(a in arb_content()) {
+        prop_assert_eq!(Content::Bot.join(&a), a.clone());
+        prop_assert_eq!(Content::Top.join(&a), Content::Top);
+    }
+
+    #[test]
+    fn le_consistent_with_join(a in arb_content(), b in arb_content()) {
+        let j = a.join(&b);
+        prop_assert!(a.le(&j), "{a} not ≤ {a} ⊔ {b} = {j}");
+        prop_assert!(b.le(&j), "{b} not ≤ {a} ⊔ {b} = {j}");
+    }
+
+    #[test]
+    fn join_is_upper_bound_of_widen(a in arb_content(), b in arb_content()) {
+        // Widening over-approximates the join.
+        let j = a.join(&b);
+        let w = a.widen(&b);
+        prop_assert!(j.le(&w), "join {j} not ≤ widen {w}");
+    }
+
+    /// Any widening chain w := w.widen(x) stabilizes after a bounded
+    /// number of strict increases: the non-value levels have height 4
+    /// and the interval component widens each bound at most through the
+    /// threshold ladder once.
+    #[test]
+    fn widening_chains_terminate(xs in proptest::collection::vec(arb_content(), 1..40)) {
+        let mut w = Content::Bot;
+        let mut increases = 0;
+        for x in &xs {
+            let next = w.widen(x);
+            if next != w {
+                increases += 1;
+            }
+            // Monotone: the chain never goes down.
+            prop_assert!(w.le(&next), "widen went down: {w} -> {next}");
+            w = next;
+        }
+        let bound = 4 + 2 * vrange::WIDENING_THRESHOLDS.len();
+        prop_assert!(
+            increases <= bound,
+            "{increases} strict increases (> {bound}) — widening may not terminate"
+        );
+    }
+
+    /// ⊤ decides nothing, and joining Uninit with any defined value
+    /// degrades to ⊤ (it must not claim either side).
+    #[test]
+    fn top_decides_nothing(a in arb_content()) {
+        prop_assert!(!Content::Top.proves_defined());
+        prop_assert!(!Content::Top.proves_uninit());
+        if a.proves_defined() {
+            let j = Content::Uninit.join(&a);
+            prop_assert!(!j.proves_defined(), "{j} claims defined");
+            prop_assert!(!j.proves_uninit(), "{j} claims uninit");
+        }
+    }
+}

@@ -10,6 +10,12 @@
 //!   --no-value-range      disable the scalar value-range pass (range
 //!                         refutation, range_compare provenance and the
 //!                         P007–P009 lints)
+//!   --content             enable the array-content pass (UE_i
+//!                         refutation, FIRSTPRIVATE→PRIVATE demotion,
+//!                         content_refute/content_full_def provenance
+//!                         and the P010–P012 lints)
+//!   --no-content          disable it (the default); output is
+//!                         byte-identical to builds without the pass
 //!   --forall              enable the ∀-extension (Fig. 1(a) inference)
 //!   --trace               print the backward propagation trace
 //!   --dump-hsg            print the hierarchical supergraph
@@ -66,7 +72,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: panorama [--no-symbolic] [--no-if-conditions] [--no-interprocedural]\n\
-         \x20                [--no-value-range] [--forall] [--trace] [--dump-hsg]\n\
+         \x20                [--no-value-range] [--content] [--no-content] [--forall]\n\
+         \x20                [--trace] [--dump-hsg]\n\
          \x20                [--summaries] [--stats] [--explain] [--lint]\n\
          \x20                [--deny-lints[=CODES]] [--json] [--fuel N] [--deadline-ms N]\n\
          \x20                [--cache-dir DIR] [--cache-budget-bytes N] [--trace-out FILE]\n\
@@ -135,6 +142,8 @@ fn main() -> ExitCode {
             "--no-if-conditions" => opts.if_conditions = false,
             "--no-interprocedural" => opts.interprocedural = false,
             "--no-value-range" => opts.value_range = false,
+            "--content" => opts.content = true,
+            "--no-content" => opts.content = false,
             "--forall" => opts.forall_ext = true,
             "--trace" => {
                 opts.trace = true;

@@ -332,7 +332,13 @@ pub fn analyze_source_limited(
     let (loops, stats, trace) = az.finish();
     let lints = {
         let _span = trace::span("lint");
-        alias::lint_program(&program, &sema, opts.interprocedural, opts.value_range)
+        alias::lint_program(
+            &program,
+            &sema,
+            opts.interprocedural,
+            opts.value_range,
+            opts.content,
+        )
     };
     Ok(Analysis {
         program,

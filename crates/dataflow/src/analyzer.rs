@@ -96,6 +96,15 @@ pub struct LoopAnalysis {
     /// privatization tests decide the same Δ-unknown intersections the
     /// analyzer could.
     pub range_bounds: BTreeMap<String, (Option<i64>, Option<i64>)>,
+    /// What the content pass contributed (DESIGN.md §4i): UE₍i₎ entries
+    /// refuted by per-iteration coverage proofs and full-definition
+    /// facts. Persisted like `range_notes` so cached replays render
+    /// identical provenance.
+    pub content_notes: Vec<ContentNote>,
+    /// Arrays every iteration provably writes in full (every declared
+    /// element) — a live-after privatized array in this set needs no
+    /// FIRSTPRIVATE seeding for its LASTPRIVATE copy-out.
+    pub content_full: BTreeSet<String>,
 }
 
 /// One contribution of the value-range pass (DESIGN.md §4g) recorded
@@ -122,6 +131,27 @@ pub enum RangeNote {
         detail: String,
         /// The decided relation: `lt`, `eq` or `gt`.
         result: String,
+    },
+}
+
+/// One contribution of the array-content pass (DESIGN.md §4i) recorded
+/// against a loop for verdict provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContentNote {
+    /// UE₍i₎ for `array` was emptied: every read of the array in the
+    /// body is covered by a prior definition in the same iteration.
+    Refute {
+        /// The array whose upward exposure was refuted.
+        array: String,
+        /// The coverage justification.
+        detail: String,
+    },
+    /// Every iteration must-writes every declared element of `array`.
+    FullDef {
+        /// The fully defined array.
+        array: String,
+        /// The proof summary.
+        detail: String,
     },
 }
 
@@ -728,12 +758,21 @@ impl<'a> Analyzer<'a> {
             // live_after for loops: arrays upward-exposed just below.
             if let Some(li) = loop_of_node[nid] {
                 let below = self.merge_succs(g, nid, &cond_pred, &cond_known, &state);
-                self.loops[li].live_after = below
+                let live: BTreeSet<String> = below
                     .ues
                     .iter()
                     .filter(|(_, v)| !v.is_empty())
                     .map(|(k, _)| k.clone())
                     .collect();
+                // Post-loop liveness is transitive: once a nested loop
+                // finishes, anything live after THIS loop is still live,
+                // so its copy-out decision must see it too.
+                if !live.is_empty() {
+                    for di in self.loops_under(self.loops[li].subgraph) {
+                        self.loops[di].live_after.extend(live.iter().cloned());
+                    }
+                }
+                self.loops[li].live_after.extend(live);
             }
 
             let live = state.iter().flatten().map(State::size).sum::<usize>() + st.size();
@@ -1561,6 +1600,26 @@ impl<'a> Analyzer<'a> {
             &body_loop_vars,
             depth + 1,
         );
+        // Back-edge liveness: an array upward-exposed anywhere in this
+        // body is re-read on the next iteration of THIS loop, after any
+        // nested loop has finished — so every nested loop's live-after
+        // must include it. The per-segment live_after assignment only
+        // sees reads lexically below a loop; the back edge reaches reads
+        // above it too. Over-approximating costs an extra copy-out
+        // clause, never correctness.
+        let back_reads: Vec<String> = body
+            .ues
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        if !back_reads.is_empty() {
+            for di in self.loops_under(body_sg) {
+                self.loops[di]
+                    .live_after
+                    .extend(back_reads.iter().cloned());
+            }
+        }
         let premature = self.hsg.subgraphs[body_sg].premature_exit;
 
         // §5.4: with premature exits, loop-variant components go unknown.
@@ -1587,6 +1646,62 @@ impl<'a> Analyzer<'a> {
         } else {
             BTreeMap::new()
         };
+
+        // Content refinement (DESIGN.md §4i): walk the loop-body AST
+        // once and prove per-iteration read coverage (refutes UE₍i₎
+        // entries the backward pass over-approximated — array-element
+        // guards in particular) and full-definition facts. Storage-
+        // associated arrays are excluded: their elements are reachable
+        // under other names the coverage proof does not see.
+        let mut content_refuted: BTreeSet<String> = BTreeSet::new();
+        let mut content_full: BTreeSet<String> = BTreeSet::new();
+        let mut content_notes: Vec<ContentNote> = Vec::new();
+        if self.opts.content && !premature && line != 0 {
+            let _cspan = trace::span("content:refine");
+            let content_budget = Budget::new(vrange::DEFAULT_BUDGET);
+            if let Some(body_ast) = self
+                .program
+                .routine(routine)
+                .and_then(|r| find_do_body(&r.body, line, var))
+            {
+                let facts =
+                    content::analyze_loop_body(body_ast, var, loop_vars, table, &content_budget);
+                if !facts.degraded() {
+                    for arr in body.arrays() {
+                        if !table.storage_partners(&arr).is_empty() {
+                            continue;
+                        }
+                        if !body.ue_of(&arr).definitely_empty() {
+                            if let Some(detail) = facts.covers_reads(&arr) {
+                                content_refuted.insert(arr.clone());
+                                content_notes.push(ContentNote::Refute {
+                                    array: arr.clone(),
+                                    detail,
+                                });
+                                trace::add("content:ue_refuted", 1);
+                            }
+                        }
+                        let const_bounds = table.declared_bounds(&arr).and_then(|bs| {
+                            bs.iter()
+                                .map(|&(l, h)| Some((l?, h?)))
+                                .collect::<Option<Vec<_>>>()
+                        });
+                        if let Some(bs) = const_bounds {
+                            if let Some(detail) = facts.fully_defines(&arr, &bs) {
+                                content_full.insert(arr.clone());
+                                content_notes.push(ContentNote::FullDef {
+                                    array: arr.clone(),
+                                    detail,
+                                });
+                                trace::add("content:full_def", 1);
+                            }
+                        }
+                    }
+                } else {
+                    trace::add("content:degraded", 1);
+                }
+            }
+        }
 
         let mut loop_sum = Summary::new();
         let mut sets: BTreeMap<String, ArraySets> = BTreeMap::new();
@@ -1615,7 +1730,11 @@ impl<'a> Analyzer<'a> {
 
                 for arr in body.arrays() {
                     let mod_i = sanitize(&body.mod_of(&arr));
-                    let ue_i = sanitize(&body.ue_of(&arr));
+                    let ue_i = if content_refuted.contains(&arr) {
+                        GarList::empty()
+                    } else {
+                        sanitize(&body.ue_of(&arr))
+                    };
                     let de_i = sanitize(&body.de_of(&arr));
 
                     // MOD_<i: rename i→k, expand k over [lo, i - step].
@@ -1677,14 +1796,18 @@ impl<'a> Analyzer<'a> {
                                 Approx::Over,
                             )
                         }));
-                    let u =
-                        GarList::from_gars(sanitize(&body.ue_of(&arr)).gars().iter().map(|g| {
-                            Gar::with_approx(
-                                g.guard.forget_var(var),
-                                g.region.forget_var(var),
-                                Approx::Over,
-                            )
-                        }));
+                    let ue_body = if content_refuted.contains(&arr) {
+                        GarList::empty()
+                    } else {
+                        body.ue_of(&arr)
+                    };
+                    let u = GarList::from_gars(sanitize(&ue_body).gars().iter().map(|g| {
+                        Gar::with_approx(
+                            g.guard.forget_var(var),
+                            g.region.forget_var(var),
+                            Approx::Over,
+                        )
+                    }));
                     let d =
                         GarList::from_gars(sanitize(&body.de_of(&arr)).gars().iter().map(|g| {
                             Gar::with_approx(
@@ -1700,7 +1823,7 @@ impl<'a> Analyzer<'a> {
                         arr.clone(),
                         ArraySets {
                             mod_i: body.mod_of(&arr),
-                            ue_i: body.ue_of(&arr),
+                            ue_i: ue_body,
                             de_i: body.de_of(&arr),
                             mod_lt: GarList::single(Gar::unknown(
                                 body.mod_of(&arr)
@@ -1868,6 +1991,8 @@ impl<'a> Analyzer<'a> {
             degraded: self.fuel.halted() || self.fuel.events() != fuel_events,
             range_notes,
             range_bounds,
+            content_notes,
+            content_full,
         };
         if trace::enabled() {
             let mut pieces = 0u64;
@@ -2322,6 +2447,29 @@ impl<'a> Analyzer<'a> {
     /// and every loop never reached gets a fully-widened degraded
     /// placeholder analysis so it still appears in the report — with the
     /// conservative serial verdict — instead of vanishing.
+    /// Indices into `self.loops` of every loop nested (at any depth)
+    /// inside the loop body `body_sg`: the transitive closure of loop
+    /// nodes over body subgraphs. Subgraph ids are HSG-global, so loops
+    /// of other routines can never match.
+    fn loops_under(&self, body_sg: SubgraphId) -> Vec<usize> {
+        let mut sgs = vec![body_sg];
+        let mut i = 0;
+        while i < sgs.len() {
+            for node in &self.hsg.subgraphs[sgs[i]].nodes {
+                if let Node::Loop { body, .. } = node {
+                    sgs.push(*body);
+                }
+            }
+            i += 1;
+        }
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, la)| la.subgraph != body_sg && sgs.contains(&la.subgraph))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     fn widen_segment(
         &mut self,
         sg_id: SubgraphId,
@@ -2421,6 +2569,8 @@ impl<'a> Analyzer<'a> {
                     degraded: true,
                     range_notes: Vec::new(),
                     range_bounds: BTreeMap::new(),
+                    content_notes: Vec::new(),
+                    content_full: BTreeSet::new(),
                 });
             }
             self.record_widened_loops(*body, routine, table, depth + 1, recorded);
@@ -2559,6 +2709,41 @@ fn must_scalar_mods(g: &Subgraph, node_must: &[BTreeSet<String>]) -> BTreeSet<St
 }
 
 /// Renames a scalar variable inside every GAR of a list.
+/// Locates the body of the DO statement at `line` with index `var` in a
+/// routine's AST (the HSG keeps loop lines, so the pair is unambiguous).
+fn find_do_body<'a>(stmts: &'a [Stmt], line: u32, var: &str) -> Option<&'a [Stmt]> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Do { var: v, body, .. } => {
+                if s.line == line && v == var {
+                    return Some(body);
+                }
+                if let Some(b) = find_do_body(body, line, var) {
+                    return Some(b);
+                }
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if let Some(b) =
+                    find_do_body(then_body, line, var).or_else(|| find_do_body(else_body, line, var))
+                {
+                    return Some(b);
+                }
+            }
+            StmtKind::LogicalIf(_, inner) => {
+                if let Some(b) = find_do_body(std::slice::from_ref(inner), line, var) {
+                    return Some(b);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 fn rename_var(list: &GarList, from: &str, to: &str) -> GarList {
     list.subst_var(from, &Expr::var(to))
 }

@@ -284,13 +284,14 @@ pub fn routine_keys(
             continue;
         };
         let mut h = ContentHasher::default();
-        h.write_str("panorama-summary-cache-v3");
+        h.write_str("panorama-summary-cache-v4");
         h.write(&[
             u8::from(opts.symbolic),
             u8::from(opts.if_conditions),
             u8::from(opts.interprocedural),
             u8::from(opts.forall_ext),
             u8::from(opts.value_range),
+            u8::from(opts.content),
         ]);
         h.write_str(&format!("{routine:?}"));
         // Storage association is cross-routine state: alias degradation
@@ -455,6 +456,23 @@ mod tests {
         );
         assert_ne!(a["fill"], c["fill"]);
         assert_ne!(a["main"], c["main"]);
+    }
+
+    #[test]
+    fn content_toggle_changes_keys() {
+        // The content pass changes summaries (refutations, full-definition
+        // facts), so cached entries from one setting must not serve the
+        // other.
+        let a = keys_of(TWO_ROUTINES, Options::default());
+        let b = keys_of(
+            TWO_ROUTINES,
+            Options {
+                content: true,
+                ..Options::default()
+            },
+        );
+        assert_ne!(a["fill"], b["fill"]);
+        assert_ne!(a["main"], b["main"]);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! version skew the header check missed or a corrupted-but-colliding
 //! payload; both are treated as corruption.)
 
-use crate::analyzer::{LoopAnalysis, RangeNote};
+use crate::analyzer::{ContentNote, LoopAnalysis, RangeNote};
 use crate::cache::CachedRoutine;
 use crate::summary::{ArraySets, Summary};
 use gar::{Approx, Gar, GarList};
@@ -37,7 +37,7 @@ use sym::{Expr, Monomial, Name, Term};
 /// Version of the payload layout. Bumped whenever any encoded type
 /// gains, loses, or reorders a field; old records then fail the header
 /// check and are quarantined rather than misdecoded.
-pub const WIRE_VERSION: u16 = 1;
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on any single collection length in a record. Entries
 /// are per-routine summaries — thousands of elements, not millions —
@@ -689,6 +689,35 @@ fn dec_range_note(d: &mut Dec) -> Result<RangeNote> {
     })
 }
 
+fn enc_content_note(e: &mut Enc, n: &ContentNote) {
+    match n {
+        ContentNote::Refute { array, detail } => {
+            e.u8(0);
+            e.str(array);
+            e.str(detail);
+        }
+        ContentNote::FullDef { array, detail } => {
+            e.u8(1);
+            e.str(array);
+            e.str(detail);
+        }
+    }
+}
+
+fn dec_content_note(d: &mut Dec) -> Result<ContentNote> {
+    Ok(match d.u8("content note tag")? {
+        0 => ContentNote::Refute {
+            array: d.str("refute array")?,
+            detail: d.str("refute detail")?,
+        },
+        1 => ContentNote::FullDef {
+            array: d.str("fulldef array")?,
+            detail: d.str("fulldef detail")?,
+        },
+        _ => return Err(d.err("content note tag")),
+    })
+}
+
 fn enc_loop(e: &mut Enc, l: &LoopAnalysis) {
     e.str(&l.routine);
     e.u64(l.subgraph as u64);
@@ -715,6 +744,11 @@ fn enc_loop(e: &mut Enc, l: &LoopAnalysis) {
         enc_range_note(e, n);
     }
     enc_bounds_map(e, &l.range_bounds);
+    e.count(l.content_notes.len());
+    for n in &l.content_notes {
+        enc_content_note(e, n);
+    }
+    enc_str_set(e, &l.content_full);
 }
 
 fn dec_loop(d: &mut Dec) -> Result<LoopAnalysis> {
@@ -746,6 +780,12 @@ fn dec_loop(d: &mut Dec) -> Result<LoopAnalysis> {
         range_notes.push(dec_range_note(d)?);
     }
     let range_bounds = dec_bounds_map(d)?;
+    let nc = d.count("content notes")?;
+    let mut content_notes = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        content_notes.push(dec_content_note(d)?);
+    }
+    let content_full = dec_str_set(d)?;
     Ok(LoopAnalysis {
         routine,
         subgraph,
@@ -765,6 +805,8 @@ fn dec_loop(d: &mut Dec) -> Result<LoopAnalysis> {
         degraded,
         range_notes,
         range_bounds,
+        content_notes,
+        content_full,
     })
 }
 
@@ -919,6 +961,17 @@ mod tests {
                 },
             ],
             range_bounds: [("m".to_string(), (Some(50), Some(60)))].into(),
+            content_notes: vec![
+                ContentNote::Refute {
+                    array: "a".to_string(),
+                    detail: "UE region covered by prior full definition".to_string(),
+                },
+                ContentNote::FullDef {
+                    array: "w".to_string(),
+                    detail: "every declared element written each iteration".to_string(),
+                },
+            ],
+            content_full: ["w".to_string()].into(),
         };
         CachedRoutine {
             summary,

@@ -24,6 +24,11 @@ pub struct Options {
     /// interval/congruence facts and let them refute Δ-unknown guards
     /// through the `sym::bounds` oracle.
     pub value_range: bool,
+    /// Array-content analysis (DESIGN.md §4i): per-iteration coverage
+    /// facts refute UE₍i₎ entries the backward pass over-approximates
+    /// and prove full definition for FIRSTPRIVATE→PRIVATE demotion.
+    /// Off by default so verdicts stay byte-identical without the flag.
+    pub content: bool,
     /// Record a per-node trace of the backward propagation (Fig. 5).
     pub trace: bool,
 }
@@ -36,6 +41,7 @@ impl Default for Options {
             interprocedural: true,
             forall_ext: false,
             value_range: true,
+            content: false,
             trace: false,
         }
     }
@@ -59,6 +65,7 @@ impl Options {
             interprocedural: false,
             forall_ext: false,
             value_range: false,
+            content: false,
             trace: false,
         }
     }

@@ -388,12 +388,12 @@ impl<'a> Machine<'a> {
 
         // Parallel or instrumented execution of the designated loop?
         let is_target = !st.in_target
-            && (st.plan.is_some_and(|p| p.matches(&r.name, var))
+            && (st.plan.is_some_and(|p| p.matches(&r.name, var, line))
                 || st.hook.as_ref().is_some_and(|(hr, hv, hline)| {
                     hr == &r.name && hv == var && hline.is_none_or(|l| l == line)
                 }));
-        if is_target && st.plan.is_some_and(|p| p.matches(&r.name, var)) {
-            return run_parallel_do(self, r, var, lo, step, trips, body, frame, st);
+        if is_target && st.plan.is_some_and(|p| p.matches(&r.name, var, line)) {
+            return run_parallel_do(self, r, var, line, lo, step, trips, body, frame, st);
         }
 
         if is_target {

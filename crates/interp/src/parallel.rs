@@ -44,6 +44,10 @@ pub struct LoopPlan {
     /// Floating-point results may differ from sequential execution by
     /// reassociation (as on any real parallel machine).
     pub sum_reductions: Vec<String>,
+    /// Scalars executed as product reductions: each thread accumulates
+    /// from the multiplicative identity and the partials are multiplied
+    /// after the join.
+    pub mul_reductions: Vec<String>,
 }
 
 impl LoopPlan {
@@ -59,10 +63,13 @@ impl LoopPlan {
     }
 }
 
-/// The set of loops to run in parallel, keyed by `(routine, index var)`.
+/// The set of loops to run in parallel, keyed by
+/// `(routine, index var, source line)`. The line disambiguates routines
+/// with several `DO` statements on the same index variable, so a plan
+/// entry fires only on the verified loop.
 #[derive(Clone, Debug, Default)]
 pub struct ParallelPlan {
-    loops: BTreeMap<(String, String), LoopPlan>,
+    loops: BTreeMap<(String, String, u32), LoopPlan>,
 }
 
 impl ParallelPlan {
@@ -72,19 +79,19 @@ impl ParallelPlan {
     }
 
     /// Registers a loop.
-    pub fn add(&mut self, routine: &str, var: &str, plan: LoopPlan) {
+    pub fn add(&mut self, routine: &str, var: &str, line: u32, plan: LoopPlan) {
         self.loops
-            .insert((routine.to_string(), var.to_string()), plan);
+            .insert((routine.to_string(), var.to_string(), line), plan);
     }
 
     /// Does the plan cover this loop?
-    pub fn matches(&self, routine: &str, var: &str) -> bool {
+    pub fn matches(&self, routine: &str, var: &str, line: u32) -> bool {
         self.loops
-            .contains_key(&(routine.to_string(), var.to_string()))
+            .contains_key(&(routine.to_string(), var.to_string(), line))
     }
 
-    fn get(&self, routine: &str, var: &str) -> Option<&LoopPlan> {
-        self.loops.get(&(routine.to_string(), var.to_string()))
+    fn get(&self, routine: &str, var: &str, line: u32) -> Option<&LoopPlan> {
+        self.loops.get(&(routine.to_string(), var.to_string(), line))
     }
 }
 
@@ -104,6 +111,7 @@ pub(crate) fn run_parallel_do(
     machine: &Machine,
     r: &Routine,
     var: &str,
+    line: u32,
     lo: i64,
     step: i64,
     trips: i64,
@@ -113,7 +121,7 @@ pub(crate) fn run_parallel_do(
 ) -> Result<Flow, RuntimeError> {
     let plan = st
         .plan
-        .and_then(|p| p.get(&r.name, var))
+        .and_then(|p| p.get(&r.name, var, line))
         .cloned()
         .unwrap_or_default();
     let nthreads = st.nthreads.max(1).min(trips.max(1) as usize);
@@ -126,7 +134,7 @@ pub(crate) fn run_parallel_do(
     let base_mem = st.mem.clone();
     let mut base_frame = frame.clone();
     // Reduction scalars: remember the incoming value, start threads from
-    // the additive identity.
+    // the operator's identity (0 for sums, 1 for products).
     let mut reduction_pre: Vec<(String, Value)> = Vec::new();
     for s in &plan.sum_reductions {
         if let Some(v) = base_frame.scalars.get(s).copied() {
@@ -136,6 +144,19 @@ pub(crate) fn run_parallel_do(
                 match v {
                     Value::Int(_) => Value::Int(0),
                     _ => Value::Real(0.0),
+                },
+            );
+        }
+    }
+    let mut mul_reduction_pre: Vec<(String, Value)> = Vec::new();
+    for s in &plan.mul_reductions {
+        if let Some(v) = base_frame.scalars.get(s).copied() {
+            mul_reduction_pre.push((s.clone(), v));
+            base_frame.scalars.insert(
+                s.clone(),
+                match v {
+                    Value::Int(_) => Value::Int(1),
+                    _ => Value::Real(1.0),
                 },
             );
         }
@@ -289,12 +310,23 @@ pub(crate) fn run_parallel_do(
         }
     }
 
-    // Combine reduction partials: final = pre-value + Σ thread partials.
+    // Combine reduction partials: final = pre-value + Σ thread partials
+    // for sums, pre-value × Π thread partials for products.
     for (name, pre) in &reduction_pre {
         let combined = results.iter().fold(*pre, |acc, tr| {
             match (acc, tr.frame.scalars.get(name).copied()) {
                 (Value::Int(a), Some(Value::Int(b))) => Value::Int(a.wrapping_add(b)),
                 (a, Some(b)) => Value::Real(a.as_f64() + b.as_f64()),
+                (a, None) => a,
+            }
+        });
+        frame.scalars.insert(name.clone(), combined);
+    }
+    for (name, pre) in &mul_reduction_pre {
+        let combined = results.iter().fold(*pre, |acc, tr| {
+            match (acc, tr.frame.scalars.get(name).copied()) {
+                (Value::Int(a), Some(Value::Int(b))) => Value::Int(a.wrapping_mul(b)),
+                (a, Some(b)) => Value::Real(a.as_f64() * b.as_f64()),
                 (a, None) => a,
             }
         });

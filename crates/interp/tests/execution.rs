@@ -18,6 +18,20 @@ fn real_array(mem: &Memory, handle: usize) -> &[f64] {
     }
 }
 
+/// Source line of the `nth` (0-based) top-level `DO` on `var` in `routine`
+/// — plans are keyed by `(routine, var, line)`.
+fn do_line(p: &fortran::Program, routine: &str, var: &str, nth: usize) -> u32 {
+    let r = p.routine(routine).expect("routine");
+    r.body
+        .iter()
+        .filter_map(|s| match &s.kind {
+            fortran::StmtKind::Do { var: v, .. } if v == var => Some(s.line),
+            _ => None,
+        })
+        .nth(nth)
+        .expect("DO statement")
+}
+
 #[test]
 fn simple_arithmetic_and_do() {
     let mem = run("
@@ -254,6 +268,7 @@ fn parallel_matches_sequential_ocean() {
     plan.add(
         "ocean",
         "i",
+        do_line(&p, "ocean", "i", 0),
         LoopPlan {
             private_arrays: vec!["a".to_string()],
             private_scalars: vec!["x".to_string()],
@@ -307,6 +322,7 @@ fn parallel_work_array_with_copy_out() {
     plan.add(
         "t",
         "i",
+        do_line(&p, "t", "i", 0),
         LoopPlan {
             private_arrays: vec!["w".to_string()],
             private_scalars: vec!["k".to_string()],
@@ -411,14 +427,14 @@ fn parallel_sum_reduction() {
     plan.add(
         "t",
         "i",
+        do_line(&p, "t", "i", 1),
         LoopPlan {
             sum_reductions: vec!["s".to_string()],
             ..Default::default()
         },
     );
-    // NOTE: the plan applies to BOTH i loops (keyed by routine/var); the
-    // first loop doesn't touch s, so treating it as a reduction there is a
-    // no-op.
+    // The plan is keyed by line, so only the second i loop (the sum) runs
+    // in parallel; the initialization loop stays sequential.
     let (par, _) = m.run_parallel(&plan, 4).unwrap();
     let seq_s = match &seq.arrays[0].data {
         ArrayData::Real(v) => v[0],
@@ -560,4 +576,98 @@ fn nested_calls_three_deep() {
     let a = real_array(&mem, 0);
     assert_eq!(a[0], 10.0);
     assert_eq!(a[1], 11.0);
+}
+
+#[test]
+fn parallel_product_reduction() {
+    // An INTEGER product reduction: combining thread partials additively
+    // (the pre-fix behavior) gives 1 + p1 + p2 + ... instead of
+    // 1 * p1 * p2 * ..., which diverges for any input with a factor > 1.
+    let src = "
+      PROGRAM t
+      INTEGER f(12), p
+      INTEGER i
+      DO i = 1, 12
+        f(i) = i
+      ENDDO
+      p = 1
+      DO i = 1, 12
+        p = p * f(i)
+      ENDDO
+      f(1) = p
+      END
+";
+    let p = parse_program(src).unwrap();
+    let sema = analyze(&p).unwrap();
+    let m = Machine::new(&p, &sema);
+    let (seq, _) = m.run().unwrap();
+    let seq_p = match &seq.arrays[0].data {
+        ArrayData::Int(v) => v[0],
+        _ => unreachable!(),
+    };
+    assert_eq!(seq_p, 479_001_600); // 12!
+
+    let mut plan = ParallelPlan::new();
+    plan.add(
+        "t",
+        "i",
+        do_line(&p, "t", "i", 1),
+        LoopPlan {
+            mul_reductions: vec!["p".to_string()],
+            ..Default::default()
+        },
+    );
+    for threads in [2, 4] {
+        let (par, _) = m.run_parallel(&plan, threads).unwrap();
+        let par_p = match &par.arrays[0].data {
+            ArrayData::Int(v) => v[0],
+            _ => unreachable!(),
+        };
+        assert_eq!(par_p, seq_p, "{threads} threads");
+    }
+}
+
+#[test]
+fn plan_key_line_disambiguates_same_var_loops() {
+    // Two i loops; only the second is safe to privatize w (the first
+    // READS w before writing it). A (routine, var)-keyed plan would fire
+    // on both and zero-scrub w under the first loop, corrupting b.
+    let src = "
+      PROGRAM t
+      REAL w(4), b(8), c(8)
+      INTEGER i, k
+      w(1) = 7.0
+      DO i = 1, 8
+        b(i) = w(1) + i
+      ENDDO
+      DO i = 1, 8
+        DO k = 1, 4
+          w(k) = i * 2.0
+        ENDDO
+        c(i) = w(3)
+      ENDDO
+      END
+";
+    let p = parse_program(src).unwrap();
+    let sema = analyze(&p).unwrap();
+    let m = Machine::new(&p, &sema);
+    let (seq, _) = m.run().unwrap();
+
+    let mut plan = ParallelPlan::new();
+    plan.add(
+        "t",
+        "i",
+        do_line(&p, "t", "i", 1),
+        LoopPlan {
+            private_arrays: vec!["w".to_string()],
+            private_scalars: vec!["k".to_string()],
+            copy_out: vec!["w".to_string()],
+            ..Default::default()
+        },
+    );
+    let (par, stats) = m.run_parallel(&plan, 4).unwrap();
+    for (s, q) in seq.arrays.iter().zip(&par.arrays) {
+        assert_eq!(s.data, q.data, "line-keyed plan must not touch loop 1");
+    }
+    assert!(stats.parallel_iterations > 0);
 }

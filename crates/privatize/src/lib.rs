@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use dataflow::{LoopAnalysis, RangeNote};
+use dataflow::{ContentNote, LoopAnalysis, RangeNote};
 use gar::GarList;
 use serde::Serialize;
 use vrange::{eval_sym, Budget, Interval, RangeEnv, ValueRange, DEFAULT_BUDGET};
@@ -231,7 +231,11 @@ pub struct LoopVerdict {
 /// Does any piece's *region* mention the variable? (Guards may mention the
 /// index — e.g. `MOD_<i` — without the accesses themselves varying.)
 fn regions_contain_var(list: &GarList, var: &str) -> bool {
-    list.gars().iter().any(|g| g.region.contains_var(var))
+    // Guards count too: a write under `IF (k .LE. 4)` reaches different
+    // elements on different iterations even when the subscripts are
+    // index-free, so per-iteration sets are not uniform and copy-out
+    // from the last iteration would drop earlier iterations' writes.
+    list.gars().iter().any(|g| g.contains_var(var))
 }
 
 /// Runs one loop-carried intersection test and records it in the
@@ -278,6 +282,23 @@ fn range_note_entry(note: &RangeNote) -> ProvEntry {
             subject: String::new(),
             detail: format!("{lhs} ? {rhs}; {detail}"),
             result: result.clone(),
+        },
+    }
+}
+
+fn content_note_entry(note: &ContentNote) -> ProvEntry {
+    match note {
+        ContentNote::Refute { array, detail } => ProvEntry {
+            op: "content_refute".to_string(),
+            subject: array.clone(),
+            detail: detail.clone(),
+            result: "ue_i = {}".to_string(),
+        },
+        ContentNote::FullDef { array, detail } => ProvEntry {
+            op: "content_full_def".to_string(),
+            subject: array.clone(),
+            detail: detail.clone(),
+            result: "fully defined".to_string(),
         },
     }
 }
@@ -331,6 +352,10 @@ pub fn judge_loop(la: &LoopAnalysis) -> LoopVerdict {
     // identical provenance.
     for note in &la.range_notes {
         prov.push(range_note_entry(note));
+    }
+    // Likewise for the content pass (UE refutations, full definition).
+    for note in &la.content_notes {
+        prov.push(content_note_entry(note));
     }
     let range_guard = install_range_oracle(la);
 

@@ -31,9 +31,10 @@ struct Run {
 fn oracle(src: &str, opts: Options) -> Run {
     let interprocedural = opts.interprocedural;
     let value_range = opts.value_range;
+    let content = opts.content;
     let (program, sema, verdicts) = analyze(src, opts);
     let report = validate(&program, &sema, &verdicts);
-    let lints = lint_program(&program, &sema, interprocedural, value_range);
+    let lints = lint_program(&program, &sema, interprocedural, value_range, content);
     Run {
         report,
         verdicts,

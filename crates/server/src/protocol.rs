@@ -116,6 +116,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         opts.interprocedural = flag("interprocedural", opts.interprocedural)?;
         opts.forall_ext = flag("forall_ext", opts.forall_ext)?;
         opts.value_range = flag("value_range", opts.value_range)?;
+        opts.content = flag("content", opts.content)?;
     }
     let flag = |key: &str| -> Result<bool, String> {
         match value.get(key) {
@@ -241,7 +242,7 @@ mod tests {
     #[test]
     fn parses_analyze_with_opts() {
         let r = parse_request(
-            r#"{"id": 7, "source": "      END", "opts": {"forall_ext": true, "symbolic": false}, "oracle": true}"#,
+            r#"{"id": 7, "source": "      END", "opts": {"forall_ext": true, "symbolic": false, "content": true}, "oracle": true}"#,
         )
         .unwrap();
         let Request::Analyze {
@@ -259,6 +260,7 @@ mod tests {
         assert_eq!(id, Value::Int(7));
         assert_eq!(source, "      END");
         assert!(opts.forall_ext && !opts.symbolic && opts.if_conditions);
+        assert!(opts.content, "daemon opts must carry the content toggle");
         assert!(oracle);
         assert!(limits.is_unlimited());
         assert!(!trace);

@@ -48,6 +48,7 @@ fn main() {
     plan.add(
         kernel.routine,
         kernel.var,
+        v.line,
         LoopPlan {
             // Copy-in for every privatized array: sound whether or not
             // the loop has upward-exposed reads (the codegen backend

@@ -73,6 +73,7 @@ fn firstprivate_wrong_clause_diverges_selected_clause_matches() {
     wrong.add(
         "ka",
         "i",
+        lt.line,
         LoopPlan {
             private_arrays: vec!["w".to_string()],
             private_scalars: vec!["k".to_string()],
@@ -123,6 +124,7 @@ fn scalar_lastprivate_wrong_clause_diverges_selected_clause_matches() {
     wrong.add(
         "kb",
         "i",
+        lt.line,
         LoopPlan {
             private_scalars: vec!["m".to_string()],
             ..Default::default()
@@ -174,6 +176,7 @@ fn array_lastprivate_wrong_clause_diverges_selected_clause_matches() {
     wrong.add(
         "kc",
         "i",
+        lt.line,
         LoopPlan {
             private_arrays: vec!["w".to_string()],
             private_scalars: vec!["k".to_string()],

@@ -1,0 +1,144 @@
+//! Golden content-lint output (P010 read-before-write, P011
+//! redundant-store, P012 dead-initialization-loop) over the benchsuite,
+//! the content-flip kernels and the content-lint demo, analyzed with
+//! the content pass ON: checked in at `tests/golden/content_lints.txt`,
+//! re-derived through the `panorama --content --lint --json` CLI by the
+//! CI `content-golden` job.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p panorama --test content_golden`.
+
+use panorama::{analyze_source, LintCode, Options};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/content_lints.txt"
+);
+
+const CONTENT_CODES: [LintCode; 3] = [
+    LintCode::ReadBeforeWrite,
+    LintCode::RedundantStore,
+    LintCode::DeadInitializationLoop,
+];
+
+fn content_opts() -> Options {
+    Options {
+        content: true,
+        ..Options::default()
+    }
+}
+
+/// All (program, label, source) sections the golden covers.
+fn corpus() -> Vec<(String, String, String)> {
+    let mut out: Vec<(String, String, String)> = benchsuite::kernels()
+        .iter()
+        .map(|k| {
+            (
+                k.program.to_string(),
+                k.loop_label.to_string(),
+                k.source.to_string(),
+            )
+        })
+        .collect();
+    for k in benchsuite::content_kernels() {
+        out.push((
+            "content".to_string(),
+            k.tag.to_string(),
+            k.source.to_string(),
+        ));
+    }
+    out.push((
+        "content".to_string(),
+        "cdemo".to_string(),
+        benchsuite::content_lint_demo().to_string(),
+    ));
+    out
+}
+
+fn section(program: &str, label: &str, source: &str, opts: Options) -> String {
+    let analysis = analyze_source(source, opts).unwrap();
+    let content_lints: Vec<_> = analysis
+        .lints
+        .iter()
+        .filter(|l| CONTENT_CODES.contains(&l.code))
+        .collect();
+    let mut out = format!("== {program} {label} ==\n");
+    if content_lints.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for l in content_lints {
+        out.push_str(&format!("{l}\n"));
+    }
+    out
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    for (program, label, source) in corpus() {
+        out.push_str(&section(&program, &label, &source, content_opts()));
+    }
+    out
+}
+
+#[test]
+fn content_lints_match_the_golden_file() {
+    let got = render();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .unwrap_or_else(|e| panic!("missing golden file {GOLDEN}: {e}"));
+    assert_eq!(
+        got, want,
+        "content lint output drifted from tests/golden/content_lints.txt; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn demo_kernel_fires_every_content_code() {
+    // The golden must stay meaningful: the demo section pins all three
+    // codes, in source-line order.
+    let analysis = analyze_source(benchsuite::content_lint_demo(), content_opts()).unwrap();
+    let codes: Vec<LintCode> = analysis
+        .lints
+        .iter()
+        .filter(|l| CONTENT_CODES.contains(&l.code))
+        .map(|l| l.code)
+        .collect();
+    assert_eq!(
+        codes,
+        vec![
+            LintCode::RedundantStore,
+            LintCode::DeadInitializationLoop,
+            LintCode::ReadBeforeWrite,
+        ]
+    );
+}
+
+#[test]
+fn no_content_lints_without_the_pass() {
+    // The default (content off) must produce exactly zero P010–P012 and
+    // leave every other lint untouched, for the whole corpus.
+    for (program, label, source) in corpus() {
+        let off = analyze_source(&source, Options::default()).unwrap();
+        assert!(
+            off.lints.iter().all(|l| !CONTENT_CODES.contains(&l.code)),
+            "{program} {label}: content lint fired with the pass off"
+        );
+        let on = analyze_source(&source, content_opts()).unwrap();
+        let non_content = |lints: &[panorama::Lint]| {
+            lints
+                .iter()
+                .filter(|l| !CONTENT_CODES.contains(&l.code))
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            non_content(&off.lints),
+            non_content(&on.lints),
+            "{program} {label}: content toggled a non-content lint"
+        );
+    }
+}

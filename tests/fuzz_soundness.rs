@@ -40,6 +40,7 @@ fn check_seed(seed: u64) {
     plan.add(
         "fuzz",
         "i",
+        v.line,
         LoopPlan {
             // Copy-in for all privatized arrays: sound regardless of
             // upward-exposed reads (panogen picks the tighter clause).
@@ -152,6 +153,7 @@ fn fuzz_with_calls() {
         plan.add(
             "fuzz",
             "i",
+            v.line,
             LoopPlan {
                 firstprivate: v.privatized.clone(),
                 private_scalars: v.private_scalars.clone(),

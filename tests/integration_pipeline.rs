@@ -81,6 +81,7 @@ fn verdicts_agree_with_execution_semantics() {
     plan.add(
         "t",
         "i",
+        v.line,
         interp::LoopPlan {
             firstprivate: v.privatized.clone(),
             private_scalars: v.private_scalars.clone(),
