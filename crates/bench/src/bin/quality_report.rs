@@ -1,0 +1,15 @@
+//! Regenerates `reports/QUALITY_benchsuite.json` — the committed
+//! quality trajectory: every benchsuite kernel's loop verdicts plus
+//! the precision ledger from a `--precision-report` run. CI's
+//! `quality-golden` job reruns this binary and diffs the output
+//! against the committed file, so a lost parallel loop, a flipped
+//! verdict or a new degradation cause fails the build.
+
+fn main() {
+    let report = bench_tables::quality_report();
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("(cannot render report: {e})"),
+    }
+    bench_tables::write_report("QUALITY_benchsuite", &report);
+}

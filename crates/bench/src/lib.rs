@@ -76,6 +76,109 @@ fn report_dir() -> PathBuf {
     p
 }
 
+/// The committed quality trajectory (`reports/QUALITY_benchsuite.json`):
+/// every benchsuite kernel analyzed under `--precision-report`, with the
+/// per-loop verdicts and the precision ledger attached. The payload is
+/// fully deterministic — no dates, commits or timings — so CI can
+/// regenerate it and `diff` byte-for-byte against the committed file;
+/// any lost parallel loop, flipped verdict or new degradation cause
+/// shows up as a diff.
+pub fn quality_report() -> serde::Value {
+    use serde::Value;
+    let mut kernels_json = Vec::new();
+    let mut loops = [0u64; 4]; // total, parallel, serial_dependence, serial_degraded
+    let mut causes: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for k in benchsuite::kernels() {
+        let req = driver::Request {
+            precision: true,
+            ..driver::Request::new(k.source)
+        };
+        let out =
+            driver::run(&req).unwrap_or_else(|e| panic!("{}: analysis failed: {e}", k.loop_label));
+        let report = out.precision.expect("precision requested");
+        loops[0] += report.loops_total;
+        loops[1] += report.loops_parallel;
+        loops[2] += report.loops_serial_dependence;
+        loops[3] += report.loops_serial_degraded;
+        for (c, n) in &report.counts {
+            *causes.entry(c.as_str()).or_insert(0) += n;
+        }
+        let loops_json = out
+            .analysis
+            .verdicts
+            .iter()
+            .map(|v| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::Str(v.id.clone())),
+                    ("line".to_string(), Value::UInt(u64::from(v.line))),
+                    ("parallel_as_is".to_string(), Value::Bool(v.parallel_as_is)),
+                    (
+                        "parallel_after_privatization".to_string(),
+                        Value::Bool(v.parallel_after_privatization),
+                    ),
+                    ("degraded".to_string(), Value::Bool(v.degraded)),
+                    (
+                        "privatized".to_string(),
+                        Value::Array(v.privatized.iter().cloned().map(Value::Str).collect()),
+                    ),
+                    (
+                        "reductions".to_string(),
+                        Value::Array(v.reductions.iter().cloned().map(Value::Str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        kernels_json.push(Value::Object(vec![
+            ("program".to_string(), Value::Str(k.program.to_string())),
+            (
+                "loop_label".to_string(),
+                Value::Str(k.loop_label.to_string()),
+            ),
+            ("loops".to_string(), Value::Array(loops_json)),
+            ("precision".to_string(), report.json()),
+        ]));
+    }
+    Value::Object(vec![
+        ("suite".to_string(), Value::Str("benchsuite".to_string())),
+        ("schema_version".to_string(), Value::UInt(1)),
+        ("kernels".to_string(), Value::Array(kernels_json)),
+        (
+            "totals".to_string(),
+            Value::Object(vec![
+                ("loops_total".to_string(), Value::UInt(loops[0])),
+                ("loops_parallel".to_string(), Value::UInt(loops[1])),
+                ("loops_serial_dependence".to_string(), Value::UInt(loops[2])),
+                ("loops_serial_degraded".to_string(), Value::UInt(loops[3])),
+                (
+                    "precision_ratio".to_string(),
+                    Value::Str(ratio_3(loops[0] - loops[3], loops[0])),
+                ),
+                (
+                    "causes".to_string(),
+                    Value::Object(
+                        causes
+                            .iter()
+                            .map(|(c, n)| (c.to_string(), Value::UInt(*n)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// `num / den` to three fixed decimals, round-half-up, in integers —
+/// the same formula `PrecisionReport::ratio` uses, so the suite-wide
+/// total in the quality report is comparable to the per-kernel ratios.
+fn ratio_3(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "1.000".to_string();
+    }
+    let scaled = (num * 1000 + den / 2) / den;
+    format!("{}.{:03}", scaled / 1000, scaled % 1000)
+}
+
 /// Formats Yes/No cells.
 pub fn yn(b: bool) -> &'static str {
     if b {

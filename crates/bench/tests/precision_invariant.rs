@@ -1,0 +1,276 @@
+//! The ledger's suite-wide invariant: **every verdict-flipping
+//! degradation is accounted**. For each benchsuite kernel and each
+//! generated fuzz program, a verdict the engine marks `degraded` must
+//! coincide with verdict-degrading `PrecisionEvent`s in the report, the
+//! report's loop split must agree with the verdicts it was built from,
+//! and a fuel-starved cache-less run must account for 100% of the loops
+//! it flips from parallel (full budget) to serial. The report itself is
+//! part of the determinism contract: byte-identical with and without a
+//! summary cache attached.
+
+use dataflow::cache::MemoryCache;
+use panorama::{driver, FuelLimits};
+use std::sync::Arc;
+
+/// Deterministic generator (same recurrence as the raceoracle corpus).
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % n
+    }
+}
+
+/// One fuzz program: an outer i loop writing a work array under a
+/// randomly chosen shape (full / guarded / partial / none) and reading
+/// it back, with an optional init loop, an optional call into a helper
+/// subroutine (exercises interprocedural summaries and the sum_call
+/// degradation path) and an optional trailing liveness read.
+fn gen_program(rng: &mut Lcg) -> String {
+    let wsize = [8, 12, 16][rng.next(3) as usize];
+    let n = [20, 40][rng.next(2) as usize];
+    let write = rng.next(4);
+    let read = rng.next(3);
+    let init = rng.next(2) == 0;
+    let call = rng.next(3) == 0;
+    let live_after = rng.next(2) == 0;
+    let mut s = String::new();
+    s.push_str("      PROGRAM fz\n");
+    s.push_str(&format!("      REAL w({wsize}), b({wsize}), r({n})\n"));
+    s.push_str("      REAL acc\n      INTEGER i, k\n");
+    s.push_str(&format!("      DO k = 1, {wsize}\n"));
+    s.push_str("        b(k) = float(k)\n      ENDDO\n");
+    if init {
+        s.push_str(&format!("      DO k = 1, {wsize}\n"));
+        s.push_str("        w(k) = 0.0\n      ENDDO\n");
+    }
+    s.push_str(&format!("      DO i = 1, {n}\n"));
+    match write {
+        0 => {
+            s.push_str(&format!("        DO k = 1, {wsize}\n"));
+            s.push_str("          w(k) = b(k) + float(i)\n        ENDDO\n");
+        }
+        1 => {
+            s.push_str(&format!("        DO k = 1, {wsize}\n"));
+            s.push_str("          IF (b(k) .GT. 3.0) THEN\n");
+            s.push_str("            w(k) = b(k) + float(i)\n");
+            s.push_str("          ENDIF\n        ENDDO\n");
+        }
+        2 => {
+            s.push_str(&format!("        DO k = 2, {wsize}\n"));
+            s.push_str("          w(k) = b(k) + float(i)\n        ENDDO\n");
+        }
+        _ => {}
+    }
+    if call {
+        s.push_str(&format!("        CALL wfill(w, {wsize})\n"));
+    }
+    s.push_str("        acc = 0.0\n");
+    match read {
+        0 => {
+            s.push_str(&format!("        DO k = 1, {wsize}\n"));
+            s.push_str("          acc = acc + w(k)\n        ENDDO\n");
+        }
+        1 => {
+            s.push_str(&format!("        DO k = 1, {wsize}\n"));
+            s.push_str("          IF (b(k) .GT. 3.0) THEN\n");
+            s.push_str("            acc = acc + w(k)\n");
+            s.push_str("          ENDIF\n        ENDDO\n");
+        }
+        _ => {}
+    }
+    s.push_str("        r(i) = acc + float(i)\n");
+    s.push_str("      ENDDO\n");
+    if live_after {
+        s.push_str("      r(1) = r(1) + w(2)\n");
+    }
+    s.push_str("      END\n");
+    if call {
+        s.push_str("      SUBROUTINE wfill(a, m)\n");
+        s.push_str("      INTEGER m, j\n      REAL a(m)\n");
+        s.push_str("      DO j = 1, m\n        a(j) = a(j) + 1.0\n      ENDDO\n");
+        s.push_str("      END\n");
+    }
+    s
+}
+
+fn run(src: &str, limits: FuelLimits) -> driver::Outcome {
+    let req = driver::Request {
+        precision: true,
+        limits,
+        ..driver::Request::new(src)
+    };
+    driver::run(&req).expect("analysis failed")
+}
+
+/// The core invariant, checked against every run in this suite.
+fn check_accounted(label: &str, out: &driver::Outcome) {
+    let p = out.precision.as_ref().expect("precision requested");
+    let verdicts = &out.analysis.verdicts;
+    // The report's loop split is exactly the verdict set it summarizes.
+    assert_eq!(
+        p.loops_total as usize,
+        verdicts.len(),
+        "{label}: loops_total"
+    );
+    let parallel = verdicts
+        .iter()
+        .filter(|v| v.parallel_after_privatization)
+        .count();
+    let serial_degraded = verdicts
+        .iter()
+        .filter(|v| !v.parallel_after_privatization && v.degraded)
+        .count();
+    assert_eq!(
+        p.loops_parallel as usize, parallel,
+        "{label}: loops_parallel"
+    );
+    assert_eq!(
+        p.loops_serial_degraded as usize, serial_degraded,
+        "{label}: loops_serial_degraded"
+    );
+    assert_eq!(
+        p.loops_serial_dependence as usize,
+        verdicts.len() - parallel - serial_degraded,
+        "{label}: loops_serial_dependence"
+    );
+    // Accounting: a degraded verdict without a verdict-degrading event
+    // in the ledger (or an overflow drop) is a silent precision loss —
+    // exactly what panoledger exists to make impossible.
+    if verdicts.iter().any(|v| v.degraded) {
+        assert!(
+            p.degrading_events() > 0 || p.events_dropped > 0,
+            "{label}: degraded verdicts with an empty ledger"
+        );
+    }
+    // And the converse for the engine-wide widening flag: no verdict
+    // may claim degradation when the analysis never widened.
+    if !out.analysis.degraded() {
+        assert!(
+            verdicts.iter().all(|v| !v.degraded),
+            "{label}: degraded verdict in a non-degraded analysis"
+        );
+    }
+}
+
+fn starved() -> FuelLimits {
+    FuelLimits {
+        steps: Some(1),
+        ..FuelLimits::unlimited()
+    }
+}
+
+#[test]
+fn benchsuite_full_budget_is_fully_accounted() {
+    for k in benchsuite::kernels() {
+        let out = run(k.source, FuelLimits::unlimited());
+        check_accounted(k.loop_label, &out);
+        let p = out.precision.as_ref().unwrap();
+        assert_eq!(
+            p.loops_serial_degraded, 0,
+            "{}: full budget must not degrade",
+            k.loop_label
+        );
+        assert_eq!(p.ratio(), "1.000", "{}", k.loop_label);
+    }
+}
+
+#[test]
+fn benchsuite_starved_flips_are_fully_accounted() {
+    let mut flips = 0usize;
+    for k in benchsuite::kernels() {
+        let full = run(k.source, FuelLimits::unlimited());
+        let poor = run(k.source, starved());
+        check_accounted(k.loop_label, &poor);
+        let p = poor.precision.as_ref().unwrap();
+        // 100% of serial flips accounted: every loop that was parallel
+        // at full budget but serial when starved must carry the
+        // degraded flag, and the ledger must hold degrading events.
+        for fv in &full.analysis.verdicts {
+            if !fv.parallel_after_privatization {
+                continue;
+            }
+            let Some(pv) = poor.analysis.verdicts.iter().find(|v| v.id == fv.id) else {
+                continue; // loop not even discovered under starvation
+            };
+            if !pv.parallel_after_privatization {
+                flips += 1;
+                assert!(
+                    pv.degraded,
+                    "{}: {} flipped serial without the degraded flag",
+                    k.loop_label, pv.id
+                );
+                assert!(
+                    p.degrading_events() > 0,
+                    "{}: flipped verdicts with no degrading events",
+                    k.loop_label
+                );
+            }
+        }
+    }
+    assert!(flips > 0, "starvation never flipped a benchsuite loop");
+}
+
+type BudgetFn = fn() -> FuelLimits;
+
+#[test]
+fn fuzz_corpus_is_fully_accounted_under_every_budget() {
+    let mut rng = Lcg(0x9a4d_f00d);
+    let budgets: &[(&str, BudgetFn)] = &[
+        ("full", FuelLimits::unlimited),
+        ("starved", starved),
+        ("range1", || FuelLimits {
+            range_budget: Some(1),
+            ..FuelLimits::unlimited()
+        }),
+        ("content1", || FuelLimits {
+            content_budget: Some(1),
+            ..FuelLimits::unlimited()
+        }),
+    ];
+    let mut degraded_runs = 0usize;
+    for case in 0..40 {
+        let src = gen_program(&mut rng);
+        for (name, limits) in budgets {
+            let out = run(&src, limits());
+            check_accounted(&format!("fuzz {case} ({name})"), &out);
+            if out.analysis.degraded() {
+                degraded_runs += 1;
+            }
+        }
+    }
+    assert!(
+        degraded_runs > 0,
+        "no fuzz run ever degraded — starvation has no teeth"
+    );
+}
+
+#[test]
+fn report_is_identical_with_and_without_a_cache() {
+    for k in benchsuite::kernels().iter().take(4) {
+        let req = driver::Request {
+            precision: true,
+            ..driver::Request::new(k.source)
+        };
+        let plain = driver::run(&req).unwrap();
+        let cache: Arc<MemoryCache> = Arc::new(MemoryCache::new());
+        // Warm the cache with a non-precision run so replay would kick
+        // in if precision requests did not bypass it.
+        let warm = driver::Request {
+            precision: false,
+            ..driver::Request::new(k.source)
+        };
+        driver::run_with_cache(&warm, Some(cache.clone())).unwrap();
+        let cached = driver::run_with_cache(&req, Some(cache)).unwrap();
+        let a = serde_json::to_string(&plain.precision.unwrap().json()).unwrap();
+        let b = serde_json::to_string(&cached.precision.unwrap().json()).unwrap();
+        assert_eq!(
+            a, b,
+            "{}: precision report depends on cache state",
+            k.loop_label
+        );
+    }
+}

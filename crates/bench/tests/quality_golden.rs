@@ -1,0 +1,67 @@
+//! The quality trajectory is *committed*: `reports/QUALITY_benchsuite.json`
+//! must match what the analyzer produces today, byte for byte. A change
+//! in any kernel's verdicts — a lost parallel loop, a new degradation
+//! cause, a shifted precision ratio — fails this test until the file is
+//! regenerated (`cargo run -p bench-tables --bin quality_report`) and
+//! the diff is reviewed and committed alongside the code change.
+
+use std::path::PathBuf;
+
+fn committed_path() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("reports");
+    p.push("QUALITY_benchsuite.json");
+    p
+}
+
+#[test]
+fn committed_quality_report_matches_regenerated() {
+    let committed = std::fs::read_to_string(committed_path()).expect(
+        "reports/QUALITY_benchsuite.json missing — run \
+         `cargo run -p bench-tables --bin quality_report` and commit it",
+    );
+    let regenerated =
+        serde_json::to_string_pretty(&bench_tables::quality_report()).expect("serialize");
+    assert_eq!(
+        committed.trim_end(),
+        regenerated.trim_end(),
+        "quality trajectory drifted — if the verdict change is intended, \
+         regenerate with `cargo run -p bench-tables --bin quality_report` \
+         and commit the diff"
+    );
+}
+
+#[test]
+fn quality_report_is_deterministic_and_fully_precise() {
+    let a = serde_json::to_string_pretty(&bench_tables::quality_report()).unwrap();
+    let b = serde_json::to_string_pretty(&bench_tables::quality_report()).unwrap();
+    assert_eq!(a, b, "quality report must be run-to-run deterministic");
+
+    let v: serde::Value = serde_json::from_str(&a).unwrap();
+    let totals = v.get("totals").expect("totals");
+    // At full budget the suite analyzes without a single degradation:
+    // every serial verdict is a proven dependence, never a widening.
+    assert_eq!(
+        totals
+            .get("loops_serial_degraded")
+            .and_then(serde::Value::as_u64),
+        Some(0),
+        "full-budget benchsuite run must not degrade"
+    );
+    assert_eq!(
+        totals.get("precision_ratio").and_then(serde::Value::as_str),
+        Some("1.000")
+    );
+    let loops_total = totals
+        .get("loops_total")
+        .and_then(serde::Value::as_u64)
+        .expect("loops_total");
+    assert!(loops_total > 0, "suite must contain loops");
+    let kernels = v
+        .get("kernels")
+        .and_then(serde::Value::as_array)
+        .expect("kernels");
+    assert_eq!(kernels.len(), benchsuite::kernels().len());
+}

@@ -40,6 +40,7 @@ use interp::ParallelPlan;
 use privatize::{LoopVerdict, ProvEntry};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use trace::ledger::{self, Cause, Site};
 
 /// Why a loop was left untransformed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +170,20 @@ impl Transform {
     }
 }
 
+/// Records one skip diagnostic: the trace counter, the precision-ledger
+/// `lower_skip` event and the structured [`SkipDiag`] stay in lockstep
+/// so every untransformed verdict is attributable in all three surfaces.
+fn skip(out: &mut Transform, diag: SkipDiag) {
+    trace::add("codegen_skipped", 1);
+    ledger::record(Cause::LowerSkip, || {
+        Site::routine(diag.routine.clone())
+            .var(diag.var.clone())
+            .line(diag.line)
+            .detail(format!("{}: {}", diag.reason.as_str(), diag.detail))
+    });
+    out.skipped.push(diag);
+}
+
 /// Runs the emission backend: clause selection, plan lowering and
 /// directive emission for every parallelizable loop of the analysis.
 pub fn transform(
@@ -195,15 +210,17 @@ pub fn transform(
 
     // Synthetic loops can never anchor a directive.
     for v in verdicts.iter().filter(|v| v.line == 0) {
-        trace::add("codegen_skipped", 1);
-        out.skipped.push(SkipDiag {
-            id: v.id.clone(),
-            routine: v.routine.clone(),
-            var: v.var.clone(),
-            line: 0,
-            reason: SkipReason::Synthetic,
-            detail: "no source location (line 0): harness-synthesized loop".to_string(),
-        });
+        skip(
+            &mut out,
+            SkipDiag {
+                id: v.id.clone(),
+                routine: v.routine.clone(),
+                var: v.var.clone(),
+                line: 0,
+                reason: SkipReason::Synthetic,
+                detail: "no source location (line 0): harness-synthesized loop".to_string(),
+            },
+        );
     }
 
     for r in &program.routines {
@@ -246,35 +263,42 @@ fn walk(
                 let mut inner_enclosing = enclosing;
                 if let Some(v) = verdict {
                     if let Some(parent) = enclosing {
-                        trace::add("codegen_skipped", 1);
-                        out.skipped.push(SkipDiag {
-                            id: v.id.clone(),
-                            routine: v.routine.clone(),
-                            var: v.var.clone(),
-                            line: v.line,
-                            reason: SkipReason::Nested,
-                            detail: format!("inside parallelized loop {parent}"),
-                        });
+                        skip(
+                            out,
+                            SkipDiag {
+                                id: v.id.clone(),
+                                routine: v.routine.clone(),
+                                var: v.var.clone(),
+                                line: v.line,
+                                reason: SkipReason::Nested,
+                                detail: format!("inside parallelized loop {parent}"),
+                            },
+                        );
                     } else if v.degraded {
-                        trace::add("codegen_skipped", 1);
-                        out.skipped.push(SkipDiag {
-                            id: v.id.clone(),
-                            routine: v.routine.clone(),
-                            var: v.var.clone(),
-                            line: v.line,
-                            reason: SkipReason::Degraded,
-                            detail: "verdict from budget-degraded (widened) analysis".to_string(),
-                        });
+                        skip(
+                            out,
+                            SkipDiag {
+                                id: v.id.clone(),
+                                routine: v.routine.clone(),
+                                var: v.var.clone(),
+                                line: v.line,
+                                reason: SkipReason::Degraded,
+                                detail: "verdict from budget-degraded (widened) analysis"
+                                    .to_string(),
+                            },
+                        );
                     } else if !v.parallel_after_privatization {
-                        trace::add("codegen_skipped", 1);
-                        out.skipped.push(SkipDiag {
-                            id: v.id.clone(),
-                            routine: v.routine.clone(),
-                            var: v.var.clone(),
-                            line: v.line,
-                            reason: SkipReason::Serial,
-                            detail: format!("blockers: {:?}", v.blockers),
-                        });
+                        skip(
+                            out,
+                            SkipDiag {
+                                id: v.id.clone(),
+                                routine: v.routine.clone(),
+                                var: v.var.clone(),
+                                line: v.line,
+                                reason: SkipReason::Serial,
+                                detail: format!("blockers: {:?}", v.blockers),
+                            },
+                        );
                     } else {
                         let t = transform_loop(v, by_id, r, table, body, out);
                         directives.insert(key, t.directive.clone());
@@ -349,6 +373,16 @@ fn transform_loop(
     if let Some(p) = plan {
         trace::add("codegen_planned", 1);
         out.plan.add(&v.routine, &v.var, v.line, p);
+    } else {
+        ledger::record(Cause::LowerSkip, || {
+            Site::routine(v.routine.clone())
+                .var(v.var.clone())
+                .line(v.line)
+                .detail(format!(
+                    "directive emitted but plan not lowered: {}",
+                    note.as_deref().unwrap_or("no lowering note")
+                ))
+        });
     }
     let directive = c.directive();
     prov.push(ProvEntry {

@@ -131,6 +131,18 @@ impl BodyFacts {
     pub fn degraded(&self) -> bool {
         !self.ok || self.degraded
     }
+
+    /// `true` when the walk refused outright on unmodelled control flow
+    /// (CALL, GOTO, RETURN or STOP in the body).
+    pub fn refused(&self) -> bool {
+        !self.ok
+    }
+
+    /// `true` when the step budget ran out mid-walk (precision lost to
+    /// exhaustion rather than to a refused construct).
+    pub fn out_of_budget(&self) -> bool {
+        self.degraded
+    }
 }
 
 /// Analyzes one DO-loop body. `outer_var` is the loop's own index;
@@ -329,8 +341,16 @@ impl BodyWalk<'_> {
             names_of(e, &mut ns);
             ns.iter().all(|n| !self.assigned.contains(n))
         };
-        let lo_sym = if stable(lo) { to_sym(lo, &self.ctx()) } else { None };
-        let hi_sym = if stable(hi) { to_sym(hi, &self.ctx()) } else { None };
+        let lo_sym = if stable(lo) {
+            to_sym(lo, &self.ctx())
+        } else {
+            None
+        };
+        let hi_sym = if stable(hi) {
+            to_sym(hi, &self.ctx())
+        } else {
+            None
+        };
         let trip = match (&lo_sym, &hi_sym) {
             (Some(l), Some(h)) => prove_le(&Pred::tru(), l, h),
             _ => false,
@@ -405,29 +425,25 @@ impl BodyWalk<'_> {
         }
         let g = self.guard_stack[0].clone();
         match &self.loop_stack[..] {
-            [] => {
-                if self.guard_usable(&g, None) {
-                    let key = canon(&g, None);
-                    let e = self
-                        .guarded
-                        .entry(key)
-                        .or_default()
-                        .entry(name.to_string())
-                        .or_insert_with(GarList::empty);
-                    *e = e.union_gar(Gar::new(Pred::tru(), region));
-                }
+            [] if self.guard_usable(&g, None) => {
+                let key = canon(&g, None);
+                let e = self
+                    .guarded
+                    .entry(key)
+                    .or_default()
+                    .entry(name.to_string())
+                    .or_insert_with(GarList::empty);
+                *e = e.union_gar(Gar::new(Pred::tru(), region));
             }
-            [spec] => {
-                if spec.unit && self.guard_usable(&g, Some(&spec.var)) {
-                    if let (Some(l), Some(h)) = (&spec.lo, &spec.hi) {
-                        self.elems.push(ElemG {
-                            array: name.to_string(),
-                            guard: canon(&g, Some(&spec.var)),
-                            subs: canon_subs(subs, Some(&spec.var)),
-                            lo: l.clone(),
-                            hi: h.clone(),
-                        });
-                    }
+            [spec] if spec.unit && self.guard_usable(&g, Some(&spec.var)) => {
+                if let (Some(l), Some(h)) = (&spec.lo, &spec.hi) {
+                    self.elems.push(ElemG {
+                        array: name.to_string(),
+                        guard: canon(&g, Some(&spec.var)),
+                        subs: canon_subs(subs, Some(&spec.var)),
+                        lo: l.clone(),
+                        hi: h.clone(),
+                    });
                 }
             }
             _ => {}
@@ -503,7 +519,10 @@ impl BodyWalk<'_> {
         if self.loop_stack.is_empty() {
             if let [g] = &self.guard_stack[..] {
                 if self.guard_usable(g, None) {
-                    if let Some(m) = self.guarded.get(&canon(g, None)).and_then(|by| by.get(name))
+                    if let Some(m) = self
+                        .guarded
+                        .get(&canon(g, None))
+                        .and_then(|by| by.get(name))
                     {
                         if rem.subtract(m).definitely_empty() {
                             return Some(format!(
@@ -640,7 +659,10 @@ mod tests {
       END
 ",
         );
-        assert!(f.covers_reads("w").is_none(), "different guards must not match");
+        assert!(
+            f.covers_reads("w").is_none(),
+            "different guards must not match"
+        );
     }
 
     #[test]
@@ -663,7 +685,10 @@ mod tests {
       END
 ",
         );
-        assert!(f.covers_reads("w").is_none(), "c changes between write and read");
+        assert!(
+            f.covers_reads("w").is_none(),
+            "c changes between write and read"
+        );
     }
 
     #[test]

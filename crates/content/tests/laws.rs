@@ -10,10 +10,8 @@ use vrange::{Interval, ValueRange};
 fn arb_range() -> impl Strategy<Value = ValueRange> {
     prop_oneof![
         (-100i64..100).prop_map(ValueRange::constant),
-        (-100i64..100, 0i64..200).prop_map(|(lo, w)| ValueRange::of_interval(Interval::new(
-            Some(lo),
-            Some(lo + w)
-        ))),
+        (-100i64..100, 0i64..200)
+            .prop_map(|(lo, w)| ValueRange::of_interval(Interval::new(Some(lo), Some(lo + w)))),
         (-100i64..100).prop_map(|lo| ValueRange::of_interval(Interval::new(Some(lo), None))),
         (-100i64..100).prop_map(|hi| ValueRange::of_interval(Interval::new(None, Some(hi)))),
     ]

@@ -60,6 +60,17 @@
 //!                         bytes (default 256 MiB)
 //!   --trace-out FILE      write a Chrome trace-event JSON profile of
 //!                         the run (open in Perfetto / chrome://tracing)
+//!   --precision-report    account every precision loss (panoledger,
+//!                         DESIGN.md §4j): print the per-cause event
+//!                         counts, the serial-verdict attribution split
+//!                         and the headline precision ratio; with
+//!                         --json the same data lands under the
+//!                         additive "precision" key. Bypasses the
+//!                         summary cache, like --trace-out
+//!   --range-budget N      cap the value-range pass at N steps per
+//!                         routine (exhaustion degrades range facts)
+//!   --content-budget N    cap the array-content pass at N steps per
+//!                         loop (exhaustion discards content facts)
 //! ```
 
 use panorama::{
@@ -77,6 +88,7 @@ fn usage() -> ! {
          \x20                [--summaries] [--stats] [--explain] [--lint]\n\
          \x20                [--deny-lints[=CODES]] [--json] [--fuel N] [--deadline-ms N]\n\
          \x20                [--cache-dir DIR] [--cache-budget-bytes N] [--trace-out FILE]\n\
+         \x20                [--precision-report] [--range-budget N] [--content-budget N]\n\
          \x20                [--emit-openmp] [--transform-out FILE] FILE.f"
     );
     std::process::exit(2);
@@ -121,6 +133,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut emit_openmp = false;
     let mut transform_out: Option<String> = None;
+    let mut precision = false;
     let mut cache_dir: Option<String> = None;
     let mut cache_budget: Option<u64> = None;
     let mut file = None;
@@ -196,6 +209,9 @@ fn main() -> ExitCode {
                 }
             }
             "--deadline-ms" => limits.deadline_ms = Some(num(&mut i)),
+            "--range-budget" => limits.range_budget = Some(num(&mut i)),
+            "--content-budget" => limits.content_budget = Some(num(&mut i)),
+            "--precision-report" => precision = true,
             "--cache-dir" => {
                 i += 1;
                 match args.get(i) {
@@ -237,6 +253,7 @@ fn main() -> ExitCode {
         limits,
         trace_spans: trace_out.is_some(),
         emit: emit_openmp || transform_out.is_some(),
+        precision,
     };
     // `--cache-dir`: a persistent summary tier warmed by earlier
     // panorama/panoramad runs. `DiskCache::open` never fails — a
@@ -286,6 +303,9 @@ fn main() -> ExitCode {
         for s in &t.skipped {
             eprintln!("panorama: {}", s.render());
         }
+        if let Some(p) = &out.precision {
+            eprint!("{}", p.render());
+        }
         print!("{}", t.source);
         if out.soundness_violation() {
             eprintln!(
@@ -316,6 +336,10 @@ fn main() -> ExitCode {
             return code;
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(p) = &out.precision {
+        print!("{}", p.render());
+        println!();
     }
     let (analysis, oracle) = (out.analysis, out.oracle);
 

@@ -8,9 +8,10 @@
 
 use crate::{
     analyze_source_limited, json_report, Analysis, FuelLimits, Options, OracleReport,
-    PanoramaError, SummaryCache,
+    PanoramaError, PrecisionReport, SummaryCache,
 };
 use std::sync::Arc;
+use trace::ledger;
 
 /// One unit of analysis work.
 #[derive(Clone, Debug)]
@@ -34,6 +35,14 @@ pub struct Request<'a> {
     /// annotated source. The result lands in [`Outcome::transform`] and
     /// under the additive `"transform"` JSON key.
     pub emit: bool,
+    /// Account precision losses: run the pipeline under a
+    /// `trace::ledger` and attach the aggregated [`PrecisionReport`]
+    /// ([`Outcome::precision`], additive `"precision"` JSON key).
+    /// Precision-accounted requests bypass the summary cache for the
+    /// same reason traced ones do: cache replay changes which
+    /// degradation sites execute, and the report is part of the
+    /// byte-identical determinism contract.
+    pub precision: bool,
 }
 
 impl<'a> Request<'a> {
@@ -46,6 +55,7 @@ impl<'a> Request<'a> {
             limits: FuelLimits::unlimited(),
             trace_spans: false,
             emit: false,
+            precision: false,
         }
     }
 }
@@ -58,6 +68,8 @@ pub struct Outcome {
     pub oracle: Option<OracleReport>,
     /// The emission backend's result, when the request asked for it.
     pub transform: Option<codegen::Transform>,
+    /// The precision-loss accounting, when the request asked for it.
+    pub precision: Option<PrecisionReport>,
 }
 
 impl Outcome {
@@ -65,14 +77,16 @@ impl Outcome {
     /// it ran, transform included (additive `"transform"` key) when the
     /// emission backend ran.
     pub fn json(&self) -> serde::Value {
-        let report = json_report(&self.analysis, self.oracle.as_ref());
-        match (&self.transform, report) {
-            (Some(t), serde::Value::Object(mut fields)) => {
+        let mut report = json_report(&self.analysis, self.oracle.as_ref());
+        if let serde::Value::Object(fields) = &mut report {
+            if let Some(t) = &self.transform {
                 fields.push(("transform".to_string(), t.json()));
-                serde::Value::Object(fields)
             }
-            (_, report) => report,
+            if let Some(p) = &self.precision {
+                fields.push(("precision".to_string(), p.json()));
+            }
         }
+        report
     }
 
     /// Whether the oracle ran and contradicted a static verdict — the
@@ -92,7 +106,18 @@ pub fn run_with_cache(
     req: &Request<'_>,
     cache: Option<Arc<dyn SummaryCache>>,
 ) -> Result<Outcome, PanoramaError> {
-    let cache = if req.trace_spans { None } else { cache };
+    let cache = if req.trace_spans || req.precision {
+        None
+    } else {
+        cache
+    };
+    // Install a ledger only when nobody outside owns one (a daemon
+    // worker keeps an always-on scope for its metrics); either way the
+    // mark/dropped cursors bound this request's slice of events.
+    let owned_scope = (req.precision && !ledger::enabled()).then(ledger::LedgerScope::install);
+    let mark = ledger::mark();
+    let dropped_before = ledger::dropped_count();
+
     let mut analysis = analyze_source_limited(req.source, req.opts, cache, req.limits)?;
     let oracle = req.oracle.then(|| analysis.run_oracle());
     let transform = req.emit.then(|| {
@@ -103,10 +128,17 @@ pub fn run_with_cache(
             &analysis.verdicts,
         )
     });
+    let precision = req.precision.then(|| {
+        let events = ledger::events_since(mark);
+        let dropped = ledger::dropped_count().saturating_sub(dropped_before);
+        PrecisionReport::build(&analysis, events, dropped)
+    });
+    drop(owned_scope);
     Ok(Outcome {
         analysis,
         oracle,
         transform,
+        precision,
     })
 }
 
@@ -147,6 +179,43 @@ mod tests {
         assert!(array_privatizable(&out.analysis, "t", "i", "w"));
         assert!(!array_privatizable(&out.analysis, "t", "i", "nosuch"));
         assert!(!array_privatizable(&out.analysis, "nosuch", "i", "w"));
+    }
+
+    #[test]
+    fn precision_report_attaches_and_scope_unwinds() {
+        let req = Request {
+            precision: true,
+            ..Request::new(SRC)
+        };
+        let out = run(&req).unwrap();
+        let p = out.precision.as_ref().unwrap();
+        assert_eq!(p.loops_total, 2);
+        assert_eq!(p.loops_serial_degraded, 0);
+        assert_eq!(p.ratio(), "1.000");
+        // The driver-owned scope must not leak past the request.
+        assert!(!ledger::enabled());
+        let json = out.json();
+        let prec = json.get("precision").expect("precision key");
+        assert!(prec.get("precision_ratio").is_some());
+        assert!(prec.get("causes").unwrap().get("fuel_widen").is_some());
+    }
+
+    #[test]
+    fn starved_run_accounts_for_degradation() {
+        let req = Request {
+            precision: true,
+            limits: FuelLimits {
+                steps: Some(1),
+                ..FuelLimits::default()
+            },
+            ..Request::new(SRC)
+        };
+        let out = run(&req).unwrap();
+        assert!(out.analysis.degraded());
+        let p = out.precision.unwrap();
+        assert!(p.degrading_events() > 0, "starved run must record events");
+        assert!(p.loops_serial_degraded > 0);
+        assert_ne!(p.ratio(), "1.000");
     }
 
     #[test]

@@ -35,6 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod precision;
+
+pub use precision::PrecisionReport;
 
 use std::fmt;
 use std::sync::Arc;

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::sync::Arc;
 use sym::Expr;
+use trace::ledger::{self, Cause, Site};
 use vrange::{eval_sym, loop_fixpoint, Budget, Interval, RangeEnv, ScalarAssign, ValueRange};
 
 /// Statistics recorded during an analysis run (Fig. 4's practicality data).
@@ -194,6 +195,10 @@ pub struct Analyzer<'a> {
     /// Guard refutations found since the enclosing loop (if any) last
     /// collected its notes.
     pending_refutes: Vec<RangeNote>,
+    /// Routines currently being summarized, innermost last — the site
+    /// attribution for ledger events recorded at depths (`fuel_clamp`,
+    /// `widen_bb`) where no routine name is otherwise in scope.
+    routine_stack: Vec<String>,
     /// All loop analyses, in post-order of discovery.
     pub loops: Vec<LoopAnalysis>,
     /// Statistics.
@@ -315,6 +320,15 @@ impl<'a> Analyzer<'a> {
         limits: FuelLimits,
     ) -> Self {
         let cache = if opts.trace || limits.constrains_results() {
+            if cache.is_some() {
+                ledger::record(Cause::CacheBypass, || {
+                    Site::default().detail(if opts.trace {
+                        "summary cache bypassed: propagation trace requested"
+                    } else {
+                        "summary cache bypassed: resource limits constrain results"
+                    })
+                });
+            }
             None
         } else {
             cache
@@ -339,6 +353,7 @@ impl<'a> Analyzer<'a> {
             ranges: Rc::new(RefCell::new(RangeEnv::new())),
             range_budget: Rc::new(Budget::default()),
             pending_refutes: Vec::new(),
+            routine_stack: Vec::new(),
             loops: Vec::new(),
             stats: AnalysisStats::default(),
             trace: Vec::new(),
@@ -419,6 +434,7 @@ impl<'a> Analyzer<'a> {
         let table = &self.sema.tables[name];
         let loop_vars = BTreeSet::new();
         let scope = self.fresh.enter_scope(name);
+        self.routine_stack.push(name.to_string());
         let saved_peak = std::mem::take(&mut self.segment_peak);
         // Value-range pass (DESIGN.md §4g): give the routine a fresh
         // fact environment and a full step budget — its summary (and the
@@ -429,7 +445,12 @@ impl<'a> Analyzer<'a> {
         let range_state = if self.opts.value_range {
             let saved_env = std::mem::take(&mut *self.ranges.borrow_mut());
             let saved_budget = self.range_budget.save();
-            self.range_budget.reset(vrange::DEFAULT_BUDGET);
+            self.range_budget.reset(
+                self.fuel
+                    .limits()
+                    .range_budget
+                    .unwrap_or(vrange::DEFAULT_BUDGET),
+            );
             let saved_refutes = std::mem::take(&mut self.pending_refutes);
             let guard = if sym::bounds::oracle_active() {
                 None
@@ -461,11 +482,21 @@ impl<'a> Analyzer<'a> {
         };
         let summary = self.sum_segment(sg, name, table, ValueEnv::identity(), &loop_vars, 0);
         if let Some((saved_env, saved_budget, saved_refutes, guard)) = range_state {
+            // The exhaustion flag is about to be overwritten by the
+            // restore: this is the only window where the run can account
+            // for range facts the routine silently lost to ⊤.
+            if self.range_budget.degraded() {
+                ledger::record(Cause::RangeBudget, || {
+                    Site::routine(name)
+                        .detail("value-range budget exhausted: remaining range queries answered ⊤")
+                });
+            }
             *self.ranges.borrow_mut() = saved_env;
             self.range_budget.restore(saved_budget);
             self.pending_refutes = saved_refutes;
             drop(guard);
         }
+        self.routine_stack.pop();
         self.segment_peak = saved_peak.max(self.segment_peak);
         self.fresh.leave_scope(scope);
         self.stats.routines_analyzed += 1;
@@ -674,7 +705,7 @@ impl<'a> Analyzer<'a> {
                     node_sum[nid] = sum;
                 }
                 Node::Condensed(members) => {
-                    let sum = self.sum_condensed(members, table, &mut env, loop_vars);
+                    let sum = self.sum_condensed(members, routine, table, &mut env, loop_vars);
                     node_sum[nid] = sum;
                 }
             }
@@ -1471,6 +1502,24 @@ impl<'a> Analyzer<'a> {
         trace::add("alias_classifications", 1);
         if !aliasing.clean() {
             trace::event("alias_degrade", || format!("{routine} -> {callee}"));
+            ledger::record(Cause::AliasDegrade, || {
+                let mut what = Vec::new();
+                let may = aliasing.may_targets();
+                if !may.is_empty() {
+                    what.push(format!("may-aliased {may:?} -> unknown MOD/UE"));
+                }
+                let de = aliasing.de_unsafe_targets();
+                if !de.is_empty() {
+                    what.push(format!("DE dropped for {de:?}"));
+                }
+                if !aliasing.mismatched_commons.is_empty() {
+                    what.push(format!(
+                        "mismatched COMMON {:?} degraded",
+                        aliasing.mismatched_commons
+                    ));
+                }
+                Site::routine(routine).detail(format!("call {callee}: {}", what.join("; ")))
+            });
             for t in aliasing.may_targets() {
                 if table.is_array(&t) {
                     let rank = table.array(&t).map(|x| x.rank()).unwrap_or(1);
@@ -1615,9 +1664,7 @@ impl<'a> Analyzer<'a> {
             .collect();
         if !back_reads.is_empty() {
             for di in self.loops_under(body_sg) {
-                self.loops[di]
-                    .live_after
-                    .extend(back_reads.iter().cloned());
+                self.loops[di].live_after.extend(back_reads.iter().cloned());
             }
         }
         let premature = self.hsg.subgraphs[body_sg].premature_exit;
@@ -1658,7 +1705,12 @@ impl<'a> Analyzer<'a> {
         let mut content_notes: Vec<ContentNote> = Vec::new();
         if self.opts.content && !premature && line != 0 {
             let _cspan = trace::span("content:refine");
-            let content_budget = Budget::new(vrange::DEFAULT_BUDGET);
+            let content_budget = Budget::new(
+                self.fuel
+                    .limits()
+                    .content_budget
+                    .unwrap_or(vrange::DEFAULT_BUDGET),
+            );
             if let Some(body_ast) = self
                 .program
                 .routine(routine)
@@ -1697,8 +1749,22 @@ impl<'a> Analyzer<'a> {
                             }
                         }
                     }
+                } else if facts.refused() {
+                    trace::add("content:degraded", 1);
+                    ledger::record(Cause::ContentRefused, || {
+                        Site::routine(routine).var(var).line(line).detail(
+                            "content pass refused loop body: \
+                             unmodelled control flow (CALL/GOTO/RETURN/STOP)",
+                        )
+                    });
                 } else {
                     trace::add("content:degraded", 1);
+                    ledger::record(Cause::ContentBudget, || {
+                        Site::routine(routine).var(var).line(line).detail(
+                            "content budget exhausted: coverage and full-definition \
+                             facts for this loop discarded",
+                        )
+                    });
                 }
             }
         }
@@ -2019,6 +2085,7 @@ impl<'a> Analyzer<'a> {
     fn sum_condensed(
         &mut self,
         members: &[Node],
+        routine: &str,
         table: &SymbolTable,
         env: &mut ValueEnv,
         _loop_vars: &BTreeSet<String>,
@@ -2029,6 +2096,13 @@ impl<'a> Analyzer<'a> {
         for m in members {
             collect_node_names(m, self.hsg, &mut arrays, &mut scalars);
         }
+        ledger::record(Cause::GotoCondense, || {
+            let widened: Vec<&String> = arrays.iter().filter(|a| table.is_array(a)).collect();
+            Site::routine(routine).detail(format!(
+                "condensed goto-cycle of {} node(s): arrays {widened:?} -> unknown MOD/UE",
+                members.len()
+            ))
+        });
         for a in arrays {
             if table.is_array(&a) {
                 let rank = table.array(&a).map(|x| x.rank()).unwrap_or(1);
@@ -2350,6 +2424,10 @@ impl<'a> Analyzer<'a> {
                 trace::event("fuel_widen", || {
                     "predicate-term cap: guard -> true".to_string()
                 });
+                ledger::record(Cause::FuelWiden, || {
+                    Site::routine(self.routine_stack.last().cloned().unwrap_or_default())
+                        .detail("state_cap: predicate-term cap widened a guard to true")
+                });
                 list = GarList::from_gars(list.gars().iter().map(|g| {
                     if g.guard.size() > cap {
                         Gar::with_approx(Pred::tru(), g.region.clone(), Approx::Over)
@@ -2365,6 +2443,10 @@ impl<'a> Analyzer<'a> {
                 trace::add("widenings", 1);
                 trace::event("fuel_widen", || {
                     "GAR-length cap: list -> unknown".to_string()
+                });
+                ledger::record(Cause::FuelWiden, || {
+                    Site::routine(self.routine_stack.last().cloned().unwrap_or_default())
+                        .detail("state_cap: GAR-length cap widened a list to unknown")
                 });
                 let rank = list.gars().first().map(|g| g.rank()).unwrap_or(1);
                 list = GarList::single(Gar::unknown(rank));
@@ -2407,6 +2489,12 @@ impl<'a> Analyzer<'a> {
         trace::add("widenings", 1);
         trace::event("fuel_widen", || {
             "basic block -> unknown summary".to_string()
+        });
+        ledger::record(Cause::FuelWiden, || {
+            let reason = self.fuel.reason().map(|r| r.as_str()).unwrap_or("unknown");
+            Site::routine(self.routine_stack.last().cloned().unwrap_or_default())
+                .line(stmts.first().map(|s| s.line).unwrap_or(0))
+                .detail(format!("{reason}: basic block widened to unknown summary"))
         });
         let mut arrays = BTreeSet::new();
         let mut scalars = BTreeSet::new();
@@ -2482,6 +2570,10 @@ impl<'a> Analyzer<'a> {
         trace::event("fuel_widen", || {
             format!("segment of {routine} -> unknown summary")
         });
+        ledger::record(Cause::FuelWiden, || {
+            let reason = self.fuel.reason().map(|r| r.as_str()).unwrap_or("unknown");
+            Site::routine(routine).detail(format!("{reason}: segment widened to unknown summary"))
+        });
         for li in loop_of_node.iter().flatten() {
             let arrays: BTreeSet<String> = self.loops[*li].arrays.keys().cloned().collect();
             self.loops[*li].live_after = arrays;
@@ -2550,6 +2642,15 @@ impl<'a> Analyzer<'a> {
                     .cloned()
                     .collect();
                 self.stats.loops_analyzed += 1;
+                ledger::record(Cause::FuelWiden, || {
+                    let reason = self.fuel.reason().map(|r| r.as_str()).unwrap_or("unknown");
+                    Site::routine(routine)
+                        .var(var.clone())
+                        .line(*line)
+                        .detail(format!(
+                            "{reason}: loop never summarized, recorded fully widened"
+                        ))
+                });
                 self.loops.push(LoopAnalysis {
                     routine: routine.to_string(),
                     subgraph: *body,
@@ -2727,8 +2828,8 @@ fn find_do_body<'a>(stmts: &'a [Stmt], line: u32, var: &str) -> Option<&'a [Stmt
                 else_body,
                 ..
             } => {
-                if let Some(b) =
-                    find_do_body(then_body, line, var).or_else(|| find_do_body(else_body, line, var))
+                if let Some(b) = find_do_body(then_body, line, var)
+                    .or_else(|| find_do_body(else_body, line, var))
                 {
                     return Some(b);
                 }

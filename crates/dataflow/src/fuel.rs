@@ -40,6 +40,12 @@ pub struct FuelLimits {
     pub max_pred_terms: Option<usize>,
     /// Wall-clock deadline for the whole run, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Per-routine step budget for the value-range pass (default
+    /// `vrange::DEFAULT_BUDGET`). Exhaustion degrades range facts to ⊤.
+    pub range_budget: Option<u64>,
+    /// Per-loop step budget for the array-content pass (default
+    /// `vrange::DEFAULT_BUDGET`). Exhaustion discards content facts.
+    pub content_budget: Option<u64>,
 }
 
 impl FuelLimits {
@@ -59,7 +65,11 @@ impl FuelLimits {
     /// full-precision summary that a cold run under the same limits
     /// would have widened, making results depend on cache state.
     pub fn constrains_results(&self) -> bool {
-        self.steps.is_some() || self.max_gar_len.is_some() || self.max_pred_terms.is_some()
+        self.steps.is_some()
+            || self.max_gar_len.is_some()
+            || self.max_pred_terms.is_some()
+            || self.range_budget.is_some()
+            || self.content_budget.is_some()
     }
 
     /// Field-wise merge: `self` wins where set, `other` fills the gaps.
@@ -70,6 +80,8 @@ impl FuelLimits {
             max_gar_len: self.max_gar_len.or(other.max_gar_len),
             max_pred_terms: self.max_pred_terms.or(other.max_pred_terms),
             deadline_ms: self.deadline_ms.or(other.deadline_ms),
+            range_budget: self.range_budget.or(other.range_budget),
+            content_budget: self.content_budget.or(other.content_budget),
         }
     }
 }
@@ -282,6 +294,22 @@ mod tests {
         assert!(stepped.constrains_results());
         assert!(!stepped.is_unlimited());
         assert!(FuelLimits::unlimited().is_unlimited());
+        // The per-pass budgets change what is computed too: a starved
+        // range or content pass drops refutations a warm cache replay
+        // would have kept.
+        for limits in [
+            FuelLimits {
+                range_budget: Some(10),
+                ..FuelLimits::default()
+            },
+            FuelLimits {
+                content_budget: Some(10),
+                ..FuelLimits::default()
+            },
+        ] {
+            assert!(limits.constrains_results());
+            assert!(!limits.is_unlimited());
+        }
     }
 
     #[test]

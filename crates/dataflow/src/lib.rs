@@ -31,7 +31,9 @@ pub mod panostore;
 mod scalars;
 mod summary;
 
-pub use analyzer::{AnalysisStats, Analyzer, ContentNote, LoopAnalysis, RangeNote, RoutineAnalysis};
+pub use analyzer::{
+    AnalysisStats, Analyzer, ContentNote, LoopAnalysis, RangeNote, RoutineAnalysis,
+};
 pub use cache::{CacheCounters, CacheKey, CachedRoutine, MemoryCache, SummaryCache};
 pub use convert::{collect_array_reads, to_pred, to_sym, ConvertCtx};
 pub use fuel::{DegradeReason, Fuel, FuelLimits};

@@ -91,7 +91,8 @@ impl ParallelPlan {
     }
 
     fn get(&self, routine: &str, var: &str, line: u32) -> Option<&LoopPlan> {
-        self.loops.get(&(routine.to_string(), var.to_string(), line))
+        self.loops
+            .get(&(routine.to_string(), var.to_string(), line))
     }
 }
 

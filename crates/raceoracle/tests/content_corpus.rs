@@ -266,7 +266,7 @@ fn fuzz_corpus_flips_only_serial_to_parallel() {
             let poff = voff.parallel_as_is || voff.parallel_after_privatization;
             let pon = von.parallel_as_is || von.parallel_after_privatization;
             assert!(
-                !(poff && !pon),
+                !poff || pon,
                 "case {case}: {} flipped parallel -> serial under --content\n{src}",
                 voff.id
             );

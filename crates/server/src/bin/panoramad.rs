@@ -25,6 +25,10 @@
 //!                       process track per worker, and write the
 //!                       trace-event JSON to PATH on shutdown (load it
 //!                       in Perfetto or chrome://tracing)
+//!   --postmortem PATH   dump the flight-recorder ring (the last 64
+//!                       requests: source digest, outcome, precision
+//!                       ledger, span tree) to PATH whenever a request
+//!                       panics or degrades, and on {"cmd": "dump"}
 //! ```
 //!
 //! Protocol: one JSON request per line, one JSON response per line, in
@@ -41,7 +45,7 @@ fn usage() -> ! {
         "usage: panoramad [--jobs N] [--socket PATH] [--no-cache]\n\
          \x20                [--cache-capacity N] [--cache-dir PATH]\n\
          \x20                [--cache-budget-bytes N] [--fuel N] [--deadline-ms N]\n\
-         \x20                [--metrics] [--trace-out PATH]"
+         \x20                [--metrics] [--trace-out PATH] [--postmortem PATH]"
     );
     std::process::exit(2);
 }
@@ -86,6 +90,13 @@ fn main() -> ExitCode {
                 }
             },
             "--metrics" => metrics = true,
+            "--postmortem" => match args.next() {
+                Some(p) => config.postmortem = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--postmortem needs a path");
+                    usage();
+                }
+            },
             "--trace-out" => match args.next() {
                 Some(p) => trace_out = Some(p),
                 None => {

@@ -7,81 +7,204 @@
 //! Exits 0 when `FILE` parses as `{"traceEvents": [...]}` with
 //! well-formed events (every event has a string `name`, a `ph` of
 //! `"X"`, `"i"` or `"M"`, and integer `pid`/`tid`; complete events
-//! carry `ts` and `dur`, instants carry `ts`), and every `SPAN_NAME`
-//! argument appears as a complete span. CI's `trace-smoke` job runs it
-//! on `panorama --trace-out` and `panoramad --trace-out` output.
+//! carry `ts` and `dur`, instants carry `ts`), escaping is sound (no
+//! raw control byte inside any JSON string, and the document survives
+//! a serialize→reparse round trip unchanged in shape), and every
+//! `SPAN_NAME` argument appears as a complete span. CI's `trace-smoke`
+//! job runs it on `panorama --trace-out` and `panoramad --trace-out`
+//! output; the escaping checks are what keep adversarial span names
+//! (quotes, backslashes, newlines, non-ASCII) from producing a file
+//! Perfetto rejects.
 
 use serde::Value;
 use std::process::ExitCode;
 
-fn fail(msg: &str) -> ExitCode {
-    eprintln!("trace_check: {msg}");
-    ExitCode::FAILURE
+/// Scans raw JSON text for a control byte (< 0x20) inside a string
+/// literal — legal JSON must escape those as `\n`, `\uXXXX`, etc.
+/// Returns the byte offset of the first violation.
+fn control_byte_in_string(text: &str) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in text.bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b if in_string && b < 0x20 => return Some(i),
+            _ => {}
+        }
+    }
+    None
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        return fail("usage: trace_check FILE [SPAN_NAME...]");
-    };
-    let required: Vec<String> = args.collect();
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {path}: {e}")),
-    };
-    let doc: Value = match serde_json::from_str(&text) {
-        Ok(v) => v,
-        Err(e) => return fail(&format!("{path}: not valid JSON: {e}")),
-    };
+/// Validates the trace document, returning a summary line on success.
+fn validate(path: &str, text: &str, required: &[String]) -> Result<String, String> {
+    if let Some(at) = control_byte_in_string(text) {
+        return Err(format!(
+            "{path}: raw control byte 0x{:02x} inside a JSON string at offset {at} (unescaped)",
+            text.as_bytes()[at]
+        ));
+    }
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    // Round trip: re-serializing the parsed document and reparsing it
+    // must preserve it exactly — escaping that only parses one way
+    // (e.g. a lone surrogate another consumer rejects) fails here.
+    let reserialized =
+        serde_json::to_string(&doc).map_err(|e| format!("{path}: cannot re-serialize: {e}"))?;
+    let reparsed: Value = serde_json::from_str(&reserialized)
+        .map_err(|e| format!("{path}: round trip failed to reparse: {e}"))?;
+    if reparsed != doc {
+        return Err(format!("{path}: round trip changed the document"));
+    }
     let Some(Value::Array(events)) = doc.get("traceEvents") else {
-        return fail(&format!("{path}: missing \"traceEvents\" array"));
+        return Err(format!("{path}: missing \"traceEvents\" array"));
     };
     if events.is_empty() {
-        return fail(&format!("{path}: \"traceEvents\" is empty"));
+        return Err(format!("{path}: \"traceEvents\" is empty"));
     }
     let mut spans: Vec<&str> = Vec::new();
     let mut instants = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let bad = |what: &str| format!("{path}: event {i}: {what}");
         let Some(name) = ev.get("name").and_then(Value::as_str) else {
-            return fail(&bad("missing string \"name\""));
+            return Err(bad("missing string \"name\""));
         };
         let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
-            return fail(&bad("missing string \"ph\""));
+            return Err(bad("missing string \"ph\""));
         };
         for key in ["pid", "tid"] {
             if ev.get(key).and_then(Value::as_u64).is_none() {
-                return fail(&bad(&format!("missing integer \"{key}\"")));
+                return Err(bad(&format!("missing integer \"{key}\"")));
             }
         }
         match ph {
             "X" => {
                 for key in ["ts", "dur"] {
                     if ev.get(key).and_then(Value::as_u64).is_none() {
-                        return fail(&bad(&format!("complete event missing \"{key}\"")));
+                        return Err(bad(&format!("complete event missing \"{key}\"")));
                     }
                 }
                 spans.push(name);
             }
             "i" => {
                 if ev.get("ts").and_then(Value::as_u64).is_none() {
-                    return fail(&bad("instant event missing \"ts\""));
+                    return Err(bad("instant event missing \"ts\""));
                 }
                 instants += 1;
             }
             "M" => {}
-            other => return fail(&bad(&format!("unknown phase {other:?}"))),
+            other => return Err(bad(&format!("unknown phase {other:?}"))),
         }
     }
-    for want in &required {
+    for want in required {
         if !spans.iter().any(|s| s == want) {
-            return fail(&format!("{path}: no span named {want:?}"));
+            return Err(format!("{path}: no span named {want:?}"));
         }
     }
-    println!(
+    Ok(format!(
         "trace_check: {path}: {} events ({} spans, {instants} instants) ok",
         events.len(),
         spans.len()
-    );
-    ExitCode::SUCCESS
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("trace_check: usage: trace_check FILE [SPAN_NAME...]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&path, &text, &required) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chrome trace produced from spans whose names try to break the
+    /// JSON encoder: quotes, backslashes, newlines, tabs, non-ASCII
+    /// and an embedded NUL.
+    fn adversarial_trace() -> String {
+        let collector = {
+            let scope = trace::CollectorScope::install(trace::Collector::new());
+            for name in [
+                "quote \" in name",
+                "back\\slash",
+                "new\nline and tab\t",
+                "emoji 🔥 and ünïcode",
+                "nul \u{0} byte",
+            ] {
+                let span = trace::span(name);
+                trace::add("count \"x\"\\", 1);
+                trace::event("instant \"e\"", || "detail \\ \n".to_string());
+                drop(span);
+            }
+            scope.finish().expect("collector installed")
+        };
+        trace::chrome_trace(&[("worker \"0\"\\".to_string(), &collector)])
+    }
+
+    #[test]
+    fn adversarial_names_pass_validation() {
+        let text = adversarial_trace();
+        let summary = validate("test", &text, &["back\\slash".to_string()]).unwrap();
+        assert!(summary.contains("ok"));
+        // Every adversarial byte really was escaped.
+        assert_eq!(control_byte_in_string(&text), None);
+    }
+
+    #[test]
+    fn raw_control_bytes_are_rejected() {
+        // A literal newline inside a string is illegal JSON even if a
+        // lenient parser accepts it.
+        let bad =
+            "{\"traceEvents\": [{\"name\": \"a\nb\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1}]}";
+        assert!(control_byte_in_string(bad).is_some());
+        assert!(validate("test", bad, &[]).is_err());
+        // The same name properly escaped passes the scan.
+        let good = bad.replace('\n', "\\n");
+        assert_eq!(control_byte_in_string(&good), None);
+    }
+
+    #[test]
+    fn escapes_do_not_confuse_the_scanner() {
+        // `\\` then `"` — the quote closes the string; a control byte
+        // *outside* strings (the newline separator) is fine.
+        let text = "{\"a\": \"b\\\\\",\n \"c\": 1}";
+        assert_eq!(control_byte_in_string(text), None);
+        // `\"` keeps the string open, so the newline is inside it.
+        let text = "{\"a\": \"b\\\"\n\"}";
+        assert!(control_byte_in_string(text).is_some());
+    }
+
+    #[test]
+    fn missing_span_and_malformed_events_fail() {
+        let text = adversarial_trace();
+        assert!(validate("test", &text, &["nosuch".to_string()])
+            .unwrap_err()
+            .contains("no span named"));
+        let no_ph = "{\"traceEvents\": [{\"name\": \"a\", \"pid\": 1, \"tid\": 1}]}";
+        assert!(validate("test", no_ph, &[]).unwrap_err().contains("ph"));
+    }
 }

@@ -1,0 +1,261 @@
+//! The daemon flight recorder (DESIGN.md §4j).
+//!
+//! Every analyze request leaves one bounded [`FlightRecord`] behind:
+//! a digest of the source (never the source itself — requests can be
+//! megabytes), the outcome, the precision-ledger events and the span
+//! tree. The ring keeps the most recent [`DEFAULT_CAPACITY`] records,
+//! so when a worker panics or a run degrades, the post-mortem shows
+//! what the daemon was doing *leading up to* the fault, not just the
+//! fault itself. The ring is dumped to the `--postmortem` file on an
+//! `internal_panic` or degraded outcome and on `{"cmd": "dump"}`.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use trace::ledger::PrecisionEvent;
+
+/// Records kept in the ring; older ones fall off the front.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// One request's black-box entry.
+#[derive(Clone, Debug)]
+pub struct FlightRecord {
+    /// Monotonic sequence number, assigned by the recorder.
+    pub seq: u64,
+    /// Client correlation id, echoed from the request.
+    pub id: Value,
+    /// FNV-64 hex digest of the source text.
+    pub digest: String,
+    /// Source length in bytes.
+    pub source_bytes: u64,
+    /// `ok`, `degraded`, `timeout`, `failed` or `internal_panic`.
+    pub outcome: String,
+    /// The budget reason behind a `degraded`/`timeout` outcome.
+    pub degrade_reason: Option<String>,
+    /// The error or panic message of a `failed`/`internal_panic` one.
+    pub error: Option<String>,
+    /// Precision-ledger events recorded while the request ran.
+    pub events: Vec<PrecisionEvent>,
+    /// Ledger events dropped past its hard cap.
+    pub events_dropped: u64,
+    /// The request's span tree (`{"spans": [...]}`, DESIGN.md §4f).
+    pub spans: Value,
+}
+
+impl FlightRecord {
+    fn json(&self) -> Value {
+        Value::Object(vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("id".to_string(), self.id.clone()),
+            ("digest".to_string(), Value::Str(self.digest.clone())),
+            ("source_bytes".to_string(), Value::UInt(self.source_bytes)),
+            ("outcome".to_string(), Value::Str(self.outcome.clone())),
+            (
+                "degrade_reason".to_string(),
+                self.degrade_reason
+                    .as_ref()
+                    .map_or(Value::Null, |r| Value::Str(r.clone())),
+            ),
+            (
+                "error".to_string(),
+                self.error
+                    .as_ref()
+                    .map_or(Value::Null, |e| Value::Str(e.clone())),
+            ),
+            (
+                "precision_events".to_string(),
+                Value::Array(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            Value::Object(vec![
+                                (
+                                    "cause".to_string(),
+                                    Value::Str(e.cause.as_str().to_string()),
+                                ),
+                                ("routine".to_string(), Value::Str(e.routine.clone())),
+                                ("var".to_string(), Value::Str(e.var.clone())),
+                                ("line".to_string(), Value::UInt(u64::from(e.line))),
+                                ("detail".to_string(), Value::Str(e.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "precision_events_dropped".to_string(),
+                Value::UInt(self.events_dropped),
+            ),
+            ("spans".to_string(), self.spans.clone()),
+        ])
+    }
+}
+
+struct Inner {
+    records: VecDeque<FlightRecord>,
+    next_seq: u64,
+    total: u64,
+}
+
+/// The bounded ring of recent [`FlightRecord`]s. Shared by every worker
+/// through one mutex; the critical sections are short (push/pop and
+/// serialization), and requests touch it once each.
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the `capacity` most recent records.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(Inner {
+                records: VecDeque::new(),
+                next_seq: 0,
+                total: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock cannot corrupt the ring (the
+        // push below is not panic-prone past allocation); recording
+        // must keep working after a contained worker panic.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record (its `seq` field is assigned here), evicting
+    /// the oldest past capacity.
+    pub fn record(&self, mut rec: FlightRecord) {
+        let mut inner = self.lock();
+        rec.seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.total += 1;
+        inner.records.push_back(rec);
+        while inner.records.len() > self.capacity {
+            inner.records.pop_front();
+        }
+    }
+
+    /// Records currently in the ring.
+    pub fn len(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// Whether nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The post-mortem dump: ring capacity, lifetime record count and
+    /// the retained records oldest-first.
+    pub fn dump(&self) -> Value {
+        let inner = self.lock();
+        Value::Object(vec![
+            ("capacity".to_string(), Value::UInt(self.capacity as u64)),
+            ("recorded_total".to_string(), Value::UInt(inner.total)),
+            (
+                "records".to_string(),
+                Value::Array(inner.records.iter().map(FlightRecord::json).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes [`FlightRecorder::dump`] to `path`. Used for the
+    /// `--postmortem` file; callers treat failures as diagnostics, not
+    /// request errors.
+    pub fn dump_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let dump = self.dump();
+        let text = serde_json::to_string_pretty(&dump)
+            .map_err(|e| std::io::Error::other(format!("serialize flight dump: {e}")))?;
+        std::fs::write(path, text + "\n")
+    }
+}
+
+/// FNV-1a 64-bit, rendered as 16 hex digits — a stable, dependency-free
+/// request digest for correlating flight records with client logs.
+pub fn source_digest(source: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::ledger::Cause;
+
+    fn rec(outcome: &str) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            id: Value::Int(1),
+            digest: source_digest("      END\n"),
+            source_bytes: 10,
+            outcome: outcome.to_string(),
+            degrade_reason: None,
+            error: None,
+            events: vec![PrecisionEvent {
+                cause: Cause::FuelWiden,
+                routine: "t".to_string(),
+                var: "i".to_string(),
+                line: 4,
+                detail: "segment widened".to_string(),
+            }],
+            events_dropped: 0,
+            spans: Value::Null,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let fr = FlightRecorder::new(3);
+        for _ in 0..5 {
+            fr.record(rec("ok"));
+        }
+        assert_eq!(fr.len(), 3);
+        let dump = fr.dump();
+        assert_eq!(dump.get("recorded_total").unwrap().as_u64(), Some(5));
+        let Some(Value::Array(records)) = dump.get("records").cloned() else {
+            panic!("records is not an array");
+        };
+        let seqs: Vec<u64> = records
+            .iter()
+            .map(|r| r.get("seq").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest records must fall off");
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let fr = FlightRecorder::new(8);
+        fr.record(rec("internal_panic"));
+        let text = serde_json::to_string(&fr.dump()).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        let record = &back.get("records").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            record.get("outcome").unwrap().as_str(),
+            Some("internal_panic")
+        );
+        let ev = &record.get("precision_events").unwrap().as_array().unwrap()[0];
+        assert_eq!(ev.get("cause").unwrap().as_str(), Some("fuel_widen"));
+        assert_eq!(ev.get("line").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn digest_is_stable_fnv1a() {
+        // FNV-1a reference vectors.
+        assert_eq!(source_digest(""), "cbf29ce484222325");
+        assert_eq!(source_digest("a"), "af63dc4c8601ec8c");
+        assert_ne!(source_digest("x"), source_digest("y"));
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
@@ -29,11 +30,12 @@ pub mod scheduler;
 use dataflow::{
     CacheCounters, DiskCache, DiskTierSnapshot, MemoryCache, SummaryCache, TieredCache,
 };
+use flight::{FlightRecord, FlightRecorder};
 use metrics::Metrics;
 use panorama::{driver, FuelLimits};
 use protocol::{
-    error_response, metrics_response, ok_response, panic_response, stats_response, traced_response,
-    Request,
+    dump_response, error_response, health_response, metrics_response, ok_response, panic_response,
+    stats_response, traced_response, Request,
 };
 use scheduler::{Emitter, Job, Queue};
 use serde::Value;
@@ -41,6 +43,8 @@ use std::collections::BTreeSet;
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
+use trace::ledger;
 
 /// Largest accepted request line, in bytes. A longer line is consumed
 /// (so the stream stays framed) and answered with an in-order error
@@ -67,6 +71,11 @@ pub struct Config {
     /// 60-second wall-clock deadline so one pathological program
     /// degrades to a conservative report instead of wedging a worker.
     pub limits: FuelLimits,
+    /// Post-mortem file: when set, the flight-recorder ring is dumped
+    /// here whenever a request ends in `internal_panic` or a degraded
+    /// outcome, and on `{"cmd": "dump"}`. The file always holds the
+    /// most recent dump.
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 impl Default for Config {
@@ -80,6 +89,7 @@ impl Default for Config {
                 deadline_ms: Some(60_000),
                 ..FuelLimits::unlimited()
             },
+            postmortem: None,
         }
     }
 }
@@ -92,6 +102,9 @@ pub struct Daemon {
     limits: FuelLimits,
     metrics: Arc<Metrics>,
     trace_registry: Option<Arc<trace::Registry>>,
+    flight: FlightRecorder,
+    postmortem: Option<std::path::PathBuf>,
+    start: Instant,
 }
 
 impl Daemon {
@@ -120,7 +133,15 @@ impl Daemon {
             limits: config.limits,
             metrics: Arc::new(Metrics::default()),
             trace_registry: None,
+            flight: FlightRecorder::default(),
+            postmortem: config.postmortem,
+            start: Instant::now(),
         }
+    }
+
+    /// The flight recorder (the `{"cmd": "dump"}` payload).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Attaches a span-trace registry: every worker records the
@@ -313,7 +334,8 @@ impl Daemon {
                 limits,
                 trace,
                 emit,
-            }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace, emit),
+                precision,
+            }) => self.handle_analyze(&id, &source, opts, oracle, limits, trace, emit, precision),
             Ok(Request::Stats { id }) => stats_response(
                 &id,
                 self.metrics
@@ -324,11 +346,76 @@ impl Daemon {
                 self.metrics
                     .prometheus(self.cache_counters(), self.disk_snapshot()),
             ),
+            Ok(Request::Health { id }) => health_response(&id, self.health()),
+            Ok(Request::Dump { id }) => {
+                self.write_postmortem("dump command");
+                dump_response(&id, self.flight.dump())
+            }
             // Shutdown never reaches the queue (the reader stops on it).
             Ok(Request::Shutdown) => unreachable!("shutdown is handled by the reader"),
             Err(msg) => {
                 self.metrics.record_failure();
                 error_response(&Value::Null, &msg)
+            }
+        }
+    }
+
+    /// The `{"cmd": "health"}` payload: liveness, version, uptime,
+    /// worker count and cache-tier state (including a disabled disk
+    /// tier's reason — the signal operators page on).
+    fn health(&self) -> Value {
+        let cache = match self.cache_counters() {
+            None => Value::Null,
+            Some(c) => {
+                let mut fields = vec![
+                    ("enabled".to_string(), Value::Bool(true)),
+                    ("entries".to_string(), Value::UInt(c.entries as u64)),
+                ];
+                match self.disk_snapshot() {
+                    None => fields.push(("disk".to_string(), Value::Bool(false))),
+                    Some(d) => {
+                        fields.push(("disk".to_string(), Value::Bool(true)));
+                        fields.push((
+                            "disk_disabled".to_string(),
+                            match &d.disabled {
+                                None => Value::Null,
+                                Some(reason) => Value::Str(reason.clone()),
+                            },
+                        ));
+                    }
+                }
+                Value::Object(fields)
+            }
+        };
+        Value::Object(vec![
+            ("status".to_string(), Value::Str("ok".to_string())),
+            (
+                "version".to_string(),
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            (
+                "uptime_ms".to_string(),
+                Value::UInt(self.start.elapsed().as_millis() as u64),
+            ),
+            ("jobs".to_string(), Value::UInt(self.jobs as u64)),
+            ("cache".to_string(), cache),
+            (
+                "flight_records".to_string(),
+                Value::UInt(self.flight.len() as u64),
+            ),
+        ])
+    }
+
+    /// Writes the flight-recorder ring to the `--postmortem` file, when
+    /// one is configured. Dump failures are stderr diagnostics — they
+    /// must never fail the request that triggered them.
+    fn write_postmortem(&self, why: &str) {
+        if let Some(path) = &self.postmortem {
+            if let Err(e) = self.flight.dump_to_file(path) {
+                eprintln!(
+                    "panoramad: cannot write post-mortem ({why}) to {}: {e}",
+                    path.display()
+                );
             }
         }
     }
@@ -343,6 +430,7 @@ impl Daemon {
         limits: FuelLimits,
         trace_req: bool,
         emit: bool,
+        precision: bool,
     ) -> String {
         // Request budgets win field by field; unset fields inherit the
         // daemon defaults.
@@ -350,12 +438,14 @@ impl Daemon {
         // Result-constraining budgets bypass the cache entirely (the
         // analyzer refuses to mix budgeted and unbudgeted state), so
         // warming it would be wasted full-precision work. So do traced
-        // requests (`driver::Request::trace_spans`): warming would also
-        // record warm-up spans and break the span-tree determinism
-        // contract.
-        if self.cache.is_some() && !limits.constrains_results() && !trace_req {
+        // and precision-accounted requests: both bypass the cache in
+        // the driver to keep their span tree / precision report
+        // deterministic, so warming would feed a cache the request
+        // never reads.
+        let determinism_bypass = trace_req || precision;
+        if self.cache.is_some() && !limits.constrains_results() && !determinism_bypass {
             self.warm_call_dag_roots(source, opts);
-        } else if self.cache.is_some() && trace_req {
+        } else if self.cache.is_some() && determinism_bypass {
             self.metrics.record_trace_bypass();
         }
         let req = driver::Request {
@@ -365,13 +455,52 @@ impl Daemon {
             limits,
             trace_spans: trace_req,
             emit,
+            precision,
         };
-        let request_trace = trace_req.then(RequestTrace::start);
-        let result = driver::run_with_cache(&req, self.cache.clone());
-        let collector = request_trace.and_then(RequestTrace::finish);
+        // Flight recording: every request runs under its own collector
+        // and its own precision ledger, panic-safely — the guards
+        // restore the worker's daemon-wide track even when the pipeline
+        // unwinds. Catching the panic *here* (inside the worker's outer
+        // barrier) is what lets the flight record and post-mortem dump
+        // carry the spans and ledger of the failed request itself.
+        let request_trace = RequestTrace::start();
+        let ledger_scope = ledger::LedgerScope::install();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            driver::run_with_cache(&req, self.cache.clone())
+        }));
+        let request_ledger = ledger_scope.finish().unwrap_or_default();
+        let collector = request_trace.finish();
+        // Untraced requests still feed the worker's `--trace-out`
+        // track: splice the per-request spans back in, shifted onto the
+        // worker's epoch. Traced requests embed their tree in the
+        // response instead (the long-standing bypass contract).
+        if !trace_req {
+            if let (Some(c), Some(mut worker)) = (collector.as_ref(), trace::uninstall()) {
+                worker.splice(c);
+                trace::install(worker);
+            }
+        }
+        self.metrics
+            .record_precision(request_ledger.events(), request_ledger.dropped());
+        let spans = collector
+            .as_ref()
+            .map_or(Value::Null, |c| span_tree_value(&c.tree()));
+        let mut record = FlightRecord {
+            seq: 0,
+            id: id.clone(),
+            digest: flight::source_digest(source),
+            source_bytes: source.len() as u64,
+            outcome: String::new(),
+            degrade_reason: None,
+            error: None,
+            events: request_ledger.events().to_vec(),
+            events_dropped: request_ledger.dropped(),
+            spans,
+        };
         match result {
-            Ok(out) => {
-                if out.analysis.degraded() {
+            Ok(Ok(out)) => {
+                let degraded = out.analysis.degraded();
+                if degraded {
                     self.metrics.record_degraded(out.analysis.degrade_reason);
                 }
                 self.metrics.record_analysis(
@@ -380,14 +509,40 @@ impl Daemon {
                     oracle,
                 );
                 self.metrics.record_lints(&out.analysis.lints);
-                match collector {
-                    Some(c) => traced_response(id, out.json(), span_tree_value(&c.tree())),
-                    None => ok_response(id, out.json()),
+                record.degrade_reason = out.analysis.degrade_reason.map(|r| r.as_str().to_string());
+                record.outcome =
+                    if out.analysis.degrade_reason == Some(panorama::DegradeReason::Deadline) {
+                        "timeout".to_string()
+                    } else if degraded {
+                        "degraded".to_string()
+                    } else {
+                        "ok".to_string()
+                    };
+                self.flight.record(record);
+                if degraded {
+                    self.write_postmortem("degraded analysis");
+                }
+                match (trace_req, collector) {
+                    (true, Some(c)) => traced_response(id, out.json(), span_tree_value(&c.tree())),
+                    _ => ok_response(id, out.json()),
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 self.metrics.record_failure();
+                record.outcome = "failed".to_string();
+                record.error = Some(e.to_string());
+                self.flight.record(record);
                 error_response(id, &e.to_string())
+            }
+            Err(payload) => {
+                self.metrics.record_panic();
+                self.metrics.record_failure();
+                let message = panic_message(payload.as_ref());
+                record.outcome = "internal_panic".to_string();
+                record.error = Some(message.clone());
+                self.flight.record(record);
+                self.write_postmortem("internal panic");
+                panic_response(id, &message)
             }
         }
     }
@@ -462,7 +617,9 @@ fn request_id(payload: &Result<Request, String>) -> Value {
     match payload {
         Ok(Request::Analyze { id, .. })
         | Ok(Request::Stats { id })
-        | Ok(Request::Metrics { id }) => id.clone(),
+        | Ok(Request::Metrics { id })
+        | Ok(Request::Health { id })
+        | Ok(Request::Dump { id }) => id.clone(),
         _ => Value::Null,
     }
 }
@@ -770,6 +927,194 @@ mod tests {
         assert!(json.contains("worker-"), "no worker label");
         assert!(json.contains("\"parse\""), "no parse span");
         assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn health_command_reports_daemon_state() {
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\n{}\n",
+            r#"{"id": "h", "cmd": "health"}"#
+        );
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses[1].get("ok").unwrap(), &Value::Bool(true));
+        let health = responses[1].get("health").unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert!(!health.get("version").unwrap().as_str().unwrap().is_empty());
+        assert!(health.get("uptime_ms").unwrap().as_u64().is_some());
+        assert_eq!(health.get("jobs").unwrap().as_u64(), Some(1));
+        let cache = health.get("cache").unwrap();
+        assert_eq!(cache.get("enabled").unwrap(), &Value::Bool(true));
+        assert_eq!(cache.get("disk").unwrap(), &Value::Bool(false));
+        // The analyze request before the health check left one record.
+        assert_eq!(health.get("flight_records").unwrap().as_u64(), Some(1));
+        // Without a cache the field is null, with a disk tier it carries
+        // the disabled reason slot.
+        let no_cache = Daemon::new(Config {
+            jobs: 1,
+            cache: None,
+            ..Config::default()
+        });
+        let responses = serve_lines(&no_cache, "{\"id\": 1, \"cmd\": \"health\"}\n");
+        assert!(responses[0]
+            .get("health")
+            .unwrap()
+            .get("cache")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn precision_request_attaches_report_and_counters() {
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\", \"precision\": true, \"fuel\": 1}}\n{}\n",
+            r#"{"id": "s", "cmd": "stats"}"#
+        );
+        let responses = serve_lines(&daemon, &input);
+        assert_eq!(responses[0].get("ok").unwrap(), &Value::Bool(true));
+        let report = responses[0].get("report").unwrap();
+        let precision = report.get("precision").expect("precision key in report");
+        assert!(precision.get("precision_ratio").unwrap().as_str().is_some());
+        let fuel_widen = precision
+            .get("causes")
+            .unwrap()
+            .get("fuel_widen")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(fuel_widen > 0, "fuel-starved run must record widenings");
+        // The always-on worker ledger feeds the daemon-wide counters.
+        let stats_precision = responses[1].get("stats").unwrap().get("precision").unwrap();
+        assert!(
+            stats_precision
+                .get("events")
+                .unwrap()
+                .get("fuel_widen")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= fuel_widen
+        );
+    }
+
+    #[test]
+    fn panic_lands_in_flight_record_and_postmortem_file() {
+        if failpoints::env_active() {
+            // Whole-binary FAILPOINTS injection owns the registry; the
+            // targeted configuration below would fight it.
+            return;
+        }
+        let postmortem =
+            std::env::temp_dir().join(format!("panoledger-postmortem-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&postmortem);
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            postmortem: Some(postmortem.clone()),
+            ..Config::default()
+        });
+        // The analyze failpoint's argument is the routine name, so the
+        // selector only fires for the sabotaged routine.
+        failpoints::configure("analyze=panic(zzboom)");
+        let sabotaged = r#"      PROGRAM zzboom\n      END\n"#;
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\n{{\"id\": 2, \"source\": \"{sabotaged}\"}}\n{}\n",
+            r#"{"id": "d", "cmd": "dump"}"#
+        );
+        let responses = serve_lines(&daemon, &input);
+        failpoints::clear();
+        assert_eq!(responses[0].get("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(responses[1].get("ok").unwrap(), &Value::Bool(false));
+        assert_eq!(
+            responses[1]
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("internal_panic")
+        );
+        // The dump command returns the ring: the healthy request, then
+        // the panicked one with its identity preserved.
+        let flight = responses[2].get("flight").unwrap();
+        let records = flight.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("outcome").unwrap().as_str(), Some("ok"));
+        let crashed = &records[1];
+        assert_eq!(
+            crashed.get("outcome").unwrap().as_str(),
+            Some("internal_panic")
+        );
+        assert_eq!(crashed.get("id").unwrap(), &Value::Int(2));
+        // The digest covers the JSON-decoded source (real newlines,
+        // not the `\n` escapes in the request line).
+        let decoded = sabotaged.replace("\\n", "\n");
+        assert_eq!(
+            crashed.get("digest").unwrap().as_str(),
+            Some(flight::source_digest(&decoded).as_str())
+        );
+        assert!(crashed.get("error").unwrap().as_str().is_some());
+        // The post-mortem file was written when the panic was caught
+        // (before the dump command) and re-written by the dump; it
+        // round-trips through JSON with the same outcome.
+        let text = std::fs::read_to_string(&postmortem).expect("postmortem file");
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        let dumped = parsed.get("records").unwrap().as_array().unwrap();
+        assert!(dumped
+            .iter()
+            .any(|r| r.get("outcome").unwrap().as_str() == Some("internal_panic")));
+        let _ = std::fs::remove_file(&postmortem);
+        // The worker survived: metrics recorded exactly one contained
+        // panic and kept serving the dump command.
+        assert_eq!(
+            daemon
+                .metrics()
+                .panics
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn every_request_leaves_a_flight_record_with_spans() {
+        let daemon = Daemon::new(Config {
+            jobs: 1,
+            ..Config::default()
+        });
+        let input = format!(
+            "{{\"id\": 1, \"source\": \"{SRC}\"}}\nnot json\n{{\"id\": \"d\", \"cmd\": \"dump\"}}\n"
+        );
+        let responses = serve_lines(&daemon, &input);
+        // Unparsable lines never reach the analyzer, so only the
+        // analyze request recorded.
+        let records_value = responses[2]
+            .get("flight")
+            .unwrap()
+            .get("records")
+            .unwrap()
+            .clone();
+        let records = records_value.as_array().unwrap();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert_eq!(rec.get("outcome").unwrap().as_str(), Some("ok"));
+        assert!(rec.get("source_bytes").unwrap().as_u64().unwrap() > 0);
+        // The record carries the span tree even though the request was
+        // untraced — that is what makes the post-mortem actionable.
+        let spans = rec.get("spans").unwrap().get("spans").unwrap();
+        let names: Vec<&str> = spans
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|n| n.get("name").and_then(Value::as_str))
+            .collect();
+        assert!(names.contains(&"dataflow"), "missing dataflow in {names:?}");
+        assert!(rec.get("precision_events").unwrap().as_array().is_some());
     }
 
     #[test]

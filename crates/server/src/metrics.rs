@@ -7,6 +7,292 @@ use dataflow::{CacheCounters, DiskTierSnapshot};
 use panorama::PhaseTimes;
 use serde::Value;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use trace::ledger::{Cause, PrecisionEvent};
+
+/// One exported Prometheus series family: its canonical name, metric
+/// kind and help string. Every family the daemon can emit — on any of
+/// its three surfaces (`{"cmd": "metrics"}`, `{"cmd": "stats"}`, the
+/// `--metrics` stderr summary) — has exactly one row here; the
+/// exposition writer refuses (panics in tests) to emit a sample whose
+/// family is missing, which is what keeps the surfaces from drifting
+/// apart name by name.
+pub struct Series {
+    /// Canonical metric family name (`panorama_*`).
+    pub name: &'static str,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: &'static str,
+    /// The `# HELP` text.
+    pub help: &'static str,
+}
+
+/// The canonical series registry (DESIGN.md §4j). Order is exposition
+/// order for the unconditional families; cache/disk families appear
+/// only when the corresponding tier exists.
+pub const SERIES: &[Series] = &[
+    Series {
+        name: "panorama_requests_total",
+        kind: "counter",
+        help: "Requests by outcome (completed/failed/degraded/timeouts/panics/oracle_runs/trace_bypass).",
+    },
+    Series {
+        name: "panorama_lints_total",
+        kind: "counter",
+        help: "Lints emitted by completed analyses, by stable panolint code.",
+    },
+    Series {
+        name: "panorama_precision_events_total",
+        kind: "counter",
+        help: "Precision-loss ledger events recorded by requests, by stable cause.",
+    },
+    Series {
+        name: "panorama_precision_events_dropped_total",
+        kind: "counter",
+        help: "Precision-loss events dropped past the per-request ledger cap.",
+    },
+    Series {
+        name: "panorama_queue_depth",
+        kind: "gauge",
+        help: "Requests currently queued or being analyzed.",
+    },
+    Series {
+        name: "panorama_queue_peak_depth",
+        kind: "gauge",
+        help: "Highest queue depth observed.",
+    },
+    Series {
+        name: "panorama_peak_state_size",
+        kind: "gauge",
+        help: "Largest per-request peak transient GAR state (memory proxy).",
+    },
+    Series {
+        name: "panorama_cache_hits_total",
+        kind: "counter",
+        help: "Routine-summary cache hits.",
+    },
+    Series {
+        name: "panorama_cache_misses_total",
+        kind: "counter",
+        help: "Routine-summary cache misses.",
+    },
+    Series {
+        name: "panorama_cache_evictions_total",
+        kind: "counter",
+        help: "Routine-summary cache evictions.",
+    },
+    Series {
+        name: "panorama_cache_entries",
+        kind: "gauge",
+        help: "Routine-summary cache entries resident in memory.",
+    },
+    Series {
+        name: "panorama_cache_disk_hits_total",
+        kind: "counter",
+        help: "Disk-tier cache hits.",
+    },
+    Series {
+        name: "panorama_cache_disk_misses_total",
+        kind: "counter",
+        help: "Disk-tier cache misses.",
+    },
+    Series {
+        name: "panorama_cache_disk_quarantined_total",
+        kind: "counter",
+        help: "Disk-tier segments quarantined after corruption.",
+    },
+    Series {
+        name: "panorama_cache_disk_write_errors_total",
+        kind: "counter",
+        help: "Disk-tier write errors (degraded to memory-only, never failing requests).",
+    },
+    Series {
+        name: "panorama_cache_disk_evictions_total",
+        kind: "counter",
+        help: "Disk-tier evictions under the byte budget.",
+    },
+    Series {
+        name: "panorama_cache_disk_bytes",
+        kind: "gauge",
+        help: "Bytes resident in the disk tier.",
+    },
+    Series {
+        name: "panorama_cache_disk_entries",
+        kind: "gauge",
+        help: "Entries resident in the disk tier.",
+    },
+    Series {
+        name: "panorama_cache_disk_segments",
+        kind: "gauge",
+        help: "Segment files in the disk tier.",
+    },
+    Series {
+        name: "panorama_cache_disk_disabled",
+        kind: "gauge",
+        help: "1 when the disk tier is disabled (see stats disk_disabled for the reason).",
+    },
+    Series {
+        name: "panorama_phase_latency_microseconds",
+        kind: "histogram",
+        help: "Per-phase analysis latency, log2-bucketed microseconds.",
+    },
+];
+
+/// Looks up a family in [`SERIES`]; emitting an unregistered family is
+/// a programming error the drift tests catch.
+fn series(name: &str) -> &'static Series {
+    SERIES
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("metric family {name} is not in the canonical registry"))
+}
+
+/// Appends the `# HELP` / `# TYPE` header for a registered family.
+fn header(out: &mut String, name: &str) {
+    let s = series(name);
+    out.push_str(&format!(
+        "# HELP {} {}\n# TYPE {} {}\n",
+        s.name, s.help, s.name, s.kind
+    ));
+}
+
+/// Lints a Prometheus text exposition: legal family/label names, every
+/// sample preceded by its family's `# HELP` and `# TYPE`, histogram
+/// `le` buckets monotone (in bound and in cumulative count) and ending
+/// at `+Inf`. Returns the first violation.
+pub fn lint_exposition(text: &str) -> Result<(), String> {
+    fn legal_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    // (family, label-set-minus-le) -> (last bound, last cumulative
+    // count, saw +Inf) for histogram bucket monotonicity.
+    let mut buckets: BTreeMap<(String, String), (f64, u64, bool)> = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let ctx = |msg: String| format!("line {}: {msg}", n + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !legal_name(name) {
+                return Err(ctx(format!("illegal family name in HELP: {name:?}")));
+            }
+            if rest.trim_end().len() <= name.len() {
+                return Err(ctx(format!("empty HELP text for {name}")));
+            }
+            helped.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !legal_name(name) {
+                return Err(ctx(format!("illegal family name in TYPE: {name:?}")));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(ctx(format!("illegal metric type {kind:?} for {name}")));
+            }
+            typed.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name{labels} value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| ctx(format!("malformed sample: {line:?}")))?;
+        let name = &line[..name_end];
+        if !legal_name(name) {
+            return Err(ctx(format!("illegal sample name: {name:?}")));
+        }
+        let (labels, value_text) = match line[name_end..].strip_prefix('{') {
+            Some(rest) => {
+                let close = rest
+                    .find('}')
+                    .ok_or_else(|| ctx(format!("unterminated label set: {line:?}")))?;
+                (&rest[..close], rest[close + 1..].trim())
+            }
+            None => ("", line[name_end..].trim()),
+        };
+        for pair in labels.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| ctx(format!("malformed label pair {pair:?}")))?;
+            if !legal_name(k) {
+                return Err(ctx(format!("illegal label name {k:?}")));
+            }
+            if !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                return Err(ctx(format!("unquoted label value {v:?}")));
+            }
+        }
+        let value: f64 = value_text
+            .parse()
+            .map_err(|_| ctx(format!("unparsable sample value {value_text:?}")))?;
+        // The family of `x_bucket`/`x_sum`/`x_count` is `x` when `x` is
+        // a typed histogram.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let base = name.strip_suffix(suf)?;
+                (typed.get(base).map(String::as_str) == Some("histogram")).then_some(base)
+            })
+            .unwrap_or(name);
+        if !typed.contains_key(family) {
+            return Err(ctx(format!("sample {name} has no preceding # TYPE")));
+        }
+        if !helped.contains(family) {
+            return Err(ctx(format!("sample {name} has no preceding # HELP")));
+        }
+        if name.ends_with("_bucket") && typed.get(family).map(String::as_str) == Some("histogram") {
+            let mut le = None;
+            let others: Vec<&str> = labels
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .filter(|p| match p.split_once('=') {
+                    Some(("le", v)) => {
+                        le = Some(v.trim_matches('"').to_string());
+                        false
+                    }
+                    _ => true,
+                })
+                .collect();
+            let le = le.ok_or_else(|| ctx(format!("bucket sample without le: {line:?}")))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| ctx(format!("unparsable le bound {le:?}")))?
+            };
+            let key = (family.to_string(), others.join(","));
+            let entry = buckets.entry(key).or_insert((f64::NEG_INFINITY, 0, false));
+            if bound <= entry.0 {
+                return Err(ctx(format!("non-increasing le bounds for {name}")));
+            }
+            if (value as u64) < entry.1 {
+                return Err(ctx(format!("non-monotone cumulative counts for {name}")));
+            }
+            *entry = (bound, value as u64, le == "+Inf");
+        }
+    }
+    for ((family, labels), (_, _, saw_inf)) in &buckets {
+        if !saw_inf {
+            return Err(format!(
+                "histogram {family}{{{labels}}} bucket series does not end at +Inf"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Histogram bucket count: upper bounds 2⁰..2²⁰ microseconds plus a
 /// final +Inf overflow bucket.
@@ -175,6 +461,11 @@ pub struct Metrics {
     /// Lints emitted by completed analyses, one counter per stable
     /// `panolint` code (index = position in [`panorama::LintCode::ALL`]).
     pub lints: [AtomicU64; panorama::LintCode::ALL.len()],
+    /// Precision-loss ledger events recorded by requests, one counter
+    /// per stable cause (index = position in [`Cause::ALL`]).
+    pub precision: [AtomicU64; Cause::ALL.len()],
+    /// Precision events dropped past the per-request ledger cap.
+    pub precision_dropped: AtomicU64,
     /// Aggregate per-phase analysis time, in microseconds.
     pub parse_micros: AtomicU64,
     /// Semantic analysis time.
@@ -252,6 +543,21 @@ impl Metrics {
         }
     }
 
+    /// Folds one request's precision ledger into the per-cause
+    /// counters. Every request contributes (the ledger is always on in
+    /// the daemon), so the counters cover untraced and unaccounted
+    /// requests too.
+    pub fn record_precision(&self, events: &[PrecisionEvent], dropped: u64) {
+        for e in events {
+            if let Some(k) = Cause::ALL.iter().position(|c| *c == e.cause) {
+                self.precision[k].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if dropped > 0 {
+            self.precision_dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// Records a traced request that bypassed the warm summary cache.
     pub fn record_trace_bypass(&self) {
         self.trace_bypass.fetch_add(1, Ordering::Relaxed);
@@ -322,6 +628,22 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            (
+                "precision".to_string(),
+                Value::Object(vec![
+                    (
+                        "events".to_string(),
+                        Value::Object(
+                            Cause::ALL
+                                .iter()
+                                .enumerate()
+                                .map(|(k, c)| (c.as_str().to_string(), load(&self.precision[k])))
+                                .collect(),
+                        ),
+                    ),
+                    ("events_dropped".to_string(), load(&self.precision_dropped)),
+                ]),
+            ),
             ("cache".to_string(), cache_obj),
             (
                 "queue".to_string(),
@@ -371,7 +693,7 @@ impl Metrics {
         disk: Option<DiskTierSnapshot>,
     ) -> String {
         let mut out = String::new();
-        out.push_str("# TYPE panorama_requests_total counter\n");
+        header(&mut out, "panorama_requests_total");
         for (outcome, c) in [
             ("completed", &self.completed),
             ("failed", &self.failed),
@@ -386,7 +708,7 @@ impl Metrics {
                 c.load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE panorama_lints_total counter\n");
+        header(&mut out, "panorama_lints_total");
         for (k, code) in panorama::LintCode::ALL.iter().enumerate() {
             out.push_str(&format!(
                 "panorama_lints_total{{code=\"{}\"}} {}\n",
@@ -394,30 +716,46 @@ impl Metrics {
                 self.lints[k].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE panorama_queue_depth gauge\n");
+        header(&mut out, "panorama_precision_events_total");
+        for (k, cause) in Cause::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "panorama_precision_events_total{{cause=\"{}\"}} {}\n",
+                cause.as_str(),
+                self.precision[k].load(Ordering::Relaxed)
+            ));
+        }
+        header(&mut out, "panorama_precision_events_dropped_total");
         out.push_str(&format!(
-            "panorama_queue_depth {}\n",
-            self.queue_depth.load(Ordering::Relaxed)
+            "panorama_precision_events_dropped_total {}\n",
+            self.precision_dropped.load(Ordering::Relaxed)
         ));
-        out.push_str("# TYPE panorama_queue_peak_depth gauge\n");
-        out.push_str(&format!(
-            "panorama_queue_peak_depth {}\n",
-            self.peak_queue_depth.load(Ordering::Relaxed)
-        ));
-        out.push_str("# TYPE panorama_peak_state_size gauge\n");
-        out.push_str(&format!(
-            "panorama_peak_state_size {}\n",
-            self.peak_state_size.load(Ordering::Relaxed)
-        ));
+        for (name, v) in [
+            (
+                "panorama_queue_depth",
+                self.queue_depth.load(Ordering::Relaxed) as u64,
+            ),
+            (
+                "panorama_queue_peak_depth",
+                self.peak_queue_depth.load(Ordering::Relaxed) as u64,
+            ),
+            (
+                "panorama_peak_state_size",
+                self.peak_state_size.load(Ordering::Relaxed) as u64,
+            ),
+        ] {
+            header(&mut out, name);
+            out.push_str(&format!("{name} {v}\n"));
+        }
         if let Some(c) = cache {
-            out.push_str("# TYPE panorama_cache_hits_total counter\n");
-            out.push_str(&format!("panorama_cache_hits_total {}\n", c.hits));
-            out.push_str("# TYPE panorama_cache_misses_total counter\n");
-            out.push_str(&format!("panorama_cache_misses_total {}\n", c.misses));
-            out.push_str("# TYPE panorama_cache_evictions_total counter\n");
-            out.push_str(&format!("panorama_cache_evictions_total {}\n", c.evictions));
-            out.push_str("# TYPE panorama_cache_entries gauge\n");
-            out.push_str(&format!("panorama_cache_entries {}\n", c.entries));
+            for (name, v) in [
+                ("panorama_cache_hits_total", c.hits),
+                ("panorama_cache_misses_total", c.misses),
+                ("panorama_cache_evictions_total", c.evictions),
+                ("panorama_cache_entries", c.entries as u64),
+            ] {
+                header(&mut out, name);
+                out.push_str(&format!("{name} {v}\n"));
+            }
         }
         if let Some(d) = disk {
             for (name, v) in [
@@ -426,10 +764,6 @@ impl Metrics {
                 ("panorama_cache_disk_quarantined_total", d.quarantined),
                 ("panorama_cache_disk_write_errors_total", d.write_errors),
                 ("panorama_cache_disk_evictions_total", d.evictions),
-            ] {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
-            }
-            for (name, v) in [
                 ("panorama_cache_disk_bytes", d.bytes_on_disk),
                 ("panorama_cache_disk_entries", d.entries as u64),
                 ("panorama_cache_disk_segments", d.segments as u64),
@@ -438,10 +772,11 @@ impl Metrics {
                     u64::from(d.disabled.is_some()),
                 ),
             ] {
-                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                header(&mut out, name);
+                out.push_str(&format!("{name} {v}\n"));
             }
         }
-        out.push_str("# TYPE panorama_phase_latency_microseconds histogram\n");
+        header(&mut out, "panorama_phase_latency_microseconds");
         for (phase, h) in self.phase_hist.phases() {
             h.prometheus_into(&mut out, "panorama_phase_latency_microseconds", phase);
         }
@@ -490,6 +825,22 @@ impl Metrics {
             .map(|(k, c)| format!("{}={}", c.code(), self.lints[k].load(Ordering::Relaxed)))
             .collect();
         out.push_str(&format!("panoramad: lints {}\n", lint_counts.join(" ")));
+        let precision_counts: Vec<String> = Cause::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                format!(
+                    "{}={}",
+                    c.as_str(),
+                    self.precision[k].load(Ordering::Relaxed)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "panoramad: precision events {} dropped={}\n",
+            precision_counts.join(" "),
+            self.precision_dropped.load(Ordering::Relaxed),
+        ));
         out.push_str(&format!(
             "panoramad: phase micros parse={} sema={} hsg={} conventional={} dataflow={}, peak state {} GAR units\n",
             self.parse_micros.load(Ordering::Relaxed),
@@ -630,6 +981,171 @@ mod tests {
             .contains("panorama_cache_disk_"));
         let s2 = m.snapshot(Some(counters), None);
         assert!(s2.get("cache").unwrap().get("disk_hits").is_none());
+    }
+
+    fn event(cause: Cause) -> PrecisionEvent {
+        PrecisionEvent {
+            cause,
+            routine: "r".to_string(),
+            var: "v".to_string(),
+            line: 1,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn precision_counters_reach_all_three_surfaces() {
+        let m = Metrics::default();
+        m.record_precision(
+            &[
+                event(Cause::FuelWiden),
+                event(Cause::FuelWiden),
+                event(Cause::AliasDegrade),
+            ],
+            3,
+        );
+        let snap = m.snapshot(None, None);
+        let prec = snap.get("precision").unwrap();
+        assert_eq!(
+            prec.get("events").unwrap().get("fuel_widen").unwrap(),
+            &Value::UInt(2)
+        );
+        assert_eq!(
+            prec.get("events").unwrap().get("alias_degrade").unwrap(),
+            &Value::UInt(1)
+        );
+        assert_eq!(
+            prec.get("events").unwrap().get("lower_skip").unwrap(),
+            &Value::UInt(0)
+        );
+        assert_eq!(prec.get("events_dropped").unwrap(), &Value::UInt(3));
+        let text = m.prometheus(None, None);
+        assert!(text.contains("panorama_precision_events_total{cause=\"fuel_widen\"} 2\n"));
+        assert!(text.contains("panorama_precision_events_total{cause=\"alias_degrade\"} 1\n"));
+        assert!(text.contains("panorama_precision_events_dropped_total 3\n"));
+        let rendered = m.render(None, None);
+        assert!(rendered.contains("precision events fuel_widen=2 alias_degrade=1"));
+        assert!(rendered.contains("dropped=3"));
+    }
+
+    #[test]
+    fn full_exposition_passes_the_linter() {
+        // Populate everything — cache, disk tier, histograms, precision,
+        // lints — and lint the complete exposition. Every family must
+        // carry HELP + TYPE and histogram buckets must be well-formed.
+        let m = Metrics::default();
+        let times = PhaseTimes {
+            dataflow: std::time::Duration::from_micros(300),
+            ..PhaseTimes::default()
+        };
+        m.record_analysis(&times, 7, true);
+        m.record_precision(&[event(Cause::ContentRefused)], 1);
+        let counters = CacheCounters {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            evictions: 0,
+        };
+        let disk = DiskTierSnapshot {
+            disk_hits: 5,
+            disk_misses: 2,
+            quarantined: 1,
+            write_errors: 3,
+            bytes_on_disk: 4096,
+            segments: 2,
+            entries: 7,
+            evictions: 1,
+            disabled: None,
+        };
+        let text = m.prometheus(Some(counters), Some(disk));
+        lint_exposition(&text).unwrap();
+        // Naming-drift audit: every family in the exposition is in the
+        // canonical registry, with the registered kind.
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert_eq!(series(name).kind, kind, "kind drift for {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_are_legal_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in SERIES {
+            assert!(s.name.starts_with("panorama_"), "bad prefix: {}", s.name);
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "illegal character in {}",
+                s.name
+            );
+            assert!(!s.help.is_empty(), "empty help for {}", s.name);
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&s.kind),
+                "bad kind for {}",
+                s.name
+            );
+            assert!(seen.insert(s.name), "duplicate registry row: {}", s.name);
+        }
+    }
+
+    #[test]
+    fn stats_keys_match_prometheus_label_vocabulary() {
+        // The stats snapshot and the Prometheus exposition must spell
+        // shared concepts identically: precision causes, lint codes and
+        // request outcomes come from single sources of truth.
+        let m = Metrics::default();
+        let snap = m.snapshot(None, None);
+        let text = m.prometheus(None, None);
+        let Some(Value::Object(events)) = snap.get("precision").unwrap().get("events").cloned()
+        else {
+            panic!("precision.events is not an object");
+        };
+        for (cause, _) in &events {
+            assert!(
+                text.contains(&format!(
+                    "panorama_precision_events_total{{cause=\"{cause}\"}}"
+                )),
+                "stats cause {cause} missing from Prometheus"
+            );
+        }
+        let Some(Value::Object(reqs)) = snap.get("requests").cloned() else {
+            panic!("requests is not an object");
+        };
+        for (outcome, _) in &reqs {
+            assert!(
+                text.contains(&format!("panorama_requests_total{{outcome=\"{outcome}\"}}")),
+                "stats outcome {outcome} missing from Prometheus"
+            );
+        }
+    }
+
+    #[test]
+    fn linter_rejects_malformed_expositions() {
+        // Sample without TYPE.
+        assert!(lint_exposition("panorama_x_total 1\n").is_err());
+        // TYPE without HELP.
+        assert!(lint_exposition("# TYPE panorama_x_total counter\npanorama_x_total 1\n").is_err());
+        // Bad metric type.
+        assert!(lint_exposition("# HELP x h\n# TYPE x gouge\nx 1\n").is_err());
+        // Unquoted label value.
+        assert!(lint_exposition("# HELP x h\n# TYPE x counter\nx{a=b} 1\n").is_err());
+        // Histogram whose buckets never reach +Inf.
+        let no_inf = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(lint_exposition(no_inf).is_err());
+        // Histogram with non-monotone cumulative counts.
+        let non_mono = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n";
+        assert!(lint_exposition(non_mono).is_err());
+        // Histogram with decreasing bounds.
+        let bad_bounds = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n";
+        assert!(lint_exposition(bad_bounds).is_err());
+        // A healthy minimal exposition passes.
+        let good = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+        lint_exposition(good).unwrap();
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! {"id": 1, "source": "      PROGRAM t\n      ...", "opts": {"forall_ext": true}, "oracle": true}
 //! {"id": 2, "source": "      ...", "trace": true}
 //! {"id": 3, "source": "      ...", "emit": true}
+//! {"id": 4, "source": "      ...", "precision": true}
 //! {"id": "probe", "cmd": "stats"}
 //! {"id": "prom", "cmd": "metrics"}
+//! {"id": "hb", "cmd": "health"}
+//! {"id": "pm", "cmd": "dump"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -23,9 +26,16 @@
 //! {"id": 1, "ok": true, "report": {"schema_version": 1, ...}}
 //! {"id": 2, "ok": true, "report": {...}, "trace": {"spans": [...]}}
 //! {"id": "probe", "ok": true, "stats": {...}}
-//! {"id": "prom", "ok": true, "metrics": "# TYPE panorama_requests_total counter\n..."}
+//! {"id": "prom", "ok": true, "metrics": "# HELP panorama_requests_total ...\n..."}
+//! {"id": "hb", "ok": true, "health": {"status": "ok", "uptime_ms": 12, ...}}
+//! {"id": "pm", "ok": true, "flight": {"records": [...], ...}}
 //! {"id": 3, "ok": false, "error": "parse: ..."}
 //! ```
+//!
+//! A `"precision": true` analyze request runs under the precision
+//! ledger (DESIGN.md §4j); its report gains the additive `"precision"`
+//! key and, like `"trace": true`, it bypasses the summary cache so the
+//! report is byte-identical across job counts and cache state.
 
 use panorama::{FuelLimits, Options};
 use serde::Value;
@@ -59,6 +69,10 @@ pub enum Request {
         /// additive `"transform"` key (loops, clauses, skip diagnostics,
         /// annotated source — DESIGN.md §4h).
         emit: bool,
+        /// Account precision losses; the report gains an additive
+        /// `"precision"` key (panoledger, DESIGN.md §4j). Bypasses the
+        /// summary cache, like `trace`.
+        precision: bool,
     },
     /// Snapshot the daemon metrics as JSON.
     Stats {
@@ -67,6 +81,17 @@ pub enum Request {
     },
     /// Export the daemon metrics as Prometheus text.
     Metrics {
+        /// Client correlation id.
+        id: Value,
+    },
+    /// Liveness probe: uptime, version, worker count and cache state.
+    Health {
+        /// Client correlation id.
+        id: Value,
+    },
+    /// Dump the flight-recorder ring inline (and to the `--postmortem`
+    /// file when one is configured).
+    Dump {
         /// Client correlation id.
         id: Value,
     },
@@ -85,6 +110,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match value.get("cmd").and_then(Value::as_str) {
         Some("stats") => return Ok(Request::Stats { id }),
         Some("metrics") => return Ok(Request::Metrics { id }),
+        Some("health") => return Ok(Request::Health { id }),
+        Some("dump") => return Ok(Request::Dump { id }),
         Some("shutdown") => return Ok(Request::Shutdown),
         Some(other) => return Err(format!("bad request: unknown cmd {other:?}")),
         None => {}
@@ -129,6 +156,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let oracle = flag("oracle")?;
     let trace = flag("trace")?;
     let emit = flag("emit")?;
+    let precision = flag("precision")?;
     let budget = |key: &str| -> Result<Option<u64>, String> {
         match value.get(key) {
             None => Ok(None),
@@ -149,6 +177,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         limits,
         trace,
         emit,
+        precision,
     })
 }
 
@@ -192,6 +221,26 @@ pub fn metrics_response(id: &Value, text: String) -> String {
         ("id".to_string(), id.clone()),
         ("ok".to_string(), Value::Bool(true)),
         ("metrics".to_string(), Value::Str(text)),
+    ]);
+    response_line(&obj)
+}
+
+/// A health-probe response line.
+pub fn health_response(id: &Value, health: Value) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("health".to_string(), health),
+    ]);
+    response_line(&obj)
+}
+
+/// A flight-recorder dump response line.
+pub fn dump_response(id: &Value, flight: Value) -> String {
+    let obj = Value::Object(vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("flight".to_string(), flight),
     ]);
     response_line(&obj)
 }
@@ -253,6 +302,7 @@ mod tests {
             limits,
             trace,
             emit,
+            precision,
         } = r
         else {
             panic!("not an analyze request");
@@ -265,6 +315,17 @@ mod tests {
         assert!(limits.is_unlimited());
         assert!(!trace);
         assert!(!emit);
+        assert!(!precision);
+    }
+
+    #[test]
+    fn parses_precision_flag() {
+        let r = parse_request(r#"{"id": 1, "source": "      END", "precision": true}"#).unwrap();
+        let Request::Analyze { precision, .. } = r else {
+            panic!("not an analyze request");
+        };
+        assert!(precision);
+        assert!(parse_request(r#"{"id": 1, "source": "      END", "precision": 1}"#).is_err());
     }
 
     #[test]
@@ -334,6 +395,14 @@ mod tests {
             Ok(Request::Stats { .. })
         ));
         assert!(matches!(
+            parse_request(r#"{"id": "h", "cmd": "health"}"#),
+            Ok(Request::Health { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"id": "d", "cmd": "dump"}"#),
+            Ok(Request::Dump { .. })
+        ));
+        assert!(matches!(
             parse_request(r#"{"id": "p", "cmd": "metrics"}"#),
             Ok(Request::Metrics { .. })
         ));
@@ -361,6 +430,8 @@ mod tests {
             traced_response(&id, Value::Null, Value::Object(vec![])),
             metrics_response(&id, "# TYPE x counter\n".to_string()),
             stats_response(&id, Value::Object(vec![])),
+            health_response(&id, Value::Object(vec![])),
+            dump_response(&id, Value::Object(vec![])),
             error_response(&id, "boom"),
         ] {
             let v = serde_json::from_str(&line).unwrap();

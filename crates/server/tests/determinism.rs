@@ -272,6 +272,94 @@ fn span_trees_and_provenance_identical_across_jobs_and_cache() {
     }
 }
 
+/// One `"precision": true` request per benchsuite kernel, each sent
+/// twice (cache replay pressure on cached configurations), optionally
+/// fuel-starved so the reports carry real degradation accounting.
+fn precision_request_stream(fuel: Option<u64>) -> String {
+    let mut lines = Vec::new();
+    for pass in 0..2 {
+        for k in kernels() {
+            let mut fields = vec![
+                (
+                    "id".to_string(),
+                    Value::Str(format!("prec {}/{pass}", k.loop_label)),
+                ),
+                ("source".to_string(), Value::Str(k.source.to_string())),
+                ("precision".to_string(), Value::Bool(true)),
+            ];
+            if let Some(fuel) = fuel {
+                fields.push(("fuel".to_string(), Value::UInt(fuel)));
+            }
+            lines.push(serde_json::to_string(&Value::Object(fields)).unwrap());
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn precision_reports_identical_across_jobs_and_cache() {
+    // The determinism contract extends to the precision ledger: the
+    // `"precision"` payload (cause counts, loop split, ratio, event
+    // list) is byte-identical whatever the worker count and cache
+    // configuration — both at full budget (all-zero ledger) and
+    // fuel-starved (every kernel degrading).
+    for fuel in [None, Some(100)] {
+        let input = precision_request_stream(fuel);
+        let baseline = serve(
+            Config {
+                jobs: 1,
+                cache: None,
+                ..Config::default()
+            },
+            &input,
+        );
+        for line in baseline.lines() {
+            let v: Value = serde_json::from_str(line).expect("response json");
+            let id = v.get("id").unwrap();
+            let precision = v
+                .get("report")
+                .and_then(|r| r.get("precision"))
+                .unwrap_or_else(|| panic!("{id:?}: no precision payload"));
+            for key in [
+                "causes",
+                "loops",
+                "precision_ratio",
+                "events",
+                "events_dropped",
+            ] {
+                assert!(
+                    precision.get(key).is_some(),
+                    "{id:?}: missing precision.{key}"
+                );
+            }
+        }
+        if fuel.is_some() {
+            assert!(
+                baseline.contains("\"fuel_widen\""),
+                "starved stream never recorded a fuel widening"
+            );
+            assert!(
+                baseline.contains("\"degraded\":true"),
+                "100 steps should starve at least one kernel"
+            );
+        }
+        for (jobs, cache) in [(4, None), (1, Some(None)), (4, Some(None))] {
+            let got = serve(
+                Config {
+                    jobs,
+                    cache,
+                    ..Config::default()
+                },
+                &input,
+            );
+            assert_eq!(
+                got, baseline,
+                "precision stream diverged at fuel={fuel:?}, jobs={jobs}, cache={cache:?}"
+            );
+        }
+    }
+}
+
 /// One `"emit": true` request per benchsuite kernel, each sent twice so
 /// cached configurations replay the second pass.
 fn emit_request_stream() -> String {

@@ -1,0 +1,410 @@
+//! panoledger — precision-loss accounting for the analysis pipeline.
+//!
+//! Every place the analyzer deliberately answers ⊤ instead of thinking
+//! harder — fuel widenings, alias degradations at call sites, exhausted
+//! value-range/content budgets, refused control flow, summary-cache
+//! bypasses, condensed goto-cycles, codegen lowering refusals — records
+//! one typed [`PrecisionEvent`] here. The ledger is the ground truth
+//! behind `panorama --precision-report`, the daemon's
+//! `panorama_precision_*` counters and the flight recorder: a verdict
+//! that went serial because of a degradation, rather than a proven
+//! dependence, must be attributable to the event that caused it.
+//!
+//! Same zero-cost discipline as the span collector (and the
+//! `failpoints` shim): with no ledger installed anywhere in the
+//! process, [`record`] is a single relaxed atomic load and an immediate
+//! return — the site closure never runs, so hot paths pay no
+//! formatting or allocation. Ledgers are per-thread; one request in a
+//! daemon never sees a neighbouring worker's events.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of ledgers installed process-wide; the disabled fast path is
+/// one relaxed load of this counter.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ledger>> = const { RefCell::new(None) };
+}
+
+/// Hard cap on events per ledger: a pathological input must not turn
+/// the accounting layer into a memory leak. Overflow is counted, not
+/// silently dropped.
+pub const MAX_EVENTS: usize = 16_384;
+
+/// Why precision was lost at a site. Each variant names one
+/// conservative approximation the pipeline takes; the `as_str` strings
+/// are stable schema (DESIGN.md §4j) shared by the JSON report, the
+/// Prometheus `cause` label and the flight recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cause {
+    /// `dataflow::fuel` exhaustion widened a summary, segment or loop
+    /// to an unknown over-approximation (steps, state caps, deadline).
+    FuelWiden,
+    /// `SUM_call` could not prove the call alias-clean: some arrays got
+    /// unknown MOD/UE or lost DE, or a COMMON mismatch degraded a block.
+    AliasDegrade,
+    /// The value-range pass ran out of budget inside a routine; range
+    /// facts from that routine are incomplete.
+    RangeBudget,
+    /// The array-content pass ran out of budget on a loop body; its
+    /// UE₍i₎ refutations and full-definition facts were discarded.
+    ContentBudget,
+    /// The array-content pass refused a loop body outright (CALL, GOTO,
+    /// RETURN or STOP in the body — unmodelled control flow).
+    ContentRefused,
+    /// An offered routine-summary cache was bypassed (propagation trace
+    /// requested, or resource limits constrain results), so this run
+    /// re-derived summaries a warm run would have replayed.
+    CacheBypass,
+    /// A goto-cycle was condensed and summarized conservatively: every
+    /// array touched inside became unknown MOD/UE with no DE.
+    GotoCondense,
+    /// The emission backend declined to transform or lower a loop
+    /// (synthetic, serial, degraded, nested, or an unlowerable clause).
+    LowerSkip,
+}
+
+impl Cause {
+    /// Every cause, in stable report order.
+    pub const ALL: [Cause; 8] = [
+        Cause::FuelWiden,
+        Cause::AliasDegrade,
+        Cause::RangeBudget,
+        Cause::ContentBudget,
+        Cause::ContentRefused,
+        Cause::CacheBypass,
+        Cause::GotoCondense,
+        Cause::LowerSkip,
+    ];
+
+    /// Stable lower-snake-case name used across every surface.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cause::FuelWiden => "fuel_widen",
+            Cause::AliasDegrade => "alias_degrade",
+            Cause::RangeBudget => "range_budget",
+            Cause::ContentBudget => "content_budget",
+            Cause::ContentRefused => "content_refused",
+            Cause::CacheBypass => "cache_bypass",
+            Cause::GotoCondense => "goto_condense",
+            Cause::LowerSkip => "lower_skip",
+        }
+    }
+
+    /// Inverse of [`Cause::as_str`].
+    pub fn parse(s: &str) -> Option<Cause> {
+        Cause::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// Causes that can flip a loop verdict from parallel to serial (or
+    /// discard a refutation that would have flipped it back): the
+    /// degradation class the suite-wide invariant tests account for.
+    /// `CacheBypass`, `GotoCondense` and `LowerSkip` lose time or
+    /// emission coverage, not verdict precision the verdicts don't
+    /// already record as a proven dependence.
+    pub fn degrades_verdicts(self) -> bool {
+        matches!(
+            self,
+            Cause::FuelWiden
+                | Cause::AliasDegrade
+                | Cause::RangeBudget
+                | Cause::ContentBudget
+                | Cause::ContentRefused
+        )
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where precision was lost: the site fields of a [`PrecisionEvent`],
+/// built lazily by the closure passed to [`record`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Site {
+    /// Enclosing routine (empty when the loss is not routine-scoped,
+    /// e.g. a whole-run cache bypass).
+    pub routine: String,
+    /// Affected variable or loop index (empty when not var-specific).
+    pub var: String,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// Free-form elaboration, e.g. the callee or the widened arrays.
+    pub detail: String,
+}
+
+impl Site {
+    /// A site anchored to `routine`; chain the other fields.
+    pub fn routine(routine: impl Into<String>) -> Site {
+        Site {
+            routine: routine.into(),
+            ..Site::default()
+        }
+    }
+
+    /// Sets the affected variable.
+    pub fn var(mut self, var: impl Into<String>) -> Site {
+        self.var = var.into();
+        self
+    }
+
+    /// Sets the source line.
+    pub fn line(mut self, line: u32) -> Site {
+        self.line = line;
+        self
+    }
+
+    /// Sets the detail text.
+    pub fn detail(mut self, detail: impl Into<String>) -> Site {
+        self.detail = detail.into();
+        self
+    }
+}
+
+/// One recorded precision loss: a cause at a site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrecisionEvent {
+    /// What kind of approximation was taken.
+    pub cause: Cause,
+    /// Enclosing routine (may be empty).
+    pub routine: String,
+    /// Affected variable or loop index (may be empty).
+    pub var: String,
+    /// 1-based source line (0 = unknown).
+    pub line: u32,
+    /// Free-form elaboration.
+    pub detail: String,
+}
+
+/// A per-thread event ledger. Install one ([`LedgerScope`]), run the
+/// pipeline, take it back out.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    events: Vec<PrecisionEvent>,
+    dropped: u64,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    fn push(&mut self, ev: PrecisionEvent) {
+        if self.events.len() >= MAX_EVENTS {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in record order.
+    pub fn events(&self) -> &[PrecisionEvent] {
+        &self.events
+    }
+
+    /// Consumes the ledger into its event list.
+    pub fn into_events(self) -> Vec<PrecisionEvent> {
+        self.events
+    }
+
+    /// Events dropped past [`MAX_EVENTS`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Is any ledger installed anywhere in the process? One relaxed load;
+/// the per-thread check happens only at recording sites.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Installs a ledger on the current thread, replacing (and discarding)
+/// any previous one.
+pub fn install(l: Ledger) {
+    CURRENT.with(|cur| {
+        let mut cur = cur.borrow_mut();
+        if cur.is_none() {
+            ACTIVE.fetch_add(1, Ordering::Relaxed);
+        }
+        *cur = Some(l);
+    });
+}
+
+/// Removes and returns the current thread's ledger, if any.
+pub fn uninstall() -> Option<Ledger> {
+    CURRENT.with(|cur| {
+        let taken = cur.borrow_mut().take();
+        if taken.is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+        taken
+    })
+}
+
+/// An installed-ledger scope: uninstalls on drop, even when the
+/// accounted code panics (daemon workers catch panics and must not
+/// leak a stale ledger into the next request).
+pub struct LedgerScope {
+    _priv: (),
+}
+
+impl LedgerScope {
+    /// Installs a fresh ledger and returns the scope guard.
+    pub fn install() -> Self {
+        install(Ledger::new());
+        LedgerScope { _priv: () }
+    }
+
+    /// Ends the scope, returning the ledger.
+    pub fn finish(self) -> Option<Ledger> {
+        std::mem::forget(self);
+        uninstall()
+    }
+}
+
+impl Drop for LedgerScope {
+    fn drop(&mut self) {
+        let _ = uninstall();
+    }
+}
+
+/// Records one precision loss on the current thread's ledger. The site
+/// closure never runs when no ledger is installed — the disabled path
+/// is one relaxed atomic load.
+#[inline]
+pub fn record(cause: Cause, site: impl FnOnce() -> Site) {
+    if !enabled() {
+        return;
+    }
+    CURRENT.with(|cur| {
+        if let Some(l) = cur.borrow_mut().as_mut() {
+            let s = site();
+            l.push(PrecisionEvent {
+                cause,
+                routine: s.routine,
+                var: s.var,
+                line: s.line,
+                detail: s.detail,
+            });
+        }
+    });
+}
+
+/// The current thread's event count — a cursor for [`events_since`].
+/// `0` when no ledger is installed.
+pub fn mark() -> usize {
+    if !enabled() {
+        return 0;
+    }
+    CURRENT.with(|cur| cur.borrow().as_ref().map_or(0, |l| l.events.len()))
+}
+
+/// The current thread's overflow-drop count (see [`MAX_EVENTS`]); `0`
+/// when no ledger is installed. Snapshot alongside [`mark`] to compute
+/// the drops attributable to a nested extent.
+pub fn dropped_count() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    CURRENT.with(|cur| cur.borrow().as_ref().map_or(0, |l| l.dropped))
+}
+
+/// Clones the events recorded after `mark` without uninstalling the
+/// ledger — how a nested consumer (the driver building a report inside
+/// a daemon whose worker owns the scope) reads its own slice.
+pub fn events_since(mark: usize) -> Vec<PrecisionEvent> {
+    if !enabled() {
+        return Vec::new();
+    }
+    CURRENT.with(|cur| {
+        cur.borrow()
+            .as_ref()
+            .map_or(Vec::new(), |l| l.events.get(mark..).unwrap_or(&[]).to_vec())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, PoisonError};
+
+    /// `ACTIVE` is process-global, so tests that assert on `enabled()`
+    /// must not overlap with tests that install ledgers.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_record_is_inert() {
+        let _g = serial();
+        assert!(!enabled());
+        record(Cause::FuelWiden, || panic!("site closure must not run"));
+        assert_eq!(mark(), 0);
+        assert!(events_since(0).is_empty());
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn records_events_in_order() {
+        let _g = serial();
+        let scope = LedgerScope::install();
+        record(Cause::FuelWiden, || {
+            Site::routine("interf").var("x").line(7).detail("segment")
+        });
+        let m = mark();
+        record(Cause::AliasDegrade, || {
+            Site::routine("main").detail("main -> extr")
+        });
+        let since = events_since(m);
+        let ledger = scope.finish().expect("ledger installed");
+        assert_eq!(ledger.events().len(), 2);
+        assert_eq!(ledger.events()[0].cause, Cause::FuelWiden);
+        assert_eq!(ledger.events()[0].routine, "interf");
+        assert_eq!(ledger.events()[0].var, "x");
+        assert_eq!(ledger.events()[0].line, 7);
+        assert_eq!(since.len(), 1);
+        assert_eq!(since[0].cause, Cause::AliasDegrade);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn scope_uninstalls_on_panic() {
+        let _g = serial();
+        let result = std::panic::catch_unwind(|| {
+            let _scope = LedgerScope::install();
+            record(Cause::GotoCondense, || Site::routine("doomed"));
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert!(!enabled());
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn overflow_is_counted_not_grown() {
+        let _g = serial();
+        let scope = LedgerScope::install();
+        for i in 0..(MAX_EVENTS + 5) {
+            record(Cause::LowerSkip, || Site::routine("r").line(i as u32));
+        }
+        let ledger = scope.finish().unwrap();
+        assert_eq!(ledger.events().len(), MAX_EVENTS);
+        assert_eq!(ledger.dropped(), 5);
+    }
+
+    #[test]
+    fn cause_names_round_trip() {
+        for c in Cause::ALL {
+            assert_eq!(Cause::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Cause::parse("nope"), None);
+    }
+}

@@ -29,6 +29,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ledger;
+
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -225,6 +227,53 @@ impl Collector {
     /// code normally runs under a phase span).
     pub fn top_level_counters(&self) -> &[(String, u64)] {
         &self.counters
+    }
+
+    /// The instant this collector's timestamps are measured against.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Appends another (finished) collector's recordings to this one,
+    /// re-anchoring timestamps onto this collector's epoch and keeping
+    /// span parenting intact. This is how a daemon worker folds a
+    /// per-request collector — swapped in so the flight recorder gets
+    /// an isolated span tree — back into its own `--trace-out` track:
+    /// the spliced spans appear exactly where they would have been
+    /// recorded directly. `other`'s open-span stack is ignored; splice
+    /// finished collectors only.
+    pub fn splice(&mut self, other: &Collector) {
+        // `other` was created after `self` in the intended use; if not,
+        // saturate — a 0 shift only misplaces, never corrupts, spans.
+        let shift = other
+            .epoch
+            .checked_duration_since(self.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let offset = self.spans.len();
+        for rec in &other.spans {
+            let mut rec = rec.clone();
+            rec.start_us += shift;
+            for ev in &mut rec.events {
+                ev.at_us += shift;
+            }
+            if rec.parent != NO_PARENT {
+                rec.parent += offset;
+            }
+            self.spans.push(rec);
+        }
+        for (name, delta) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += delta,
+                None => self.counters.push((name.clone(), *delta)),
+            }
+        }
+        for ev in &other.events {
+            self.events.push(SpanEvent {
+                at_us: ev.at_us + shift,
+                ..ev.clone()
+            });
+        }
     }
 }
 
@@ -634,6 +683,79 @@ mod tests {
         assert_eq!(json.matches("process_name").count(), 2);
         assert!(json.contains("\"pid\":0"));
         assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn splice_preserves_structure_and_shifts_time() {
+        let _g = serial();
+        let mut worker = with_collector(|| {
+            let _s = span("before");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let request = with_collector(|| {
+            let _outer = span("analyze");
+            let _inner = span("dataflow");
+            add("steps", 4);
+            event("cache_replay", || "extr".to_string());
+        });
+        let before = request.spans[0].start_us;
+        worker.splice(&request);
+        let tree = worker.tree();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].name, "before");
+        assert_eq!(tree[1].name, "analyze");
+        assert_eq!(tree[1].children.len(), 1);
+        assert_eq!(tree[1].children[0].name, "dataflow");
+        assert_eq!(tree[1].children[0].counters, vec![("steps".to_string(), 4)]);
+        // The request collector's epoch postdates the worker's by ≥2ms,
+        // so its spans land later on the worker timeline.
+        assert!(worker.spans[1].start_us >= before + 2_000);
+    }
+
+    #[test]
+    fn splice_merges_top_level_counters() {
+        let _g = serial();
+        let mut a = with_collector(|| add("n", 1));
+        let b = with_collector(|| {
+            add("n", 2);
+            add("m", 5);
+        });
+        a.splice(&b);
+        assert_eq!(
+            a.top_level_counters(),
+            &[("n".to_string(), 3), ("m".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn adversarial_span_names_escape_cleanly() {
+        let _g = serial();
+        let names = [
+            "quote \" in name",
+            "back\\slash\\path",
+            "non-ascii: héllo 名前 🙂",
+            "ctrl\u{7}\u{1f}chars",
+            "tab\tand\nnewline\rret",
+        ];
+        let c = with_collector(|| {
+            for n in &names {
+                let _s = span(n);
+                event(n, || format!("detail {n}"));
+            }
+        });
+        let json = chrome_trace(&[("w \"q\"\\".to_string(), &c)]);
+        // No raw control bytes may survive into the document; every
+        // quote and backslash inside a string must be escaped.
+        for b in json.bytes() {
+            assert!(b >= 0x20, "raw control byte {b:#x} leaked into JSON");
+        }
+        assert!(json.contains("quote \\\" in name"));
+        assert!(json.contains("back\\\\slash\\\\path"));
+        assert!(json.contains("héllo 名前 🙂"));
+        assert!(json.contains("\\u0007"));
+        assert!(json.contains("\\t"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\r"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn differential(label: &str, src: &str, opts: Options, oracle: bool) {
         limits: FuelLimits::unlimited(),
         trace_spans: false,
         emit: true,
+        precision: false,
     };
     let out = driver::run(&req).unwrap_or_else(|e| panic!("{label}: analysis failed: {e}"));
     assert!(

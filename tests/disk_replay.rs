@@ -61,6 +61,7 @@ fn report(src: &str, cache: Option<Arc<dyn SummaryCache>>) -> String {
         limits: panorama::FuelLimits::unlimited(),
         trace_spans: false,
         emit: false,
+        precision: false,
     };
     let out = driver::run_with_cache(&req, cache).expect("analysis");
     serde_json::to_string(&out.json()).expect("serialize report")
@@ -153,6 +154,7 @@ fn warm_replay_stays_sound_under_race_oracle() {
             limits: panorama::FuelLimits::unlimited(),
             trace_spans: false,
             emit: false,
+            precision: false,
         };
         let out = driver::run_with_cache(&req, Some(tiered(&dir))).expect("analysis");
         let oracle = out.oracle.as_ref().expect("oracle report");
